@@ -1,0 +1,127 @@
+//! Extrapolation of exact counts to sizes beyond k (paper §4.2, Table 4).
+//!
+//! The paper lists exact function counts for sizes 0..=9 and *estimates*
+//! sizes 10..=14 by scaling the random-sample distribution by 16!. The
+//! estimate is validated by comparing the sample fraction at a size whose
+//! exact count is known — the paper observes that the size-9 sample ratio
+//! (50,861 / 10 M ≈ 0.005086) is close to the exact ratio
+//! (105,984,823,653 / 16! ≈ 0.005066).
+
+use revsynth_bfs::LevelCount;
+
+use crate::random::SizeDistribution;
+
+/// `16! = 20,922,789,888,000` — the number of 4-bit reversible functions.
+pub const TOTAL_4BIT_FUNCTIONS: u64 = 20_922_789_888_000;
+
+/// One row of the reproduced Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeEstimate {
+    /// Optimal circuit size.
+    pub size: usize,
+    /// Exact function count, when the BFS reached this size.
+    pub exact: Option<u64>,
+    /// Exact class count, when available.
+    pub exact_reduced: Option<u64>,
+    /// Sample-scaled estimate `fraction · 16!`, when the sample resolved
+    /// functions of this size.
+    pub estimated: Option<f64>,
+}
+
+/// Builds Table 4 rows: exact counts from the BFS for sizes ≤ k, and
+/// sample-scaled estimates for every size the random sample observed.
+///
+/// Rows are returned for sizes `0..=max(k, largest sampled size)`.
+#[must_use]
+pub fn estimate_counts(exact: &[LevelCount], sample: &SizeDistribution) -> Vec<SizeEstimate> {
+    let max_size = sample
+        .max_size()
+        .unwrap_or(0)
+        .max(exact.len().saturating_sub(1));
+    (0..=max_size)
+        .map(|size| {
+            let row = exact.get(size);
+            let estimated = (sample.count(size) > 0)
+                .then(|| sample.fraction(size) * TOTAL_4BIT_FUNCTIONS as f64);
+            SizeEstimate {
+                size,
+                exact: row.map(|r| r.functions),
+                exact_reduced: row.map(|r| r.reduced),
+                estimated,
+            }
+        })
+        .collect()
+}
+
+/// The paper's validation of the estimator: for a size with a known exact
+/// count, returns `(sample_fraction, exact_fraction)` — the two should be
+/// close for a healthy sample.
+#[must_use]
+pub fn validate_at(
+    exact: &[LevelCount],
+    sample: &SizeDistribution,
+    size: usize,
+) -> Option<(f64, f64)> {
+    let row = exact.get(size)?;
+    if sample.count(size) == 0 {
+        return None;
+    }
+    Some((
+        sample.fraction(size),
+        row.functions as f64 / TOTAL_4BIT_FUNCTIONS as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_factorial() {
+        let mut f = 1u64;
+        for i in 1..=16u64 {
+            f *= i;
+        }
+        assert_eq!(f, TOTAL_4BIT_FUNCTIONS);
+    }
+
+    #[test]
+    fn paper_validation_numbers() {
+        // Reproduce the §4.1 arithmetic: 50,861/10M vs the exact ratio.
+        let sample_fraction: f64 = 50_861.0 / 10_000_000.0;
+        let exact_fraction: f64 = 105_984_823_653.0 / TOTAL_4BIT_FUNCTIONS as f64;
+        assert!((sample_fraction - 0.005_086_1).abs() < 1e-9);
+        assert!((exact_fraction - 0.005_066).abs() < 1e-6);
+        assert!((sample_fraction - exact_fraction).abs() / exact_fraction < 0.005);
+    }
+
+    #[test]
+    fn estimates_combine_exact_and_sampled() {
+        let exact = vec![
+            LevelCount { size: 0, reduced: 1, functions: 1 },
+            LevelCount { size: 1, reduced: 4, functions: 32 },
+        ];
+        let mut sample = SizeDistribution::new();
+        for _ in 0..90 {
+            sample.record(2);
+        }
+        for _ in 0..10 {
+            sample.record(1);
+        }
+        let rows = estimate_counts(&exact, &sample);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].exact, Some(1));
+        assert_eq!(rows[0].estimated, None);
+        assert_eq!(rows[1].exact, Some(32));
+        let est1 = rows[1].estimated.unwrap();
+        assert!((est1 - 0.1 * TOTAL_4BIT_FUNCTIONS as f64).abs() < 1.0);
+        assert_eq!(rows[2].exact, None);
+        let est2 = rows[2].estimated.unwrap();
+        assert!((est2 - 0.9 * TOTAL_4BIT_FUNCTIONS as f64).abs() < 1.0);
+
+        let (sampled, exact_frac) = validate_at(&exact, &sample, 1).unwrap();
+        assert!((sampled - 0.1).abs() < 1e-12);
+        assert!(exact_frac > 0.0);
+        assert!(validate_at(&exact, &sample, 0).is_none(), "no samples of size 0");
+    }
+}

@@ -1,0 +1,229 @@
+//! Random permutation sampling (paper §4.1, Table 3).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revsynth_core::{SynthesisError, Synthesizer};
+use revsynth_perm::Perm;
+
+/// Draws a uniformly random permutation of the `2ⁿ`-point domain by
+/// Fisher–Yates shuffle (points outside the domain stay fixed).
+///
+/// # Panics
+///
+/// Panics if `n` is not 2, 3 or 4.
+pub fn random_perm<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Perm {
+    assert!((2..=4).contains(&n), "unsupported wire count {n}");
+    let len = 1usize << n;
+    let mut vals: Vec<u8> = (0..len as u8).collect();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        vals.swap(i, j);
+    }
+    Perm::from_values(&vals).expect("shuffle of 0..len is a permutation")
+}
+
+/// A histogram of optimal circuit sizes (the shape of the paper's
+/// Table 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SizeDistribution {
+    counts: BTreeMap<usize, u64>,
+    total: u64,
+    /// Samples whose size exceeded the synthesizer's search bound.
+    unresolved: u64,
+}
+
+impl SizeDistribution {
+    /// An empty distribution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of the given optimal size.
+    pub fn record(&mut self, size: usize) {
+        *self.counts.entry(size).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records a sample whose size exceeded the search bound (still counts
+    /// toward the total).
+    pub fn record_unresolved(&mut self) {
+        self.unresolved += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples of exactly `size` gates.
+    #[must_use]
+    pub fn count(&self, size: usize) -> u64 {
+        self.counts.get(&size).copied().unwrap_or(0)
+    }
+
+    /// Total samples recorded (resolved + unresolved).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that exceeded the search bound.
+    #[must_use]
+    pub fn unresolved(&self) -> u64 {
+        self.unresolved
+    }
+
+    /// Iterates `(size, count)` in increasing size order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// The largest size observed, if any sample resolved.
+    #[must_use]
+    pub fn max_size(&self) -> Option<usize> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Fraction of resolved samples with exactly `size` gates.
+    #[must_use]
+    pub fn fraction(&self, size: usize) -> f64 {
+        let resolved = self.total - self.unresolved;
+        if resolved == 0 {
+            return 0.0;
+        }
+        self.count(size) as f64 / resolved as f64
+    }
+
+    /// Sample mean of the optimal size over resolved samples — the paper's
+    /// "weighted average over the random sample, equal to 11.94 gates per
+    /// circuit".
+    #[must_use]
+    pub fn weighted_average(&self) -> f64 {
+        let resolved = self.total - self.unresolved;
+        if resolved == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.counts.iter().map(|(&s, &c)| s as f64 * c as f64).sum();
+        sum / resolved as f64
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &SizeDistribution) {
+        for (s, c) in other.iter() {
+            *self.counts.entry(s).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.unresolved += other.unresolved;
+    }
+}
+
+/// Synthesizes `samples` seeded uniform random permutations and returns
+/// the size distribution (the paper's §4.1 experiment, scaled by
+/// `samples`).
+///
+/// Samples beyond the synthesizer's bound are tallied as unresolved rather
+/// than failing the whole run.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::DomainMismatch`] only if `synth` was built
+/// for a different wire count than it reports (impossible through the
+/// public API).
+pub fn sample_distribution(
+    synth: &Synthesizer,
+    samples: usize,
+    seed: u64,
+) -> Result<SizeDistribution, SynthesisError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dist = SizeDistribution::new();
+    for _ in 0..samples {
+        let p = random_perm(synth.wires(), &mut rng);
+        match synth.size(p) {
+            Ok(size) => dist.record(size),
+            Err(SynthesisError::SizeExceedsLimit { .. }) => dist.record_unresolved(),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_perm_is_uniformish_on_n2() {
+        // With 24 possible permutations and 2400 draws, every permutation
+        // should appear (probability of a miss is astronomically small).
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2400 {
+            seen.insert(random_perm(2, &mut rng));
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn random_perm_fixes_points_outside_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = random_perm(3, &mut rng);
+            for x in 8..16u8 {
+                assert_eq!(p.apply(x), x);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let synth = Synthesizer::from_scratch(3, 4);
+        let a = sample_distribution(&synth, 200, 42).unwrap();
+        let b = sample_distribution(&synth, 200, 42).unwrap();
+        assert_eq!(a, b);
+        let c = sample_distribution(&synth, 200, 43).unwrap();
+        assert_ne!(a, c, "different seeds give different samples");
+    }
+
+    #[test]
+    fn distribution_statistics() {
+        let mut d = SizeDistribution::new();
+        for _ in 0..3 {
+            d.record(4);
+        }
+        d.record(8);
+        d.record_unresolved();
+        assert_eq!(d.total(), 5);
+        assert_eq!(d.unresolved(), 1);
+        assert_eq!(d.count(4), 3);
+        assert!((d.weighted_average() - 5.0).abs() < 1e-12);
+        assert!((d.fraction(8) - 0.25).abs() < 1e-12);
+        assert_eq!(d.max_size(), Some(8));
+    }
+
+    #[test]
+    fn n3_sample_sizes_match_direct_synthesis() {
+        let synth = Synthesizer::from_scratch(3, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let p = random_perm(3, &mut rng);
+            let size = synth.size(p).unwrap();
+            let circuit = synth.synthesize(p).unwrap();
+            assert_eq!(circuit.len(), size);
+            assert_eq!(circuit.perm(3), p);
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = SizeDistribution::new();
+        a.record(3);
+        let mut b = SizeDistribution::new();
+        b.record(3);
+        b.record(5);
+        b.record_unresolved();
+        a.merge(&b);
+        assert_eq!(a.count(3), 2);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.unresolved(), 1);
+    }
+}

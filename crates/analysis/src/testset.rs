@@ -1,0 +1,195 @@
+//! Representative test sets for heuristic synthesis algorithms.
+//!
+//! One of the paper's stated motivations (§1) and future-work items is
+//! "construction of a representative set of functions that could be used
+//! to test heuristic synthesis algorithms against": heuristics are
+//! currently graded against optimal 3-bit circuits, where the best of
+//! them are already near-perfect; 4-bit optima make a much harder exam.
+//!
+//! [`TestSet::generate`] builds a seeded suite of functions with *known*
+//! optimal sizes spanning the searchable range, and [`TestSet::score`]
+//! grades a heuristic's output against those optima.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revsynth_circuit::Circuit;
+use revsynth_core::Synthesizer;
+use revsynth_perm::Perm;
+
+use crate::timing::random_function_of_size;
+
+/// One graded problem: a function and its proved-minimal size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCase {
+    /// The reversible specification.
+    pub function: Perm,
+    /// Its optimal circuit size (proved by the synthesizer).
+    pub optimal_size: usize,
+}
+
+/// A suite of [`TestCase`]s with known optima.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSet {
+    cases: Vec<TestCase>,
+}
+
+/// Grade sheet returned by [`TestSet::score`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Problems attempted (= suite size).
+    pub total: usize,
+    /// Heuristic outputs that implement the wrong function (disqualified).
+    pub incorrect: usize,
+    /// Outputs matching the optimal size exactly.
+    pub optimal: usize,
+    /// Total excess gates over the optima, across correct outputs.
+    pub excess_gates: usize,
+    /// Mean overhead ratio `heuristic/optimal` over correct outputs with
+    /// a nonzero optimum.
+    pub mean_overhead: f64,
+}
+
+impl TestSet {
+    /// Generates `per_size` functions of every exactly-known size
+    /// `0..=max_size`, deterministically from `seed`.
+    ///
+    /// Sizes the gate library cannot realize are skipped (e.g. nothing
+    /// has size 30).
+    #[must_use]
+    pub fn generate(synth: &Synthesizer, max_size: usize, per_size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cases = Vec::new();
+        for size in 0..=max_size.min(synth.max_size()) {
+            let mut found = 0usize;
+            while found < per_size {
+                match random_function_of_size(synth, size, 300, &mut rng) {
+                    Some(f) => {
+                        cases.push(TestCase {
+                            function: f,
+                            optimal_size: size,
+                        });
+                        found += 1;
+                    }
+                    None => break, // size unreachable; skip it entirely
+                }
+            }
+        }
+        TestSet { cases }
+    }
+
+    /// The problems in the suite.
+    #[must_use]
+    pub fn cases(&self) -> &[TestCase] {
+        &self.cases
+    }
+
+    /// Number of problems.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the suite is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Grades a heuristic: for every case, the heuristic maps the
+    /// function to a circuit; correctness and gate overhead versus the
+    /// known optimum are tallied.
+    pub fn score<H>(&self, wires: usize, mut heuristic: H) -> Score
+    where
+        H: FnMut(Perm) -> Circuit,
+    {
+        let mut incorrect = 0usize;
+        let mut optimal = 0usize;
+        let mut excess = 0usize;
+        let mut overhead_sum = 0.0f64;
+        let mut overhead_count = 0usize;
+        for case in &self.cases {
+            let circuit = heuristic(case.function);
+            if circuit.perm(wires) != case.function {
+                incorrect += 1;
+                continue;
+            }
+            debug_assert!(circuit.len() >= case.optimal_size, "optimum is optimal");
+            if circuit.len() == case.optimal_size {
+                optimal += 1;
+            }
+            excess += circuit.len() - case.optimal_size;
+            if case.optimal_size > 0 {
+                overhead_sum += circuit.len() as f64 / case.optimal_size as f64;
+                overhead_count += 1;
+            }
+        }
+        Score {
+            total: self.cases.len(),
+            incorrect,
+            optimal,
+            excess_gates: excess,
+            mean_overhead: if overhead_count == 0 {
+                1.0
+            } else {
+                overhead_sum / overhead_count as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_circuit::Gate;
+    use std::sync::OnceLock;
+
+    fn synth() -> &'static Synthesizer {
+        static S: OnceLock<Synthesizer> = OnceLock::new();
+        S.get_or_init(|| Synthesizer::from_scratch(3, 3))
+    }
+
+    #[test]
+    fn generation_is_seeded_and_sized() {
+        let a = TestSet::generate(synth(), 4, 3, 9);
+        let b = TestSet::generate(synth(), 4, 3, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5 * 3); // sizes 0..=4, three each
+        for case in a.cases() {
+            assert_eq!(synth().size(case.function).ok(), Some(case.optimal_size));
+        }
+    }
+
+    #[test]
+    fn perfect_heuristic_scores_perfectly() {
+        let set = TestSet::generate(synth(), 4, 2, 1);
+        let score = set.score(3, |f| synth().synthesize(f).expect("within reach"));
+        assert_eq!(score.incorrect, 0);
+        assert_eq!(score.optimal, score.total);
+        assert_eq!(score.excess_gates, 0);
+        assert!((score.mean_overhead - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padded_heuristic_is_penalized() {
+        let set = TestSet::generate(synth(), 3, 2, 2);
+        // A "heuristic" that appends a cancelling NOT pair to the optimum.
+        let score = set.score(3, |f| {
+            let mut c = synth().synthesize(f).expect("within reach");
+            c.push(Gate::not(0).expect("valid"));
+            c.push(Gate::not(0).expect("valid"));
+            c
+        });
+        assert_eq!(score.incorrect, 0);
+        assert_eq!(score.optimal, 0, "everything is 2 gates over");
+        assert_eq!(score.excess_gates, 2 * score.total);
+        assert!(score.mean_overhead > 1.0);
+    }
+
+    #[test]
+    fn wrong_function_is_disqualified() {
+        let set = TestSet::generate(synth(), 2, 2, 3);
+        let score = set.score(3, |_| Circuit::new()); // always the identity
+        // Only genuine size-0 cases are "correct".
+        assert_eq!(score.total - score.incorrect, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Synthesis-time measurement per optimal size (paper Table 1).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revsynth_core::Synthesizer;
+use revsynth_perm::Perm;
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingRow {
+    /// Optimal circuit size being timed.
+    pub size: usize,
+    /// Number of functions timed.
+    pub trials: u32,
+    /// Mean wall-clock time per synthesis.
+    pub average: Duration,
+}
+
+/// Draws a uniformly random function of *exactly* the given optimal size
+/// by rejection: compose `size` random gates, verify the optimal size with
+/// the synthesizer, retry on rejection.
+///
+/// Returns `None` if no function of that size was found within `attempts`
+/// tries (e.g. asking for a size the gate set cannot realize).
+#[must_use]
+pub fn random_function_of_size<R: Rng + ?Sized>(
+    synth: &Synthesizer,
+    size: usize,
+    attempts: u32,
+    rng: &mut R,
+) -> Option<Perm> {
+    let lib = synth.tables().lib();
+    for _ in 0..attempts {
+        let mut f = Perm::identity();
+        for _ in 0..size {
+            let id = rng.gen_range(0..lib.len());
+            f = f.then(lib.perm_of(id));
+        }
+        if synth.size(f) == Ok(size) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+/// Measures the average time to synthesize minimal circuits of each size
+/// `0..=max_size` (the paper's Table 1 experiment).
+///
+/// Functions are pre-generated (so generation and verification are not
+/// timed), then each is synthesized once and the wall-clock mean is taken.
+/// Sizes for which no function could be generated are omitted.
+#[must_use]
+pub fn time_by_size(
+    synth: &Synthesizer,
+    max_size: usize,
+    trials_per_size: u32,
+    seed: u64,
+) -> Vec<TimingRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for size in 0..=max_size.min(synth.max_size()) {
+        let mut functions = Vec::new();
+        for _ in 0..trials_per_size {
+            if let Some(f) = random_function_of_size(synth, size, 200, &mut rng) {
+                functions.push(f);
+            }
+        }
+        if functions.is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        for &f in &functions {
+            let circuit = synth.synthesize(f).expect("size verified during generation");
+            std::hint::black_box(&circuit);
+        }
+        let elapsed = start.elapsed();
+        rows.push(TimingRow {
+            size,
+            trials: functions.len() as u32,
+            average: elapsed / functions.len() as u32,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_function_of_size_hits_target() {
+        let synth = Synthesizer::from_scratch(3, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for size in 0..=5usize {
+            let f = random_function_of_size(&synth, size, 500, &mut rng)
+                .unwrap_or_else(|| panic!("no function of size {size} found"));
+            assert_eq!(synth.size(f), Ok(size));
+        }
+    }
+
+    #[test]
+    fn timing_rows_cover_requested_sizes() {
+        let synth = Synthesizer::from_scratch(3, 3);
+        let rows = time_by_size(&synth, 4, 5, 99);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert!(row.trials >= 1);
+            assert!(row.size <= 4);
+        }
+        // Size 0 (identity) must be present and essentially instant.
+        assert_eq!(rows[0].size, 0);
+    }
+
+    #[test]
+    fn impossible_sizes_are_omitted() {
+        // n = 2 tops out at a small optimal size; far larger sizes are
+        // unreachable and must be skipped, not panic.
+        let synth = Synthesizer::from_scratch(2, 4);
+        let rows = time_by_size(&synth, 8, 3, 1);
+        assert!(rows.iter().all(|r| r.size <= 8));
+    }
+}

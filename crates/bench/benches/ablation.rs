@@ -1,0 +1,65 @@
+//! Criterion ablations of the paper's key implementation choices.
+//!
+//! * incremental plain-changes canonicalization vs recomputing all 48
+//!   conjugates from scratch (the paper's 46×14-instruction walk is the
+//!   point of §3.3);
+//! * the symmetry-reduced BFS vs the whole-space reference BFS on 3
+//!   wires (the ×48 reduction of §3.2);
+//! * gate-count synthesis vs cost-weighted and depth-weighted variants on
+//!   3 wires (§5 modifications).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use revsynth_bfs::{reference, SearchTables};
+use revsynth_canon::Symmetries;
+use revsynth_circuit::{CostModel, GateLib};
+use revsynth_core::{CostSynthesizer, DepthSynthesizer};
+use revsynth_perm::Perm;
+
+fn bench_canonical_walk_vs_naive(c: &mut Criterion) {
+    let sym = Symmetries::new(4);
+    let f = Perm::from_values(&[6, 15, 9, 5, 13, 12, 3, 7, 2, 10, 1, 11, 0, 14, 4, 8])
+        .expect("valid");
+    let mut group = c.benchmark_group("ablation/canonical");
+    group.bench_function("plain-changes walk (paper)", |b| {
+        b.iter(|| sym.canonical(black_box(f)))
+    });
+    group.bench_function("naive 48 full conjugations", |b| {
+        b.iter(|| sym.canonical_naive(black_box(f)))
+    });
+    group.finish();
+}
+
+fn bench_reduced_vs_full_space_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bfs-n3");
+    group.sample_size(10);
+    group.bench_function("symmetry-reduced (×48, paper)", |b| {
+        b.iter(|| SearchTables::generate(3, 8))
+    });
+    group.bench_function("whole-space reference", |b| {
+        b.iter(|| reference::full_space_sizes(&GateLib::nct(3)))
+    });
+    group.finish();
+}
+
+fn bench_metric_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/metrics-n3");
+    group.sample_size(10);
+    group.bench_function("gate-count tables k=4", |b| {
+        b.iter(|| SearchTables::generate(3, 4))
+    });
+    group.bench_function("quantum-cost tables budget=10", |b| {
+        b.iter(|| CostSynthesizer::generate(GateLib::nct(3), CostModel::quantum(), 10))
+    });
+    group.bench_function("depth tables d=4", |b| {
+        b.iter(|| DepthSynthesizer::generate(GateLib::nct(3), 4))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_canonical_walk_vs_naive,
+    bench_reduced_vs_full_space_bfs,
+    bench_metric_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the breadth-first table generation
+//! (paper Algorithm 2 — the "3 hours for k = 9" precompute, at bench
+//! scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revsynth_bfs::SearchTables;
+use revsynth_circuit::GateLib;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs/generate");
+    group.sample_size(10);
+    for (n, k) in [(3usize, 6usize), (4, 3), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}-k{k}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| SearchTables::generate(n, k)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_generate_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs/generate-parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| SearchTables::generate_parallel(GateLib::nct(4), 4, threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counts(c: &mut Criterion) {
+    let tables = SearchTables::generate(4, 4);
+    c.bench_function("bfs/exact-counts k=4", |b| b.iter(|| tables.counts()));
+}
+
+criterion_group!(benches, bench_generate, bench_generate_parallel, bench_counts);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the §3.3 kernels.
+//!
+//! The paper counts machine instructions: composition 94, inversion 59,
+//! conjugation-by-transposition 14, canonical representative ~750, plus
+//! the Wang hash and one probe for the membership test. These benchmarks
+//! measure the same operations in nanoseconds on this machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use revsynth_canon::Symmetries;
+use revsynth_perm::{hash64shift, Perm};
+use revsynth_table::FnTable;
+
+fn fixtures() -> Vec<Perm> {
+    let specs: [[u8; 16]; 4] = [
+        [15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11],
+        [0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5],
+        [6, 15, 9, 5, 13, 12, 3, 7, 2, 10, 1, 11, 0, 14, 4, 8],
+        [2, 3, 5, 7, 11, 13, 0, 1, 4, 6, 8, 9, 10, 12, 14, 15],
+    ];
+    specs
+        .iter()
+        .map(|s| Perm::from_values(s).expect("valid"))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let ps = fixtures();
+    let (a, b) = (ps[0], ps[1]);
+
+    c.bench_function("composition (paper: 94 instructions)", |bench| {
+        bench.iter(|| black_box(a).then(black_box(b)))
+    });
+    c.bench_function("inverse (paper: 59 instructions)", |bench| {
+        bench.iter(|| black_box(a).inverse())
+    });
+    c.bench_function("conjugate_swap (paper: 14 instructions)", |bench| {
+        bench.iter(|| black_box(a).conjugate_swap_indexed(0))
+    });
+    c.bench_function("hash64shift", |bench| {
+        bench.iter(|| hash64shift(black_box(a.packed())))
+    });
+
+    let sym = Symmetries::new(4);
+    c.bench_function("canonical (paper: ~750 instructions)", |bench| {
+        bench.iter(|| sym.canonical(black_box(a)))
+    });
+    c.bench_function("canonicalize (with witness)", |bench| {
+        bench.iter(|| sym.canonicalize(black_box(a)))
+    });
+    c.bench_function("class_size", |bench| {
+        bench.iter(|| sym.class_size(black_box(a)))
+    });
+}
+
+fn bench_table(c: &mut Criterion) {
+    // A table of the size class the paper uses for k = 7 membership tests.
+    let mut table = FnTable::with_capacity_bits(20);
+    let sym = Symmetries::new(4);
+    let mut key = Perm::identity();
+    let ps = fixtures();
+    for i in 0..500_000u32 {
+        key = key.then(ps[(i % 4) as usize]);
+        table.insert(sym.canonical(key), (i & 0x7F) as u8);
+    }
+    let hit = sym.canonical(key);
+    let miss = Perm::from_values(&[5, 4, 3, 2, 1, 0, 6, 7, 8, 9, 10, 11, 12, 13, 15, 14])
+        .expect("valid");
+
+    c.bench_function("table probe (hit)", |bench| {
+        bench.iter(|| table.get(black_box(hit)))
+    });
+    c.bench_function("table probe (miss)", |bench| {
+        bench.iter(|| table.contains(black_box(miss)))
+    });
+    c.bench_function("membership test (canonicalize + probe)", |bench| {
+        bench.iter(|| table.contains(sym.canonical(black_box(ps[2]))))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the synthesizer (the shape of paper Table 1).
+//!
+//! Fast-path syntheses (size ≤ k) are microseconds; each list-scan size
+//! beyond k multiplies the time by roughly |A_i|/|A_{i−1}|. Criterion
+//! keeps these cases small (k = 4) so `cargo bench` stays in seconds; the
+//! full Table 1 sweep lives in the `table1` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revsynth_analysis::timing::random_function_of_size;
+use revsynth_core::Synthesizer;
+
+fn bench_fast_path(c: &mut Criterion) {
+    let synth = Synthesizer::from_scratch(4, 4);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("synthesize/fast-path");
+    for size in 0..=4usize {
+        let f = random_function_of_size(&synth, size, 500, &mut rng)
+            .expect("every size ≤ 4 is realizable");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &f, |b, &f| {
+            b.iter(|| synth.synthesize(black_box(f)).expect("within bound"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_meet_in_middle(c: &mut Criterion) {
+    let synth = Synthesizer::from_scratch(4, 4);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("synthesize/meet-in-middle");
+    group.sample_size(20);
+    for size in 5..=7usize {
+        let f = random_function_of_size(&synth, size, 500, &mut rng)
+            .expect("sizes 5..=7 are realizable");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &f, |b, &f| {
+            b.iter(|| synth.synthesize(black_box(f)).expect("within bound"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_size_only(c: &mut Criterion) {
+    let synth = Synthesizer::from_scratch(4, 4);
+    let mut rng = StdRng::seed_from_u64(13);
+    let f6 = random_function_of_size(&synth, 6, 500, &mut rng).expect("realizable");
+    c.bench_function("size-only query (size 6, k = 4)", |b| {
+        b.iter(|| synth.size(black_box(f6)).expect("within bound"))
+    });
+}
+
+criterion_group!(benches, bench_fast_path, bench_meet_in_middle, bench_size_only);
+criterion_main!(benches);

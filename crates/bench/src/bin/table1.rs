@@ -1,0 +1,60 @@
+//! Regenerates paper Table 1: average time to compute minimal circuits of
+//! each size.
+//!
+//! ```text
+//! cargo run --release -p revsynth-bench --bin table1 -- [--k 6] [--max-size 12] [--trials 25]
+//! ```
+//!
+//! The paper's numbers (k = 8 on a laptop, k = 8/9 on a server) are printed
+//! alongside for shape comparison: times are flat (microseconds) up to
+//! size k, then grow by roughly the gate-library branching factor per
+//! extra gate — the |A_i| list-scan of Algorithm 1.
+
+use revsynth_analysis::timing::time_by_size;
+use revsynth_bench::{arg_or, env_k, load_or_generate};
+use revsynth_core::Synthesizer;
+
+/// Paper Table 1, column "8 (CS2)" (seconds), sizes 0..=14.
+const PAPER_K8_CS2: [f64; 15] = [
+    5.10e-7, 8.70e-7, 1.26e-6, 1.66e-6, 2.07e-6, 2.47e-6, 3.48e-6, 4.22e-6, 4.49e-6, 1.07e-5,
+    2.28e-4, 4.27e-3, 6.30e-2, 4.91e-1, 4.38,
+];
+/// Paper Table 1, column "9 (CS1)" (seconds), sizes 0..=14.
+const PAPER_K9_CS1: [f64; 15] = [
+    5.15e-7, 8.80e-7, 1.27e-6, 1.68e-6, 2.14e-6, 2.52e-6, 3.96e-6, 4.85e-6, 4.45e-6, 5.65e-6,
+    1.79e-5, 2.38e-4, 3.74e-3, 3.18e-2, 3.26e-1,
+];
+
+fn main() {
+    let k = arg_or("--k", env_k(6));
+    let max_size = arg_or("--max-size", (2 * k).min(k + 5));
+    let trials: u32 = arg_or("--trials", 25);
+    let seed: u64 = arg_or("--seed", 1);
+
+    let synth = Synthesizer::new(load_or_generate(4, k));
+    eprintln!("timing sizes 0..={max_size} ({trials} trials per size) ...");
+    let rows = time_by_size(&synth, max_size, trials, seed);
+
+    println!("# Table 1 — average synthesis time per optimal size (seconds)");
+    println!("# ours: k = {k} on this machine; paper columns for shape comparison");
+    println!(
+        "{:>4} {:>12} {:>7} {:>14} {:>14}",
+        "size", "ours k=" , "trials", "paper k=8 CS2", "paper k=9 CS1"
+    );
+    for row in &rows {
+        let secs = row.average.as_secs_f64();
+        let p8 = PAPER_K8_CS2.get(row.size).copied();
+        let p9 = PAPER_K9_CS1.get(row.size).copied();
+        println!(
+            "{:>4} {:>12.3e} {:>7} {:>14} {:>14}",
+            row.size,
+            secs,
+            row.trials,
+            p8.map_or("-".into(), |v| format!("{v:.2e}")),
+            p9.map_or("-".into(), |v| format!("{v:.2e}")),
+        );
+    }
+    println!(
+        "# shape check: flat microseconds for sizes ≤ {k}, then ≈ |A_i|-driven growth per gate"
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates paper Table 2: parameters of the linear-probing hash tables
+//! storing the canonical representatives.
+//!
+//! ```text
+//! cargo run --release -p revsynth-bench --bin table2 -- [--min-k 5] [--max-k 7]
+//! ```
+//!
+//! The paper reports k = 7, 8, 9 (256 MB / 2 GB / 32 GB); this machine
+//! defaults to k = 5..7. Shape checks: load factors in the same band,
+//! maximal chains two orders of magnitude above the average, average
+//! chains of a few slots.
+
+use revsynth_bench::{arg_or, load_or_generate};
+
+/// Paper Table 2 rows: (k, log2 slots, memory, load factor, avg chain, max chain).
+#[allow(clippy::approx_constant)] // the paper's k = 7 average chain length really is 3.14
+const PAPER: [(usize, u32, &str, f64, f64, u64); 3] = [
+    (7, 25, "256 MB", 0.58, 3.14, 92),
+    (8, 28, "2 GB", 0.84, 9.18, 754),
+    (9, 32, "32 GB", 0.51, 2.63, 86),
+];
+
+fn main() {
+    let min_k = arg_or("--min-k", 5usize);
+    let max_k = arg_or("--max-k", 7usize);
+
+    println!("# Table 2 — linear hash tables storing canonical representatives");
+    println!(
+        "{:>3} {:>9} {:>10} {:>6} {:>10} {:>10}",
+        "k", "slots", "memory", "load", "avg chain", "max chain"
+    );
+    for k in min_k..=max_k {
+        let tables = load_or_generate(4, k);
+        let s = tables.table_stats();
+        println!(
+            "{:>3} {:>9} {:>10} {:>6.2} {:>10.2} {:>10}",
+            k,
+            format!("2^{}", s.capacity.trailing_zeros()),
+            s.memory_display(),
+            s.load_factor,
+            s.avg_cluster_len,
+            s.max_cluster_len
+        );
+    }
+    println!("\n# paper (for comparison):");
+    println!(
+        "{:>3} {:>9} {:>10} {:>6} {:>10} {:>10}",
+        "k", "slots", "memory", "load", "avg chain", "max chain"
+    );
+    for (k, bits, mem, load, avg, max) in PAPER {
+        println!("{k:>3} {:>9} {mem:>10} {load:>6.2} {avg:>10.2} {max:>10}", format!("2^{bits}"));
+    }
+}

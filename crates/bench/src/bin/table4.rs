@@ -1,0 +1,98 @@
+//! Regenerates paper Table 4: number of 4-bit permutations requiring each
+//! gate count — exact counts up to k, sample-scaled estimates beyond.
+//!
+//! ```text
+//! cargo run --release -p revsynth-bench --bin table4 -- [--k 7] [--samples 60] [--seed 2010]
+//! ```
+//!
+//! Exact rows must **equal** the paper's (they are counts of the same
+//! mathematical objects); estimated rows reproduce the paper's §4.2
+//! methodology (sample fraction × 16!) and inherit the sample's noise.
+
+use revsynth_analysis::{estimate_counts, sample_distribution, TOTAL_4BIT_FUNCTIONS};
+use revsynth_bench::{arg_or, env_k, load_or_generate};
+use revsynth_core::Synthesizer;
+
+/// Paper Table 4 exact rows: (size, functions, reduced).
+const PAPER_EXACT: [(usize, u64, u64); 10] = [
+    (0, 1, 1),
+    (1, 32, 4),
+    (2, 784, 33),
+    (3, 16_204, 425),
+    (4, 294_507, 6_538),
+    (5, 4_807_552, 101_983),
+    (6, 70_763_560, 1_482_686),
+    (7, 932_651_938, 19_466_575),
+    (8, 10_804_681_959, 225_242_556),
+    (9, 105_984_823_653, 2_208_511_226),
+];
+
+/// Paper Table 4 estimated rows (size, estimate).
+const PAPER_ESTIMATES: [(usize, f64); 5] = [
+    (10, 8.20e11),
+    (11, 4.29e12),
+    (12, 1.07e13),
+    (13, 4.96e12),
+    (14, 3.60e10),
+];
+
+fn main() {
+    let k = arg_or("--k", env_k(7));
+    let samples: usize = arg_or("--samples", 60);
+    let seed: u64 = arg_or("--seed", 2010);
+
+    let tables = load_or_generate(4, k);
+    eprintln!("computing exact class sizes for levels 0..={k} ...");
+    let exact = tables.counts();
+
+    let synth = Synthesizer::new(tables);
+    eprintln!("sampling {samples} random permutations for the ≥{} estimates ...", k + 1);
+    let sample = sample_distribution(&synth, samples, seed).expect("valid domain");
+
+    let rows = estimate_counts(&exact, &sample);
+    println!("# Table 4 — functions requiring 0..L gates (16! = {TOTAL_4BIT_FUNCTIONS} total)");
+    println!(
+        "{:>4} {:>16} {:>13} {:>12} {:>16} {:>13}",
+        "size", "exact", "reduced", "estimate", "paper exact", "paper est."
+    );
+    for row in &rows {
+        let paper_exact = PAPER_EXACT
+            .iter()
+            .find(|&&(s, _, _)| s == row.size)
+            .map(|&(_, f, _)| f);
+        let paper_est = PAPER_ESTIMATES
+            .iter()
+            .find(|&&(s, _)| s == row.size)
+            .map(|&(_, e)| e);
+        println!(
+            "{:>4} {:>16} {:>13} {:>12} {:>16} {:>13}",
+            row.size,
+            row.exact.map_or("-".into(), |v| v.to_string()),
+            row.exact_reduced.map_or("-".into(), |v| v.to_string()),
+            row.estimated.map_or("-".into(), |v| format!("{v:.2e}")),
+            paper_exact.map_or("-".into(), |v| v.to_string()),
+            paper_est.map_or("-".into(), |v| format!("{v:.2e}")),
+        );
+    }
+
+    // Exact rows must match the paper bit for bit.
+    let mut mismatches = 0;
+    for &(size, functions, reduced) in PAPER_EXACT.iter().take(k + 1) {
+        let row = &rows[size];
+        if row.exact != Some(functions) || row.exact_reduced != Some(reduced) {
+            eprintln!("MISMATCH at size {size}: {row:?}");
+            mismatches += 1;
+        }
+    }
+    println!(
+        "\nexact rows 0..={k} vs paper: {}",
+        if mismatches == 0 { "all equal" } else { "MISMATCH" }
+    );
+    if sample.unresolved() > 0 {
+        println!(
+            "note: {} samples exceeded the size-{} bound (they belong to the 13/14-gate rows)",
+            sample.unresolved(),
+            synth.max_size()
+        );
+    }
+}

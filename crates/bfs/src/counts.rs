@@ -1,0 +1,90 @@
+//! Exact per-size counts (paper Table 4).
+
+use std::fmt;
+
+use crate::tables::SearchTables;
+
+/// Exact counts of one size level: how many equivalence classes
+/// ("reduced functions") and how many functions in total need exactly
+/// `size` gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCount {
+    /// The optimal circuit size this row describes.
+    pub size: usize,
+    /// Number of equivalence classes (paper Table 4 "Reduced Functions").
+    pub reduced: u64,
+    /// Number of functions (paper Table 4 "Functions"): the sum of class
+    /// sizes over the classes of this level.
+    pub functions: u64,
+}
+
+impl fmt::Display for LevelCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "size {:>2}: {:>15} functions, {:>12} reduced",
+            self.size, self.functions, self.reduced
+        )
+    }
+}
+
+/// Computes exact reduced and full counts for every level of `tables`.
+pub(crate) fn exact_counts(tables: &SearchTables) -> Vec<LevelCount> {
+    let sym = &tables.sym;
+    let mut buf = Vec::with_capacity(sym.max_class_size());
+    tables
+        .levels
+        .iter()
+        .enumerate()
+        .map(|(size, reps)| {
+            let mut functions = 0u64;
+            for &rep in reps {
+                sym.class_members_into(rep, &mut buf);
+                functions += buf.len() as u64;
+            }
+            LevelCount {
+                size,
+                reduced: reps.len() as u64,
+                functions,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 4, sizes 0..=5 (full counts).
+    const N4_FULL: [u64; 6] = [1, 32, 784, 16_204, 294_507, 4_807_552];
+
+    #[test]
+    fn full_counts_match_paper_table4_to_size5() {
+        let t = SearchTables::generate(4, 5);
+        let counts = t.counts();
+        for (i, &expected) in N4_FULL.iter().enumerate() {
+            assert_eq!(counts[i].functions, expected, "full count at size {i}");
+        }
+    }
+
+    #[test]
+    fn reduced_never_exceeds_functions() {
+        let t = SearchTables::generate(3, 6);
+        for c in t.counts() {
+            assert!(c.reduced <= c.functions);
+            assert!(c.functions <= c.reduced * t.sym().max_class_size() as u64);
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = LevelCount {
+            size: 9,
+            reduced: 2_208_511_226,
+            functions: 105_984_823_653,
+        };
+        let s = c.to_string();
+        assert!(s.contains("105984823653"));
+        assert!(s.contains("2208511226"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Serial breadth-first search (paper Algorithm 2).
+//!
+//! # Completeness
+//!
+//! Claim: every equivalence class of size `i ≥ 1` contains a member of the
+//! form `x.then(λ)` where `x` is a size-`(i−1)` canonical representative or
+//! the inverse of one, and `λ` is a gate.
+//!
+//! Proof: take any `h` of size `i` with minimal circuit `h = g.then(μ)`
+//! (`g` = all but the last gate, size `i−1`). Let `c = canonical(g)`.
+//! Either `c = conj_σ(g)`, and then `conj_σ(h) = c.then(conj_σ(μ))` is an
+//! equivalent of `h` of the required form; or `c = conj_σ(g⁻¹)`, i.e.
+//! `c⁻¹ = conj_σ(g)`, and then `conj_σ(h) = c⁻¹.then(conj_σ(μ))`. ∎
+//!
+//! Therefore expanding every representative **and its inverse** by all
+//! gates reaches at least one member of every size-`i` class; its canonical
+//! form is inserted exactly once (the hash table already holds all classes
+//! of size < i by induction, so smaller classes are filtered out).
+//!
+//! # Stored gate records
+//!
+//! When a new representative `r = canonical(h)` with `h = x.then(λ)` is
+//! inserted (witness `σ`, `inverted`):
+//!
+//! * not inverted: `r = conj_σ(x).then(conj_σ(λ))` — record
+//!   `conj_σ(λ)` as the **last** gate;
+//! * inverted: `r = conj_σ(h⁻¹) = conj_σ(λ).then(conj_σ(x⁻¹))` — record
+//!   `conj_σ(λ)` as the **first** gate
+//!
+//! (gates are involutions, so `h⁻¹ = λ.then(x⁻¹)`).
+
+use revsynth_canon::Symmetries;
+use revsynth_circuit::GateLib;
+use revsynth_perm::Perm;
+use revsynth_table::FnTable;
+
+use crate::info::{encode_stored, IDENTITY_BYTE};
+use crate::tables::SearchTables;
+
+pub(crate) fn run(lib: GateLib, k: usize) -> SearchTables {
+    assert!(k <= 16, "k = {k} is far beyond any reachable optimal size");
+    let sym = Symmetries::new(lib.wires());
+    let mut table = FnTable::for_entries(SearchTables::estimated_total(&lib, k));
+    table.insert(Perm::identity(), IDENTITY_BYTE);
+    let mut levels: Vec<Vec<Perm>> = vec![vec![Perm::identity()]];
+
+    for i in 1..=k {
+        let mut level: Vec<Perm> = Vec::new();
+        // Detach the previous level so `table` can be borrowed mutably
+        // while it is iterated.
+        let prev = std::mem::take(&mut levels[i - 1]);
+        for &f in &prev {
+            expand(&lib, &sym, &mut table, &mut level, f);
+            let inv = f.inverse();
+            if inv != f {
+                expand(&lib, &sym, &mut table, &mut level, inv);
+            }
+        }
+        levels[i - 1] = prev;
+        level.sort_unstable();
+        levels.push(level);
+        if levels[i].is_empty() {
+            // The group is exhausted below k; remaining levels stay empty.
+            for _ in i + 1..=k {
+                levels.push(Vec::new());
+            }
+            break;
+        }
+    }
+
+    SearchTables {
+        lib,
+        sym,
+        k,
+        table,
+        levels,
+    }
+}
+
+#[inline]
+fn expand(
+    lib: &GateLib,
+    sym: &Symmetries,
+    table: &mut FnTable,
+    level: &mut Vec<Perm>,
+    f: Perm,
+) {
+    for (_, gate, gate_perm) in lib.iter() {
+        let h = f.then(gate_perm);
+        let w = sym.canonicalize(h);
+        let stored = gate.conjugate_by_wires(w.sigma);
+        let byte = encode_stored(stored, w.inverted);
+        if table.insert_if_absent(w.rep, byte) {
+            level.push(w.rep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::StoredGate;
+    use crate::tables::N4_REDUCED_COUNTS;
+
+    #[test]
+    fn level0_is_identity_only() {
+        let t = SearchTables::generate(4, 1);
+        assert_eq!(t.level(0), &[Perm::identity()]);
+        assert_eq!(t.lookup(Perm::identity()), Some(StoredGate::Identity));
+    }
+
+    #[test]
+    fn level1_reduced_count_is_4_for_n4() {
+        // The 32 gates form 4 classes: NOT, CNOT, TOF, TOF4 (Table 4).
+        let t = SearchTables::generate(4, 1);
+        assert_eq!(t.level(1).len(), 4);
+        for &rep in t.level(1) {
+            assert!(t.sym().is_canonical(rep));
+            assert_eq!(t.size_of(rep), Some(1));
+        }
+    }
+
+    #[test]
+    fn reduced_counts_match_paper_table4_to_size5() {
+        let t = SearchTables::generate(4, 5);
+        for (i, &expected) in N4_REDUCED_COUNTS.iter().take(6).enumerate() {
+            assert_eq!(
+                t.level(i).len() as u64,
+                expected,
+                "reduced count at size {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_gate_has_size_1() {
+        let t = SearchTables::generate(4, 2);
+        for (_, _, p) in GateLib::nct(4).iter() {
+            assert_eq!(t.size_of(p), Some(1));
+        }
+    }
+
+    #[test]
+    fn products_of_two_gates_have_size_at_most_2() {
+        let t = SearchTables::generate(4, 2);
+        let lib = GateLib::nct(4);
+        for (_, _, p) in lib.iter() {
+            for (_, _, q) in lib.iter() {
+                let size = t.size_of(p.then(q)).expect("size ≤ 2 must be found");
+                assert!(size <= 2);
+                if p == q {
+                    assert_eq!(size, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stored_gate_peels_one_level() {
+        // For every size-i representative, composing with the stored gate
+        // on the recorded side yields a size-(i-1) function.
+        let t = SearchTables::generate(4, 4);
+        for i in 1..=4usize {
+            for &rep in t.level(i).iter().step_by(7) {
+                match t.lookup(rep).expect("level member must be in table") {
+                    StoredGate::Identity => panic!("identity record on nonzero level"),
+                    StoredGate::Gate { gate, is_first } => {
+                        let g = gate.perm(4);
+                        let peeled = if is_first { g.then(rep) } else { rep.then(g) };
+                        assert_eq!(
+                            t.size_of(peeled),
+                            Some(i - 1),
+                            "size {i} rep {rep} gate {gate} is_first={is_first}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_group_exhausts_and_stops() {
+        // n = 2: only 24 functions exist; deep k must terminate with empty
+        // tail levels and total classes summing to the whole group.
+        let t = SearchTables::generate(2, 12);
+        let total: u64 = t.counts().iter().map(|c| c.functions).sum();
+        assert_eq!(total, 24);
+        assert!(t.levels().iter().any(|l| l.is_empty()));
+    }
+
+    #[test]
+    fn linear_library_exhausts_the_affine_group_n3() {
+        // NOT/CNOT circuits on 3 wires compute exactly the affine group of
+        // order 8 · |GL(3,2)| = 8 · 168 = 1344.
+        let t = SearchTables::generate_with(GateLib::linear(3), 12);
+        let total: u64 = t.counts().iter().map(|c| c.functions).sum();
+        assert_eq!(total, 1344);
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-threaded breadth-first search.
+//!
+//! The expansion of level `i−1` is embarrassingly parallel: each worker
+//! canonicalizes its share of the `(representative, gate)` products and
+//! filters against the (read-only during the pass) hash table; the main
+//! thread then inserts the surviving candidates sequentially, which
+//! resolves duplicates discovered concurrently by different workers.
+//!
+//! Work is processed in bounded blocks so candidate buffers stay small and
+//! the "already known" filter stays fresh between blocks. The resulting
+//! *key sets and level counts* are identical to the serial search; the
+//! recorded boundary gate for a representative reachable through several
+//! minimal circuits may legitimately differ (any boundary gate of any
+//! minimal circuit is valid — the reconstruction tests accept all of them).
+
+use revsynth_canon::Symmetries;
+use revsynth_circuit::GateLib;
+use revsynth_perm::Perm;
+use revsynth_table::FnTable;
+
+use crate::info::{encode_stored, IDENTITY_BYTE};
+use crate::tables::SearchTables;
+
+/// Source representatives per block (each yields ≤ 2·|lib| candidates).
+const BLOCK: usize = 1 << 14;
+
+pub(crate) fn run(lib: GateLib, k: usize, threads: usize) -> SearchTables {
+    assert!(threads >= 1, "need at least one worker thread");
+    assert!(k <= 16, "k = {k} is far beyond any reachable optimal size");
+    if threads == 1 {
+        return crate::generate::run(lib, k);
+    }
+
+    let sym = Symmetries::new(lib.wires());
+    let mut table = FnTable::for_entries(SearchTables::estimated_total(&lib, k));
+    table.insert(Perm::identity(), IDENTITY_BYTE);
+    let mut levels: Vec<Vec<Perm>> = vec![vec![Perm::identity()]];
+
+    for i in 1..=k {
+        let mut level: Vec<Perm> = Vec::new();
+        let prev = std::mem::take(&mut levels[i - 1]);
+        for block in prev.chunks(BLOCK) {
+            let per_worker = block.len().div_ceil(threads);
+            let shards: Vec<Vec<(Perm, u8)>> = std::thread::scope(|scope| {
+                let table = &table;
+                let sym = &sym;
+                let lib = &lib;
+                let handles: Vec<_> = block
+                    .chunks(per_worker.max(1))
+                    .map(|sub| {
+                        scope.spawn(move || {
+                            let mut out: Vec<(Perm, u8)> = Vec::new();
+                            for &f in sub {
+                                collect(lib, sym, table, &mut out, f);
+                                let inv = f.inverse();
+                                if inv != f {
+                                    collect(lib, sym, table, &mut out, inv);
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread must not panic"))
+                    .collect()
+            });
+            for shard in shards {
+                for (rep, byte) in shard {
+                    if table.insert_if_absent(rep, byte) {
+                        level.push(rep);
+                    }
+                }
+            }
+        }
+        levels[i - 1] = prev;
+        level.sort_unstable();
+        levels.push(level);
+        if levels[i].is_empty() {
+            for _ in i + 1..=k {
+                levels.push(Vec::new());
+            }
+            break;
+        }
+    }
+
+    SearchTables {
+        lib,
+        sym,
+        k,
+        table,
+        levels,
+    }
+}
+
+#[inline]
+fn collect(
+    lib: &GateLib,
+    sym: &Symmetries,
+    table: &FnTable,
+    out: &mut Vec<(Perm, u8)>,
+    f: Perm,
+) {
+    for (_, gate, gate_perm) in lib.iter() {
+        let h = f.then(gate_perm);
+        let w = sym.canonicalize(h);
+        if table.contains(w.rep) {
+            continue;
+        }
+        let stored = gate.conjugate_by_wires(w.sigma);
+        out.push((w.rep, encode_stored(stored, w.inverted)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_key_sets() {
+        for n in [2usize, 3] {
+            let serial = SearchTables::generate(n, 4);
+            let parallel = SearchTables::generate_parallel(GateLib::nct(n), 4, 3);
+            assert_eq!(serial.k(), parallel.k());
+            for i in 0..=4usize {
+                assert_eq!(serial.level(i), parallel.level(i), "n={n} level {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_n4_matches_serial_counts() {
+        let serial = SearchTables::generate(4, 4);
+        let parallel = SearchTables::generate_parallel(GateLib::nct(4), 4, 2);
+        assert_eq!(serial.reduced_counts(), parallel.reduced_counts());
+        for i in 0..=4usize {
+            assert_eq!(serial.level(i), parallel.level(i), "level {i}");
+        }
+    }
+
+    #[test]
+    fn single_thread_delegates_to_serial() {
+        let a = SearchTables::generate_parallel(GateLib::nct(2), 6, 1);
+        let b = SearchTables::generate(2, 6);
+        assert_eq!(a.reduced_counts(), b.reduced_counts());
+    }
+
+    #[test]
+    fn parallel_records_are_valid_boundary_gates() {
+        use crate::info::StoredGate;
+        let t = SearchTables::generate_parallel(GateLib::nct(3), 5, 3);
+        for i in 1..=5usize {
+            for &rep in t.level(i).iter().step_by(11) {
+                match t.lookup(rep).expect("present") {
+                    StoredGate::Identity => panic!("identity record on level {i}"),
+                    StoredGate::Gate { gate, is_first } => {
+                        let g = gate.perm(3);
+                        let peeled = if is_first { g.then(rep) } else { rep.then(g) };
+                        assert_eq!(t.size_of(peeled), Some(i - 1));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Whole-space reference search, without symmetry reduction.
+//!
+//! For 2 and 3 wires the full function space (24 and 40,320 permutations)
+//! is small enough to explore directly. This module provides the oracle the
+//! test suite uses to validate the symmetry-reduced pipeline *exhaustively*:
+//! optimal sizes computed here must match [`SearchTables`] and the
+//! search-and-lookup synthesizer for every function.
+//!
+//! It is also how this repo recomputes the "optimal synthesis of all 3-bit
+//! reversible functions" that the paper cites from Shende et al. and uses
+//! for its Table 4 extrapolation.
+//!
+//! [`SearchTables`]: crate::SearchTables
+
+use std::collections::HashMap;
+
+use revsynth_circuit::GateLib;
+use revsynth_perm::Perm;
+
+/// Optimal size of every function reachable from the identity over `lib`,
+/// by plain breadth-first search with no symmetry reduction.
+///
+/// # Panics
+///
+/// Panics if `lib` acts on 4 wires (16! functions is far beyond
+/// enumeration; that is the entire point of the paper).
+#[must_use]
+pub fn full_space_sizes(lib: &GateLib) -> HashMap<Perm, usize> {
+    assert!(
+        lib.wires() <= 3,
+        "full-space enumeration is only feasible for n ≤ 3"
+    );
+    let mut sizes = HashMap::new();
+    sizes.insert(Perm::identity(), 0usize);
+    let mut frontier = vec![Perm::identity()];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &f in &frontier {
+            for (_, _, gate_perm) in lib.iter() {
+                let h = f.then(gate_perm);
+                if let std::collections::hash_map::Entry::Vacant(e) = sizes.entry(h) {
+                    e.insert(depth);
+                    next.push(h);
+                }
+            }
+        }
+        frontier = next;
+    }
+    sizes
+}
+
+/// Histogram of [`full_space_sizes`]: `result[s]` = number of functions of
+/// optimal size `s`.
+///
+/// # Panics
+///
+/// Panics if `lib` acts on 4 wires.
+#[must_use]
+pub fn full_space_counts(lib: &GateLib) -> Vec<u64> {
+    let sizes = full_space_sizes(lib);
+    let max = sizes.values().copied().max().unwrap_or(0);
+    let mut hist = vec![0u64; max + 1];
+    for &s in sizes.values() {
+        hist[s] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchTables;
+
+    #[test]
+    fn n2_reaches_all_24_functions() {
+        let lib = GateLib::nct(2);
+        let sizes = full_space_sizes(&lib);
+        assert_eq!(sizes.len(), 24, "NCT(2) generates the whole of S4");
+        assert_eq!(sizes[&Perm::identity()], 0);
+    }
+
+    #[test]
+    fn n3_reaches_all_40320_functions() {
+        let lib = GateLib::nct(3);
+        let counts = full_space_counts(&lib);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 40_320, "NCT(3) generates the whole of S8");
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 12);
+    }
+
+    #[test]
+    fn reduced_bfs_matches_full_space_exhaustively_n2() {
+        let lib = GateLib::nct(2);
+        let oracle = full_space_sizes(&lib);
+        let max = oracle.values().copied().max().unwrap();
+        let tables = SearchTables::generate(2, max);
+        for (&f, &size) in &oracle {
+            assert_eq!(tables.size_of(f), Some(size), "f = {f}");
+        }
+        // Counts agree per level.
+        let counts = tables.counts();
+        let full = full_space_counts(&lib);
+        for (i, &expected) in full.iter().enumerate() {
+            assert_eq!(counts[i].functions, expected, "level {i}");
+        }
+    }
+
+    #[test]
+    fn reduced_bfs_matches_full_space_counts_n3() {
+        let lib = GateLib::nct(3);
+        let full = full_space_counts(&lib);
+        let max = full.len() - 1;
+        let tables = SearchTables::generate(3, max);
+        let counts = tables.counts();
+        assert_eq!(counts.len(), full.len());
+        for (i, &expected) in full.iter().enumerate() {
+            assert_eq!(counts[i].functions, expected, "level {i}");
+        }
+        // Spot-check individual sizes across the whole space.
+        let oracle = full_space_sizes(&lib);
+        for (j, (&f, &size)) in oracle.iter().enumerate() {
+            if j % 97 == 0 {
+                assert_eq!(tables.size_of(f), Some(size), "f = {f}");
+            }
+        }
+    }
+}

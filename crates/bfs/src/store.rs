@@ -1,0 +1,380 @@
+//! Binary persistence of [`SearchTables`].
+//!
+//! The paper computes the k = 9 tables once (~3 h) and thereafter loads
+//! them from disk (§4.1: 1111 seconds to load 43 GB into RAM; §5 estimates
+//! ~5 minutes at modern transfer rates). This module gives the same
+//! workflow a self-describing, checksummed little-endian format:
+//!
+//! ```text
+//! magic   8 B  "RVSYNTB2"
+//! n       1 B  wire count (2..=4)
+//! k       1 B  search depth
+//! lib_len 2 B  number of gates in the library (LE)
+//! gates   lib_len B  (controls << 2) | target, bit 7 clear
+//! levels  for i in 0..=k:
+//!           count  8 B (LE)
+//!           keys   count × 8 B (LE, sorted ascending)
+//!           values count × 1 B
+//! fnv     8 B  FNV-1a of every preceding byte (LE)
+//! ```
+//!
+//! Loading validates everything it can cheaply validate: magic, header
+//! ranges, gate encodings, permutation keys, key ordering, value records,
+//! and the checksum. The hash table is rebuilt by reinsertion.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use revsynth_canon::Symmetries;
+use revsynth_circuit::{Gate, GateLib};
+use revsynth_perm::Perm;
+use revsynth_table::FnTable;
+
+use crate::info::{decode_stored, StoredGate, IDENTITY_BYTE};
+use crate::tables::SearchTables;
+
+const MAGIC: &[u8; 8] = b"RVSYNTB2";
+
+/// Error returned by [`SearchTables::load`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the format magic.
+    BadMagic,
+    /// A header field is out of range.
+    BadHeader(String),
+    /// The body is structurally invalid (bad gate, bad key, bad record…).
+    Corrupt(String),
+    /// The FNV-1a checksum does not match the content.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a revsynth table store (bad magic)"),
+            StoreError::BadHeader(msg) => write!(f, "invalid header: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupted store: {msg}"),
+            StoreError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Incremental FNV-1a 64-bit hasher (tiny, dependency-free; collisions are
+/// irrelevant here — the checksum only guards against torn/corrupted
+/// files, not adversaries).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+struct HashingWriter<W: Write> {
+    inner: W,
+    fnv: Fnv1a,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.fnv.update(bytes);
+        self.inner.write_all(bytes)
+    }
+    fn put_u64(&mut self, v: u64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+}
+
+struct HashingReader<R: Read> {
+    inner: R,
+    fnv: Fnv1a,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn take(&mut self, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.inner.read_exact(buf)?;
+        self.fnv.update(buf);
+        Ok(())
+    }
+    fn take_u64(&mut self) -> Result<u64, StoreError> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn take_u8(&mut self) -> Result<u8, StoreError> {
+        let mut b = [0u8; 1];
+        self.take(&mut b)?;
+        Ok(b[0])
+    }
+}
+
+pub(crate) fn save(tables: &SearchTables, path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = HashingWriter {
+        inner: BufWriter::new(file),
+        fnv: Fnv1a::new(),
+    };
+    w.put(MAGIC)?;
+    w.put(&[tables.lib.wires() as u8, tables.k as u8])?;
+    let lib_len = u16::try_from(tables.lib.len()).expect("library fits u16");
+    w.put(&lib_len.to_le_bytes())?;
+    for (_, gate, _) in tables.lib.iter() {
+        w.put(&[(gate.controls() << 2) | gate.target()])?;
+    }
+    for level in &tables.levels {
+        w.put_u64(level.len() as u64)?;
+        for &rep in level {
+            w.put_u64(rep.packed())?;
+        }
+        for &rep in level {
+            let byte = tables
+                .table
+                .get(rep)
+                .expect("every level member is in the table");
+            w.put(&[byte])?;
+        }
+    }
+    let checksum = w.fnv.finish();
+    w.inner.write_all(&checksum.to_le_bytes())?;
+    w.inner.flush()
+}
+
+pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
+    let file = File::open(path)?;
+    let mut r = HashingReader {
+        inner: BufReader::new(file),
+        fnv: Fnv1a::new(),
+    };
+    let mut magic = [0u8; 8];
+    r.take(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let n = usize::from(r.take_u8()?);
+    let k = usize::from(r.take_u8()?);
+    if !(2..=4).contains(&n) {
+        return Err(StoreError::BadHeader(format!("wire count {n}")));
+    }
+    if k > 16 {
+        return Err(StoreError::BadHeader(format!("depth k = {k}")));
+    }
+    let mut lib_len_bytes = [0u8; 2];
+    r.take(&mut lib_len_bytes)?;
+    let lib_len = usize::from(u16::from_le_bytes(lib_len_bytes));
+    if lib_len == 0 || lib_len > 127 {
+        return Err(StoreError::BadHeader(format!("library size {lib_len}")));
+    }
+    let mut gates = Vec::with_capacity(lib_len);
+    for i in 0..lib_len {
+        let byte = r.take_u8()?;
+        if byte & 0x80 != 0 {
+            return Err(StoreError::Corrupt(format!("gate byte {i} has bit 7 set")));
+        }
+        let gate = Gate::new((byte >> 2) & 0x0F, byte & 0x03)
+            .map_err(|e| StoreError::Corrupt(format!("gate byte {i}: {e}")))?;
+        if usize::from(gate.max_wire()) >= n {
+            return Err(StoreError::Corrupt(format!(
+                "gate {gate} touches a wire outside the {n}-wire domain"
+            )));
+        }
+        gates.push(gate);
+    }
+    let lib = GateLib::from_gates(n, &gates);
+    if lib.len() != lib_len {
+        return Err(StoreError::Corrupt("duplicate gates in library".into()));
+    }
+
+    let mut levels = Vec::with_capacity(k + 1);
+    let mut total = 0usize;
+    let mut pairs: Vec<(Vec<Perm>, Vec<u8>)> = Vec::with_capacity(k + 1);
+    for i in 0..=k {
+        let count = r.take_u64()?;
+        let count = usize::try_from(count)
+            .map_err(|_| StoreError::Corrupt(format!("level {i} count overflows")))?;
+        total = total
+            .checked_add(count)
+            .ok_or_else(|| StoreError::Corrupt("total count overflows".into()))?;
+        let mut keys = Vec::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for j in 0..count {
+            let packed = r.take_u64()?;
+            if let Some(p) = prev {
+                if packed <= p {
+                    return Err(StoreError::Corrupt(format!(
+                        "level {i} keys not strictly ascending at index {j}"
+                    )));
+                }
+            }
+            prev = Some(packed);
+            let perm = Perm::from_packed(packed)
+                .map_err(|e| StoreError::Corrupt(format!("level {i} key {j}: {e}")))?;
+            keys.push(perm);
+        }
+        let mut values = vec![0u8; count];
+        if count > 0 {
+            r.take(&mut values)?;
+        }
+        for (j, &byte) in values.iter().enumerate() {
+            match decode_stored(byte) {
+                Some(StoredGate::Identity) if i == 0 => {}
+                Some(StoredGate::Gate { .. }) if i > 0 => {}
+                _ => {
+                    return Err(StoreError::Corrupt(format!(
+                        "level {i} value {j} (byte {byte:#04x}) is invalid for this level"
+                    )))
+                }
+            }
+        }
+        pairs.push((keys, values));
+    }
+    if pairs[0].0 != [Perm::identity()] || pairs[0].1 != [IDENTITY_BYTE] {
+        return Err(StoreError::Corrupt("level 0 must be exactly the identity".into()));
+    }
+
+    let computed = r.fnv.finish();
+    let mut checksum_bytes = [0u8; 8];
+    r.inner.read_exact(&mut checksum_bytes)?;
+    if u64::from_le_bytes(checksum_bytes) != computed {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    let mut trailing = [0u8; 1];
+    if r.inner.read(&mut trailing)? != 0 {
+        return Err(StoreError::Corrupt("trailing bytes after checksum".into()));
+    }
+
+    let mut table = FnTable::for_entries(total);
+    for (keys, values) in &pairs {
+        for (&key, &value) in keys.iter().zip(values) {
+            if !table.insert_if_absent(key, value) {
+                return Err(StoreError::Corrupt(format!(
+                    "duplicate representative {key} across levels"
+                )));
+            }
+        }
+    }
+    for (keys, _) in pairs {
+        levels.push(keys);
+    }
+
+    Ok(SearchTables {
+        sym: Symmetries::new(n),
+        lib,
+        k,
+        table,
+        levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("revsynth-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let tables = SearchTables::generate(3, 4);
+        let path = temp_path("roundtrip");
+        tables.save(&path).unwrap();
+        let loaded = SearchTables::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.wires(), 3);
+        assert_eq!(loaded.k(), 4);
+        assert_eq!(loaded.lib().len(), tables.lib().len());
+        for i in 0..=4usize {
+            assert_eq!(loaded.level(i), tables.level(i), "level {i}");
+        }
+        // Values survive too.
+        for i in 0..=4usize {
+            for &rep in loaded.level(i) {
+                assert_eq!(loaded.lookup(rep), tables.lookup(rep));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTATABLESTORE__").unwrap();
+        let err = SearchTables::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, StoreError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let tables = SearchTables::generate(2, 3);
+        let path = temp_path("trunc");
+        tables.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let err = SearchTables::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, StoreError::Io(_) | StoreError::Corrupt(_)),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bitflip() {
+        let tables = SearchTables::generate(2, 4);
+        let path = temp_path("bitflip");
+        tables.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = SearchTables::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        // Either the structural validation or the checksum catches it.
+        assert!(
+            matches!(
+                err,
+                StoreError::Corrupt(_) | StoreError::ChecksumMismatch | StoreError::BadHeader(_)
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = SearchTables::load(temp_path("nonexistent")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,239 @@
+//! The product of the breadth-first search: hash table + per-size lists.
+
+use std::fmt;
+use std::path::Path;
+
+use revsynth_canon::Symmetries;
+use revsynth_circuit::GateLib;
+use revsynth_perm::Perm;
+use revsynth_table::{FnTable, TableStats};
+
+use crate::counts::LevelCount;
+use crate::info::{decode_stored, StoredGate};
+use crate::store::StoreError;
+
+/// Known reduced (per-class) counts for the 4-wire NCT library, paper
+/// Table 4 — used to pre-size the hash table. Indices are sizes 0..=9.
+pub(crate) const N4_REDUCED_COUNTS: [u64; 10] = [
+    1,
+    4,
+    33,
+    425,
+    6_538,
+    101_983,
+    1_482_686,
+    19_466_575,
+    225_242_556,
+    2_208_511_226,
+];
+
+/// The precomputed optimal-circuit data for all functions of size ≤ k
+/// (paper Algorithm 2's output: hash table `H` and lists `A_i`).
+///
+/// Build with [`SearchTables::generate`] (serial) or
+/// [`SearchTables::generate_parallel`], persist with
+/// [`save`](SearchTables::save)/[`load`](SearchTables::load) (the paper
+/// computes once and re-loads in later runs).
+pub struct SearchTables {
+    pub(crate) lib: GateLib,
+    pub(crate) sym: Symmetries,
+    pub(crate) k: usize,
+    pub(crate) table: FnTable,
+    /// `levels[i]` = sorted canonical representatives of size exactly `i`.
+    pub(crate) levels: Vec<Vec<Perm>>,
+}
+
+impl SearchTables {
+    /// Runs the breadth-first search over the full NCT library on `n`
+    /// wires, up to size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4, or if `k > 16`.
+    #[must_use]
+    pub fn generate(n: usize, k: usize) -> Self {
+        Self::generate_with(GateLib::nct(n), k)
+    }
+
+    /// Runs the breadth-first search over a custom gate library.
+    ///
+    /// For libraries **closed under wire relabeling**
+    /// ([`GateLib::is_relabeling_closed`]) the computed sizes and circuits
+    /// are exact optima. For non-closed libraries (e.g.
+    /// [`GateLib::nearest_neighbor`]) the ×48 class reduction conflates
+    /// relabeled variants, so results are optimal *up to simultaneous
+    /// input/output relabeling* (the regime the paper's §5 calls trivial
+    /// for restricted architectures), and reconstructed circuits may use
+    /// gates from the library's [`relabeling closure`]
+    /// (GateLib::relabeling_closure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 16` (no 4-bit function needs anywhere near 16 gates;
+    /// larger k is certainly a bug).
+    #[must_use]
+    pub fn generate_with(lib: GateLib, k: usize) -> Self {
+        crate::generate::run(lib, k)
+    }
+
+    /// Parallel variant of [`generate_with`](Self::generate_with) using
+    /// `threads` worker threads (crossbeam scoped threads; the result is
+    /// identical up to which of several equally-minimal boundary gates is
+    /// recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `k > 16`.
+    #[must_use]
+    pub fn generate_parallel(lib: GateLib, k: usize, threads: usize) -> Self {
+        crate::parallel::run(lib, k, threads)
+    }
+
+    /// The wire count.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.lib.wires()
+    }
+
+    /// The depth of the search: representatives of size ≤ k are stored.
+    #[must_use]
+    pub const fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The gate library the search ran over.
+    #[must_use]
+    pub fn lib(&self) -> &GateLib {
+        &self.lib
+    }
+
+    /// The symmetry context (shared with callers so they canonicalize with
+    /// the same walk).
+    #[must_use]
+    pub fn sym(&self) -> &Symmetries {
+        &self.sym
+    }
+
+    /// Whether `rep` (must already be canonical) has size ≤ k.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, rep: Perm) -> bool {
+        self.table.contains(rep)
+    }
+
+    /// The stored boundary-gate record for a canonical representative of
+    /// size ≤ k, or `None` if the representative is not in the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored byte is malformed (impossible unless the value
+    /// was corrupted after [`load`](Self::load) verification).
+    #[must_use]
+    pub fn lookup(&self, rep: Perm) -> Option<StoredGate> {
+        self.table
+            .get(rep)
+            .map(|byte| decode_stored(byte).expect("table holds only valid gate records"))
+    }
+
+    /// The sorted canonical representatives of size exactly `i`
+    /// (the paper's reduced list `A_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > k`.
+    #[must_use]
+    pub fn level(&self, i: usize) -> &[Perm] {
+        &self.levels[i]
+    }
+
+    /// All levels, `levels()[i]` being the size-`i` representatives.
+    #[must_use]
+    pub fn levels(&self) -> &[Vec<Perm>] {
+        &self.levels
+    }
+
+    /// Total number of stored representatives (all sizes).
+    #[must_use]
+    pub fn num_representatives(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// The optimal size of `f`, if it is ≤ k. Accepts any function (not
+    /// just canonical representatives).
+    #[must_use]
+    pub fn size_of(&self, f: Perm) -> Option<usize> {
+        let rep = self.sym.canonical(f);
+        if !self.table.contains(rep) {
+            return None;
+        }
+        (0..=self.k).find(|&i| self.levels[i].binary_search(&rep).is_ok())
+    }
+
+    /// Statistics of the underlying hash table (paper Table 2).
+    #[must_use]
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Exact per-size counts: reduced (classes) and full (functions),
+    /// the paper's Table 4. Computing full counts enumerates every class
+    /// once (≤ 48 conjugations per representative).
+    #[must_use]
+    pub fn counts(&self) -> Vec<LevelCount> {
+        crate::counts::exact_counts(self)
+    }
+
+    /// Reduced-only per-size counts (no class-size enumeration; free).
+    #[must_use]
+    pub fn reduced_counts(&self) -> Vec<u64> {
+        self.levels.iter().map(|l| l.len() as u64).collect()
+    }
+
+    /// Serializes to `path` (self-describing binary format with an FNV-1a
+    /// checksum; see the `store` module).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        crate::store::save(self, path.as_ref())
+    }
+
+    /// Loads tables previously written by [`save`](Self::save), rebuilding
+    /// the hash table (the paper's "load previously computed optimal
+    /// circuits into RAM" step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure, malformed or corrupted files,
+    /// or checksum mismatch.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        crate::store::load(path.as_ref())
+    }
+
+    /// Pre-sizing hint: expected total representative count for the
+    /// standard 4-wire library, or a growth-friendly default otherwise.
+    pub(crate) fn estimated_total(lib: &GateLib, k: usize) -> usize {
+        if lib.wires() == 4 && lib.len() == 32 {
+            N4_REDUCED_COUNTS
+                .iter()
+                .take(k + 1)
+                .sum::<u64>()
+                .min(usize::MAX as u64) as usize
+        } else {
+            1 << 12
+        }
+    }
+}
+
+impl fmt::Debug for SearchTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SearchTables(n={}, k={}, {} classes)",
+            self.lib.wires(),
+            self.k,
+            self.num_representatives()
+        )
+    }
+}

@@ -1,0 +1,161 @@
+//! Aggregate statistics over equivalence classes.
+
+use std::fmt;
+
+use revsynth_perm::Perm;
+
+use crate::symmetries::Symmetries;
+
+/// Accumulates equivalence-class size statistics.
+///
+/// The paper observes that "a vast majority of functions have 48 distinct
+/// equivalent functions"; this accumulator quantifies that claim for any
+/// set of class representatives, and converts **reduced** (per-class)
+/// counts into **full** (per-function) counts — the relationship between
+/// the two columns of the paper's Table 4.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_canon::{ClassStats, Symmetries};
+/// use revsynth_perm::Perm;
+///
+/// let sym = Symmetries::new(4);
+/// let mut stats = ClassStats::new();
+/// stats.record(&sym, Perm::identity());
+/// assert_eq!(stats.classes(), 1);
+/// assert_eq!(stats.functions(), 1); // identity is alone in its class
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// `histogram[s]` = number of classes with exactly `s` members
+    /// (index 0 unused).
+    histogram: Vec<u64>,
+    classes: u64,
+    functions: u64,
+}
+
+impl ClassStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        ClassStats {
+            histogram: vec![0; 49],
+            classes: 0,
+            functions: 0,
+        }
+    }
+
+    /// Records the class of `rep` (any member works; the class size is
+    /// computed through `sym`).
+    pub fn record(&mut self, sym: &Symmetries, rep: Perm) {
+        self.record_size(sym.class_size(rep));
+    }
+
+    /// Records a class whose size is already known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds 48.
+    pub fn record_size(&mut self, size: usize) {
+        assert!((1..=48).contains(&size), "impossible class size {size}");
+        self.histogram[size] += 1;
+        self.classes += 1;
+        self.functions += size as u64;
+    }
+
+    /// Number of classes recorded (the paper's "reduced functions" count).
+    #[must_use]
+    pub fn classes(&self) -> u64 {
+        self.classes
+    }
+
+    /// Total number of functions covered (the paper's "functions" count):
+    /// the sum of class sizes.
+    #[must_use]
+    pub fn functions(&self) -> u64 {
+        self.functions
+    }
+
+    /// Number of classes of exactly `size` members.
+    #[must_use]
+    pub fn classes_of_size(&self, size: usize) -> u64 {
+        self.histogram.get(size).copied().unwrap_or(0)
+    }
+
+    /// Fraction of classes that reach the maximal size (`2·n!`); the
+    /// paper's "vast majority" observation.
+    #[must_use]
+    pub fn full_class_fraction(&self, sym: &Symmetries) -> f64 {
+        if self.classes == 0 {
+            return 0.0;
+        }
+        self.classes_of_size(sym.max_class_size()) as f64 / self.classes as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        for (size, &count) in other.histogram.iter().enumerate() {
+            if count > 0 {
+                self.histogram[size] += count;
+            }
+        }
+        self.classes += other.classes;
+        self.functions += other.functions;
+    }
+}
+
+impl fmt::Debug for ClassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ClassStats({} classes, {} functions)",
+            self.classes, self.functions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_circuit::GateLib;
+
+    #[test]
+    fn gate_level_counts_match_table4_row1() {
+        // The 32 gates fall into 4 classes totalling 32 functions — the
+        // size-1 row of the paper's Table 4 (32 functions, 4 reduced).
+        let sym = Symmetries::new(4);
+        let lib = GateLib::nct(4);
+        let mut reps = std::collections::HashSet::new();
+        for (_, _, p) in lib.iter() {
+            reps.insert(sym.canonical(p));
+        }
+        let mut stats = ClassStats::new();
+        for &rep in &reps {
+            stats.record(&sym, rep);
+        }
+        assert_eq!(stats.classes(), 4);
+        assert_eq!(stats.functions(), 32);
+        assert_eq!(stats.classes_of_size(4), 2); // NOT, TOF4
+        assert_eq!(stats.classes_of_size(12), 2); // CNOT, TOF
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ClassStats::new();
+        a.record_size(48);
+        a.record_size(4);
+        let mut b = ClassStats::new();
+        b.record_size(48);
+        b.merge(&a);
+        assert_eq!(b.classes(), 3);
+        assert_eq!(b.functions(), 100);
+        assert_eq!(b.classes_of_size(48), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible class size")]
+    fn rejects_zero_size() {
+        ClassStats::new().record_size(0);
+    }
+}

@@ -1,0 +1,453 @@
+//! The plain-changes canonicalization walk.
+
+use std::fmt;
+
+use revsynth_circuit::Gate;
+use revsynth_perm::{Perm, WirePerm};
+
+/// Index into `TRANSPOSITION_MASKS` for the adjacent pair `(w, w+1)`.
+const ADJACENT_MASK_INDEX: [usize; 3] = [0, 3, 5]; // (0,1), (1,2), (2,3)
+
+/// Precomputed symmetry data for an `n`-wire domain: the transposition walk
+/// that visits all `n!` wire relabelings, and the prefix relabelings needed
+/// to reconstruct witnesses.
+///
+/// Construction is cheap (a tiny backtracking search over at most 24
+/// nodes); build once and share.
+#[derive(Clone)]
+pub struct Symmetries {
+    n: usize,
+    /// Mask index (into `TRANSPOSITION_MASKS`) per walk step.
+    walk: Vec<usize>,
+    /// `prefixes[i]` = composite relabeling after `i` steps (`prefixes[0]`
+    /// is the identity); length `walk.len() + 1 == n!`.
+    prefixes: Vec<WirePerm>,
+}
+
+/// The result of [`Symmetries::canonicalize`]: the canonical representative
+/// together with a witness of how the input maps onto it.
+///
+/// Contract: `rep == (if inverted { f.inverse() } else { f })
+/// .conjugate_by_wires(sigma)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canonicalized {
+    /// The canonical (packed-word-minimal) member of the class.
+    pub rep: Perm,
+    /// Whether the representative was reached from `f⁻¹` rather than `f`.
+    pub inverted: bool,
+    /// The wire relabeling carrying `f` (or `f⁻¹`) onto `rep`.
+    pub sigma: WirePerm,
+}
+
+impl Symmetries {
+    /// Builds the symmetry context for `n` wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((2..=4).contains(&n), "unsupported wire count {n}");
+        let (walk_pairs, prefixes) = find_walk(n);
+        let walk = walk_pairs
+            .iter()
+            .map(|&w| ADJACENT_MASK_INDEX[usize::from(w)])
+            .collect();
+        Symmetries { n, walk, prefixes }
+    }
+
+    /// The wire count.
+    #[inline]
+    #[must_use]
+    pub const fn wires(&self) -> usize {
+        self.n
+    }
+
+    /// Number of wire relabelings (`n!`).
+    #[inline]
+    #[must_use]
+    pub fn num_relabelings(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Maximum possible equivalence-class size, `2 · n!`.
+    #[inline]
+    #[must_use]
+    pub fn max_class_size(&self) -> usize {
+        2 * self.prefixes.len()
+    }
+
+    /// The canonical representative of the equivalence class of `f`: the
+    /// packed-word-minimal function among the `≤ 2·n!` conjugates of `f`
+    /// and `f⁻¹`.
+    ///
+    /// This is the hot kernel of the whole pipeline (the paper counts ~750
+    /// machine instructions: one inversion, 46 conjugations-by-transposition
+    /// and 47 word comparisons for n = 4).
+    #[inline]
+    #[must_use]
+    pub fn canonical(&self, f: Perm) -> Perm {
+        let mut best = f;
+        let mut cur = f;
+        for &idx in &self.walk {
+            cur = cur.conjugate_swap_indexed(idx);
+            if cur < best {
+                best = cur;
+            }
+        }
+        let inv = f.inverse();
+        if inv < best {
+            best = inv;
+        }
+        let mut cur = inv;
+        for &idx in &self.walk {
+            cur = cur.conjugate_swap_indexed(idx);
+            if cur < best {
+                best = cur;
+            }
+        }
+        best
+    }
+
+    /// Like [`canonical`](Self::canonical) but also returns the witness
+    /// (which relabeling, and whether inversion was used) needed to map
+    /// gates between `f`'s frame and the representative's frame.
+    #[must_use]
+    pub fn canonicalize(&self, f: Perm) -> Canonicalized {
+        let mut best = f;
+        let mut best_step = 0usize;
+        let mut best_inverted = false;
+
+        let mut cur = f;
+        for (step, &idx) in self.walk.iter().enumerate() {
+            cur = cur.conjugate_swap_indexed(idx);
+            if cur < best {
+                best = cur;
+                best_step = step + 1;
+            }
+        }
+        let inv = f.inverse();
+        if inv < best {
+            best = inv;
+            best_step = 0;
+            best_inverted = true;
+        }
+        let mut cur = inv;
+        for (step, &idx) in self.walk.iter().enumerate() {
+            cur = cur.conjugate_swap_indexed(idx);
+            if cur < best {
+                best = cur;
+                best_step = step + 1;
+                best_inverted = true;
+            }
+        }
+        Canonicalized {
+            rep: best,
+            inverted: best_inverted,
+            sigma: self.prefixes[best_step],
+        }
+    }
+
+    /// Whether `f` is the canonical representative of its class.
+    #[must_use]
+    pub fn is_canonical(&self, f: Perm) -> bool {
+        self.canonical(f) == f
+    }
+
+    /// Reference implementation of [`canonical`](Self::canonical): apply
+    /// every relabeling to `f` and `f⁻¹` from scratch via
+    /// [`Perm::conjugate_by_wires`] and take the minimum.
+    ///
+    /// Exists to validate (tests) and quantify (the `ablation` Criterion
+    /// bench) the paper's incremental plain-changes walk, which replaces
+    /// each full conjugation with a single 14-instruction transposition
+    /// step.
+    #[must_use]
+    pub fn canonical_naive(&self, f: Perm) -> Perm {
+        let inv = f.inverse();
+        self.prefixes
+            .iter()
+            .flat_map(|&sigma| {
+                [f.conjugate_by_wires(sigma), inv.conjugate_by_wires(sigma)]
+            })
+            .min()
+            .expect("at least the identity relabeling exists")
+    }
+
+    /// Maps a gate from the frame of `f` into the frame of the
+    /// representative produced by [`canonicalize`](Self::canonicalize)
+    /// (i.e. relabels its wires by the witness `σ`).
+    #[must_use]
+    pub fn gate_to_rep(&self, witness: &Canonicalized, gate: Gate) -> Gate {
+        gate.conjugate_by_wires(witness.sigma)
+    }
+
+    /// Maps a gate from the representative's frame back into `f`'s frame.
+    #[must_use]
+    pub fn gate_from_rep(&self, witness: &Canonicalized, gate: Gate) -> Gate {
+        gate.conjugate_by_wires(witness.sigma.inverse())
+    }
+
+    /// All wire relabelings of the walk (prefix composites), starting with
+    /// the identity; exactly `n!` entries, all distinct.
+    #[must_use]
+    pub fn relabelings(&self) -> &[WirePerm] {
+        &self.prefixes
+    }
+
+    /// Visits every member of the equivalence class of `f`, with
+    /// duplicates when the class has fewer than `2·n!` distinct members.
+    /// Use [`class_members_into`](Self::class_members_into) for a deduped
+    /// list.
+    pub fn for_each_candidate<F: FnMut(Perm)>(&self, f: Perm, mut visit: F) {
+        let mut cur = f;
+        visit(cur);
+        for &idx in &self.walk {
+            cur = cur.conjugate_swap_indexed(idx);
+            visit(cur);
+        }
+        let inv = f.inverse();
+        let mut cur = inv;
+        visit(cur);
+        for &idx in &self.walk {
+            cur = cur.conjugate_swap_indexed(idx);
+            visit(cur);
+        }
+    }
+
+    /// Writes the distinct members of the equivalence class of `f` into
+    /// `buf` (cleared first), sorted ascending. The buffer is reusable
+    /// across calls to avoid allocation in hot loops.
+    pub fn class_members_into(&self, f: Perm, buf: &mut Vec<Perm>) {
+        buf.clear();
+        self.for_each_candidate(f, |p| buf.push(p));
+        buf.sort_unstable();
+        buf.dedup();
+    }
+
+    /// The distinct members of the equivalence class of `f`, sorted.
+    #[must_use]
+    pub fn class_members(&self, f: Perm) -> Vec<Perm> {
+        let mut buf = Vec::with_capacity(self.max_class_size());
+        self.class_members_into(f, &mut buf);
+        buf
+    }
+
+    /// Number of distinct members in the equivalence class of `f`
+    /// (the paper observes this is `2·4! = 48` for the vast majority of
+    /// 4-bit functions).
+    #[must_use]
+    pub fn class_size(&self, f: Perm) -> usize {
+        let mut buf = Vec::with_capacity(self.max_class_size());
+        self.class_members_into(f, &mut buf);
+        buf.len()
+    }
+}
+
+impl fmt::Debug for Symmetries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Symmetries({} wires, {} relabelings, {}-step walk)",
+            self.n,
+            self.prefixes.len(),
+            self.walk.len()
+        )
+    }
+}
+
+/// Finds a plain-changes walk: a sequence of adjacent transpositions
+/// `(w, w+1)` (with `w + 1 < n`) whose prefix products visit every
+/// relabeling of wires `0..n` exactly once, starting from the identity.
+///
+/// Returns `(steps, prefixes)` with `prefixes.len() == steps.len() + 1`.
+/// Existence is guaranteed by the Steinhaus–Johnson–Trotter construction;
+/// a tiny backtracking search over at most 24 nodes finds one directly.
+fn find_walk(n: usize) -> (Vec<u8>, Vec<WirePerm>) {
+    let target: Vec<WirePerm> = WirePerm::all()
+        .into_iter()
+        .filter(|w| w.fixes_wires_from(n))
+        .collect();
+    let total = target.len(); // n!
+    let gens: Vec<(u8, WirePerm)> = (0..n as u8 - 1)
+        .map(|w| (w, WirePerm::transposition(w, w + 1)))
+        .collect();
+
+    let mut steps = Vec::with_capacity(total - 1);
+    let mut prefixes = vec![WirePerm::identity()];
+    let mut visited = std::collections::HashSet::with_capacity(total);
+    visited.insert(WirePerm::identity());
+    let found = dfs(&gens, total, &mut steps, &mut prefixes, &mut visited);
+    assert!(found, "plain-changes walk must exist for n = {n}");
+    (steps, prefixes)
+}
+
+fn dfs(
+    gens: &[(u8, WirePerm)],
+    total: usize,
+    steps: &mut Vec<u8>,
+    prefixes: &mut Vec<WirePerm>,
+    visited: &mut std::collections::HashSet<WirePerm>,
+) -> bool {
+    if prefixes.len() == total {
+        return true;
+    }
+    let cur = *prefixes.last().expect("prefixes starts non-empty");
+    for &(w, tau) in gens {
+        let next = cur.then(tau);
+        if visited.insert(next) {
+            steps.push(w);
+            prefixes.push(next);
+            if dfs(gens, total, steps, prefixes, visited) {
+                return true;
+            }
+            steps.pop();
+            prefixes.pop();
+            visited.remove(&next);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_circuit::GateLib;
+
+    #[test]
+    fn walk_visits_all_relabelings() {
+        for n in 2..=4usize {
+            let sym = Symmetries::new(n);
+            let expected: usize = (1..=n).product();
+            assert_eq!(sym.num_relabelings(), expected, "n={n}");
+            let set: std::collections::HashSet<_> = sym.relabelings().iter().copied().collect();
+            assert_eq!(set.len(), expected);
+            assert!(sym
+                .relabelings()
+                .iter()
+                .all(|s| s.fixes_wires_from(n)));
+        }
+    }
+
+    #[test]
+    fn walk_prefixes_match_conjugation_chain() {
+        // Chaining conjugate_swap along the walk must equal conjugating by
+        // the recorded prefix relabeling at every step.
+        let sym = Symmetries::new(4);
+        let f = Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap();
+        let mut cur = f;
+        assert_eq!(cur, f.conjugate_by_wires(sym.prefixes[0]));
+        for (i, &idx) in sym.walk.iter().enumerate() {
+            cur = cur.conjugate_swap_indexed(idx);
+            assert_eq!(cur, f.conjugate_by_wires(sym.prefixes[i + 1]), "step {i}");
+        }
+    }
+
+    #[test]
+    fn canonical_is_class_invariant() {
+        let sym = Symmetries::new(4);
+        let f = Perm::from_values(&[1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15]).unwrap();
+        let rep = sym.canonical(f);
+        for member in sym.class_members(f) {
+            assert_eq!(sym.canonical(member), rep, "member {member}");
+        }
+        assert_eq!(sym.canonical(f.inverse()), rep);
+    }
+
+    #[test]
+    fn canonical_is_minimum_of_class() {
+        let sym = Symmetries::new(4);
+        for f in [
+            Perm::identity(),
+            Perm::from_values(&[0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5]).unwrap(),
+            Perm::from_values(&[2, 3, 5, 7, 11, 13, 0, 1, 4, 6, 8, 9, 10, 12, 14, 15]).unwrap(),
+        ] {
+            let members = sym.class_members(f);
+            assert_eq!(sym.canonical(f), members[0], "min of sorted member list");
+            assert!(sym.is_canonical(members[0]));
+        }
+    }
+
+    #[test]
+    fn canonicalize_witness_is_sound() {
+        let sym = Symmetries::new(4);
+        for f in [
+            Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap(),
+            Perm::from_values(&[6, 0, 12, 15, 7, 1, 5, 2, 4, 10, 13, 3, 11, 8, 14, 9]).unwrap(),
+            Perm::identity(),
+        ] {
+            let w = sym.canonicalize(f);
+            let base = if w.inverted { f.inverse() } else { f };
+            assert_eq!(base.conjugate_by_wires(w.sigma), w.rep);
+            assert_eq!(w.rep, sym.canonical(f));
+        }
+    }
+
+    #[test]
+    fn gate_mapping_roundtrips() {
+        let sym = Symmetries::new(4);
+        let f = Perm::from_values(&[9, 0, 2, 15, 11, 6, 7, 8, 14, 3, 4, 13, 5, 1, 12, 10]).unwrap();
+        let w = sym.canonicalize(f);
+        for (_, g, _) in GateLib::nct(4).iter() {
+            let there = sym.gate_to_rep(&w, g);
+            let back = sym.gate_from_rep(&w, there);
+            assert_eq!(back, g);
+            // Gate mapping must commute with perm conjugation.
+            assert_eq!(there.perm(4), g.perm(4).conjugate_by_wires(w.sigma));
+        }
+    }
+
+    #[test]
+    fn gate_class_sizes_match_paper() {
+        // Paper §3.2: NOT's class has 4 members; Table 4 row 1 says the 32
+        // gates form 4 classes (NOT, CNOT, TOF, TOF4).
+        let sym = Symmetries::new(4);
+        let lib = GateLib::nct(4);
+        let mut reps = std::collections::HashSet::new();
+        for (_, g, p) in lib.iter() {
+            let expected = match g.num_controls() {
+                0 | 3 => 4,
+                _ => 12,
+            };
+            assert_eq!(sym.class_size(p), expected, "{g}");
+            reps.insert(sym.canonical(p));
+        }
+        assert_eq!(reps.len(), 4);
+    }
+
+    #[test]
+    fn identity_class_is_trivial() {
+        for n in 2..=4usize {
+            let sym = Symmetries::new(n);
+            assert_eq!(sym.class_size(Perm::identity()), 1);
+            assert!(sym.is_canonical(Perm::identity()));
+        }
+    }
+
+    #[test]
+    fn small_domain_classes_stay_in_domain() {
+        let sym = Symmetries::new(3);
+        let lib = GateLib::nct(3);
+        for (_, _, p) in lib.iter() {
+            for member in sym.class_members(p) {
+                for x in 8..16u8 {
+                    assert_eq!(member.apply(x), x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_size_divides_max() {
+        // Orbit sizes under a group action divide the group order 2·n!.
+        let sym = Symmetries::new(4);
+        for f in [
+            Perm::identity(),
+            Perm::from_values(&[1, 0, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]).unwrap(),
+            Perm::from_values(&[0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5]).unwrap(),
+        ] {
+            let size = sym.class_size(f);
+            assert_eq!(sym.max_class_size() % size, 0, "class size {size}");
+        }
+    }
+}

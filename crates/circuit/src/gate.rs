@@ -1,0 +1,569 @@
+//! Multiple-control Toffoli gates.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use revsynth_perm::{Perm, WirePerm};
+
+/// A multiple-control Toffoli (MCT) gate: the target wire is inverted when
+/// every control wire carries 1.
+///
+/// The paper's four gate kinds are the arities 0–3 of this one family:
+/// NOT (no controls), CNOT (one), TOF (two), TOF4 (three).
+///
+/// Gates are involutions (`g ∘ g = id`), which the synthesis algorithms
+/// exploit: reversing a circuit inverts its function without changing any
+/// gate.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::Gate;
+///
+/// let tof = Gate::toffoli(0, 1, 3)?; // TOF(a,b,d)
+/// assert_eq!(tof.to_string(), "TOF(a,b,d)");
+/// assert_eq!(tof.apply(0b0011), 0b1011); // both controls set: flip d
+/// assert_eq!(tof.apply(0b0001), 0b0001); // control b clear: no-op
+/// # Ok::<(), revsynth_circuit::InvalidGateError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gate {
+    controls: u8,
+    target: u8,
+}
+
+/// Error returned when constructing a malformed gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidGateError {
+    /// The target wire index is 4 or more.
+    TargetOutOfRange(u8),
+    /// A control wire index is 4 or more.
+    ControlOutOfRange,
+    /// The target wire is also listed as a control.
+    TargetIsControl(u8),
+    /// The same wire is listed as a control twice.
+    DuplicateControl(u8),
+}
+
+impl fmt::Display for InvalidGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidGateError::TargetOutOfRange(t) => write!(f, "target wire {t} is not below 4"),
+            InvalidGateError::ControlOutOfRange => write!(f, "control wire is not below 4"),
+            InvalidGateError::TargetIsControl(t) => {
+                write!(f, "target wire {t} also appears as a control")
+            }
+            InvalidGateError::DuplicateControl(c) => {
+                write!(f, "control wire {c} is listed twice")
+            }
+        }
+    }
+}
+
+impl Error for InvalidGateError {}
+
+impl Gate {
+    /// Builds a gate from a control bitmask and a target wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGateError`] if the target is out of range, a control
+    /// bit is out of range, or the target bit is set in the mask.
+    pub fn new(controls: u8, target: u8) -> Result<Self, InvalidGateError> {
+        if target >= 4 {
+            return Err(InvalidGateError::TargetOutOfRange(target));
+        }
+        if controls & !0b1111 != 0 {
+            return Err(InvalidGateError::ControlOutOfRange);
+        }
+        if controls & (1 << target) != 0 {
+            return Err(InvalidGateError::TargetIsControl(target));
+        }
+        Ok(Gate { controls, target })
+    }
+
+    /// A NOT gate on `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `target >= 4`.
+    pub fn not(target: u8) -> Result<Self, InvalidGateError> {
+        Gate::new(0, target)
+    }
+
+    /// A CNOT gate: `CNOT(control, target)`, flipping `target` when
+    /// `control` is set (the paper's argument order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a wire is out of range or `control == target`.
+    pub fn cnot(control: u8, target: u8) -> Result<Self, InvalidGateError> {
+        if control >= 4 {
+            return Err(InvalidGateError::ControlOutOfRange);
+        }
+        Gate::new(1 << control, target)
+    }
+
+    /// A Toffoli gate `TOF(c1, c2, target)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if wires repeat or are out of range.
+    pub fn toffoli(c1: u8, c2: u8, target: u8) -> Result<Self, InvalidGateError> {
+        if c1 >= 4 || c2 >= 4 {
+            return Err(InvalidGateError::ControlOutOfRange);
+        }
+        if c1 == c2 {
+            return Err(InvalidGateError::DuplicateControl(c1));
+        }
+        Gate::new((1 << c1) | (1 << c2), target)
+    }
+
+    /// A Toffoli-4 gate `TOF4(c1, c2, c3, target)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if wires repeat or are out of range.
+    pub fn toffoli4(c1: u8, c2: u8, c3: u8, target: u8) -> Result<Self, InvalidGateError> {
+        if c1 >= 4 || c2 >= 4 || c3 >= 4 {
+            return Err(InvalidGateError::ControlOutOfRange);
+        }
+        if c1 == c2 || c1 == c3 {
+            return Err(InvalidGateError::DuplicateControl(c1));
+        }
+        if c2 == c3 {
+            return Err(InvalidGateError::DuplicateControl(c2));
+        }
+        Gate::new((1 << c1) | (1 << c2) | (1 << c3), target)
+    }
+
+    /// The control wires as a bitmask (bit `w` set ⇔ wire `w` controls).
+    #[inline]
+    #[must_use]
+    pub const fn controls(self) -> u8 {
+        self.controls
+    }
+
+    /// The target wire.
+    #[inline]
+    #[must_use]
+    pub const fn target(self) -> u8 {
+        self.target
+    }
+
+    /// Number of control wires (0 for NOT, …, 3 for TOF4).
+    #[inline]
+    #[must_use]
+    pub const fn num_controls(self) -> u32 {
+        self.controls.count_ones()
+    }
+
+    /// All wires the gate touches (controls and target), as a bitmask.
+    #[inline]
+    #[must_use]
+    pub const fn wires(self) -> u8 {
+        self.controls | (1 << self.target)
+    }
+
+    /// The highest wire index the gate touches.
+    #[must_use]
+    pub fn max_wire(self) -> u8 {
+        7 - u8::try_from(self.wires().leading_zeros()).expect("wires() is nonzero")
+    }
+
+    /// Applies the gate to one state index.
+    #[inline]
+    #[must_use]
+    pub const fn apply(self, x: u8) -> u8 {
+        if x & self.controls == self.controls {
+            x ^ (1 << self.target)
+        } else {
+            x
+        }
+    }
+
+    /// The gate's action as a packed permutation of the `2ⁿ`-point domain
+    /// (points outside the domain are fixed, matching the [`Perm`]
+    /// embedding convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a wire `≥ n` or `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn perm(self, n: usize) -> Perm {
+        assert!((2..=4).contains(&n), "unsupported wire count {n}");
+        assert!(
+            usize::from(self.max_wire()) < n,
+            "gate {self} touches a wire outside the {n}-wire domain"
+        );
+        let mut packed = 0u64;
+        for x in 0..16u8 {
+            let y = if usize::from(x) < (1 << n) { self.apply(x) } else { x };
+            packed |= u64::from(y) << (4 * x);
+        }
+        Perm::from_packed_unchecked(packed)
+    }
+
+    /// Relabels the gate's wires by `σ` (wire `w` becomes `σ(w)`).
+    ///
+    /// This is conjugation at the gate level: if a circuit implements `f`,
+    /// the relabeled circuit implements the conjugate `f_σ`.
+    #[must_use]
+    pub fn conjugate_by_wires(self, sigma: WirePerm) -> Gate {
+        let mut controls = 0u8;
+        for w in 0..4u8 {
+            if self.controls & (1 << w) != 0 {
+                controls |= 1 << sigma.map(w);
+            }
+        }
+        Gate {
+            controls,
+            target: sigma.map(self.target),
+        }
+    }
+
+    /// Relabels by the transposition of wires `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is `≥ 4`.
+    #[must_use]
+    pub fn swap_wires(self, a: u8, b: u8) -> Gate {
+        self.conjugate_by_wires(WirePerm::transposition(a, b))
+    }
+
+    /// Whether this gate commutes with `other` as a circuit operation.
+    ///
+    /// Two MCT gates commute iff they share the same target, or neither
+    /// gate's target is a control of the other (verified exhaustively
+    /// against the permutation semantics in the tests).
+    #[must_use]
+    pub fn commutes_with(self, other: Gate) -> bool {
+        if self.target == other.target {
+            return true;
+        }
+        let t1_in_c2 = other.controls & (1 << self.target) != 0;
+        let t2_in_c1 = self.controls & (1 << other.target) != 0;
+        !t1_in_c2 && !t2_in_c1
+    }
+
+    /// Whether the gate's support is disjoint from `other`'s (no shared
+    /// wires) — the condition used for the depth metric.
+    #[must_use]
+    pub fn disjoint_from(self, other: Gate) -> bool {
+        self.wires() & other.wires() == 0
+    }
+}
+
+const WIRE_NAMES: [char; 4] = ['a', 'b', 'c', 'd'];
+
+impl fmt::Display for Gate {
+    /// Formats in the paper's notation: `NOT(a)`, `CNOT(c,a)`, `TOF(a,b,d)`,
+    /// `TOF4(a,b,c,d)` — controls in wire order, target last.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.num_controls() {
+            0 => "NOT",
+            1 => "CNOT",
+            2 => "TOF",
+            _ => "TOF4",
+        };
+        write!(f, "{name}(")?;
+        let mut first = true;
+        for w in 0..4u8 {
+            if self.controls & (1 << w) != 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", WIRE_NAMES[usize::from(w)])?;
+                first = false;
+            }
+        }
+        if !first {
+            write!(f, ",")?;
+        }
+        write!(f, "{})", WIRE_NAMES[usize::from(self.target)])
+    }
+}
+
+impl fmt::Debug for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gate({self})")
+    }
+}
+
+/// Error returned when parsing a gate from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGateError {
+    /// The gate name is not one of `NOT`, `CNOT`, `TOF`, `TOF4`.
+    UnknownName(String),
+    /// The argument list is malformed (missing parentheses or wires).
+    BadSyntax(String),
+    /// A wire name is not one of `a`, `b`, `c`, `d`.
+    UnknownWire(String),
+    /// The number of arguments does not match the gate name.
+    WrongArity {
+        /// Gate name as parsed.
+        name: String,
+        /// Number of arguments found.
+        found: usize,
+    },
+    /// The wires do not form a valid gate (e.g. repeated wire).
+    Invalid(InvalidGateError),
+}
+
+impl fmt::Display for ParseGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGateError::UnknownName(s) => write!(f, "unknown gate name `{s}`"),
+            ParseGateError::BadSyntax(s) => write!(f, "malformed gate syntax `{s}`"),
+            ParseGateError::UnknownWire(s) => write!(f, "unknown wire `{s}`"),
+            ParseGateError::WrongArity { name, found } => {
+                write!(f, "gate `{name}` does not take {found} wires")
+            }
+            ParseGateError::Invalid(e) => write!(f, "invalid gate: {e}"),
+        }
+    }
+}
+
+impl Error for ParseGateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseGateError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InvalidGateError> for ParseGateError {
+    fn from(e: InvalidGateError) -> Self {
+        ParseGateError::Invalid(e)
+    }
+}
+
+fn parse_wire(s: &str) -> Result<u8, ParseGateError> {
+    match s.trim() {
+        "a" => Ok(0),
+        "b" => Ok(1),
+        "c" => Ok(2),
+        "d" => Ok(3),
+        other => Err(ParseGateError::UnknownWire(other.to_owned())),
+    }
+}
+
+impl FromStr for Gate {
+    type Err = ParseGateError;
+
+    /// Parses the paper's notation, e.g. `TOF(a,b,d)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let open = s.find('(').ok_or_else(|| ParseGateError::BadSyntax(s.to_owned()))?;
+        if !s.ends_with(')') {
+            return Err(ParseGateError::BadSyntax(s.to_owned()));
+        }
+        let name = s[..open].trim().to_uppercase();
+        let args: Vec<&str> = s[open + 1..s.len() - 1].split(',').collect();
+        let wires: Result<Vec<u8>, _> = args.iter().map(|a| parse_wire(a)).collect();
+        let wires = wires?;
+        let expected = match name.as_str() {
+            "NOT" => 1,
+            "CNOT" => 2,
+            "TOF" | "TOFFOLI" => 3,
+            "TOF4" => 4,
+            _ => return Err(ParseGateError::UnknownName(name)),
+        };
+        if wires.len() != expected {
+            return Err(ParseGateError::WrongArity {
+                name,
+                found: wires.len(),
+            });
+        }
+        let (controls, target) = wires.split_at(wires.len() - 1);
+        let mut mask = 0u8;
+        for &c in controls {
+            if mask & (1 << c) != 0 {
+                return Err(InvalidGateError::DuplicateControl(c).into());
+            }
+            mask |= 1 << c;
+        }
+        Ok(Gate::new(mask, target[0])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_gates_4() -> Vec<Gate> {
+        let mut gates = Vec::new();
+        for target in 0..4u8 {
+            for controls in 0..16u8 {
+                if controls & (1 << target) == 0 {
+                    gates.push(Gate::new(controls, target).unwrap());
+                }
+            }
+        }
+        gates
+    }
+
+    #[test]
+    fn gate_count_is_32() {
+        // The paper's |A₁| = 32: 4 NOT + 12 CNOT + 12 TOF + 4 TOF4.
+        let gates = all_gates_4();
+        assert_eq!(gates.len(), 32);
+        assert_eq!(gates.iter().filter(|g| g.num_controls() == 0).count(), 4);
+        assert_eq!(gates.iter().filter(|g| g.num_controls() == 1).count(), 12);
+        assert_eq!(gates.iter().filter(|g| g.num_controls() == 2).count(), 12);
+        assert_eq!(gates.iter().filter(|g| g.num_controls() == 3).count(), 4);
+    }
+
+    #[test]
+    fn truth_tables_match_figure_1() {
+        // NOT(a): a ↦ a ⊕ 1
+        let not_a = Gate::not(0).unwrap();
+        for x in 0..16u8 {
+            assert_eq!(not_a.apply(x), x ^ 1);
+        }
+        // CNOT(a,b): b ⊕= a
+        let cnot_ab = Gate::cnot(0, 1).unwrap();
+        for x in 0..16u8 {
+            let expected = x ^ ((x & 1) << 1);
+            assert_eq!(cnot_ab.apply(x), expected);
+        }
+        // TOF(a,b,c): c ⊕= ab
+        let tof = Gate::toffoli(0, 1, 2).unwrap();
+        for x in 0..16u8 {
+            let expected = x ^ (((x & 1) & ((x >> 1) & 1)) << 2);
+            assert_eq!(tof.apply(x), expected);
+        }
+        // TOF4(a,b,c,d): d ⊕= abc
+        let tof4 = Gate::toffoli4(0, 1, 2, 3).unwrap();
+        for x in 0..16u8 {
+            let expected = x ^ (((x & 1) & ((x >> 1) & 1) & ((x >> 2) & 1)) << 3);
+            assert_eq!(tof4.apply(x), expected);
+        }
+    }
+
+    #[test]
+    fn gates_are_involutions() {
+        for g in all_gates_4() {
+            let p = g.perm(4);
+            assert!(p.then(p).is_identity(), "{g} is not an involution");
+            for x in 0..16u8 {
+                assert_eq!(g.apply(g.apply(x)), x);
+            }
+        }
+    }
+
+    #[test]
+    fn perm_matches_apply() {
+        for g in all_gates_4() {
+            let p = g.perm(4);
+            for x in 0..16u8 {
+                assert_eq!(p.apply(x), g.apply(x), "{g} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn perm_embeds_small_domains() {
+        let not_a = Gate::not(0).unwrap();
+        let p3 = not_a.perm(3);
+        for x in 0..8u8 {
+            assert_eq!(p3.apply(x), x ^ 1);
+        }
+        for x in 8..16u8 {
+            assert_eq!(p3.apply(x), x, "points outside 3-wire domain must be fixed");
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Gate::not(0).unwrap().to_string(), "NOT(a)");
+        assert_eq!(Gate::cnot(2, 0).unwrap().to_string(), "CNOT(c,a)");
+        assert_eq!(Gate::toffoli(0, 1, 3).unwrap().to_string(), "TOF(a,b,d)");
+        assert_eq!(
+            Gate::toffoli4(0, 1, 2, 3).unwrap().to_string(),
+            "TOF4(a,b,c,d)"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip_all_gates() {
+        for g in all_gates_4() {
+            let s = g.to_string();
+            let parsed: Gate = s.parse().unwrap();
+            assert_eq!(parsed, g, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(matches!(
+            "XOR(a,b)".parse::<Gate>(),
+            Err(ParseGateError::UnknownName(_))
+        ));
+        assert!(matches!(
+            "NOT(a,b)".parse::<Gate>(),
+            Err(ParseGateError::WrongArity { .. })
+        ));
+        assert!(matches!(
+            "CNOT(a,e)".parse::<Gate>(),
+            Err(ParseGateError::UnknownWire(_))
+        ));
+        assert!(matches!(
+            "CNOT(a,a)".parse::<Gate>(),
+            Err(ParseGateError::Invalid(_))
+        ));
+        assert!(matches!(
+            "TOF(a,a,b)".parse::<Gate>(),
+            Err(ParseGateError::Invalid(_))
+        ));
+        assert!(matches!(
+            "NOT a".parse::<Gate>(),
+            Err(ParseGateError::BadSyntax(_))
+        ));
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Gate::not(4).is_err());
+        assert!(Gate::cnot(0, 0).is_err());
+        assert!(Gate::cnot(5, 0).is_err());
+        assert!(Gate::toffoli(0, 0, 1).is_err());
+        assert!(Gate::toffoli4(0, 1, 2, 2).is_err());
+        assert!(Gate::new(0b0001, 0).is_err()); // target in controls
+    }
+
+    #[test]
+    fn conjugation_matches_perm_conjugation() {
+        // Gate-level relabeling must agree with permutation-level conjugation.
+        for g in all_gates_4() {
+            for sigma in WirePerm::all() {
+                let lhs = g.conjugate_by_wires(sigma).perm(4);
+                let rhs = g.perm(4).conjugate_by_wires(sigma);
+                assert_eq!(lhs, rhs, "{g} under {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutes_with_matches_semantics() {
+        for &g in &all_gates_4() {
+            for &h in &all_gates_4() {
+                let structural = g.commutes_with(h);
+                let semantic = g.perm(4).then(h.perm(4)) == h.perm(4).then(g.perm(4));
+                assert_eq!(structural, semantic, "{g} vs {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_wire_and_wires() {
+        let g = Gate::toffoli(0, 2, 1).unwrap();
+        assert_eq!(g.wires(), 0b0111);
+        assert_eq!(g.max_wire(), 2);
+        assert!(g.disjoint_from(Gate::not(3).unwrap()));
+        assert!(!g.disjoint_from(Gate::not(1).unwrap()));
+    }
+}

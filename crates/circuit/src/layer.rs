@@ -1,0 +1,264 @@
+//! Parallel gate layers — the "different family of gates" of the paper's
+//! §5 depth-optimization sketch.
+//!
+//! A **layer** is a non-empty set of gates with pairwise disjoint wire
+//! support; all of them fire in one time step. Optimizing circuit *depth*
+//! means counting layers instead of gates: "for instance, sequence
+//! `NOT(a) CNOT(b,c)` is counted as a single gate" (paper §5).
+
+use std::error::Error;
+use std::fmt;
+
+use revsynth_perm::{Perm, WirePerm};
+
+use crate::gate::Gate;
+use crate::lib_set::GateLib;
+
+/// A non-empty set of gates with pairwise disjoint supports, applied
+/// simultaneously.
+///
+/// Gates are kept sorted by target wire, giving each layer one canonical
+/// representation ([`Eq`]/[`Hash`] compare that form).
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::{Gate, Layer};
+///
+/// let layer = Layer::new(vec![Gate::not(0)?, Gate::cnot(1, 2)?])?;
+/// assert_eq!(layer.to_string(), "[NOT(a) | CNOT(b,c)]");
+/// assert_eq!(layer.gates().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Layer {
+    gates: Vec<Gate>,
+}
+
+/// Error returned when a gate set does not form a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidLayerError {
+    /// Layers must contain at least one gate.
+    Empty,
+    /// Two gates share a wire.
+    Overlap {
+        /// First offending gate.
+        first: Gate,
+        /// Second offending gate.
+        second: Gate,
+    },
+}
+
+impl fmt::Display for InvalidLayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidLayerError::Empty => write!(f, "a layer needs at least one gate"),
+            InvalidLayerError::Overlap { first, second } => {
+                write!(f, "gates {first} and {second} share a wire")
+            }
+        }
+    }
+}
+
+impl Error for InvalidLayerError {}
+
+impl Layer {
+    /// Builds a layer, validating disjointness.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidLayerError`] if the set is empty or two gates overlap.
+    pub fn new(mut gates: Vec<Gate>) -> Result<Self, InvalidLayerError> {
+        if gates.is_empty() {
+            return Err(InvalidLayerError::Empty);
+        }
+        gates.sort_by_key(|g| g.target());
+        for i in 0..gates.len() {
+            for j in i + 1..gates.len() {
+                if !gates[i].disjoint_from(gates[j]) {
+                    return Err(InvalidLayerError::Overlap {
+                        first: gates[i],
+                        second: gates[j],
+                    });
+                }
+            }
+        }
+        Ok(Layer { gates })
+    }
+
+    /// A single-gate layer.
+    #[must_use]
+    pub fn singleton(gate: Gate) -> Self {
+        Layer { gates: vec![gate] }
+    }
+
+    /// The gates, sorted by target wire.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All wires the layer touches, as a bitmask.
+    #[must_use]
+    pub fn wires(&self) -> u8 {
+        self.gates.iter().fold(0, |m, g| m | g.wires())
+    }
+
+    /// The layer's action as a permutation (gates commute, so order is
+    /// irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate touches a wire `≥ n`.
+    #[must_use]
+    pub fn perm(&self, n: usize) -> Perm {
+        self.gates
+            .iter()
+            .fold(Perm::identity(), |acc, g| acc.then(g.perm(n)))
+    }
+
+    /// Relabels every gate's wires by `σ` (the result is re-sorted into
+    /// canonical form).
+    #[must_use]
+    pub fn conjugate_by_wires(&self, sigma: WirePerm) -> Layer {
+        let mut gates: Vec<Gate> = self
+            .gates
+            .iter()
+            .map(|g| g.conjugate_by_wires(sigma))
+            .collect();
+        gates.sort_by_key(|g| g.target());
+        Layer { gates }
+    }
+}
+
+impl fmt::Display for Layer {
+    /// `[NOT(a) | CNOT(b,c)]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, g) in self.gates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Layer{self}")
+    }
+}
+
+/// Enumerates every layer over a gate library: all non-empty sets of
+/// pairwise-disjoint gates. For the 4-wire NCT library this is the §5
+/// depth alphabet (103 layers: 32 singletons plus 71 parallel
+/// combinations).
+#[must_use]
+pub fn all_layers(lib: &GateLib) -> Vec<Layer> {
+    let gates: Vec<Gate> = lib.gates().to_vec();
+    let mut out = Vec::new();
+    let mut current: Vec<Gate> = Vec::new();
+    enumerate(&gates, 0, 0, &mut current, &mut out);
+    out.sort();
+    out
+}
+
+fn enumerate(
+    gates: &[Gate],
+    start: usize,
+    used_wires: u8,
+    current: &mut Vec<Gate>,
+    out: &mut Vec<Layer>,
+) {
+    for (offset, &g) in gates[start..].iter().enumerate() {
+        if g.wires() & used_wires != 0 {
+            continue;
+        }
+        current.push(g);
+        out.push(Layer::new(current.clone()).expect("construction keeps gates disjoint"));
+        enumerate(gates, start + offset + 1, used_wires | g.wires(), current, out);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nct4_has_103_layers() {
+        // 32 singletons + 54 disjoint pairs + 16 triples + 1 quadruple.
+        let layers = all_layers(&GateLib::nct(4));
+        assert_eq!(layers.len(), 103);
+        let singles = layers.iter().filter(|l| l.gates().len() == 1).count();
+        let pairs = layers.iter().filter(|l| l.gates().len() == 2).count();
+        let triples = layers.iter().filter(|l| l.gates().len() == 3).count();
+        let quads = layers.iter().filter(|l| l.gates().len() == 4).count();
+        assert_eq!(singles, 32);
+        assert_eq!(pairs, 54);
+        assert_eq!(triples, 16);
+        assert_eq!(quads, 1);
+    }
+
+    #[test]
+    fn nct3_has_22_layers() {
+        let layers = all_layers(&GateLib::nct(3));
+        assert_eq!(layers.len(), 22);
+    }
+
+    #[test]
+    fn layer_perms_are_distinct() {
+        // The depth synthesizer looks layers up by their permutation; that
+        // is only sound if the map layer → perm is injective.
+        let layers = all_layers(&GateLib::nct(4));
+        let perms: std::collections::HashSet<_> = layers.iter().map(|l| l.perm(4)).collect();
+        assert_eq!(perms.len(), layers.len());
+    }
+
+    #[test]
+    fn validation_rejects_overlap_and_empty() {
+        assert_eq!(Layer::new(vec![]).unwrap_err(), InvalidLayerError::Empty);
+        let a = Gate::cnot(0, 1).unwrap();
+        let b = Gate::not(1).unwrap();
+        assert!(matches!(
+            Layer::new(vec![a, b]).unwrap_err(),
+            InvalidLayerError::Overlap { .. }
+        ));
+    }
+
+    #[test]
+    fn perm_is_order_independent() {
+        let a = Gate::not(0).unwrap();
+        let b = Gate::cnot(2, 3).unwrap();
+        let l1 = Layer::new(vec![a, b]).unwrap();
+        let l2 = Layer::new(vec![b, a]).unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(l1.perm(4), a.perm(4).then(b.perm(4)));
+        assert_eq!(l1.perm(4), b.perm(4).then(a.perm(4)));
+    }
+
+    #[test]
+    fn conjugation_commutes_with_perm() {
+        let layer = Layer::new(vec![Gate::not(0).unwrap(), Gate::toffoli(1, 2, 3).unwrap()])
+            .unwrap();
+        for sigma in WirePerm::all() {
+            assert_eq!(
+                layer.conjugate_by_wires(sigma).perm(4),
+                layer.perm(4).conjugate_by_wires(sigma)
+            );
+        }
+    }
+
+    #[test]
+    fn layers_are_closed_under_relabeling() {
+        let layers = all_layers(&GateLib::nct(4));
+        let set: std::collections::HashSet<_> = layers.iter().cloned().collect();
+        for layer in &layers {
+            for sigma in WirePerm::all() {
+                assert!(set.contains(&layer.conjugate_by_wires(sigma)));
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Gate and circuit model for reversible NOT/CNOT/Toffoli circuits.
+//!
+//! The paper (*Synthesis of the Optimal 4-bit Reversible Circuits*,
+//! Golubitsky–Falconer–Maslov, DAC 2010) works over the gate library
+//! {NOT, CNOT, TOF, TOF4} on four wires named `a`, `b`, `c`, `d`:
+//!
+//! * `NOT(a): a ↦ a ⊕ 1`
+//! * `CNOT(a, b): a, b ↦ a, b ⊕ a`
+//! * `TOF(a, b, c): a, b, c ↦ a, b, c ⊕ ab`
+//! * `TOF4(a, b, c, d): a, b, c, d ↦ a, b, c, d ⊕ abc`
+//!
+//! (Figure 1 of the paper.) This crate provides:
+//!
+//! * [`Gate`] — a multiple-control Toffoli gate (control mask + target),
+//!   printable and parseable in the paper's notation (`TOF(a,b,d)`),
+//! * [`GateLib`] — the enumerated gate library for a wire count, including
+//!   restricted libraries (e.g. NOT+CNOT only, for linear synthesis),
+//! * [`Circuit`] — a gate string applied left-to-right, with simulation,
+//!   inversion, wire relabeling, depth, and weighted-cost metrics.
+//!
+//! Wire convention (fixed by validating the paper's Table 6 circuits
+//! against their specifications): wire `a` is bit 0 (least significant),
+//! `d` is bit 3.
+//!
+//! # Example
+//!
+//! ```
+//! use revsynth_circuit::Circuit;
+//!
+//! // The paper's optimal circuit for the `rd32` adder benchmark (Table 6).
+//! let c: Circuit = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".parse()?;
+//! assert_eq!(c.len(), 4);
+//! let spec = c.perm(4);
+//! assert_eq!(spec.apply(1), 7); // matches the published specification
+//! # Ok::<(), revsynth_circuit::ParseCircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod cost;
+mod gate;
+mod layer;
+mod lib_set;
+pub mod real;
+
+pub use circuit::{Circuit, ParseCircuitError};
+pub use cost::CostModel;
+pub use gate::{Gate, InvalidGateError, ParseGateError};
+pub use layer::{all_layers, InvalidLayerError, Layer};
+pub use lib_set::GateLib;

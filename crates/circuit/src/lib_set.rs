@@ -1,0 +1,357 @@
+//! Enumerated gate libraries.
+
+use std::fmt;
+
+use revsynth_perm::Perm;
+
+use crate::gate::Gate;
+
+/// An enumerated, ordered gate library for a fixed wire count.
+///
+/// The synthesis pipeline identifies gates by their index in a library
+/// (`gate id`), which must fit into the low bits of the hash-table value
+/// byte; libraries are therefore capped at 128 gates (far above the 32 of
+/// the paper's 4-wire NCT library).
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::GateLib;
+///
+/// let lib = GateLib::nct(4);
+/// assert_eq!(lib.len(), 32); // the paper's |A₁| = 32
+/// let lib3 = GateLib::nct(3);
+/// assert_eq!(lib3.len(), 12);
+/// let linear = GateLib::linear(4);
+/// assert_eq!(linear.len(), 16); // 4 NOT + 12 CNOT
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct GateLib {
+    wires: usize,
+    gates: Vec<Gate>,
+    perms: Vec<Perm>,
+}
+
+impl GateLib {
+    /// The full NOT/CNOT/…/Toffoli-n library on `n` wires: every target with
+    /// every control subset of the remaining wires.
+    ///
+    /// Sizes: `n · 2ⁿ⁻¹` gates — 4 for n=2, 12 for n=3, 32 for n=4
+    /// (the paper's Table 4 row `|A₁| = 32`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn nct(n: usize) -> Self {
+        Self::restricted(n, n.saturating_sub(1))
+    }
+
+    /// The linear library: NOT and CNOT gates only. Circuits over this
+    /// library compute exactly the affine ("linear reversible", paper §4.3)
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn linear(n: usize) -> Self {
+        Self::restricted(n, 1)
+    }
+
+    /// The linear-nearest-neighbour library: only gates whose wire
+    /// support is a *contiguous* range of the wire line `a–b–c–d` (the
+    /// paper's §5 "optimal implementations in restricted architectures").
+    ///
+    /// Sizes: 4 NOT + 6 adjacent CNOT + 6 contiguous TOF + 4 TOF4 = 20
+    /// gates for n = 4.
+    ///
+    /// Unlike the built-in NCT/linear libraries this one is **not closed
+    /// under wire relabeling** ([`is_relabeling_closed`]
+    /// (Self::is_relabeling_closed) is `false`), so the symmetry-reduced
+    /// search computes optimality *up to simultaneous input/output
+    /// relabeling* — the paper's §5 "trivially if an optimal
+    /// implementation is required up to the input/output permutation"
+    /// regime. See `SearchTables::generate_with` for the exact contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn nearest_neighbor(n: usize) -> Self {
+        let full = Self::nct(n);
+        let contiguous: Vec<Gate> = full
+            .gates()
+            .iter()
+            .copied()
+            .filter(|g| {
+                let w = g.wires();
+                let span = 8 - w.leading_zeros() - w.trailing_zeros();
+                w.count_ones() == span
+            })
+            .collect();
+        Self::from_gates(n, &contiguous)
+    }
+
+    /// A library with every gate of at most `max_controls` controls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4.
+    #[must_use]
+    pub fn restricted(n: usize, max_controls: usize) -> Self {
+        assert!((2..=4).contains(&n), "unsupported wire count {n}");
+        let mut gates = Vec::new();
+        for target in 0..n as u8 {
+            for controls in 0..16u8 {
+                if controls & (1 << target) != 0 {
+                    continue;
+                }
+                if usize::from(controls) >> n != 0 {
+                    continue; // touches a wire outside the domain
+                }
+                if controls.count_ones() as usize > max_controls {
+                    continue;
+                }
+                gates.push(Gate::new(controls, target).expect("constructed gate is valid"));
+            }
+        }
+        // Deterministic order: by (num_controls, target, controls).
+        gates.sort_by_key(|g| (g.num_controls(), g.target(), g.controls()));
+        let perms = gates.iter().map(|g| g.perm(n)).collect();
+        GateLib {
+            wires: n,
+            gates,
+            perms,
+        }
+    }
+
+    /// Builds a library from an explicit gate list (deduplicated, order
+    /// preserved). Used for custom restricted-architecture experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4, if a gate touches a wire `≥ n`, or if
+    /// more than 128 gates are supplied.
+    #[must_use]
+    pub fn from_gates(n: usize, gates: &[Gate]) -> Self {
+        assert!((2..=4).contains(&n), "unsupported wire count {n}");
+        let mut seen = std::collections::HashSet::new();
+        let mut unique = Vec::new();
+        for &g in gates {
+            assert!(
+                usize::from(g.max_wire()) < n,
+                "gate {g} touches a wire outside the {n}-wire domain"
+            );
+            if seen.insert(g) {
+                unique.push(g);
+            }
+        }
+        assert!(unique.len() <= 128, "gate library too large for 7-bit ids");
+        let perms = unique.iter().map(|g| g.perm(n)).collect();
+        GateLib {
+            wires: n,
+            gates: unique,
+            perms,
+        }
+    }
+
+    /// Number of wires the library acts on.
+    #[inline]
+    #[must_use]
+    pub const fn wires(self: &GateLib) -> usize {
+        self.wires
+    }
+
+    /// Number of gates.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the library is empty (never true for the built-in libraries).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn gate(&self, id: usize) -> Gate {
+        self.gates[id]
+    }
+
+    /// The permutation of the gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn perm_of(&self, id: usize) -> Perm {
+        self.perms[id]
+    }
+
+    /// The id of a gate, if it is in the library.
+    #[must_use]
+    pub fn id_of(&self, gate: Gate) -> Option<usize> {
+        self.gates.iter().position(|&g| g == gate)
+    }
+
+    /// Iterates over `(id, gate, perm)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Gate, Perm)> + '_ {
+        self.gates
+            .iter()
+            .zip(&self.perms)
+            .enumerate()
+            .map(|(i, (&g, &p))| (i, g, p))
+    }
+
+    /// The gates as a slice.
+    #[inline]
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Whether the library is closed under simultaneous wire relabeling
+    /// (every gate stays in the library under every wire permutation of
+    /// the domain).
+    ///
+    /// The symmetry-reduced search is *exact* for closed libraries (NCT,
+    /// linear, control-count-restricted); for non-closed libraries (e.g.
+    /// [`nearest_neighbor`](Self::nearest_neighbor)) it computes
+    /// optimality up to input/output relabeling, and reconstructed
+    /// circuits may use gates from the library's relabeling closure.
+    #[must_use]
+    pub fn is_relabeling_closed(&self) -> bool {
+        let set: std::collections::HashSet<Gate> = self.gates.iter().copied().collect();
+        self.gates.iter().all(|g| {
+            revsynth_perm::WirePerm::all()
+                .into_iter()
+                .filter(|s| s.fixes_wires_from(self.wires))
+                .all(|s| set.contains(&g.conjugate_by_wires(s)))
+        })
+    }
+
+    /// The smallest relabeling-closed library containing this one (adds
+    /// every wire-relabeled variant of every gate).
+    #[must_use]
+    pub fn relabeling_closure(&self) -> GateLib {
+        let mut gates: Vec<Gate> = Vec::new();
+        for &g in &self.gates {
+            for s in revsynth_perm::WirePerm::all() {
+                if s.fixes_wires_from(self.wires) {
+                    gates.push(g.conjugate_by_wires(s));
+                }
+            }
+        }
+        GateLib::from_gates(self.wires, &gates)
+    }
+}
+
+impl fmt::Debug for GateLib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GateLib({} wires, {} gates)", self.wires, self.gates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nct_sizes_match_formula() {
+        assert_eq!(GateLib::nct(2).len(), 4);
+        assert_eq!(GateLib::nct(3).len(), 12);
+        assert_eq!(GateLib::nct(4).len(), 32);
+    }
+
+    #[test]
+    fn relabeling_closure_properties() {
+        assert!(GateLib::nct(4).is_relabeling_closed());
+        assert!(GateLib::linear(4).is_relabeling_closed());
+        assert!(GateLib::restricted(3, 1).is_relabeling_closed());
+        let lnn = GateLib::nearest_neighbor(4);
+        assert!(!lnn.is_relabeling_closed());
+        let closure = lnn.relabeling_closure();
+        assert!(closure.is_relabeling_closed());
+        // LNN's closure restores full NCT connectivity (every support
+        // pattern is some relabeling of a contiguous one).
+        assert_eq!(closure.len(), 32);
+        // Closing a closed library is the identity on gate sets.
+        assert_eq!(GateLib::nct(3).relabeling_closure().len(), 12);
+    }
+
+    #[test]
+    fn nearest_neighbor_sizes() {
+        // 4 NOT + 6 adjacent CNOT + 6 contiguous TOF + 4 TOF4.
+        let lib = GateLib::nearest_neighbor(4);
+        assert_eq!(lib.len(), 20);
+        assert_eq!(lib.iter().filter(|(_, g, _)| g.num_controls() == 1).count(), 6);
+        // CNOT(a,c) skips wire b: not nearest-neighbour.
+        assert!(lib.id_of(Gate::cnot(0, 2).unwrap()).is_none());
+        assert!(lib.id_of(Gate::cnot(1, 2).unwrap()).is_some());
+        // TOF(a,b,d) has a hole at c: excluded; TOF(b,c,d) is contiguous.
+        assert!(lib.id_of(Gate::toffoli(0, 1, 3).unwrap()).is_none());
+        assert!(lib.id_of(Gate::toffoli(1, 2, 3).unwrap()).is_some());
+        // Smaller wire counts.
+        assert_eq!(GateLib::nearest_neighbor(3).len(), 3 + 4 + 3);
+        assert_eq!(GateLib::nearest_neighbor(2).len(), 4);
+    }
+
+    #[test]
+    fn linear_library_has_not_and_cnot_only() {
+        let lib = GateLib::linear(4);
+        assert_eq!(lib.len(), 16);
+        assert!(lib.iter().all(|(_, g, _)| g.num_controls() <= 1));
+    }
+
+    #[test]
+    fn ids_are_stable_and_invertible() {
+        let lib = GateLib::nct(4);
+        for (id, g, p) in lib.iter() {
+            assert_eq!(lib.id_of(g), Some(id));
+            assert_eq!(lib.gate(id), g);
+            assert_eq!(lib.perm_of(id), p);
+            assert_eq!(g.perm(4), p);
+        }
+    }
+
+    #[test]
+    fn gates_are_distinct_perms() {
+        let lib = GateLib::nct(4);
+        let set: std::collections::HashSet<_> = lib.iter().map(|(_, _, p)| p).collect();
+        assert_eq!(set.len(), 32);
+    }
+
+    #[test]
+    fn small_domain_library_fixes_upper_points() {
+        let lib = GateLib::nct(3);
+        for (_, _, p) in lib.iter() {
+            for x in 8..16u8 {
+                assert_eq!(p.apply(x), x);
+            }
+        }
+    }
+
+    #[test]
+    fn from_gates_dedups() {
+        let g = Gate::not(0).unwrap();
+        let lib = GateLib::from_gates(4, &[g, g, Gate::cnot(0, 1).unwrap()]);
+        assert_eq!(lib.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn from_gates_rejects_oversized_wires() {
+        let _ = GateLib::from_gates(2, &[Gate::not(3).unwrap()]);
+    }
+}

@@ -1,0 +1,391 @@
+//! RevLib `.real` interchange format (reader/writer).
+//!
+//! The benchmark functions of the paper's Table 6 come from the
+//! reversible-logic benchmark collections (Maslov's page, RevLib), whose
+//! standard circuit format is `.real`: a small header plus one line per
+//! multiple-control Toffoli gate, e.g.
+//!
+//! ```text
+//! # rd32 optimal circuit
+//! .version 1.0
+//! .numvars 4
+//! .variables a b c d
+//! .begin
+//! t3 a b d
+//! t2 a b
+//! t3 b c d
+//! t2 b c
+//! .end
+//! ```
+//!
+//! `tN` is an MCT gate on N lines, controls first, target last (`t1` is
+//! NOT, `t2` CNOT, `t3` Toffoli, `t4` Toffoli-4). This module supports the
+//! MCT subset that the paper's gate library covers, with strict
+//! validation, so circuits can round-trip with external reversible-logic
+//! tools.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, InvalidGateError};
+
+/// Error returned when parsing a `.real` document fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRealError {
+    /// A header directive is malformed.
+    BadDirective {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// `.numvars` is missing, zero, or above 4 (this library is 4-wire).
+    UnsupportedNumvars(usize),
+    /// A gate line is malformed or uses an unsupported gate kind.
+    BadGate {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A variable name is not declared in `.variables`.
+    UnknownVariable {
+        /// 1-based line number.
+        line: usize,
+        /// The offending name.
+        name: String,
+    },
+    /// The gate's wires do not form a valid MCT gate.
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying gate error.
+        cause: InvalidGateError,
+    },
+    /// `.begin`/`.end` structure is broken.
+    Structure(String),
+}
+
+impl fmt::Display for ParseRealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRealError::BadDirective { line, message } => {
+                write!(f, "line {line}: bad directive: {message}")
+            }
+            ParseRealError::UnsupportedNumvars(n) => {
+                write!(f, ".numvars {n} is outside the supported 1..=4")
+            }
+            ParseRealError::BadGate { line, message } => {
+                write!(f, "line {line}: bad gate: {message}")
+            }
+            ParseRealError::UnknownVariable { line, name } => {
+                write!(f, "line {line}: unknown variable `{name}`")
+            }
+            ParseRealError::Invalid { line, cause } => {
+                write!(f, "line {line}: invalid gate: {cause}")
+            }
+            ParseRealError::Structure(msg) => write!(f, "document structure: {msg}"),
+        }
+    }
+}
+
+impl Error for ParseRealError {}
+
+/// Parses the MCT subset of a `.real` document into a circuit and its
+/// declared variable names.
+///
+/// Comments (`#`) and blank lines are ignored; `.version`, `.inputs`,
+/// `.outputs`, `.constants`, `.garbage` headers are accepted and skipped.
+///
+/// # Errors
+///
+/// [`ParseRealError`] on malformed headers, unknown variables, gate kinds
+/// outside `t1..=t4`, repeated wires, or missing `.begin`/`.end`.
+pub fn parse_real(text: &str) -> Result<(Circuit, Vec<String>), ParseRealError> {
+    let mut variables: Vec<String> = Vec::new();
+    let mut numvars: Option<usize> = None;
+    let mut in_body = false;
+    let mut ended = false;
+    let mut gates: Vec<Gate> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(ParseRealError::Structure(format!(
+                "content after .end at line {line_no}"
+            )));
+        }
+        if let Some(directive) = line.strip_prefix('.') {
+            let mut parts = directive.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            match name {
+                "version" | "inputs" | "outputs" | "constants" | "garbage"
+                | "inputbus" | "outputbus" => {}
+                "numvars" => {
+                    let v: usize = parts
+                        .next()
+                        .ok_or_else(|| ParseRealError::BadDirective {
+                            line: line_no,
+                            message: ".numvars needs a count".into(),
+                        })?
+                        .parse()
+                        .map_err(|_| ParseRealError::BadDirective {
+                            line: line_no,
+                            message: ".numvars needs an integer".into(),
+                        })?;
+                    if v == 0 || v > 4 {
+                        return Err(ParseRealError::UnsupportedNumvars(v));
+                    }
+                    numvars = Some(v);
+                }
+                "variables" => {
+                    variables = parts.map(str::to_owned).collect();
+                }
+                "begin" => in_body = true,
+                "end" => {
+                    if !in_body {
+                        return Err(ParseRealError::Structure(".end before .begin".into()));
+                    }
+                    ended = true;
+                }
+                other => {
+                    return Err(ParseRealError::BadDirective {
+                        line: line_no,
+                        message: format!("unknown directive .{other}"),
+                    })
+                }
+            }
+            continue;
+        }
+        if !in_body {
+            return Err(ParseRealError::Structure(format!(
+                "gate line {line_no} before .begin"
+            )));
+        }
+        gates.push(parse_gate_line(line, line_no, &variables)?);
+    }
+
+    if in_body && !ended {
+        return Err(ParseRealError::Structure("missing .end".into()));
+    }
+    if let Some(n) = numvars {
+        if !variables.is_empty() && variables.len() != n {
+            return Err(ParseRealError::Structure(format!(
+                ".numvars {n} does not match {} declared variables",
+                variables.len()
+            )));
+        }
+    }
+    Ok((Circuit::from_gates(gates), variables))
+}
+
+fn parse_gate_line(
+    line: &str,
+    line_no: usize,
+    variables: &[String],
+) -> Result<Gate, ParseRealError> {
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().expect("line is non-empty");
+    let arity: usize = kind
+        .strip_prefix('t')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseRealError::BadGate {
+            line: line_no,
+            message: format!("unsupported gate kind `{kind}` (only t1..t4 MCT gates)"),
+        })?;
+    if !(1..=4).contains(&arity) {
+        return Err(ParseRealError::BadGate {
+            line: line_no,
+            message: format!("t{arity} is outside the NOT..TOF4 family"),
+        });
+    }
+    let wires: Vec<&str> = parts.collect();
+    if wires.len() != arity {
+        return Err(ParseRealError::BadGate {
+            line: line_no,
+            message: format!("t{arity} expects {arity} lines, found {}", wires.len()),
+        });
+    }
+    let resolve = |name: &str| -> Result<u8, ParseRealError> {
+        if variables.is_empty() {
+            // Fall back to the canonical names a..d when no declaration.
+            return match name {
+                "a" => Ok(0),
+                "b" => Ok(1),
+                "c" => Ok(2),
+                "d" => Ok(3),
+                _ => Err(ParseRealError::UnknownVariable {
+                    line: line_no,
+                    name: name.to_owned(),
+                }),
+            };
+        }
+        variables
+            .iter()
+            .position(|v| v == name)
+            .map(|i| i as u8)
+            .ok_or_else(|| ParseRealError::UnknownVariable {
+                line: line_no,
+                name: name.to_owned(),
+            })
+    };
+    let mut controls = 0u8;
+    for &c in &wires[..arity - 1] {
+        let w = resolve(c)?;
+        if controls & (1 << w) != 0 {
+            return Err(ParseRealError::Invalid {
+                line: line_no,
+                cause: InvalidGateError::DuplicateControl(w),
+            });
+        }
+        controls |= 1 << w;
+    }
+    let target = resolve(wires[arity - 1])?;
+    Gate::new(controls, target).map_err(|cause| ParseRealError::Invalid {
+        line: line_no,
+        cause,
+    })
+}
+
+/// Serializes a circuit to `.real` with the canonical wire names `a..d`.
+#[must_use]
+pub fn to_real(circuit: &Circuit, wires: usize) -> String {
+    const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+    let mut out = String::new();
+    out.push_str(".version 1.0\n");
+    out.push_str(&format!(".numvars {wires}\n"));
+    out.push_str(&format!(".variables {}\n", NAMES[..wires].join(" ")));
+    out.push_str(".begin\n");
+    for g in circuit.iter() {
+        let arity = g.num_controls() as usize + 1;
+        out.push_str(&format!("t{arity}"));
+        for w in 0..4u8 {
+            if g.controls() & (1 << w) != 0 {
+                out.push(' ');
+                out.push_str(NAMES[usize::from(w)]);
+            }
+        }
+        out.push(' ');
+        out.push_str(NAMES[usize::from(g.target())]);
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RD32: &str = "\
+# rd32 optimal circuit (paper Table 6)
+.version 1.0
+.numvars 4
+.variables a b c d
+.begin
+t3 a b d
+t2 a b
+t3 b c d
+t2 b c
+.end
+";
+
+    #[test]
+    fn parses_rd32() {
+        let (circuit, vars) = parse_real(RD32).expect("valid document");
+        assert_eq!(vars, ["a", "b", "c", "d"]);
+        assert_eq!(circuit.len(), 4);
+        assert_eq!(
+            circuit.to_string(),
+            "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)"
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_real() {
+        let c: Circuit = "NOT(a) CNOT(c,a) TOF4(a,b,d,c) TOF(b,c,a)".parse().unwrap();
+        let text = to_real(&c, 4);
+        let (back, _) = parse_real(&text).expect("own output parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn custom_variable_names_resolve_positionally() {
+        let text = ".numvars 3\n.variables x y z\n.begin\nt2 z x\nt1 y\n.end\n";
+        let (c, vars) = parse_real(text).unwrap();
+        assert_eq!(vars, ["x", "y", "z"]);
+        assert_eq!(c.to_string(), "CNOT(c,a) NOT(b)");
+    }
+
+    #[test]
+    fn missing_declaration_defaults_to_abcd() {
+        let text = ".begin\nt2 d a\n.end\n";
+        let (c, vars) = parse_real(text).unwrap();
+        assert!(vars.is_empty());
+        assert_eq!(c.to_string(), "CNOT(d,a)");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(matches!(
+            parse_real(".numvars 9\n"),
+            Err(ParseRealError::UnsupportedNumvars(9))
+        ));
+        assert!(matches!(
+            parse_real("t1 a\n"),
+            Err(ParseRealError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_real(".begin\nt1 a\n"),
+            Err(ParseRealError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_real(".begin\nf2 a b\n.end\n"),
+            Err(ParseRealError::BadGate { .. })
+        ));
+        assert!(matches!(
+            parse_real(".begin\nt2 a\n.end\n"),
+            Err(ParseRealError::BadGate { .. })
+        ));
+        assert!(matches!(
+            parse_real(".variables a b\n.begin\nt2 a q\n.end\n"),
+            Err(ParseRealError::UnknownVariable { .. })
+        ));
+        assert!(matches!(
+            parse_real(".begin\nt2 a a\n.end\n"),
+            Err(ParseRealError::Invalid { .. })
+        ));
+        assert!(matches!(
+            parse_real(".begin\n.end\nt1 a\n"),
+            Err(ParseRealError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_real(".numvars 3\n.variables a b\n.begin\n.end\n"),
+            Err(ParseRealError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n.begin\n  # indented comment\nt1 a # trailing\n.end\n";
+        let (c, _) = parse_real(text).unwrap();
+        assert_eq!(c.to_string(), "NOT(a)");
+    }
+
+    #[test]
+    fn every_paper_notation_gate_survives_the_roundtrip() {
+        for controls in 0..16u8 {
+            for target in 0..4u8 {
+                let Ok(gate) = Gate::new(controls, target) else { continue };
+                let c = Circuit::from_gates([gate]);
+                let (back, _) = parse_real(&to_real(&c, 4)).unwrap();
+                assert_eq!(back, c, "{gate}");
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Subcommand dispatch and implementations.
+
+use std::error::Error;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use revsynth_analysis::{sample_distribution, HardSearch};
+use revsynth_bfs::SearchTables;
+use revsynth_core::Synthesizer;
+use revsynth_linear::{linear_only_distribution, PAPER_TABLE5};
+use revsynth_perm::Perm;
+use revsynth_specs::benchmarks;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+revsynth — optimal synthesis of 4-bit reversible circuits (DAC 2010 reproduction)
+
+USAGE:
+    revsynth <COMMAND> [OPTIONS]
+
+COMMANDS:
+    bfs        --k <K> [--n <N>] [--out <FILE>] [--threads <T>]
+               Generate the breadth-first tables and optionally save them.
+    synth      --spec <P0,..,P15> [--k <K>] [--tables <FILE>]
+               Synthesize an optimal circuit for a permutation.
+    benchmarks [--k <K>] [--tables <FILE>]
+               Synthesize the paper's Table 6 benchmark suite.
+    random     [--samples <N>] [--k <K>] [--seed <S>] [--tables <FILE>]
+               Size distribution of random permutations (paper Table 3).
+    linear     Distribution of optimal sizes over all 322,560 linear
+               reversible functions (paper Table 5).
+    hard       [--seconds <S>] [--k <K>] [--seed <SEED>] [--tables <FILE>]
+               Time-boxed search for a hard permutation (paper §4.5).
+    stats      --k <K> [--n <N>]
+               Hash-table statistics (paper Table 2).
+    peephole   --circuit \"<GATES>\" [--k <K>] [--window <W>] [--tables <FILE>]
+               Locally-optimal compression of a long circuit (paper §1).
+    depth      --spec <P0,..,P15> [--max-depth <D>]
+               Depth-optimal synthesis over parallel layers (paper §5).
+    cost       --spec <P0,..,P15> [--model quantum|unit] [--budget <C>]
+               Cost-optimal synthesis under weighted gates (paper §5).
+    help       Show this message.
+
+Tables are regenerated on the fly unless --tables points at a file written
+by `revsynth bfs --out` (the paper's precompute-once workflow).";
+
+/// Minimal flag parser: `--name value` pairs after the subcommand.
+struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, Box<dyn Error>> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{flag}` (flags are --name value)").into());
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            pairs.push((name.to_owned(), value.clone()));
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, Box<dyn Error>>
+    where
+        T::Err: Error + 'static,
+    {
+        match self.get(name) {
+            Some(v) => Ok(v.parse()?),
+            None => Ok(default),
+        }
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> CliResult {
+        for (name, _) in &self.pairs {
+            if !known.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name}").into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses arguments and runs the chosen subcommand.
+pub fn dispatch(args: &[String]) -> CliResult {
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match command.as_str() {
+        "bfs" => cmd_bfs(&opts),
+        "synth" => cmd_synth(&opts),
+        "benchmarks" => cmd_benchmarks(&opts),
+        "random" => cmd_random(&opts),
+        "linear" => cmd_linear(&opts),
+        "hard" => cmd_hard(&opts),
+        "stats" => cmd_stats(&opts),
+        "peephole" => cmd_peephole(&opts),
+        "depth" => cmd_depth(&opts),
+        "cost" => cmd_cost(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `revsynth help`").into()),
+    }
+}
+
+/// Loads tables from `--tables`, or generates them at `--k` (default
+/// `default_k`).
+fn tables_from(opts: &Opts, default_k: usize) -> Result<SearchTables, Box<dyn Error>> {
+    if let Some(path) = opts.get("tables") {
+        let path = PathBuf::from(path);
+        eprintln!("loading tables from {} ...", path.display());
+        let start = Instant::now();
+        let tables = SearchTables::load(&path)?;
+        eprintln!(
+            "  {} classes (n = {}, k = {}) in {:.2?}",
+            tables.num_representatives(),
+            tables.wires(),
+            tables.k(),
+            start.elapsed()
+        );
+        return Ok(tables);
+    }
+    let k = opts.get_parse("k", default_k)?;
+    let n = opts.get_parse("n", 4usize)?;
+    eprintln!("generating tables (n = {n}, k = {k}) ...");
+    let start = Instant::now();
+    let tables = SearchTables::generate(n, k);
+    eprintln!(
+        "  {} classes in {:.2?}",
+        tables.num_representatives(),
+        start.elapsed()
+    );
+    Ok(tables)
+}
+
+fn cmd_bfs(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["k", "n", "out", "threads"])?;
+    let k: usize = opts.get_parse("k", 6)?;
+    let n: usize = opts.get_parse("n", 4)?;
+    let threads: usize = opts.get_parse("threads", 1)?;
+    let start = Instant::now();
+    let tables = if threads > 1 {
+        SearchTables::generate_parallel(revsynth_circuit::GateLib::nct(n), k, threads)
+    } else {
+        SearchTables::generate(n, k)
+    };
+    println!(
+        "generated {} classes (n = {n}, k = {k}) in {:.2?}",
+        tables.num_representatives(),
+        start.elapsed()
+    );
+    for c in tables.counts() {
+        println!("{c}");
+    }
+    if let Some(path) = opts.get("out") {
+        let start = Instant::now();
+        tables.save(path)?;
+        println!("saved to {path} in {:.2?}", start.elapsed());
+    }
+    Ok(())
+}
+
+fn parse_spec(spec: &str) -> Result<Perm, Box<dyn Error>> {
+    let vals: Result<Vec<u8>, _> = spec
+        .split(',')
+        .map(|s| s.trim().parse::<u8>())
+        .collect();
+    Ok(Perm::from_values(&vals?)?)
+}
+
+fn cmd_synth(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["spec", "k", "n", "tables"])?;
+    let spec = opts
+        .get("spec")
+        .ok_or("synth needs --spec 0,1,2,...,15 (a permutation value list)")?;
+    let f = parse_spec(spec)?;
+    let synth = Synthesizer::new(tables_from(opts, 6)?);
+    let start = Instant::now();
+    let result = synth.synthesize_within(f, synth.max_size())?;
+    let elapsed = start.elapsed();
+    println!("function : {f}");
+    println!("size     : {} gates (provably minimal)", result.circuit.len());
+    println!("depth    : {}", result.circuit.depth());
+    println!("circuit  : {}", result.circuit);
+    println!(
+        "runtime  : {elapsed:.2?} ({} lists scanned, {} candidates tested)",
+        result.lists_scanned, result.candidates_tested
+    );
+    Ok(())
+}
+
+fn cmd_benchmarks(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["k", "tables"])?;
+    let synth = Synthesizer::new(tables_from(opts, 6)?);
+    println!(
+        "{:<10} {:>5} {:>4} {:>5} {:>12}  circuit",
+        "name", "SBKC", "SOC", "ours", "time"
+    );
+    for b in benchmarks() {
+        let sbkc = b
+            .best_known_size
+            .map_or("N/A".to_owned(), |s| s.to_string());
+        if b.optimal_size > synth.max_size() {
+            println!(
+                "{:<10} {:>5} {:>4}     -            -  (needs k ≥ {})",
+                b.name,
+                sbkc,
+                b.optimal_size,
+                b.optimal_size.div_ceil(2)
+            );
+            continue;
+        }
+        let start = Instant::now();
+        let c = synth.synthesize(b.perm())?;
+        println!(
+            "{:<10} {:>5} {:>4} {:>5} {:>11.1?}  {}",
+            b.name,
+            sbkc,
+            b.optimal_size,
+            c.len(),
+            start.elapsed(),
+            c
+        );
+    }
+    Ok(())
+}
+
+fn cmd_random(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["samples", "k", "n", "seed", "tables"])?;
+    let samples: usize = opts.get_parse("samples", 25)?;
+    let seed: u64 = opts.get_parse("seed", 2010)?;
+    let synth = Synthesizer::new(tables_from(opts, 6)?);
+    let start = Instant::now();
+    let dist = sample_distribution(&synth, samples, seed)?;
+    println!(
+        "{samples} random permutations in {:.2?} (seed {seed})",
+        start.elapsed()
+    );
+    println!("{:>4} {:>10} {:>9}", "size", "count", "fraction");
+    for (size, count) in dist.iter() {
+        println!("{size:>4} {count:>10} {:>9.4}", dist.fraction(size));
+    }
+    if dist.unresolved() > 0 {
+        println!(
+            ">{:>3} {:>10}  (beyond the k-table search bound)",
+            synth.max_size(),
+            dist.unresolved()
+        );
+    }
+    println!("weighted average: {:.2} gates (paper: 11.94)", dist.weighted_average());
+    Ok(())
+}
+
+fn cmd_linear(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&[])?;
+    let start = Instant::now();
+    let hist = linear_only_distribution();
+    println!(
+        "all 322,560 linear reversible functions in {:.2?}",
+        start.elapsed()
+    );
+    println!("{:>4} {:>10} {:>10}", "size", "ours", "paper");
+    for (s, &count) in hist.iter().enumerate() {
+        println!("{s:>4} {count:>10} {:>10}", PAPER_TABLE5.get(s).copied().unwrap_or(0));
+    }
+    Ok(())
+}
+
+fn cmd_hard(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["seconds", "k", "n", "seed", "tables"])?;
+    let seconds: u64 = opts.get_parse("seconds", 10)?;
+    let seed: u64 = opts.get_parse("seed", 45)?;
+    let synth = Synthesizer::new(tables_from(opts, 6)?);
+    let outcome = HardSearch {
+        budget: std::time::Duration::from_secs(seconds),
+        seed,
+        ..HardSearch::default()
+    }
+    .run(&synth);
+    println!(
+        "hardest found: size {} (witness {})",
+        outcome.max_size, outcome.witness
+    );
+    println!(
+        "measured {} candidates, {} beyond the size-{} bound",
+        outcome.examined,
+        outcome.unresolved,
+        synth.max_size()
+    );
+    Ok(())
+}
+
+fn cmd_peephole(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["circuit", "k", "window", "tables"])?;
+    let text = opts
+        .get("circuit")
+        .ok_or("peephole needs --circuit \"NOT(a) CNOT(a,b) ...\"")?;
+    let circuit: revsynth_circuit::Circuit = text.parse()?;
+    let synth = Synthesizer::new(tables_from(opts, 4)?);
+    let optimizer = match opts.get("window") {
+        Some(w) => revsynth_core::PeepholeOptimizer::with_window(&synth, w.parse()?),
+        None => revsynth_core::PeepholeOptimizer::new(&synth),
+    };
+    let start = Instant::now();
+    let (out, before, after) = optimizer.optimize_with_stats(&circuit)?;
+    println!("input   : {before} gates");
+    println!("output  : {after} gates (saved {})", before - after);
+    println!("circuit : {out}");
+    println!("runtime : {:.2?} (window {})", start.elapsed(), optimizer.window());
+    Ok(())
+}
+
+fn cmd_depth(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["spec", "max-depth", "n"])?;
+    let spec = opts
+        .get("spec")
+        .ok_or("depth needs --spec 0,1,2,...,15 (a permutation value list)")?;
+    let f = parse_spec(spec)?;
+    let n: usize = opts.get_parse("n", 4)?;
+    let max_depth: usize = opts.get_parse("max-depth", 3)?;
+    eprintln!("generating depth tables (n = {n}, max depth {max_depth}) ...");
+    let synth = revsynth_core::DepthSynthesizer::generate(
+        revsynth_circuit::GateLib::nct(n),
+        max_depth,
+    );
+    let circuit = synth.try_synthesize(f)?;
+    println!("function : {f}");
+    println!("depth    : {} time steps (provably minimal)", circuit.depth());
+    println!("gates    : {}", circuit.len());
+    println!("circuit  : {circuit}");
+    Ok(())
+}
+
+fn cmd_cost(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["spec", "model", "budget", "n"])?;
+    let spec = opts
+        .get("spec")
+        .ok_or("cost needs --spec 0,1,2,...,15 (a permutation value list)")?;
+    let f = parse_spec(spec)?;
+    let n: usize = opts.get_parse("n", 4)?;
+    let budget: u64 = opts.get_parse("budget", 16)?;
+    let model = match opts.get("model").unwrap_or("quantum") {
+        "quantum" => revsynth_circuit::CostModel::quantum(),
+        "unit" => revsynth_circuit::CostModel::unit(),
+        other => return Err(format!("unknown cost model `{other}` (quantum|unit)").into()),
+    };
+    eprintln!("generating cost tables (n = {n}, budget {budget}) ...");
+    let synth = revsynth_core::CostSynthesizer::generate(
+        revsynth_circuit::GateLib::nct(n),
+        model,
+        budget,
+    );
+    let circuit = synth.try_synthesize(f)?;
+    println!("function : {f}");
+    println!("cost     : {} (provably minimal under the model)", circuit.cost(&model));
+    println!("gates    : {}", circuit.len());
+    println!("circuit  : {circuit}");
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["k", "n"])?;
+    let k: usize = opts.get_parse("k", 6)?;
+    let n: usize = opts.get_parse("n", 4)?;
+    let tables = SearchTables::generate(n, k);
+    let stats = tables.table_stats();
+    println!("k = {k}, n = {n}");
+    println!("entries            : {}", stats.entries);
+    println!("slots              : 2^{}", stats.capacity.trailing_zeros());
+    println!("memory             : {}", stats.memory_display());
+    println!("load factor        : {:.2}", stats.load_factor);
+    println!("avg chain length   : {:.2}", stats.avg_cluster_len);
+    println!("max chain length   : {}", stats.max_cluster_len);
+    println!("avg displacement   : {:.2}", stats.avg_displacement);
+    println!("max displacement   : {}", stats.max_displacement);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        Opts::parse(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+            .expect("valid flags")
+    }
+
+    #[test]
+    fn opts_parse_pairs() {
+        let o = opts(&["--k", "7", "--seed", "42"]);
+        assert_eq!(o.get("k"), Some("7"));
+        assert_eq!(o.get("seed"), Some("42"));
+        assert_eq!(o.get("missing"), None);
+        assert_eq!(o.get_parse("k", 0usize).unwrap(), 7);
+        assert_eq!(o.get_parse("absent", 9usize).unwrap(), 9);
+    }
+
+    #[test]
+    fn opts_reject_bare_arguments_and_missing_values() {
+        assert!(Opts::parse(&["7".to_owned()]).is_err());
+        assert!(Opts::parse(&["--k".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn opts_reject_unknown_flags() {
+        let o = opts(&["--k", "7"]);
+        assert!(o.reject_unknown(&["k"]).is_ok());
+        assert!(o.reject_unknown(&["seed"]).is_err());
+    }
+
+    #[test]
+    fn spec_parsing_validates() {
+        assert!(parse_spec("0,1,2,3").is_ok());
+        assert!(parse_spec("3,2,1,0").is_ok());
+        assert!(parse_spec("0,1,2").is_err(), "bad length");
+        assert!(parse_spec("0,1,2,2").is_err(), "duplicate");
+        assert!(parse_spec("0,1,2,x").is_err(), "not a number");
+    }
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&["help".into()]).is_ok());
+        assert!(dispatch(&["frobnicate".into()]).is_err());
+        assert!(dispatch(&["synth".into()]).is_err(), "synth needs --spec");
+    }
+
+    #[test]
+    fn synth_command_end_to_end() {
+        // Tiny tables; exercises the whole command path.
+        let args: Vec<String> = ["synth", "--spec", "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14", "--k", "1"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(dispatch(&args).is_ok());
+    }
+
+    #[test]
+    fn cost_and_depth_commands_end_to_end() {
+        let cost: Vec<String> =
+            ["cost", "--spec", "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14", "--n", "4", "--budget", "3"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect();
+        assert!(dispatch(&cost).is_ok());
+        let depth: Vec<String> =
+            ["depth", "--spec", "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14", "--max-depth", "1"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect();
+        assert!(dispatch(&depth).is_ok());
+    }
+
+    #[test]
+    fn peephole_command_end_to_end() {
+        let args: Vec<String> =
+            ["peephole", "--circuit", "NOT(a) NOT(a) CNOT(a,b)", "--k", "2"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect();
+        assert!(dispatch(&args).is_ok());
+    }
+}

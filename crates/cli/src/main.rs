@@ -1,0 +1,18 @@
+//! `revsynth` — command-line optimal synthesis of 4-bit reversible circuits.
+//!
+//! See `revsynth help` for usage.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

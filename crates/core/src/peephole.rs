@@ -1,0 +1,226 @@
+//! Peephole optimization of long circuits.
+//!
+//! The paper's introduction positions the 0.01-second optimal synthesizer
+//! as a building block: "The algorithm could easily be integrated as part
+//! of peephole optimization, such as the one presented in [13]" (Prasad
+//! et al.). This module is that integration: slide a window over a long
+//! circuit, re-synthesize the function each window computes, and splice in
+//! the optimal replacement whenever it is shorter.
+//!
+//! Every window of `w ≤ 2k` gates computes a function of size ≤ w, so the
+//! optimal synthesizer is guaranteed to succeed on it — local optimality
+//! is certain, and repeated passes run to a fixpoint.
+
+use revsynth_circuit::Circuit;
+use revsynth_perm::Perm;
+
+use crate::error::SynthesisError;
+use crate::synth::Synthesizer;
+
+/// Sliding-window peephole optimizer backed by an optimal synthesizer.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::Circuit;
+/// use revsynth_core::{PeepholeOptimizer, Synthesizer};
+///
+/// let synth = Synthesizer::from_scratch(4, 3);
+/// let opt = PeepholeOptimizer::new(&synth);
+/// // A wasteful circuit: the middle pair cancels.
+/// let c: Circuit = "CNOT(a,b) NOT(c) NOT(c) TOF(a,b,d)".parse()?;
+/// let tightened = opt.optimize(&c)?;
+/// assert_eq!(tightened.len(), 2);
+/// assert_eq!(tightened.perm(4), c.perm(4));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PeepholeOptimizer<'a> {
+    synth: &'a Synthesizer,
+    window: usize,
+}
+
+impl<'a> PeepholeOptimizer<'a> {
+    /// Creates an optimizer with the default window (the synthesizer's
+    /// table depth `k + 2`, keeping every window synthesis on the cheap
+    /// end of the meet-in-the-middle regime).
+    #[must_use]
+    pub fn new(synth: &'a Synthesizer) -> Self {
+        let window = (synth.tables().k() + 2).min(synth.max_size());
+        PeepholeOptimizer { synth, window }
+    }
+
+    /// Creates an optimizer with an explicit window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or exceeds the synthesizer's searchable
+    /// bound `2k` (windows beyond the bound could fail mid-optimization).
+    #[must_use]
+    pub fn with_window(synth: &'a Synthesizer, window: usize) -> Self {
+        assert!(
+            window >= 1 && window <= synth.max_size(),
+            "window must be within 1..=2k"
+        );
+        PeepholeOptimizer { synth, window }
+    }
+
+    /// The window length in gates.
+    #[must_use]
+    pub const fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Runs sliding-window passes until no window can be shortened.
+    /// The result computes the same function with at most as many gates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesizer errors; impossible for windows within the
+    /// searchable bound unless the circuit touches wires outside the
+    /// synthesizer's domain.
+    pub fn optimize(&self, circuit: &Circuit) -> Result<Circuit, SynthesisError> {
+        let n = self.synth.wires();
+        let mut gates: Vec<_> = circuit.iter().copied().collect();
+        loop {
+            let mut improved = false;
+            let mut i = 0usize;
+            while i < gates.len() {
+                let end = (i + self.window).min(gates.len());
+                if end - i < 2 {
+                    break; // a single gate cannot shrink
+                }
+                let window_fn = gates[i..end]
+                    .iter()
+                    .fold(Perm::identity(), |acc, g| acc.then(g.perm(n)));
+                let replacement = self.synth.synthesize(window_fn)?;
+                if replacement.len() < end - i {
+                    gates.splice(i..end, replacement.iter().copied());
+                    improved = true;
+                    // Re-examine from a little before the splice: the new
+                    // boundary may enable further cancellation.
+                    i = i.saturating_sub(self.window - 1);
+                } else {
+                    i += 1;
+                }
+            }
+            if !improved {
+                return Ok(Circuit::from_gates(gates));
+            }
+        }
+    }
+
+    /// Optimizes and reports `(before, after)` gate counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`optimize`](Self::optimize).
+    pub fn optimize_with_stats(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<(Circuit, usize, usize), SynthesisError> {
+        let before = circuit.len();
+        let out = self.optimize(circuit)?;
+        let after = out.len();
+        Ok((out, before, after))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use revsynth_circuit::GateLib;
+    use std::sync::OnceLock;
+
+    fn synth() -> &'static Synthesizer {
+        static S: OnceLock<Synthesizer> = OnceLock::new();
+        S.get_or_init(|| Synthesizer::from_scratch(4, 3))
+    }
+
+    fn random_circuit(len: usize, seed: u64) -> Circuit {
+        let lib = GateLib::nct(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Circuit::from_gates((0..len).map(|_| lib.gate(rng.gen_range(0..lib.len()))))
+    }
+
+    #[test]
+    fn cancelling_pairs_are_removed() {
+        let opt = PeepholeOptimizer::new(synth());
+        let c: Circuit = "NOT(a) TOF(a,b,c) TOF(a,b,c) NOT(a)".parse().unwrap();
+        let out = opt.optimize(&c).unwrap();
+        assert!(out.is_empty(), "the whole circuit is the identity: {out}");
+    }
+
+    #[test]
+    fn preserves_function_on_random_circuits() {
+        let opt = PeepholeOptimizer::new(synth());
+        for seed in 0..10u64 {
+            let c = random_circuit(30, seed);
+            let out = opt.optimize(&c).unwrap();
+            assert_eq!(out.perm(4), c.perm(4), "seed {seed}");
+            assert!(out.len() <= c.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn is_a_fixpoint() {
+        let opt = PeepholeOptimizer::new(synth());
+        for seed in 20..25u64 {
+            let c = random_circuit(25, seed);
+            let once = opt.optimize(&c).unwrap();
+            let twice = opt.optimize(&once).unwrap();
+            assert_eq!(once, twice, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn windows_of_optimal_circuits_do_not_shrink() {
+        // Synthesize an optimal circuit, then peephole it: every window of
+        // an optimal circuit is itself optimal, so nothing changes
+        // (lengths are preserved; the gates themselves must survive too,
+        // since no strictly shorter window exists).
+        let s = synth();
+        let opt = PeepholeOptimizer::new(s);
+        let lib = GateLib::nct(4);
+        let mut f = Perm::identity();
+        for i in 0..40usize {
+            f = f.then(lib.perm_of((i * 5 + 2) % lib.len()));
+            if let Ok(c) = s.synthesize(f) {
+                let out = opt.optimize(&c).unwrap();
+                assert_eq!(out.len(), c.len(), "optimal circuits are stable");
+            }
+        }
+    }
+
+    #[test]
+    fn padded_optimal_circuit_recovers_its_length() {
+        // Insert a cancelling pair into an optimal circuit; the optimizer
+        // must recover a circuit of the original optimal length.
+        let s = synth();
+        let opt = PeepholeOptimizer::new(s);
+        let rd32: Circuit = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".parse().unwrap();
+        let mut padded: Vec<_> = rd32.iter().copied().collect();
+        let pad: Circuit = "TOF4(a,b,c,d)".parse().unwrap();
+        padded.insert(2, pad.gates()[0]);
+        padded.insert(3, pad.gates()[0]);
+        let padded = Circuit::from_gates(padded);
+        assert_eq!(padded.len(), 6);
+        let out = opt.optimize(&padded).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.perm(4), rd32.perm(4));
+    }
+
+    #[test]
+    fn window_bounds_are_validated() {
+        let s = synth();
+        assert_eq!(PeepholeOptimizer::new(s).window(), 5);
+        assert_eq!(PeepholeOptimizer::with_window(s, 6).window(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "within 1..=2k")]
+    fn oversized_window_rejected() {
+        let _ = PeepholeOptimizer::with_window(synth(), 7);
+    }
+}

@@ -1,0 +1,414 @@
+//! The synthesizer (paper Algorithm 1).
+
+use std::fmt;
+
+use revsynth_bfs::{SearchTables, StoredGate};
+use revsynth_circuit::{Circuit, Gate};
+use revsynth_perm::Perm;
+
+use crate::error::SynthesisError;
+
+/// Optimal-circuit synthesizer for reversible functions of size ≤ 2k.
+///
+/// Construct from precomputed tables ([`Synthesizer::new`]) or generate
+/// them on the spot ([`Synthesizer::from_scratch`]). The synthesizer is
+/// immutable and `Sync`: share it across threads behind a reference or an
+/// `Arc` to synthesize many functions concurrently.
+pub struct Synthesizer {
+    tables: SearchTables,
+}
+
+/// Detailed result of a synthesis, exposing the work performed
+/// (used by the Table 1 timing experiments and by tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Synthesis {
+    /// A gate-count-minimal circuit for the requested function.
+    pub circuit: Circuit,
+    /// Number of size-`i` lists scanned by the meet-in-the-middle phase
+    /// (0 when the fast path sufficed).
+    pub lists_scanned: usize,
+    /// Number of `canonicalize + probe` candidate tests performed by the
+    /// meet-in-the-middle phase.
+    pub candidates_tested: u64,
+}
+
+impl Synthesizer {
+    /// Wraps precomputed breadth-first tables.
+    #[must_use]
+    pub fn new(tables: SearchTables) -> Self {
+        Synthesizer { tables }
+    }
+
+    /// Generates tables for the full NCT library on `n` wires up to size
+    /// `k`, then wraps them. Convenience for examples and tests; real
+    /// deployments generate once and [`SearchTables::save`] the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 2, 3 or 4, or `k > 16`.
+    #[must_use]
+    pub fn from_scratch(n: usize, k: usize) -> Self {
+        Synthesizer::new(SearchTables::generate(n, k))
+    }
+
+    /// The underlying tables.
+    #[must_use]
+    pub fn tables(&self) -> &SearchTables {
+        &self.tables
+    }
+
+    /// The wire count.
+    #[must_use]
+    pub fn wires(&self) -> usize {
+        self.tables.wires()
+    }
+
+    /// The deepest size searchable with these tables: `k + deepest list`
+    /// = `2k` (every size-≤k list is stored).
+    #[must_use]
+    pub fn max_size(&self) -> usize {
+        2 * self.tables.k()
+    }
+
+    /// Synthesizes a gate-count-minimal circuit for `f`, searching up to
+    /// [`max_size`](Self::max_size) gates.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::DomainMismatch`] if `f` moves a point outside the
+    /// domain; [`SynthesisError::SizeExceedsLimit`] if `f` needs more than
+    /// `2k` gates.
+    pub fn synthesize(&self, f: Perm) -> Result<Circuit, SynthesisError> {
+        self.synthesize_within(f, self.max_size())
+            .map(|s| s.circuit)
+    }
+
+    /// Like [`synthesize`](Self::synthesize) but bounds the search to
+    /// circuits of at most `limit` gates and reports search statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize`](Self::synthesize), with `limit` in place of `2k`.
+    pub fn synthesize_within(
+        &self,
+        f: Perm,
+        limit: usize,
+    ) -> Result<Synthesis, SynthesisError> {
+        self.check_domain(f)?;
+        // Fast path: size ≤ k.
+        if let Some(circuit) = self.peel(f) {
+            if circuit.len() > limit {
+                return Err(SynthesisError::SizeExceedsLimit { function: f, limit });
+            }
+            return Ok(Synthesis {
+                circuit,
+                lists_scanned: 0,
+                candidates_tested: 0,
+            });
+        }
+
+        // Meet in the middle: find the smallest i with a size-i g such
+        // that f.then(g) has size ≤ k; then f = (f.then(g)).then(g⁻¹).
+        let k = self.tables.k();
+        let deepest = k.min(limit.saturating_sub(k));
+        let sym = self.tables.sym();
+        let mut members: Vec<Perm> = Vec::with_capacity(sym.max_class_size());
+        let mut candidates_tested = 0u64;
+        for i in 1..=deepest {
+            for &rep in self.tables.level(i) {
+                sym.class_members_into(rep, &mut members);
+                for &g in &members {
+                    let h = f.then(g);
+                    candidates_tested += 1;
+                    if self.tables.contains(sym.canonical(h)) {
+                        let front = self.peel(h).expect("h has size ≤ k");
+                        let back = self.peel(g.inverse()).expect("g⁻¹ has size i ≤ k");
+                        debug_assert_eq!(front.len(), k, "first hit must have residue k");
+                        debug_assert_eq!(back.len(), i, "suffix must have size i");
+                        return Ok(Synthesis {
+                            circuit: front.then(&back),
+                            lists_scanned: i,
+                            candidates_tested,
+                        });
+                    }
+                }
+            }
+        }
+        Err(SynthesisError::SizeExceedsLimit { function: f, limit })
+    }
+
+    /// The optimal size of `f` without building the circuit (cheaper in
+    /// the meet-in-the-middle phase: the halves are never reconstructed).
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize`](Self::synthesize).
+    pub fn size(&self, f: Perm) -> Result<usize, SynthesisError> {
+        self.check_domain(f)?;
+        if let Some(size) = self.tables.size_of(f) {
+            return Ok(size);
+        }
+        let k = self.tables.k();
+        let sym = self.tables.sym();
+        let mut members: Vec<Perm> = Vec::with_capacity(sym.max_class_size());
+        for i in 1..=k {
+            for &rep in self.tables.level(i) {
+                sym.class_members_into(rep, &mut members);
+                for &g in &members {
+                    if self.tables.contains(sym.canonical(f.then(g))) {
+                        return Ok(k + i);
+                    }
+                }
+            }
+        }
+        Err(SynthesisError::SizeExceedsLimit {
+            function: f,
+            limit: self.max_size(),
+        })
+    }
+
+    fn check_domain(&self, f: Perm) -> Result<(), SynthesisError> {
+        let n = self.tables.wires();
+        for x in (1u8 << n)..16 {
+            if f.apply(x) != x {
+                return Err(SynthesisError::DomainMismatch {
+                    wires: n,
+                    moved_point: x,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fast path: reconstructs a minimal circuit for a function of size
+    /// ≤ k by repeatedly looking up the stored boundary gate and peeling
+    /// it from the recorded side. Returns `None` when size(f) > k.
+    ///
+    /// Peeling side: with canonicalization witness (`inverted`, `σ`) and a
+    /// stored record (`λ̄`, `is_first` relative to the representative's
+    /// minimal circuit), the gate `λ = conj_{σ⁻¹}(λ̄)` sits at the **back**
+    /// of `f`'s circuit iff `inverted == is_first` (all four cases are
+    /// derived in the module tests and exercised exhaustively for n ≤ 3).
+    fn peel(&self, f: Perm) -> Option<Circuit> {
+        let n = self.tables.wires();
+        let sym = self.tables.sym();
+        let mut front: Vec<Gate> = Vec::new();
+        let mut back: Vec<Gate> = Vec::new();
+        let mut cur = f;
+        for _ in 0..=self.tables.k() {
+            if cur.is_identity() {
+                front.extend(back.iter().rev());
+                return Some(Circuit::from_gates(front));
+            }
+            let w = sym.canonicalize(cur);
+            match self.tables.lookup(w.rep)? {
+                StoredGate::Identity => {
+                    unreachable!("identity record for non-identity function")
+                }
+                StoredGate::Gate { gate, is_first } => {
+                    let lam = sym.gate_from_rep(&w, gate);
+                    let lam_perm = lam.perm(n);
+                    if w.inverted == is_first {
+                        back.push(lam);
+                        cur = cur.then(lam_perm);
+                    } else {
+                        front.push(lam);
+                        cur = lam_perm.then(cur);
+                    }
+                }
+            }
+        }
+        unreachable!("peeling exceeded k steps: table invariant violated")
+    }
+}
+
+impl fmt::Debug for Synthesizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Synthesizer(n={}, k={}, max size {})",
+            self.wires(),
+            self.tables.k(),
+            self.max_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_bfs::reference;
+    use revsynth_circuit::GateLib;
+    use std::sync::OnceLock;
+
+    fn synth_n4_k3() -> &'static Synthesizer {
+        static S: OnceLock<Synthesizer> = OnceLock::new();
+        S.get_or_init(|| Synthesizer::from_scratch(4, 3))
+    }
+
+    fn synth_n4_k4() -> &'static Synthesizer {
+        static S: OnceLock<Synthesizer> = OnceLock::new();
+        S.get_or_init(|| Synthesizer::from_scratch(4, 4))
+    }
+
+    #[test]
+    fn identity_synthesizes_to_empty_circuit() {
+        let c = synth_n4_k3().synthesize(Perm::identity()).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_gates_synthesize_to_one_gate() {
+        let s = synth_n4_k3();
+        for (_, gate, p) in GateLib::nct(4).iter() {
+            let c = s.synthesize(p).unwrap();
+            assert_eq!(c.len(), 1, "{gate}");
+            assert_eq!(c.perm(4), p);
+        }
+    }
+
+    #[test]
+    fn exhaustive_n2_matches_reference_sizes() {
+        let lib = GateLib::nct(2);
+        let oracle = reference::full_space_sizes(&lib);
+        let max = *oracle.values().max().unwrap();
+        let k = max.div_ceil(2);
+        let s = Synthesizer::from_scratch(2, k);
+        for (&f, &size) in &oracle {
+            let c = s.synthesize(f).unwrap();
+            assert_eq!(c.len(), size, "f = {f}");
+            assert_eq!(c.perm(2), f, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_n3_matches_reference_sizes() {
+        // Every one of the 40,320 3-wire functions: the synthesized
+        // circuit must compute f and have exactly the oracle's size.
+        let lib = GateLib::nct(3);
+        let oracle = reference::full_space_sizes(&lib);
+        let max = *oracle.values().max().unwrap();
+        let k = max.div_ceil(2);
+        let s = Synthesizer::from_scratch(3, k);
+        assert!(s.max_size() >= max);
+        for (&f, &size) in &oracle {
+            let c = s.synthesize(f).unwrap();
+            assert_eq!(c.len(), size, "f = {f}");
+            assert_eq!(c.perm(3), f, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn size_agrees_with_synthesize() {
+        let lib = GateLib::nct(3);
+        let oracle = reference::full_space_sizes(&lib);
+        let max = *oracle.values().max().unwrap();
+        let s = Synthesizer::from_scratch(3, max.div_ceil(2));
+        for (j, (&f, &size)) in oracle.iter().enumerate() {
+            if j % 53 == 0 {
+                assert_eq!(s.size(f).unwrap(), size, "f = {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn rd32_and_shift4_are_4_gates() {
+        // Paper Table 6, proved-optimal entries.
+        let s = synth_n4_k3();
+        let rd32 =
+            Perm::from_values(&[0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5]).unwrap();
+        let c = s.synthesize(rd32).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.perm(4), rd32);
+
+        let shift4 =
+            Perm::from_values(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0]).unwrap();
+        let c = s.synthesize(shift4).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.perm(4), shift4);
+    }
+
+    #[test]
+    fn benchmark_4bit_7_8_is_7_gates() {
+        // Paper Table 6: SOC = 7; with k = 4 the meet-in-the-middle phase
+        // must find it at list i = 3.
+        let s = synth_n4_k4();
+        let spec =
+            Perm::from_values(&[0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15]).unwrap();
+        let result = s.synthesize_within(spec, 8).unwrap();
+        assert_eq!(result.circuit.len(), 7);
+        assert_eq!(result.circuit.perm(4), spec);
+        assert_eq!(result.lists_scanned, 3);
+        assert!(result.candidates_tested > 0);
+    }
+
+    #[test]
+    fn imark_is_7_gates() {
+        let s = synth_n4_k4();
+        let spec =
+            Perm::from_values(&[4, 5, 2, 14, 0, 3, 6, 10, 11, 8, 15, 1, 12, 13, 7, 9]).unwrap();
+        let c = s.synthesize(spec).unwrap();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.perm(4), spec);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let s = synth_n4_k3();
+        // A function of size 7 cannot be synthesized within limit 5.
+        let spec =
+            Perm::from_values(&[0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15]).unwrap();
+        let err = s.synthesize_within(spec, 5).unwrap_err();
+        assert!(matches!(err, SynthesisError::SizeExceedsLimit { limit: 5, .. }));
+        // But 6 tables (k=3, lists to 3) can't reach size 7 either.
+        let err = s.synthesize_within(spec, 6).unwrap_err();
+        assert!(matches!(err, SynthesisError::SizeExceedsLimit { .. }));
+    }
+
+    #[test]
+    fn domain_mismatch_is_reported() {
+        let s = Synthesizer::from_scratch(3, 2);
+        // A genuine 4-wire function: moves point 8.
+        let f = Perm::from_values(&[0, 1, 2, 3, 4, 5, 6, 7, 9, 8, 10, 11, 12, 13, 14, 15]).unwrap();
+        let err = s.synthesize(f).unwrap_err();
+        assert!(matches!(
+            err,
+            SynthesisError::DomainMismatch { wires: 3, moved_point: 8 }
+        ));
+    }
+
+    #[test]
+    fn random_compositions_roundtrip() {
+        // Compose random gate sequences of length ≤ 2k; synthesis must
+        // return an equal-or-shorter circuit computing the same function.
+        let s = synth_n4_k3();
+        let lib = GateLib::nct(4);
+        let mut state = 0xD1B54A32D192ED03u64;
+        for trial in 0..200 {
+            let len = (state % (2 * 3 + 1)) as usize;
+            let mut f = Perm::identity();
+            for _ in 0..len {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let (_, _, p) = lib
+                    .iter()
+                    .nth((state >> 33) as usize % lib.len())
+                    .expect("index in range");
+                f = f.then(p);
+            }
+            let c = s.synthesize(f).unwrap_or_else(|e| {
+                panic!("trial {trial}: {e} (len {len})");
+            });
+            assert!(c.len() <= len, "trial {trial}: {} > {len}", c.len());
+            assert_eq!(c.perm(4), f, "trial {trial}");
+            state = state.wrapping_add(trial);
+        }
+    }
+
+    #[test]
+    fn synthesizer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Synthesizer>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Affine reversible functions `x ↦ Mx ⊕ c`.
+
+use std::fmt;
+
+use revsynth_perm::Perm;
+
+use crate::gf2::{all_invertible_matrices, Gf2Matrix};
+
+/// An affine reversible function on 4 wires: `x ↦ Mx ⊕ c` with
+/// `M ∈ GL(4, 2)`.
+///
+/// These are exactly the functions computable by NOT/CNOT circuits — the
+/// paper's "linear reversible functions" (§4.3), the workhorses of
+/// stabilizer/error-correction circuits.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_linear::{AffineFn, Gf2Matrix};
+/// use revsynth_perm::Perm;
+///
+/// let f = AffineFn::new(Gf2Matrix::identity(), 0b0001); // NOT(a)
+/// let p = f.to_perm();
+/// assert_eq!(p.apply(0), 1);
+/// assert_eq!(AffineFn::from_perm(p), Some(f));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffineFn {
+    matrix: Gf2Matrix,
+    offset: u8,
+}
+
+impl AffineFn {
+    /// Builds `x ↦ matrix·x ⊕ offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is singular (the map would not be reversible)
+    /// or the offset has bits above the 4-wire domain.
+    #[must_use]
+    pub fn new(matrix: Gf2Matrix, offset: u8) -> Self {
+        assert!(matrix.is_invertible(), "affine reversible needs M ∈ GL(4,2)");
+        assert!(offset < 16, "offset {offset} has bits outside 4 wires");
+        AffineFn { matrix, offset }
+    }
+
+    /// The linear part `M`.
+    #[must_use]
+    pub const fn matrix(self) -> Gf2Matrix {
+        self.matrix
+    }
+
+    /// The translation part `c`.
+    #[must_use]
+    pub const fn offset(self) -> u8 {
+        self.offset
+    }
+
+    /// Evaluates the map at one point.
+    #[must_use]
+    pub fn apply(self, x: u8) -> u8 {
+        self.matrix.apply(x) ^ self.offset
+    }
+
+    /// The map as a packed permutation.
+    #[must_use]
+    pub fn to_perm(self) -> Perm {
+        let mut vals = [0u8; 16];
+        for (x, v) in vals.iter_mut().enumerate() {
+            *v = self.apply(x as u8);
+        }
+        Perm::from_values(&vals).expect("an affine bijection is a permutation")
+    }
+
+    /// Recovers the affine form of a permutation, or `None` if the
+    /// permutation is not affine.
+    #[must_use]
+    pub fn from_perm(p: Perm) -> Option<Self> {
+        let c = p.apply(0);
+        let mut bits = 0u16;
+        for j in 0..4u8 {
+            let col = p.apply(1 << j) ^ c; // image of basis vector e_j
+            for r in 0..4u8 {
+                if col & (1 << r) != 0 {
+                    bits |= 1 << (4 * r + j);
+                }
+            }
+        }
+        let m = Gf2Matrix::from_bits(bits);
+        if !m.is_invertible() {
+            return None;
+        }
+        let f = AffineFn { matrix: m, offset: c };
+        (0..16u8).all(|x| f.apply(x) == p.apply(x)).then_some(f)
+    }
+
+    /// The inverse map `x ↦ M⁻¹(x ⊕ c)`.
+    #[must_use]
+    pub fn inverse(self) -> AffineFn {
+        let m_inv = self.matrix.inverse().expect("matrix is invertible");
+        AffineFn {
+            matrix: m_inv,
+            offset: m_inv.apply(self.offset),
+        }
+    }
+
+    /// Composition applying `self` first: `x ↦ other(self(x))`.
+    #[must_use]
+    pub fn then(self, other: AffineFn) -> AffineFn {
+        AffineFn {
+            matrix: other.matrix.mul(self.matrix),
+            offset: other.matrix.apply(self.offset) ^ other.offset,
+        }
+    }
+}
+
+impl fmt::Display for AffineFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x ↦ {}·x ⊕ {:#06b}", self.matrix, self.offset)
+    }
+}
+
+/// Whether a permutation is a linear reversible function in the paper's
+/// sense (computable by NOT/CNOT circuits, i.e. affine over GF(2)).
+#[must_use]
+pub fn is_linear_reversible(p: Perm) -> bool {
+    AffineFn::from_perm(p).is_some()
+}
+
+/// Iterates over all `20,160 · 16 = 322,560` affine reversible
+/// permutations of the 4-wire domain, each exactly once.
+pub fn all_affine_perms() -> impl Iterator<Item = Perm> {
+    all_invertible_matrices().into_iter().flat_map(|m| {
+        (0..16u8).map(move |c| AffineFn { matrix: m, offset: c }.to_perm())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_canon::Symmetries;
+    use revsynth_circuit::Circuit;
+
+    #[test]
+    fn group_laws() {
+        let a = AffineFn::new(Gf2Matrix::from_bits(0b1010_0110_0011_0001), 0b0110);
+        let b = AffineFn::new(Gf2Matrix::from_bits(0b0100_1000_0001_0010), 0b1001);
+        // Perm semantics agree with affine semantics.
+        assert_eq!(a.then(b).to_perm(), a.to_perm().then(b.to_perm()));
+        assert_eq!(a.inverse().to_perm(), a.to_perm().inverse());
+        assert!(a.then(a.inverse()).to_perm().is_identity());
+    }
+
+    #[test]
+    fn from_perm_roundtrip() {
+        let f = AffineFn::new(Gf2Matrix::from_bits(0b1010_0110_0011_0001), 0b0110);
+        assert_eq!(AffineFn::from_perm(f.to_perm()), Some(f));
+    }
+
+    #[test]
+    fn nonlinear_perms_are_rejected() {
+        // A Toffoli gate is not affine.
+        let tof: Circuit = "TOF(a,b,c)".parse().unwrap();
+        assert!(!is_linear_reversible(tof.perm(4)));
+        assert!(AffineFn::from_perm(tof.perm(4)).is_none());
+    }
+
+    #[test]
+    fn not_cnot_circuits_are_linear() {
+        let c: Circuit = "NOT(a) CNOT(a,b) CNOT(c,d) NOT(d) CNOT(d,a)".parse().unwrap();
+        assert!(is_linear_reversible(c.perm(4)));
+    }
+
+    #[test]
+    fn paper_linear_example_is_affine() {
+        // The §4.3 example a,b,c,d ↦ b⊕1, a⊕c⊕1, d⊕1, a.
+        let p = revsynth_specs_free_spec();
+        let f = AffineFn::from_perm(p).expect("example is affine");
+        assert_eq!(f.offset() & 0b0111, 0b0111); // three ⊕1 outputs
+    }
+
+    // Local copy of the §4.3 example spec to avoid a dependency cycle with
+    // revsynth-specs (which depends on circuit, not on linear).
+    fn revsynth_specs_free_spec() -> Perm {
+        let mut vals = [0u8; 16];
+        for (x, v) in vals.iter_mut().enumerate() {
+            let x = x as u8;
+            let (a, b, c, d) = (x & 1, (x >> 1) & 1, (x >> 2) & 1, (x >> 3) & 1);
+            *v = (b ^ 1) | ((a ^ c ^ 1) << 1) | ((d ^ 1) << 2) | (a << 3);
+        }
+        Perm::from_values(&vals).unwrap()
+    }
+
+    #[test]
+    fn enumeration_has_exactly_322560_distinct_perms() {
+        let mut count = 0u32;
+        let mut seen = std::collections::HashSet::new();
+        for p in all_affine_perms() {
+            count += 1;
+            seen.insert(p);
+        }
+        assert_eq!(count, 322_560);
+        assert_eq!(seen.len(), 322_560);
+    }
+
+    #[test]
+    fn equivalence_classes_preserve_affinity() {
+        // Conjugation by wire relabelings and inversion keep a function
+        // affine — the property that lets Table 5 be computed per class.
+        let sym = Symmetries::new(4);
+        let f = AffineFn::new(Gf2Matrix::from_bits(0b1010_0110_0011_0001), 0b0110).to_perm();
+        for member in sym.class_members(f) {
+            assert!(is_linear_reversible(member), "{member}");
+        }
+        // And a nonlinear function's class stays nonlinear.
+        let tof: Circuit = "TOF(a,b,c) CNOT(a,d)".parse().unwrap();
+        for member in sym.class_members(tof.perm(4)) {
+            assert!(!is_linear_reversible(member), "{member}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! 4×4 matrices over GF(2).
+
+use std::fmt;
+
+/// A 4×4 matrix over GF(2), stored row-major: bit `4·r + c` is the entry
+/// in row `r`, column `c`.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_linear::Gf2Matrix;
+///
+/// let id = Gf2Matrix::identity();
+/// assert!(id.is_invertible());
+/// assert_eq!(id.mul(id), id);
+/// assert_eq!(id.apply(0b1011), 0b1011);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gf2Matrix(u16);
+
+impl Gf2Matrix {
+    /// The identity matrix.
+    #[must_use]
+    pub const fn identity() -> Self {
+        Gf2Matrix(0b1000_0100_0010_0001)
+    }
+
+    /// Builds a matrix from its raw row-major bits.
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        Gf2Matrix(bits)
+    }
+
+    /// The raw row-major bits.
+    #[must_use]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Row `r` as a 4-bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 4`.
+    #[must_use]
+    pub fn row(self, r: usize) -> u8 {
+        assert!(r < 4);
+        ((self.0 >> (4 * r)) & 0xF) as u8
+    }
+
+    /// Column `c` as a 4-bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 4`.
+    #[must_use]
+    pub fn column(self, c: usize) -> u8 {
+        assert!(c < 4);
+        let mut col = 0u8;
+        for r in 0..4 {
+            col |= (((self.0 >> (4 * r + c)) & 1) as u8) << r;
+        }
+        col
+    }
+
+    /// Matrix–vector product `M·x` (vectors are 4-bit masks, bit `i` =
+    /// coordinate `i`).
+    #[must_use]
+    pub fn apply(self, x: u8) -> u8 {
+        let mut y = 0u8;
+        for r in 0..4 {
+            let dot = (self.row(r) & x).count_ones() & 1;
+            y |= (dot as u8) << r;
+        }
+        y
+    }
+
+    /// Matrix product `self · other`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // GF(2) product; std::ops::Mul is deliberately not implemented (no Output inference pitfalls in hot code)
+    pub fn mul(self, other: Gf2Matrix) -> Gf2Matrix {
+        let mut out = 0u16;
+        for r in 0..4 {
+            let mut row = 0u8;
+            let a_row = self.row(r);
+            for k in 0..4 {
+                if a_row & (1 << k) != 0 {
+                    row ^= other.row(k);
+                }
+            }
+            out |= u16::from(row) << (4 * r);
+        }
+        Gf2Matrix(out)
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(self) -> Gf2Matrix {
+        let mut out = 0u16;
+        for r in 0..4 {
+            out |= u16::from(self.column(r)) << (4 * r);
+        }
+        Gf2Matrix(out)
+    }
+
+    /// Rank over GF(2) (0..=4), by Gaussian elimination.
+    #[must_use]
+    pub fn rank(self) -> usize {
+        let mut rows = [self.row(0), self.row(1), self.row(2), self.row(3)];
+        let mut rank = 0;
+        for col in 0..4u8 {
+            let Some(pivot) = (rank..4).find(|&r| rows[r] & (1 << col) != 0) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            for r in 0..4 {
+                if r != rank && rows[r] & (1 << col) != 0 {
+                    rows[r] ^= rows[rank];
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Whether the matrix is invertible (rank 4).
+    #[must_use]
+    pub fn is_invertible(self) -> bool {
+        self.rank() == 4
+    }
+
+    /// The inverse matrix, if invertible (Gauss–Jordan on `[M | I]`).
+    #[must_use]
+    pub fn inverse(self) -> Option<Gf2Matrix> {
+        let mut rows = [self.row(0), self.row(1), self.row(2), self.row(3)];
+        let mut aug = [1u8, 2, 4, 8]; // identity rows
+        for col in 0..4usize {
+            let pivot = (col..4).find(|&r| rows[r] & (1 << col) != 0)?;
+            rows.swap(col, pivot);
+            aug.swap(col, pivot);
+            for r in 0..4 {
+                if r != col && rows[r] & (1 << col) != 0 {
+                    rows[r] ^= rows[col];
+                    aug[r] ^= aug[col];
+                }
+            }
+        }
+        let mut out = 0u16;
+        for (r, &bits) in aug.iter().enumerate() {
+            out |= u16::from(bits) << (4 * r);
+        }
+        Some(Gf2Matrix(out))
+    }
+}
+
+/// All 20,160 invertible 4×4 matrices over GF(2)
+/// (`|GL(4,2)| = 15·14·12·8`), by filtering all 2¹⁶ candidates.
+#[must_use]
+pub fn all_invertible_matrices() -> Vec<Gf2Matrix> {
+    (0..=u16::MAX)
+        .map(Gf2Matrix::from_bits)
+        .filter(|m| m.is_invertible())
+        .collect()
+}
+
+impl fmt::Debug for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Matrix({:#06x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf2Matrix {
+    /// Rows as bit strings, e.g. `[1000; 0100; 0010; 0001]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for r in 0..4 {
+            if r > 0 {
+                write!(f, "; ")?;
+            }
+            let row = self.row(r);
+            for c in 0..4 {
+                write!(f, "{}", (row >> c) & 1)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Gf2Matrix {
+    fn default() -> Self {
+        Gf2Matrix::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gl42_has_20160_elements() {
+        assert_eq!(all_invertible_matrices().len(), 20_160);
+    }
+
+    #[test]
+    fn identity_laws() {
+        let id = Gf2Matrix::identity();
+        for bits in [0x1234u16, 0x8421, 0xFFFF, 0x0001] {
+            let m = Gf2Matrix::from_bits(bits);
+            assert_eq!(m.mul(id), m);
+            assert_eq!(id.mul(m), m);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_sampled() {
+        for (i, m) in all_invertible_matrices().into_iter().enumerate() {
+            if i % 97 != 0 {
+                continue;
+            }
+            let inv = m.inverse().expect("invertible");
+            assert_eq!(m.mul(inv), Gf2Matrix::identity(), "{m}");
+            assert_eq!(inv.mul(m), Gf2Matrix::identity(), "{m}");
+        }
+    }
+
+    #[test]
+    fn singular_matrices_have_no_inverse() {
+        assert_eq!(Gf2Matrix::from_bits(0).inverse(), None);
+        assert_eq!(Gf2Matrix::from_bits(0).rank(), 0);
+        // Two equal rows.
+        let m = Gf2Matrix::from_bits(0b0001_0010_0001_0001);
+        assert!(!m.is_invertible());
+    }
+
+    #[test]
+    fn apply_matches_mul() {
+        let a = Gf2Matrix::from_bits(0b1010_0110_0011_1001);
+        let b = Gf2Matrix::from_bits(0b0100_1000_0001_0010);
+        for x in 0..16u8 {
+            assert_eq!(a.mul(b).apply(x), a.apply(b.apply(x)));
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_column() {
+        let m = Gf2Matrix::from_bits(0b1010_0110_0011_1001);
+        assert_eq!(m.transpose().transpose(), m);
+        for c in 0..4 {
+            assert_eq!(m.column(c), m.transpose().row(c));
+        }
+    }
+}

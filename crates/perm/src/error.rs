@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a byte sequence or packed word does not encode a
+/// valid permutation.
+///
+/// Produced by [`Perm::from_values`](crate::Perm::from_values) and
+/// [`Perm::from_packed`](crate::Perm::from_packed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidPermError {
+    /// The value list has a length other than 4, 8 or 16 (i.e. not `2ⁿ` for a
+    /// supported wire count `n ∈ {2, 3, 4}`).
+    BadLength(usize),
+    /// A value is outside the domain `{0, …, len−1}`.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u8,
+        /// The domain size it must be less than.
+        len: usize,
+    },
+    /// A value occurs twice, so the map is not a bijection.
+    DuplicateValue(u8),
+}
+
+impl fmt::Display for InvalidPermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidPermError::BadLength(len) => {
+                write!(f, "permutation length {len} is not 4, 8 or 16")
+            }
+            InvalidPermError::ValueOutOfRange { value, len } => {
+                write!(f, "value {value} is outside the domain 0..{len}")
+            }
+            InvalidPermError::DuplicateValue(v) => {
+                write!(f, "value {v} occurs more than once")
+            }
+        }
+    }
+}
+
+impl Error for InvalidPermError {}

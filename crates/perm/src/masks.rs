@@ -1,0 +1,148 @@
+//! Compile-time mask tables for conjugating a packed permutation by a wire
+//! transposition.
+//!
+//! Relabeling wires `a ↔ b` simultaneously on inputs and outputs acts on the
+//! packed word in two steps (this is the paper's `conjugate01`, generalized):
+//!
+//! 1. **Positions**: nibble `j` moves to the index obtained from `j` by
+//!    swapping bits `a` and `b`. Indices with equal bits stay put; the rest
+//!    move up or down by `Δ = 2ᵇ − 2ᵃ` positions (`4Δ` bits).
+//! 2. **Values**: bits `a` and `b` of every nibble are swapped.
+//!
+//! For the pair `(0, 1)` the generated masks are exactly the constants in the
+//! paper's listing (`0xF00FF00FF00FF00F`, `0x00F000F000F000F0`, …), which the
+//! unit tests pin down.
+
+/// Precomputed masks for one wire transposition `(a, b)` with `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranspositionMasks {
+    /// Wire pair, `a < b`.
+    pub wires: (u8, u8),
+    /// Nibbles whose index has equal bits `a`, `b` (they do not move).
+    pub pos_keep: u64,
+    /// Nibbles with bit `a` set and bit `b` clear (they move up by `Δ`).
+    pub pos_up: u64,
+    /// Nibbles with bit `b` set and bit `a` clear (they move down by `Δ`).
+    pub pos_down: u64,
+    /// Bit distance of the block move: `4Δ` where `Δ = 2ᵇ − 2ᵃ`.
+    pub pos_shift: u32,
+    /// Bit `a` of every nibble.
+    pub val_a: u64,
+    /// Bit `b` of every nibble.
+    pub val_b: u64,
+    /// All nibble bits other than `a` and `b`.
+    pub val_keep: u64,
+    /// Bit distance between bits `a` and `b`: `b − a`.
+    pub val_shift: u32,
+}
+
+const fn build(a: u32, b: u32) -> TranspositionMasks {
+    let delta = (1u32 << b) - (1u32 << a);
+    let mut pos_keep = 0u64;
+    let mut pos_up = 0u64;
+    let mut pos_down = 0u64;
+    let mut j = 0u32;
+    while j < 16 {
+        let bit_a = (j >> a) & 1;
+        let bit_b = (j >> b) & 1;
+        let field = 0xFu64 << (4 * j);
+        if bit_a == bit_b {
+            pos_keep |= field;
+        } else if bit_a == 1 {
+            pos_up |= field;
+        } else {
+            pos_down |= field;
+        }
+        j += 1;
+    }
+    let val_a = 0x1111_1111_1111_1111u64 << a;
+    let val_b = 0x1111_1111_1111_1111u64 << b;
+    TranspositionMasks {
+        wires: (a as u8, b as u8),
+        pos_keep,
+        pos_up,
+        pos_down,
+        pos_shift: 4 * delta,
+        val_a,
+        val_b,
+        val_keep: !(val_a | val_b),
+        val_shift: b - a,
+    }
+}
+
+/// Masks for the six wire transpositions, ordered (0,1), (0,2), (0,3),
+/// (1,2), (1,3), (2,3).
+pub const TRANSPOSITION_MASKS: [TranspositionMasks; 6] = [
+    build(0, 1),
+    build(0, 2),
+    build(0, 3),
+    build(1, 2),
+    build(1, 3),
+    build(2, 3),
+];
+
+/// Index of the transposition `(a, b)` in [`TRANSPOSITION_MASKS`].
+///
+/// # Panics
+///
+/// Panics if `a >= b` or `b >= 4`.
+#[inline]
+#[must_use]
+pub const fn pair_index(a: u8, b: u8) -> usize {
+    assert!(a < b && b < 4, "wire pair must satisfy a < b < 4");
+    match (a, b) {
+        (0, 1) => 0,
+        (0, 2) => 1,
+        (0, 3) => 2,
+        (1, 2) => 3,
+        (1, 3) => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair01_matches_paper_constants() {
+        // The paper's conjugate01 listing uses these masks verbatim.
+        let m = &TRANSPOSITION_MASKS[pair_index(0, 1)];
+        assert_eq!(m.pos_keep, 0xF00F_F00F_F00F_F00F);
+        assert_eq!(m.pos_up, 0x00F0_00F0_00F0_00F0);
+        assert_eq!(m.pos_down, 0x0F00_0F00_0F00_0F00);
+        assert_eq!(m.pos_shift, 4);
+        assert_eq!(m.val_keep, 0xCCCC_CCCC_CCCC_CCCC);
+        assert_eq!(m.val_a, 0x1111_1111_1111_1111);
+        assert_eq!(m.val_b, 0x2222_2222_2222_2222);
+        assert_eq!(m.val_shift, 1);
+    }
+
+    #[test]
+    fn masks_partition_the_word() {
+        for m in &TRANSPOSITION_MASKS {
+            assert_eq!(m.pos_keep | m.pos_up | m.pos_down, u64::MAX);
+            assert_eq!(m.pos_keep & m.pos_up, 0);
+            assert_eq!(m.pos_keep & m.pos_down, 0);
+            assert_eq!(m.pos_up & m.pos_down, 0);
+            assert_eq!(m.val_keep | m.val_a | m.val_b, u64::MAX);
+            // Up and down blocks are the same size and the shift maps one
+            // onto the other.
+            assert_eq!(m.pos_up << m.pos_shift, m.pos_down);
+            assert_eq!(m.val_a << m.val_shift, m.val_b);
+        }
+    }
+
+    #[test]
+    fn pair_index_is_consistent() {
+        let mut seen = [false; 6];
+        for a in 0..4u8 {
+            for b in (a + 1)..4u8 {
+                let i = pair_index(a, b);
+                assert_eq!(TRANSPOSITION_MASKS[i].wires, (a, b));
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,557 @@
+//! The packed permutation type and its straight-line kernels.
+
+use std::fmt;
+
+use crate::error::InvalidPermError;
+use crate::masks::{pair_index, TRANSPOSITION_MASKS};
+use crate::wire::WirePerm;
+
+/// Packed representation of the identity on `{0, …, 15}`:
+/// nibble `i` holds the value `i`.
+const IDENTITY_PACKED: u64 = 0xFEDC_BA98_7654_3210;
+
+/// A reversible function on up to 4 wires, stored as a permutation of
+/// `{0, …, 15}` packed into a `u64` (nibble `i` holds `f(i)`).
+///
+/// Functions on 2 or 3 wires are embedded as 16-point permutations fixing
+/// the points outside their domain, so every operation below is uniform
+/// straight-line code regardless of the wire count.
+///
+/// The derived [`Ord`] compares the packed words as unsigned integers — the
+/// total order the synthesis pipeline uses to pick canonical class
+/// representatives (any fixed total order works; see the crate docs).
+///
+/// # Example
+///
+/// ```
+/// use revsynth_perm::Perm;
+///
+/// let cnot_ab = Perm::from_values(&[0, 3, 2, 1])?; // CNOT(a,b) on 2 wires
+/// assert_eq!(cnot_ab.apply(1), 3);
+/// assert_eq!(cnot_ab.inverse(), cnot_ab); // reversible gates are involutions
+/// # Ok::<(), revsynth_perm::InvalidPermError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Perm(u64);
+
+impl Perm {
+    /// The identity function (empty circuit).
+    ///
+    /// ```
+    /// use revsynth_perm::Perm;
+    /// assert!(Perm::identity().is_identity());
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn identity() -> Self {
+        Perm(IDENTITY_PACKED)
+    }
+
+    /// Builds a permutation from its value list `f(0), f(1), …`.
+    ///
+    /// Accepts lists of length 4, 8 or 16 (for 2, 3 or 4 wires); shorter
+    /// domains are embedded by fixing the remaining points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPermError`] if the length is unsupported, a value is
+    /// out of range, or a value repeats.
+    pub fn from_values(values: &[u8]) -> Result<Self, InvalidPermError> {
+        let len = values.len();
+        if len != 4 && len != 8 && len != 16 {
+            return Err(InvalidPermError::BadLength(len));
+        }
+        let mut seen = [false; 16];
+        let mut packed = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            if usize::from(v) >= len {
+                return Err(InvalidPermError::ValueOutOfRange { value: v, len });
+            }
+            if seen[usize::from(v)] {
+                return Err(InvalidPermError::DuplicateValue(v));
+            }
+            seen[usize::from(v)] = true;
+            packed |= u64::from(v) << (4 * i);
+        }
+        // Identity padding for the points outside the declared domain.
+        for i in len..16 {
+            packed |= (i as u64) << (4 * i);
+        }
+        Ok(Perm(packed))
+    }
+
+    /// Reinterprets a packed word as a permutation, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPermError::DuplicateValue`] if two nibbles hold the
+    /// same value (the word is not a bijection).
+    pub fn from_packed(packed: u64) -> Result<Self, InvalidPermError> {
+        let mut seen = [false; 16];
+        let mut w = packed;
+        for _ in 0..16 {
+            let v = (w & 15) as usize;
+            if seen[v] {
+                return Err(InvalidPermError::DuplicateValue(v as u8));
+            }
+            seen[v] = true;
+            w >>= 4;
+        }
+        Ok(Perm(packed))
+    }
+
+    /// Reinterprets a packed word as a permutation without validation.
+    ///
+    /// Safe (no memory unsafety is possible), but operations on a
+    /// non-bijective word produce meaningless results. Intended for hot
+    /// paths that re-ingest words produced by this crate, e.g. hash-table
+    /// keys read back from a store file after checksum verification.
+    #[inline]
+    #[must_use]
+    pub const fn from_packed_unchecked(packed: u64) -> Self {
+        Perm(packed)
+    }
+
+    /// The packed `u64` (nibble `i` = `f(i)`).
+    #[inline]
+    #[must_use]
+    pub const fn packed(self) -> u64 {
+        self.0
+    }
+
+    /// Applies the function to a point: `f(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x >= 16`.
+    #[inline]
+    #[must_use]
+    pub const fn apply(self, x: u8) -> u8 {
+        debug_assert!(x < 16);
+        ((self.0 >> ((x as u32) * 4)) & 15) as u8
+    }
+
+    /// The value list `[f(0), …, f(15)]`.
+    #[must_use]
+    pub fn values(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        let mut w = self.0;
+        for slot in &mut out {
+            *slot = (w & 15) as u8;
+            w >>= 4;
+        }
+        out
+    }
+
+    /// Whether this is the identity function.
+    #[inline]
+    #[must_use]
+    pub const fn is_identity(self) -> bool {
+        self.0 == IDENTITY_PACKED
+    }
+
+    /// Functional composition, applying `self` first: `x ↦ q(self(x))`.
+    ///
+    /// This is the paper's `composition(p, q)` kernel (94 machine
+    /// instructions): nibble `i` of the result is nibble `p(i)` of `q`.
+    ///
+    /// ```
+    /// use revsynth_perm::Perm;
+    /// let p = Perm::from_values(&[1, 2, 3, 0])?; // +1 mod 4
+    /// assert_eq!(p.then(p).apply(3), 1);
+    /// # Ok::<(), revsynth_perm::InvalidPermError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn then(self, q: Perm) -> Perm {
+        let mut p = self.0;
+        let q = q.0;
+        let mut r = 0u64;
+        let mut i = 0u32;
+        while i < 16 {
+            r |= ((q >> ((p & 15) << 2)) & 15) << (4 * i);
+            p >>= 4;
+            i += 1;
+        }
+        Perm(r)
+    }
+
+    /// Mathematical composition `self ∘ g` (apply `g` first).
+    ///
+    /// `f.compose(g) == g.then(f)`; provided so call sites can match the
+    /// paper's right-to-left notation literally.
+    #[inline]
+    #[must_use]
+    pub fn compose(self, g: Perm) -> Perm {
+        g.then(self)
+    }
+
+    /// The inverse permutation (the paper's `inverse` kernel,
+    /// 59 machine instructions).
+    ///
+    /// ```
+    /// use revsynth_perm::Perm;
+    /// let p = Perm::from_values(&[2, 0, 3, 1])?;
+    /// assert!(p.then(p.inverse()).is_identity());
+    /// # Ok::<(), revsynth_perm::InvalidPermError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn inverse(self) -> Perm {
+        let mut p = self.0;
+        let mut q = 0u64;
+        let mut i = 0u64;
+        while i < 16 {
+            q |= i << ((p & 15) << 2);
+            p >>= 4;
+            i += 1;
+        }
+        Perm(q)
+    }
+
+    /// Conjugates by the simultaneous input/output relabeling that swaps
+    /// wires `a` and `b` (the paper's `conjugate01` kernel, generalized to
+    /// all six wire pairs through compile-time masks).
+    ///
+    /// The operation is an involution: applying it twice returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is `≥ 4`.
+    #[inline]
+    #[must_use]
+    pub fn conjugate_swap(self, a: u8, b: u8) -> Perm {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.conjugate_swap_indexed(pair_index(a, b))
+    }
+
+    /// Same as [`conjugate_swap`](Self::conjugate_swap), taking the
+    /// precomputed index into [`TRANSPOSITION_MASKS`] — the form used by the
+    /// canonicalization inner loop where the pair sequence is fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask_index >= 6`.
+    #[inline]
+    #[must_use]
+    pub fn conjugate_swap_indexed(self, mask_index: usize) -> Perm {
+        let m = &TRANSPOSITION_MASKS[mask_index];
+        // Step 1: permute the nibble positions (swap bits a,b of the index).
+        let p = (self.0 & m.pos_keep)
+            | ((self.0 & m.pos_up) << m.pos_shift)
+            | ((self.0 & m.pos_down) >> m.pos_shift);
+        // Step 2: swap bits a,b of every value nibble.
+        Perm((p & m.val_keep) | ((p & m.val_a) << m.val_shift) | ((p & m.val_b) >> m.val_shift))
+    }
+
+    /// Conjugates by an arbitrary wire relabeling `σ`:
+    /// returns `π_σ ∘ self ∘ π_σ⁻¹` where `π_σ` is the index map that moves
+    /// bit `w` to bit `σ(w)` ([`WirePerm::permute_index`]).
+    ///
+    /// This direction is chosen so that relabeling every gate of a circuit
+    /// by `σ` (wire `w` becomes wire `σ(w)`) transforms the computed
+    /// function exactly by this operation; for the transpositions used by
+    /// the canonicalization walk the two directions coincide.
+    ///
+    /// This is the reference implementation (a loop over all 16 points);
+    /// hot paths use chains of
+    /// [`conjugate_swap_indexed`](Self::conjugate_swap_indexed) instead.
+    #[must_use]
+    pub fn conjugate_by_wires(self, sigma: WirePerm) -> Perm {
+        let fwd = sigma;
+        let inv = sigma.inverse();
+        let mut packed = 0u64;
+        for x in 0..16u8 {
+            // f_σ(x) = π_σ( f( π_σ⁻¹(x) ) )
+            let y = fwd.permute_index(self.apply(inv.permute_index(x)));
+            packed |= u64::from(y) << (4 * x);
+        }
+        Perm(packed)
+    }
+
+    /// Number of points `x` with `f(x) ≠ x` (support size of the embedded
+    /// 16-point permutation).
+    #[must_use]
+    pub fn support(self) -> u32 {
+        let diff = self.0 ^ IDENTITY_PACKED;
+        let mut count = 0;
+        let mut w = diff;
+        while w != 0 {
+            count += 1;
+            w &= !(0xFu64 << ((w.trailing_zeros() / 4) * 4));
+        }
+        count
+    }
+
+    /// Whether the permutation is even (product of an even number of
+    /// transpositions). Linear reversible functions and circuits over
+    /// CNOT/TOF/TOF4 on ≥ 4 wires have constrained parity; exposed for
+    /// analysis and tests.
+    #[must_use]
+    pub fn is_even(self) -> bool {
+        // Count cycles; parity = (16 - #cycles) mod 2.
+        let vals = self.values();
+        let mut seen = [false; 16];
+        let mut cycles = 0u32;
+        for start in 0..16usize {
+            if seen[start] {
+                continue;
+            }
+            cycles += 1;
+            let mut x = start;
+            while !seen[x] {
+                seen[x] = true;
+                x = usize::from(vals[x]);
+            }
+        }
+        (16 - cycles).is_multiple_of(2)
+    }
+}
+
+impl Default for Perm {
+    /// The identity function, like [`Perm::identity`].
+    fn default() -> Self {
+        Perm::identity()
+    }
+}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perm({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Perm {
+    /// Formats as the value list used by the paper's benchmark
+    /// specifications, e.g. `[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::LowerHex for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Perm> for u64 {
+    fn from(p: Perm) -> u64 {
+        p.packed()
+    }
+}
+
+impl TryFrom<u64> for Perm {
+    type Error = InvalidPermError;
+
+    fn try_from(packed: u64) -> Result<Self, Self::Error> {
+        Perm::from_packed(packed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive array-based reference model.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct Ref([u8; 16]);
+
+    impl Ref {
+        fn of(p: Perm) -> Ref {
+            Ref(p.values())
+        }
+        fn to_perm(self) -> Perm {
+            Perm::from_values(&self.0).unwrap()
+        }
+        fn then(self, q: Ref) -> Ref {
+            let mut out = [0u8; 16];
+            for (slot, &v) in out.iter_mut().zip(&self.0) {
+                *slot = q.0[usize::from(v)];
+            }
+            Ref(out)
+        }
+        fn inverse(self) -> Ref {
+            let mut out = [0u8; 16];
+            for i in 0..16u8 {
+                out[usize::from(self.0[usize::from(i)])] = i;
+            }
+            Ref(out)
+        }
+    }
+
+    fn sample_perms() -> Vec<Perm> {
+        // A deterministic spread of permutations: rotations, benchmark-like
+        // value lists, and products thereof.
+        let mut ps = vec![
+            Perm::identity(),
+            Perm::from_values(&(0..16).map(|x| (x + 1) % 16).collect::<Vec<u8>>()).unwrap(),
+            Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap(),
+            Perm::from_values(&[0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5]).unwrap(),
+            Perm::from_values(&[1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15]).unwrap(),
+        ];
+        let a = ps[2];
+        let b = ps[3];
+        ps.push(a.then(b));
+        ps.push(b.then(a).inverse());
+        ps
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let id = Perm::identity();
+        assert_eq!(id.values(), [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        assert!(id.is_identity());
+        assert_eq!(id.inverse(), id);
+        assert_eq!(id.then(id), id);
+        assert!(id.is_even());
+        assert_eq!(id.support(), 0);
+    }
+
+    #[test]
+    fn from_values_validates() {
+        assert_eq!(
+            Perm::from_values(&[0, 1, 2]).unwrap_err(),
+            InvalidPermError::BadLength(3)
+        );
+        assert_eq!(
+            Perm::from_values(&[0, 1, 2, 4]).unwrap_err(),
+            InvalidPermError::ValueOutOfRange { value: 4, len: 4 }
+        );
+        assert_eq!(
+            Perm::from_values(&[0, 1, 2, 2]).unwrap_err(),
+            InvalidPermError::DuplicateValue(2)
+        );
+    }
+
+    #[test]
+    fn small_domain_embeds_with_identity_padding() {
+        let p = Perm::from_values(&[1, 0, 2, 3]).unwrap(); // NOT(a) on 2 wires
+        let vals = p.values();
+        assert_eq!(&vals[..4], &[1, 0, 2, 3]);
+        assert_eq!(&vals[4..], &[4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn from_packed_rejects_non_bijections() {
+        assert!(Perm::from_packed(0).is_err());
+        assert!(Perm::from_packed(IDENTITY_PACKED).is_ok());
+        assert!(Perm::from_packed(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn then_matches_reference() {
+        for &p in &sample_perms() {
+            for &q in &sample_perms() {
+                let expected = Ref::of(p).then(Ref::of(q)).to_perm();
+                assert_eq!(p.then(q), expected, "p={p} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_reference() {
+        for &p in &sample_perms() {
+            assert_eq!(p.inverse(), Ref::of(p).inverse().to_perm(), "p={p}");
+            assert!(p.then(p.inverse()).is_identity());
+            assert!(p.inverse().then(p).is_identity());
+        }
+    }
+
+    #[test]
+    fn compose_is_then_flipped() {
+        let ps = sample_perms();
+        for &p in &ps {
+            for &q in &ps {
+                assert_eq!(p.compose(q), q.then(p));
+            }
+        }
+    }
+
+    #[test]
+    fn conjugate_swap_matches_wire_conjugation() {
+        for &p in &sample_perms() {
+            for a in 0..4u8 {
+                for b in (a + 1)..4u8 {
+                    let sigma = WirePerm::transposition(a, b);
+                    assert_eq!(
+                        p.conjugate_swap(a, b),
+                        p.conjugate_by_wires(sigma),
+                        "p={p} swap=({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjugate_swap_is_involution() {
+        for &p in &sample_perms() {
+            for i in 0..6 {
+                assert_eq!(p.conjugate_swap_indexed(i).conjugate_swap_indexed(i), p);
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_group_structure() {
+        let ps = sample_perms();
+        for &p in &ps {
+            for &q in &ps {
+                for i in 0..6 {
+                    // conj(p.then(q)) == conj(p).then(conj(q))
+                    assert_eq!(
+                        p.then(q).conjugate_swap_indexed(i),
+                        p.conjugate_swap_indexed(i).then(q.conjugate_swap_indexed(i))
+                    );
+                    // conj(p⁻¹) == conj(p)⁻¹
+                    assert_eq!(
+                        p.inverse().conjugate_swap_indexed(i),
+                        p.conjugate_swap_indexed(i).inverse()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_value_list() {
+        assert_eq!(
+            Perm::identity().to_string(),
+            "[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]"
+        );
+    }
+
+    #[test]
+    fn parity_of_transposition_is_odd() {
+        let mut vals: Vec<u8> = (0..16).collect();
+        vals.swap(0, 1);
+        let p = Perm::from_values(&vals).unwrap();
+        assert!(!p.is_even());
+        assert!(p.then(p).is_even());
+        assert_eq!(p.support(), 2);
+    }
+
+    #[test]
+    fn ord_is_packed_word_order() {
+        let a = Perm::identity();
+        let mut vals: Vec<u8> = (0..16).collect();
+        vals.swap(14, 15); // changes the two most significant nibbles
+        let b = Perm::from_values(&vals).unwrap();
+        assert!(b < a, "swapping high nibbles lowers nibble 15");
+        assert_eq!(a.cmp(&b), a.packed().cmp(&b.packed()));
+    }
+}

@@ -1,0 +1,244 @@
+//! Wire relabelings: permutations of the wire labels `{0, 1, 2, 3}`.
+
+use std::fmt;
+
+/// Number of wires a [`WirePerm`] acts on.
+pub const MAX_WIRES: usize = 4;
+
+/// A permutation of the four wire labels, used for simultaneous input/output
+/// relabeling (the `σ` of the paper's §3.2).
+///
+/// `σ` maps wire `w` to wire `σ(w)`; the induced action on state indices
+/// moves bit `w` of the index to bit position `σ(w)`
+/// (see [`WirePerm::permute_index`]).
+///
+/// # Example
+///
+/// ```
+/// use revsynth_perm::WirePerm;
+///
+/// let swap01 = WirePerm::transposition(0, 1);
+/// // Index 0b0001 (wire 0 set) becomes 0b0010 (wire 1 set).
+/// assert_eq!(swap01.permute_index(0b0001), 0b0010);
+/// assert_eq!(swap01.then(swap01), WirePerm::identity());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WirePerm([u8; 4]);
+
+impl WirePerm {
+    /// The identity relabeling.
+    #[inline]
+    #[must_use]
+    pub const fn identity() -> Self {
+        WirePerm([0, 1, 2, 3])
+    }
+
+    /// The relabeling that swaps wires `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is `≥ 4`.
+    #[must_use]
+    pub fn transposition(a: u8, b: u8) -> Self {
+        assert!(a < 4 && b < 4 && a != b, "invalid wire transposition ({a},{b})");
+        let mut map = [0u8, 1, 2, 3];
+        map.swap(usize::from(a), usize::from(b));
+        WirePerm(map)
+    }
+
+    /// Builds a relabeling from the explicit map `w ↦ map[w]`.
+    ///
+    /// Returns `None` if `map` is not a permutation of `{0,1,2,3}`.
+    #[must_use]
+    pub fn from_map(map: [u8; 4]) -> Option<Self> {
+        let mut seen = [false; 4];
+        for &v in &map {
+            if v >= 4 || seen[usize::from(v)] {
+                return None;
+            }
+            seen[usize::from(v)] = true;
+        }
+        Some(WirePerm(map))
+    }
+
+    /// All 24 wire relabelings, in lexicographic order of their maps.
+    #[must_use]
+    pub fn all() -> Vec<WirePerm> {
+        let mut out = Vec::with_capacity(24);
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    for d in 0..4u8 {
+                        if let Some(w) = WirePerm::from_map([a, b, c, d]) {
+                            out.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Where wire `w` is sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= 4`.
+    #[inline]
+    #[must_use]
+    pub fn map(self, w: u8) -> u8 {
+        self.0[usize::from(w)]
+    }
+
+    /// The underlying map as an array.
+    #[inline]
+    #[must_use]
+    pub const fn as_array(self) -> [u8; 4] {
+        self.0
+    }
+
+    /// The inverse relabeling.
+    #[must_use]
+    pub fn inverse(self) -> WirePerm {
+        let mut out = [0u8; 4];
+        for w in 0..4u8 {
+            out[usize::from(self.0[usize::from(w)])] = w;
+        }
+        WirePerm(out)
+    }
+
+    /// Composition applying `self` first: `w ↦ other(self(w))`.
+    #[must_use]
+    pub fn then(self, other: WirePerm) -> WirePerm {
+        let mut out = [0u8; 4];
+        for (slot, &w) in out.iter_mut().zip(&self.0) {
+            *slot = other.0[usize::from(w)];
+        }
+        WirePerm(out)
+    }
+
+    /// The induced action on a state index: bit `w` of `x` moves to bit
+    /// position `σ(w)` of the result.
+    #[inline]
+    #[must_use]
+    pub fn permute_index(self, x: u8) -> u8 {
+        let mut y = 0u8;
+        for w in 0..4u8 {
+            y |= ((x >> w) & 1) << self.0[usize::from(w)];
+        }
+        y
+    }
+
+    /// Whether this relabeling only moves wires below `n` (so it is valid
+    /// for an `n`-wire function).
+    #[must_use]
+    pub fn fixes_wires_from(self, n: usize) -> bool {
+        (n..4).all(|w| usize::from(self.0[w]) == w)
+    }
+}
+
+impl Default for WirePerm {
+    fn default() -> Self {
+        WirePerm::identity()
+    }
+}
+
+impl fmt::Debug for WirePerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WirePerm({:?})", self.0)
+    }
+}
+
+impl fmt::Display for WirePerm {
+    /// Formats in one-line notation, e.g. `σ[0→1,1→0,2→2,3→3]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ[")?;
+        for (w, &v) in self.0.iter().enumerate() {
+            if w > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}→{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_24_distinct() {
+        let all = WirePerm::all();
+        assert_eq!(all.len(), 24);
+        let set: std::collections::HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), 24);
+        assert!(all.contains(&WirePerm::identity()));
+    }
+
+    #[test]
+    fn inverse_and_then_are_consistent() {
+        for &s in &WirePerm::all() {
+            assert_eq!(s.then(s.inverse()), WirePerm::identity());
+            assert_eq!(s.inverse().then(s), WirePerm::identity());
+            for &t in &WirePerm::all() {
+                // Index action is a homomorphism: (s.then(t)) acts like s then t.
+                for x in 0..16u8 {
+                    assert_eq!(
+                        s.then(t).permute_index(x),
+                        t.permute_index(s.permute_index(x))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpositions_generate() {
+        // (01), (12), (23) generate all 24 relabelings.
+        let gens = [
+            WirePerm::transposition(0, 1),
+            WirePerm::transposition(1, 2),
+            WirePerm::transposition(2, 3),
+        ];
+        let mut reached = std::collections::HashSet::new();
+        reached.insert(WirePerm::identity());
+        loop {
+            let mut next = reached.clone();
+            for &p in &reached {
+                for &g in &gens {
+                    next.insert(p.then(g));
+                }
+            }
+            if next.len() == reached.len() {
+                break;
+            }
+            reached = next;
+        }
+        assert_eq!(reached.len(), 24);
+    }
+
+    #[test]
+    fn from_map_rejects_non_permutations() {
+        assert!(WirePerm::from_map([0, 0, 1, 2]).is_none());
+        assert!(WirePerm::from_map([0, 1, 2, 4]).is_none());
+        assert!(WirePerm::from_map([3, 2, 1, 0]).is_some());
+    }
+
+    #[test]
+    fn fixes_wires_from_detects_small_domains() {
+        assert!(WirePerm::transposition(0, 1).fixes_wires_from(2));
+        assert!(!WirePerm::transposition(2, 3).fixes_wires_from(2));
+        assert!(WirePerm::identity().fixes_wires_from(0));
+    }
+
+    #[test]
+    fn index_action_moves_single_bits() {
+        let s = WirePerm::from_map([2, 0, 3, 1]).unwrap();
+        assert_eq!(s.permute_index(0b0001), 0b0100); // wire 0 → wire 2
+        assert_eq!(s.permute_index(0b0010), 0b0001); // wire 1 → wire 0
+        assert_eq!(s.permute_index(0b0100), 0b1000); // wire 2 → wire 3
+        assert_eq!(s.permute_index(0b1000), 0b0010); // wire 3 → wire 1
+        assert_eq!(s.permute_index(0b1111), 0b1111);
+    }
+}

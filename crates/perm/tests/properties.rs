@@ -1,0 +1,102 @@
+//! Property-based tests for the packed permutation kernel.
+
+use proptest::prelude::*;
+use revsynth_perm::{hash64shift, Perm, WirePerm};
+
+/// Strategy producing an arbitrary permutation of {0..15} (via sorting a
+/// random key per position — a standard random-permutation construction).
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    proptest::collection::vec(any::<u32>(), 16).prop_map(|keys| {
+        let mut idx: Vec<u8> = (0..16).collect();
+        idx.sort_by_key(|&i| keys[usize::from(i)]);
+        Perm::from_values(&idx).expect("sorted index list is a permutation")
+    })
+}
+
+fn arb_wire_perm() -> impl Strategy<Value = WirePerm> {
+    (0usize..24).prop_map(|i| WirePerm::all()[i])
+}
+
+proptest! {
+    #[test]
+    fn then_is_associative(p in arb_perm(), q in arb_perm(), r in arb_perm()) {
+        prop_assert_eq!(p.then(q).then(r), p.then(q.then(r)));
+    }
+
+    #[test]
+    fn identity_is_neutral(p in arb_perm()) {
+        prop_assert_eq!(p.then(Perm::identity()), p);
+        prop_assert_eq!(Perm::identity().then(p), p);
+    }
+
+    #[test]
+    fn inverse_roundtrip(p in arb_perm()) {
+        prop_assert!(p.then(p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(p).is_identity());
+        prop_assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn inverse_antihomomorphism(p in arb_perm(), q in arb_perm()) {
+        // (q ∘ p)⁻¹ = p⁻¹ ∘ q⁻¹, in `then` notation: (p.then(q))⁻¹ = q⁻¹.then(p⁻¹)
+        prop_assert_eq!(p.then(q).inverse(), q.inverse().then(p.inverse()));
+    }
+
+    #[test]
+    fn apply_agrees_with_values(p in arb_perm(), x in 0u8..16) {
+        prop_assert_eq!(p.apply(x), p.values()[usize::from(x)]);
+    }
+
+    #[test]
+    fn packed_roundtrip(p in arb_perm()) {
+        prop_assert_eq!(Perm::from_packed(p.packed()).unwrap(), p);
+        prop_assert_eq!(Perm::from_values(&p.values()).unwrap(), p);
+    }
+
+    #[test]
+    fn conjugation_by_any_wire_perm_is_group_action(p in arb_perm(), s in arb_wire_perm(), t in arb_wire_perm()) {
+        // Conjugation is a *left* action: conj_{s.then(t)} = conj_t ∘ conj_s,
+        // because π_{s.then(t)} = π_t ∘ π_s on state indices and
+        // conj_σ(f) = π_σ f π_σ⁻¹.
+        let one_step = p.conjugate_by_wires(s.then(t));
+        let two_step = p.conjugate_by_wires(s).conjugate_by_wires(t);
+        prop_assert_eq!(one_step, two_step);
+    }
+
+    #[test]
+    fn conjugation_preserves_composition(p in arb_perm(), q in arb_perm(), s in arb_wire_perm()) {
+        prop_assert_eq!(
+            p.then(q).conjugate_by_wires(s),
+            p.conjugate_by_wires(s).then(q.conjugate_by_wires(s))
+        );
+    }
+
+    #[test]
+    fn conjugation_preserves_parity_and_support(p in arb_perm(), s in arb_wire_perm()) {
+        let c = p.conjugate_by_wires(s);
+        prop_assert_eq!(c.is_even(), p.is_even());
+        prop_assert_eq!(c.support(), p.support());
+    }
+
+    #[test]
+    fn swap_kernel_equals_reference(p in arb_perm(), a in 0u8..4, b in 0u8..4) {
+        prop_assume!(a != b);
+        prop_assert_eq!(
+            p.conjugate_swap(a, b),
+            p.conjugate_by_wires(WirePerm::transposition(a, b))
+        );
+    }
+
+    #[test]
+    fn hash_is_injective_on_perms(p in arb_perm(), q in arb_perm()) {
+        // hash64shift is bijective on u64, so distinct perms hash distinctly.
+        if p != q {
+            prop_assert_ne!(hash64shift(p.packed()), hash64shift(q.packed()));
+        }
+    }
+
+    #[test]
+    fn ord_matches_packed(p in arb_perm(), q in arb_perm()) {
+        prop_assert_eq!(p.cmp(&q), p.packed().cmp(&q.packed()));
+    }
+}

@@ -1,0 +1,92 @@
+//! The Figure 2 one-bit full adder.
+//!
+//! The paper's motivating example (§2.1, Figure 2) contrasts a suboptimal
+//! and an optimal reversible implementation of the 1-bit full adder — the
+//! building block that dominates Shor's algorithm via integer adders. The
+//! optimal 4-gate circuit is the `rd32` benchmark of Table 6. Figure 2(a)
+//! is a drawing without printed gate text; we represent the suboptimal
+//! implementation by the natural redundant construction (carry as a
+//! 3-Toffoli majority vote, then two CNOTs for the sum), which computes
+//! the same adder functionality and compresses under optimal synthesis —
+//! the phenomenon the figure illustrates.
+
+use revsynth_circuit::Circuit;
+use revsynth_perm::Perm;
+
+/// The paper's optimal 4-gate adder (Figure 2(b) / Table 6 `rd32`).
+pub const OPTIMAL_TEXT: &str = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)";
+
+/// A redundant adder: majority vote into `d` with three Toffolis, then the
+/// sum `a ⊕ b ⊕ c` into `c` with two CNOTs (Figure 2(a) stand-in; see the
+/// module docs).
+pub const SUBOPTIMAL_TEXT: &str = "TOF(a,b,d) TOF(a,c,d) TOF(b,c,d) CNOT(a,c) CNOT(b,c)";
+
+/// Parses [`OPTIMAL_TEXT`].
+///
+/// # Panics
+///
+/// Never panics (the constant parses; covered by tests).
+#[must_use]
+pub fn optimal() -> Circuit {
+    OPTIMAL_TEXT.parse().expect("embedded circuit parses")
+}
+
+/// Parses [`SUBOPTIMAL_TEXT`].
+///
+/// # Panics
+///
+/// Never panics (the constant parses; covered by tests).
+#[must_use]
+pub fn suboptimal() -> Circuit {
+    SUBOPTIMAL_TEXT.parse().expect("embedded circuit parses")
+}
+
+/// The `rd32` adder specification (what [`optimal`] computes): inputs
+/// `(a, b, c_in, 0)`, outputs carry chain per Table 6.
+#[must_use]
+pub fn rd32_spec() -> Perm {
+    Perm::from_values(&[0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5])
+        .expect("rd32 spec is a valid permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_computes_rd32() {
+        assert_eq!(optimal().perm(4), rd32_spec());
+        assert_eq!(optimal().len(), 4);
+    }
+
+    #[test]
+    fn suboptimal_is_a_full_adder() {
+        // With d = 0 at the input: c becomes a ⊕ b ⊕ c (sum), d becomes
+        // maj(a, b, c) (carry-out).
+        let c = suboptimal();
+        for x in 0..8u8 {
+            let (a, b, cin) = (x & 1, (x >> 1) & 1, (x >> 2) & 1);
+            let y = c.simulate(x);
+            let sum = (y >> 2) & 1;
+            let carry = (y >> 3) & 1;
+            assert_eq!(sum, a ^ b ^ cin, "sum at {x}");
+            assert_eq!(carry, (a & b) | (a & cin) | (b & cin), "carry at {x}");
+            // a, b pass through unchanged in this construction.
+            assert_eq!(y & 1, a);
+            assert_eq!((y >> 1) & 1, b);
+        }
+        // The optimal adder computes the same sum and carry.
+        let o = optimal();
+        for x in 0..8u8 {
+            let y = o.simulate(x);
+            let (a, b, cin) = (x & 1, (x >> 1) & 1, (x >> 2) & 1);
+            assert_eq!((y >> 2) & 1, a ^ b ^ cin, "optimal sum at {x}");
+            assert_eq!((y >> 3) & 1, (a & b) | (a & cin) | (b & cin), "optimal carry at {x}");
+        }
+    }
+
+    #[test]
+    fn suboptimal_has_more_gates() {
+        assert!(suboptimal().len() > optimal().len());
+    }
+}

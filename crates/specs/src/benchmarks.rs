@@ -1,0 +1,289 @@
+//! The Table 6 benchmark suite.
+
+use revsynth_circuit::{Circuit, ParseCircuitError};
+use revsynth_perm::Perm;
+
+/// One row of the paper's Table 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// Benchmark name as used in the reversible-logic literature.
+    pub name: &'static str,
+    /// The function: `spec[i]` is the output index for input `i`.
+    pub spec: [u8; 16],
+    /// Size of the best circuit known before the paper (Table 6 "SBKC");
+    /// `None` for `primes4`, which the paper introduces.
+    pub best_known_size: Option<usize>,
+    /// Source of the best-known circuit (Table 6 "Source" citation keys).
+    pub best_known_source: &'static str,
+    /// Whether the best-known circuit had been proved optimal before the
+    /// paper (Table 6 "PO?").
+    pub proved_optimal_before: bool,
+    /// The optimal circuit size the paper establishes (Table 6 "SOC").
+    pub optimal_size: usize,
+    /// The optimal circuit printed in Table 6, in the paper's notation.
+    pub circuit_text: &'static str,
+    /// The paper's reported synthesis runtime in seconds (on CS1, after
+    /// the k = 9 tables were resident in RAM).
+    pub paper_runtime_seconds: f64,
+}
+
+impl Benchmark {
+    /// The specification as a packed permutation.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in table (validated by tests).
+    #[must_use]
+    pub fn perm(&self) -> Perm {
+        Perm::from_values(&self.spec).expect("benchmark specs are valid permutations")
+    }
+
+    /// Parses the paper's printed optimal circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error only if the embedded text is malformed
+    /// (ruled out by tests for the built-in table).
+    pub fn paper_circuit(&self) -> Result<Circuit, ParseCircuitError> {
+        self.circuit_text.parse()
+    }
+}
+
+/// The thirteen benchmark functions of the paper's Table 6.
+#[must_use]
+pub fn benchmarks() -> &'static [Benchmark] {
+    &TABLE6
+}
+
+/// Looks up a benchmark by name (e.g. `"hwb4"`).
+#[must_use]
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    TABLE6.iter().find(|b| b.name == name)
+}
+
+static TABLE6: [Benchmark; 13] = [
+    Benchmark {
+        name: "4_49",
+        spec: [15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11],
+        best_known_size: Some(12),
+        best_known_source: "[6]",
+        proved_optimal_before: false,
+        optimal_size: 12,
+        circuit_text: "NOT(a) CNOT(c,a) CNOT(a,d) TOF(a,b,d) CNOT(d,a) TOF(c,d,b) TOF(a,d,c) \
+                       TOF(b,c,a) TOF(a,b,d) NOT(a) CNOT(d,b) CNOT(d,c)",
+        paper_runtime_seconds: 0.000_690,
+    },
+    Benchmark {
+        name: "4bit-7-8",
+        spec: [0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15],
+        best_known_size: Some(7),
+        best_known_source: "[8]",
+        proved_optimal_before: false,
+        optimal_size: 7,
+        circuit_text: "CNOT(d,b) CNOT(d,a) CNOT(c,d) TOF4(a,b,d,c) CNOT(c,d) CNOT(d,b) CNOT(d,a)",
+        paper_runtime_seconds: 0.000_003,
+    },
+    Benchmark {
+        name: "decode42",
+        spec: [1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15],
+        best_known_size: Some(11),
+        best_known_source: "[4]",
+        proved_optimal_before: false,
+        optimal_size: 10,
+        circuit_text: "CNOT(c,b) CNOT(d,a) CNOT(c,a) TOF(a,d,b) CNOT(b,c) TOF4(a,b,c,d) \
+                       TOF(b,d,c) CNOT(c,a) CNOT(a,b) NOT(a)",
+        paper_runtime_seconds: 0.000_006,
+    },
+    Benchmark {
+        name: "hwb4",
+        spec: [0, 2, 4, 12, 8, 5, 9, 11, 1, 6, 10, 13, 3, 14, 7, 15],
+        best_known_size: Some(11),
+        best_known_source: "[6]",
+        proved_optimal_before: true,
+        optimal_size: 11,
+        circuit_text: "CNOT(b,d) CNOT(d,a) CNOT(a,c) TOF4(b,c,d,a) CNOT(d,b) CNOT(c,d) \
+                       TOF(a,c,b) TOF4(b,c,d,a) CNOT(d,c) CNOT(a,c) CNOT(b,d)",
+        paper_runtime_seconds: 0.000_106,
+    },
+    Benchmark {
+        name: "imark",
+        spec: [4, 5, 2, 14, 0, 3, 6, 10, 11, 8, 15, 1, 12, 13, 7, 9],
+        best_known_size: Some(7),
+        best_known_source: "[13]",
+        proved_optimal_before: false,
+        optimal_size: 7,
+        circuit_text: "TOF(c,d,a) TOF(a,b,d) CNOT(d,c) CNOT(b,c) CNOT(d,a) TOF(a,c,b) NOT(c)",
+        paper_runtime_seconds: 0.000_003,
+    },
+    Benchmark {
+        name: "mperk",
+        spec: [3, 11, 2, 10, 0, 7, 1, 6, 15, 8, 14, 9, 13, 5, 12, 4],
+        best_known_size: Some(9), // the paper marks this "9*": extra SWAPs needed
+        best_known_source: "[12, 8]",
+        proved_optimal_before: false,
+        optimal_size: 9,
+        circuit_text: "NOT(c) CNOT(d,c) TOF(c,d,b) TOF(a,c,d) CNOT(b,a) CNOT(d,a) CNOT(c,a) \
+                       CNOT(a,b) CNOT(b,c)",
+        paper_runtime_seconds: 0.000_003,
+    },
+    Benchmark {
+        name: "oc5",
+        spec: [6, 0, 12, 15, 7, 1, 5, 2, 4, 10, 13, 3, 11, 8, 14, 9],
+        best_known_size: Some(15),
+        best_known_source: "[14]",
+        proved_optimal_before: false,
+        optimal_size: 11,
+        circuit_text: "TOF(b,d,c) TOF(c,d,b) TOF(a,b,c) NOT(a) CNOT(d,b) CNOT(a,c) TOF(b,c,d) \
+                       CNOT(a,b) CNOT(c,a) CNOT(a,c) TOF4(a,b,d,c)",
+        paper_runtime_seconds: 0.000_313,
+    },
+    Benchmark {
+        name: "oc6",
+        spec: [9, 0, 2, 15, 11, 6, 7, 8, 14, 3, 4, 13, 5, 1, 12, 10],
+        best_known_size: Some(14),
+        best_known_source: "[14]",
+        proved_optimal_before: false,
+        optimal_size: 12,
+        circuit_text: "TOF4(b,c,d,a) TOF4(a,c,d,b) CNOT(d,c) TOF(b,c,d) TOF(c,d,a) \
+                       TOF4(a,b,d,c) CNOT(b,a) NOT(a) CNOT(c,b) CNOT(d,c) CNOT(a,d) TOF(b,d,c)",
+        paper_runtime_seconds: 0.000_745,
+    },
+    Benchmark {
+        name: "oc7",
+        spec: [6, 15, 9, 5, 13, 12, 3, 7, 2, 10, 1, 11, 0, 14, 4, 8],
+        best_known_size: Some(17),
+        best_known_source: "[14]",
+        proved_optimal_before: false,
+        optimal_size: 13,
+        circuit_text: "TOF(b,d,c) TOF(a,b,d) CNOT(b,a) TOF4(a,c,d,b) CNOT(c,b) CNOT(d,c) \
+                       TOF(a,c,d) NOT(b) NOT(d) CNOT(b,c) TOF(b,d,a) TOF(a,c,d) CNOT(c,a)",
+        paper_runtime_seconds: 0.026_5,
+    },
+    Benchmark {
+        name: "oc8",
+        spec: [11, 3, 9, 2, 7, 13, 15, 14, 8, 1, 4, 10, 0, 12, 6, 5],
+        best_known_size: Some(16),
+        best_known_source: "[14]",
+        proved_optimal_before: false,
+        optimal_size: 12,
+        // The arXiv text of Table 6 lists only 11 gates for oc8 (SOC = 12):
+        // one gate was lost in the PDF-to-text extraction. Exhaustive search
+        // over all 32 gates × 12 insertion points shows exactly one repair
+        // that reproduces the printed specification — a leading CNOT(a,b) —
+        // which is restored here (see tests/oc8_recovery.rs).
+        circuit_text: "CNOT(a,b) CNOT(d,a) TOF(b,c,a) TOF(c,d,b) TOF4(a,b,d,c) TOF(a,b,d) \
+                       TOF(a,d,b) NOT(a) NOT(b) TOF(b,d,a) CNOT(a,d) TOF(b,c,d)",
+        paper_runtime_seconds: 0.001_395,
+    },
+    Benchmark {
+        name: "primes4",
+        spec: [2, 3, 5, 7, 11, 13, 0, 1, 4, 6, 8, 9, 10, 12, 14, 15],
+        best_known_size: None, // introduced by the paper
+        best_known_source: "N/A",
+        proved_optimal_before: false,
+        optimal_size: 10,
+        circuit_text: "CNOT(d,c) CNOT(c,a) CNOT(b,c) NOT(b) TOF(b,c,d) TOF4(a,b,d,c) \
+                       TOF(a,c,b) NOT(a) TOF4(a,c,d,b) CNOT(b,a)",
+        paper_runtime_seconds: 0.000_012,
+    },
+    Benchmark {
+        name: "rd32",
+        spec: [0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5],
+        best_known_size: Some(4),
+        best_known_source: "[2]",
+        proved_optimal_before: true,
+        optimal_size: 4,
+        circuit_text: "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)",
+        paper_runtime_seconds: 0.000_002,
+    },
+    Benchmark {
+        name: "shift4",
+        spec: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0],
+        best_known_size: Some(4),
+        best_known_source: "[8]",
+        proved_optimal_before: true,
+        optimal_size: 4,
+        circuit_text: "TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)",
+        paper_runtime_seconds: 0.000_002,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_benchmarks() {
+        assert_eq!(benchmarks().len(), 13);
+        let names: std::collections::HashSet<_> = benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 13, "names are unique");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("hwb4").is_some());
+        assert!(benchmark("rd32").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn specs_are_valid_permutations() {
+        for b in benchmarks() {
+            let _ = b.perm(); // panics on invalid spec
+        }
+    }
+
+    #[test]
+    fn paper_circuits_parse_and_have_soc_gates() {
+        for b in benchmarks() {
+            let c = b.paper_circuit().unwrap_or_else(|e| {
+                panic!("{}: parse error {e}", b.name);
+            });
+            assert_eq!(c.len(), b.optimal_size, "{}: gate count vs SOC", b.name);
+        }
+    }
+
+    #[test]
+    fn paper_circuits_implement_their_specs() {
+        // This is the convention-pinning test: the paper's printed circuits
+        // simulate to the printed specifications, bit for bit.
+        for b in benchmarks() {
+            let c = b.paper_circuit().unwrap();
+            assert_eq!(
+                c.perm(4),
+                b.perm(),
+                "{}: published circuit does not implement the published spec",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn soc_never_exceeds_best_known() {
+        for b in benchmarks() {
+            if let Some(sbkc) = b.best_known_size {
+                assert!(b.optimal_size <= sbkc, "{}", b.name);
+                if b.proved_optimal_before {
+                    assert_eq!(b.optimal_size, sbkc, "{}", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_improvements_match_the_text() {
+        // The paper highlights: decode42 11→10, oc5 15→11, oc6 14→12,
+        // oc7 17→13, oc8 16→12.
+        for (name, sbkc, soc) in [
+            ("decode42", 11, 10),
+            ("oc5", 15, 11),
+            ("oc6", 14, 12),
+            ("oc7", 17, 13),
+            ("oc8", 16, 12),
+        ] {
+            let b = benchmark(name).unwrap();
+            assert_eq!(b.best_known_size, Some(sbkc), "{name}");
+            assert_eq!(b.optimal_size, soc, "{name}");
+        }
+    }
+}

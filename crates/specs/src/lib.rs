@@ -1,0 +1,38 @@
+//! Benchmark specifications and published circuits from the paper.
+//!
+//! * [`benchmarks`] — the thirteen benchmark functions of Table 6 of
+//!   *Synthesis of the Optimal 4-bit Reversible Circuits* (Golubitsky,
+//!   Falconer, Maslov; DAC 2010), each with its specification, the size of
+//!   the best previously-known circuit (SBKC), the optimal size the paper
+//!   proves (SOC), the optimal circuit the paper prints, and the reported
+//!   synthesis runtime.
+//! * [`adder`] — the Figure 2 one-bit full adder (the `rd32` function),
+//!   with a deliberately suboptimal implementation for the optimization
+//!   demonstration.
+//! * [`linear_example`] — the §4.3 example of one of the 138 hardest
+//!   linear reversible functions (10 gates).
+//!
+//! Every published circuit is verified against its specification by this
+//! crate's tests, which pins down the wire convention (`a` = least
+//! significant bit, circuits apply left to right) used across the
+//! workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use revsynth_specs::benchmark;
+//!
+//! let hwb4 = benchmark("hwb4").expect("hwb4 is in Table 6");
+//! assert_eq!(hwb4.optimal_size, 11);
+//! assert_eq!(hwb4.paper_circuit()?.len(), 11);
+//! # Ok::<(), revsynth_circuit::ParseCircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+mod benchmarks;
+pub mod linear_example;
+
+pub use benchmarks::{benchmark, benchmarks, Benchmark};

@@ -1,0 +1,89 @@
+//! Table statistics in the shape of the paper's Table 2.
+
+use std::fmt;
+
+/// Aggregate statistics of an [`FnTable`](crate::FnTable).
+///
+/// The paper's Table 2 reports, per configuration: slot count, memory
+/// usage, load factor, and average/maximal chain length. "Chains" in a
+/// linear-probing table are the maximal runs of occupied slots (clusters);
+/// this struct reports both cluster lengths and per-key displacements
+/// (probe distances), the latter being the better predictor of lookup
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableStats {
+    /// Number of stored entries.
+    pub entries: u64,
+    /// Number of slots (power of two).
+    pub capacity: u64,
+    /// Resident bytes of the key and value arrays.
+    pub memory_bytes: u64,
+    /// `entries / capacity`.
+    pub load_factor: f64,
+    /// Mean distance from a key's slot to its hash-home slot.
+    pub avg_displacement: f64,
+    /// Maximal such distance.
+    pub max_displacement: u64,
+    /// Number of maximal occupied runs.
+    pub clusters: u64,
+    /// Mean occupied-run length (the paper's "average chain length").
+    pub avg_cluster_len: f64,
+    /// Maximal occupied-run length (the paper's "maximal chain length").
+    pub max_cluster_len: u64,
+}
+
+impl TableStats {
+    /// Memory usage rendered like the paper ("256 MB", "2 GB", …).
+    #[must_use]
+    pub fn memory_display(&self) -> String {
+        let b = self.memory_bytes as f64;
+        if b >= (1u64 << 30) as f64 {
+            format!("{:.2} GB", b / (1u64 << 30) as f64)
+        } else if b >= (1u64 << 20) as f64 {
+            format!("{:.0} MB", b / (1u64 << 20) as f64)
+        } else if b >= 1024.0 {
+            format!("{:.0} KB", b / 1024.0)
+        } else {
+            format!("{b:.0} B")
+        }
+    }
+}
+
+impl fmt::Display for TableStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "size 2^{}, {} mem, load {:.2}, avg chain {:.2}, max chain {}",
+            self.capacity.trailing_zeros(),
+            self.memory_display(),
+            self.load_factor,
+            self.avg_cluster_len,
+            self.max_cluster_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_display_units() {
+        let mut s = TableStats {
+            entries: 0,
+            capacity: 0,
+            memory_bytes: 512,
+            load_factor: 0.0,
+            avg_displacement: 0.0,
+            max_displacement: 0,
+            clusters: 0,
+            avg_cluster_len: 0.0,
+            max_cluster_len: 0,
+        };
+        assert_eq!(s.memory_display(), "512 B");
+        s.memory_bytes = 256 * 1024 * 1024;
+        assert_eq!(s.memory_display(), "256 MB");
+        s.memory_bytes = 2 * 1024 * 1024 * 1024;
+        assert_eq!(s.memory_display(), "2.00 GB");
+    }
+}

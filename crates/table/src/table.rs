@@ -1,0 +1,448 @@
+//! The open-addressing table.
+
+use std::fmt;
+
+use revsynth_perm::{hash64shift, Perm};
+
+use crate::stats::TableStats;
+
+/// Empty-slot marker. `u64::MAX` decodes to a constant map (every nibble
+/// 15), which is not a bijection, so it can never collide with a real key.
+const EMPTY: u64 = u64::MAX;
+
+/// Default maximum load factor before the table doubles.
+const MAX_LOAD_NUM: usize = 7;
+const MAX_LOAD_DEN: usize = 8;
+
+/// A linear-probing hash table mapping packed permutations to one-byte
+/// values (paper §3.3).
+///
+/// Keys and values live in two parallel flat arrays; lookups hash the key
+/// with [`hash64shift`] and scan forward (wrapping) until the key or an
+/// empty slot is found.
+///
+/// The table grows automatically when the load factor would exceed 7/8,
+/// but callers that know the final entry count (the BFS does) should
+/// pre-size it with [`FnTable::for_entries`] or
+/// [`FnTable::with_capacity_bits`] to avoid rehashing hundreds of millions
+/// of keys.
+#[derive(Clone)]
+pub struct FnTable {
+    keys: Vec<u64>,
+    values: Vec<u8>,
+    mask: u64,
+    len: usize,
+}
+
+impl FnTable {
+    /// Creates a table with `2^bits` slots.
+    ///
+    /// The paper's configurations (Table 2): 2²⁵ slots for k = 7 (256 MB),
+    /// 2²⁸ for k = 8 (2 GB), 2³² for k = 9 (32 GB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 40.
+    #[must_use]
+    pub fn with_capacity_bits(bits: u32) -> Self {
+        assert!((1..=40).contains(&bits), "unreasonable table size 2^{bits}");
+        let cap = 1usize << bits;
+        FnTable {
+            keys: vec![EMPTY; cap],
+            values: vec![0; cap],
+            mask: (cap - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Creates a table sized for `expected` entries at a load factor of at
+    /// most ~0.58 (the paper's k = 7 configuration), rounded up to a power
+    /// of two.
+    #[must_use]
+    pub fn for_entries(expected: usize) -> Self {
+        let min_slots = (expected.max(4) * 12) / 7; // expected / 0.583
+        let bits = usize::BITS - (min_slots - 1).leading_zeros();
+        Self::with_capacity_bits(bits.max(3))
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots (a power of two).
+    #[inline]
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Current load factor `len / capacity`.
+    #[must_use]
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    /// Approximate resident memory in bytes (keys + values arrays).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.values.len()
+    }
+
+    #[inline]
+    fn home_slot(&self, key: u64) -> usize {
+        (hash64shift(key) & self.mask) as usize
+    }
+
+    /// Whether `key` is present. This is the hot membership test of
+    /// Algorithm 1's inner loop.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, key: Perm) -> bool {
+        let key = key.packed();
+        let mut i = self.home_slot(key);
+        loop {
+            let slot = self.keys[i];
+            if slot == key {
+                return true;
+            }
+            if slot == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// The value stored for `key`, if present.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: Perm) -> Option<u8> {
+        let key = key.packed();
+        let mut i = self.home_slot(key);
+        loop {
+            let slot = self.keys[i];
+            if slot == key {
+                return Some(self.values[i]);
+            }
+            if slot == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if the key was
+    /// present.
+    pub fn insert(&mut self, key: Perm, value: u8) -> Option<u8> {
+        self.grow_if_needed();
+        let key = key.packed();
+        let mut i = self.home_slot(key);
+        loop {
+            let slot = self.keys[i];
+            if slot == key {
+                let old = self.values[i];
+                self.values[i] = value;
+                return Some(old);
+            }
+            if slot == EMPTY {
+                self.keys[i] = key;
+                self.values[i] = value;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Inserts only if the key is absent; returns `true` when inserted.
+    /// This is the BFS's "new canonical representative?" test-and-set.
+    #[inline]
+    pub fn insert_if_absent(&mut self, key: Perm, value: u8) -> bool {
+        self.grow_if_needed();
+        let key = key.packed();
+        let mut i = self.home_slot(key);
+        loop {
+            let slot = self.keys[i];
+            if slot == key {
+                return false;
+            }
+            if slot == EMPTY {
+                self.keys[i] = key;
+                self.values[i] = value;
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    fn grow_if_needed(&mut self) {
+        if (self.len + 1) * MAX_LOAD_DEN > self.capacity() * MAX_LOAD_NUM {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.capacity() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_values = std::mem::replace(&mut self.values, vec![0; new_cap]);
+        self.mask = (new_cap - 1) as u64;
+        self.len = 0;
+        for (key, value) in old_keys.into_iter().zip(old_values) {
+            if key != EMPTY {
+                // Re-insert without the growth check (capacity is ample).
+                let mut i = self.home_slot(key);
+                while self.keys[i] != EMPTY {
+                    i = (i + 1) & self.mask as usize;
+                }
+                self.keys[i] = key;
+                self.values[i] = value;
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Perm, u8)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (Perm::from_packed_unchecked(k), v))
+    }
+
+    /// Probe and cluster statistics in the shape of the paper's Table 2.
+    ///
+    /// This scans the whole table; intended for reporting, not hot paths.
+    #[must_use]
+    pub fn stats(&self) -> TableStats {
+        let cap = self.capacity();
+        // Displacement: distance from each occupied slot to its home slot.
+        let mut total_displacement = 0u64;
+        let mut max_displacement = 0u64;
+        for (i, &key) in self.keys.iter().enumerate() {
+            if key == EMPTY {
+                continue;
+            }
+            let home = self.home_slot(key);
+            let d = (i + cap - home) as u64 & self.mask;
+            total_displacement += d;
+            max_displacement = max_displacement.max(d);
+        }
+        // Clusters: maximal runs of occupied slots (wrapping).
+        let mut clusters = 0u64;
+        let mut total_cluster_len = 0u64;
+        let mut max_cluster_len = 0u64;
+        let mut run = 0u64;
+        // Find a starting empty slot to unwrap the circular scan; a full
+        // table (load factor 1) is impossible because growth triggers at 7/8.
+        let start = self
+            .keys
+            .iter()
+            .position(|&k| k == EMPTY)
+            .expect("table below maximum load always has an empty slot");
+        for offset in 0..cap {
+            let i = (start + 1 + offset) & self.mask as usize;
+            if self.keys[i] != EMPTY {
+                run += 1;
+            } else if run > 0 {
+                clusters += 1;
+                total_cluster_len += run;
+                max_cluster_len = max_cluster_len.max(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            clusters += 1;
+            total_cluster_len += run;
+            max_cluster_len = max_cluster_len.max(run);
+        }
+        TableStats {
+            entries: self.len as u64,
+            capacity: cap as u64,
+            memory_bytes: self.memory_bytes() as u64,
+            load_factor: self.load_factor(),
+            avg_displacement: if self.len == 0 {
+                0.0
+            } else {
+                total_displacement as f64 / self.len as f64
+            },
+            max_displacement,
+            clusters,
+            avg_cluster_len: if clusters == 0 {
+                0.0
+            } else {
+                total_cluster_len as f64 / clusters as f64
+            },
+            max_cluster_len,
+        }
+    }
+}
+
+impl fmt::Debug for FnTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FnTable({} entries, 2^{} slots, load {:.2})",
+            self.len,
+            self.capacity().trailing_zeros(),
+            self.load_factor()
+        )
+    }
+}
+
+impl Default for FnTable {
+    /// A small empty table (grows on demand).
+    fn default() -> Self {
+        FnTable::with_capacity_bits(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm_of(i: u64) -> Perm {
+        // Derive a valid permutation from an integer by composing wire
+        // swaps and rotations of the identity — enough variety for tests.
+        let mut vals: Vec<u8> = (0..16).collect();
+        let mut x = i;
+        for j in (1..16).rev() {
+            vals.swap(j, (x % (j as u64 + 1)) as usize);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >>= 8;
+            if x == 0 {
+                x = i.wrapping_add(j as u64);
+            }
+        }
+        Perm::from_values(&vals).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = FnTable::for_entries(1000);
+        for i in 0..1000u64 {
+            t.insert(perm_of(i), (i % 251) as u8);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(t.get(perm_of(i)), Some((i % 251) as u8), "key {i}");
+            assert!(t.contains(perm_of(i)));
+        }
+        assert!(!t.contains(perm_of(5000)) || perm_of(5000) == perm_of(999));
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = FnTable::default();
+        let p = Perm::identity();
+        assert_eq!(t.insert(p, 1), None);
+        assert_eq!(t.insert(p, 2), Some(1));
+        assert_eq!(t.get(p), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_if_absent_keeps_first() {
+        let mut t = FnTable::default();
+        let p = Perm::identity();
+        assert!(t.insert_if_absent(p, 1));
+        assert!(!t.insert_if_absent(p, 2));
+        assert_eq!(t.get(p), Some(1));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = FnTable::with_capacity_bits(3); // 8 slots
+        let count = 500u64;
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..count {
+            let p = perm_of(i);
+            distinct.insert(p);
+            t.insert(p, (i & 0xFF) as u8);
+        }
+        assert_eq!(t.len(), distinct.len());
+        assert!(t.capacity() >= distinct.len());
+        for i in 0..count {
+            assert!(t.contains(perm_of(i)));
+        }
+    }
+
+    #[test]
+    fn model_check_against_std_hashmap() {
+        let mut t = FnTable::with_capacity_bits(4);
+        let mut model = std::collections::HashMap::new();
+        let mut state = 0x12345678u64;
+        for step in 0..5000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = perm_of(state % 700);
+            let value = (state >> 32) as u8;
+            match state % 3 {
+                0 => {
+                    assert_eq!(t.insert(key, value), model.insert(key, value), "step {step}");
+                }
+                1 => {
+                    let inserted = t.insert_if_absent(key, value);
+                    let model_inserted = match model.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(_) => false,
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(value);
+                            true
+                        }
+                    };
+                    assert_eq!(inserted, model_inserted, "step {step}");
+                }
+                _ => {
+                    assert_eq!(t.get(key), model.get(&key).copied(), "step {step}");
+                    assert_eq!(t.contains(key), model.contains_key(&key), "step {step}");
+                }
+            }
+            assert_eq!(t.len(), model.len(), "step {step}");
+        }
+        // Final sweep.
+        for (k, v) in &model {
+            assert_eq!(t.get(*k), Some(*v));
+        }
+        let from_iter: std::collections::HashMap<Perm, u8> = t.iter().collect();
+        assert_eq!(from_iter, model);
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let mut t = FnTable::with_capacity_bits(10);
+        for i in 0..512u64 {
+            t.insert(perm_of(i), 0);
+        }
+        let s = t.stats();
+        assert_eq!(s.entries, t.len() as u64);
+        assert_eq!(s.capacity, 1024);
+        assert!(s.load_factor > 0.3 && s.load_factor < 0.6);
+        assert!(s.avg_cluster_len >= 1.0);
+        assert!(s.max_cluster_len >= s.avg_cluster_len as u64);
+        assert!(s.max_displacement >= s.avg_displacement as u64);
+        assert_eq!(s.memory_bytes, 1024 * 9);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = FnTable::default();
+        let s = t.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.clusters, 0);
+        assert_eq!(s.avg_cluster_len, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable table size")]
+    fn rejects_oversized_tables() {
+        let _ = FnTable::with_capacity_bits(63);
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 6: optimal synthesis of the benchmark suite.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example benchmark_suite -- [k]
+//! ```
+//!
+//! `k` defaults to 6, which covers every Table 6 benchmark except `oc7`
+//! (SOC 13 > 2·6); pass 7 to synthesize all thirteen (the k = 7 table
+//! generation takes a few minutes on one core and holds ~21M classes).
+
+use std::time::Instant;
+
+use revsynth::core::Synthesizer;
+use revsynth::specs::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(6);
+
+    println!("Generating tables (n = 4, k = {k}) ...");
+    let start = Instant::now();
+    let synth = Synthesizer::from_scratch(4, k);
+    println!(
+        "  {} classes, {:.2?}, searchable size ≤ {}\n",
+        synth.tables().num_representatives(),
+        start.elapsed(),
+        synth.max_size()
+    );
+
+    println!(
+        "{:<10} {:>5} {:>4} {:>5} {:>12}  circuit",
+        "name", "SBKC", "SOC", "ours", "time"
+    );
+    let mut all_match = true;
+    for b in benchmarks() {
+        let sbkc = b
+            .best_known_size
+            .map_or("N/A".to_owned(), |s| s.to_string());
+        if b.optimal_size > synth.max_size() {
+            println!(
+                "{:<10} {:>5} {:>4} {:>5} {:>12}  (out of reach at k = {k}; rerun with k ≥ {})",
+                b.name,
+                sbkc,
+                b.optimal_size,
+                "-",
+                "-",
+                b.optimal_size.div_ceil(2)
+            );
+            continue;
+        }
+        let start = Instant::now();
+        let circuit = synth.synthesize(b.perm())?;
+        let elapsed = start.elapsed();
+        let ok = circuit.len() == b.optimal_size && circuit.perm(4) == b.perm();
+        all_match &= ok;
+        println!(
+            "{:<10} {:>5} {:>4} {:>5} {:>11.1?}{} {}",
+            b.name,
+            sbkc,
+            b.optimal_size,
+            circuit.len(),
+            elapsed,
+            if ok { " " } else { "!" },
+            circuit
+        );
+    }
+    println!(
+        "\n{}",
+        if all_match {
+            "All synthesized sizes equal the paper's SOC column."
+        } else {
+            "MISMATCH against the paper's SOC column!"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! §4.5 (scaled): searching for a hard permutation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example hard_search -- [seconds] [k] [seed]
+//! ```
+//!
+//! The paper ran a 12-hour search (extending 13/14-gate optimal circuits
+//! by boundary gates) for a permutation needing ≥ 15 gates, and found
+//! none. This example runs the same extension strategy inside a small
+//! time budget, in two acts:
+//!
+//! 1. **Exact analogue on 3 wires** — L(3) is computed exhaustively (all
+//!    40,320 functions), then the search must saturate it.
+//! 2. **Scaled 4-wire run** — with k = 6 tables (searchable size ≤ 12) the
+//!    search hunts for functions at the edge of reach; candidates beyond
+//!    the bound are reported, mirroring how the paper's search would have
+//!    flagged a > 14-gate permutation.
+
+use std::time::Duration;
+
+use revsynth::analysis::HardSearch;
+use revsynth::bfs::reference;
+use revsynth::circuit::GateLib;
+use revsynth::core::Synthesizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let seconds: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(10);
+    let k: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(6);
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(45);
+
+    // Act 1: the exact analogue on 3 wires.
+    println!("[1/2] exact analogue on n = 3");
+    let counts = reference::full_space_counts(&GateLib::nct(3));
+    let l3 = counts.len() - 1;
+    println!("  exhaustive census: L(3) = {l3} ({} functions need it)", counts[l3]);
+    let synth3 = Synthesizer::from_scratch(3, l3.div_ceil(2));
+    let outcome = HardSearch {
+        budget: Duration::from_secs(2),
+        seed,
+        pool: 8,
+        restart_percent: 30,
+    }
+    .run(&synth3);
+    println!(
+        "  search found max size {} after {} measurements — {}",
+        outcome.max_size,
+        outcome.examined,
+        if outcome.max_size == l3 { "saturates L(3) ✓" } else { "below L(3)!" }
+    );
+
+    // Act 2: the scaled 4-wire search.
+    println!("\n[2/2] scaled search on n = 4 (k = {k}, budget {seconds}s)");
+    let synth4 = Synthesizer::from_scratch(4, k);
+    println!(
+        "  tables ready; sizes ≤ {} searchable — hunting for the hardest reachable function",
+        synth4.max_size()
+    );
+    let outcome = HardSearch {
+        budget: Duration::from_secs(seconds),
+        seed,
+        pool: 16,
+        restart_percent: 20,
+    }
+    .run(&synth4);
+    println!(
+        "  hardest found: size {} (witness {})",
+        outcome.max_size, outcome.witness
+    );
+    println!(
+        "  measured {} candidates; {} exceeded the size-{} search bound",
+        outcome.examined,
+        outcome.unresolved,
+        synth4.max_size()
+    );
+    println!(
+        "  (the paper's full-scale run with k = 9 found nothing above 14 gates in 12 hours,\n   \
+         supporting the conjecture that no 4-bit function needs 15+ gates)"
+    );
+    Ok(())
+}

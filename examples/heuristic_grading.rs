@@ -1,0 +1,87 @@
+//! Grading a heuristic synthesizer against known optima.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example heuristic_grading -- [per_size] [k] [seed]
+//! ```
+//!
+//! The paper (§1 and future work) proposes using the optimal 4-bit
+//! synthesizer to build "a representative set of functions that could be
+//! used to test heuristic synthesis algorithms against" — replacing the
+//! too-easy 3-bit exam where good heuristics already score near-perfect.
+//!
+//! This example builds such a suite with known optimal sizes, then grades
+//! a classic *transformation-based greedy* heuristic (pick the gate that
+//! most reduces the output's Hamming distance from the identity, in the
+//! spirit of Miller–Maslov–Dueck) against the optimum.
+
+use revsynth::analysis::TestSet;
+use revsynth::circuit::{Circuit, GateLib};
+use revsynth::core::Synthesizer;
+use revsynth::perm::Perm;
+
+/// Total Hamming distance of `f` from the identity over all 16 points.
+fn badness(f: Perm) -> u32 {
+    (0..16u8).map(|x| (f.apply(x) ^ x).count_ones()).sum()
+}
+
+/// Greedy transformation-based synthesis: repeatedly append the gate that
+/// minimizes [`badness`]; give up after a gate budget.
+fn greedy(f: Perm, lib: &GateLib, budget: usize) -> Circuit {
+    let mut gates = Vec::new();
+    let mut cur = f;
+    while !cur.is_identity() && gates.len() < budget {
+        let (best_gate, best_perm, best_score) = lib
+            .iter()
+            .map(|(_, g, p)| (g, p, badness(cur.then(p))))
+            .min_by_key(|&(_, _, s)| s)
+            .expect("library is non-empty");
+        if best_score >= badness(cur) {
+            break; // local minimum: greedy is stuck
+        }
+        // The gate is applied at the output side of the remaining
+        // function, i.e. it comes *after* what is already fixed — build
+        // the circuit back-to-front.
+        gates.push(best_gate);
+        cur = cur.then(best_perm);
+    }
+    if !cur.is_identity() {
+        return Circuit::new(); // wrong answer; the score sheet counts it
+    }
+    gates.reverse();
+    Circuit::from_gates(gates)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let per_size: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(8);
+    let k: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2010);
+
+    println!("Building k = {k} tables and a graded test suite ...");
+    let synth = Synthesizer::from_scratch(4, k);
+    let suite = TestSet::generate(&synth, synth.max_size(), per_size, seed);
+    println!(
+        "  {} problems with known optima across sizes 0..={}\n",
+        suite.len(),
+        synth.max_size()
+    );
+
+    let lib = GateLib::nct(4);
+    let score = suite.score(4, |f| greedy(f, &lib, 40));
+
+    println!("greedy transformation-based heuristic:");
+    println!("  solved optimally : {:>4} / {}", score.optimal, score.total);
+    println!("  wrong answers    : {:>4}", score.incorrect);
+    println!("  excess gates     : {:>4}", score.excess_gates);
+    println!("  mean overhead    : {:.3}× the optimum", score.mean_overhead);
+
+    // The optimal synthesizer itself must ace the exam.
+    let perfect = suite.score(4, |f| synth.synthesize(f).expect("within reach"));
+    assert_eq!(perfect.optimal, perfect.total);
+    assert_eq!(perfect.incorrect, 0);
+    println!("\n(control: the optimal synthesizer scores {}/{} optimal — the exam works)",
+        perfect.optimal, perfect.total);
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Integration tests reproducing the paper's headline numbers end to end.
+//!
+//! A single shared k = 6 synthesizer (searchable size ≤ 12) backs all
+//! tests in this file; it is built once (~2–3 s in release, a little more
+//! under the test profile).
+
+use std::sync::OnceLock;
+
+use revsynth::analysis::sample_distribution;
+use revsynth::core::Synthesizer;
+use revsynth::linear::{linear_only_distribution, optimal_distribution, PAPER_TABLE5};
+use revsynth::specs::{adder, benchmarks, linear_example};
+
+fn synth_k6() -> &'static Synthesizer {
+    static S: OnceLock<Synthesizer> = OnceLock::new();
+    S.get_or_init(|| Synthesizer::from_scratch(4, 6))
+}
+
+/// Paper Table 4, sizes 0..=6: (functions, reduced).
+const TABLE4_TO_K6: [(u64, u64); 7] = [
+    (1, 1),
+    (32, 4),
+    (784, 33),
+    (16_204, 425),
+    (294_507, 6_538),
+    (4_807_552, 101_983),
+    (70_763_560, 1_482_686),
+];
+
+#[test]
+fn table4_exact_counts_to_size_6() {
+    let counts = synth_k6().tables().counts();
+    for (size, &(functions, reduced)) in TABLE4_TO_K6.iter().enumerate() {
+        assert_eq!(counts[size].functions, functions, "functions at size {size}");
+        assert_eq!(counts[size].reduced, reduced, "reduced at size {size}");
+    }
+}
+
+#[test]
+fn table6_benchmarks_synthesize_at_paper_optimal_sizes() {
+    // k = 6 reaches sizes ≤ 12: every Table 6 benchmark except oc7 (13).
+    let synth = synth_k6();
+    for b in benchmarks() {
+        if b.optimal_size > synth.max_size() {
+            assert_eq!(b.name, "oc7", "only oc7 exceeds 2k = 12");
+            continue;
+        }
+        let circuit = synth
+            .synthesize(b.perm())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(circuit.len(), b.optimal_size, "{}: size vs paper SOC", b.name);
+        assert_eq!(circuit.perm(4), b.perm(), "{}: circuit must implement spec", b.name);
+    }
+}
+
+#[test]
+fn table6_oc7_is_out_of_reach_at_k6_with_clean_error() {
+    let synth = synth_k6();
+    let oc7 = benchmarks().iter().find(|b| b.name == "oc7").expect("present");
+    assert_eq!(oc7.optimal_size, 13);
+    let err = synth.synthesize(oc7.perm()).unwrap_err();
+    assert!(matches!(
+        err,
+        revsynth::core::SynthesisError::SizeExceedsLimit { limit: 12, .. }
+    ));
+    // The paper's circuit still validates independently of our tables.
+    let paper = oc7.paper_circuit().expect("parses");
+    assert_eq!(paper.len(), 13);
+    assert_eq!(paper.perm(4), oc7.perm());
+}
+
+#[test]
+fn table5_full_library_equals_linear_only_and_paper() {
+    // Cross-check the claim implicit in the paper's Table 5: optimal
+    // circuits for linear functions don't benefit from Toffoli gates.
+    let full = optimal_distribution(synth_k6()).expect("sizes ≤ 10 within reach");
+    let linear_only = linear_only_distribution();
+    assert_eq!(full, linear_only.to_vec());
+    assert_eq!(&full[..], &PAPER_TABLE5[..], "paper Table 5");
+}
+
+#[test]
+fn figure2_adder_optimizes_to_4_gates() {
+    let synth = synth_k6();
+    // The redundant 5-gate adder compresses.
+    let sub = adder::suboptimal();
+    let optimized = synth.synthesize(sub.perm(4)).expect("small function");
+    assert!(optimized.len() < sub.len());
+    assert_eq!(optimized.perm(4), sub.perm(4));
+    // rd32 is proved optimal at 4.
+    let rd32 = synth.synthesize(adder::rd32_spec()).expect("size 4");
+    assert_eq!(rd32.len(), 4);
+}
+
+#[test]
+fn section_4_3_hardest_linear_example_is_size_10() {
+    let synth = synth_k6();
+    let spec = linear_example::spec();
+    let circuit = synth.synthesize(spec).expect("size 10 ≤ 12");
+    assert_eq!(circuit.len(), 10, "one of the 138 hardest linear functions");
+    assert_eq!(circuit.perm(4), spec);
+    // The paper's own circuit is also optimal (same size).
+    assert_eq!(linear_example::circuit().len(), 10);
+}
+
+#[test]
+fn random_sample_shape_matches_table3() {
+    // A small seeded sample: every resolved size must be in the 5..=12
+    // band the paper observed (at k = 6, sizes 13/14 are unresolved), and
+    // sizes 11/12 must dominate.
+    let dist = sample_distribution(synth_k6(), 12, 77).expect("valid domain");
+    assert_eq!(dist.total(), 12);
+    let resolved: u64 = dist.iter().map(|(_, c)| c).sum();
+    assert!(resolved >= 6, "at k = 6, ~76% of random samples resolve");
+    for (size, _) in dist.iter() {
+        assert!(
+            (5..=12).contains(&size),
+            "size {size} outside the paper's observed band"
+        );
+    }
+    let high: u64 = [11usize, 12].iter().map(|&s| dist.count(s)).sum();
+    assert!(
+        high * 2 >= resolved,
+        "sizes 11–12 dominate random permutations (paper: ~72%)"
+    );
+}

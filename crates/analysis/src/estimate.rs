@@ -98,8 +98,16 @@ mod tests {
     #[test]
     fn estimates_combine_exact_and_sampled() {
         let exact = vec![
-            LevelCount { size: 0, reduced: 1, functions: 1 },
-            LevelCount { size: 1, reduced: 4, functions: 32 },
+            LevelCount {
+                size: 0,
+                reduced: 1,
+                functions: 1,
+            },
+            LevelCount {
+                size: 1,
+                reduced: 4,
+                functions: 32,
+            },
         ];
         let mut sample = SizeDistribution::new();
         for _ in 0..90 {
@@ -122,6 +130,9 @@ mod tests {
         let (sampled, exact_frac) = validate_at(&exact, &sample, 1).unwrap();
         assert!((sampled - 0.1).abs() < 1e-12);
         assert!(exact_frac > 0.0);
-        assert!(validate_at(&exact, &sample, 0).is_none(), "no samples of size 0");
+        assert!(
+            validate_at(&exact, &sample, 0).is_none(),
+            "no samples of size 0"
+        );
     }
 }

@@ -15,11 +15,11 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use revsynth_circuit::GateLib;
 use revsynth_core::Synthesizer;
 use revsynth_perm::Perm;
+
+use crate::rng::{Rng, SplitMix64};
 
 /// Configuration of a hard-permutation search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +63,7 @@ pub struct HardSearchOutcome {
 /// Composes `len` uniformly random gates from `lib` — a candidate whose
 /// optimal size is at most `len`, hence cheap to measure when `len` is
 /// close to k.
-fn random_product<R: Rng + ?Sized>(lib: &GateLib, len: usize, rng: &mut R) -> Perm {
+fn random_product<R: Rng>(lib: &GateLib, len: usize, rng: &mut R) -> Perm {
     let mut f = Perm::identity();
     for _ in 0..len {
         f = f.then(lib.perm_of(rng.gen_range(0..lib.len())));
@@ -86,7 +86,7 @@ impl HardSearch {
     pub fn run(&self, synth: &Synthesizer) -> HardSearchOutcome {
         let lib = synth.tables().lib();
         let seed_len = synth.tables().k() + 2;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let deadline = Instant::now() + self.budget;
 
         let mut pool: Vec<(Perm, usize)> = Vec::with_capacity(self.pool);
@@ -94,10 +94,7 @@ impl HardSearch {
         let mut examined = 0u64;
         let mut unresolved = 0u64;
 
-        let measure = |f: Perm,
-                       examined: &mut u64,
-                       unresolved: &mut u64|
-         -> Option<usize> {
+        let measure = |f: Perm, examined: &mut u64, unresolved: &mut u64| -> Option<usize> {
             *examined += 1;
             match synth.size(f) {
                 Ok(s) => Some(s),
@@ -128,7 +125,7 @@ impl HardSearch {
         }
 
         while Instant::now() < deadline {
-            let candidate = if rng.gen_range(0..100) < u32::from(self.restart_percent) {
+            let candidate = if rng.gen_range(0u32..100) < u32::from(self.restart_percent) {
                 random_product(lib, seed_len, &mut rng)
             } else {
                 // Extend a pool member by a random gate at the beginning

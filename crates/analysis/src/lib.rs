@@ -11,8 +11,8 @@
 //!
 //! All randomness is seeded and reproducible. The paper used a Mersenne
 //! twister; any high-quality uniform generator is statistically equivalent
-//! for these experiments, and this crate uses `rand`'s `StdRng`
-//! (documented substitution, DESIGN.md §5).
+//! for these experiments, and this crate uses the self-contained
+//! [`rng::SplitMix64`] (documented substitution, DESIGN.md §5).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,10 +20,12 @@
 pub mod estimate;
 pub mod hard;
 pub mod random;
+pub mod rng;
 pub mod testset;
 pub mod timing;
 
 pub use estimate::{estimate_counts, SizeEstimate, TOTAL_4BIT_FUNCTIONS};
 pub use hard::{HardSearch, HardSearchOutcome};
-pub use random::{random_perm, sample_distribution, SizeDistribution};
+pub use random::{random_perm, sample_distribution, sample_distribution_with, SizeDistribution};
+pub use rng::{Rng, SplitMix64};
 pub use testset::{Score, TestCase, TestSet};

@@ -2,10 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use revsynth_core::{SynthesisError, Synthesizer};
+use revsynth_core::{SearchOptions, SynthesisError, Synthesizer};
 use revsynth_perm::Perm;
+
+use crate::rng::{Rng, SplitMix64};
 
 /// Draws a uniformly random permutation of the `2ⁿ`-point domain by
 /// Fisher–Yates shuffle (points outside the domain stay fixed).
@@ -13,7 +13,7 @@ use revsynth_perm::Perm;
 /// # Panics
 ///
 /// Panics if `n` is not 2, 3 or 4.
-pub fn random_perm<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Perm {
+pub fn random_perm<R: Rng>(n: usize, rng: &mut R) -> Perm {
     assert!((2..=4).contains(&n), "unsupported wire count {n}");
     let len = 1usize << n;
     let mut vals: Vec<u8> = (0..len as u8).collect();
@@ -133,14 +133,42 @@ pub fn sample_distribution(
     samples: usize,
     seed: u64,
 ) -> Result<SizeDistribution, SynthesisError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    sample_distribution_with(synth, samples, seed, &SearchOptions::new().threads(1))
+}
+
+/// Like [`sample_distribution`] but runs the sample through the batched
+/// (and optionally multi-threaded) search engine: level scans are
+/// amortized across blocks of samples instead of repeated per sample.
+/// Sizes — and therefore the returned distribution — are identical to the
+/// serial path for every thread count.
+///
+/// # Errors
+///
+/// As [`sample_distribution`].
+pub fn sample_distribution_with(
+    synth: &Synthesizer,
+    samples: usize,
+    seed: u64,
+    opts: &SearchOptions,
+) -> Result<SizeDistribution, SynthesisError> {
+    /// Batch block size: bounds the per-block allocation while leaving
+    /// plenty of queries to amortize each level scan over.
+    const BLOCK: usize = 1 << 13;
+
+    let mut rng = SplitMix64::new(seed);
     let mut dist = SizeDistribution::new();
-    for _ in 0..samples {
-        let p = random_perm(synth.wires(), &mut rng);
-        match synth.size(p) {
-            Ok(size) => dist.record(size),
-            Err(SynthesisError::SizeExceedsLimit { .. }) => dist.record_unresolved(),
-            Err(e) => return Err(e),
+    let mut remaining = samples;
+    while remaining > 0 {
+        let block: Vec<Perm> = (0..remaining.min(BLOCK))
+            .map(|_| random_perm(synth.wires(), &mut rng))
+            .collect();
+        remaining -= block.len();
+        for result in synth.size_many(&block, opts) {
+            match result {
+                Ok(size) => dist.record(size),
+                Err(SynthesisError::SizeExceedsLimit { .. }) => dist.record_unresolved(),
+                Err(e) => return Err(e),
+            }
         }
     }
     Ok(dist)
@@ -154,7 +182,7 @@ mod tests {
     fn random_perm_is_uniformish_on_n2() {
         // With 24 possible permutations and 2400 draws, every permutation
         // should appear (probability of a miss is astronomically small).
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2400 {
             seen.insert(random_perm(2, &mut rng));
@@ -164,7 +192,7 @@ mod tests {
 
     #[test]
     fn random_perm_fixes_points_outside_domain() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         for _ in 0..50 {
             let p = random_perm(3, &mut rng);
             for x in 8..16u8 {
@@ -181,6 +209,18 @@ mod tests {
         assert_eq!(a, b);
         let c = sample_distribution(&synth, 200, 43).unwrap();
         assert_ne!(a, c, "different seeds give different samples");
+    }
+
+    #[test]
+    fn batched_distribution_matches_serial() {
+        let synth = Synthesizer::from_scratch(3, 3);
+        let serial = sample_distribution(&synth, 300, 77).unwrap();
+        for threads in [1usize, 3] {
+            let batched =
+                sample_distribution_with(&synth, 300, 77, &SearchOptions::new().threads(threads))
+                    .unwrap();
+            assert_eq!(serial, batched, "{threads} threads");
+        }
     }
 
     #[test]
@@ -202,7 +242,7 @@ mod tests {
     #[test]
     fn n3_sample_sizes_match_direct_synthesis() {
         let synth = Synthesizer::from_scratch(3, 4);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::new(11);
         for _ in 0..100 {
             let p = random_perm(3, &mut rng);
             let size = synth.size(p).unwrap();

@@ -10,12 +10,11 @@
 //! optimal sizes spanning the searchable range, and [`TestSet::score`]
 //! grades a heuristic's output against those optima.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use revsynth_circuit::Circuit;
 use revsynth_core::Synthesizer;
 use revsynth_perm::Perm;
 
+use crate::rng::SplitMix64;
 use crate::timing::random_function_of_size;
 
 /// One graded problem: a function and its proved-minimal size.
@@ -57,7 +56,7 @@ impl TestSet {
     /// has size 30).
     #[must_use]
     pub fn generate(synth: &Synthesizer, max_size: usize, per_size: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut cases = Vec::new();
         for size in 0..=max_size.min(synth.max_size()) {
             let mut found = 0usize;
@@ -189,7 +188,7 @@ mod tests {
     fn wrong_function_is_disqualified() {
         let set = TestSet::generate(synth(), 2, 2, 3);
         let score = set.score(3, |_| Circuit::new()); // always the identity
-        // Only genuine size-0 cases are "correct".
+                                                      // Only genuine size-0 cases are "correct".
         assert_eq!(score.total - score.incorrect, 2);
     }
 }

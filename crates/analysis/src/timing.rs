@@ -2,10 +2,10 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use revsynth_core::Synthesizer;
 use revsynth_perm::Perm;
+
+use crate::rng::{Rng, SplitMix64};
 
 /// One row of the reproduced Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct TimingRow {
 /// Returns `None` if no function of that size was found within `attempts`
 /// tries (e.g. asking for a size the gate set cannot realize).
 #[must_use]
-pub fn random_function_of_size<R: Rng + ?Sized>(
+pub fn random_function_of_size<R: Rng>(
     synth: &Synthesizer,
     size: usize,
     attempts: u32,
@@ -58,7 +58,7 @@ pub fn time_by_size(
     trials_per_size: u32,
     seed: u64,
 ) -> Vec<TimingRow> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut rows = Vec::new();
     for size in 0..=max_size.min(synth.max_size()) {
         let mut functions = Vec::new();
@@ -72,7 +72,9 @@ pub fn time_by_size(
         }
         let start = Instant::now();
         for &f in &functions {
-            let circuit = synth.synthesize(f).expect("size verified during generation");
+            let circuit = synth
+                .synthesize(f)
+                .expect("size verified during generation");
             std::hint::black_box(&circuit);
         }
         let elapsed = start.elapsed();
@@ -92,7 +94,7 @@ mod tests {
     #[test]
     fn random_function_of_size_hits_target() {
         let synth = Synthesizer::from_scratch(3, 3);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::new(5);
         for size in 0..=5usize {
             let f = random_function_of_size(&synth, size, 500, &mut rng)
                 .unwrap_or_else(|| panic!("no function of size {size} found"));

@@ -27,7 +27,10 @@ fn main() {
     let k = arg_or("--k", 5usize);
 
     // ---- 1. Linear nearest-neighbour connectivity ----
-    println!("# Ablation 1 — nearest-neighbour architecture (k = {k}, sizes ≤ {})", 2 * k);
+    println!(
+        "# Ablation 1 — nearest-neighbour architecture (k = {k}, sizes ≤ {})",
+        2 * k
+    );
     let full = Synthesizer::new(load_or_generate(4, k));
     eprintln!("generating nearest-neighbour tables (20 gates, k = {k}) ...");
     let lnn = Synthesizer::new(revsynth_bfs::SearchTables::generate_with(
@@ -60,12 +63,17 @@ fn main() {
     let model = CostModel::quantum();
     let cost_synth = CostSynthesizer::generate(GateLib::nct(3), model, 14);
     let gate_synth = Synthesizer::from_scratch(3, 3);
-    let (mut classes, mut cheaper, mut cost_sum_gate, mut cost_sum_cheap) = (0u64, 0u64, 0u64, 0u64);
+    let (mut classes, mut cheaper, mut cost_sum_gate, mut cost_sum_cheap) =
+        (0u64, 0u64, 0u64, 0u64);
     // Walk every class the gate synthesizer can reach (size ≤ 6).
     for level in 0..=gate_synth.tables().k() {
         for &rep in gate_synth.tables().level(level) {
-            let Ok(small) = gate_synth.synthesize(rep) else { continue };
-            let Some(cheap) = cost_synth.synthesize(rep) else { continue };
+            let Ok(small) = gate_synth.synthesize(rep) else {
+                continue;
+            };
+            let Some(cheap) = cost_synth.synthesize(rep) else {
+                continue;
+            };
             classes += 1;
             cost_sum_gate += small.cost(&model);
             cost_sum_cheap += cheap.cost(&model);
@@ -89,7 +97,10 @@ fn main() {
     println!("\n# Ablation 3 — depth census (layer alphabet) vs size census");
     let depth3 = DepthSynthesizer::generate(GateLib::nct(3), 9);
     let size3 = Synthesizer::from_scratch(3, 4);
-    println!("n = 3 exhaustive: {:>5} {:>12} {:>12}", "d", "classes", "functions");
+    println!(
+        "n = 3 exhaustive: {:>5} {:>12} {:>12}",
+        "d", "classes", "functions"
+    );
     for (d, classes, functions) in depth3.counts() {
         println!("                  {d:>5} {classes:>12} {functions:>12}");
     }
@@ -108,7 +119,10 @@ fn main() {
     println!("checked depth ≤ size on {checked} class representatives");
 
     let depth4 = DepthSynthesizer::generate(GateLib::nct(4), 3);
-    println!("\nn = 4 to depth 3: {:>5} {:>12} {:>12}", "d", "classes", "functions");
+    println!(
+        "\nn = 4 to depth 3: {:>5} {:>12} {:>12}",
+        "d", "classes", "functions"
+    );
     for (d, classes, functions) in depth4.counts() {
         println!("                  {d:>5} {classes:>12} {functions:>12}");
     }

@@ -15,12 +15,22 @@ fn main() {
     let optimized = synth
         .synthesize(sub.perm(4))
         .expect("adder sizes are well within k = 3 tables");
-    let rd32 = synth.synthesize(adder::rd32_spec()).expect("rd32 has size 4");
+    let rd32 = synth
+        .synthesize(adder::rd32_spec())
+        .expect("rd32 has size 4");
 
     println!("# Figure 2 — 1-bit full adder");
     println!("(a) suboptimal: {:>2} gates  {}", sub.len(), sub);
-    println!("    optimized : {:>2} gates  {}", optimized.len(), optimized);
-    println!("(b) rd32      : {:>2} gates  {}  (proved optimal)", rd32.len(), rd32);
+    println!(
+        "    optimized : {:>2} gates  {}",
+        optimized.len(),
+        optimized
+    );
+    println!(
+        "(b) rd32      : {:>2} gates  {}  (proved optimal)",
+        rd32.len(),
+        rd32
+    );
     assert_eq!(optimized.perm(4), sub.perm(4));
     assert_eq!(rd32.len(), 4);
     println!("\nboth optimal circuits verified by simulation");

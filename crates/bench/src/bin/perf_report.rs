@@ -1,0 +1,238 @@
+//! `perf_report` — the maintained synthesis performance trajectory.
+//!
+//! Measures, on the current machine:
+//!
+//! * breadth-first table generation time (paper Algorithm 2);
+//! * median single-query synthesis latency for functions just past the
+//!   fast path (meet-in-the-middle at shallow levels);
+//! * meet-in-the-middle **throughput** — candidates tested per second and
+//!   queries per second — on a batch of random 4-wire functions of size
+//!   > k, for three implementations:
+//!   1. `seed_serial`: the original algorithm (expand every stored
+//!      representative's equivalence class, canonicalize each
+//!      composition),
+//!   2. `engine_serial`: the frame-hoisted batched engine on one thread,
+//!   3. `engine_parallel`: the same engine with sharded level scans.
+//!
+//! Emits `BENCH_synthesis.json` (override with `--out`). Flags:
+//! `--k` (default `REVSYNTH_K` or 5), `--batch` (default 100),
+//! `--threads` (default 8), `--seed`, `--out`.
+//!
+//! Run with `cargo run --release -p revsynth-bench --bin perf_report`.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use revsynth_analysis::{random_perm, Rng, SplitMix64};
+use revsynth_bench::{arg_or, env_k};
+use revsynth_bfs::SearchTables;
+use revsynth_circuit::GateLib;
+use revsynth_core::{SearchOptions, Synthesizer};
+use revsynth_perm::Perm;
+
+/// One throughput measurement.
+struct Throughput {
+    seconds: f64,
+    queries: usize,
+    candidates: u64,
+}
+
+impl Throughput {
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.seconds
+    }
+    fn candidates_per_sec(&self) -> f64 {
+        self.candidates as f64 / self.seconds
+    }
+    fn json(&self) -> String {
+        format!(
+            "{{\"seconds\": {:.6}, \"queries\": {}, \"candidates\": {}, \
+             \"queries_per_sec\": {:.3}, \"candidates_per_sec\": {:.1}}}",
+            self.seconds,
+            self.queries,
+            self.candidates,
+            self.queries_per_sec(),
+            self.candidates_per_sec()
+        )
+    }
+}
+
+/// The seed algorithm's `size` path, kept verbatim as the baseline: for
+/// every stored representative, expand all ≤ 48 class members (conjugation
+/// walk + sort + dedup) and canonicalize every composition `f.then(g)`.
+fn seed_size(synth: &Synthesizer, f: Perm, candidates: &mut u64) -> Option<usize> {
+    let tables = synth.tables();
+    if let Some(size) = tables.size_of(f) {
+        return Some(size);
+    }
+    let sym = tables.sym();
+    let k = tables.k();
+    let mut members: Vec<Perm> = Vec::with_capacity(sym.max_class_size());
+    for i in 1..=k {
+        for &rep in tables.level(i) {
+            sym.class_members_into(rep, &mut members);
+            for &g in &members {
+                *candidates += 1;
+                if tables.contains(sym.canonical(f.then(g))) {
+                    return Some(k + i);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let k: usize = arg_or("--k", env_k(5));
+    let batch: usize = arg_or("--batch", 100);
+    let threads: usize = arg_or("--threads", 8);
+    let seed: u64 = arg_or("--seed", 2010);
+    let out_path: String = arg_or("--out", "BENCH_synthesis.json".to_owned());
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    eprintln!("[1/5] generating tables (n = 4, k = {k}) ...");
+    let start = Instant::now();
+    let tables = SearchTables::generate(4, k);
+    let bfs_generate = start.elapsed();
+    eprintln!(
+        "      {} classes in {bfs_generate:.2?}",
+        tables.num_representatives()
+    );
+    let synth = Synthesizer::new(tables);
+
+    // Batch of random 4-wire functions of size > k: the meet-in-the-middle
+    // regime (uniform random 4-bit permutations average ~11.94 gates, so
+    // nearly every draw qualifies; the fast path filters the rest).
+    eprintln!("[2/5] drawing {batch} random functions of size > {k} ...");
+    let mut rng = SplitMix64::new(seed);
+    let mut queries: Vec<Perm> = Vec::with_capacity(batch);
+    while queries.len() < batch {
+        let f = random_perm(4, &mut rng);
+        if synth.tables().size_of(f).is_none() {
+            queries.push(f);
+        }
+    }
+
+    // Median single-query latency on functions just past the fast path
+    // (random products of k+2 gates, so the scan hits at level ≤ 2).
+    eprintln!("[3/5] median synthesis latency (size ≈ k+2) ...");
+    let lib = GateLib::nct(4);
+    let mut latency_set: Vec<Perm> = Vec::new();
+    while latency_set.len() < 25 {
+        let mut f = Perm::identity();
+        for _ in 0..k + 2 {
+            f = f.then(lib.perm_of(rng.gen_range(0..lib.len())));
+        }
+        if synth.tables().size_of(f).is_none() {
+            latency_set.push(f);
+        }
+    }
+    let mut latencies: Vec<Duration> = latency_set
+        .iter()
+        .map(|&f| {
+            let start = Instant::now();
+            let result = synth.synthesize(f);
+            std::hint::black_box(&result)
+                .as_ref()
+                .expect("size ≤ k+2 ≤ 2k");
+            start.elapsed()
+        })
+        .collect();
+    latencies.sort_unstable();
+    let median_latency = latencies[latencies.len() / 2];
+    eprintln!("      median {median_latency:.2?}");
+
+    eprintln!("[4/5] throughput: seed_serial vs engine_serial vs engine_parallel({threads}) ...");
+    let start = Instant::now();
+    let mut seed_candidates = 0u64;
+    let seed_sizes: Vec<Option<usize>> = queries
+        .iter()
+        .map(|&f| seed_size(&synth, f, &mut seed_candidates))
+        .collect();
+    let seed_serial = Throughput {
+        seconds: start.elapsed().as_secs_f64(),
+        queries: queries.len(),
+        candidates: seed_candidates,
+    };
+    eprintln!(
+        "      seed_serial     : {:.2}s, {:.2e} candidates/s",
+        seed_serial.seconds,
+        seed_serial.candidates_per_sec()
+    );
+
+    // Engine candidate rates are normalized to the seed candidate count:
+    // both test the same logical work (the engine tests *at most* that
+    // many candidates — frame deduplication and the self-inverse-rep skip
+    // only remove provably redundant ones), so candidates/sec compares
+    // how fast each implementation gets through identical queries.
+    let measure_engine = |threads: usize| {
+        let opts = SearchOptions::new().threads(threads);
+        let start = Instant::now();
+        let results = synth.size_many(&queries, &opts);
+        let seconds = start.elapsed().as_secs_f64();
+        // Engine results must agree with the seed path exactly.
+        for (j, (seed_size, engine)) in seed_sizes.iter().zip(&results).enumerate() {
+            assert_eq!(
+                *seed_size,
+                engine.as_ref().ok().copied(),
+                "query {j}: engine diverged from the seed algorithm"
+            );
+        }
+        Throughput {
+            seconds,
+            queries: queries.len(),
+            candidates: seed_candidates,
+        }
+    };
+    let engine_serial = measure_engine(1);
+    let engine_parallel = measure_engine(threads);
+    eprintln!(
+        "      engine_serial   : {:.2}s ({:.2}x seed)",
+        engine_serial.seconds,
+        seed_serial.seconds / engine_serial.seconds
+    );
+    eprintln!(
+        "      engine_parallel : {:.2}s ({:.2}x seed, {threads} threads on {hardware_threads} hardware threads)",
+        engine_parallel.seconds,
+        seed_serial.seconds / engine_parallel.seconds
+    );
+
+    eprintln!("[5/5] writing {out_path} ...");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"synthesis\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"n\": 4, \"k\": {k}, \"batch\": {batch}, \"threads\": {threads}, \
+         \"seed\": {seed}, \"hardware_threads\": {hardware_threads}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"bfs_generate_seconds\": {:.3},\n",
+        bfs_generate.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        "  \"stored_classes\": {},\n",
+        synth.tables().num_representatives()
+    ));
+    json.push_str(&format!(
+        "  \"median_synthesis_latency_us\": {:.1},\n",
+        median_latency.as_secs_f64() * 1e6
+    ));
+    json.push_str(&format!("  \"seed_serial\": {},\n", seed_serial.json()));
+    json.push_str(&format!("  \"engine_serial\": {},\n", engine_serial.json()));
+    json.push_str(&format!(
+        "  \"engine_parallel\": {},\n",
+        engine_parallel.json()
+    ));
+    json.push_str(&format!(
+        "  \"speedup_engine_serial_vs_seed\": {:.3},\n",
+        seed_serial.seconds / engine_serial.seconds
+    ));
+    json.push_str(&format!(
+        "  \"speedup_engine_parallel_vs_seed\": {:.3}\n",
+        seed_serial.seconds / engine_parallel.seconds
+    ));
+    json.push_str("}\n");
+    let mut file = std::fs::File::create(&out_path).expect("create report file");
+    file.write_all(json.as_bytes()).expect("write report");
+    println!("{json}");
+}

@@ -39,7 +39,7 @@ fn main() {
     println!("# ours: k = {k} on this machine; paper columns for shape comparison");
     println!(
         "{:>4} {:>12} {:>7} {:>14} {:>14}",
-        "size", "ours k=" , "trials", "paper k=8 CS2", "paper k=9 CS1"
+        "size", "ours k=", "trials", "paper k=8 CS2", "paper k=9 CS1"
     );
     for row in &rows {
         let secs = row.average.as_secs_f64();

@@ -48,6 +48,9 @@ fn main() {
         "k", "slots", "memory", "load", "avg chain", "max chain"
     );
     for (k, bits, mem, load, avg, max) in PAPER {
-        println!("{k:>3} {:>9} {mem:>10} {load:>6.2} {avg:>10.2} {max:>10}", format!("2^{bits}"));
+        println!(
+            "{k:>3} {:>9} {mem:>10} {load:>6.2} {avg:>10.2} {max:>10}",
+            format!("2^{bits}")
+        );
     }
 }

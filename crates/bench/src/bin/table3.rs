@@ -37,7 +37,8 @@ fn main() {
     let synth = Synthesizer::new(load_or_generate(4, k));
     eprintln!("synthesizing {samples} random permutations (seed {seed}) ...");
     let start = std::time::Instant::now();
-    let dist = sample_distribution(&synth, samples, seed).expect("domain is correct by construction");
+    let dist =
+        sample_distribution(&synth, samples, seed).expect("domain is correct by construction");
     let elapsed = start.elapsed();
 
     println!("# Table 3 — sizes of {samples} random 4-bit permutations (paper: 10,000,000)");
@@ -46,7 +47,10 @@ fn main() {
         "size", "count", "fraction", "paper count", "paper frac"
     );
     for (size, count) in dist.iter() {
-        let paper = PAPER.iter().find(|&&(s, _)| s == size).map_or(0, |&(_, c)| c);
+        let paper = PAPER
+            .iter()
+            .find(|&&(s, _)| s == size)
+            .map_or(0, |&(_, c)| c);
         println!(
             "{size:>4} {count:>10} {:>10.4} {paper:>14} {:>10.4}",
             dist.fraction(size),

@@ -46,7 +46,10 @@ fn main() {
     let exact = tables.counts();
 
     let synth = Synthesizer::new(tables);
-    eprintln!("sampling {samples} random permutations for the ≥{} estimates ...", k + 1);
+    eprintln!(
+        "sampling {samples} random permutations for the ≥{} estimates ...",
+        k + 1
+    );
     let sample = sample_distribution(&synth, samples, seed).expect("valid domain");
 
     let rows = estimate_counts(&exact, &sample);
@@ -86,7 +89,11 @@ fn main() {
     }
     println!(
         "\nexact rows 0..={k} vs paper: {}",
-        if mismatches == 0 { "all equal" } else { "MISMATCH" }
+        if mismatches == 0 {
+            "all equal"
+        } else {
+            "MISMATCH"
+        }
     );
     if sample.unresolved() > 0 {
         println!(

@@ -42,10 +42,7 @@ fn main() {
     println!("# Table 5 — optimal sizes of all 4-bit linear reversible functions");
     println!(
         "{:>4} {:>10} {:>12} {:>10}  match",
-        "size",
-        "NOT/CNOT",
-        "full lib",
-        "paper"
+        "size", "NOT/CNOT", "full lib", "paper"
     );
     let mut all = true;
     for (s, &paper) in PAPER_TABLE5.iter().enumerate() {

@@ -78,13 +78,7 @@ pub(crate) fn run(lib: GateLib, k: usize) -> SearchTables {
 }
 
 #[inline]
-fn expand(
-    lib: &GateLib,
-    sym: &Symmetries,
-    table: &mut FnTable,
-    level: &mut Vec<Perm>,
-    f: Perm,
-) {
+fn expand(lib: &GateLib, sym: &Symmetries, table: &mut FnTable, level: &mut Vec<Perm>, f: Perm) {
     for (_, gate, gate_perm) in lib.iter() {
         let h = f.then(gate_perm);
         let w = sym.canonicalize(h);

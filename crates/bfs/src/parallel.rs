@@ -95,13 +95,7 @@ pub(crate) fn run(lib: GateLib, k: usize, threads: usize) -> SearchTables {
 }
 
 #[inline]
-fn collect(
-    lib: &GateLib,
-    sym: &Symmetries,
-    table: &FnTable,
-    out: &mut Vec<(Perm, u8)>,
-    f: Perm,
-) {
+fn collect(lib: &GateLib, sym: &Symmetries, table: &FnTable, out: &mut Vec<(Perm, u8)>, f: Perm) {
     for (_, gate, gate_perm) in lib.iter() {
         let h = f.then(gate_perm);
         let w = sym.canonicalize(h);

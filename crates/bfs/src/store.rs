@@ -258,7 +258,9 @@ pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
         pairs.push((keys, values));
     }
     if pairs[0].0 != [Perm::identity()] || pairs[0].1 != [IDENTITY_BYTE] {
-        return Err(StoreError::Corrupt("level 0 must be exactly the identity".into()));
+        return Err(StoreError::Corrupt(
+            "level 0 must be exactly the identity".into(),
+        ));
     }
 
     let computed = r.fnv.finish();

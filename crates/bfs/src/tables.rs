@@ -77,7 +77,7 @@ impl SearchTables {
     }
 
     /// Parallel variant of [`generate_with`](Self::generate_with) using
-    /// `threads` worker threads (crossbeam scoped threads; the result is
+    /// `threads` worker threads (std scoped threads; the result is
     /// identical up to which of several equally-minimal boundary gates is
     /// recorded).
     ///
@@ -135,6 +135,15 @@ impl SearchTables {
             .map(|byte| decode_stored(byte).expect("table holds only valid gate records"))
     }
 
+    /// The underlying hash table of canonical representatives, for callers
+    /// that pipeline their own probes ([`FnTable::probe_start`] /
+    /// [`FnTable::probe_finish`]) instead of going through
+    /// [`contains`](Self::contains).
+    #[must_use]
+    pub fn table(&self) -> &FnTable {
+        &self.table
+    }
+
     /// The sorted canonical representatives of size exactly `i`
     /// (the paper's reduced list `A_i`).
     ///
@@ -144,6 +153,21 @@ impl SearchTables {
     #[must_use]
     pub fn level(&self, i: usize) -> &[Perm] {
         &self.levels[i]
+    }
+
+    /// Splits the size-`i` list into at most `shards` contiguous sorted
+    /// slices of near-equal length, for fan-out across worker threads
+    /// (the level lists are sorted, so each shard covers a disjoint,
+    /// ascending key range — a parallel scan that takes the hit from the
+    /// lowest shard is deterministic regardless of thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > k` or `shards == 0`.
+    pub fn level_chunks(&self, i: usize, shards: usize) -> std::slice::Chunks<'_, Perm> {
+        assert!(shards > 0, "need at least one shard");
+        let level = &self.levels[i];
+        level.chunks(level.len().div_ceil(shards).max(1))
     }
 
     /// All levels, `levels()[i]` being the size-`i` representatives.

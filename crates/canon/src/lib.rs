@@ -39,4 +39,4 @@ mod class;
 mod symmetries;
 
 pub use class::ClassStats;
-pub use symmetries::{Canonicalized, Symmetries};
+pub use symmetries::{Canonicalized, Frames, Symmetries};

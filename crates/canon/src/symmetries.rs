@@ -167,9 +167,7 @@ impl Symmetries {
         let inv = f.inverse();
         self.prefixes
             .iter()
-            .flat_map(|&sigma| {
-                [f.conjugate_by_wires(sigma), inv.conjugate_by_wires(sigma)]
-            })
+            .flat_map(|&sigma| [f.conjugate_by_wires(sigma), inv.conjugate_by_wires(sigma)])
             .min()
             .expect("at least the identity relabeling exists")
     }
@@ -193,6 +191,27 @@ impl Symmetries {
     #[must_use]
     pub fn relabelings(&self) -> &[WirePerm] {
         &self.prefixes
+    }
+
+    /// Lazily yields the `n!` **frames** of `f` — the conjugates
+    /// `conj_τ(f) = π_τ ∘ f ∘ π_τ⁻¹` for every wire relabeling `τ` — as
+    /// `(frame, step)` pairs with
+    /// `frame == f.conjugate_by_wires(self.relabelings()[step])`.
+    ///
+    /// Frames are produced incrementally along the plain-changes walk (one
+    /// 14-instruction transposition step each) and without allocation; this
+    /// is the setup kernel of the frame-hoisted meet-in-the-middle search,
+    /// which computes the frames of a query **once** and then exploits
+    /// `canonical(conj_σ(g) ∘ f) = canonical(g ∘ conj_{σ⁻¹}(f))` to scan
+    /// stored representatives directly instead of expanding each
+    /// representative's equivalence class.
+    #[must_use]
+    pub fn frames(&self, f: Perm) -> Frames<'_> {
+        Frames {
+            walk: &self.walk,
+            cur: f,
+            next_step: 0,
+        }
     }
 
     /// Visits every member of the equivalence class of `f`, with
@@ -243,6 +262,41 @@ impl Symmetries {
         buf.len()
     }
 }
+
+/// Iterator returned by [`Symmetries::frames`]: the `n!` wire-relabeling
+/// conjugates of a function, walked incrementally, allocation-free.
+#[derive(Clone)]
+pub struct Frames<'a> {
+    walk: &'a [usize],
+    cur: Perm,
+    next_step: usize,
+}
+
+impl Iterator for Frames<'_> {
+    /// `(frame, step)` — the conjugate and the index of its relabeling in
+    /// [`Symmetries::relabelings`].
+    type Item = (Perm, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<(Perm, usize)> {
+        let step = self.next_step;
+        if step == 0 {
+            self.next_step = 1;
+            return Some((self.cur, 0));
+        }
+        let &mask_idx = self.walk.get(step - 1)?;
+        self.cur = self.cur.conjugate_swap_indexed(mask_idx);
+        self.next_step += 1;
+        Some((self.cur, step))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.walk.len() + 1).saturating_sub(self.next_step);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Frames<'_> {}
 
 impl fmt::Debug for Symmetries {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -322,10 +376,7 @@ mod tests {
             assert_eq!(sym.num_relabelings(), expected, "n={n}");
             let set: std::collections::HashSet<_> = sym.relabelings().iter().copied().collect();
             assert_eq!(set.len(), expected);
-            assert!(sym
-                .relabelings()
-                .iter()
-                .all(|s| s.fixes_wires_from(n)));
+            assert!(sym.relabelings().iter().all(|s| s.fixes_wires_from(n)));
         }
     }
 
@@ -395,6 +446,45 @@ mod tests {
             // Gate mapping must commute with perm conjugation.
             assert_eq!(there.perm(4), g.perm(4).conjugate_by_wires(w.sigma));
         }
+    }
+
+    #[test]
+    fn frames_match_prefix_conjugations() {
+        // frames(f) must yield exactly (f.conjugate_by_wires(prefixes[s]), s)
+        // for every step s, in walk order, without allocation.
+        for n in 2..=4usize {
+            let sym = Symmetries::new(n);
+            let f = Perm::from_values(&[3, 0, 2, 1]).unwrap();
+            let frames: Vec<(Perm, usize)> = sym.frames(f).collect();
+            assert_eq!(frames.len(), sym.num_relabelings(), "n={n}");
+            assert_eq!(
+                sym.frames(f).len(),
+                sym.num_relabelings(),
+                "exact size hint"
+            );
+            for (i, &(frame, step)) in frames.iter().enumerate() {
+                assert_eq!(step, i, "steps ascend in walk order");
+                assert_eq!(
+                    frame,
+                    f.conjugate_by_wires(sym.relabelings()[step]),
+                    "n={n} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frames_cover_all_conjugates() {
+        let sym = Symmetries::new(4);
+        let f = Perm::from_values(&[9, 0, 2, 15, 11, 6, 7, 8, 14, 3, 4, 13, 5, 1, 12, 10]).unwrap();
+        let from_iter: std::collections::HashSet<Perm> =
+            sym.frames(f).map(|(frame, _)| frame).collect();
+        let expected: std::collections::HashSet<Perm> = sym
+            .relabelings()
+            .iter()
+            .map(|&tau| f.conjugate_by_wires(tau))
+            .collect();
+        assert_eq!(from_iter, expected);
     }
 
     #[test]

@@ -1,99 +1,151 @@
 //! Property-based tests for canonicalization.
+//!
+//! Deterministic randomized properties from a fixed SplitMix64 seed (no
+//! external property-testing crate is vendored in this offline workspace),
+//! so failures reproduce exactly.
 
-use proptest::prelude::*;
 use revsynth_canon::Symmetries;
 use revsynth_perm::{Perm, WirePerm};
 
-fn arb_perm() -> impl Strategy<Value = Perm> {
-    proptest::collection::vec(any::<u32>(), 16).prop_map(|keys| {
-        let mut idx: Vec<u8> = (0..16).collect();
-        idx.sort_by_key(|&i| keys[usize::from(i)]);
-        Perm::from_values(&idx).expect("sorted index list is a permutation")
-    })
+const CASES: usize = 200;
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn perm(&mut self) -> Perm {
+        let mut vals: Vec<u8> = (0..16).collect();
+        for i in (1..16usize).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            vals.swap(i, j);
+        }
+        Perm::from_values(&vals).expect("shuffle is a permutation")
+    }
 }
 
 fn sym() -> Symmetries {
     Symmetries::new(4)
 }
 
-proptest! {
-    #[test]
-    fn walk_canonical_equals_naive_canonical(f in arb_perm()) {
-        // The incremental plain-changes walk must agree with recomputing
-        // every conjugate from scratch.
-        let s = sym();
-        prop_assert_eq!(s.canonical(f), s.canonical_naive(f));
+#[test]
+fn walk_canonical_equals_naive_canonical() {
+    // The incremental plain-changes walk must agree with recomputing
+    // every conjugate from scratch.
+    let s = sym();
+    let mut g = Gen(21);
+    for _ in 0..CASES {
+        let f = g.perm();
+        assert_eq!(s.canonical(f), s.canonical_naive(f), "f={f}");
     }
+}
 
-    #[test]
-    fn canonical_is_idempotent(f in arb_perm()) {
-        let s = sym();
-        let rep = s.canonical(f);
-        prop_assert_eq!(s.canonical(rep), rep);
+#[test]
+fn canonical_is_idempotent() {
+    let s = sym();
+    let mut g = Gen(22);
+    for _ in 0..CASES {
+        let rep = s.canonical(g.perm());
+        assert_eq!(s.canonical(rep), rep);
     }
+}
 
-    #[test]
-    fn canonical_invariant_under_inversion(f in arb_perm()) {
-        let s = sym();
-        prop_assert_eq!(s.canonical(f), s.canonical(f.inverse()));
+#[test]
+fn canonical_invariant_under_inversion() {
+    let s = sym();
+    let mut g = Gen(23);
+    for _ in 0..CASES {
+        let f = g.perm();
+        assert_eq!(s.canonical(f), s.canonical(f.inverse()), "f={f}");
     }
+}
 
-    #[test]
-    fn canonical_invariant_under_relabeling(f in arb_perm(), i in 0usize..24) {
-        let s = sym();
-        let sigma = WirePerm::all()[i];
-        prop_assert_eq!(s.canonical(f), s.canonical(f.conjugate_by_wires(sigma)));
+#[test]
+fn canonical_invariant_under_relabeling() {
+    let s = sym();
+    let mut g = Gen(24);
+    for _ in 0..CASES {
+        let f = g.perm();
+        let sigma = WirePerm::all()[(g.next() % 24) as usize];
+        assert_eq!(s.canonical(f), s.canonical(f.conjugate_by_wires(sigma)));
     }
+}
 
-    #[test]
-    fn canonical_is_not_larger_than_input(f in arb_perm()) {
-        let s = sym();
-        prop_assert!(s.canonical(f) <= f);
+#[test]
+fn canonical_is_not_larger_than_input() {
+    let s = sym();
+    let mut g = Gen(25);
+    for _ in 0..CASES {
+        let f = g.perm();
+        assert!(s.canonical(f) <= f);
     }
+}
 
-    #[test]
-    fn witness_reconstructs_rep(f in arb_perm()) {
-        let s = sym();
+#[test]
+fn witness_reconstructs_rep() {
+    let s = sym();
+    let mut g = Gen(26);
+    for _ in 0..CASES {
+        let f = g.perm();
         let w = s.canonicalize(f);
         let base = if w.inverted { f.inverse() } else { f };
-        prop_assert_eq!(base.conjugate_by_wires(w.sigma), w.rep);
-        prop_assert_eq!(w.rep, s.canonical(f));
+        assert_eq!(base.conjugate_by_wires(w.sigma), w.rep);
+        assert_eq!(w.rep, s.canonical(f));
     }
+}
 
-    #[test]
-    fn class_members_contains_input_and_rep(f in arb_perm()) {
-        let s = sym();
+#[test]
+fn class_members_contains_input_and_rep() {
+    let s = sym();
+    let mut g = Gen(27);
+    for _ in 0..CASES {
+        let f = g.perm();
         let members = s.class_members(f);
-        prop_assert!(members.contains(&f));
-        prop_assert!(members.contains(&s.canonical(f)));
-        prop_assert!(members.contains(&f.inverse()));
-        prop_assert!(members.len() <= 48);
-        prop_assert_eq!(48 % members.len(), 0); // orbit size divides |S4 × Z2|
+        assert!(members.contains(&f));
+        assert!(members.contains(&s.canonical(f)));
+        assert!(members.contains(&f.inverse()));
+        assert!(members.len() <= 48);
+        assert_eq!(48 % members.len(), 0); // orbit size divides |S4 × Z2|
     }
+}
 
-    #[test]
-    fn class_is_closed(f in arb_perm(), i in 0usize..24) {
-        let s = sym();
+#[test]
+fn class_is_closed() {
+    let s = sym();
+    let mut g = Gen(28);
+    for _ in 0..CASES / 4 {
+        let f = g.perm();
         let members = s.class_members(f);
-        let sigma = WirePerm::all()[i];
+        let sigma = WirePerm::all()[(g.next() % 24) as usize];
         for &m in members.iter().take(6) {
-            prop_assert!(members.contains(&m.inverse()));
-            prop_assert!(members.contains(&m.conjugate_by_wires(sigma)));
+            assert!(members.contains(&m.inverse()));
+            assert!(members.contains(&m.conjugate_by_wires(sigma)));
         }
     }
+}
 
-    #[test]
-    fn random_4bit_classes_are_usually_full(f in arb_perm()) {
-        // The paper: "for the vast majority of functions, the conjugacy
-        // classes are of size 24" (so the equivalence class has 48). A
-        // random permutation having a nontrivial symmetry is rare; we only
-        // assert the size is a divisor of 48 and at least 2 for non-identity
-        // inputs, plus track that 48 occurs (statistically it's ~always 48,
-        // but a property test must not assert probabilistic facts).
-        let s = sym();
-        let size = s.class_size(f);
-        prop_assert!((1..=48).contains(&size) && 48 % size == 0);
+#[test]
+fn random_4bit_classes_are_usually_full() {
+    // The paper: "for the vast majority of functions, the conjugacy
+    // classes are of size 24" (so the equivalence class has 48). A
+    // random permutation having a nontrivial symmetry is rare; we only
+    // assert the size is a divisor of 48, plus require that the full size
+    // 48 shows up over the whole sample (statistically it is ~always 48).
+    let s = sym();
+    let mut g = Gen(29);
+    let mut saw_full = false;
+    for _ in 0..CASES {
+        let size = s.class_size(g.perm());
+        assert!((1..=48).contains(&size) && 48 % size == 0);
+        saw_full |= size == 48;
     }
+    assert!(saw_full, "some random class must be full-sized");
 }
 
 #[test]

@@ -377,7 +377,9 @@ mod tests {
 
     #[test]
     fn histogram_counts_gate_kinds() {
-        let c: Circuit = "NOT(a) CNOT(a,b) TOF(a,b,c) TOF4(a,b,c,d) NOT(d)".parse().unwrap();
+        let c: Circuit = "NOT(a) CNOT(a,b) TOF(a,b,c) TOF4(a,b,c,d) NOT(d)"
+            .parse()
+            .unwrap();
         assert_eq!(c.gate_histogram(), [2, 1, 1, 1]);
         assert_eq!(c.max_wire(), Some(3));
     }

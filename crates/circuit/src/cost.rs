@@ -32,7 +32,9 @@ impl CostModel {
     /// primary metric.
     #[must_use]
     pub const fn unit() -> Self {
-        CostModel { costs: [1, 1, 1, 1] }
+        CostModel {
+            costs: [1, 1, 1, 1],
+        }
     }
 
     /// The standard "quantum cost" weights used throughout the reversible

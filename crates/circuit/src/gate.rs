@@ -199,7 +199,11 @@ impl Gate {
         );
         let mut packed = 0u64;
         for x in 0..16u8 {
-            let y = if usize::from(x) < (1 << n) { self.apply(x) } else { x };
+            let y = if usize::from(x) < (1 << n) {
+                self.apply(x)
+            } else {
+                x
+            };
             packed |= u64::from(y) << (4 * x);
         }
         Perm::from_packed_unchecked(packed)
@@ -357,7 +361,9 @@ impl FromStr for Gate {
     /// Parses the paper's notation, e.g. `TOF(a,b,d)`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let open = s.find('(').ok_or_else(|| ParseGateError::BadSyntax(s.to_owned()))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| ParseGateError::BadSyntax(s.to_owned()))?;
         if !s.ends_with(')') {
             return Err(ParseGateError::BadSyntax(s.to_owned()));
         }

@@ -178,7 +178,13 @@ fn enumerate(
         }
         current.push(g);
         out.push(Layer::new(current.clone()).expect("construction keeps gates disjoint"));
-        enumerate(gates, start + offset + 1, used_wires | g.wires(), current, out);
+        enumerate(
+            gates,
+            start + offset + 1,
+            used_wires | g.wires(),
+            current,
+            out,
+        );
         current.pop();
     }
 }
@@ -241,8 +247,8 @@ mod tests {
 
     #[test]
     fn conjugation_commutes_with_perm() {
-        let layer = Layer::new(vec![Gate::not(0).unwrap(), Gate::toffoli(1, 2, 3).unwrap()])
-            .unwrap();
+        let layer =
+            Layer::new(vec![Gate::not(0).unwrap(), Gate::toffoli(1, 2, 3).unwrap()]).unwrap();
         for sigma in WirePerm::all() {
             assert_eq!(
                 layer.conjugate_by_wires(sigma).perm(4),

@@ -259,7 +259,12 @@ impl GateLib {
 
 impl fmt::Debug for GateLib {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GateLib({} wires, {} gates)", self.wires, self.gates.len())
+        write!(
+            f,
+            "GateLib({} wires, {} gates)",
+            self.wires,
+            self.gates.len()
+        )
     }
 }
 
@@ -295,7 +300,10 @@ mod tests {
         // 4 NOT + 6 adjacent CNOT + 6 contiguous TOF + 4 TOF4.
         let lib = GateLib::nearest_neighbor(4);
         assert_eq!(lib.len(), 20);
-        assert_eq!(lib.iter().filter(|(_, g, _)| g.num_controls() == 1).count(), 6);
+        assert_eq!(
+            lib.iter().filter(|(_, g, _)| g.num_controls() == 1).count(),
+            6
+        );
         // CNOT(a,c) skips wire b: not nearest-neighbour.
         assert!(lib.id_of(Gate::cnot(0, 2).unwrap()).is_none());
         assert!(lib.id_of(Gate::cnot(1, 2).unwrap()).is_some());

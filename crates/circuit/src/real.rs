@@ -124,8 +124,8 @@ pub fn parse_real(text: &str) -> Result<(Circuit, Vec<String>), ParseRealError> 
             let mut parts = directive.split_whitespace();
             let name = parts.next().unwrap_or("");
             match name {
-                "version" | "inputs" | "outputs" | "constants" | "garbage"
-                | "inputbus" | "outputbus" => {}
+                "version" | "inputs" | "outputs" | "constants" | "garbage" | "inputbus"
+                | "outputbus" => {}
                 "numvars" => {
                     let v: usize = parts
                         .next()
@@ -381,7 +381,9 @@ t2 b c
     fn every_paper_notation_gate_survives_the_roundtrip() {
         for controls in 0..16u8 {
             for target in 0..4u8 {
-                let Ok(gate) = Gate::new(controls, target) else { continue };
+                let Ok(gate) = Gate::new(controls, target) else {
+                    continue;
+                };
                 let c = Circuit::from_gates([gate]);
                 let (back, _) = parse_real(&to_real(&c, 4)).unwrap();
                 assert_eq!(back, c, "{gate}");

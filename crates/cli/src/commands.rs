@@ -4,9 +4,9 @@ use std::error::Error;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use revsynth_analysis::{sample_distribution, HardSearch};
+use revsynth_analysis::{sample_distribution_with, HardSearch};
 use revsynth_bfs::SearchTables;
-use revsynth_core::Synthesizer;
+use revsynth_core::{SearchOptions, Synthesizer};
 use revsynth_linear::{linear_only_distribution, PAPER_TABLE5};
 use revsynth_perm::Perm;
 use revsynth_specs::benchmarks;
@@ -22,12 +22,15 @@ USAGE:
 COMMANDS:
     bfs        --k <K> [--n <N>] [--out <FILE>] [--threads <T>]
                Generate the breadth-first tables and optionally save them.
-    synth      --spec <P0,..,P15> [--k <K>] [--tables <FILE>]
-               Synthesize an optimal circuit for a permutation.
+    synth      --spec <P0,..,P15> [--k <K>] [--tables <FILE>] [--threads <T>]
+               Synthesize an optimal circuit for a permutation
+               (--threads 0 = all cores; level scans are sharded).
     benchmarks [--k <K>] [--tables <FILE>]
                Synthesize the paper's Table 6 benchmark suite.
     random     [--samples <N>] [--k <K>] [--seed <S>] [--tables <FILE>]
-               Size distribution of random permutations (paper Table 3).
+               [--threads <T>]
+               Size distribution of random permutations (paper Table 3),
+               measured through the batched search engine.
     linear     Distribution of optimal sizes over all 322,560 linear
                reversible functions (paper Table 5).
     hard       [--seconds <S>] [--k <K>] [--seed <SEED>] [--tables <FILE>]
@@ -56,7 +59,9 @@ impl Opts {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
-                return Err(format!("unexpected argument `{flag}` (flags are --name value)").into());
+                return Err(
+                    format!("unexpected argument `{flag}` (flags are --name value)").into(),
+                );
             };
             let value = it
                 .next()
@@ -177,30 +182,34 @@ fn cmd_bfs(opts: &Opts) -> CliResult {
 }
 
 fn parse_spec(spec: &str) -> Result<Perm, Box<dyn Error>> {
-    let vals: Result<Vec<u8>, _> = spec
-        .split(',')
-        .map(|s| s.trim().parse::<u8>())
-        .collect();
+    let vals: Result<Vec<u8>, _> = spec.split(',').map(|s| s.trim().parse::<u8>()).collect();
     Ok(Perm::from_values(&vals?)?)
 }
 
 fn cmd_synth(opts: &Opts) -> CliResult {
-    opts.reject_unknown(&["spec", "k", "n", "tables"])?;
+    opts.reject_unknown(&["spec", "k", "n", "tables", "threads"])?;
     let spec = opts
         .get("spec")
         .ok_or("synth needs --spec 0,1,2,...,15 (a permutation value list)")?;
     let f = parse_spec(spec)?;
+    let threads: usize = opts.get_parse("threads", 1)?;
     let synth = Synthesizer::new(tables_from(opts, 6)?);
+    let search = SearchOptions::new().threads(threads);
     let start = Instant::now();
-    let result = synth.synthesize_within(f, synth.max_size())?;
+    let result = synth.synthesize_with(f, &search)?;
     let elapsed = start.elapsed();
     println!("function : {f}");
-    println!("size     : {} gates (provably minimal)", result.circuit.len());
+    println!(
+        "size     : {} gates (provably minimal)",
+        result.circuit.len()
+    );
     println!("depth    : {}", result.circuit.depth());
     println!("circuit  : {}", result.circuit);
     println!(
-        "runtime  : {elapsed:.2?} ({} lists scanned, {} candidates tested)",
-        result.lists_scanned, result.candidates_tested
+        "runtime  : {elapsed:.2?} ({} lists scanned, {} candidates tested, {} threads)",
+        result.lists_scanned,
+        result.candidates_tested,
+        search.effective_threads()
     );
     Ok(())
 }
@@ -242,15 +251,18 @@ fn cmd_benchmarks(opts: &Opts) -> CliResult {
 }
 
 fn cmd_random(opts: &Opts) -> CliResult {
-    opts.reject_unknown(&["samples", "k", "n", "seed", "tables"])?;
+    opts.reject_unknown(&["samples", "k", "n", "seed", "tables", "threads"])?;
     let samples: usize = opts.get_parse("samples", 25)?;
     let seed: u64 = opts.get_parse("seed", 2010)?;
+    let threads: usize = opts.get_parse("threads", 1)?;
     let synth = Synthesizer::new(tables_from(opts, 6)?);
+    let search = SearchOptions::new().threads(threads);
     let start = Instant::now();
-    let dist = sample_distribution(&synth, samples, seed)?;
+    let dist = sample_distribution_with(&synth, samples, seed, &search)?;
     println!(
-        "{samples} random permutations in {:.2?} (seed {seed})",
-        start.elapsed()
+        "{samples} random permutations in {:.2?} (seed {seed}, {} threads)",
+        start.elapsed(),
+        search.effective_threads()
     );
     println!("{:>4} {:>10} {:>9}", "size", "count", "fraction");
     for (size, count) in dist.iter() {
@@ -263,7 +275,10 @@ fn cmd_random(opts: &Opts) -> CliResult {
             dist.unresolved()
         );
     }
-    println!("weighted average: {:.2} gates (paper: 11.94)", dist.weighted_average());
+    println!(
+        "weighted average: {:.2} gates (paper: 11.94)",
+        dist.weighted_average()
+    );
     Ok(())
 }
 
@@ -277,7 +292,10 @@ fn cmd_linear(opts: &Opts) -> CliResult {
     );
     println!("{:>4} {:>10} {:>10}", "size", "ours", "paper");
     for (s, &count) in hist.iter().enumerate() {
-        println!("{s:>4} {count:>10} {:>10}", PAPER_TABLE5.get(s).copied().unwrap_or(0));
+        println!(
+            "{s:>4} {count:>10} {:>10}",
+            PAPER_TABLE5.get(s).copied().unwrap_or(0)
+        );
     }
     Ok(())
 }
@@ -322,7 +340,11 @@ fn cmd_peephole(opts: &Opts) -> CliResult {
     println!("input   : {before} gates");
     println!("output  : {after} gates (saved {})", before - after);
     println!("circuit : {out}");
-    println!("runtime : {:.2?} (window {})", start.elapsed(), optimizer.window());
+    println!(
+        "runtime : {:.2?} (window {})",
+        start.elapsed(),
+        optimizer.window()
+    );
     Ok(())
 }
 
@@ -335,13 +357,14 @@ fn cmd_depth(opts: &Opts) -> CliResult {
     let n: usize = opts.get_parse("n", 4)?;
     let max_depth: usize = opts.get_parse("max-depth", 3)?;
     eprintln!("generating depth tables (n = {n}, max depth {max_depth}) ...");
-    let synth = revsynth_core::DepthSynthesizer::generate(
-        revsynth_circuit::GateLib::nct(n),
-        max_depth,
-    );
+    let synth =
+        revsynth_core::DepthSynthesizer::generate(revsynth_circuit::GateLib::nct(n), max_depth);
     let circuit = synth.try_synthesize(f)?;
     println!("function : {f}");
-    println!("depth    : {} time steps (provably minimal)", circuit.depth());
+    println!(
+        "depth    : {} time steps (provably minimal)",
+        circuit.depth()
+    );
     println!("gates    : {}", circuit.len());
     println!("circuit  : {circuit}");
     Ok(())
@@ -361,14 +384,14 @@ fn cmd_cost(opts: &Opts) -> CliResult {
         other => return Err(format!("unknown cost model `{other}` (quantum|unit)").into()),
     };
     eprintln!("generating cost tables (n = {n}, budget {budget}) ...");
-    let synth = revsynth_core::CostSynthesizer::generate(
-        revsynth_circuit::GateLib::nct(n),
-        model,
-        budget,
-    );
+    let synth =
+        revsynth_core::CostSynthesizer::generate(revsynth_circuit::GateLib::nct(n), model, budget);
     let circuit = synth.try_synthesize(f)?;
     println!("function : {f}");
-    println!("cost     : {} (provably minimal under the model)", circuit.cost(&model));
+    println!(
+        "cost     : {} (provably minimal under the model)",
+        circuit.cost(&model)
+    );
     println!("gates    : {}", circuit.len());
     println!("circuit  : {circuit}");
     Ok(())
@@ -397,8 +420,7 @@ mod tests {
     use super::*;
 
     fn opts(args: &[&str]) -> Opts {
-        Opts::parse(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
-            .expect("valid flags")
+        Opts::parse(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).expect("valid flags")
     }
 
     #[test]
@@ -444,36 +466,91 @@ mod tests {
     #[test]
     fn synth_command_end_to_end() {
         // Tiny tables; exercises the whole command path.
-        let args: Vec<String> = ["synth", "--spec", "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14", "--k", "1"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
+        let args: Vec<String> = [
+            "synth",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--k",
+            "1",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
         assert!(dispatch(&args).is_ok());
     }
 
     #[test]
+    fn synth_and_random_accept_threads() {
+        let synth: Vec<String> = [
+            "synth",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--k",
+            "2",
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(dispatch(&synth).is_ok());
+        let random: Vec<String> = [
+            "random",
+            "--samples",
+            "5",
+            "--k",
+            "2",
+            "--n",
+            "3",
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(dispatch(&random).is_ok());
+    }
+
+    #[test]
     fn cost_and_depth_commands_end_to_end() {
-        let cost: Vec<String> =
-            ["cost", "--spec", "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14", "--n", "4", "--budget", "3"]
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect();
+        let cost: Vec<String> = [
+            "cost",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--n",
+            "4",
+            "--budget",
+            "3",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
         assert!(dispatch(&cost).is_ok());
-        let depth: Vec<String> =
-            ["depth", "--spec", "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14", "--max-depth", "1"]
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect();
+        let depth: Vec<String> = [
+            "depth",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--max-depth",
+            "1",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
         assert!(dispatch(&depth).is_ok());
     }
 
     #[test]
     fn peephole_command_end_to_end() {
-        let args: Vec<String> =
-            ["peephole", "--circuit", "NOT(a) NOT(a) CNOT(a,b)", "--k", "2"]
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect();
+        let args: Vec<String> = [
+            "peephole",
+            "--circuit",
+            "NOT(a) NOT(a) CNOT(a,b)",
+            "--k",
+            "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
         assert!(dispatch(&args).is_ok());
     }
 }

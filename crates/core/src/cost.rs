@@ -71,7 +71,10 @@ impl CostSynthesizer {
     /// caller confused cost units.
     #[must_use]
     pub fn generate(lib: GateLib, model: CostModel, max_cost: u64) -> Self {
-        assert!(max_cost <= 10_000, "max_cost {max_cost} looks like a unit mix-up");
+        assert!(
+            max_cost <= 10_000,
+            "max_cost {max_cost} looks like a unit mix-up"
+        );
         let sym = Symmetries::new(lib.wires());
         let mut settled: HashMap<Perm, CostRecord> = HashMap::new();
         let mut by_cost: BTreeMap<u64, Vec<Perm>> = BTreeMap::new();
@@ -80,11 +83,21 @@ impl CostSynthesizer {
 
         settled.insert(
             Perm::identity(),
-            CostRecord { cost: 0, gate: None },
+            CostRecord {
+                cost: 0,
+                gate: None,
+            },
         );
         by_cost.insert(0, vec![Perm::identity()]);
         expand(
-            &lib, &sym, &model, Perm::identity(), 0, max_cost, &settled, &mut pending,
+            &lib,
+            &sym,
+            &model,
+            Perm::identity(),
+            0,
+            max_cost,
+            &settled,
+            &mut pending,
         );
 
         while let Some((&cost, _)) = pending.iter().next() {
@@ -107,10 +120,28 @@ impl CostSynthesizer {
                 continue;
             }
             for &rep in &newly {
-                expand(&lib, &sym, &model, rep, cost, max_cost, &settled, &mut pending);
+                expand(
+                    &lib,
+                    &sym,
+                    &model,
+                    rep,
+                    cost,
+                    max_cost,
+                    &settled,
+                    &mut pending,
+                );
                 let inv = rep.inverse();
                 if inv != rep {
-                    expand(&lib, &sym, &model, inv, cost, max_cost, &settled, &mut pending);
+                    expand(
+                        &lib,
+                        &sym,
+                        &model,
+                        inv,
+                        cost,
+                        max_cost,
+                        &settled,
+                        &mut pending,
+                    );
                 }
             }
             newly.sort_unstable();
@@ -389,7 +420,10 @@ mod tests {
                 }
             }
         }
-        assert!(strictly_better > 0, "weighted search must pay off somewhere");
+        assert!(
+            strictly_better > 0,
+            "weighted search must pay off somewhere"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl DepthSynthesizer {
     /// 16 layers).
     #[must_use]
     pub fn generate(lib: GateLib, max_depth: usize) -> Self {
-        assert!(max_depth <= 16, "max_depth {max_depth} is beyond any reachable depth");
+        assert!(
+            max_depth <= 16,
+            "max_depth {max_depth} is beyond any reachable depth"
+        );
         let n = lib.wires();
         let sym = Symmetries::new(n);
         let layers = all_layers(&lib);
@@ -90,7 +93,11 @@ impl DepthSynthesizer {
             let prev = by_depth[d - 1].clone();
             for f in prev.into_iter().flat_map(|f| {
                 let inv = f.inverse();
-                if inv == f { vec![f] } else { vec![f, inv] }
+                if inv == f {
+                    vec![f]
+                } else {
+                    vec![f, inv]
+                }
             }) {
                 for (i, layer) in layers.iter().enumerate() {
                     let h = f.then(layer_perms[i]);

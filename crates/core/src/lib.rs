@@ -18,6 +18,15 @@
 //!   would need size > k), and every hit at the first `i` has residue size
 //!   exactly `k`, so the assembled circuit has exactly `size(f)` gates.
 //!
+//! The meet-in-the-middle phase runs on the frame-hoisted, batched,
+//! parallel engine of the [`search`] module: query frames are hoisted and
+//! deduplicated once, stored representatives are scanned directly (no
+//! per-representative class expansion), probes are pipelined, and level
+//! scans can be sharded across threads ([`SearchOptions`]) or amortized
+//! over whole batches ([`Synthesizer::synthesize_many`] /
+//! [`Synthesizer::size_many`]) with identical circuits and sizes for
+//! every thread count.
+//!
 //! With k = 9 the paper synthesizes a random 4-bit permutation in ~0.01 s;
 //! with the laptop-scale defaults here (k = 6–7) the same code covers all
 //! sizes the paper ever observed (≤ 14 = 2·7) with larger list scans.
@@ -45,10 +54,12 @@ mod cost;
 mod depth;
 mod error;
 mod peephole;
+pub mod search;
 mod synth;
 
 pub use cost::CostSynthesizer;
 pub use depth::DepthSynthesizer;
 pub use error::SynthesisError;
 pub use peephole::PeepholeOptimizer;
+pub use search::SearchOptions;
 pub use synth::{Synthesis, Synthesizer};

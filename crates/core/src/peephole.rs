@@ -128,8 +128,6 @@ impl<'a> PeepholeOptimizer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use revsynth_circuit::GateLib;
     use std::sync::OnceLock;
 
@@ -139,9 +137,17 @@ mod tests {
     }
 
     fn random_circuit(len: usize, seed: u64) -> Circuit {
+        // SplitMix64: self-contained seeded stream (no external RNG crate).
         let lib = GateLib::nct(4);
-        let mut rng = StdRng::seed_from_u64(seed);
-        Circuit::from_gates((0..len).map(|_| lib.gate(rng.gen_range(0..lib.len()))))
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Circuit::from_gates((0..len).map(|_| lib.gate(next() as usize % lib.len())))
     }
 
     #[test]

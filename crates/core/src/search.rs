@@ -1,0 +1,751 @@
+//! The frame-hoisted, parallel, batched meet-in-the-middle search engine.
+//!
+//! # The frame-hoisting identity
+//!
+//! The meet-in-the-middle phase must decide, for a query `f` and every
+//! stored size-`i` representative `g`, whether **any member** `g'` of the
+//! equivalence class of `g` satisfies `size(f.then(g')) ≤ k`. The naive
+//! (seed) implementation expanded all `≤ 2·n!` class members of *every*
+//! representative — `2·n!` conjugations plus a sort and dedup per
+//! representative — before canonicalizing each composition.
+//!
+//! Conjugation by a wire relabeling is an automorphism and the canonical
+//! form is invariant under it, so the class test can be re-associated onto
+//! the query instead. Writing `conj_σ(x) = π_σ ∘ x ∘ π_σ⁻¹`:
+//!
+//! ```text
+//! canonical(conj_σ(g) ∘ f)      = canonical(g ∘ conj_{σ⁻¹}(f))
+//! canonical(conj_σ(g⁻¹) ∘ f)    = canonical(conj_{σ⁻¹}(f⁻¹) ∘ g)
+//! ```
+//!
+//! (the second line also uses invariance under inversion). The right-hand
+//! sides only involve the **frames** of the query — the `n!` conjugates
+//! `conj_τ(f)` and `conj_τ(f⁻¹)` — which are computed *once per query*
+//! ([`revsynth_canon::Symmetries::frames`], one 14-instruction
+//! transposition step each) and deduplicated: a query with wire symmetries
+//! has fewer than `n!` distinct frames and the duplicates are skipped
+//! entirely. Stored representatives are then iterated **directly**, with
+//! per-candidate work reduced to one composition, one canonicalization and
+//! one hash probe.
+//!
+//! # Probe pipelining
+//!
+//! Probes into a table that exceeds the last-level cache are
+//! memory-latency-bound (paper §4.1 loads multi-GB tables). The inner loop
+//! therefore runs a two-stage software pipeline: it starts the hash probe
+//! of candidate `j` ([`revsynth_table::FnTable::probe_start`], whose
+//! home-slot read doubles as the prefetch) and resolves it only after the
+//! ~750-instruction canonicalization of candidate `j+1` has been issued.
+//!
+//! # Parallel level scanning and determinism
+//!
+//! Each size-`i` list is split into contiguous sorted shards
+//! ([`revsynth_bfs::SearchTables::level_chunks`]) scanned by scoped worker
+//! threads, mirroring the parallel BFS. The contract of the serial search
+//! is preserved exactly:
+//!
+//! * lists are still exhausted in order `i = 1, 2, …`, so the first level
+//!   with a hit is minimal and the returned circuit size is optimal;
+//! * within a level, the accepted hit is the one at the smallest
+//!   representative (shards cover disjoint ascending ranges, so taking
+//!   the earliest shard's first hit is independent of the thread count);
+//! * any hit at the minimal `i` yields a valid minimal circuit — the same
+//!   contract the parallel BFS relies on.
+//!
+//! # Batched serving
+//!
+//! [`Synthesizer::synthesize_many`] / [`Synthesizer::size_many`] run a
+//! whole batch of queries through one pass over the level lists: frames
+//! are hoisted per query, and every representative loaded from a level is
+//! tested against **all** still-open queries while it is hot in cache —
+//! the access pattern a traffic-serving deployment needs (the level lists,
+//! not the queries, are the multi-GB working set).
+
+use revsynth_bfs::SearchTables;
+use revsynth_perm::Perm;
+
+use crate::error::SynthesisError;
+use crate::synth::{Synthesis, Synthesizer};
+
+/// Options for the batched/parallel search entry points.
+///
+/// ```
+/// use revsynth_core::SearchOptions;
+///
+/// let opts = SearchOptions::new().threads(8).limit(12);
+/// assert_eq!(opts.limit_or(16), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchOptions {
+    threads: usize,
+    limit: Option<usize>,
+}
+
+impl SearchOptions {
+    /// Default options: single-threaded, search up to the tables' full
+    /// `2k` reach.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of worker threads for the level scans; `0` (the default)
+    /// selects the machine's available parallelism
+    /// ([`effective_threads`](Self::effective_threads)).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bounds the search to circuits of at most `limit` gates (like
+    /// [`Synthesizer::synthesize_within`]).
+    #[must_use]
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The configured limit, or `default` when unset.
+    #[must_use]
+    pub fn limit_or(&self, default: usize) -> usize {
+        self.limit.unwrap_or(default)
+    }
+
+    /// The worker-thread count to use: the configured value, or the
+    /// machine's available parallelism when the count is 0.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// Which side of the frame identity a hit came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Side {
+    /// `canonical(conj_τ(f) .then rep)` — member `conj_{τ⁻¹}(rep)`.
+    Fwd,
+    /// `canonical(rep .then conj_τ(f⁻¹))` — member `conj_{τ⁻¹}(rep⁻¹)`.
+    Inv,
+}
+
+/// A query with its deduplicated frames hoisted out of the level scans.
+pub(crate) struct PreparedQuery {
+    /// Distinct conjugates `conj_τ(f)`, sorted; `step` indexes
+    /// `Symmetries::relabelings`, smallest step kept per distinct frame.
+    fwd: Vec<(Perm, u32)>,
+    /// Distinct conjugates `conj_τ(f⁻¹)`, sorted likewise.
+    inv: Vec<(Perm, u32)>,
+}
+
+/// A meet-in-the-middle hit: `(level, rep, side, step)` identifies the
+/// class member that splits the query.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Hit {
+    pub level: usize,
+    pub rep: Perm,
+    side: Side,
+    step: u32,
+}
+
+/// Result of scanning levels `1..=deepest` for a batch of queries.
+pub(crate) struct ScanOutcome {
+    /// Per query: the minimal-level hit, if any.
+    pub hits: Vec<Option<Hit>>,
+    /// Per query: `canonicalize + probe` candidate tests performed.
+    pub candidates: Vec<u64>,
+}
+
+impl Synthesizer {
+    /// Hoists and deduplicates the frames of `f` (see the module docs).
+    pub(crate) fn prepare_query(&self, f: Perm) -> PreparedQuery {
+        let sym = self.tables().sym();
+        let mut fwd: Vec<(Perm, u32)> = sym
+            .frames(f)
+            .map(|(frame, step)| (frame, step as u32))
+            .collect();
+        fwd.sort_unstable();
+        fwd.dedup_by(|a, b| a.0 == b.0); // keeps the smallest step per frame
+        let mut inv: Vec<(Perm, u32)> = sym
+            .frames(f.inverse())
+            .map(|(frame, step)| (frame, step as u32))
+            .collect();
+        inv.sort_unstable();
+        inv.dedup_by(|a, b| a.0 == b.0);
+        PreparedQuery { fwd, inv }
+    }
+
+    /// Scans the size-`i` lists in increasing `i` for every query at once,
+    /// sharding each level across `threads` scoped workers. Hits are
+    /// identical for every thread count (see the module docs); the
+    /// candidate counts reflect the work actually performed, which grows
+    /// with the shard count on hit levels.
+    pub(crate) fn mitm_scan(
+        &self,
+        queries: &[PreparedQuery],
+        deepest: usize,
+        threads: usize,
+    ) -> ScanOutcome {
+        let tables = self.tables();
+        let mut hits: Vec<Option<Hit>> = vec![None; queries.len()];
+        let mut candidates: Vec<u64> = vec![0; queries.len()];
+        let mut open: Vec<usize> = (0..queries.len()).collect();
+
+        for i in 1..=deepest {
+            if open.is_empty() {
+                break;
+            }
+            let level = tables.level(i);
+            if level.is_empty() {
+                // The BFS exhausted the group: all deeper lists are empty.
+                break;
+            }
+            let workers = threads.clamp(1, level.len());
+            let shard_results: Vec<ShardResult> = if workers == 1 {
+                vec![scan_shard(tables, level, queries, &open)]
+            } else {
+                std::thread::scope(|scope| {
+                    let open = &open;
+                    let handles: Vec<_> = tables
+                        .level_chunks(i, workers)
+                        .map(|shard| scope.spawn(move || scan_shard(tables, shard, queries, open)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("level-scan worker must not panic"))
+                        .collect()
+                })
+            };
+            // Merge in shard order: shards cover ascending disjoint rep
+            // ranges, so the first hit per query is the minimal-rep hit.
+            for shard in shard_results {
+                for (slot, &q) in open.iter().enumerate() {
+                    candidates[q] += shard.candidates[slot];
+                    if hits[q].is_none() {
+                        if let Some((rep, side, step)) = shard.hits[slot] {
+                            hits[q] = Some(Hit {
+                                level: i,
+                                rep,
+                                side,
+                                step,
+                            });
+                        }
+                    }
+                }
+            }
+            open.retain(|&q| hits[q].is_none());
+        }
+
+        ScanOutcome { hits, candidates }
+    }
+
+    /// Reconstructs the class member a hit identifies and assembles the
+    /// minimal circuit `f = (f.then(m)) .then m⁻¹`.
+    pub(crate) fn resolve_hit(&self, f: Perm, hit: &Hit, candidates: u64) -> Synthesis {
+        let sym = self.tables().sym();
+        let tau_inv = sym.relabelings()[hit.step as usize].inverse();
+        let member = match hit.side {
+            Side::Fwd => hit.rep.conjugate_by_wires(tau_inv),
+            Side::Inv => hit.rep.inverse().conjugate_by_wires(tau_inv),
+        };
+        let residue = f.then(member);
+        let front = self
+            .peel(residue)
+            .expect("hit guarantees size(residue) ≤ k");
+        let back = self
+            .peel(member.inverse())
+            .expect("member inverse has size = level ≤ k");
+        debug_assert_eq!(front.len(), self.tables().k(), "first hit has residue k");
+        debug_assert_eq!(
+            back.len(),
+            hit.level,
+            "suffix must have the hit level's size"
+        );
+        Synthesis {
+            circuit: front.then(&back),
+            lists_scanned: hit.level,
+            candidates_tested: candidates,
+        }
+    }
+
+    /// Synthesizes a whole batch of functions through one frame-hoisted,
+    /// optionally multi-threaded pass over the level lists.
+    ///
+    /// Results are per query and independent: a query that fails (domain
+    /// mismatch, size beyond the limit) does not affect the others. For
+    /// every query the returned **circuit and its statistics of record**
+    /// ([`Synthesis::circuit`], [`Synthesis::lists_scanned`]) are
+    /// gate-count minimal and identical to what
+    /// [`synthesize_within`](Synthesizer::synthesize_within) returns, for
+    /// every thread count. [`Synthesis::candidates_tested`] reports the
+    /// work *actually performed*, which grows with sharding: parallel
+    /// shards that have not seen the hit keep scanning their own ranges,
+    /// so the count is deterministic only for a fixed thread count.
+    ///
+    /// Frame setup is amortized per query and level scans are amortized
+    /// across the whole batch: every representative loaded from a size-`i`
+    /// list is tested against all still-open queries while hot in cache.
+    pub fn synthesize_many(
+        &self,
+        fs: &[Perm],
+        opts: &SearchOptions,
+    ) -> Vec<Result<Synthesis, SynthesisError>> {
+        let limit = opts.limit_or(self.max_size());
+        let k = self.tables().k();
+        let deepest = k.min(limit.saturating_sub(k));
+
+        let mut results: Vec<Option<Result<Synthesis, SynthesisError>>> =
+            (0..fs.len()).map(|_| None).collect();
+        let mut open_idx: Vec<usize> = Vec::new();
+        let mut queries: Vec<PreparedQuery> = Vec::new();
+        for (j, &f) in fs.iter().enumerate() {
+            if let Err(e) = self.check_domain(f) {
+                results[j] = Some(Err(e));
+                continue;
+            }
+            if let Some(circuit) = self.peel(f) {
+                results[j] = Some(if circuit.len() > limit {
+                    Err(SynthesisError::SizeExceedsLimit { function: f, limit })
+                } else {
+                    Ok(Synthesis {
+                        circuit,
+                        lists_scanned: 0,
+                        candidates_tested: 0,
+                    })
+                });
+                continue;
+            }
+            open_idx.push(j);
+            queries.push(self.prepare_query(f));
+        }
+
+        let outcome = self.mitm_scan(&queries, deepest, opts.effective_threads());
+        for (slot, &j) in open_idx.iter().enumerate() {
+            results[j] = Some(match outcome.hits[slot] {
+                Some(ref hit) => Ok(self.resolve_hit(fs[j], hit, outcome.candidates[slot])),
+                None => Err(SynthesisError::SizeExceedsLimit {
+                    function: fs[j],
+                    limit,
+                }),
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query resolved"))
+            .collect()
+    }
+
+    /// Single-query synthesis with explicit search options — the threaded
+    /// variant of [`synthesize_within`](Synthesizer::synthesize_within)
+    /// (which equals `synthesize_with(f, &SearchOptions::new().threads(1)
+    /// .limit(limit))`). The returned circuit is identical for every
+    /// thread count; `candidates_tested` reflects the work actually
+    /// performed (see [`synthesize_many`](Self::synthesize_many)).
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize`](Synthesizer::synthesize).
+    pub fn synthesize_with(
+        &self,
+        f: Perm,
+        opts: &SearchOptions,
+    ) -> Result<Synthesis, SynthesisError> {
+        self.synthesize_many(std::slice::from_ref(&f), opts)
+            .pop()
+            .expect("one query yields one result")
+    }
+
+    /// Single-query size with explicit search options (threaded level
+    /// scans).
+    ///
+    /// # Errors
+    ///
+    /// As [`synthesize`](Synthesizer::synthesize).
+    pub fn size_with(&self, f: Perm, opts: &SearchOptions) -> Result<usize, SynthesisError> {
+        self.size_many(std::slice::from_ref(&f), opts)
+            .pop()
+            .expect("one query yields one result")
+    }
+
+    /// The optimal sizes of a whole batch of functions (cheaper than
+    /// [`synthesize_many`](Self::synthesize_many): circuits are never
+    /// reconstructed). Same batching, threading and determinism contract.
+    pub fn size_many(
+        &self,
+        fs: &[Perm],
+        opts: &SearchOptions,
+    ) -> Vec<Result<usize, SynthesisError>> {
+        let limit = opts.limit_or(self.max_size());
+        let k = self.tables().k();
+        let deepest = k.min(limit.saturating_sub(k));
+
+        let mut results: Vec<Option<Result<usize, SynthesisError>>> =
+            (0..fs.len()).map(|_| None).collect();
+        let mut open_idx: Vec<usize> = Vec::new();
+        let mut queries: Vec<PreparedQuery> = Vec::new();
+        for (j, &f) in fs.iter().enumerate() {
+            if let Err(e) = self.check_domain(f) {
+                results[j] = Some(Err(e));
+                continue;
+            }
+            if let Some(size) = self.tables().size_of(f) {
+                results[j] = Some(if size > limit {
+                    Err(SynthesisError::SizeExceedsLimit { function: f, limit })
+                } else {
+                    Ok(size)
+                });
+                continue;
+            }
+            open_idx.push(j);
+            queries.push(self.prepare_query(f));
+        }
+
+        let outcome = self.mitm_scan(&queries, deepest, opts.effective_threads());
+        for (slot, &j) in open_idx.iter().enumerate() {
+            results[j] = Some(match outcome.hits[slot] {
+                Some(ref hit) => Ok(k + hit.level),
+                None => Err(SynthesisError::SizeExceedsLimit {
+                    function: fs[j],
+                    limit,
+                }),
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query resolved"))
+            .collect()
+    }
+}
+
+/// Per-shard scan output, indexed like the `open` slice.
+struct ShardResult {
+    hits: Vec<Option<(Perm, Side, u32)>>,
+    candidates: Vec<u64>,
+}
+
+/// Scans one contiguous shard of a level against every open query.
+///
+/// Iteration order — representatives outermost (each loaded once, tested
+/// against all open queries while hot), then the query's forward frames,
+/// then its inverse frames — fixes the hit priority: within a shard the
+/// first hit per query is the one at the smallest `(rep, side, frame)`.
+fn scan_shard(
+    tables: &SearchTables,
+    shard: &[Perm],
+    queries: &[PreparedQuery],
+    open: &[usize],
+) -> ShardResult {
+    let mut hits: Vec<Option<(Perm, Side, u32)>> = vec![None; open.len()];
+    let mut candidates = vec![0u64; open.len()];
+    let mut remaining = open.len();
+    for &rep in shard {
+        if remaining == 0 {
+            break;
+        }
+        // A self-inverse representative contributes the same candidate
+        // classes on both sides; skip the redundant inverse side.
+        let rep_self_inverse = rep.inverse() == rep;
+        for (slot, &q) in open.iter().enumerate() {
+            if hits[slot].is_some() {
+                continue;
+            }
+            if let Some(hit) = test_rep(
+                tables,
+                &queries[q],
+                rep,
+                rep_self_inverse,
+                &mut candidates[slot],
+            ) {
+                hits[slot] = Some(hit);
+                remaining -= 1;
+            }
+        }
+    }
+    ShardResult { hits, candidates }
+}
+
+/// Tests every (deduplicated) frame of one query against one
+/// representative, pipelining each candidate's table probe behind the next
+/// candidate's canonicalization. Returns the first hit in frame order.
+#[inline]
+fn test_rep(
+    tables: &SearchTables,
+    query: &PreparedQuery,
+    rep: Perm,
+    rep_self_inverse: bool,
+    candidates: &mut u64,
+) -> Option<(Perm, Side, u32)> {
+    let sym = tables.sym();
+    let table = tables.table();
+    let mut pending: Option<(revsynth_table::Probe, Side, u32)> = None;
+
+    for &(frame, step) in &query.fwd {
+        let canon = sym.canonical(frame.then(rep));
+        *candidates += 1;
+        let probe = table.probe_start(canon);
+        if let Some((prev, side, prev_step)) = pending.replace((probe, Side::Fwd, step)) {
+            if table.probe_finish(prev) {
+                return Some((rep, side, prev_step));
+            }
+        }
+    }
+    if !rep_self_inverse {
+        for &(frame, step) in &query.inv {
+            let canon = sym.canonical(rep.then(frame));
+            *candidates += 1;
+            let probe = table.probe_start(canon);
+            if let Some((prev, side, prev_step)) = pending.replace((probe, Side::Inv, step)) {
+                if table.probe_finish(prev) {
+                    return Some((rep, side, prev_step));
+                }
+            }
+        }
+    }
+    if let Some((prev, side, prev_step)) = pending {
+        if table.probe_finish(prev) {
+            return Some((rep, side, prev_step));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_canon::Symmetries;
+    use std::collections::BTreeSet;
+    use std::sync::OnceLock;
+
+    fn synth_n4_k3() -> &'static Synthesizer {
+        static S: OnceLock<Synthesizer> = OnceLock::new();
+        S.get_or_init(|| Synthesizer::from_scratch(4, 3))
+    }
+
+    /// Deterministic pseudo-random 4-wire permutations.
+    fn random_perms(count: usize, seed: u64) -> Vec<Perm> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..count)
+            .map(|_| {
+                let mut vals: Vec<u8> = (0..16).collect();
+                for i in (1..16usize).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    vals.swap(i, j);
+                }
+                Perm::from_values(&vals).expect("shuffle is a permutation")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frames_are_deduplicated_and_sorted() {
+        let s = synth_n4_k3();
+        // The identity has a single frame on both sides.
+        let q = s.prepare_query(Perm::identity());
+        assert_eq!(q.fwd.len(), 1);
+        assert_eq!(q.inv.len(), 1);
+        // NOT(d) is invariant under relabelings of the other three wires:
+        // 24 / 3! = 4 distinct frames.
+        let not_d =
+            Perm::from_values(&[8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        let q = s.prepare_query(not_d);
+        assert_eq!(q.fwd.len(), 4);
+        assert_eq!(q.inv.len(), 4);
+        for w in q.fwd.windows(2) {
+            assert!(w[0].0 < w[1].0, "sorted and distinct");
+        }
+        // A generic permutation has all 24 frames.
+        let generic =
+            Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap();
+        let q = s.prepare_query(generic);
+        assert_eq!(q.fwd.len(), 24);
+    }
+
+    #[test]
+    fn frame_steps_witness_the_conjugation() {
+        let s = synth_n4_k3();
+        let sym = s.tables().sym();
+        let f = Perm::from_values(&[6, 0, 12, 15, 7, 1, 5, 2, 4, 10, 13, 3, 11, 8, 14, 9]).unwrap();
+        let q = s.prepare_query(f);
+        for &(frame, step) in &q.fwd {
+            assert_eq!(
+                frame,
+                f.conjugate_by_wires(sym.relabelings()[step as usize])
+            );
+        }
+        for &(frame, step) in &q.inv {
+            assert_eq!(
+                frame,
+                f.inverse()
+                    .conjugate_by_wires(sym.relabelings()[step as usize])
+            );
+        }
+    }
+
+    #[test]
+    fn hoisted_frames_cover_exactly_the_member_candidates() {
+        // The property behind the whole engine: for any query f and
+        // representative g, the candidate classes produced by the
+        // deduplicated frames equal the candidate classes produced by
+        // expanding every member of g's class (the seed algorithm) —
+        // deduplication never changes results.
+        let sym = Symmetries::new(4);
+        let s = synth_n4_k3();
+        let reps: Vec<Perm> = s.tables().level(2).iter().step_by(7).copied().collect();
+        for (fi, &f) in random_perms(6, 0xF0F0).iter().enumerate() {
+            let q = s.prepare_query(f);
+            for &rep in &reps {
+                let seed_classes: BTreeSet<Perm> = sym
+                    .class_members(rep)
+                    .into_iter()
+                    .map(|m| sym.canonical(f.then(m)))
+                    .collect();
+                let mut hoisted: BTreeSet<Perm> = q
+                    .fwd
+                    .iter()
+                    .map(|&(frame, _)| sym.canonical(frame.then(rep)))
+                    .collect();
+                hoisted.extend(
+                    q.inv
+                        .iter()
+                        .map(|&(frame, _)| sym.canonical(rep.then(frame))),
+                );
+                assert_eq!(hoisted, seed_classes, "query {fi}, rep {rep}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_inverse_rep_sides_coincide() {
+        // The scan skips the inverse side for self-inverse representatives;
+        // verify the skipped candidates are exactly the forward ones.
+        let sym = Symmetries::new(4);
+        let s = synth_n4_k3();
+        let f = random_perms(1, 42)[0];
+        let q = s.prepare_query(f);
+        let mut checked = 0;
+        for &rep in s.tables().level(1) {
+            if rep.inverse() != rep {
+                continue;
+            }
+            checked += 1;
+            let fwd: BTreeSet<Perm> = q
+                .fwd
+                .iter()
+                .map(|&(frame, _)| sym.canonical(frame.then(rep)))
+                .collect();
+            let inv: BTreeSet<Perm> = q
+                .inv
+                .iter()
+                .map(|&(frame, _)| sym.canonical(rep.then(frame)))
+                .collect();
+            assert_eq!(fwd, inv, "rep {rep}");
+        }
+        assert!(checked > 0, "NCT gates are self-inverse");
+    }
+
+    #[test]
+    fn batch_matches_single_queries_across_thread_counts() {
+        let s = synth_n4_k3();
+        let fs = random_perms(12, 0xBEEF);
+        let singles: Vec<_> = fs
+            .iter()
+            .map(|&f| s.synthesize_within(f, s.max_size()))
+            .collect();
+        for threads in [1usize, 2, 4, 7] {
+            let opts = SearchOptions::new().threads(threads);
+            let batch = s.synthesize_many(&fs, &opts);
+            for (j, (single, batched)) in singles.iter().zip(&batch).enumerate() {
+                match (single, batched) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.circuit, b.circuit, "query {j}, {threads} threads");
+                        assert_eq!(a.lists_scanned, b.lists_scanned, "query {j}");
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("query {j} diverged: {a:?} vs {b:?}"),
+                }
+            }
+            let sizes = s.size_many(&fs, &opts);
+            for (j, (single, size)) in singles.iter().zip(&sizes).enumerate() {
+                match (single, size) {
+                    (Ok(a), Ok(b)) => assert_eq!(a.circuit.len(), *b, "query {j}"),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("query {j} diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_fast_path_errors_and_limits() {
+        let s = synth_n4_k3();
+        // Identity (fast path), a 3-wire-moving function (domain OK on 4
+        // wires), and a function needing 7 gates (beyond limit 5).
+        let seven =
+            Perm::from_values(&[0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15]).unwrap();
+        let fs = vec![Perm::identity(), seven];
+        let opts = SearchOptions::new().threads(2).limit(5);
+        let out = s.synthesize_many(&fs, &opts);
+        assert_eq!(out[0].as_ref().unwrap().circuit.len(), 0);
+        assert!(matches!(
+            out[1],
+            Err(SynthesisError::SizeExceedsLimit { limit: 5, .. })
+        ));
+        let sizes = s.size_many(&fs, &opts);
+        assert_eq!(sizes[0], Ok(0));
+        assert!(sizes[1].is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let s = synth_n4_k3();
+        assert!(s.synthesize_many(&[], &SearchOptions::new()).is_empty());
+        assert!(s.size_many(&[], &SearchOptions::new()).is_empty());
+    }
+
+    #[test]
+    fn batch_circuits_compute_their_functions() {
+        let s = synth_n4_k3();
+        let fs = random_perms(20, 0xCAFE);
+        let out = s.synthesize_many(&fs, &SearchOptions::new().threads(3));
+        let mut resolved = 0;
+        for (j, result) in out.iter().enumerate() {
+            if let Ok(syn) = result {
+                assert_eq!(syn.circuit.perm(4), fs[j], "query {j}");
+                resolved += 1;
+            }
+        }
+        // k = 3 reaches size 6; most random permutations need more — but
+        // the sample must contain a few small ones via fast paths, and the
+        // engine must never mislabel an unresolved one.
+        for (j, result) in out.iter().enumerate() {
+            if result.is_err() {
+                assert!(
+                    s.synthesize(fs[j]).is_err(),
+                    "query {j}: serial path must agree it is out of reach"
+                );
+            }
+        }
+        let _ = resolved;
+    }
+
+    #[test]
+    fn search_options_accessors() {
+        let opts = SearchOptions::new();
+        assert_eq!(opts.limit_or(14), 14);
+        assert!(opts.effective_threads() >= 1);
+        let opts = opts.threads(3).limit(9);
+        assert_eq!(opts.effective_threads(), 3);
+        assert_eq!(opts.limit_or(14), 9);
+    }
+}

@@ -86,14 +86,16 @@ impl Synthesizer {
     /// Like [`synthesize`](Self::synthesize) but bounds the search to
     /// circuits of at most `limit` gates and reports search statistics.
     ///
+    /// The meet-in-the-middle phase runs the frame-hoisted engine (see the
+    /// [`search` module](crate::search) docs): the ≤ `2·n!` symmetry
+    /// frames of `f` are computed and deduplicated once, then the stored
+    /// size-`i` representatives are scanned directly — per candidate, one
+    /// composition, one canonicalization and one pipelined hash probe.
+    ///
     /// # Errors
     ///
     /// As [`synthesize`](Self::synthesize), with `limit` in place of `2k`.
-    pub fn synthesize_within(
-        &self,
-        f: Perm,
-        limit: usize,
-    ) -> Result<Synthesis, SynthesisError> {
+    pub fn synthesize_within(&self, f: Perm, limit: usize) -> Result<Synthesis, SynthesisError> {
         self.check_domain(f)?;
         // Fast path: size ≤ k.
         if let Some(circuit) = self.peel(f) {
@@ -107,34 +109,16 @@ impl Synthesizer {
             });
         }
 
-        // Meet in the middle: find the smallest i with a size-i g such
-        // that f.then(g) has size ≤ k; then f = (f.then(g)).then(g⁻¹).
+        // Meet in the middle: find the smallest i with a size-i member g
+        // such that f.then(g) has size ≤ k; then f = (f.then(g)).then(g⁻¹).
         let k = self.tables.k();
         let deepest = k.min(limit.saturating_sub(k));
-        let sym = self.tables.sym();
-        let mut members: Vec<Perm> = Vec::with_capacity(sym.max_class_size());
-        let mut candidates_tested = 0u64;
-        for i in 1..=deepest {
-            for &rep in self.tables.level(i) {
-                sym.class_members_into(rep, &mut members);
-                for &g in &members {
-                    let h = f.then(g);
-                    candidates_tested += 1;
-                    if self.tables.contains(sym.canonical(h)) {
-                        let front = self.peel(h).expect("h has size ≤ k");
-                        let back = self.peel(g.inverse()).expect("g⁻¹ has size i ≤ k");
-                        debug_assert_eq!(front.len(), k, "first hit must have residue k");
-                        debug_assert_eq!(back.len(), i, "suffix must have size i");
-                        return Ok(Synthesis {
-                            circuit: front.then(&back),
-                            lists_scanned: i,
-                            candidates_tested,
-                        });
-                    }
-                }
-            }
+        let query = self.prepare_query(f);
+        let outcome = self.mitm_scan(std::slice::from_ref(&query), deepest, 1);
+        match outcome.hits[0] {
+            Some(ref hit) => Ok(self.resolve_hit(f, hit, outcome.candidates[0])),
+            None => Err(SynthesisError::SizeExceedsLimit { function: f, limit }),
         }
-        Err(SynthesisError::SizeExceedsLimit { function: f, limit })
     }
 
     /// The optimal size of `f` without building the circuit (cheaper in
@@ -149,25 +133,18 @@ impl Synthesizer {
             return Ok(size);
         }
         let k = self.tables.k();
-        let sym = self.tables.sym();
-        let mut members: Vec<Perm> = Vec::with_capacity(sym.max_class_size());
-        for i in 1..=k {
-            for &rep in self.tables.level(i) {
-                sym.class_members_into(rep, &mut members);
-                for &g in &members {
-                    if self.tables.contains(sym.canonical(f.then(g))) {
-                        return Ok(k + i);
-                    }
-                }
-            }
+        let query = self.prepare_query(f);
+        let outcome = self.mitm_scan(std::slice::from_ref(&query), k, 1);
+        match outcome.hits[0] {
+            Some(ref hit) => Ok(k + hit.level),
+            None => Err(SynthesisError::SizeExceedsLimit {
+                function: f,
+                limit: self.max_size(),
+            }),
         }
-        Err(SynthesisError::SizeExceedsLimit {
-            function: f,
-            limit: self.max_size(),
-        })
     }
 
-    fn check_domain(&self, f: Perm) -> Result<(), SynthesisError> {
+    pub(crate) fn check_domain(&self, f: Perm) -> Result<(), SynthesisError> {
         let n = self.tables.wires();
         for x in (1u8 << n)..16 {
             if f.apply(x) != x {
@@ -189,7 +166,7 @@ impl Synthesizer {
     /// minimal circuit), the gate `λ = conj_{σ⁻¹}(λ̄)` sits at the **back**
     /// of `f`'s circuit iff `inverted == is_first` (all four cases are
     /// derived in the module tests and exercised exhaustively for n ≤ 3).
-    fn peel(&self, f: Perm) -> Option<Circuit> {
+    pub(crate) fn peel(&self, f: Perm) -> Option<Circuit> {
         let n = self.tables.wires();
         let sym = self.tables.sym();
         let mut front: Vec<Gate> = Vec::new();
@@ -359,7 +336,10 @@ mod tests {
         let spec =
             Perm::from_values(&[0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15]).unwrap();
         let err = s.synthesize_within(spec, 5).unwrap_err();
-        assert!(matches!(err, SynthesisError::SizeExceedsLimit { limit: 5, .. }));
+        assert!(matches!(
+            err,
+            SynthesisError::SizeExceedsLimit { limit: 5, .. }
+        ));
         // But 6 tables (k=3, lists to 3) can't reach size 7 either.
         let err = s.synthesize_within(spec, 6).unwrap_err();
         assert!(matches!(err, SynthesisError::SizeExceedsLimit { .. }));
@@ -373,7 +353,10 @@ mod tests {
         let err = s.synthesize(f).unwrap_err();
         assert!(matches!(
             err,
-            SynthesisError::DomainMismatch { wires: 3, moved_point: 8 }
+            SynthesisError::DomainMismatch {
+                wires: 3,
+                moved_point: 8
+            }
         ));
     }
 

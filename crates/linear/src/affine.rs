@@ -39,7 +39,10 @@ impl AffineFn {
     /// or the offset has bits above the 4-wire domain.
     #[must_use]
     pub fn new(matrix: Gf2Matrix, offset: u8) -> Self {
-        assert!(matrix.is_invertible(), "affine reversible needs M ∈ GL(4,2)");
+        assert!(
+            matrix.is_invertible(),
+            "affine reversible needs M ∈ GL(4,2)"
+        );
         assert!(offset < 16, "offset {offset} has bits outside 4 wires");
         AffineFn { matrix, offset }
     }
@@ -90,7 +93,10 @@ impl AffineFn {
         if !m.is_invertible() {
             return None;
         }
-        let f = AffineFn { matrix: m, offset: c };
+        let f = AffineFn {
+            matrix: m,
+            offset: c,
+        };
         (0..16u8).all(|x| f.apply(x) == p.apply(x)).then_some(f)
     }
 
@@ -131,7 +137,13 @@ pub fn is_linear_reversible(p: Perm) -> bool {
 /// permutations of the 4-wire domain, each exactly once.
 pub fn all_affine_perms() -> impl Iterator<Item = Perm> {
     all_invertible_matrices().into_iter().flat_map(|m| {
-        (0..16u8).map(move |c| AffineFn { matrix: m, offset: c }.to_perm())
+        (0..16u8).map(move |c| {
+            AffineFn {
+                matrix: m,
+                offset: c,
+            }
+            .to_perm()
+        })
     })
 }
 
@@ -167,7 +179,9 @@ mod tests {
 
     #[test]
     fn not_cnot_circuits_are_linear() {
-        let c: Circuit = "NOT(a) CNOT(a,b) CNOT(c,d) NOT(d) CNOT(d,a)".parse().unwrap();
+        let c: Circuit = "NOT(a) CNOT(a,b) CNOT(c,d) NOT(d) CNOT(d,a)"
+            .parse()
+            .unwrap();
         assert!(is_linear_reversible(c.perm(4)));
     }
 

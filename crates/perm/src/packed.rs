@@ -413,7 +413,10 @@ mod tests {
     #[test]
     fn identity_roundtrip() {
         let id = Perm::identity();
-        assert_eq!(id.values(), [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(
+            id.values(),
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
         assert!(id.is_identity());
         assert_eq!(id.inverse(), id);
         assert_eq!(id.then(id), id);
@@ -515,7 +518,8 @@ mod tests {
                     // conj(p.then(q)) == conj(p).then(conj(q))
                     assert_eq!(
                         p.then(q).conjugate_swap_indexed(i),
-                        p.conjugate_swap_indexed(i).then(q.conjugate_swap_indexed(i))
+                        p.conjugate_swap_indexed(i)
+                            .then(q.conjugate_swap_indexed(i))
                     );
                     // conj(p⁻¹) == conj(p)⁻¹
                     assert_eq!(

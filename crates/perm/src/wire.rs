@@ -40,7 +40,10 @@ impl WirePerm {
     /// Panics if `a == b` or either index is `≥ 4`.
     #[must_use]
     pub fn transposition(a: u8, b: u8) -> Self {
-        assert!(a < 4 && b < 4 && a != b, "invalid wire transposition ({a},{b})");
+        assert!(
+            a < 4 && b < 4 && a != b,
+            "invalid wire transposition ({a},{b})"
+        );
         let mut map = [0u8, 1, 2, 3];
         map.swap(usize::from(a), usize::from(b));
         WirePerm(map)

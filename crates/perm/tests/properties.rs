@@ -1,102 +1,174 @@
 //! Property-based tests for the packed permutation kernel.
+//!
+//! Deterministic randomized properties: each test draws a few hundred
+//! pseudo-random permutations from a fixed SplitMix64 seed (no external
+//! property-testing crate is vendored in this offline workspace), so
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
 use revsynth_perm::{hash64shift, Perm, WirePerm};
 
-/// Strategy producing an arbitrary permutation of {0..15} (via sorting a
-/// random key per position — a standard random-permutation construction).
-fn arb_perm() -> impl Strategy<Value = Perm> {
-    proptest::collection::vec(any::<u32>(), 16).prop_map(|keys| {
-        let mut idx: Vec<u8> = (0..16).collect();
-        idx.sort_by_key(|&i| keys[usize::from(i)]);
-        Perm::from_values(&idx).expect("sorted index list is a permutation")
-    })
+const CASES: usize = 300;
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A pseudo-random permutation of {0..15} by Fisher–Yates.
+    fn perm(&mut self) -> Perm {
+        let mut vals: Vec<u8> = (0..16).collect();
+        for i in (1..16usize).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            vals.swap(i, j);
+        }
+        Perm::from_values(&vals).expect("shuffle is a permutation")
+    }
+
+    fn wire_perm(&mut self) -> WirePerm {
+        WirePerm::all()[(self.next() % 24) as usize]
+    }
 }
 
-fn arb_wire_perm() -> impl Strategy<Value = WirePerm> {
-    (0usize..24).prop_map(|i| WirePerm::all()[i])
+#[test]
+fn then_is_associative() {
+    let mut g = Gen(1);
+    for _ in 0..CASES {
+        let (p, q, r) = (g.perm(), g.perm(), g.perm());
+        assert_eq!(p.then(q).then(r), p.then(q.then(r)), "p={p} q={q} r={r}");
+    }
 }
 
-proptest! {
-    #[test]
-    fn then_is_associative(p in arb_perm(), q in arb_perm(), r in arb_perm()) {
-        prop_assert_eq!(p.then(q).then(r), p.then(q.then(r)));
+#[test]
+fn identity_is_neutral() {
+    let mut g = Gen(2);
+    for _ in 0..CASES {
+        let p = g.perm();
+        assert_eq!(p.then(Perm::identity()), p);
+        assert_eq!(Perm::identity().then(p), p);
     }
+}
 
-    #[test]
-    fn identity_is_neutral(p in arb_perm()) {
-        prop_assert_eq!(p.then(Perm::identity()), p);
-        prop_assert_eq!(Perm::identity().then(p), p);
+#[test]
+fn inverse_roundtrip() {
+    let mut g = Gen(3);
+    for _ in 0..CASES {
+        let p = g.perm();
+        assert!(p.then(p.inverse()).is_identity());
+        assert!(p.inverse().then(p).is_identity());
+        assert_eq!(p.inverse().inverse(), p);
     }
+}
 
-    #[test]
-    fn inverse_roundtrip(p in arb_perm()) {
-        prop_assert!(p.then(p.inverse()).is_identity());
-        prop_assert!(p.inverse().then(p).is_identity());
-        prop_assert_eq!(p.inverse().inverse(), p);
+#[test]
+fn inverse_antihomomorphism() {
+    // (q ∘ p)⁻¹ = p⁻¹ ∘ q⁻¹, in `then` notation: (p.then(q))⁻¹ = q⁻¹.then(p⁻¹)
+    let mut g = Gen(4);
+    for _ in 0..CASES {
+        let (p, q) = (g.perm(), g.perm());
+        assert_eq!(p.then(q).inverse(), q.inverse().then(p.inverse()));
     }
+}
 
-    #[test]
-    fn inverse_antihomomorphism(p in arb_perm(), q in arb_perm()) {
-        // (q ∘ p)⁻¹ = p⁻¹ ∘ q⁻¹, in `then` notation: (p.then(q))⁻¹ = q⁻¹.then(p⁻¹)
-        prop_assert_eq!(p.then(q).inverse(), q.inverse().then(p.inverse()));
+#[test]
+fn apply_agrees_with_values() {
+    let mut g = Gen(5);
+    for _ in 0..CASES {
+        let p = g.perm();
+        for x in 0u8..16 {
+            assert_eq!(p.apply(x), p.values()[usize::from(x)]);
+        }
     }
+}
 
-    #[test]
-    fn apply_agrees_with_values(p in arb_perm(), x in 0u8..16) {
-        prop_assert_eq!(p.apply(x), p.values()[usize::from(x)]);
+#[test]
+fn packed_roundtrip() {
+    let mut g = Gen(6);
+    for _ in 0..CASES {
+        let p = g.perm();
+        assert_eq!(Perm::from_packed(p.packed()).unwrap(), p);
+        assert_eq!(Perm::from_values(&p.values()).unwrap(), p);
     }
+}
 
-    #[test]
-    fn packed_roundtrip(p in arb_perm()) {
-        prop_assert_eq!(Perm::from_packed(p.packed()).unwrap(), p);
-        prop_assert_eq!(Perm::from_values(&p.values()).unwrap(), p);
-    }
-
-    #[test]
-    fn conjugation_by_any_wire_perm_is_group_action(p in arb_perm(), s in arb_wire_perm(), t in arb_wire_perm()) {
-        // Conjugation is a *left* action: conj_{s.then(t)} = conj_t ∘ conj_s,
-        // because π_{s.then(t)} = π_t ∘ π_s on state indices and
-        // conj_σ(f) = π_σ f π_σ⁻¹.
+#[test]
+fn conjugation_by_any_wire_perm_is_group_action() {
+    // Conjugation is a *left* action: conj_{s.then(t)} = conj_t ∘ conj_s,
+    // because π_{s.then(t)} = π_t ∘ π_s on state indices and
+    // conj_σ(f) = π_σ f π_σ⁻¹.
+    let mut g = Gen(7);
+    for _ in 0..CASES {
+        let (p, s, t) = (g.perm(), g.wire_perm(), g.wire_perm());
         let one_step = p.conjugate_by_wires(s.then(t));
         let two_step = p.conjugate_by_wires(s).conjugate_by_wires(t);
-        prop_assert_eq!(one_step, two_step);
+        assert_eq!(one_step, two_step, "p={p} s={s:?} t={t:?}");
     }
+}
 
-    #[test]
-    fn conjugation_preserves_composition(p in arb_perm(), q in arb_perm(), s in arb_wire_perm()) {
-        prop_assert_eq!(
+#[test]
+fn conjugation_preserves_composition() {
+    let mut g = Gen(8);
+    for _ in 0..CASES {
+        let (p, q, s) = (g.perm(), g.perm(), g.wire_perm());
+        assert_eq!(
             p.then(q).conjugate_by_wires(s),
             p.conjugate_by_wires(s).then(q.conjugate_by_wires(s))
         );
     }
+}
 
-    #[test]
-    fn conjugation_preserves_parity_and_support(p in arb_perm(), s in arb_wire_perm()) {
+#[test]
+fn conjugation_preserves_parity_and_support() {
+    let mut g = Gen(9);
+    for _ in 0..CASES {
+        let (p, s) = (g.perm(), g.wire_perm());
         let c = p.conjugate_by_wires(s);
-        prop_assert_eq!(c.is_even(), p.is_even());
-        prop_assert_eq!(c.support(), p.support());
+        assert_eq!(c.is_even(), p.is_even());
+        assert_eq!(c.support(), p.support());
     }
+}
 
-    #[test]
-    fn swap_kernel_equals_reference(p in arb_perm(), a in 0u8..4, b in 0u8..4) {
-        prop_assume!(a != b);
-        prop_assert_eq!(
-            p.conjugate_swap(a, b),
-            p.conjugate_by_wires(WirePerm::transposition(a, b))
-        );
-    }
-
-    #[test]
-    fn hash_is_injective_on_perms(p in arb_perm(), q in arb_perm()) {
-        // hash64shift is bijective on u64, so distinct perms hash distinctly.
-        if p != q {
-            prop_assert_ne!(hash64shift(p.packed()), hash64shift(q.packed()));
+#[test]
+fn swap_kernel_equals_reference() {
+    let mut g = Gen(10);
+    for _ in 0..CASES {
+        let p = g.perm();
+        for a in 0u8..4 {
+            for b in 0u8..4 {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    p.conjugate_swap(a, b),
+                    p.conjugate_by_wires(WirePerm::transposition(a, b))
+                );
+            }
         }
     }
+}
 
-    #[test]
-    fn ord_matches_packed(p in arb_perm(), q in arb_perm()) {
-        prop_assert_eq!(p.cmp(&q), p.packed().cmp(&q.packed()));
+#[test]
+fn hash_is_injective_on_perms() {
+    // hash64shift is bijective on u64, so distinct perms hash distinctly.
+    let mut g = Gen(11);
+    for _ in 0..CASES {
+        let (p, q) = (g.perm(), g.perm());
+        if p != q {
+            assert_ne!(hash64shift(p.packed()), hash64shift(q.packed()));
+        }
+    }
+}
+
+#[test]
+fn ord_matches_packed() {
+    let mut g = Gen(12);
+    for _ in 0..CASES {
+        let (p, q) = (g.perm(), g.perm());
+        assert_eq!(p.cmp(&q), p.packed().cmp(&q.packed()));
     }
 }

@@ -81,7 +81,11 @@ mod tests {
             let y = o.simulate(x);
             let (a, b, cin) = (x & 1, (x >> 1) & 1, (x >> 2) & 1);
             assert_eq!((y >> 2) & 1, a ^ b ^ cin, "optimal sum at {x}");
-            assert_eq!((y >> 3) & 1, (a & b) | (a & cin) | (b & cin), "optimal carry at {x}");
+            assert_eq!(
+                (y >> 3) & 1,
+                (a & b) | (a & cin) | (b & cin),
+                "optimal carry at {x}"
+            );
         }
     }
 

@@ -34,4 +34,4 @@ mod stats;
 mod table;
 
 pub use stats::TableStats;
-pub use table::FnTable;
+pub use table::{FnTable, Probe};

@@ -58,11 +58,29 @@ impl FnTable {
     /// Creates a table sized for `expected` entries at a load factor of at
     /// most ~0.58 (the paper's k = 7 configuration), rounded up to a power
     /// of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like [`with_capacity_bits`](Self::with_capacity_bits)) if
+    /// the required slot count exceeds `2⁴⁰`.
     #[must_use]
     pub fn for_entries(expected: usize) -> Self {
-        let min_slots = (expected.max(4) * 12) / 7; // expected / 0.583
-        let bits = usize::BITS - (min_slots - 1).leading_zeros();
-        Self::with_capacity_bits(bits.max(3))
+        Self::with_capacity_bits(Self::capacity_bits_for(expected))
+    }
+
+    /// The power-of-two slot exponent [`for_entries`](Self::for_entries)
+    /// would allocate for `expected` entries (`⌈expected / 0.583⌉` rounded
+    /// up to a power of two, at least 8 slots).
+    ///
+    /// The arithmetic is carried out in 128 bits: at the paper's k = 9
+    /// regime `expected` approaches 2³², where the naive `expected * 12`
+    /// would overflow 32-bit builds — and a wrapped product would
+    /// silently size the table orders of magnitude too small.
+    #[must_use]
+    pub fn capacity_bits_for(expected: usize) -> u32 {
+        let min_slots = (expected.max(4) as u128 * 12) / 7; // expected / 0.583
+        let bits = 128 - (min_slots - 1).leading_zeros();
+        bits.max(3)
     }
 
     /// Number of stored entries.
@@ -113,6 +131,55 @@ impl FnTable {
         loop {
             let slot = self.keys[i];
             if slot == key {
+                return true;
+            }
+            if slot == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Starts a pipelined membership probe for `key`: hashes, reads the
+    /// home slot and returns the in-flight [`Probe`].
+    ///
+    /// The home-slot read doubles as a software prefetch — on the
+    /// multi-GB tables of the paper's k = 8–9 regime every probe is a
+    /// cache miss, so the meet-in-the-middle inner loop starts the next
+    /// candidate's probe *before* finishing the current one, hiding the
+    /// memory latency behind the next ~750-instruction canonicalization
+    /// ([`contains`](Self::contains) by contrast stalls on the load).
+    ///
+    /// Resolve with [`probe_finish`](Self::probe_finish). The probe is
+    /// only meaningful against an unmodified table: inserting between
+    /// start and finish may yield a stale answer.
+    #[inline]
+    #[must_use]
+    pub fn probe_start(&self, key: Perm) -> Probe {
+        let key = key.packed();
+        let slot = self.home_slot(key);
+        Probe {
+            key,
+            slot,
+            first: self.keys[slot],
+        }
+    }
+
+    /// Resolves a probe started by [`probe_start`](Self::probe_start):
+    /// whether the key is present.
+    #[inline]
+    #[must_use]
+    pub fn probe_finish(&self, probe: Probe) -> bool {
+        if probe.first == probe.key {
+            return true;
+        }
+        if probe.first == EMPTY {
+            return false;
+        }
+        let mut i = (probe.slot + 1) & self.mask as usize;
+        loop {
+            let slot = self.keys[i];
+            if slot == probe.key {
                 return true;
             }
             if slot == EMPTY {
@@ -288,6 +355,16 @@ impl FnTable {
     }
 }
 
+/// An in-flight membership probe: the hashed key, its home slot and the
+/// first slot value already read. Created by [`FnTable::probe_start`],
+/// consumed by [`FnTable::probe_finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct Probe {
+    key: u64,
+    slot: usize,
+    first: u64,
+}
+
 impl fmt::Debug for FnTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -318,7 +395,9 @@ mod tests {
         let mut x = i;
         for j in (1..16).rev() {
             vals.swap(j, (x % (j as u64 + 1)) as usize);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >>= 8;
             if x == 0 {
                 x = i.wrapping_add(j as u64);
@@ -382,12 +461,18 @@ mod tests {
         let mut model = std::collections::HashMap::new();
         let mut state = 0x12345678u64;
         for step in 0..5000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = perm_of(state % 700);
             let value = (state >> 32) as u8;
             match state % 3 {
                 0 => {
-                    assert_eq!(t.insert(key, value), model.insert(key, value), "step {step}");
+                    assert_eq!(
+                        t.insert(key, value),
+                        model.insert(key, value),
+                        "step {step}"
+                    );
                 }
                 1 => {
                     let inserted = t.insert_if_absent(key, value);
@@ -413,6 +498,67 @@ mod tests {
         }
         let from_iter: std::collections::HashMap<Perm, u8> = t.iter().collect();
         assert_eq!(from_iter, model);
+    }
+
+    #[test]
+    fn probe_pipeline_agrees_with_contains() {
+        let mut t = FnTable::with_capacity_bits(8); // dense: load ~0.78 forces clusters
+        for i in 0..180u64 {
+            t.insert(perm_of(i), 0);
+        }
+        // Pipeline of depth 2 over a mix of present and absent keys.
+        let keys: Vec<Perm> = (0..400u64).map(perm_of).collect();
+        let mut pending = None;
+        let mut resolved = Vec::new();
+        for &k in &keys {
+            let probe = t.probe_start(k);
+            if let Some(p) = pending.replace(probe) {
+                resolved.push(t.probe_finish(p));
+            }
+        }
+        if let Some(p) = pending {
+            resolved.push(t.probe_finish(p));
+        }
+        let expected: Vec<bool> = keys.iter().map(|&k| t.contains(k)).collect();
+        assert_eq!(resolved, expected);
+    }
+
+    #[test]
+    fn capacity_bits_do_not_overflow_for_huge_tables() {
+        // The paper's k = 9 regime: ~2.45 G entries. The naive
+        // `expected * 12` would overflow a 32-bit usize and is within a
+        // factor 2 of overflowing 64-bit for absurd inputs; the 128-bit
+        // computation must stay exact everywhere.
+        if usize::BITS >= 64 {
+            let paper_k9: usize = 2_458_109_431;
+            // 2³² slots — exactly the paper's Table 2 configuration for k = 9.
+            assert_eq!(FnTable::capacity_bits_for(paper_k9), 32);
+        }
+        // On every pointer width, the top of the usize range must compute
+        // exactly rather than wrap: ⌈(2^B − 1) · 12/7⌉ needs B + 1 bits.
+        assert_eq!(FnTable::capacity_bits_for(usize::MAX), usize::BITS + 1);
+        assert_eq!(FnTable::capacity_bits_for(usize::MAX / 2), usize::BITS);
+        assert_eq!(FnTable::capacity_bits_for(0), 3);
+        assert_eq!(FnTable::capacity_bits_for(4), 3);
+        // Monotone in `expected`.
+        let mut last = 0;
+        for shift in 0..usize::BITS - 1 {
+            let bits = FnTable::capacity_bits_for(1usize << shift);
+            assert!(bits >= last, "2^{shift}");
+            last = bits;
+        }
+    }
+
+    // On 32-bit targets no `usize` entry count can exceed the 2^40-slot
+    // guard, so the panic path is only reachable with 64-bit pointers.
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "unreasonable table size")]
+    fn for_entries_rejects_absurd_sizes_instead_of_wrapping() {
+        // Before the 128-bit fix this wrapped (silently building a tiny
+        // table); now an absurd request must hit the explicit capacity
+        // guard (2^62 entries need far more than 2^40 slots).
+        let _ = FnTable::for_entries(usize::MAX >> 2);
     }
 
     #[test]

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sub = adder::suboptimal();
     let sub_fn = sub.perm(4);
-    println!("redundant adder ({} gates, depth {}):", sub.len(), sub.depth());
+    println!(
+        "redundant adder ({} gates, depth {}):",
+        sub.len(),
+        sub.depth()
+    );
     println!("  {sub}");
 
     let optimized = synth.synthesize(sub_fn)?;

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[1/2] exact analogue on n = 3");
     let counts = reference::full_space_counts(&GateLib::nct(3));
     let l3 = counts.len() - 1;
-    println!("  exhaustive census: L(3) = {l3} ({} functions need it)", counts[l3]);
+    println!(
+        "  exhaustive census: L(3) = {l3} ({} functions need it)",
+        counts[l3]
+    );
     let synth3 = Synthesizer::from_scratch(3, l3.div_ceil(2));
     let outcome = HardSearch {
         budget: Duration::from_secs(2),
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  search found max size {} after {} measurements — {}",
         outcome.max_size,
         outcome.examined,
-        if outcome.max_size == l3 { "saturates L(3) ✓" } else { "below L(3)!" }
+        if outcome.max_size == l3 {
+            "saturates L(3) ✓"
+        } else {
+            "below L(3)!"
+        }
     );
 
     // Act 2: the scaled 4-wire search.

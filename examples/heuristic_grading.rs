@@ -72,16 +72,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let score = suite.score(4, |f| greedy(f, &lib, 40));
 
     println!("greedy transformation-based heuristic:");
-    println!("  solved optimally : {:>4} / {}", score.optimal, score.total);
+    println!(
+        "  solved optimally : {:>4} / {}",
+        score.optimal, score.total
+    );
     println!("  wrong answers    : {:>4}", score.incorrect);
     println!("  excess gates     : {:>4}", score.excess_gates);
-    println!("  mean overhead    : {:.3}× the optimum", score.mean_overhead);
+    println!(
+        "  mean overhead    : {:.3}× the optimum",
+        score.mean_overhead
+    );
 
     // The optimal synthesizer itself must ace the exam.
     let perfect = suite.score(4, |f| synth.synthesize(f).expect("within reach"));
     assert_eq!(perfect.optimal, perfect.total);
     assert_eq!(perfect.incorrect, 0);
-    println!("\n(control: the optimal synthesizer scores {}/{} optimal — the exam works)",
-        perfect.optimal, perfect.total);
+    println!(
+        "\n(control: the optimal synthesizer scores {}/{} optimal — the exam works)",
+        perfect.optimal, perfect.total
+    );
     Ok(())
 }

@@ -40,7 +40,10 @@ fn main() {
     println!("\ntotal: {total} (expected 322,560); all rows match: {all}");
 
     println!("\n§4.3 example — one of the 138 hardest linear functions:");
-    println!("  spec: a,b,c,d ↦ b⊕1, a⊕c⊕1, d⊕1, a  =  {}", linear_example::spec());
+    println!(
+        "  spec: a,b,c,d ↦ b⊕1, a⊕c⊕1, d⊕1, a  =  {}",
+        linear_example::spec()
+    );
     let c = linear_example::circuit();
     println!("  paper's optimal 10-gate circuit: {c}");
     assert_eq!(c.perm(4), linear_example::spec());

@@ -12,8 +12,7 @@
 //! window over it, and reports the compression — every window replacement
 //! is provably locally optimal.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use revsynth::analysis::{Rng, SplitMix64};
 use revsynth::circuit::{Circuit, CostModel, GateLib};
 use revsynth::core::{PeepholeOptimizer, Synthesizer};
 
@@ -29,9 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  window = {} gates\n", optimizer.window());
 
     let lib = GateLib::nct(4);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let circuit =
-        Circuit::from_gates((0..gates).map(|_| lib.gate(rng.gen_range(0..lib.len()))));
+    let mut rng = SplitMix64::new(seed);
+    let circuit = Circuit::from_gates((0..gates).map(|_| lib.gate(rng.gen_range(0..lib.len()))));
 
     let start = std::time::Instant::now();
     let (optimized, before, after) = optimizer.optimize_with_stats(&circuit)?;
@@ -39,10 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(optimized.perm(4), circuit.perm(4), "function preserved");
 
     let qc = CostModel::quantum();
-    println!("random circuit : {before} gates, depth {}, quantum cost {}",
-        circuit.depth(), circuit.cost(&qc));
-    println!("peephole output: {after} gates, depth {}, quantum cost {}",
-        optimized.depth(), optimized.cost(&qc));
+    println!(
+        "random circuit : {before} gates, depth {}, quantum cost {}",
+        circuit.depth(),
+        circuit.cost(&qc)
+    );
+    println!(
+        "peephole output: {after} gates, depth {}, quantum cost {}",
+        optimized.depth(),
+        optimized.cost(&qc)
+    );
     println!(
         "saved {} gates ({:.1}%) in {elapsed:.2?}; function preserved (verified)",
         before - after,

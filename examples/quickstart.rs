@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = Instant::now();
         let circuit = synth.synthesize(b.perm())?;
         let elapsed = start.elapsed();
-        assert_eq!(circuit.perm(4), b.perm(), "synthesized circuit must implement the spec");
+        assert_eq!(
+            circuit.perm(4),
+            b.perm(),
+            "synthesized circuit must implement the spec"
+        );
         println!(
             "{:<10} {:>4} {:>5} {:>9.1?}  {}",
             b.name,

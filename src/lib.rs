@@ -39,6 +39,25 @@
 //! # Ok::<(), revsynth::core::SynthesisError>(())
 //! ```
 //!
+//! Batched, multi-threaded serving with identical results per thread
+//! count (the frame-hoisted engine; see `revsynth::core::search`):
+//!
+//! ```
+//! use revsynth::core::{SearchOptions, Synthesizer};
+//! use revsynth::specs::benchmark;
+//!
+//! let synth = Synthesizer::from_scratch(4, 2);
+//! let batch = vec![
+//!     benchmark("rd32").unwrap().perm(),
+//!     benchmark("shift4").unwrap().perm(),
+//! ];
+//! let opts = SearchOptions::new().threads(2);
+//! for result in synth.synthesize_many(&batch, &opts) {
+//!     assert_eq!(result?.circuit.len(), 4);
+//! }
+//! # Ok::<(), revsynth::core::SynthesisError>(())
+//! ```
+//!
 //! See `examples/` for end-to-end programs and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment-by-experiment reproduction map.
 

@@ -39,7 +39,10 @@ fn peephole_collapses_benchmark_roundtrips() {
     // identity — and confirm the optimizer collapses it completely.
     let synth = synth_k4();
     let opt = PeepholeOptimizer::new(synth);
-    let hwb4 = benchmark("hwb4").expect("present").paper_circuit().expect("parses");
+    let hwb4 = benchmark("hwb4")
+        .expect("present")
+        .paper_circuit()
+        .expect("parses");
     let padded = hwb4.then(&hwb4.inverse());
     assert_eq!(padded.len(), 22);
     assert!(padded.perm(4).is_identity());
@@ -80,7 +83,9 @@ fn nearest_neighbor_synthesis_is_exact_up_to_relabeling() {
     let mut f = revsynth::perm::Perm::identity();
     for i in 0..60usize {
         f = f.then(lib.perm_of((i * 7 + 1) % lib.len()));
-        let Ok(lnn_circuit) = lnn.synthesize(f) else { continue };
+        let Ok(lnn_circuit) = lnn.synthesize(f) else {
+            continue;
+        };
         assert_eq!(lnn_circuit.perm(4), f, "step {i}");
         for g in lnn_circuit.iter() {
             assert!(
@@ -124,10 +129,14 @@ fn testset_grades_the_peephole_pipeline() {
             .collect();
         // Pad with a cancelling pair, then let the optimizer clean up.
         let pad: Circuit = "TOF(a,b,c) TOF(a,b,c)".parse().expect("parses");
-        padded.extend(pad.into_iter());
-        opt.optimize(&Circuit::from_gates(padded)).expect("within bound")
+        padded.extend(pad);
+        opt.optimize(&Circuit::from_gates(padded))
+            .expect("within bound")
     });
     assert_eq!(score.incorrect, 0);
-    assert_eq!(score.optimal, score.total, "peephole recovers optimality here");
+    assert_eq!(
+        score.optimal, score.total,
+        "peephole recovers optimality here"
+    );
     assert_eq!(score.excess_gates, 0);
 }

@@ -31,7 +31,10 @@ const TABLE4_TO_K6: [(u64, u64); 7] = [
 fn table4_exact_counts_to_size_6() {
     let counts = synth_k6().tables().counts();
     for (size, &(functions, reduced)) in TABLE4_TO_K6.iter().enumerate() {
-        assert_eq!(counts[size].functions, functions, "functions at size {size}");
+        assert_eq!(
+            counts[size].functions, functions,
+            "functions at size {size}"
+        );
         assert_eq!(counts[size].reduced, reduced, "reduced at size {size}");
     }
 }
@@ -48,15 +51,28 @@ fn table6_benchmarks_synthesize_at_paper_optimal_sizes() {
         let circuit = synth
             .synthesize(b.perm())
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        assert_eq!(circuit.len(), b.optimal_size, "{}: size vs paper SOC", b.name);
-        assert_eq!(circuit.perm(4), b.perm(), "{}: circuit must implement spec", b.name);
+        assert_eq!(
+            circuit.len(),
+            b.optimal_size,
+            "{}: size vs paper SOC",
+            b.name
+        );
+        assert_eq!(
+            circuit.perm(4),
+            b.perm(),
+            "{}: circuit must implement spec",
+            b.name
+        );
     }
 }
 
 #[test]
 fn table6_oc7_is_out_of_reach_at_k6_with_clean_error() {
     let synth = synth_k6();
-    let oc7 = benchmarks().iter().find(|b| b.name == "oc7").expect("present");
+    let oc7 = benchmarks()
+        .iter()
+        .find(|b| b.name == "oc7")
+        .expect("present");
     assert_eq!(oc7.optimal_size, 13);
     let err = synth.synthesize(oc7.perm()).unwrap_err();
     assert!(matches!(

@@ -84,7 +84,11 @@ fn equivalence_invariants_of_size() {
                 "conjugate at {i}"
             );
         }
-        assert_eq!(synth.size(sym.canonical(f)).ok(), Some(size), "canonical at {i}");
+        assert_eq!(
+            synth.size(sym.canonical(f)).ok(),
+            Some(size),
+            "canonical at {i}"
+        );
     }
 }
 

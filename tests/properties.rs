@@ -1,81 +1,103 @@
 //! Cross-crate property tests: the synthesizer against randomly generated
 //! circuits.
+//!
+//! Deterministic randomized properties from fixed SplitMix64 seeds (no
+//! external property-testing crate is vendored in this offline workspace),
+//! so failures reproduce exactly.
 
 use std::sync::OnceLock;
 
-use proptest::prelude::*;
+use revsynth::analysis::{Rng, SplitMix64};
 use revsynth::circuit::{Circuit, GateLib};
 use revsynth::core::Synthesizer;
+
+const CASES: usize = 64;
 
 fn synth_k3() -> &'static Synthesizer {
     static S: OnceLock<Synthesizer> = OnceLock::new();
     S.get_or_init(|| Synthesizer::from_scratch(4, 3))
 }
 
-fn arb_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(0usize..32, 0..=max_len).prop_map(|ids| {
-        let lib = GateLib::nct(4);
-        Circuit::from_gates(ids.into_iter().map(|i| lib.gate(i)))
-    })
+/// A pseudo-random NCT circuit of length `0..=max_len`.
+fn random_circuit(max_len: usize, rng: &mut SplitMix64) -> Circuit {
+    let lib = GateLib::nct(4);
+    let len = rng.gen_range(0..=max_len);
+    Circuit::from_gates((0..len).map(|_| lib.gate(rng.gen_range(0..lib.len()))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn synthesis_never_exceeds_circuit_length(c in arb_circuit(6)) {
-        let synth = synth_k3();
+#[test]
+fn synthesis_never_exceeds_circuit_length() {
+    let synth = synth_k3();
+    let mut rng = SplitMix64::new(41);
+    for _ in 0..CASES {
+        let c = random_circuit(6, &mut rng);
         let f = c.perm(4);
         let optimal = synth.synthesize(f).expect("size ≤ 6 within k = 3 reach");
-        prop_assert!(optimal.len() <= c.len());
-        prop_assert_eq!(optimal.perm(4), f);
+        assert!(optimal.len() <= c.len());
+        assert_eq!(optimal.perm(4), f);
     }
+}
 
-    #[test]
-    fn synthesis_is_deterministic(c in arb_circuit(6)) {
-        let synth = synth_k3();
+#[test]
+fn synthesis_is_deterministic() {
+    let synth = synth_k3();
+    let mut rng = SplitMix64::new(42);
+    for _ in 0..CASES {
+        let c = random_circuit(6, &mut rng);
         let f = c.perm(4);
         let a = synth.synthesize(f).expect("within reach");
         let b = synth.synthesize(f).expect("within reach");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn size_is_a_metric_under_composition(a in arb_circuit(3), b in arb_circuit(3)) {
-        // size(f∘g) ≤ size(f) + size(g) — subadditivity of circuit size.
-        let synth = synth_k3();
+#[test]
+fn size_is_a_metric_under_composition() {
+    // size(f∘g) ≤ size(f) + size(g) — subadditivity of circuit size.
+    let synth = synth_k3();
+    let mut rng = SplitMix64::new(43);
+    for _ in 0..CASES {
+        let a = random_circuit(3, &mut rng);
+        let b = random_circuit(3, &mut rng);
         let fa = a.perm(4);
         let fb = b.perm(4);
         let sa = synth.size(fa).expect("≤ 3");
         let sb = synth.size(fb).expect("≤ 3");
         let sab = synth.size(fa.then(fb)).expect("≤ 6");
-        prop_assert!(sab <= sa + sb, "{sab} > {sa} + {sb}");
+        assert!(sab <= sa + sb, "{sab} > {sa} + {sb}");
         // And the reverse triangle: size(f∘g) ≥ |size(f) − size(g)|.
-        prop_assert!(sab >= sa.abs_diff(sb));
+        assert!(sab >= sa.abs_diff(sb));
     }
+}
 
-    #[test]
-    fn inverse_circuit_computes_inverse_function(c in arb_circuit(6)) {
-        let synth = synth_k3();
+#[test]
+fn inverse_circuit_computes_inverse_function() {
+    let synth = synth_k3();
+    let mut rng = SplitMix64::new(44);
+    for _ in 0..CASES {
+        let c = random_circuit(6, &mut rng);
         let f = c.perm(4);
         let fwd = synth.synthesize(f).expect("within reach");
         let back = synth.synthesize(f.inverse()).expect("same size as f");
-        prop_assert_eq!(fwd.len(), back.len(), "inverse preserves optimal size");
+        assert_eq!(fwd.len(), back.len(), "inverse preserves optimal size");
         // Running f then f⁻¹ is the identity.
-        prop_assert!(fwd.perm(4).then(back.perm(4)).is_identity());
+        assert!(fwd.perm(4).then(back.perm(4)).is_identity());
     }
+}
 
-    #[test]
-    fn reported_depth_is_schedulable(c in arb_circuit(8)) {
-        // Depth is at most the gate count and at least gate count / 2
-        // rounded up over 4 wires is NOT a theorem — only sanity bounds.
+#[test]
+fn reported_depth_is_schedulable() {
+    let mut rng = SplitMix64::new(45);
+    for _ in 0..CASES {
+        let c = random_circuit(8, &mut rng);
+        // Depth is at most the gate count; the lower bound is only a
+        // sanity bound (at most 4 disjoint-support gates per layer on 4
+        // wires).
         let d = c.depth();
-        prop_assert!(d <= c.len());
+        assert!(d <= c.len());
         if !c.is_empty() {
-            prop_assert!(d >= 1);
-            // At most 2 disjoint-support gates fit per layer on 4 wires
-            // when every gate touches ≥ 2 wires; NOTs allow up to 4.
-            prop_assert!(d >= c.len().div_ceil(4));
+            assert!(d >= 1);
+            assert!(d >= c.len().div_ceil(4));
         }
     }
 }

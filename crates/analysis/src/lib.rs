@@ -26,6 +26,9 @@ pub mod timing;
 
 pub use estimate::{estimate_counts, SizeEstimate, TOTAL_4BIT_FUNCTIONS};
 pub use hard::{HardSearch, HardSearchOutcome};
-pub use random::{random_perm, sample_distribution, sample_distribution_with, SizeDistribution};
+pub use random::{
+    random_perm, sample_distribution, sample_distribution_stats, sample_distribution_with,
+    SizeDistribution,
+};
 pub use rng::{Rng, SplitMix64};
 pub use testset::{Score, TestCase, TestSet};

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use revsynth_core::{SearchOptions, SynthesisError, Synthesizer};
+use revsynth_core::{SearchOptions, SearchStats, SynthesisError, Synthesizer};
 use revsynth_perm::Perm;
 
 use crate::rng::{Rng, SplitMix64};
@@ -151,19 +151,39 @@ pub fn sample_distribution_with(
     seed: u64,
     opts: &SearchOptions,
 ) -> Result<SizeDistribution, SynthesisError> {
+    sample_distribution_stats(synth, samples, seed, opts).map(|(dist, _)| dist)
+}
+
+/// Like [`sample_distribution_with`], additionally returning the
+/// aggregated candidate-pipeline accounting of the whole sample — how
+/// selective the engine's invariant gate was, and how many candidates
+/// were canonicalized and probed.
+///
+/// # Errors
+///
+/// As [`sample_distribution`].
+pub fn sample_distribution_stats(
+    synth: &Synthesizer,
+    samples: usize,
+    seed: u64,
+    opts: &SearchOptions,
+) -> Result<(SizeDistribution, SearchStats), SynthesisError> {
     /// Batch block size: bounds the per-block allocation while leaving
     /// plenty of queries to amortize each level scan over.
     const BLOCK: usize = 1 << 13;
 
     let mut rng = SplitMix64::new(seed);
     let mut dist = SizeDistribution::new();
+    let mut stats = SearchStats::default();
     let mut remaining = samples;
     while remaining > 0 {
         let block: Vec<Perm> = (0..remaining.min(BLOCK))
             .map(|_| random_perm(synth.wires(), &mut rng))
             .collect();
         remaining -= block.len();
-        for result in synth.size_many(&block, opts) {
+        let (results, block_stats) = synth.size_many_stats(&block, opts);
+        stats.merge(&block_stats);
+        for result in results {
             match result {
                 Ok(size) => dist.record(size),
                 Err(SynthesisError::SizeExceedsLimit { .. }) => dist.record_unresolved(),
@@ -171,7 +191,7 @@ pub fn sample_distribution_with(
             }
         }
     }
-    Ok(dist)
+    Ok((dist, stats))
 }
 
 #[cfg(test)]

@@ -7,16 +7,26 @@
 //!   fast path (meet-in-the-middle at shallow levels);
 //! * meet-in-the-middle **throughput** — candidates tested per second and
 //!   queries per second — on a batch of random 4-wire functions of size
-//!   > k, for three implementations:
+//!   > k, for four implementations:
 //!   1. `seed_serial`: the original algorithm (expand every stored
 //!      representative's equivalence class, canonicalize each
 //!      composition),
-//!   2. `engine_serial`: the frame-hoisted batched engine on one thread,
-//!   3. `engine_parallel`: the same engine with sharded level scans.
+//!   2. `engine_serial`: the frame-hoisted batched engine on one thread
+//!      with the invariant gate **off** (probe wavefront active),
+//!   3. `engine_gated`: the same engine with the invariant gate **on**
+//!      (the default configuration),
+//!   4. `engine_gated_parallel`: the gated engine with sharded level
+//!      scans.
+//!
+//! Every engine run is verified against the seed algorithm's sizes, and
+//! the gated run against the ungated one, so a gate regression that
+//! changes results fails this binary deterministically — which is why CI
+//! runs it (at `--quick` scale) on every push.
 //!
 //! Emits `BENCH_synthesis.json` (override with `--out`). Flags:
 //! `--k` (default `REVSYNTH_K` or 5), `--batch` (default 100),
-//! `--threads` (default 8), `--seed`, `--out`.
+//! `--threads` (default 8), `--seed`, `--out`, and `--quick` (smoke
+//! scale: k = 4, batch = 10, threads = 2 unless overridden).
 //!
 //! Run with `cargo run --release -p revsynth-bench --bin perf_report`.
 
@@ -27,10 +37,19 @@ use revsynth_analysis::{random_perm, Rng, SplitMix64};
 use revsynth_bench::{arg_or, env_k};
 use revsynth_bfs::SearchTables;
 use revsynth_circuit::GateLib;
-use revsynth_core::{SearchOptions, Synthesizer};
+use revsynth_core::{SearchOptions, SearchStats, Synthesizer};
 use revsynth_perm::Perm;
 
-/// One throughput measurement.
+/// One throughput measurement. `candidates` is always the seed
+/// algorithm's candidate count for the same queries: every
+/// implementation answers the same questions, so candidates/sec is a
+/// wall-clock comparison over identical logical work. The engine's own
+/// enumeration count differs slightly in both directions (frame
+/// deduplication and the self-inverse-rep skip remove candidates;
+/// frames-vs-class-members duplication on symmetric representatives and
+/// wavefront-lagged hit detection add some — the `*_pipeline` fields
+/// record the real counts), which is exactly why the normalization
+/// fixes one denominator for every row.
 struct Throughput {
     seconds: f64,
     queries: usize,
@@ -55,6 +74,18 @@ impl Throughput {
             self.candidates_per_sec()
         )
     }
+}
+
+fn stats_json(stats: &SearchStats) -> String {
+    format!(
+        "{{\"considered\": {}, \"gated\": {}, \"canonicalized\": {}, \"probed\": {}, \
+         \"gate_selectivity\": {:.6}}}",
+        stats.considered,
+        stats.gated,
+        stats.canonicalized,
+        stats.probed,
+        stats.gate_selectivity()
+    )
 }
 
 /// The seed algorithm's `size` path, kept verbatim as the baseline: for
@@ -83,9 +114,10 @@ fn seed_size(synth: &Synthesizer, f: Perm, candidates: &mut u64) -> Option<usize
 }
 
 fn main() {
-    let k: usize = arg_or("--k", env_k(5));
-    let batch: usize = arg_or("--batch", 100);
-    let threads: usize = arg_or("--threads", 8);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k: usize = arg_or("--k", if quick { 4 } else { env_k(5) });
+    let batch: usize = arg_or("--batch", if quick { 10 } else { 100 });
+    let threads: usize = arg_or("--threads", if quick { 2 } else { 8 });
     let seed: u64 = arg_or("--seed", 2010);
     let out_path: String = arg_or("--out", "BENCH_synthesis.json".to_owned());
     let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
@@ -95,8 +127,9 @@ fn main() {
     let tables = SearchTables::generate(4, k);
     let bfs_generate = start.elapsed();
     eprintln!(
-        "      {} classes in {bfs_generate:.2?}",
-        tables.num_representatives()
+        "      {} classes, {} distinct invariants, in {bfs_generate:.2?}",
+        tables.num_representatives(),
+        tables.invariants().len()
     );
     let synth = Synthesizer::new(tables);
 
@@ -142,7 +175,10 @@ fn main() {
     let median_latency = latencies[latencies.len() / 2];
     eprintln!("      median {median_latency:.2?}");
 
-    eprintln!("[4/5] throughput: seed_serial vs engine_serial vs engine_parallel({threads}) ...");
+    eprintln!(
+        "[4/5] throughput: seed_serial vs engine_serial vs engine_gated vs \
+         engine_gated_parallel({threads}) ..."
+    );
     let start = Instant::now();
     let mut seed_candidates = 0u64;
     let seed_sizes: Vec<Option<usize>> = queries
@@ -155,46 +191,60 @@ fn main() {
         candidates: seed_candidates,
     };
     eprintln!(
-        "      seed_serial     : {:.2}s, {:.2e} candidates/s",
+        "      seed_serial           : {:.2}s, {:.2e} candidates/s",
         seed_serial.seconds,
         seed_serial.candidates_per_sec()
     );
 
-    // Engine candidate rates are normalized to the seed candidate count:
-    // both test the same logical work (the engine tests *at most* that
-    // many candidates — frame deduplication and the self-inverse-rep skip
-    // only remove provably redundant ones), so candidates/sec compares
-    // how fast each implementation gets through identical queries.
-    let measure_engine = |threads: usize| {
-        let opts = SearchOptions::new().threads(threads);
+    let measure_engine = |opts: &SearchOptions| {
         let start = Instant::now();
-        let results = synth.size_many(&queries, &opts);
+        let (results, stats) = synth.size_many_stats(&queries, opts);
         let seconds = start.elapsed().as_secs_f64();
-        // Engine results must agree with the seed path exactly.
+        // Engine results must agree with the seed path exactly — a gate
+        // or wavefront regression that changes results fails right here,
+        // deterministically (fixed seed, fixed candidate order).
         for (j, (seed_size, engine)) in seed_sizes.iter().zip(&results).enumerate() {
             assert_eq!(
                 *seed_size,
                 engine.as_ref().ok().copied(),
-                "query {j}: engine diverged from the seed algorithm"
+                "query {j}: engine diverged from the seed algorithm ({opts:?})"
             );
         }
-        Throughput {
-            seconds,
-            queries: queries.len(),
-            candidates: seed_candidates,
-        }
+        assert_eq!(
+            stats.considered,
+            stats.gated + stats.canonicalized,
+            "candidate accounting must add up ({opts:?})"
+        );
+        (
+            Throughput {
+                seconds,
+                queries: queries.len(),
+                candidates: seed_candidates,
+            },
+            stats,
+        )
     };
-    let engine_serial = measure_engine(1);
-    let engine_parallel = measure_engine(threads);
+    let (engine_serial, engine_stats) =
+        measure_engine(&SearchOptions::new().threads(1).filter(false));
+    assert_eq!(engine_stats.gated, 0, "gate off must gate nothing");
+    let (engine_gated, gated_stats) = measure_engine(&SearchOptions::new().threads(1));
+    let (gated_parallel, parallel_stats) = measure_engine(&SearchOptions::new().threads(threads));
     eprintln!(
-        "      engine_serial   : {:.2}s ({:.2}x seed)",
+        "      engine_serial         : {:.2}s ({:.2}x seed, gate off)",
         engine_serial.seconds,
         seed_serial.seconds / engine_serial.seconds
     );
     eprintln!(
-        "      engine_parallel : {:.2}s ({:.2}x seed, {threads} threads on {hardware_threads} hardware threads)",
-        engine_parallel.seconds,
-        seed_serial.seconds / engine_parallel.seconds
+        "      engine_gated          : {:.2}s ({:.2}x seed, {:.1}% gated)",
+        engine_gated.seconds,
+        seed_serial.seconds / engine_gated.seconds,
+        gated_stats.gate_selectivity() * 100.0
+    );
+    eprintln!(
+        "      engine_gated_parallel : {:.2}s ({:.2}x seed, {threads} threads on \
+         {hardware_threads} hardware threads)",
+        gated_parallel.seconds,
+        seed_serial.seconds / gated_parallel.seconds
     );
 
     eprintln!("[5/5] writing {out_path} ...");
@@ -203,7 +253,7 @@ fn main() {
     json.push_str("  \"bench\": \"synthesis\",\n");
     json.push_str(&format!(
         "  \"config\": {{\"n\": 4, \"k\": {k}, \"batch\": {batch}, \"threads\": {threads}, \
-         \"seed\": {seed}, \"hardware_threads\": {hardware_threads}}},\n"
+         \"seed\": {seed}, \"hardware_threads\": {hardware_threads}, \"quick\": {quick}}},\n"
     ));
     json.push_str(&format!(
         "  \"bfs_generate_seconds\": {:.3},\n",
@@ -214,22 +264,43 @@ fn main() {
         synth.tables().num_representatives()
     ));
     json.push_str(&format!(
+        "  \"stored_invariants\": {},\n",
+        synth.tables().invariants().len()
+    ));
+    json.push_str(&format!(
         "  \"median_synthesis_latency_us\": {:.1},\n",
         median_latency.as_secs_f64() * 1e6
     ));
     json.push_str(&format!("  \"seed_serial\": {},\n", seed_serial.json()));
     json.push_str(&format!("  \"engine_serial\": {},\n", engine_serial.json()));
     json.push_str(&format!(
-        "  \"engine_parallel\": {},\n",
-        engine_parallel.json()
+        "  \"engine_serial_pipeline\": {},\n",
+        stats_json(&engine_stats)
+    ));
+    json.push_str(&format!("  \"engine_gated\": {},\n", engine_gated.json()));
+    json.push_str(&format!(
+        "  \"engine_gated_pipeline\": {},\n",
+        stats_json(&gated_stats)
+    ));
+    json.push_str(&format!(
+        "  \"engine_gated_parallel\": {},\n",
+        gated_parallel.json()
+    ));
+    json.push_str(&format!(
+        "  \"engine_gated_parallel_pipeline\": {},\n",
+        stats_json(&parallel_stats)
     ));
     json.push_str(&format!(
         "  \"speedup_engine_serial_vs_seed\": {:.3},\n",
         seed_serial.seconds / engine_serial.seconds
     ));
     json.push_str(&format!(
-        "  \"speedup_engine_parallel_vs_seed\": {:.3}\n",
-        seed_serial.seconds / engine_parallel.seconds
+        "  \"speedup_engine_gated_vs_seed\": {:.3},\n",
+        seed_serial.seconds / engine_gated.seconds
+    ));
+    json.push_str(&format!(
+        "  \"speedup_engine_gated_parallel_vs_seed\": {:.3}\n",
+        seed_serial.seconds / gated_parallel.seconds
     ));
     json.push_str("}\n");
     let mut file = std::fs::File::create(&out_path).expect("create report file");

@@ -68,13 +68,7 @@ pub(crate) fn run(lib: GateLib, k: usize) -> SearchTables {
         }
     }
 
-    SearchTables {
-        lib,
-        sym,
-        k,
-        table,
-        levels,
-    }
+    SearchTables::assemble(lib, sym, k, table, levels)
 }
 
 #[inline]
@@ -170,6 +164,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn invariant_index_admits_every_stored_representative() {
+        use revsynth_table::InvariantIndex;
+        let t = SearchTables::generate(4, 3);
+        let index = t.invariants();
+        assert!(!index.is_empty());
+        for i in 0..=3usize {
+            for &rep in t.level(i) {
+                let key = InvariantIndex::key_of(rep);
+                assert!(index.admits_at(key, i), "size {i} rep {rep}");
+                assert!(index.min_distance(key).expect("stored") as usize <= i);
+            }
+        }
+        // The gate must reject invariants no stored function has: a
+        // random-looking full-support permutation needs far more than 3
+        // gates, and its cycle structure matches nothing of size ≤ 3.
+        let generic =
+            Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap();
+        assert!(t.size_of(generic).is_none());
+        assert_eq!(index.distance_mask(InvariantIndex::key_of(generic)), 0);
     }
 
     #[test]

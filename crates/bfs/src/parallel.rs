@@ -85,13 +85,7 @@ pub(crate) fn run(lib: GateLib, k: usize, threads: usize) -> SearchTables {
         }
     }
 
-    SearchTables {
-        lib,
-        sym,
-        k,
-        table,
-        levels,
-    }
+    SearchTables::assemble(lib, sym, k, table, levels)
 }
 
 #[inline]

@@ -288,13 +288,13 @@ pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
         levels.push(keys);
     }
 
-    Ok(SearchTables {
-        sym: Symmetries::new(n),
+    Ok(SearchTables::assemble(
         lib,
+        Symmetries::new(n),
         k,
         table,
         levels,
-    })
+    ))
 }
 
 #[cfg(test)]

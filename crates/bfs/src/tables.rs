@@ -6,7 +6,7 @@ use std::path::Path;
 use revsynth_canon::Symmetries;
 use revsynth_circuit::GateLib;
 use revsynth_perm::Perm;
-use revsynth_table::{FnTable, TableStats};
+use revsynth_table::{FnTable, InvariantIndex, TableStats};
 
 use crate::counts::LevelCount;
 use crate::info::{decode_stored, StoredGate};
@@ -41,9 +41,40 @@ pub struct SearchTables {
     pub(crate) table: FnTable,
     /// `levels[i]` = sorted canonical representatives of size exactly `i`.
     pub(crate) levels: Vec<Vec<Perm>>,
+    /// Class-invariant gate index: combined invariant → distance bitmask.
+    pub(crate) invariants: InvariantIndex,
 }
 
 impl SearchTables {
+    /// Finalizes a table build: derives the [`InvariantIndex`] from the
+    /// level lists (every representative's combined class invariant,
+    /// tagged with its optimal size). All construction paths — serial
+    /// BFS, parallel BFS and store loading — go through here so the gate
+    /// index can never be out of sync with the tables.
+    pub(crate) fn assemble(
+        lib: GateLib,
+        sym: Symmetries,
+        k: usize,
+        table: FnTable,
+        levels: Vec<Vec<Perm>>,
+    ) -> Self {
+        let total: usize = levels.iter().map(Vec::len).sum();
+        let invariants = InvariantIndex::build(
+            levels
+                .iter()
+                .enumerate()
+                .flat_map(|(i, level)| level.iter().map(move |&rep| (rep, i))),
+            total,
+        );
+        SearchTables {
+            lib,
+            sym,
+            k,
+            table,
+            levels,
+            invariants,
+        }
+    }
     /// Runs the breadth-first search over the full NCT library on `n`
     /// wires, up to size `k`.
     ///
@@ -142,6 +173,16 @@ impl SearchTables {
     #[must_use]
     pub fn table(&self) -> &FnTable {
         &self.table
+    }
+
+    /// The class-invariant gate index: maps each combined invariant
+    /// ([`InvariantIndex::key_of`]) occurring among the stored
+    /// representatives to the bitmask of optimal sizes at which it
+    /// occurs. The meet-in-the-middle engine uses it to skip candidates
+    /// whose invariant proves they cannot be in the table.
+    #[must_use]
+    pub fn invariants(&self) -> &InvariantIndex {
+        &self.invariants
     }
 
     /// The sorted canonical representatives of size exactly `i`

@@ -131,6 +131,46 @@ fn class_is_closed() {
 }
 
 #[test]
+fn invariant_keys_are_constant_on_each_class() {
+    // The invariant gate's soundness property: both class-invariant keys
+    // are constant across all ≤ 48 members of the equivalence class of a
+    // random 4-wire function — every conjugate AND the inverse — and
+    // therefore equal the canonical representative's keys without ever
+    // computing the representative.
+    let s = sym();
+    let mut g = Gen(30);
+    for _ in 0..CASES {
+        let f = g.perm();
+        let cycle_key = f.cycle_type_key();
+        let weight_key = f.wire_weight_key();
+        assert_eq!(f.inverse().cycle_type_key(), cycle_key, "f={f}");
+        assert_eq!(f.inverse().wire_weight_key(), weight_key, "f={f}");
+        let members = s.class_members(f);
+        for &m in &members {
+            assert_eq!(m.cycle_type_key(), cycle_key, "f={f} member {m}");
+            assert_eq!(m.wire_weight_key(), weight_key, "f={f} member {m}");
+        }
+        let rep = s.canonical(f);
+        assert_eq!(rep.cycle_type_key(), cycle_key);
+        assert_eq!(rep.wire_weight_key(), weight_key);
+    }
+}
+
+#[test]
+fn cycle_type_key_has_at_most_231_values() {
+    // Partitions of 16: the gate's cycle-type component can take at most
+    // 231 distinct values over all permutations; a broad random sample
+    // must stay within that bound (and cover a healthy fraction of it).
+    let mut g = Gen(31);
+    let mut keys = std::collections::HashSet::new();
+    for _ in 0..5_000 {
+        keys.insert(g.perm().cycle_type_key());
+    }
+    assert!(keys.len() <= 231, "{} distinct cycle types", keys.len());
+    assert!(keys.len() > 50, "sample should cover many types");
+}
+
+#[test]
 fn random_4bit_classes_are_usually_full() {
     // The paper: "for the vast majority of functions, the conjugacy
     // classes are of size 24" (so the equivalence class has 48). A

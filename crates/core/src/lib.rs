@@ -21,11 +21,15 @@
 //! The meet-in-the-middle phase runs on the frame-hoisted, batched,
 //! parallel engine of the [`search`] module: query frames are hoisted and
 //! deduplicated once, stored representatives are scanned directly (no
-//! per-representative class expansion), probes are pipelined, and level
-//! scans can be sharded across threads ([`SearchOptions`]) or amortized
-//! over whole batches ([`Synthesizer::synthesize_many`] /
-//! [`Synthesizer::size_many`]) with identical circuits and sizes for
-//! every thread count.
+//! per-representative class expansion), an **invariant gate** skips
+//! candidates whose class invariants prove they cannot be in the table
+//! (on by default, [`SearchOptions::filter`]; selectivity reported via
+//! [`SearchStats`]), probes ride a W-deep wavefront
+//! ([`SearchOptions::probe_depth`]), and level scans can be sharded
+//! across threads ([`SearchOptions`]) or amortized over whole batches
+//! ([`Synthesizer::synthesize_many`] / [`Synthesizer::size_many`]) with
+//! identical circuits and sizes for every thread count, gate setting and
+//! wavefront depth.
 //!
 //! With k = 9 the paper synthesizes a random 4-bit permutation in ~0.01 s;
 //! with the laptop-scale defaults here (k = 6–7) the same code covers all
@@ -61,5 +65,5 @@ pub use cost::CostSynthesizer;
 pub use depth::DepthSynthesizer;
 pub use error::SynthesisError;
 pub use peephole::PeepholeOptimizer;
-pub use search::SearchOptions;
+pub use search::{SearchOptions, SearchStats};
 pub use synth::{Synthesis, Synthesizer};

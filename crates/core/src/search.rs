@@ -28,14 +28,55 @@
 //! per-candidate work reduced to one composition, one canonicalization and
 //! one hash probe.
 //!
-//! # Probe pipelining
+//! # The invariant gate
+//!
+//! Even with hoisted frames, nearly all of the scan's time goes into
+//! fully canonicalizing candidates that end up missing the table. The
+//! gate refuses to canonicalize candidates that **provably cannot hit**:
+//!
+//! * [`Perm::cycle_type_key`] and [`Perm::wire_weight_key`] are constant
+//!   on every ×48 equivalence class (conjugation by a wire relabeling
+//!   permutes points/bits without changing cycle structure or popcounts;
+//!   inversion likewise), so a candidate's combined invariant
+//!   ([`revsynth_table::InvariantIndex::key_of`]) equals its canonical
+//!   representative's — *without computing the representative*.
+//! * The tables index every stored invariant with the bitmask of optimal
+//!   sizes at which it occurs ([`revsynth_bfs::SearchTables::invariants`]).
+//! * A probe at level `i` can only succeed with residue distance
+//!   **exactly `k`**: the fast path already established `size(f) > k`,
+//!   and exhausting levels `< i` without a hit establishes
+//!   `size(f) ≥ k + i` (the standard meet-in-the-middle minimality
+//!   argument), so any composition in the table (distance ≤ k) at level
+//!   `i` satisfies `k ≥ distance ≥ size(f) − i ≥ k`. The engine
+//!   therefore asks the sharpest sound question — "does any stored
+//!   function of size exactly `k` share this invariant?" — and skips the
+//!   ~750-instruction canonicalization plus probe when the answer is no.
+//!   (This subsumes the conservative `min_distance[invariant] > budget`
+//!   test with `budget = k`, the residue budget of every scanned level.)
+//!
+//! Because the gate only ever skips candidates whose probe must miss,
+//! results — circuits, sizes, and the hit chosen — are **bit-identical**
+//! with the gate on and off (verified exhaustively for every 3-wire
+//! function in `tests/engine_equivalence.rs`). The gate is on by default;
+//! [`SearchOptions::filter`] is the escape hatch, and [`SearchStats`]
+//! reports its selectivity (candidates gated / canonicalized / probed).
+//!
+//! # The probe wavefront
 //!
 //! Probes into a table that exceeds the last-level cache are
-//! memory-latency-bound (paper §4.1 loads multi-GB tables). The inner loop
-//! therefore runs a two-stage software pipeline: it starts the hash probe
-//! of candidate `j` ([`revsynth_table::FnTable::probe_start`], whose
-//! home-slot read doubles as the prefetch) and resolves it only after the
-//! ~750-instruction canonicalization of candidate `j+1` has been issued.
+//! memory-latency-bound (paper §4.1 loads multi-GB tables). The inner
+//! loop keeps a W-deep FIFO ring of in-flight probes per query
+//! ([`revsynth_table::ProbeRing`], W = 8 by default,
+//! [`SearchOptions::probe_depth`]): starting a candidate's probe
+//! ([`revsynth_table::FnTable::probe_start`], whose home-slot read
+//! doubles as the prefetch) evicts and resolves only the ring's *oldest*
+//! probe, so up to W memory accesses overlap the computation of
+//! subsequent candidates — dependent cache misses become memory-level
+//! parallelism, a serial win that needs no second hardware thread. The
+//! ring survives across representatives within a shard and drains at
+//! shard end; since eviction is strictly FIFO, the first successful
+//! resolve is the earliest candidate hit, so the chosen hit is identical
+//! for every ring depth.
 //!
 //! # Parallel level scanning and determinism
 //!
@@ -62,10 +103,20 @@
 //! not the queries, are the multi-GB working set).
 
 use revsynth_bfs::SearchTables;
+use revsynth_canon::Symmetries;
 use revsynth_perm::Perm;
+use revsynth_table::{FnTable, InvariantIndex, ProbeRing};
 
 use crate::error::SynthesisError;
 use crate::synth::{Synthesis, Synthesizer};
+
+/// Default depth of the probe wavefront (in-flight probes per query).
+const DEFAULT_PROBE_DEPTH: usize = 8;
+
+/// Upper bound on the configurable wavefront depth: deeper rings only add
+/// drain latency once every outstanding-miss slot of the memory subsystem
+/// is occupied.
+const MAX_PROBE_DEPTH: usize = 64;
 
 /// Options for the batched/parallel search entry points.
 ///
@@ -74,16 +125,24 @@ use crate::synth::{Synthesis, Synthesizer};
 ///
 /// let opts = SearchOptions::new().threads(8).limit(12);
 /// assert_eq!(opts.limit_or(16), 12);
+/// assert!(opts.filter_enabled()); // invariant gate is on by default
+/// let opts = opts.filter(false).probe_depth(4);
+/// assert!(!opts.filter_enabled());
+/// assert_eq!(opts.effective_probe_depth(), 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchOptions {
     threads: usize,
     limit: Option<usize>,
+    /// Inverted so that the zero value (`Default`) keeps the gate on.
+    no_filter: bool,
+    /// 0 = use [`DEFAULT_PROBE_DEPTH`].
+    probe_depth: usize,
 }
 
 impl SearchOptions {
     /// Default options: single-threaded, search up to the tables' full
-    /// `2k` reach.
+    /// `2k` reach, invariant gate on, wavefront depth 8.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -106,6 +165,42 @@ impl SearchOptions {
         self
     }
 
+    /// Enables or disables the invariant candidate gate (see the module
+    /// docs). On by default; disabling is an escape hatch for A/B
+    /// measurement — results are bit-identical either way, only the work
+    /// performed changes.
+    #[must_use]
+    pub fn filter(mut self, enabled: bool) -> Self {
+        self.no_filter = !enabled;
+        self
+    }
+
+    /// Whether the invariant gate is enabled.
+    #[must_use]
+    pub fn filter_enabled(&self) -> bool {
+        !self.no_filter
+    }
+
+    /// Sets the probe-wavefront depth: how many table probes are kept in
+    /// flight per query while later candidates are canonicalized. `0`
+    /// (the default) selects depth 8; values are clamped to `1..=64`.
+    /// The chosen hit is identical for every depth.
+    #[must_use]
+    pub fn probe_depth(mut self, depth: usize) -> Self {
+        self.probe_depth = depth;
+        self
+    }
+
+    /// The wavefront depth to use (default applied, clamped).
+    #[must_use]
+    pub fn effective_probe_depth(&self) -> usize {
+        if self.probe_depth == 0 {
+            DEFAULT_PROBE_DEPTH
+        } else {
+            self.probe_depth.min(MAX_PROBE_DEPTH)
+        }
+    }
+
     /// The configured limit, or `default` when unset.
     #[must_use]
     pub fn limit_or(&self, default: usize) -> usize {
@@ -121,6 +216,49 @@ impl SearchOptions {
         } else {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }
+    }
+}
+
+/// Per-query accounting of the meet-in-the-middle candidate pipeline.
+///
+/// `considered = gated + canonicalized`; `probed ≤ canonicalized` (probes
+/// started after a query's accepted hit are discarded unresolved). The
+/// gate's selectivity is `gated / considered`. Counts reflect the work
+/// *actually performed* and are deterministic for a fixed thread count,
+/// gate setting and wavefront depth; the returned circuits and sizes are
+/// identical across all of those.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Candidate compositions enumerated.
+    pub considered: u64,
+    /// Candidates rejected by the invariant gate — no canonicalization,
+    /// no probe.
+    pub gated: u64,
+    /// Candidates that survived the gate and were canonicalized (each
+    /// also starts a table probe).
+    pub canonicalized: u64,
+    /// Probes actually resolved.
+    pub probed: u64,
+}
+
+impl SearchStats {
+    /// Fraction of considered candidates the gate rejected (0 when
+    /// nothing was considered).
+    #[must_use]
+    pub fn gate_selectivity(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.gated as f64 / self.considered as f64
+        }
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.considered += other.considered;
+        self.gated += other.gated;
+        self.canonicalized += other.canonicalized;
+        self.probed += other.probed;
     }
 }
 
@@ -156,8 +294,8 @@ pub(crate) struct Hit {
 pub(crate) struct ScanOutcome {
     /// Per query: the minimal-level hit, if any.
     pub hits: Vec<Option<Hit>>,
-    /// Per query: `canonicalize + probe` candidate tests performed.
-    pub candidates: Vec<u64>,
+    /// Per query: candidate-pipeline accounting.
+    pub stats: Vec<SearchStats>,
 }
 
 impl Synthesizer {
@@ -180,19 +318,22 @@ impl Synthesizer {
     }
 
     /// Scans the size-`i` lists in increasing `i` for every query at once,
-    /// sharding each level across `threads` scoped workers. Hits are
-    /// identical for every thread count (see the module docs); the
-    /// candidate counts reflect the work actually performed, which grows
-    /// with the shard count on hit levels.
+    /// sharding each level across the configured scoped workers. Hits are
+    /// identical for every thread count, gate setting and wavefront depth
+    /// (see the module docs); the stats reflect the work actually
+    /// performed, which grows with the shard count on hit levels.
     pub(crate) fn mitm_scan(
         &self,
         queries: &[PreparedQuery],
         deepest: usize,
-        threads: usize,
+        opts: &SearchOptions,
     ) -> ScanOutcome {
         let tables = self.tables();
+        let threads = opts.effective_threads();
+        let gate = opts.filter_enabled().then(|| tables.invariants());
+        let probe_depth = opts.effective_probe_depth();
         let mut hits: Vec<Option<Hit>> = vec![None; queries.len()];
-        let mut candidates: Vec<u64> = vec![0; queries.len()];
+        let mut stats: Vec<SearchStats> = vec![SearchStats::default(); queries.len()];
         let mut open: Vec<usize> = (0..queries.len()).collect();
 
         for i in 1..=deepest {
@@ -206,13 +347,17 @@ impl Synthesizer {
             }
             let workers = threads.clamp(1, level.len());
             let shard_results: Vec<ShardResult> = if workers == 1 {
-                vec![scan_shard(tables, level, queries, &open)]
+                vec![scan_shard(tables, level, queries, &open, gate, probe_depth)]
             } else {
                 std::thread::scope(|scope| {
                     let open = &open;
                     let handles: Vec<_> = tables
                         .level_chunks(i, workers)
-                        .map(|shard| scope.spawn(move || scan_shard(tables, shard, queries, open)))
+                        .map(|shard| {
+                            scope.spawn(move || {
+                                scan_shard(tables, shard, queries, open, gate, probe_depth)
+                            })
+                        })
                         .collect();
                     handles
                         .into_iter()
@@ -224,7 +369,7 @@ impl Synthesizer {
             // ranges, so the first hit per query is the minimal-rep hit.
             for shard in shard_results {
                 for (slot, &q) in open.iter().enumerate() {
-                    candidates[q] += shard.candidates[slot];
+                    stats[q].merge(&shard.stats[slot]);
                     if hits[q].is_none() {
                         if let Some((rep, side, step)) = shard.hits[slot] {
                             hits[q] = Some(Hit {
@@ -240,12 +385,12 @@ impl Synthesizer {
             open.retain(|&q| hits[q].is_none());
         }
 
-        ScanOutcome { hits, candidates }
+        ScanOutcome { hits, stats }
     }
 
     /// Reconstructs the class member a hit identifies and assembles the
     /// minimal circuit `f = (f.then(m)) .then m⁻¹`.
-    pub(crate) fn resolve_hit(&self, f: Perm, hit: &Hit, candidates: u64) -> Synthesis {
+    pub(crate) fn resolve_hit(&self, f: Perm, hit: &Hit, stats: SearchStats) -> Synthesis {
         let sym = self.tables().sym();
         let tau_inv = sym.relabelings()[hit.step as usize].inverse();
         let member = match hit.side {
@@ -268,7 +413,8 @@ impl Synthesizer {
         Synthesis {
             circuit: front.then(&back),
             lists_scanned: hit.level,
-            candidates_tested: candidates,
+            candidates_tested: stats.canonicalized,
+            stats,
         }
     }
 
@@ -315,6 +461,7 @@ impl Synthesizer {
                         circuit,
                         lists_scanned: 0,
                         candidates_tested: 0,
+                        stats: SearchStats::default(),
                     })
                 });
                 continue;
@@ -323,10 +470,10 @@ impl Synthesizer {
             queries.push(self.prepare_query(f));
         }
 
-        let outcome = self.mitm_scan(&queries, deepest, opts.effective_threads());
+        let outcome = self.mitm_scan(&queries, deepest, opts);
         for (slot, &j) in open_idx.iter().enumerate() {
             results[j] = Some(match outcome.hits[slot] {
-                Some(ref hit) => Ok(self.resolve_hit(fs[j], hit, outcome.candidates[slot])),
+                Some(ref hit) => Ok(self.resolve_hit(fs[j], hit, outcome.stats[slot])),
                 None => Err(SynthesisError::SizeExceedsLimit {
                     function: fs[j],
                     limit,
@@ -379,6 +526,18 @@ impl Synthesizer {
         fs: &[Perm],
         opts: &SearchOptions,
     ) -> Vec<Result<usize, SynthesisError>> {
+        self.size_many_stats(fs, opts).0
+    }
+
+    /// Like [`size_many`](Self::size_many), additionally returning the
+    /// aggregated candidate-pipeline accounting for the whole batch —
+    /// how many candidates the invariant gate rejected versus how many
+    /// were canonicalized and probed.
+    pub fn size_many_stats(
+        &self,
+        fs: &[Perm],
+        opts: &SearchOptions,
+    ) -> (Vec<Result<usize, SynthesisError>>, SearchStats) {
         let limit = opts.limit_or(self.max_size());
         let k = self.tables().k();
         let deepest = k.min(limit.saturating_sub(k));
@@ -404,7 +563,11 @@ impl Synthesizer {
             queries.push(self.prepare_query(f));
         }
 
-        let outcome = self.mitm_scan(&queries, deepest, opts.effective_threads());
+        let outcome = self.mitm_scan(&queries, deepest, opts);
+        let mut total = SearchStats::default();
+        for s in &outcome.stats {
+            total.merge(s);
+        }
         for (slot, &j) in open_idx.iter().enumerate() {
             results[j] = Some(match outcome.hits[slot] {
                 Some(ref hit) => Ok(k + hit.level),
@@ -414,38 +577,55 @@ impl Synthesizer {
                 }),
             });
         }
-        results
+        let results = results
             .into_iter()
             .map(|r| r.expect("every query resolved"))
-            .collect()
+            .collect();
+        (results, total)
     }
 }
 
 /// Per-shard scan output, indexed like the `open` slice.
 struct ShardResult {
     hits: Vec<Option<(Perm, Side, u32)>>,
-    candidates: Vec<u64>,
+    stats: Vec<SearchStats>,
 }
 
-/// Scans one contiguous shard of a level against every open query.
+/// One candidate's identity while its table probe is in flight.
+struct InFlight {
+    rep: Perm,
+    side: Side,
+    step: u32,
+}
+
+/// Scans one contiguous shard of a level against every open query, with
+/// the invariant gate in front of canonicalization and a per-query probe
+/// wavefront behind it.
 ///
-/// Iteration order — representatives outermost (each loaded once, tested
+/// Candidate order — representatives outermost (each loaded once, tested
 /// against all open queries while hot), then the query's forward frames,
-/// then its inverse frames — fixes the hit priority: within a shard the
-/// first hit per query is the one at the smallest `(rep, side, frame)`.
+/// then its inverse frames — fixes the hit priority: probes resolve in
+/// strict FIFO order across the whole shard, so the first hit per query
+/// is the one at the smallest `(rep, side, frame)` regardless of the
+/// wavefront depth, and the gate never skips a candidate that could hit
+/// (see the module docs), so the gate setting cannot change it either.
 fn scan_shard(
     tables: &SearchTables,
     shard: &[Perm],
     queries: &[PreparedQuery],
     open: &[usize],
+    gate: Option<&InvariantIndex>,
+    probe_depth: usize,
 ) -> ShardResult {
+    let sym = tables.sym();
+    let table = tables.table();
+    let budget = tables.k();
     let mut hits: Vec<Option<(Perm, Side, u32)>> = vec![None; open.len()];
-    let mut candidates = vec![0u64; open.len()];
+    let mut stats = vec![SearchStats::default(); open.len()];
+    let mut rings: Vec<ProbeRing<InFlight>> =
+        open.iter().map(|_| ProbeRing::new(probe_depth)).collect();
     let mut remaining = open.len();
-    for &rep in shard {
-        if remaining == 0 {
-            break;
-        }
+    'reps: for &rep in shard {
         // A self-inverse representative contributes the same candidate
         // classes on both sides; skip the redundant inverse side.
         let rep_self_inverse = rep.inverse() == rep;
@@ -453,61 +633,107 @@ fn scan_shard(
             if hits[slot].is_some() {
                 continue;
             }
-            if let Some(hit) = test_rep(
-                tables,
-                &queries[q],
-                rep,
-                rep_self_inverse,
-                &mut candidates[slot],
-            ) {
-                hits[slot] = Some(hit);
+            let query = &queries[q];
+            let ring = &mut rings[slot];
+            let stat = &mut stats[slot];
+            let mut found = None;
+            for &(frame, step) in &query.fwd {
+                found = push_candidate(
+                    table,
+                    sym,
+                    gate,
+                    budget,
+                    ring,
+                    stat,
+                    frame.then(rep),
+                    rep,
+                    Side::Fwd,
+                    step,
+                );
+                if found.is_some() {
+                    break;
+                }
+            }
+            if found.is_none() && !rep_self_inverse {
+                for &(frame, step) in &query.inv {
+                    found = push_candidate(
+                        table,
+                        sym,
+                        gate,
+                        budget,
+                        ring,
+                        stat,
+                        rep.then(frame),
+                        rep,
+                        Side::Inv,
+                        step,
+                    );
+                    if found.is_some() {
+                        break;
+                    }
+                }
+            }
+            if found.is_some() {
+                hits[slot] = found;
+                ring.clear();
                 remaining -= 1;
-            }
-        }
-    }
-    ShardResult { hits, candidates }
-}
-
-/// Tests every (deduplicated) frame of one query against one
-/// representative, pipelining each candidate's table probe behind the next
-/// candidate's canonicalization. Returns the first hit in frame order.
-#[inline]
-fn test_rep(
-    tables: &SearchTables,
-    query: &PreparedQuery,
-    rep: Perm,
-    rep_self_inverse: bool,
-    candidates: &mut u64,
-) -> Option<(Perm, Side, u32)> {
-    let sym = tables.sym();
-    let table = tables.table();
-    let mut pending: Option<(revsynth_table::Probe, Side, u32)> = None;
-
-    for &(frame, step) in &query.fwd {
-        let canon = sym.canonical(frame.then(rep));
-        *candidates += 1;
-        let probe = table.probe_start(canon);
-        if let Some((prev, side, prev_step)) = pending.replace((probe, Side::Fwd, step)) {
-            if table.probe_finish(prev) {
-                return Some((rep, side, prev_step));
-            }
-        }
-    }
-    if !rep_self_inverse {
-        for &(frame, step) in &query.inv {
-            let canon = sym.canonical(rep.then(frame));
-            *candidates += 1;
-            let probe = table.probe_start(canon);
-            if let Some((prev, side, prev_step)) = pending.replace((probe, Side::Inv, step)) {
-                if table.probe_finish(prev) {
-                    return Some((rep, side, prev_step));
+                if remaining == 0 {
+                    break 'reps;
                 }
             }
         }
     }
-    if let Some((prev, side, prev_step)) = pending {
+    // Drain the wavefronts of still-open queries (FIFO, so the first
+    // successful resolve is still the earliest candidate).
+    for (slot, ring) in rings.iter_mut().enumerate() {
+        if hits[slot].is_some() {
+            continue;
+        }
+        while let Some((probe, tag)) = ring.pop() {
+            stats[slot].probed += 1;
+            if table.probe_finish(probe) {
+                hits[slot] = Some((tag.rep, tag.side, tag.step));
+                break;
+            }
+        }
+    }
+    ShardResult { hits, stats }
+}
+
+/// Runs one candidate composition through the gate → canonicalize →
+/// probe-wavefront pipeline. Returns the hit evicted-and-resolved from
+/// the wavefront, if the oldest in-flight probe succeeded.
+#[allow(clippy::too_many_arguments)] // hot inner kernel, deliberately flat
+#[inline]
+fn push_candidate(
+    table: &FnTable,
+    sym: &Symmetries,
+    gate: Option<&InvariantIndex>,
+    budget: usize,
+    ring: &mut ProbeRing<InFlight>,
+    stats: &mut SearchStats,
+    composition: Perm,
+    rep: Perm,
+    side: Side,
+    step: u32,
+) -> Option<(Perm, Side, u32)> {
+    stats.considered += 1;
+    if let Some(index) = gate {
+        // A hit's residue has distance exactly `budget` (= k); if no
+        // stored function of that size shares the composition's class
+        // invariants, the probe must miss — skip the canonicalization.
+        if !index.admits(composition, budget) {
+            stats.gated += 1;
+            return None;
+        }
+    }
+    let canon = sym.canonical(composition);
+    stats.canonicalized += 1;
+    let probe = table.probe_start(canon);
+    if let Some((prev, tag)) = ring.push(probe, InFlight { rep, side, step }) {
+        stats.probed += 1;
         if table.probe_finish(prev) {
-            return Some((rep, side, prev_step));
+            return Some((tag.rep, tag.side, tag.step));
         }
     }
     None
@@ -744,8 +970,93 @@ mod tests {
         let opts = SearchOptions::new();
         assert_eq!(opts.limit_or(14), 14);
         assert!(opts.effective_threads() >= 1);
-        let opts = opts.threads(3).limit(9);
+        assert!(opts.filter_enabled());
+        assert_eq!(opts.effective_probe_depth(), 8);
+        let opts = opts.threads(3).limit(9).filter(false).probe_depth(200);
         assert_eq!(opts.effective_threads(), 3);
         assert_eq!(opts.limit_or(14), 9);
+        assert!(!opts.filter_enabled());
+        assert_eq!(opts.effective_probe_depth(), 64, "clamped to the max");
+        let opts = opts.filter(true).probe_depth(1);
+        assert!(opts.filter_enabled());
+        assert_eq!(opts.effective_probe_depth(), 1);
+    }
+
+    #[test]
+    fn gate_on_and_off_are_bit_identical() {
+        let s = synth_n4_k3();
+        let fs = random_perms(16, 0x6A7E);
+        let gated = s.synthesize_many(&fs, &SearchOptions::new().threads(1));
+        let ungated = s.synthesize_many(&fs, &SearchOptions::new().threads(1).filter(false));
+        for (j, (a, b)) in gated.iter().zip(&ungated).enumerate() {
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.circuit, b.circuit, "query {j}");
+                    assert_eq!(a.lists_scanned, b.lists_scanned, "query {j}");
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("query {j} diverged: {a:?} vs {b:?}"),
+            }
+        }
+        // The gate must actually reject candidates on this workload
+        // (aggregate over the whole batch, failed queries included), and
+        // the ungated run must canonicalize everything it considers.
+        let (_, total) = s.size_many_stats(&fs, &SearchOptions::new().threads(1));
+        assert!(total.gated > 0, "gate rejected nothing: {total:?}");
+        for (j, r) in ungated.iter().enumerate() {
+            if let Ok(syn) = r {
+                assert_eq!(syn.stats.gated, 0, "query {j}");
+                assert_eq!(syn.stats.considered, syn.stats.canonicalized, "query {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accounting_adds_up() {
+        let s = synth_n4_k3();
+        let fs = random_perms(10, 0x57A7);
+        for filter in [true, false] {
+            let opts = SearchOptions::new().threads(1).filter(filter);
+            for r in s.synthesize_many(&fs, &opts).into_iter().flatten() {
+                let st = r.stats;
+                assert_eq!(st.considered, st.gated + st.canonicalized);
+                assert!(st.probed <= st.canonicalized);
+                assert_eq!(r.candidates_tested, st.canonicalized);
+                assert!(st.gate_selectivity() >= 0.0 && st.gate_selectivity() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_depth_does_not_change_results() {
+        let s = synth_n4_k3();
+        let fs = random_perms(12, 0xDE47);
+        let baseline = s.synthesize_many(&fs, &SearchOptions::new().threads(1).probe_depth(1));
+        for depth in [2usize, 8, 33] {
+            let out = s.synthesize_many(&fs, &SearchOptions::new().threads(1).probe_depth(depth));
+            for (j, (a, b)) in baseline.iter().zip(&out).enumerate() {
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.circuit, b.circuit, "depth {depth}, query {j}");
+                        assert_eq!(a.lists_scanned, b.lists_scanned, "depth {depth}, query {j}");
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("depth {depth}, query {j}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_many_stats_aggregates_the_batch() {
+        let s = synth_n4_k3();
+        let fs = random_perms(8, 0xA66);
+        let opts = SearchOptions::new().threads(1);
+        let (sizes, total) = s.size_many_stats(&fs, &opts);
+        assert_eq!(sizes, s.size_many(&fs, &opts));
+        assert_eq!(total.considered, total.gated + total.canonicalized);
+        // Random 4-wire permutations almost surely exceed the fast path,
+        // so the scan must have considered candidates.
+        assert!(total.considered > 0);
     }
 }

@@ -7,6 +7,7 @@ use revsynth_circuit::{Circuit, Gate};
 use revsynth_perm::Perm;
 
 use crate::error::SynthesisError;
+use crate::search::{SearchOptions, SearchStats};
 
 /// Optimal-circuit synthesizer for reversible functions of size ≤ 2k.
 ///
@@ -28,8 +29,12 @@ pub struct Synthesis {
     /// (0 when the fast path sufficed).
     pub lists_scanned: usize,
     /// Number of `canonicalize + probe` candidate tests performed by the
-    /// meet-in-the-middle phase.
+    /// meet-in-the-middle phase (equals [`SearchStats::canonicalized`];
+    /// kept as the historical headline counter).
     pub candidates_tested: u64,
+    /// Full candidate-pipeline accounting, including how many candidates
+    /// the invariant gate rejected before canonicalization.
+    pub stats: SearchStats,
 }
 
 impl Synthesizer {
@@ -106,6 +111,7 @@ impl Synthesizer {
                 circuit,
                 lists_scanned: 0,
                 candidates_tested: 0,
+                stats: SearchStats::default(),
             });
         }
 
@@ -114,9 +120,10 @@ impl Synthesizer {
         let k = self.tables.k();
         let deepest = k.min(limit.saturating_sub(k));
         let query = self.prepare_query(f);
-        let outcome = self.mitm_scan(std::slice::from_ref(&query), deepest, 1);
+        let opts = SearchOptions::new().threads(1);
+        let outcome = self.mitm_scan(std::slice::from_ref(&query), deepest, &opts);
         match outcome.hits[0] {
-            Some(ref hit) => Ok(self.resolve_hit(f, hit, outcome.candidates[0])),
+            Some(ref hit) => Ok(self.resolve_hit(f, hit, outcome.stats[0])),
             None => Err(SynthesisError::SizeExceedsLimit { function: f, limit }),
         }
     }
@@ -134,7 +141,8 @@ impl Synthesizer {
         }
         let k = self.tables.k();
         let query = self.prepare_query(f);
-        let outcome = self.mitm_scan(std::slice::from_ref(&query), k, 1);
+        let opts = SearchOptions::new().threads(1);
+        let outcome = self.mitm_scan(std::slice::from_ref(&query), k, &opts);
         match outcome.hits[0] {
             Some(ref hit) => Ok(k + hit.level),
             None => Err(SynthesisError::SizeExceedsLimit {

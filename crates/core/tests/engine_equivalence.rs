@@ -39,6 +39,59 @@ fn exhaustive_n3_batch_sizes_match_oracle() {
 }
 
 #[test]
+fn exhaustive_n3_gated_search_is_bit_identical_to_ungated() {
+    // The invariant gate may only skip candidates that provably cannot
+    // hit: over the entire 3-wire space, sizes AND circuits must be
+    // bit-identical with the gate on (default) and off, and identical to
+    // the reference oracle.
+    let lib = GateLib::nct(3);
+    let oracle = reference::full_space_sizes(&lib);
+    let max = *oracle.values().max().unwrap();
+    let synth = Synthesizer::from_scratch(3, max.div_ceil(2));
+
+    let functions: Vec<Perm> = oracle.keys().copied().collect();
+    let gated = SearchOptions::new().threads(1);
+    let ungated = SearchOptions::new().threads(1).filter(false);
+
+    // Sizes: all 40,320 functions, both settings, against the oracle.
+    let (gated_sizes, gated_stats) = synth.size_many_stats(&functions, &gated);
+    let (ungated_sizes, ungated_stats) = synth.size_many_stats(&functions, &ungated);
+    for ((f, a), b) in functions.iter().zip(&gated_sizes).zip(&ungated_sizes) {
+        assert_eq!(a, b, "f = {f}: gate changed the size");
+        assert_eq!(
+            a.as_ref().copied(),
+            Ok(oracle[f]),
+            "f = {f}: size diverged from the oracle"
+        );
+    }
+    // The gate must have rejected candidates (it is why this is fast),
+    // the ungated run must have rejected none, and the accounting must
+    // add up on both.
+    assert!(gated_stats.gated > 0, "{gated_stats:?}");
+    assert_eq!(ungated_stats.gated, 0);
+    assert_eq!(
+        gated_stats.considered,
+        gated_stats.gated + gated_stats.canonicalized
+    );
+    assert_eq!(ungated_stats.considered, ungated_stats.canonicalized);
+
+    // Circuits: a dense systematic sample, bit-identical across settings
+    // and across wavefront depths.
+    let sample: Vec<Perm> = functions.iter().copied().step_by(47).collect();
+    let baseline = synth.synthesize_many(&sample, &gated);
+    for opts in [ungated, gated.probe_depth(1), gated.probe_depth(17)] {
+        let other = synth.synthesize_many(&sample, &opts);
+        for (j, (a, b)) in baseline.iter().zip(&other).enumerate() {
+            assert_eq!(
+                a.as_ref().unwrap().circuit,
+                b.as_ref().unwrap().circuit,
+                "query {j} ({opts:?})"
+            );
+        }
+    }
+}
+
+#[test]
 fn exhaustive_n3_batch_circuits_are_minimal_and_correct() {
     let lib = GateLib::nct(3);
     let oracle = reference::full_space_sizes(&lib);

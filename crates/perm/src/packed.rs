@@ -269,6 +269,113 @@ impl Perm {
         Perm(packed)
     }
 
+    /// The cycle type of the permutation, packed into a `u64` key: nibble
+    /// `L − 1` holds the number of cycles of length `L` (fixed points
+    /// included).
+    ///
+    /// The kernel pointer-chases the 16 packed nibbles with a visited
+    /// bitmask — a few instructions per point, no memory traffic — and is
+    /// the hot invariant of the meet-in-the-middle candidate gate: the
+    /// cycle type is constant under conjugation by **any** relabeling of
+    /// the 16 points (conjugation relabels a cycle element-wise without
+    /// changing its length) and under inversion (which reverses each cycle
+    /// in place), so it is constant on every equivalence class of the
+    /// synthesis pipeline's ×48 symmetry reduction — a candidate whose
+    /// cycle type no stored function shares can never be in the table.
+    ///
+    /// The encoding is injective on cycle types: counts can only exceed a
+    /// nibble for the identity (16 fixed points, key `0x10`), and the
+    /// carried value would decode as "one 2-cycle and nothing else", which
+    /// no 16-point permutation has (cycle lengths must sum to 16).
+    ///
+    /// There are exactly 231 possible keys — the partitions of 16.
+    ///
+    /// ```
+    /// use revsynth_perm::Perm;
+    ///
+    /// assert_eq!(Perm::identity().cycle_type_key(), 0x10); // 16 fixed points
+    /// // One transposition: 14 fixed points + one 2-cycle.
+    /// let swap = Perm::from_values(&[1, 0, 2, 3])?;
+    /// assert_eq!(swap.cycle_type_key(), 0x1E);
+    /// // The key is invariant under inversion and conjugation.
+    /// let p = Perm::from_values(&[2, 0, 3, 1])?;
+    /// assert_eq!(p.inverse().cycle_type_key(), p.cycle_type_key());
+    /// # Ok::<(), revsynth_perm::InvalidPermError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn cycle_type_key(self) -> u64 {
+        let p = self.0;
+        let mut unvisited: u32 = 0xFFFF;
+        let mut key = 0u64;
+        while unvisited != 0 {
+            let start = unvisited.trailing_zeros();
+            let mut len = 0u32;
+            let mut x = start;
+            loop {
+                unvisited &= !(1 << x);
+                len += 1;
+                x = ((p >> (x * 4)) & 15) as u32;
+                if x == start {
+                    break;
+                }
+            }
+            key += 1u64 << ((len - 1) * 4);
+        }
+        key
+    }
+
+    /// A second class invariant, complementing
+    /// [`cycle_type_key`](Self::cycle_type_key): a mixed hash of the
+    /// histogram of `(|x|, |f(x)|, |x ∧ f(x)|)` popcount triples over all
+    /// 16 points.
+    ///
+    /// Wire relabelings permute the *bits* of the 4-bit point indices, so
+    /// conjugating by one maps the pair `(x, f(x))` to
+    /// `(σ(x), σ(f(x)))` — all three popcounts are preserved and the
+    /// histogram is unchanged. Inversion maps `(x, f(x))` to `(f(x), x)`,
+    /// swapping the first two coordinates; the mixing table is symmetric
+    /// in them, so the key is unchanged there too. The key is therefore
+    /// constant on every ×48 equivalence class, like the cycle type — but
+    /// far finer: where only 231 cycle types exist, tens of thousands of
+    /// weight profiles occur among the stored classes of the search
+    /// tables, which is what gives the meet-in-the-middle invariant gate
+    /// its selectivity.
+    ///
+    /// The kernel is straight-line: two SWAR per-nibble popcounts and 16
+    /// table-driven accumulations, no branches or data-dependent chains.
+    ///
+    /// ```
+    /// use revsynth_perm::Perm;
+    ///
+    /// let p = Perm::from_values(&[2, 0, 3, 1])?;
+    /// let key = p.wire_weight_key();
+    /// assert_eq!(p.inverse().wire_weight_key(), key);
+    /// assert_eq!(p.conjugate_swap(0, 1).wire_weight_key(), key);
+    /// # Ok::<(), revsynth_perm::InvalidPermError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn wire_weight_key(self) -> u64 {
+        /// Per-nibble popcounts of the identity word: nibble `x` holds
+        /// `popcount(x)`.
+        const PCX: u64 = 0x4332_3221_3221_2110;
+        let p = self.0;
+        let pj = nibble_popcounts(p);
+        let pa = nibble_popcounts(p & IDENTITY_PACKED);
+        let mut key = 0u64;
+        let mut x = 0u32;
+        while x < 16 {
+            let shift = x * 4;
+            let i = ((PCX >> shift) & 15) as usize;
+            let j = ((pj >> shift) & 15) as usize;
+            let a = ((pa >> shift) & 15) as usize;
+            key = key.wrapping_add(WEIGHT_MIX[i * 25 + j * 5 + a]);
+            x += 1;
+        }
+        key
+    }
+
     /// Number of points `x` with `f(x) ≠ x` (support size of the embedded
     /// 16-point permutation).
     #[must_use]
@@ -306,6 +413,48 @@ impl Perm {
         }
         (16 - cycles).is_multiple_of(2)
     }
+}
+
+/// SWAR per-nibble popcount: nibble `x` of the result holds the popcount
+/// of nibble `x` of `w` (0..=4).
+#[inline]
+const fn nibble_popcounts(w: u64) -> u64 {
+    const LOW1: u64 = 0x5555_5555_5555_5555;
+    const LOW2: u64 = 0x3333_3333_3333_3333;
+    let pairs = (w & LOW1) + ((w >> 1) & LOW1);
+    (pairs & LOW2) + ((pairs >> 2) & LOW2)
+}
+
+/// Mixing constants for [`Perm::wire_weight_key`], indexed by
+/// `i * 25 + j * 5 + a` for the popcount triple `(i, j, a)`. Symmetric in
+/// `(i, j)` so that inversion (which swaps the roles of `x` and `f(x)`)
+/// leaves the accumulated key unchanged. Generated deterministically at
+/// compile time from a SplitMix64 stream.
+const WEIGHT_MIX: [u64; 125] = build_weight_mix();
+
+const fn build_weight_mix() -> [u64; 125] {
+    let mut m = [0u64; 125];
+    let mut state: u64 = 0x243F_6A88_85A3_08D3; // pi, for nothing-up-my-sleeve
+    let mut i = 0;
+    while i < 5 {
+        let mut j = 0;
+        while j <= i {
+            let mut a = 0;
+            while a < 5 {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                m[i * 25 + j * 5 + a] = z;
+                m[j * 25 + i * 5 + a] = z;
+                a += 1;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    m
 }
 
 impl Default for Perm {
@@ -537,6 +686,122 @@ mod tests {
             Perm::identity().to_string(),
             "[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]"
         );
+    }
+
+    /// Reference cycle type: sorted cycle-length list via array chasing.
+    fn ref_cycle_lengths(p: Perm) -> Vec<u32> {
+        let vals = p.values();
+        let mut seen = [false; 16];
+        let mut lens = Vec::new();
+        for start in 0..16usize {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0u32;
+            let mut x = start;
+            while !seen[x] {
+                seen[x] = true;
+                len += 1;
+                x = usize::from(vals[x]);
+            }
+            lens.push(len);
+        }
+        lens.sort_unstable();
+        lens
+    }
+
+    /// The reference encoding of a cycle-length multiset.
+    fn ref_key(lens: &[u32]) -> u64 {
+        lens.iter().map(|&l| 1u64 << ((l - 1) * 4)).sum()
+    }
+
+    #[test]
+    fn cycle_type_key_matches_reference() {
+        for &p in &sample_perms() {
+            assert_eq!(p.cycle_type_key(), ref_key(&ref_cycle_lengths(p)), "p={p}");
+        }
+        // The full 16-cycle (shift4): one cycle of length 16.
+        let shift = Perm::from_values(&(0..16).map(|x| (x + 1) % 16).collect::<Vec<u8>>()).unwrap();
+        assert_eq!(shift.cycle_type_key(), 1u64 << 60);
+    }
+
+    #[test]
+    fn cycle_type_key_is_invariant_under_inverse_and_conjugation() {
+        for &p in &sample_perms() {
+            let key = p.cycle_type_key();
+            assert_eq!(p.inverse().cycle_type_key(), key, "inverse of {p}");
+            for i in 0..6 {
+                assert_eq!(
+                    p.conjugate_swap_indexed(i).cycle_type_key(),
+                    key,
+                    "conjugate {i} of {p}"
+                );
+            }
+            for sigma in crate::wire::WirePerm::all() {
+                assert_eq!(
+                    p.conjugate_by_wires(sigma).cycle_type_key(),
+                    key,
+                    "relabeling {sigma:?} of {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_weight_key_is_invariant_under_inverse_and_conjugation() {
+        for &p in &sample_perms() {
+            let key = p.wire_weight_key();
+            assert_eq!(p.inverse().wire_weight_key(), key, "inverse of {p}");
+            for sigma in crate::wire::WirePerm::all() {
+                assert_eq!(
+                    p.conjugate_by_wires(sigma).wire_weight_key(),
+                    key,
+                    "relabeling {sigma:?} of {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_weight_key_matches_reference_histogram() {
+        // The SWAR kernel must accumulate exactly the per-point popcount
+        // triples a naive loop computes.
+        for &p in &sample_perms() {
+            let mut expected = 0u64;
+            for x in 0..16u8 {
+                let y = p.apply(x);
+                let (i, j) = (x.count_ones() as usize, y.count_ones() as usize);
+                let a = (x & y).count_ones() as usize;
+                expected = expected.wrapping_add(WEIGHT_MIX[i * 25 + j * 5 + a]);
+            }
+            assert_eq!(p.wire_weight_key(), expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn wire_weight_key_is_finer_than_cycle_type() {
+        // Two permutations with the same cycle type but distinguishable
+        // weight profiles: a transposition of adjacent values vs one of
+        // distant values.
+        let mut a: Vec<u8> = (0..16).collect();
+        a.swap(0, 1); // 0 <-> 1: popcounts 0,1
+        let mut b: Vec<u8> = (0..16).collect();
+        b.swap(0, 15); // 0 <-> 15: popcounts 0,4
+        let pa = Perm::from_values(&a).unwrap();
+        let pb = Perm::from_values(&b).unwrap();
+        assert_eq!(pa.cycle_type_key(), pb.cycle_type_key());
+        assert_ne!(pa.wire_weight_key(), pb.wire_weight_key());
+    }
+
+    #[test]
+    fn cycle_type_key_distinguishes_identity_from_transposition() {
+        // The only carrying encoding (identity, 16 fixed points) must not
+        // collide with the type it superficially resembles (one 2-cycle).
+        assert_eq!(Perm::identity().cycle_type_key(), 0x10);
+        let mut vals: Vec<u8> = (0..16).collect();
+        vals.swap(0, 1);
+        let swap = Perm::from_values(&vals).unwrap();
+        assert_eq!(swap.cycle_type_key(), 0x1E);
     }
 
     #[test]

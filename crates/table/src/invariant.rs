@@ -1,0 +1,351 @@
+//! The invariant index: the data structure behind the meet-in-the-middle
+//! candidate gate.
+//!
+//! Every function the search tables store is a canonical representative of
+//! a ×48 equivalence class (conjugation by wire relabelings, and
+//! inversion). Both [`Perm::cycle_type_key`] and [`Perm::wire_weight_key`]
+//! are **constant on each class**, so a candidate composition whose
+//! combined invariant key matches no stored function *provably* misses the
+//! table — its ~750-instruction canonicalization and hash probe can be
+//! skipped outright.
+//!
+//! The index maps each distinct combined invariant value occurring in the
+//! tables to the **bitmask of optimal sizes** at which it occurs (bit `d`
+//! set ⇔ some stored representative of size exactly `d` has this
+//! invariant), which also yields the minimum stored distance per invariant
+//! as `mask.trailing_zeros()`. The search engine gates with
+//! [`admits_at`](InvariantIndex::admits_at): a first meet-in-the-middle
+//! hit always has residue distance exactly `k` (see the engine docs), so
+//! the gate tests the single bit `k`.
+//!
+//! Collisions in the combined 64-bit key only ever *merge* entries, which
+//! widens a mask — the gate stays sound (it can pass a doomed candidate,
+//! never reject a viable one).
+
+use revsynth_perm::{hash64shift, Perm};
+
+/// Maps combined class-invariant keys to the distance sets at which they
+/// occur among the stored representatives. Built once per
+/// `SearchTables`; read-only and `Sync` afterwards.
+///
+/// Internally a small linear-probing table (like
+/// [`FnTable`](crate::FnTable), but with `u32` distance-mask values and a
+/// zero-mask empty marker), sized well below the main hash table: the
+/// k = 5 tables hold ~109k classes but only ~47k distinct invariants.
+#[derive(Clone)]
+pub struct InvariantIndex {
+    keys: Vec<u64>,
+    masks: Vec<u32>,
+    slot_mask: u64,
+    len: usize,
+    /// Stage-1 prefilter: a bitmap over hashed [`Perm::wire_weight_key`]
+    /// values of the stored representatives. The weight key alone is
+    /// already a class invariant, and it is the cheap half of the
+    /// combined key (straight-line SWAR, no pointer chase), so the hot
+    /// gate tests it first and computes the cycle type only for the few
+    /// candidates whose weight profile occurs at all. A clear bit proves
+    /// absence; a set bit (including hash false positives) falls through
+    /// to the exact combined lookup — staging never changes the answer.
+    weight_bits: Vec<u64>,
+    weight_bit_mask: u64,
+}
+
+impl InvariantIndex {
+    /// The combined invariant key of a function: its cycle type
+    /// ([`Perm::cycle_type_key`]) mixed with its wire-weight profile
+    /// ([`Perm::wire_weight_key`]). Constant on every ×48 equivalence
+    /// class; this is the hot kernel of the candidate gate (a few dozen
+    /// straight-line instructions, no memory traffic).
+    #[inline]
+    #[must_use]
+    pub fn key_of(f: Perm) -> u64 {
+        hash64shift(f.cycle_type_key()) ^ f.wire_weight_key()
+    }
+
+    /// Builds the index from `(representative, optimal size)` pairs.
+    /// `expected` pre-sizes the table (the number of pairs is fine; the
+    /// distinct-invariant count is always smaller). An underestimate
+    /// costs a rehash, never correctness: the table doubles when the
+    /// distinct-key count reaches half its slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a distance exceeds 31 (the search depth `k` is asserted
+    /// ≤ 16 long before this).
+    #[must_use]
+    pub fn build<I: IntoIterator<Item = (Perm, usize)>>(entries: I, expected: usize) -> Self {
+        let bits = usize::BITS - expected.max(8).saturating_mul(2).leading_zeros();
+        let cap = 1usize << bits;
+        // Prefilter bitmap: ~8 bits per expected entry keeps the
+        // false-positive rate of stage 1 low without leaving cache
+        // (2^20 bits = 128 KB at the k = 5 scale), clamped to sane sizes.
+        let weight_bits_pow =
+            (usize::BITS - expected.max(8).saturating_mul(8).leading_zeros()).clamp(14, 27);
+        let mut index = InvariantIndex {
+            keys: vec![0; cap],
+            masks: vec![0; cap],
+            slot_mask: (cap - 1) as u64,
+            len: 0,
+            weight_bits: vec![0; 1 << (weight_bits_pow - 6)],
+            weight_bit_mask: (1u64 << weight_bits_pow) - 1,
+        };
+        for (rep, distance) in entries {
+            assert!(distance < 32, "distance {distance} out of mask range");
+            let weight = rep.wire_weight_key();
+            let bit = hash64shift(weight) & index.weight_bit_mask;
+            index.weight_bits[(bit >> 6) as usize] |= 1 << (bit & 63);
+            index.insert(hash64shift(rep.cycle_type_key()) ^ weight, 1 << distance);
+        }
+        index
+    }
+
+    /// The hot gate test: whether any stored representative of size
+    /// **exactly** `distance` could share `f`'s class invariants.
+    ///
+    /// Evaluates in two stages — the cheap weight key against the
+    /// prefilter bitmap first, the full combined key against the index
+    /// only for survivors — and is exactly equivalent to
+    /// `admits_at(key_of(f), distance)`.
+    #[inline]
+    #[must_use]
+    pub fn admits(&self, f: Perm, distance: usize) -> bool {
+        let weight = f.wire_weight_key();
+        let bit = hash64shift(weight) & self.weight_bit_mask;
+        if self.weight_bits[(bit >> 6) as usize] >> (bit & 63) & 1 == 0 {
+            return false;
+        }
+        self.admits_at(hash64shift(f.cycle_type_key()) ^ weight, distance)
+    }
+
+    fn insert(&mut self, key: u64, mask_bit: u32) {
+        // Keep the load factor ≤ 1/2 so probes terminate even when the
+        // builder's `expected` underestimated the distinct-key count.
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = (hash64shift(key) & self.slot_mask) as usize;
+        loop {
+            if self.masks[i] == 0 {
+                self.keys[i] = key;
+                self.masks[i] = mask_bit;
+                self.len += 1;
+                return;
+            }
+            if self.keys[i] == key {
+                self.masks[i] |= mask_bit;
+                return;
+            }
+            i = (i + 1) & self.slot_mask as usize;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_masks = std::mem::replace(&mut self.masks, vec![0; new_cap]);
+        self.slot_mask = (new_cap - 1) as u64;
+        for (key, mask) in old_keys.into_iter().zip(old_masks) {
+            if mask == 0 {
+                continue;
+            }
+            let mut i = (hash64shift(key) & self.slot_mask) as usize;
+            while self.masks[i] != 0 {
+                i = (i + 1) & self.slot_mask as usize;
+            }
+            self.keys[i] = key;
+            self.masks[i] = mask;
+        }
+    }
+
+    /// The distance bitmask stored for `key` (bit `d` ⇔ the invariant
+    /// occurs at optimal size `d`), or 0 if the invariant occurs nowhere
+    /// in the tables.
+    #[inline]
+    #[must_use]
+    pub fn distance_mask(&self, key: u64) -> u32 {
+        let mut i = (hash64shift(key) & self.slot_mask) as usize;
+        loop {
+            let mask = self.masks[i];
+            if mask == 0 {
+                return 0;
+            }
+            if self.keys[i] == key {
+                return mask;
+            }
+            i = (i + 1) & self.slot_mask as usize;
+        }
+    }
+
+    /// The minimum stored distance of any representative with this
+    /// invariant, or `None` if the invariant occurs nowhere.
+    #[inline]
+    #[must_use]
+    pub fn min_distance(&self, key: u64) -> Option<u32> {
+        match self.distance_mask(key) {
+            0 => None,
+            mask => Some(mask.trailing_zeros()),
+        }
+    }
+
+    /// Whether any stored representative of size **exactly** `distance`
+    /// has this invariant — the meet-in-the-middle gate test (a first hit
+    /// forces residue distance exactly `k`, so candidates failing this for
+    /// `distance = k` can never probe successfully).
+    #[inline]
+    #[must_use]
+    pub fn admits_at(&self, key: u64, distance: usize) -> bool {
+        self.distance_mask(key) >> distance & 1 == 1
+    }
+
+    /// Number of distinct invariant values stored.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate resident bytes (key, mask and prefilter arrays).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.masks.len() * 4 + self.weight_bits.len() * 8
+    }
+}
+
+impl std::fmt::Debug for InvariantIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "InvariantIndex({} invariants, 2^{} slots)",
+            self.len,
+            self.keys.len().trailing_zeros()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm_of(i: u64) -> Perm {
+        let mut vals: Vec<u8> = (0..16).collect();
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for j in (1..16).rev() {
+            vals.swap(j, (x % (j as u64 + 1)) as usize);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(12345);
+            x >>= 7;
+            if x == 0 {
+                x = i.wrapping_add(j as u64) | 1;
+            }
+        }
+        Perm::from_values(&vals).unwrap()
+    }
+
+    #[test]
+    fn key_of_is_class_invariant_under_inverse() {
+        for i in 0..50 {
+            let p = perm_of(i);
+            assert_eq!(
+                InvariantIndex::key_of(p),
+                InvariantIndex::key_of(p.inverse())
+            );
+        }
+    }
+
+    #[test]
+    fn build_and_lookup_roundtrip() {
+        let entries: Vec<(Perm, usize)> = (0..200u64)
+            .map(|i| (perm_of(i), (i % 7) as usize))
+            .collect();
+        let index = InvariantIndex::build(entries.iter().copied(), entries.len());
+        assert!(index.len() <= 200);
+        assert!(!index.is_empty());
+        for &(p, d) in &entries {
+            let key = InvariantIndex::key_of(p);
+            assert!(index.admits_at(key, d), "distance {d} of {p}");
+            let min = index.min_distance(key).expect("stored invariant");
+            assert!(min as usize <= d);
+            assert_eq!(min, index.distance_mask(key).trailing_zeros());
+        }
+    }
+
+    #[test]
+    fn absent_invariants_are_rejected_at_every_distance() {
+        // Index of near-identity permutations only: a generic permutation
+        // with full support has a different cycle type and must be absent.
+        let mut vals: Vec<u8> = (0..16).collect();
+        vals.swap(0, 1);
+        let swap = Perm::from_values(&vals).unwrap();
+        let index = InvariantIndex::build([(swap, 1), (Perm::identity(), 0)], 2);
+        assert_eq!(index.len(), 2);
+        let generic =
+            Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap();
+        let key = InvariantIndex::key_of(generic);
+        assert_eq!(index.distance_mask(key), 0);
+        assert_eq!(index.min_distance(key), None);
+        for d in 0..32 {
+            assert!(!index.admits_at(key, d));
+        }
+    }
+
+    #[test]
+    fn build_survives_a_wild_underestimate() {
+        // `expected` far below the distinct-key count must trigger growth,
+        // not an unterminated probe loop.
+        let entries: Vec<(Perm, usize)> = (0..300u64).map(|i| (perm_of(i), 1)).collect();
+        let index = InvariantIndex::build(entries.iter().copied(), 1);
+        assert!(
+            index.len() > 32,
+            "sample must exceed the minimum initial slot count"
+        );
+        for &(p, d) in &entries {
+            assert!(index.admits_at(InvariantIndex::key_of(p), d));
+        }
+    }
+
+    #[test]
+    fn staged_admits_equals_exact_admits() {
+        // The weight-key prefilter may only reject what the exact lookup
+        // also rejects: both paths must agree on every candidate and
+        // distance.
+        let entries: Vec<(Perm, usize)> = (0..100u64)
+            .map(|i| (perm_of(i), (i % 6) as usize))
+            .collect();
+        let index = InvariantIndex::build(entries.iter().copied(), entries.len());
+        for i in 0..500u64 {
+            let p = perm_of(i);
+            let key = InvariantIndex::key_of(p);
+            for d in 0..8 {
+                assert_eq!(
+                    index.admits(p, d),
+                    index.admits_at(key, d),
+                    "perm {i}, distance {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_merge_across_distances() {
+        let p = perm_of(3);
+        let index = InvariantIndex::build([(p, 2), (p, 5), (p.inverse(), 4)], 3);
+        assert_eq!(index.len(), 1, "same class merges into one entry");
+        let key = InvariantIndex::key_of(p);
+        assert_eq!(index.distance_mask(key), (1 << 2) | (1 << 5) | (1 << 4));
+        assert_eq!(index.min_distance(key), Some(2));
+        assert!(index.admits_at(key, 4));
+        assert!(!index.admits_at(key, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of mask range")]
+    fn distances_beyond_mask_are_rejected() {
+        let _ = InvariantIndex::build([(Perm::identity(), 32)], 1);
+    }
+}

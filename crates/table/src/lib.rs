@@ -30,8 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod invariant;
+mod ring;
 mod stats;
 mod table;
 
+pub use invariant::InvariantIndex;
+pub use ring::ProbeRing;
 pub use stats::TableStats;
 pub use table::{FnTable, Probe};

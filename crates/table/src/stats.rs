@@ -18,6 +18,14 @@ pub struct TableStats {
     pub capacity: u64,
     /// Resident bytes of the key and value arrays.
     pub memory_bytes: u64,
+    /// Insertions over the table's lifetime (rehash reinsertions
+    /// included) that did not land in their hash-home slot — a running
+    /// counter maintained at insert time, unlike the scan-derived
+    /// displacement fields below, so the cumulative cost of clustering
+    /// across growths is visible when tuning the load factor.
+    pub displaced_inserts: u64,
+    /// Total slots walked past by those displaced insertions.
+    pub insert_displacement_total: u64,
     /// `entries / capacity`.
     pub load_factor: f64,
     /// Mean distance from a key's slot to its hash-home slot.
@@ -73,6 +81,8 @@ mod tests {
             entries: 0,
             capacity: 0,
             memory_bytes: 512,
+            displaced_inserts: 0,
+            insert_displacement_total: 0,
             load_factor: 0.0,
             avg_displacement: 0.0,
             max_displacement: 0,

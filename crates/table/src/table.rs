@@ -4,6 +4,7 @@ use std::fmt;
 
 use revsynth_perm::{hash64shift, Perm};
 
+use crate::ring::ProbeRing;
 use crate::stats::TableStats;
 
 /// Empty-slot marker. `u64::MAX` decodes to a constant map (every nibble
@@ -32,6 +33,14 @@ pub struct FnTable {
     values: Vec<u8>,
     mask: u64,
     len: usize,
+    /// Insertions (including rehash reinsertions) that did not land in
+    /// their home slot.
+    displaced_inserts: u64,
+    /// Total slots walked past by displaced insertions — the running
+    /// cost of clustering, cheap to maintain and surfaced through
+    /// [`TableStats`] so load-factor tuning is visible without a full
+    /// table scan.
+    insert_displacement_total: u64,
 }
 
 impl FnTable {
@@ -52,6 +61,8 @@ impl FnTable {
             values: vec![0; cap],
             mask: (cap - 1) as u64,
             len: 0,
+            displaced_inserts: 0,
+            insert_displacement_total: 0,
         }
     }
 
@@ -121,6 +132,14 @@ impl FnTable {
         (hash64shift(key) & self.mask) as usize
     }
 
+    #[inline]
+    fn record_displacement(&mut self, d: u64) {
+        if d > 0 {
+            self.displaced_inserts += 1;
+            self.insert_displacement_total += d;
+        }
+    }
+
     /// Whether `key` is present. This is the hot membership test of
     /// Algorithm 1's inner loop.
     #[inline]
@@ -156,7 +175,11 @@ impl FnTable {
     #[inline]
     #[must_use]
     pub fn probe_start(&self, key: Perm) -> Probe {
-        let key = key.packed();
+        self.probe_start_raw(key.packed())
+    }
+
+    #[inline]
+    fn probe_start_raw(&self, key: u64) -> Probe {
         let slot = self.home_slot(key);
         Probe {
             key,
@@ -213,6 +236,7 @@ impl FnTable {
         self.grow_if_needed();
         let key = key.packed();
         let mut i = self.home_slot(key);
+        let mut d = 0u64;
         loop {
             let slot = self.keys[i];
             if slot == key {
@@ -224,9 +248,11 @@ impl FnTable {
                 self.keys[i] = key;
                 self.values[i] = value;
                 self.len += 1;
+                self.record_displacement(d);
                 return None;
             }
             i = (i + 1) & self.mask as usize;
+            d += 1;
         }
     }
 
@@ -237,6 +263,7 @@ impl FnTable {
         self.grow_if_needed();
         let key = key.packed();
         let mut i = self.home_slot(key);
+        let mut d = 0u64;
         loop {
             let slot = self.keys[i];
             if slot == key {
@@ -246,9 +273,11 @@ impl FnTable {
                 self.keys[i] = key;
                 self.values[i] = value;
                 self.len += 1;
+                self.record_displacement(d);
                 return true;
             }
             i = (i + 1) & self.mask as usize;
+            d += 1;
         }
     }
 
@@ -258,24 +287,51 @@ impl FnTable {
         }
     }
 
+    /// Ring depth for the rehashing wavefront: every relocated key's home
+    /// slot is read (= prefetched) this many insertions ahead of the
+    /// serial walk that places it, so a growth pass keeps several of the
+    /// new arrays' cache lines in flight instead of stalling on one
+    /// dependent miss per key.
+    const GROW_WAVEFRONT: usize = 8;
+
     fn grow(&mut self) {
         let new_cap = self.capacity() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
         let old_values = std::mem::replace(&mut self.values, vec![0; new_cap]);
         self.mask = (new_cap - 1) as u64;
         self.len = 0;
+        let mut ring: ProbeRing<u8> = ProbeRing::new(Self::GROW_WAVEFRONT);
         for (key, value) in old_keys.into_iter().zip(old_values) {
-            if key != EMPTY {
-                // Re-insert without the growth check (capacity is ample).
-                let mut i = self.home_slot(key);
-                while self.keys[i] != EMPTY {
-                    i = (i + 1) & self.mask as usize;
-                }
-                self.keys[i] = key;
-                self.values[i] = value;
-                self.len += 1;
+            if key == EMPTY {
+                continue;
+            }
+            if let Some((probe, v)) = ring.push(self.probe_start_raw(key), value) {
+                self.insert_relocated(probe, v);
             }
         }
+        while let Some((probe, v)) = ring.pop() {
+            self.insert_relocated(probe, v);
+        }
+    }
+
+    /// Resolves one relocated key from the growth wavefront: walks from
+    /// the probed home slot (whose cache line the probe already pulled in)
+    /// to the first empty slot and places the key there. The probe's
+    /// cached first read is deliberately ignored — insertions issued since
+    /// the probe started may have filled it — so the walk re-reads the
+    /// live (now warm) array; keys are distinct during a rehash, so the
+    /// first empty slot is always the correct destination.
+    fn insert_relocated(&mut self, probe: Probe, value: u8) {
+        let mut i = probe.slot;
+        let mut d = 0u64;
+        while self.keys[i] != EMPTY {
+            i = (i + 1) & self.mask as usize;
+            d += 1;
+        }
+        self.keys[i] = probe.key;
+        self.values[i] = value;
+        self.len += 1;
+        self.record_displacement(d);
     }
 
     /// Iterates over `(key, value)` pairs in unspecified order.
@@ -337,6 +393,8 @@ impl FnTable {
             entries: self.len as u64,
             capacity: cap as u64,
             memory_bytes: self.memory_bytes() as u64,
+            displaced_inserts: self.displaced_inserts,
+            insert_displacement_total: self.insert_displacement_total,
             load_factor: self.load_factor(),
             avg_displacement: if self.len == 0 {
                 0.0
@@ -559,6 +617,45 @@ mod tests {
         // table); now an absurd request must hit the explicit capacity
         // guard (2^62 entries need far more than 2^40 slots).
         let _ = FnTable::for_entries(usize::MAX >> 2);
+    }
+
+    #[test]
+    fn displacement_counters_track_inserts() {
+        let mut t = FnTable::with_capacity_bits(4); // 16 slots, grows under load
+        assert_eq!(t.stats().displaced_inserts, 0);
+        for i in 0..200u64 {
+            t.insert(perm_of(i), 0);
+        }
+        let s = t.stats();
+        // Dense inserts through several growths must have displaced some
+        // keys, and every displaced insert walked at least one slot.
+        assert!(s.displaced_inserts > 0);
+        assert!(s.insert_displacement_total >= s.displaced_inserts);
+        // Replacing existing keys does not move them.
+        let before = t.stats().displaced_inserts;
+        let total_before = t.stats().insert_displacement_total;
+        for i in 0..200u64 {
+            t.insert(perm_of(i), 1);
+        }
+        assert_eq!(t.stats().displaced_inserts, before);
+        assert_eq!(t.stats().insert_displacement_total, total_before);
+    }
+
+    #[test]
+    fn growth_wavefront_preserves_content_exactly() {
+        // Force many growths from a tiny table and verify against a model.
+        let mut t = FnTable::with_capacity_bits(3);
+        let mut model = std::collections::HashMap::new();
+        for i in 0..2000u64 {
+            let p = perm_of(i);
+            let v = (i % 251) as u8;
+            t.insert(p, v);
+            model.insert(p, v);
+        }
+        assert_eq!(t.len(), model.len());
+        for (&k, &v) in &model {
+            assert_eq!(t.get(k), Some(v));
+        }
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! `bench_serve` — the maintained serving-layer performance report.
+//!
+//! Runs a real server (loopback TCP, in-process) and measures three
+//! regimes over one client connection plus a concurrent fleet:
+//!
+//! * **cold** — every query is the first member of its equivalence
+//!   class seen: a cache miss and a full meet-in-the-middle search;
+//! * **warm** — further members of the already-searched classes: pure
+//!   cache-hit traffic, answered by canonicalize + witness replay with
+//!   **zero searches** (asserted on the server's own counters);
+//! * **coalesced** — a concurrent client fleet rendezvousing on cold
+//!   classes, exercising the scheduler's request-coalescing path
+//!   (at least one coalesced request is asserted).
+//!
+//! Correctness is asserted throughout: every response circuit must
+//! compute the queried permutation, warm answers must match the cold
+//! answer's gate count for the class, and the warm phase must be at
+//! least 10× the cold phase's throughput (3× at `--quick` scale, where
+//! the cold searches are nearly free) — the acceptance bar for the
+//! class-keyed cache.
+//!
+//! Emits `BENCH_serve.json` (override with `--out`). Flags: `--k`
+//! (default `REVSYNTH_K` or 5), `--cold` (classes, default 40),
+//! `--warm` (members per class, default 10), `--seed`, `--out`,
+//! `--quick` (smoke scale: k = 3, 10 classes × 5 members).
+//!
+//! Run with `cargo run --release -p revsynth-bench --bin bench_serve`.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use revsynth_analysis::{Rng, SplitMix64};
+use revsynth_bench::{arg_or, env_k};
+use revsynth_circuit::{Circuit, GateLib};
+use revsynth_core::Synthesizer;
+use revsynth_perm::{Perm, WirePerm};
+use revsynth_serve::{loadgen, Client, ServeStats, Server, ServerConfig};
+
+struct Phase {
+    queries: usize,
+    seconds: f64,
+}
+
+impl Phase {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.seconds
+    }
+    fn json(&self) -> String {
+        format!(
+            "{{\"queries\": {}, \"seconds\": {:.6}, \"queries_per_sec\": {:.1}}}",
+            self.queries,
+            self.seconds,
+            self.qps()
+        )
+    }
+}
+
+/// Cold query pool: functions of size strictly greater than `k`, one
+/// per equivalence class, so every cold query pays a genuine
+/// meet-in-the-middle search.
+fn cold_pool(synth: &Synthesizer, count: usize, seed: u64) -> Vec<Perm> {
+    let lib = GateLib::nct(4);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let k = synth.tables().k();
+    let sym = synth.tables().sym();
+    let mut rng = SplitMix64::new(seed);
+    let mut reps = std::collections::HashSet::new();
+    let mut pool = Vec::with_capacity(count);
+    while pool.len() < count {
+        let len = k + 1 + (rng.next_u64() as usize) % k;
+        let f = Circuit::from_gates((0..len).map(|_| gates[rng.next_u64() as usize % gates.len()]))
+            .perm(4);
+        // Size ≤ k would be answered by the fast path; skip those, and
+        // keep one function per class.
+        if synth.tables().size_of(f).is_some() {
+            continue;
+        }
+        if reps.insert(sym.canonical(f)) {
+            pool.push(f);
+        }
+    }
+    pool
+}
+
+/// Distinct class members of `f` other than `f` itself (relabelings
+/// and inverses), up to `count`.
+fn warm_members(f: Perm, count: usize) -> Vec<Perm> {
+    let mut members: Vec<Perm> = WirePerm::all()
+        .into_iter()
+        .flat_map(|sigma| {
+            let m = f.conjugate_by_wires(sigma);
+            [m, m.inverse()]
+        })
+        .filter(|&m| m != f)
+        .collect();
+    members.sort_unstable();
+    members.dedup();
+    members.truncate(count);
+    members
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k = arg_or("--k", env_k(if quick { 3 } else { 5 }));
+    let cold_classes: usize = arg_or("--cold", if quick { 10 } else { 40 });
+    let warm_per_class: usize = arg_or("--warm", if quick { 5 } else { 10 });
+    let seed: u64 = arg_or("--seed", 2010);
+    let out: String = arg_or("--out", "BENCH_serve.json".to_owned());
+    let speedup_bar = if quick { 3.0 } else { 10.0 };
+
+    eprintln!("generating tables (n = 4, k = {k}) ...");
+    let t0 = Instant::now();
+    let synth = Arc::new(Synthesizer::from_scratch(4, k));
+    let gen_seconds = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "  {} classes in {gen_seconds:.2}s",
+        synth.tables().num_representatives()
+    );
+
+    let server =
+        Server::bind(Arc::clone(&synth), &ServerConfig::default()).expect("bind loopback server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // ---- cold: one miss per class ------------------------------------
+    let pool = cold_pool(&synth, cold_classes, seed);
+    let mut cold_answers = Vec::with_capacity(pool.len());
+    let t = Instant::now();
+    for &f in &pool {
+        let circuit = client.query(f).expect("cold query");
+        assert_eq!(circuit.perm(4), f, "cold answer must compute f");
+        cold_answers.push(circuit.len());
+    }
+    let cold = Phase {
+        queries: pool.len(),
+        seconds: t.elapsed().as_secs_f64(),
+    };
+    let after_cold = client.stats().expect("stats");
+    assert_eq!(
+        after_cold.searches, cold_classes as u64,
+        "one search per cold class"
+    );
+    eprintln!(
+        "cold   : {} classes in {:.3}s ({:.1} q/s)",
+        cold.queries,
+        cold.seconds,
+        cold.qps()
+    );
+
+    // ---- warm: replay-only traffic, searches must stay flat ----------
+    let warm_queries: Vec<(Perm, usize)> = pool
+        .iter()
+        .zip(&cold_answers)
+        .flat_map(|(&f, &size)| {
+            warm_members(f, warm_per_class)
+                .into_iter()
+                .map(move |m| (m, size))
+        })
+        .collect();
+    let t = Instant::now();
+    for &(m, size) in &warm_queries {
+        let circuit = client.query(m).expect("warm query");
+        assert_eq!(circuit.perm(4), m, "warm answer must compute the member");
+        assert_eq!(circuit.len(), size, "replay is cost-preserving");
+    }
+    let warm = Phase {
+        queries: warm_queries.len(),
+        seconds: t.elapsed().as_secs_f64(),
+    };
+    let after_warm = client.stats().expect("stats");
+    assert_eq!(
+        after_warm.searches, after_cold.searches,
+        "warm traffic must trigger ZERO searches"
+    );
+    assert_eq!(
+        after_warm.cache_hits,
+        after_cold.cache_hits + warm.queries as u64,
+        "every warm query is a cache hit"
+    );
+    let speedup = warm.qps() / cold.qps();
+    eprintln!(
+        "warm   : {} members in {:.3}s ({:.1} q/s, {speedup:.1}x cold)",
+        warm.queries,
+        warm.seconds,
+        warm.qps()
+    );
+    assert!(
+        speedup >= speedup_bar,
+        "warm path must be ≥ {speedup_bar}x cold throughput, got {speedup:.2}x"
+    );
+
+    // ---- coalesced: concurrent fleet on fresh classes ----------------
+    let fleet = loadgen::LoadgenConfig {
+        clients: 4,
+        requests_per_client: if quick { 10 } else { 50 },
+        pool: 4,
+        max_len: 2 * k,
+        seed: seed ^ 0xC0A1E5CE,
+    };
+    let t = Instant::now();
+    let report = loadgen::run(addr, 4, &fleet).expect("loadgen fleet");
+    let fleet_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(report.errors, 0, "fleet queries must all verify");
+    let final_stats = report.stats;
+    let coalesced = report.coalesced;
+    eprintln!(
+        "fleet  : {} requests in {fleet_seconds:.3}s ({:.1} q/s), {coalesced} coalesced",
+        report.successes,
+        report.throughput()
+    );
+    assert!(
+        coalesced >= 1,
+        "concurrent same-class misses must coalesce at least once"
+    );
+
+    client.shutdown_server().expect("shutdown");
+    let closing = handle.join().expect("server exits cleanly");
+    assert_eq!(closing.errors, 0);
+
+    let json = render_json(
+        k,
+        quick,
+        seed,
+        gen_seconds,
+        &cold,
+        &warm,
+        speedup,
+        report.successes,
+        fleet_seconds,
+        &final_stats,
+    );
+    std::fs::File::create(&out)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}
+
+#[allow(clippy::too_many_arguments)] // flat report assembly
+fn render_json(
+    k: usize,
+    quick: bool,
+    seed: u64,
+    gen_seconds: f64,
+    cold: &Phase,
+    warm: &Phase,
+    speedup: f64,
+    fleet_requests: u64,
+    fleet_seconds: f64,
+    stats: &ServeStats,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"serve\",\n  \"config\": {{\"n\": 4, \"k\": {k}, \
+         \"seed\": {seed}, \"quick\": {quick}, \"workers\": 1, \
+         \"hardware_threads\": {}}},\n  \
+         \"bfs_generate_seconds\": {gen_seconds:.3},\n  \
+         \"cold\": {},\n  \"warm\": {},\n  \
+         \"speedup_warm_vs_cold\": {speedup:.1},\n  \
+         \"fleet\": {{\"requests\": {fleet_requests}, \"seconds\": {fleet_seconds:.6}, \
+         \"queries_per_sec\": {:.1}}},\n  \
+         \"final_stats\": {}\n}}\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cold.json(),
+        warm.json(),
+        fleet_requests as f64 / fleet_seconds,
+        stats.to_json()
+    )
+}

@@ -330,6 +330,40 @@ mod tests {
     }
 
     #[test]
+    fn save_load_rebuilds_identical_invariant_index() {
+        // The load path assembles the invariant gate index from the level
+        // lists just like the generate path; the rebuilt index must be
+        // logically identical — same invariant keys, same distance masks,
+        // same prefilter bitmap — or the gate would behave differently on
+        // loaded tables than on freshly generated ones.
+        for (n, k) in [(2usize, 4usize), (3, 3)] {
+            let tables = SearchTables::generate(n, k);
+            let path = temp_path(&format!("invindex-n{n}-k{k}"));
+            tables.save(&path).unwrap();
+            let loaded = SearchTables::load(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+
+            assert_eq!(
+                loaded.invariants(),
+                tables.invariants(),
+                "n={n} k={k}: rebuilt index diverged from the generate path"
+            );
+            // And the gate answers the same question on both: every stored
+            // representative is admitted at exactly its own level.
+            for (i, level) in tables.levels().iter().enumerate() {
+                for &rep in level {
+                    assert_eq!(
+                        loaded.invariants().admits(rep, i),
+                        tables.invariants().admits(rep, i),
+                        "n={n} k={k} level {i} rep {rep}"
+                    );
+                    assert!(loaded.invariants().admits(rep, i));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let path = temp_path("magic");
         std::fs::write(&path, b"NOTATABLESTORE__").unwrap();

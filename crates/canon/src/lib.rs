@@ -36,7 +36,9 @@
 #![warn(missing_docs)]
 
 mod class;
+mod replay;
 mod symmetries;
 
 pub use class::ClassStats;
+pub use replay::replay_for_witness;
 pub use symmetries::{Canonicalized, Frames, Symmetries};

@@ -1,0 +1,169 @@
+//! Witness replay: turning one stored circuit per equivalence class into
+//! a circuit for **any** class member.
+//!
+//! The point of the ×48 class reduction is that one search per class
+//! answers every member (paper §3.2): a minimal circuit for a member is
+//! obtained from a minimal circuit of the canonical representative by
+//! relabeling wires and/or reversing the gate string. This module is that
+//! final step, packaged for result caches: given a circuit for the
+//! representative and the [`Canonicalized`] witness produced while
+//! canonicalizing the query, [`replay_for_witness`] reconstructs the
+//! query's circuit without touching the search tables at all.
+//!
+//! Replay is **exact and cost-preserving**: wire relabeling maps gates
+//! bijectively within the NCT library, and inversion merely reverses the
+//! gate string (every NCT gate is self-inverse), so the replayed circuit
+//! has exactly the representative circuit's gate count — if the cached
+//! circuit is optimal for the representative, the replayed circuit is
+//! optimal for the query.
+
+use revsynth_circuit::Circuit;
+
+use crate::symmetries::Canonicalized;
+
+/// Reconstructs a circuit for the original query `f` from a circuit for
+/// its canonical representative and the witness returned by
+/// [`Symmetries::canonicalize`](crate::Symmetries::canonicalize).
+///
+/// `rep_circuit` must compute `witness.rep`. The witness contract is
+/// `rep == (if inverted { f⁻¹ } else { f }).conjugate_by_wires(sigma)`,
+/// so undoing it takes two steps:
+///
+/// 1. conjugate the circuit by `σ⁻¹`, which yields a circuit for
+///    `f` (or `f⁻¹` when the witness used inversion), then
+/// 2. reverse the gate string when `inverted` — NCT gates are
+///    involutions, so the reversed string computes the inverse function.
+///
+/// The result computes exactly `f` and has exactly `rep_circuit.len()`
+/// gates.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_canon::{replay_for_witness, Symmetries};
+/// use revsynth_circuit::Circuit;
+///
+/// let sym = Symmetries::new(4);
+/// let circuit: Circuit = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".parse()?;
+/// let f = circuit.perm(4);
+/// let w = sym.canonicalize(f);
+/// // Map the circuit into the representative's frame (what a class-keyed
+/// // cache stores), then replay it back through the witness.
+/// let rep_circuit = if w.inverted { circuit.inverse() } else { circuit.clone() };
+/// let rep_circuit = rep_circuit.conjugate_by_wires(w.sigma);
+/// assert_eq!(rep_circuit.perm(4), w.rep);
+/// let replayed = replay_for_witness(&rep_circuit, &w);
+/// assert_eq!(replayed.perm(4), f);
+/// assert_eq!(replayed.len(), circuit.len());
+/// # Ok::<(), revsynth_circuit::ParseCircuitError>(())
+/// ```
+#[must_use]
+pub fn replay_for_witness(rep_circuit: &Circuit, witness: &Canonicalized) -> Circuit {
+    let base = rep_circuit.conjugate_by_wires(witness.sigma.inverse());
+    if witness.inverted {
+        base.inverse()
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Symmetries;
+    use revsynth_circuit::GateLib;
+    use revsynth_perm::Perm;
+
+    /// Maps a circuit for `f` into the representative's frame — the
+    /// inverse of [`replay_for_witness`], and what a class-keyed cache
+    /// does when it stores a freshly synthesized circuit under the rep.
+    fn circuit_to_rep(circuit: &Circuit, w: &Canonicalized) -> Circuit {
+        let base = if w.inverted {
+            circuit.inverse()
+        } else {
+            circuit.clone()
+        };
+        base.conjugate_by_wires(w.sigma)
+    }
+
+    /// Deterministic gate-string circuits over the n-wire NCT library.
+    fn random_circuits(n: usize, count: usize, max_len: usize, seed: u64) -> Vec<Circuit> {
+        let lib = GateLib::nct(n);
+        let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..count)
+            .map(|_| {
+                let len = (next() % (max_len as u64 + 1)) as usize;
+                Circuit::from_gates((0..len).map(|_| gates[next() as usize % gates.len()]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_roundtrips_through_the_witness() {
+        for n in 2..=4usize {
+            let sym = Symmetries::new(n);
+            for (i, circuit) in random_circuits(n, 40, 8, 0xC1AC5).iter().enumerate() {
+                let f = circuit.perm(n);
+                let w = sym.canonicalize(f);
+                let rep_circuit = circuit_to_rep(circuit, &w);
+                assert_eq!(rep_circuit.perm(n), w.rep, "n={n} circuit {i}");
+                let replayed = replay_for_witness(&rep_circuit, &w);
+                assert_eq!(replayed.perm(n), f, "n={n} circuit {i}");
+                assert_eq!(replayed.len(), circuit.len(), "n={n} circuit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_serves_every_class_member_from_one_rep_circuit() {
+        // The cache scenario: one circuit stored for the rep answers all
+        // ≤ 2·n! members exactly and at the same cost.
+        let sym = Symmetries::new(4);
+        let circuit: Circuit = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".parse().unwrap();
+        let f = circuit.perm(4);
+        let w = sym.canonicalize(f);
+        let rep_circuit = circuit_to_rep(&circuit, &w);
+        for member in sym.class_members(f) {
+            let mw = sym.canonicalize(member);
+            assert_eq!(mw.rep, w.rep, "same class, same rep");
+            let replayed = replay_for_witness(&rep_circuit, &mw);
+            assert_eq!(replayed.perm(4), member, "member {member}");
+            assert_eq!(replayed.len(), circuit.len(), "cost-preserving");
+        }
+    }
+
+    #[test]
+    fn replay_simulates_pointwise() {
+        let sym = Symmetries::new(3);
+        for circuit in &random_circuits(3, 10, 6, 0x5EED) {
+            let f = circuit.perm(3);
+            let w = sym.canonicalize(f);
+            let replayed = replay_for_witness(&circuit_to_rep(circuit, &w), &w);
+            for x in 0..8u8 {
+                assert_eq!(replayed.simulate(x), f.apply(x), "x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_witness_is_a_no_op() {
+        let sym = Symmetries::new(4);
+        let circuit: Circuit = "NOT(a)".parse().unwrap();
+        let f = circuit.perm(4);
+        let w = sym.canonicalize(f);
+        if !w.inverted && w.sigma == revsynth_perm::WirePerm::identity() {
+            assert_eq!(replay_for_witness(&circuit, &w), circuit);
+        }
+        // Whatever the witness, the empty circuit replays to itself.
+        let w = sym.canonicalize(Perm::identity());
+        assert_eq!(replay_for_witness(&Circuit::new(), &w), Circuit::new());
+    }
+}

@@ -49,13 +49,50 @@ COMMANDS:
                Depth-optimal synthesis over parallel layers (paper §5).
     cost       --spec <P0,..,P15> [--model quantum|unit] [--budget <C>]
                Cost-optimal synthesis under weighted gates (paper §5).
+    serve      [--port <P>] [--workers <W>] [--cache-capacity <C>]
+               [--linger-ms <L>] [--k <K>] [--n <N>] [--tables <FILE>]
+               [--threads <T>]
+               Run the synthesis service on 127.0.0.1:<P> (default 7878;
+               0 picks a free port, printed on startup). Results are
+               cached per equivalence class (--cache-capacity entries,
+               default 65536) and served to every class member by
+               witness replay; concurrent cache misses coalesce into
+               batched searches on --workers scheduler threads (default
+               1). --linger-ms holds each batch open that long before
+               searching (group commit: bigger batches and a guaranteed
+               coalescing window, at that much added miss latency;
+               default 0). Runs until a client sends a shutdown request
+               (`revsynth query --shutdown`), then prints final stats.
+    query      [--port <P>] [--spec <P0,..,P15>] [--json] [--stats]
+               [--shutdown]
+               Query a running server: --spec synthesizes a permutation,
+               --stats (or no --spec) prints the ServeStats snapshot,
+               --shutdown stops the server. --json switches the output
+               to single-line JSON.
+    loadgen    [--port <P>] [--clients <C>] [--requests <R>]
+               [--pool <B>] [--max-len <L>] [--seed <S>] [--quick]
+               [--expect-coalesced]
+               Closed-loop load against a running server: C connections
+               (default 4) × R requests (default 100) drawn from B
+               classes (default 8). Verifies every response circuit,
+               reports throughput and the server stats; exits nonzero
+               on any error (and, with --expect-coalesced, when no
+               request coalesced). --quick is the CI smoke scale.
     help       Show this message.
 
 Tables are regenerated on the fly unless --tables points at a file written
 by `revsynth bfs --out` (the paper's precompute-once workflow).";
 
 /// Flags that take no value (presence alone means "on").
-const SWITCHES: &[&str] = &["no-filter", "verbose"];
+const SWITCHES: &[&str] = &[
+    "no-filter",
+    "verbose",
+    "json",
+    "stats",
+    "shutdown",
+    "quick",
+    "expect-coalesced",
+];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand, plus
 /// the valueless switches in [`SWITCHES`].
@@ -172,6 +209,9 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "peephole" => cmd_peephole(&opts),
         "depth" => cmd_depth(&opts),
         "cost" => cmd_cost(&opts),
+        "serve" => cmd_serve(&opts),
+        "query" => cmd_query(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -472,6 +512,188 @@ fn cmd_cost(opts: &Opts) -> CliResult {
     Ok(())
 }
 
+/// Default service port (rev-synth on a phone keypad, more or less).
+const DEFAULT_PORT: u16 = 7878;
+
+fn server_addr(opts: &Opts) -> Result<std::net::SocketAddr, Box<dyn Error>> {
+    let port: u16 = opts.get_parse("port", DEFAULT_PORT)?;
+    Ok(std::net::SocketAddr::from((
+        std::net::Ipv4Addr::LOCALHOST,
+        port,
+    )))
+}
+
+fn cmd_serve(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&[
+        "port",
+        "workers",
+        "cache-capacity",
+        "linger-ms",
+        "k",
+        "n",
+        "tables",
+        "threads",
+    ])?;
+    let config = revsynth_serve::ServerConfig {
+        port: opts.get_parse("port", DEFAULT_PORT)?,
+        workers: opts.get_parse("workers", 1)?,
+        cache_capacity: opts.get_parse("cache-capacity", 1usize << 16)?,
+        search: SearchOptions::new().threads(opts.get_parse("threads", 1)?),
+        batch_linger: std::time::Duration::from_millis(opts.get_parse("linger-ms", 0u64)?),
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if config.cache_capacity == 0 {
+        return Err("--cache-capacity must be at least 1".into());
+    }
+    let synth = std::sync::Arc::new(Synthesizer::new(tables_from(opts, 4)?));
+    let wires = synth.wires();
+    let max_size = synth.max_size();
+    let server = revsynth_serve::Server::bind(synth, &config)?;
+    println!("listening on {}", server.local_addr());
+    println!(
+        "serving n = {wires} functions up to {max_size} gates \
+         ({} scheduler workers, {}-class cache)",
+        config.workers, config.cache_capacity
+    );
+    let stats = server.run()?;
+    println!("final stats: {}", stats.to_json());
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["port", "spec", "json", "stats", "shutdown"])?;
+    let addr = server_addr(opts)?;
+    let mut client = revsynth_serve::Client::connect(addr)?;
+    if opts.has("shutdown") {
+        client.shutdown_server()?;
+        println!("server at {addr} is shutting down");
+        return Ok(());
+    }
+    if let Some(spec) = opts.get("spec") {
+        let f = parse_spec(spec)?;
+        let start = Instant::now();
+        let circuit = client.query(f)?;
+        let elapsed = start.elapsed();
+        if opts.has("json") {
+            println!(
+                "{{\"function\": \"{f}\", \"size\": {}, \"depth\": {}, \
+                 \"circuit\": \"{circuit}\", \"round_trip_us\": {}}}",
+                circuit.len(),
+                circuit.depth(),
+                elapsed.as_micros()
+            );
+        } else {
+            println!("function : {f}");
+            println!("size     : {} gates (provably minimal)", circuit.len());
+            println!("depth    : {}", circuit.depth());
+            println!("circuit  : {circuit}");
+            println!("round    : {elapsed:.2?}");
+        }
+        return Ok(());
+    }
+    // No --spec: fetch the stats snapshot (--stats makes it explicit).
+    let stats = client.stats()?;
+    if opts.has("json") {
+        println!("{}", stats.to_json());
+    } else {
+        println!("requests      : {}", stats.requests);
+        println!(
+            "cache         : {} hits / {} misses ({:.1}% hit rate), {}/{} classes, {} evictions",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.hit_rate() * 100.0,
+            stats.cached_classes,
+            stats.cache_capacity,
+            stats.evictions
+        );
+        println!(
+            "scheduler     : {} searches in {} batches (max batch {}), {} coalesced",
+            stats.searches, stats.batches, stats.max_batch, stats.coalesced
+        );
+        println!("errors        : {}", stats.errors);
+        println!(
+            "latency       : p50 {} µs, p99 {} µs",
+            stats.p50_latency_us, stats.p99_latency_us
+        );
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&[
+        "port",
+        "clients",
+        "requests",
+        "pool",
+        "max-len",
+        "seed",
+        "quick",
+        "expect-coalesced",
+        "json",
+    ])?;
+    let addr = server_addr(opts)?;
+    let seed: u64 = opts.get_parse("seed", 2010)?;
+    let defaults = if opts.has("quick") {
+        revsynth_serve::loadgen::LoadgenConfig::quick(seed)
+    } else {
+        revsynth_serve::loadgen::LoadgenConfig {
+            seed,
+            ..revsynth_serve::loadgen::LoadgenConfig::default()
+        }
+    };
+    let config = revsynth_serve::loadgen::LoadgenConfig {
+        clients: opts.get_parse("clients", defaults.clients)?,
+        requests_per_client: opts.get_parse("requests", defaults.requests_per_client)?,
+        pool: opts.get_parse("pool", defaults.pool)?,
+        max_len: opts.get_parse("max-len", defaults.max_len)?,
+        seed,
+    };
+    // Ask the server for its wire count so the pool is built on the
+    // right domain (a 4-wire pool against an n = 3 server would be
+    // rejected wholesale).
+    let wires = usize::try_from(revsynth_serve::Client::connect(addr)?.stats()?.wires)
+        .map_err(|_| "server reported a nonsense wire count")?;
+    if !(2..=4).contains(&wires) {
+        return Err(format!("server reported unsupported wire count {wires}").into());
+    }
+    let report = revsynth_serve::loadgen::run(addr, wires, &config)?;
+    if opts.has("json") {
+        println!(
+            "{{\"successes\": {}, \"errors\": {}, \"seconds\": {:.6}, \
+             \"throughput_qps\": {:.1}, \"coalesced\": {}, \"stats\": {}}}",
+            report.successes,
+            report.errors,
+            report.seconds,
+            report.throughput(),
+            report.coalesced,
+            report.stats.to_json()
+        );
+    } else {
+        println!(
+            "{} requests ({} clients × {} + {} rendezvous rounds) in {:.2?}: \
+             {} ok, {} errors, {:.1} q/s",
+            report.successes + report.errors,
+            config.clients,
+            config.requests_per_client,
+            config.pool,
+            std::time::Duration::from_secs_f64(report.seconds),
+            report.successes,
+            report.errors,
+            report.throughput()
+        );
+        println!("server stats: {}", report.stats.to_json());
+    }
+    if report.errors > 0 {
+        return Err(format!("{} of the load requests failed", report.errors).into());
+    }
+    if opts.has("expect-coalesced") && report.coalesced == 0 {
+        return Err("expected at least one coalesced request, saw none".into());
+    }
+    Ok(())
+}
+
 fn cmd_stats(opts: &Opts) -> CliResult {
     opts.reject_unknown(&["k", "n"])?;
     let k: usize = opts.get_parse("k", 6)?;
@@ -682,6 +904,50 @@ mod tests {
         .map(|s| (*s).to_owned())
         .collect();
         assert!(dispatch(&depth).is_ok());
+    }
+
+    #[test]
+    fn serve_query_loadgen_end_to_end() {
+        // Serve on an ephemeral port from a background thread, then
+        // exercise query (spec, stats, json) and loadgen against it,
+        // finishing with a shutdown — the CI smoke flow in miniature.
+        let synth = std::sync::Arc::new(Synthesizer::from_scratch(4, 2));
+        let server = revsynth_serve::Server::bind(synth, &revsynth_serve::ServerConfig::default())
+            .expect("bind");
+        let port = server.local_addr().port().to_string();
+        let handle = server.spawn();
+
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        assert!(dispatch(&to_args(&[
+            "query",
+            "--port",
+            &port,
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--json",
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--stats"])).is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--json"])).is_ok());
+        assert!(dispatch(&to_args(&[
+            "loadgen",
+            "--port",
+            &port,
+            "--quick",
+            "--max-len",
+            "4",
+            "--json",
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--shutdown"])).is_ok());
+        handle.join().expect("clean shutdown");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flags() {
+        assert!(dispatch(&["serve".to_owned(), "--bogus".to_owned(), "1".to_owned()]).is_err());
+        assert!(dispatch(&["query".to_owned(), "--workers".to_owned(), "1".to_owned()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! The class-keyed result cache: one cached circuit answers up to
+//! `2·n!` functions.
+//!
+//! Keys are **canonical representatives** ([`Symmetries::canonicalize`]),
+//! values are optimal circuits *for the representative*. A query is
+//! served by looking up its class's representative and replaying the
+//! cached circuit through the query's canonicalization witness
+//! ([`revsynth_canon::replay_for_witness`]) — wire relabeling plus gate
+//! reversal, both exact and cost-preserving — so a single search
+//! amortizes across the entire equivalence class, the reduction the
+//! paper's §3.2 builds the whole table scheme on.
+//!
+//! The cache is sharded (power-of-two shard count, shard chosen by a
+//! Wang hash of the packed representative) so concurrent connection
+//! handlers contend on `1/shards` of the keyspace, and each shard runs
+//! an exact LRU: a slab of entries threaded onto an intrusive
+//! doubly-linked recency list, O(1) for hit, insert and evict. Hit,
+//! miss, insertion and eviction counters are kept per shard and summed
+//! on snapshot.
+//!
+//! [`Symmetries::canonicalize`]: revsynth_canon::Symmetries::canonicalize
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use revsynth_circuit::Circuit;
+use revsynth_perm::{hash64shift, Perm};
+
+/// Index value marking "no entry" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// Aggregated cache counters (summed over shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found the class cached.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room (LRU within the key's shard).
+    pub evictions: u64,
+    /// Current resident entries.
+    pub len: u64,
+    /// Total configured capacity (entries, summed over shards).
+    pub capacity: u64,
+}
+
+/// One cached class: the representative's circuit in a slab slot,
+/// threaded onto the shard's recency list.
+struct Entry {
+    key: u64,
+    circuit: Circuit,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an exact LRU over a slab + hash map.
+struct Shard {
+    /// packed representative → slab index.
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most recently used entry, or [`NIL`] when empty.
+    head: usize,
+    /// Least recently used entry (the eviction victim), or [`NIL`].
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Unlinks `i` from the recency list (leaves its prev/next stale).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: u64, counted: bool) -> Option<Circuit> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                if counted {
+                    self.hits += 1;
+                }
+                if self.head != i {
+                    self.unlink(i);
+                    self.link_front(i);
+                }
+                Some(self.slab[i].circuit.clone())
+            }
+            None => {
+                if counted {
+                    self.misses += 1;
+                }
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, circuit: Circuit) {
+        if let Some(&i) = self.map.get(&key) {
+            // Concurrent searches of the same class can both insert; the
+            // circuits are equally minimal, keep the resident one fresh.
+            self.slab[i].circuit = circuit;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity ≥ 1 and the shard is full");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    key,
+                    circuit,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    circuit,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+        self.insertions += 1;
+    }
+}
+
+/// The sharded, class-keyed LRU circuit cache. `Sync`: every method
+/// takes `&self`.
+pub struct ClassCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_mask: u64,
+}
+
+impl ClassCache {
+    /// Default shard count: enough to keep a handful of connection
+    /// handler threads from serializing, small enough that per-shard
+    /// capacity stays meaningful at tiny total capacities.
+    const DEFAULT_SHARDS: usize = 8;
+
+    /// A cache holding at most (approximately) `capacity` class
+    /// circuits, split over the default shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (rounded up to a power of
+    /// two). Total capacity is split evenly; every shard holds at least
+    /// one entry, so the effective total is `max(capacity, shards)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `shards == 0`.
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(shards > 0, "shard count must be positive");
+        let shards = shards.next_power_of_two();
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ClassCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            shard_mask: (shards - 1) as u64,
+        }
+    }
+
+    fn shard_for(&self, rep: Perm) -> &Mutex<Shard> {
+        // hash64shift is also the FnTable slot hash; taking the TOP bits
+        // for the shard keeps the two partitions independent.
+        let h = hash64shift(rep.packed());
+        &self.shards[(h >> 32 & self.shard_mask) as usize]
+    }
+
+    /// Locks a shard, recovering from a poisoned mutex: a cache shard's
+    /// invariants are re-established on every operation, and the server
+    /// must keep answering even if some handler thread panicked.
+    fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The cached circuit for class representative `rep`, refreshing its
+    /// recency. Counts a hit or a miss.
+    #[must_use]
+    pub fn get(&self, rep: Perm) -> Option<Circuit> {
+        Self::lock(self.shard_for(rep)).get(rep.packed(), true)
+    }
+
+    /// Like [`get`](Self::get) (recency is refreshed) but without
+    /// touching the hit/miss counters. For re-checks of a lookup that
+    /// was already counted — the scheduler's post-miss double-check —
+    /// so one query never counts twice.
+    #[must_use]
+    pub fn get_quiet(&self, rep: Perm) -> Option<Circuit> {
+        Self::lock(self.shard_for(rep)).get(rep.packed(), false)
+    }
+
+    /// Caches `circuit` (which must compute `rep`) under `rep`, evicting
+    /// the shard's least-recently-used entry when full. Re-inserting an
+    /// existing key replaces the value without eviction.
+    pub fn insert(&self, rep: Perm, circuit: Circuit) {
+        Self::lock(self.shard_for(rep)).insert(rep.packed(), circuit);
+    }
+
+    /// Resident entry count (summed over shards).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).map.len()).sum()
+    }
+
+    /// Whether no classes are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters across all shards.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        let mut total = CacheCounters::default();
+        for shard in self.shards.iter() {
+            let s = Self::lock(shard);
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.len += s.map.len() as u64;
+            total.capacity += s.capacity as u64;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for ClassCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counters();
+        write!(
+            f,
+            "ClassCache({} shards, {}/{} entries, {} hits / {} misses, {} evictions)",
+            self.shards.len(),
+            c.len,
+            c.capacity,
+            c.hits,
+            c.misses,
+            c.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_circuit::Gate;
+
+    fn circuit_of(len: usize) -> Circuit {
+        Circuit::from_gates((0..len).map(|_| Gate::not(0).unwrap()))
+    }
+
+    /// Bijective Lehmer-code unranking: distinct `i < 16!` give distinct
+    /// permutations, so counter assertions never trip on collisions.
+    fn perm_of(i: u64) -> Perm {
+        let mut vals: Vec<u8> = (0..16).collect();
+        let mut rem = i;
+        for j in (1..16usize).rev() {
+            let idx = (rem % (j as u64 + 1)) as usize;
+            rem /= j as u64 + 1;
+            vals.swap(j, idx);
+        }
+        Perm::from_values(&vals).unwrap()
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = ClassCache::new(64);
+        let p = perm_of(1);
+        assert!(cache.get(p).is_none());
+        cache.insert(p, circuit_of(3));
+        assert_eq!(cache.get(p).unwrap().len(), 3);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.insertions, c.len), (1, 1, 1, 1));
+        assert!(c.capacity >= 64);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn single_shard_evicts_exact_lru_order() {
+        let cache = ClassCache::with_shards(3, 1);
+        let ps: Vec<Perm> = (0..4).map(perm_of).collect();
+        cache.insert(ps[0], circuit_of(0));
+        cache.insert(ps[1], circuit_of(1));
+        cache.insert(ps[2], circuit_of(2));
+        // Touch p0 so p1 becomes the LRU victim.
+        assert!(cache.get(ps[0]).is_some());
+        cache.insert(ps[3], circuit_of(3));
+        assert!(cache.get(ps[1]).is_none(), "LRU victim evicted");
+        assert!(cache.get(ps[0]).is_some());
+        assert!(cache.get(ps[2]).is_some());
+        assert!(cache.get(ps[3]).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn eviction_slots_are_reused() {
+        let cache = ClassCache::with_shards(2, 1);
+        for i in 0..50 {
+            cache.insert(perm_of(i), circuit_of((i % 7) as usize));
+        }
+        let c = cache.counters();
+        assert_eq!(c.len, 2);
+        assert_eq!(c.insertions, 50);
+        assert_eq!(c.evictions, 48);
+        // The slab never grew past capacity + nothing leaked: the two
+        // most recent survive.
+        assert!(cache.get(perm_of(49)).is_some());
+        assert!(cache.get(perm_of(48)).is_some());
+        assert!(cache.get(perm_of(0)).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let cache = ClassCache::with_shards(2, 1);
+        let p = perm_of(9);
+        cache.insert(p, circuit_of(1));
+        cache.insert(p, circuit_of(5));
+        assert_eq!(cache.get(p).unwrap().len(), 5);
+        assert_eq!(cache.counters().evictions, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let cache = ClassCache::with_shards(1024, 8);
+        for i in 0..200 {
+            cache.insert(perm_of(i), circuit_of(1));
+        }
+        assert_eq!(cache.len(), 200, "no cross-shard collisions lose entries");
+        for i in 0..200 {
+            assert!(cache.get(perm_of(i)).is_some(), "perm {i}");
+        }
+        // More than one shard must actually be populated.
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !ClassCache::lock(s).map.is_empty())
+            .count();
+        assert!(populated > 1, "hash must spread over shards");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        // Capacity above the total insert count: no evictions, so every
+        // get-after-insert must hit regardless of thread interleaving.
+        let cache = std::sync::Arc::new(ClassCache::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let p = perm_of(t * 100 + i);
+                        cache.insert(p, circuit_of(1));
+                        assert!(cache.get(p).is_some());
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.hits, 400);
+        assert_eq!(c.insertions, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ClassCache::new(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Blocking client for the synthesis service.
+//!
+//! One [`Client`] holds one TCP connection and issues requests
+//! synchronously (the protocol is strictly request/response per
+//! connection). Clients are cheap; open one per thread for concurrent
+//! load.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use revsynth_circuit::Circuit;
+use revsynth_perm::Perm;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
+};
+use crate::stats::ServeStats;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Protocol(ProtocolError),
+    /// The server answered with an error response (unsynthesizable
+    /// function, shutdown in progress, malformed request…).
+    Server(String),
+    /// The server answered with a response that does not match the
+    /// request (e.g. stats for a query) — a protocol bug or a hostile
+    /// server.
+    UnexpectedResponse,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedResponse => write!(f, "response does not match the request"),
+        }
+    }
+}
+
+impl Error for ClientError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// A blocking connection to a synthesis server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Default per-request timeout: generous enough for a cold search
+    /// on modest tables, finite so a dead server cannot hang a caller.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+    /// Connects with the [default timeout](Self::DEFAULT_TIMEOUT).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Self::connect_with_timeout(addr, Self::DEFAULT_TIMEOUT)
+    }
+
+    /// Connects with an explicit per-request read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request)).map_err(ProtocolError::Io)?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Synthesizes an optimal circuit for `f` on the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the server declines the query,
+    /// [`ClientError::Protocol`] on transport failure.
+    pub fn query(&mut self, f: Perm) -> Result<Circuit, ClientError> {
+        match self.round_trip(&Request::Query(f))? {
+            Response::Circuit(circuit) => Ok(circuit),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches the server's stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query).
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stream.peer_addr() {
+            Ok(addr) => write!(f, "Client({addr})"),
+            Err(_) => write!(f, "Client(disconnected)"),
+        }
+    }
+}

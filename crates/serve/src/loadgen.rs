@@ -1,0 +1,257 @@
+//! Closed-loop load generator for the synthesis service.
+//!
+//! Spawns `clients` threads, each with its own connection. Queries are
+//! drawn deterministically ([`revsynth_analysis::SplitMix64`], the
+//! workspace's standard offline RNG) from a pool of random NCT gate
+//! compositions and their **class members** — random wire relabelings
+//! and inversions — so the run exercises exactly what the service is
+//! built to amortize: many distinct functions, few distinct classes.
+//!
+//! The run has two phases:
+//!
+//! 1. **Rendezvous** — one round per pool class, all clients released
+//!    by a barrier, each querying a *different member of the same
+//!    class*. Every round lands several concurrent misses on one
+//!    canonical representative while its search is in flight, driving
+//!    the scheduler's coalescing path hard.
+//! 2. **Mixed** — `requests_per_client` random pool queries per client,
+//!    the steady-state cache-hit workload.
+//!
+//! Whether a rendezvous miss actually attaches to an in-flight search
+//! is ultimately a scheduling race; if none did, the run repeats the
+//! rendezvous phase on fresh classes up to twice more, so
+//! [`LoadgenReport::coalesced`] (the delta over the server's counter at
+//! run start) is a reliable CI signal — a broken coalescing path can
+//! never produce it, while a healthy one practically always does
+//! within the retries. Caveat: the signal needs searches slow enough to
+//! leave a window at all; on the 4-wire domain a cold class costs
+//! hundreds of microseconds to milliseconds and coalescing is
+//! essentially certain, while tiny domains (n = 3 at small k, ~10 µs a
+//! search) may legitimately never coalesce — don't gate on the counter
+//! there.
+//!
+//! Every response circuit is verified to compute the queried
+//! permutation before it counts as a success.
+
+use std::net::SocketAddr;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use revsynth_analysis::{Rng, SplitMix64};
+use revsynth_circuit::{Circuit, GateLib};
+use revsynth_perm::{Perm, WirePerm};
+
+use crate::client::{Client, ClientError};
+use crate::stats::ServeStats;
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Mixed-phase requests issued per client (each client additionally
+    /// issues one rendezvous request per pool class).
+    pub requests_per_client: usize,
+    /// Distinct base functions in the query pool (distinct classes,
+    /// up to canonical collisions).
+    pub pool: usize,
+    /// Maximum gate count of a pool function. Keep at or below the
+    /// server's `2k` reach or beyond-reach errors will be counted.
+    pub max_len: usize,
+    /// RNG seed for pool construction and query order.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            requests_per_client: 100,
+            pool: 8,
+            max_len: 6,
+            seed: 2010,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Smoke-test scale: 3 clients × 20 requests over a 3-class pool —
+    /// small enough for a 1-CPU CI runner, concurrent enough that the
+    /// rendezvous rounds reliably coalesce same-class misses.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        LoadgenConfig {
+            clients: 3,
+            requests_per_client: 20,
+            pool: 3,
+            max_len: 5,
+            seed,
+        }
+    }
+}
+
+/// Outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests that returned a verified circuit.
+    pub successes: u64,
+    /// Requests that returned an error (server- or transport-level),
+    /// including responses whose circuit failed verification.
+    pub errors: u64,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+    /// Requests that coalesced onto an in-flight search **during this
+    /// run** (delta over the server's counter at run start).
+    pub coalesced: u64,
+    /// Server stats snapshot taken after the run.
+    pub stats: ServeStats,
+}
+
+impl LoadgenReport {
+    /// Verified requests per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.successes as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Builds the query pool: `pool` base functions (random gate strings on
+/// `n` wires), then for each a list of class members produced by random
+/// relabelings/inversions. Deterministic in `seed`.
+fn build_pool(n: usize, config: &LoadgenConfig, seed: u64) -> Vec<Vec<Perm>> {
+    let lib = GateLib::nct(n);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let relabelings: Vec<WirePerm> = WirePerm::all()
+        .into_iter()
+        .filter(|w| w.fixes_wires_from(n))
+        .collect();
+    let mut rng = SplitMix64::new(seed);
+    (0..config.pool)
+        .map(|_| {
+            // Base functions use the full max_len: longer compositions
+            // mean deeper (slower) first searches, which is exactly what
+            // holds the coalescing window open during rendezvous rounds.
+            let base = Circuit::from_gates(
+                (0..config.max_len).map(|_| gates[rng.next_u64() as usize % gates.len()]),
+            )
+            .perm(n);
+            // A handful of members per base: enough variety that warm
+            // queries are usually *different functions* of a cached
+            // class.
+            (0..8)
+                .map(|_| {
+                    let sigma = relabelings[rng.next_u64() as usize % relabelings.len()];
+                    let member = base.conjugate_by_wires(sigma);
+                    if rng.next_u64() & 1 == 0 {
+                        member
+                    } else {
+                        member.inverse()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One pass of the two client phases over `pool`; `mixed` enables
+/// phase 2. Returns summed `(successes, errors)`.
+fn run_phases(
+    addr: SocketAddr,
+    wires: usize,
+    config: &LoadgenConfig,
+    pool: &[Vec<Perm>],
+    mixed: bool,
+) -> Result<(u64, u64), ClientError> {
+    let barrier = Barrier::new(config.clients);
+    let per_client: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let barrier = &barrier;
+                scope.spawn(move || -> Result<(u64, u64), ClientError> {
+                    let mut client = Client::connect(addr)?;
+                    let mut rng =
+                        SplitMix64::new(config.seed ^ (c as u64).wrapping_mul(0xA5A5_A5A5));
+                    let mut successes = 0u64;
+                    let mut errors = 0u64;
+                    let mut check = |result: Result<Circuit, ClientError>, f: Perm| match result {
+                        Ok(circuit) if circuit.perm(wires) == f => successes += 1,
+                        Ok(_) | Err(_) => errors += 1,
+                    };
+                    // Phase 1: rendezvous rounds, one per pool class —
+                    // all clients hit distinct members of the same
+                    // cold class at once.
+                    for (round, class) in pool.iter().enumerate() {
+                        barrier.wait();
+                        let f = class[(c + round) % class.len()];
+                        check(client.query(f), f);
+                    }
+                    if mixed {
+                        // Phase 2: mixed steady-state traffic.
+                        barrier.wait();
+                        for _ in 0..config.requests_per_client {
+                            let class = &pool[rng.next_u64() as usize % pool.len()];
+                            let f = class[rng.next_u64() as usize % class.len()];
+                            check(client.query(f), f);
+                        }
+                    }
+                    Ok((successes, errors))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client must not panic"))
+            .collect::<Result<_, _>>()
+    })?;
+    Ok(per_client
+        .iter()
+        .fold((0, 0), |(s, e), &(cs, ce)| (s + cs, e + ce)))
+}
+
+/// Runs the load against a server and snapshots its stats afterwards.
+///
+/// `wires` must match the server's wire count (pool functions are built
+/// on that domain; [`Client::stats`] reports it as
+/// [`ServeStats::wires`]).
+///
+/// # Errors
+///
+/// Fails only on setup (connecting clients, fetching stats);
+/// per-request failures are *counted* in the report instead.
+pub fn run(
+    addr: SocketAddr,
+    wires: usize,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, ClientError> {
+    let baseline = Client::connect(addr)?.stats()?;
+    let start = Instant::now();
+    let pool = build_pool(wires, config, config.seed);
+    let (mut successes, mut errors) = run_phases(addr, wires, config, &pool, true)?;
+    let mut stats = Client::connect(addr)?.stats()?;
+    // The rendezvous race can, in principle, resolve every miss before
+    // a sibling arrives; re-roll on fresh classes a bounded number of
+    // times so the coalescing signal is reliable without masking a
+    // genuinely broken path (which would never coalesce).
+    for retry in 1..=2u64 {
+        if stats.coalesced > baseline.coalesced {
+            break;
+        }
+        let fresh = build_pool(wires, config, config.seed.wrapping_add(retry));
+        let (s, e) = run_phases(addr, wires, config, &fresh, false)?;
+        successes += s;
+        errors += e;
+        stats = Client::connect(addr)?.stats()?;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(LoadgenReport {
+        successes,
+        errors,
+        seconds,
+        coalesced: stats.coalesced - baseline.coalesced,
+        stats,
+    })
+}

@@ -1,0 +1,629 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one **frame**:
+//!
+//! ```text
+//! length   4 B  little-endian u32, length of the payload that follows
+//! payload  length B
+//! ```
+//!
+//! The payload's first byte is an opcode; the rest is the opcode's body.
+//! Frames are capped at [`MAX_FRAME_LEN`] bytes — an oversized length
+//! prefix is rejected *before* any allocation or read, so a hostile
+//! 4-byte header cannot balloon memory or stall a connection. Requests:
+//!
+//! | opcode | body | meaning |
+//! |---|---|---|
+//! | `0x01` Query | 16 bytes, `f(0)..f(15)` | synthesize this permutation |
+//! | `0x02` Stats | empty | snapshot the server counters |
+//! | `0x03` Shutdown | empty | gracefully stop the server |
+//!
+//! Responses:
+//!
+//! | opcode | body | meaning |
+//! |---|---|---|
+//! | `0x80` Circuit | u16 LE gate count, then 1 B per gate | the optimal circuit |
+//! | `0x81` Error | UTF-8 message | request-level failure |
+//! | `0x82` Stats | 13 × u64 LE | [`ServeStats`] snapshot |
+//! | `0x83` ShuttingDown | empty | shutdown acknowledged |
+//!
+//! Gates use the same 1-byte encoding as the table store:
+//! `(controls << 2) | target` with bit 7 clear. Decoding validates
+//! everything — opcode, body length, permutation values, gate bytes —
+//! and returns a typed [`ProtocolError`]; malformed input can produce an
+//! error response or a dropped connection, never a panic or a hang.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use revsynth_circuit::{Circuit, Gate};
+use revsynth_perm::Perm;
+
+use crate::stats::ServeStats;
+
+/// Hard cap on a frame's payload length. Far above any legitimate
+/// message (the largest is a stats response at ~100 bytes) but small
+/// enough that a hostile length prefix cannot cause a large allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 16;
+
+/// Request opcodes.
+const OP_QUERY: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_SHUTDOWN: u8 = 0x03;
+
+/// Response opcodes.
+const OP_CIRCUIT: u8 = 0x80;
+const OP_ERROR: u8 = 0x81;
+const OP_STATS_REPLY: u8 = 0x82;
+const OP_SHUTTING_DOWN: u8 = 0x83;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Synthesize an optimal circuit for this permutation.
+    Query(Perm),
+    /// Snapshot the server's [`ServeStats`].
+    Stats,
+    /// Stop the server gracefully.
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The optimal circuit for a query.
+    Circuit(Circuit),
+    /// A request-level failure (unsynthesizable function, shutdown in
+    /// progress, malformed request…).
+    Error(String),
+    /// The counter snapshot answering a stats request.
+    Stats(ServeStats),
+    /// Acknowledges a shutdown request; the server closes afterwards.
+    ShuttingDown,
+}
+
+/// Error raised while reading or decoding protocol traffic.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket failure (includes a peer closing mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is zero).
+    BadLength(u32),
+    /// The payload's opcode byte is not a known message.
+    BadOpcode(u8),
+    /// The body does not match the opcode's expected shape.
+    BadBody(String),
+}
+
+impl ProtocolError {
+    /// Whether the error is a clean end-of-stream before any frame byte
+    /// was read — a peer hanging up between requests, not a protocol
+    /// violation.
+    #[must_use]
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, ProtocolError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::BadLength(len) => {
+                write!(f, "frame length {len} outside 1..={MAX_FRAME_LEN}")
+            }
+            ProtocolError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::BadBody(msg) => write!(f, "malformed body: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Reads one frame's payload. Validates the length prefix before
+/// allocating, so a hostile prefix costs four bytes of reading and
+/// nothing else.
+///
+/// # Errors
+///
+/// [`ProtocolError::Io`] on socket failure or truncation,
+/// [`ProtocolError::BadLength`] when the prefix is zero or oversized.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, ProtocolError> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ProtocolError::BadLength(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Incremental frame reader for sockets with a **read timeout**.
+///
+/// A plain [`read_frame`] on a timed-out socket would lose the bytes a
+/// partial `read_exact` consumed and desynchronize the stream. This
+/// reader accumulates whatever arrives into an internal buffer, so a
+/// poll timeout ([`FrameReader::poll_frame`] returning `Ok(None)`) is
+/// always resumable, and pipelined frames that arrive in one TCP
+/// segment are handed out one at a time. The length prefix is validated
+/// as soon as its four bytes are present — before the payload is
+/// buffered — so an oversized prefix is rejected without allocation.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a readable stream (typically a `TcpStream` with a read
+    /// timeout set).
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Whether a clean end-of-stream here would fall on a frame
+    /// boundary (no partial frame is buffered).
+    #[must_use]
+    pub fn at_frame_boundary(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Tries to complete the next frame. Returns:
+    ///
+    /// * `Ok(Some(payload))` — a full frame arrived;
+    /// * `Ok(None)` — the read timed out with no complete frame; call
+    ///   again, no bytes are lost;
+    /// * `Err(_)` — end of stream (clean or mid-frame; see
+    ///   [`at_frame_boundary`](Self::at_frame_boundary)), a socket
+    ///   error, or an invalid length prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] with kind `UnexpectedEof` when the peer
+    /// closed, [`ProtocolError::BadLength`] on a hostile prefix, any
+    /// other [`ProtocolError::Io`] on socket failure.
+    pub fn poll_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+                if len == 0 || len > MAX_FRAME_LEN {
+                    return Err(ProtocolError::BadLength(len));
+                }
+                let target = 4 + len as usize;
+                if self.buf.len() >= target {
+                    let payload = self.buf[4..target].to_vec();
+                    self.buf.drain(..target);
+                    return Ok(Some(payload));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ProtocolError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        if self.buf.is_empty() {
+                            "peer closed between frames"
+                        } else {
+                            "peer closed mid-frame"
+                        },
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(ProtocolError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — encoders never
+/// produce such frames.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame fits u32");
+    assert!(
+        (1..=MAX_FRAME_LEN).contains(&len),
+        "encoder produced an invalid frame length {len}"
+    );
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Encodes a request into a frame payload.
+#[must_use]
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    match request {
+        Request::Query(f) => {
+            let mut payload = Vec::with_capacity(17);
+            payload.push(OP_QUERY);
+            payload.extend_from_slice(&f.values());
+            payload
+        }
+        Request::Stats => vec![OP_STATS],
+        Request::Shutdown => vec![OP_SHUTDOWN],
+    }
+}
+
+/// Decodes a frame payload into a request.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadOpcode`] / [`ProtocolError::BadBody`] on any
+/// malformed payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let (&op, body) = payload
+        .split_first()
+        .ok_or(ProtocolError::BadBody("empty payload".into()))?;
+    match op {
+        OP_QUERY => {
+            if body.len() != 16 {
+                return Err(ProtocolError::BadBody(format!(
+                    "query body is {} bytes, expected 16",
+                    body.len()
+                )));
+            }
+            let perm = Perm::from_values(body)
+                .map_err(|e| ProtocolError::BadBody(format!("query permutation: {e}")))?;
+            Ok(Request::Query(perm))
+        }
+        OP_STATS if body.is_empty() => Ok(Request::Stats),
+        OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
+        OP_STATS | OP_SHUTDOWN => Err(ProtocolError::BadBody(format!(
+            "opcode {op:#04x} takes no body, got {} bytes",
+            body.len()
+        ))),
+        other => Err(ProtocolError::BadOpcode(other)),
+    }
+}
+
+/// Encodes a response into a frame payload.
+#[must_use]
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    match response {
+        Response::Circuit(circuit) => {
+            let mut payload = Vec::with_capacity(3 + circuit.len());
+            payload.push(OP_CIRCUIT);
+            let count = u16::try_from(circuit.len()).expect("circuit fits u16");
+            payload.extend_from_slice(&count.to_le_bytes());
+            for g in circuit.iter() {
+                payload.push((g.controls() << 2) | g.target());
+            }
+            payload
+        }
+        Response::Error(msg) => {
+            let mut payload = Vec::with_capacity(1 + msg.len());
+            payload.push(OP_ERROR);
+            payload.extend_from_slice(msg.as_bytes());
+            payload
+        }
+        Response::Stats(stats) => {
+            let mut payload = Vec::with_capacity(1 + 8 * ServeStats::FIELDS);
+            payload.push(OP_STATS_REPLY);
+            for v in stats.to_words() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            payload
+        }
+        Response::ShuttingDown => vec![OP_SHUTTING_DOWN],
+    }
+}
+
+/// Decodes a frame payload into a response.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadOpcode`] / [`ProtocolError::BadBody`] on any
+/// malformed payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let (&op, body) = payload
+        .split_first()
+        .ok_or(ProtocolError::BadBody("empty payload".into()))?;
+    match op {
+        OP_CIRCUIT => {
+            if body.len() < 2 {
+                return Err(ProtocolError::BadBody("circuit body too short".into()));
+            }
+            let count = usize::from(u16::from_le_bytes([body[0], body[1]]));
+            let gates = &body[2..];
+            if gates.len() != count {
+                return Err(ProtocolError::BadBody(format!(
+                    "circuit declares {count} gates but carries {}",
+                    gates.len()
+                )));
+            }
+            let mut circuit = Circuit::new();
+            for (i, &byte) in gates.iter().enumerate() {
+                if byte & 0x80 != 0 {
+                    return Err(ProtocolError::BadBody(format!(
+                        "gate byte {i} has bit 7 set"
+                    )));
+                }
+                // No mask on the control bits: Gate::new rejects a set
+                // bit 6 (control out of range) instead of silently
+                // aliasing bytes 0x40..=0x7F onto valid gates.
+                let gate = Gate::new(byte >> 2, byte & 0x03)
+                    .map_err(|e| ProtocolError::BadBody(format!("gate byte {i}: {e}")))?;
+                circuit.push(gate);
+            }
+            Ok(Response::Circuit(circuit))
+        }
+        OP_ERROR => {
+            let msg = std::str::from_utf8(body)
+                .map_err(|_| ProtocolError::BadBody("error message is not UTF-8".into()))?;
+            Ok(Response::Error(msg.to_owned()))
+        }
+        OP_STATS_REPLY => {
+            if body.len() != 8 * ServeStats::FIELDS {
+                return Err(ProtocolError::BadBody(format!(
+                    "stats body is {} bytes, expected {}",
+                    body.len(),
+                    8 * ServeStats::FIELDS
+                )));
+            }
+            let mut words = [0u64; ServeStats::FIELDS];
+            for (i, chunk) in body.chunks_exact(8).enumerate() {
+                words[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            Ok(Response::Stats(ServeStats::from_words(&words)))
+        }
+        OP_SHUTTING_DOWN if body.is_empty() => Ok(Response::ShuttingDown),
+        OP_SHUTTING_DOWN => Err(ProtocolError::BadBody(
+            "shutdown acknowledgement takes no body".into(),
+        )),
+        other => Err(ProtocolError::BadOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+        for req in [Request::Query(f), Request::Stats, Request::Shutdown] {
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let circuit: Circuit = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".parse().unwrap();
+        let stats = ServeStats {
+            wires: 4,
+            requests: 7,
+            cache_hits: 3,
+            cache_misses: 4,
+            coalesced: 2,
+            searches: 4,
+            batches: 1,
+            max_batch: 4,
+            evictions: 1,
+            errors: 0,
+            cached_classes: 3,
+            cache_capacity: 64,
+            p50_latency_us: 12,
+            p99_latency_us: 900,
+        };
+        for resp in [
+            Response::Circuit(circuit),
+            Response::Circuit(Circuit::new()),
+            Response::Error("no circuit with at most 6 gates".into()),
+            Response::Stats(stats),
+            Response::ShuttingDown,
+        ] {
+            let payload = encode_response(&resp);
+            assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrips_over_a_buffer() {
+        let payload = encode_request(&Request::Stats);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected_before_reading() {
+        for len in [0u32, MAX_FRAME_LEN + 1, u32::MAX] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.extend_from_slice(&[0u8; 8]);
+            let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+            assert!(matches!(err, ProtocolError::BadLength(l) if l == len));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        // Length prefix cut short.
+        let err = read_frame(&mut io::Cursor::new(vec![5u8, 0])).unwrap_err();
+        assert!(err.is_clean_eof() || matches!(err, ProtocolError::Io(_)));
+        // Payload cut short.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)));
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_errors_never_panics() {
+        // Every 1- and 2-byte payload, plus assorted longer garbage: the
+        // decoders must return a typed error or a valid message.
+        for a in 0..=255u8 {
+            let _ = decode_request(&[a]);
+            let _ = decode_response(&[a]);
+            for b in [0u8, 1, 16, 127, 128, 255] {
+                let _ = decode_request(&[a, b]);
+                let _ = decode_response(&[a, b]);
+            }
+        }
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[]).is_err());
+        // A query with a non-permutation body.
+        let mut bad = vec![OP_QUERY];
+        bad.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_request(&bad).unwrap_err(),
+            ProtocolError::BadBody(_)
+        ));
+        // A circuit whose declared count disagrees with its bytes.
+        let bad = vec![OP_CIRCUIT, 5, 0, 1, 2];
+        assert!(decode_response(&bad).is_err());
+    }
+
+    #[test]
+    fn gate_bytes_with_bit_6_set_are_rejected_not_aliased() {
+        // 0x44 = bit 6 + gate 0x04's bits: a masked decode would
+        // silently turn it into a different valid gate.
+        for byte in [0x40u8, 0x44, 0x7F] {
+            let payload = vec![OP_CIRCUIT, 1, 0, byte];
+            assert!(
+                matches!(
+                    decode_response(&payload).unwrap_err(),
+                    ProtocolError::BadBody(_)
+                ),
+                "byte {byte:#04x} must not decode"
+            );
+        }
+    }
+
+    /// A reader that yields its script one item per call: `Ok(bytes)`
+    /// chunks, or a timeout error, simulating a trickling client.
+    struct Script {
+        items: std::collections::VecDeque<io::Result<Vec<u8>>>,
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.items.pop_front() {
+                Some(Ok(bytes)) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(e)) => Err(e),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        // A frame trickling in around read timeouts must reassemble
+        // exactly — the regression a plain read_exact loop fails.
+        let payload = encode_request(&Request::Stats);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let (head, tail) = wire.split_at(3);
+        let timeout = || io::Error::new(io::ErrorKind::WouldBlock, "poll");
+        let mut reader = FrameReader::new(Script {
+            items: [
+                Err(timeout()),
+                Ok(head.to_vec()),
+                Err(timeout()),
+                Ok(tail.to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        assert!(
+            reader.poll_frame().unwrap().is_none(),
+            "first poll times out"
+        );
+        assert!(
+            reader.poll_frame().unwrap().is_none(),
+            "partial frame pends"
+        );
+        assert!(!reader.at_frame_boundary());
+        assert_eq!(reader.poll_frame().unwrap().unwrap(), payload);
+        assert!(reader.at_frame_boundary());
+    }
+
+    #[test]
+    fn frame_reader_splits_pipelined_frames() {
+        let a = encode_request(&Request::Stats);
+        let b = encode_request(&Request::Shutdown);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut reader = FrameReader::new(Script {
+            items: [Ok(wire)].into_iter().collect(),
+        });
+        assert_eq!(reader.poll_frame().unwrap().unwrap(), a);
+        assert_eq!(reader.poll_frame().unwrap().unwrap(), b);
+        let err = reader.poll_frame().unwrap_err();
+        assert!(err.is_clean_eof());
+    }
+
+    #[test]
+    fn frame_reader_rejects_bad_length_without_buffering_payload() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0xAB; 32]);
+        let mut reader = FrameReader::new(Script {
+            items: [Ok(wire)].into_iter().collect(),
+        });
+        assert!(matches!(
+            reader.poll_frame().unwrap_err(),
+            ProtocolError::BadLength(l) if l == u32::MAX
+        ));
+    }
+
+    #[test]
+    fn frame_reader_distinguishes_mid_frame_close() {
+        let mut reader = FrameReader::new(Script {
+            items: [Ok(vec![9, 0, 0, 0, 1, 2])].into_iter().collect(),
+        });
+        let err = reader.poll_frame().unwrap_err();
+        assert!(err.is_clean_eof(), "kind is UnexpectedEof");
+        assert!(!reader.at_frame_boundary(), "but a frame was in flight");
+    }
+
+    #[test]
+    fn query_rejects_wrong_body_lengths() {
+        for len in [0usize, 1, 15, 17, 64] {
+            let mut payload = vec![OP_QUERY];
+            payload.extend(std::iter::repeat_n(0u8, len));
+            assert!(decode_request(&payload).is_err(), "body length {len}");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The TCP synthesis server: accept loop, per-connection handlers, the
+//! stats endpoint and graceful shutdown.
+//!
+//! A query's hot path is: read frame → decode → canonicalize
+//! ([`Symmetries::canonicalize`], ~750 instructions) → [`ClassCache`]
+//! lookup → replay the cached representative circuit through the
+//! witness ([`replay_for_witness`]) → write frame. No search, no table
+//! probe: the warm path's cost is two syscalls and a few microseconds of
+//! CPU. Only cache misses reach the [`Scheduler`], where concurrent
+//! misses for one class coalesce into a single batched search.
+//!
+//! Each accepted connection gets its own handler thread; handlers read
+//! with a short poll timeout so a quiescent connection notices server
+//! shutdown within [`POLL_INTERVAL`] rather than holding the join. A
+//! malformed frame produces one error response (when the violation is
+//! recoverable in-stream) or a dropped connection — the accept loop
+//! itself never sees client bytes and cannot be hung or crashed by
+//! them.
+//!
+//! Shutdown: any client may send a shutdown frame. The flag flips, the
+//! acceptor is unblocked with a self-connection, handlers drain, the
+//! scheduler completes in-flight batches and fails queued ones, and
+//! [`Server::run`] returns the final [`ServeStats`].
+//!
+//! [`Symmetries::canonicalize`]: revsynth_canon::Symmetries::canonicalize
+//! [`replay_for_witness`]: revsynth_canon::replay_for_witness
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use revsynth_canon::replay_for_witness;
+use revsynth_core::{SearchOptions, Synthesizer};
+use revsynth_perm::Perm;
+
+use crate::cache::ClassCache;
+use crate::protocol::{self, write_frame, FrameReader, Request, Response};
+use crate::scheduler::Scheduler;
+use crate::stats::{LatencyHistogram, ServeStats};
+
+/// How often an idle connection handler re-checks the shutdown flag.
+/// Bounds both shutdown latency and the cost of parked connections.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Loopback port to bind (0 picks a free port; see
+    /// [`Server::local_addr`]).
+    pub port: u16,
+    /// Scheduler worker threads (each runs batched searches).
+    pub workers: usize,
+    /// Class-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Search options for the batched synthesizer calls (thread count,
+    /// invariant gate, probe depth).
+    pub search: SearchOptions,
+    /// Scheduler group-commit window: a worker that finds a queued miss
+    /// waits this long before draining, so near-simultaneous misses
+    /// form one batch and same-class misses reliably coalesce. Zero
+    /// (the default) drains immediately — lowest cold latency, batches
+    /// only form under genuine queueing.
+    pub batch_linger: Duration,
+}
+
+impl Default for ServerConfig {
+    /// One worker, a 64k-class cache, serial searches, no linger, an
+    /// ephemeral port.
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 1,
+            cache_capacity: 1 << 16,
+            search: SearchOptions::new().threads(1),
+            batch_linger: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared state every connection handler sees.
+struct Shared {
+    synth: Arc<Synthesizer>,
+    cache: Arc<ClassCache>,
+    scheduler: Scheduler,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServeStats {
+        let cache = self.cache.counters();
+        let sched = self.scheduler.counters();
+        ServeStats {
+            wires: self.synth.wires() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            coalesced: sched.coalesced,
+            searches: sched.searches,
+            batches: sched.batches,
+            max_batch: sched.max_batch,
+            evictions: cache.evictions,
+            errors: self.errors.load(Ordering::Relaxed),
+            cached_classes: cache.len,
+            cache_capacity: cache.capacity,
+            p50_latency_us: self.latency.quantile(0.5),
+            p99_latency_us: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A bound (not yet running) synthesis server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a server running on a background thread
+/// ([`Server::spawn`]); joining returns the final stats.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<io::Result<ServeStats>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down and returns its final stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accept loop's I/O error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread itself panicked.
+    pub fn join(self) -> io::Result<ServeStats> {
+        self.thread.join().expect("server thread must not panic")
+    }
+}
+
+impl Server {
+    /// Binds the loopback listener and starts the scheduler workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (e.g. the port is taken).
+    pub fn bind(synth: Arc<Synthesizer>, config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(ClassCache::new(config.cache_capacity));
+        let scheduler = Scheduler::with_linger(
+            Arc::clone(&synth),
+            Arc::clone(&cache),
+            config.workers,
+            config.search,
+            config.batch_linger,
+        );
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                synth,
+                cache,
+                scheduler,
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                latency: LatencyHistogram::new(),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop on the calling thread until a shutdown
+    /// request arrives, then drains handlers and workers and returns
+    /// the final stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (per-connection errors are
+    /// contained in their handlers).
+    pub fn run(self) -> io::Result<ServeStats> {
+        let Server { listener, shared } = self;
+        // Only the accept loop touches this list; handlers are joined
+        // after the loop exits.
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient accept errors (e.g. a peer that reset before
+                // the handshake finished) must not kill the server.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            let shared = Arc::clone(&shared);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(&shared, stream)
+            }));
+            // Reap finished handlers so long-running servers don't
+            // accumulate join handles.
+            handlers.retain(|h| !h.is_finished());
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        shared.scheduler.shutdown();
+        Ok(shared.snapshot())
+    }
+
+    /// Runs the server on a background thread; the returned handle
+    /// exposes the bound address and joins to the final stats.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        ServerHandle {
+            addr,
+            thread: std::thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Serves one connection until the peer hangs up, a fatal protocol
+/// violation occurs, or the server shuts down. Never panics on client
+/// bytes.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // Short read timeouts turn a parked read into a periodic
+    // shutdown-flag check (the FrameReader buffers partial frames across
+    // timeouts, so polling never desynchronizes the stream); NODELAY
+    // because frames are tiny and latency-sensitive.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = FrameReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = io::BufWriter::new(stream);
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match reader.poll_frame() {
+            Ok(Some(p)) => p,
+            // Poll tick on an idle (or trickling) connection.
+            Ok(None) => continue,
+            Err(e) => {
+                // Truncated/oversized framing: answer when the peer may
+                // still be reading, then drop the connection — an
+                // arbitrary byte stream cannot be resynchronized. A
+                // clean close between frames is just a hang-up.
+                if !(e.is_clean_eof() && reader.at_frame_boundary()) {
+                    let _ = write_frame(
+                        &mut writer,
+                        &protocol::encode_response(&Response::Error(e.to_string())),
+                    );
+                }
+                return;
+            }
+        };
+        let request = match protocol::decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame boundary is intact: report and keep serving.
+                let _ = write_frame(
+                    &mut writer,
+                    &protocol::encode_response(&Response::Error(e.to_string())),
+                );
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Query(f) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let response = answer_query(shared, f);
+                let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                shared.latency.record(elapsed);
+                if matches!(response, Response::Error(_)) {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                response
+            }
+            Request::Stats => Response::Stats(shared.snapshot()),
+            Request::Shutdown => {
+                let _ = write_frame(
+                    &mut writer,
+                    &protocol::encode_response(&Response::ShuttingDown),
+                );
+                initiate_shutdown(shared);
+                return;
+            }
+        };
+        if write_frame(&mut writer, &protocol::encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+/// The query hot path: canonicalize, cache, replay — scheduler only on
+/// a miss.
+fn answer_query(shared: &Shared, f: Perm) -> Response {
+    let n = shared.synth.wires();
+    for x in (1u8 << n)..16 {
+        if f.apply(x) != x {
+            return Response::Error(format!(
+                "function moves point {x}, outside the {n}-wire domain"
+            ));
+        }
+    }
+    let w = shared.synth.tables().sym().canonicalize(f);
+    let rep_circuit = match shared.cache.get(w.rep) {
+        Some(circuit) => circuit,
+        None => match shared.scheduler.request(w.rep) {
+            Ok(circuit) => circuit,
+            Err(e) => return Response::Error(e.to_string()),
+        },
+    };
+    Response::Circuit(replay_for_witness(&rep_circuit, &w))
+}
+
+/// Flips the shutdown flag and unblocks the acceptor with a
+/// self-connection (the accept loop re-checks the flag per accept).
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}

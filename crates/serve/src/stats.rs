@@ -1,0 +1,339 @@
+//! Service counters: the [`ServeStats`] snapshot and the latency
+//! histogram behind its p50/p99 fields.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of the server's counters, answered over the
+/// wire by a stats request.
+///
+/// Every domain-valid query counts exactly one cache hit or miss, so
+/// `cache_hits + cache_misses == requests − (domain-error requests)`
+/// for any quiescent snapshot (in-flight requests may be counted on one
+/// side but not yet the other). `searches` counts class representatives
+/// submitted to the synthesizer — the number the warm path must keep
+/// **flat**: a cache hit answers a query with zero searches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// The server's wire count (clients use it to build domain-valid
+    /// queries, e.g. the load generator's pool).
+    pub wires: u64,
+    /// Query requests received (stats/shutdown frames are not counted).
+    pub requests: u64,
+    /// Queries answered by replaying a cached class circuit.
+    pub cache_hits: u64,
+    /// Queries whose class was not cached (each one reaches the
+    /// scheduler).
+    pub cache_misses: u64,
+    /// Cache misses that attached to an already in-flight search for the
+    /// same canonical representative instead of scheduling their own.
+    pub coalesced: u64,
+    /// Class representatives submitted to [`Synthesizer::synthesize_many`]
+    /// (one per class actually searched, however many requests wanted it).
+    ///
+    /// [`Synthesizer::synthesize_many`]: revsynth_core::Synthesizer::synthesize_many
+    pub searches: u64,
+    /// Batches drained by the scheduler's workers.
+    pub batches: u64,
+    /// Largest batch drained so far.
+    pub max_batch: u64,
+    /// Cache entries evicted to make room.
+    pub evictions: u64,
+    /// Query requests answered with an error response.
+    pub errors: u64,
+    /// Classes currently resident in the cache.
+    pub cached_classes: u64,
+    /// The cache's configured capacity (entries).
+    pub cache_capacity: u64,
+    /// Median request service latency, microseconds (bucketed; see
+    /// [`LatencyHistogram`]).
+    pub p50_latency_us: u64,
+    /// 99th-percentile request service latency, microseconds.
+    pub p99_latency_us: u64,
+}
+
+impl ServeStats {
+    /// Number of `u64` words in the wire encoding.
+    pub const FIELDS: usize = 14;
+
+    /// The wire encoding order (field order above).
+    #[must_use]
+    pub fn to_words(&self) -> [u64; Self::FIELDS] {
+        [
+            self.wires,
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.searches,
+            self.batches,
+            self.max_batch,
+            self.evictions,
+            self.errors,
+            self.cached_classes,
+            self.cache_capacity,
+            self.p50_latency_us,
+            self.p99_latency_us,
+        ]
+    }
+
+    /// Inverse of [`to_words`](Self::to_words).
+    #[must_use]
+    pub fn from_words(words: &[u64; Self::FIELDS]) -> Self {
+        ServeStats {
+            wires: words[0],
+            requests: words[1],
+            cache_hits: words[2],
+            cache_misses: words[3],
+            coalesced: words[4],
+            searches: words[5],
+            batches: words[6],
+            max_batch: words[7],
+            evictions: words[8],
+            errors: words[9],
+            cached_classes: words[10],
+            cache_capacity: words[11],
+            p50_latency_us: words[12],
+            p99_latency_us: words[13],
+        }
+    }
+
+    /// Cache hit rate over answered queries (0 when nothing was served).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let answered = self.cache_hits + self.cache_misses;
+        if answered == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / answered as f64
+        }
+    }
+
+    /// Renders the snapshot as a single-line JSON object (field order
+    /// matches the wire encoding; `hit_rate` is appended for
+    /// convenience).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"wires\": {}, \"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"coalesced\": {}, \"searches\": {}, \"batches\": {}, \
+             \"max_batch\": {}, \"evictions\": {}, \"errors\": {}, \
+             \"cached_classes\": {}, \"cache_capacity\": {}, \
+             \"p50_latency_us\": {}, \"p99_latency_us\": {}, \
+             \"hit_rate\": {:.4}}}",
+            self.wires,
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.searches,
+            self.batches,
+            self.max_batch,
+            self.evictions,
+            self.errors,
+            self.cached_classes,
+            self.cache_capacity,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.hit_rate()
+        )
+    }
+}
+
+/// Number of sub-buckets per power-of-two octave: values within an
+/// octave are resolved to 1/8 of the octave, bounding the quantile
+/// error at ~12.5%.
+const SUBS: u64 = 8;
+
+/// Values below this are direct-indexed (exact, one bucket per value).
+const DIRECT: u64 = 16;
+
+/// First octave handled log-linearly (`2^FIRST_OCTAVE == DIRECT`).
+const FIRST_OCTAVE: u64 = 4;
+
+/// Bucket count: 16 direct + 60 octaves × 8 sub-buckets covers u64.
+const BUCKETS: usize = (DIRECT + (64 - FIRST_OCTAVE) * SUBS) as usize;
+
+/// A lock-free log-linear histogram of microsecond latencies
+/// (HDR-histogram-shaped: power-of-two octaves split into
+/// [`SUBS`] linear sub-buckets).
+///
+/// Recording is one atomic increment; quantiles scan the 496 buckets.
+/// Quantile values are bucket **upper bounds**, so reported p50/p99
+/// never understate the true quantile by more than one sub-bucket.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    fn bucket_of(value_us: u64) -> usize {
+        if value_us < DIRECT {
+            return value_us as usize;
+        }
+        let octave = 63 - u64::from(value_us.leading_zeros());
+        let sub = (value_us >> (octave - 3)) & (SUBS - 1);
+        (DIRECT + (octave - FIRST_OCTAVE) * SUBS + sub) as usize
+    }
+
+    /// The largest value mapping to `bucket` (what quantiles report).
+    fn bucket_upper_bound(bucket: usize) -> u64 {
+        let bucket = bucket as u64;
+        if bucket < DIRECT {
+            return bucket;
+        }
+        let rel = bucket - DIRECT;
+        let octave = rel / SUBS + FIRST_OCTAVE;
+        let sub = rel % SUBS;
+        // Sub-bucket `sub` of octave `o` covers
+        // [(8+sub)·2^(o−3), (9+sub)·2^(o−3)); widen to u128 because the
+        // top octave's bound brushes against 2^64.
+        let bound = (u128::from(SUBS + sub + 1) << (octave - 3)) - 1;
+        u64::try_from(bound).unwrap_or(u64::MAX)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, value_us: u64) {
+        self.buckets[Self::bucket_of(value_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The value at quantile `q` (0.0..=1.0), or 0 when empty. Reported
+    /// as the containing bucket's upper bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LatencyHistogram({} observations, p50 {} µs, p99 {} µs)",
+            self.count(),
+            self.quantile(0.5),
+            self.quantile(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_words_roundtrip() {
+        let stats = ServeStats {
+            wires: 4,
+            requests: 1,
+            cache_hits: 2,
+            cache_misses: 3,
+            coalesced: 4,
+            searches: 5,
+            batches: 6,
+            max_batch: 7,
+            evictions: 8,
+            errors: 9,
+            cached_classes: 10,
+            cache_capacity: 11,
+            p50_latency_us: 12,
+            p99_latency_us: 13,
+        };
+        assert_eq!(ServeStats::from_words(&stats.to_words()), stats);
+        let json = stats.to_json();
+        for field in [
+            "\"wires\": 4",
+            "\"requests\": 1",
+            "\"coalesced\": 4",
+            "\"p99_latency_us\": 13",
+        ] {
+            assert!(json.contains(field), "{json}");
+        }
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_full() {
+        assert_eq!(ServeStats::default().hit_rate(), 0.0);
+        let stats = ServeStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..ServeStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev_bound = 0;
+        for b in 1..BUCKETS {
+            let bound = LatencyHistogram::bucket_upper_bound(b);
+            assert!(bound > prev_bound, "bucket {b}");
+            prev_bound = bound;
+        }
+        for v in [0u64, 1, 7, 8, 9, 100, 1_000, 1_000_000, u64::MAX] {
+            let b = LatencyHistogram::bucket_of(v);
+            assert!(b < BUCKETS, "value {v}");
+            assert!(LatencyHistogram::bucket_upper_bound(b) >= v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_true_value() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // True p50 is 500; log-linear resolution is 1/8 of the octave.
+        assert!((500..=575).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1151).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fuzz-ish robustness of the wire protocol against a live server:
+//! truncated frames, oversized length prefixes and seeded garbage bytes
+//! must produce clean protocol errors — never a panic, never a hang of
+//! the accept loop. After every abuse the server must still answer a
+//! well-formed query.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use revsynth_analysis::{Rng, SplitMix64};
+use revsynth_core::Synthesizer;
+use revsynth_perm::Perm;
+use revsynth_serve::{Client, Server, ServerConfig, ServerHandle};
+
+fn start_server() -> ServerHandle {
+    let synth = Arc::new(Synthesizer::from_scratch(4, 2));
+    Server::bind(synth, &ServerConfig::default())
+        .expect("bind loopback")
+        .spawn()
+}
+
+/// A known-good query the server must keep answering after abuse.
+fn server_still_alive(addr: SocketAddr) {
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+    let mut client = Client::connect_with_timeout(addr, Duration::from_secs(10))
+        .expect("server accepts connections");
+    let circuit = client.query(f).expect("server answers valid queries");
+    assert_eq!(circuit.perm(4), f);
+}
+
+/// Raw socket with bounded timeouts so no test can hang.
+fn raw_conn(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+/// Reads one response frame's payload (bounded by the socket timeout).
+fn read_response(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).ok()?;
+    let len = u32::from_le_bytes(len) as usize;
+    assert!(len > 0 && len <= 1 << 16, "server frames are well-formed");
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+const OP_ERROR: u8 = 0x81;
+
+#[test]
+fn truncated_frames_are_survived() {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    // Frame cut mid-payload, then the peer hangs up.
+    let mut stream = raw_conn(addr);
+    stream.write_all(&100u32.to_le_bytes()).unwrap();
+    stream.write_all(&[7u8; 10]).unwrap();
+    drop(stream);
+
+    // Frame cut mid-length-prefix.
+    let mut stream = raw_conn(addr);
+    stream.write_all(&[9u8, 0]).unwrap();
+    drop(stream);
+
+    // An empty connection (connect, say nothing, leave).
+    drop(raw_conn(addr));
+
+    server_still_alive(addr);
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn oversized_length_prefixes_get_a_clean_error() {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    for len in [0u32, (1 << 16) + 1, u32::MAX] {
+        let mut stream = raw_conn(addr);
+        stream.write_all(&len.to_le_bytes()).unwrap();
+        // Some follow-on bytes so the violation is length, not EOF.
+        stream.write_all(&[0xAA; 16]).unwrap();
+        let payload = read_response(&mut stream)
+            .unwrap_or_else(|| panic!("length {len}: server must answer before closing"));
+        assert_eq!(payload[0], OP_ERROR, "length {len}: error response");
+        // The connection is dropped afterwards (cannot resynchronize):
+        // the next read must hit EOF, not hang.
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+    }
+
+    server_still_alive(addr);
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn garbage_frames_get_error_responses_and_the_connection_survives() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let mut rng = SplitMix64::new(0xFEED_FACE);
+
+    // Well-framed garbage payloads: the frame boundary is intact, so the
+    // server must answer each with an error and keep the connection.
+    let mut stream = raw_conn(addr);
+    for round in 0..64 {
+        let len = 1 + (rng.next_u64() as usize) % 40;
+        let mut payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Never accidentally a valid request: force a reserved opcode
+        // half the time, a corrupt body otherwise.
+        if round % 2 == 0 {
+            payload[0] = 0x40 | (rng.next_u64() as u8 & 0x3F).max(4);
+        } else {
+            payload[0] = 0x01; // query opcode, (almost surely) bad body
+            if payload.len() == 17 {
+                payload[1] = 0xFF; // 255 is not a 4-bit domain value
+            }
+        }
+        let declared = u32::try_from(payload.len()).unwrap();
+        stream.write_all(&declared.to_le_bytes()).unwrap();
+        stream.write_all(&payload).unwrap();
+        let response = read_response(&mut stream)
+            .unwrap_or_else(|| panic!("round {round}: garbage must be answered"));
+        assert_eq!(response[0], OP_ERROR, "round {round}");
+    }
+    drop(stream);
+
+    // Unframed garbage streams: arbitrary byte salad. The server may
+    // answer with one error and drop, or just drop — but never hang.
+    for trial in 0..16 {
+        let mut stream = raw_conn(addr);
+        let len = 5 + (rng.next_u64() as usize) % 200;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = stream.write_all(&bytes);
+        let mut sink = Vec::new();
+        // Bounded by the read timeout; success or EOF both fine.
+        let _ = stream.read_to_end(&mut sink);
+        drop(stream);
+        if trial % 8 == 7 {
+            server_still_alive(addr);
+        }
+    }
+
+    server_still_alive(addr);
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn slow_trickled_frames_still_parse() {
+    // A frame delivered one byte at a time, slower than the server's
+    // poll interval, must still be reassembled (FrameReader buffering)
+    // rather than torn by read timeouts.
+    let handle = start_server();
+    let addr = handle.addr();
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+
+    let mut stream = raw_conn(addr);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&17u32.to_le_bytes());
+    frame.push(0x01);
+    frame.extend_from_slice(&f.values());
+    for chunk in frame.chunks(3) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let payload = read_response(&mut stream).expect("trickled query answered");
+    assert_ne!(payload[0], OP_ERROR, "query must succeed");
+    drop(stream);
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}

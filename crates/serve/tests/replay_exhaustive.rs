@@ -1,0 +1,118 @@
+//! Exhaustive replay correctness: every one of the 40,320 3-wire
+//! reversible functions, answered through the class-keyed cache.
+//!
+//! This is the acceptance gate for the serving layer's central claim —
+//! that a cached representative circuit **replayed through the query's
+//! canonicalization witness** is just as good as a direct search: the
+//! replayed circuit must simulate to exactly the target permutation and
+//! have exactly the optimal gate count (the reference breadth-first
+//! oracle's size, the same scaffolding as
+//! `crates/core/tests/engine_equivalence.rs`). It also quantifies the
+//! amortization: the whole space is served with one search per class.
+
+use std::collections::HashMap;
+
+use revsynth_bfs::reference;
+use revsynth_canon::replay_for_witness;
+use revsynth_circuit::GateLib;
+use revsynth_core::Synthesizer;
+use revsynth_perm::Perm;
+use revsynth_serve::ClassCache;
+
+#[test]
+fn exhaustive_n3_cache_replay_is_bit_exact_and_optimal() {
+    let lib = GateLib::nct(3);
+    let oracle = reference::full_space_sizes(&lib);
+    assert_eq!(oracle.len(), 40_320);
+    let max = *oracle.values().max().unwrap();
+    let synth = Synthesizer::from_scratch(3, max.div_ceil(2));
+    let sym = synth.tables().sym();
+
+    // Serve the whole space through a cache large enough to never
+    // evict: every class is searched exactly once, every other member
+    // is answered by witness replay.
+    let cache = ClassCache::new(8192);
+    let mut searches = 0u64;
+    let mut size_by_rep: HashMap<Perm, usize> = HashMap::new();
+
+    for (&f, &size) in &oracle {
+        let w = sym.canonicalize(f);
+        let rep_circuit = match cache.get(w.rep) {
+            Some(circuit) => circuit,
+            None => {
+                let circuit = synth
+                    .synthesize(w.rep)
+                    .unwrap_or_else(|e| panic!("rep {} of f {f}: {e}", w.rep));
+                searches += 1;
+                cache.insert(w.rep, circuit.clone());
+                circuit
+            }
+        };
+        let replayed = replay_for_witness(&rep_circuit, &w);
+
+        // Bit-exact: the replayed circuit simulates to exactly the
+        // target permutation on every input.
+        assert_eq!(replayed.perm(3), f, "f = {f}");
+        for x in 0..8u8 {
+            assert_eq!(replayed.simulate(x), f.apply(x), "f = {f}, x = {x}");
+        }
+        // Optimal: same gate count as a direct search would produce
+        // (the oracle size is the unique optimal size).
+        assert_eq!(
+            replayed.len(),
+            size,
+            "f = {f}: replay changed the gate count"
+        );
+        // Replay is cost-preserving, so every member of a class must
+        // report the same size — record and cross-check per rep.
+        let prev = size_by_rep.insert(w.rep, size);
+        if let Some(prev) = prev {
+            assert_eq!(prev, size, "class of {} has inconsistent sizes", w.rep);
+        }
+    }
+
+    // One search per class, and vastly fewer classes than functions:
+    // the amortization the service layer exists for.
+    assert_eq!(searches, size_by_rep.len() as u64);
+    assert_eq!(cache.counters().insertions, searches);
+    assert_eq!(cache.counters().evictions, 0, "capacity covers all classes");
+    assert!(
+        searches < oracle.len() as u64 / 10,
+        "only {searches} searches for {} functions",
+        oracle.len()
+    );
+    // Every lookup after the first per class was a hit.
+    let c = cache.counters();
+    assert_eq!(c.hits + c.misses, oracle.len() as u64);
+    assert_eq!(c.misses, searches);
+}
+
+#[test]
+fn exhaustive_n3_direct_synthesis_agrees_with_replay_on_a_sample() {
+    // Dense sample: the replayed circuit and a direct search must agree
+    // on size for the same function (they may differ gate-by-gate; both
+    // must compute f at the optimal count).
+    let lib = GateLib::nct(3);
+    let oracle = reference::full_space_sizes(&lib);
+    let max = *oracle.values().max().unwrap();
+    let synth = Synthesizer::from_scratch(3, max.div_ceil(2));
+    let sym = synth.tables().sym();
+    let cache = ClassCache::new(8192);
+
+    for (j, (&f, &size)) in oracle.iter().enumerate() {
+        if j % 97 != 0 {
+            continue;
+        }
+        let w = sym.canonicalize(f);
+        let rep_circuit = cache.get(w.rep).unwrap_or_else(|| {
+            let c = synth.synthesize(w.rep).expect("rep synthesizes");
+            cache.insert(w.rep, c.clone());
+            c
+        });
+        let replayed = replay_for_witness(&rep_circuit, &w);
+        let direct = synth.synthesize(f).expect("f synthesizes");
+        assert_eq!(direct.len(), size, "f = {f}");
+        assert_eq!(replayed.len(), direct.len(), "f = {f}");
+        assert_eq!(replayed.perm(3), direct.perm(3), "f = {f}");
+    }
+}

@@ -216,7 +216,42 @@ impl InvariantIndex {
     pub fn memory_bytes(&self) -> usize {
         self.keys.len() * 8 + self.masks.len() * 4 + self.weight_bits.len() * 8
     }
+
+    /// Iterates over the stored `(invariant key, distance mask)` entries
+    /// in unspecified order. Used to compare indexes built by different
+    /// paths (e.g. the generate path versus a store load) for logical
+    /// equality.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.masks)
+            .filter(|&(_, &mask)| mask != 0)
+            .map(|(&key, &mask)| (key, mask))
+    }
 }
+
+/// Logical equality: two indexes are equal when they hold the same
+/// `(key, mask)` entries and the same stage-1 prefilter bitmap —
+/// regardless of slot layout (which depends on insertion order). Two
+/// indexes built from the same `(rep, distance)` multiset with the same
+/// pre-sizing hint always compare equal.
+impl PartialEq for InvariantIndex {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len
+            || self.weight_bit_mask != other.weight_bit_mask
+            || self.weight_bits != other.weight_bits
+        {
+            return false;
+        }
+        let mut a: Vec<(u64, u32)> = self.entries().collect();
+        let mut b: Vec<(u64, u32)> = other.entries().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+impl Eq for InvariantIndex {}
 
 impl std::fmt::Debug for InvariantIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -347,5 +382,39 @@ mod tests {
     #[should_panic(expected = "out of mask range")]
     fn distances_beyond_mask_are_rejected() {
         let _ = InvariantIndex::build([(Perm::identity(), 32)], 1);
+    }
+
+    #[test]
+    fn entries_expose_every_stored_invariant() {
+        let entries: Vec<(Perm, usize)> =
+            (0..80u64).map(|i| (perm_of(i), (i % 5) as usize)).collect();
+        let index = InvariantIndex::build(entries.iter().copied(), entries.len());
+        let listed: std::collections::HashMap<u64, u32> = index.entries().collect();
+        assert_eq!(listed.len(), index.len());
+        for &(p, d) in &entries {
+            let key = InvariantIndex::key_of(p);
+            assert_eq!(listed[&key], index.distance_mask(key), "perm {p}");
+            assert!(listed[&key] >> d & 1 == 1, "distance {d}");
+        }
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let entries: Vec<(Perm, usize)> = (0..120u64)
+            .map(|i| (perm_of(i), (i % 6) as usize))
+            .collect();
+        let forward = InvariantIndex::build(entries.iter().copied(), entries.len());
+        let reverse = InvariantIndex::build(entries.iter().rev().copied(), entries.len());
+        assert_eq!(forward, reverse, "slot layout must not matter");
+
+        let mut shorter = entries.clone();
+        shorter.truncate(100);
+        let partial = InvariantIndex::build(shorter.iter().copied(), entries.len());
+        assert_ne!(forward, partial);
+        // A distance change flips a mask bit and must break equality.
+        let mut bumped = entries;
+        bumped[0].1 += 20;
+        let changed = InvariantIndex::build(bumped.iter().copied(), bumped.len());
+        assert_ne!(forward, changed);
     }
 }

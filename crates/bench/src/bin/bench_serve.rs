@@ -111,7 +111,13 @@ fn main() {
 
     eprintln!("generating tables (n = 4, k = {k}) ...");
     let t0 = Instant::now();
-    let synth = Arc::new(Synthesizer::from_scratch(4, k));
+    // Build the gate tables once and hand them to the suite (its
+    // quantum/depth siblings stay lazy and are never built here).
+    let suite = Arc::new(revsynth_core::SynthesisSuite::new(
+        Synthesizer::from_scratch(4, k),
+        revsynth_core::SuiteConfig::default(),
+    ));
+    let synth = suite.gates();
     let gen_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
         "  {} classes in {gen_seconds:.2}s",
@@ -119,13 +125,13 @@ fn main() {
     );
 
     let server =
-        Server::bind(Arc::clone(&synth), &ServerConfig::default()).expect("bind loopback server");
+        Server::bind(Arc::clone(&suite), &ServerConfig::default()).expect("bind loopback server");
     let addr = server.local_addr();
     let handle = server.spawn();
     let mut client = Client::connect(addr).expect("connect");
 
     // ---- cold: one miss per class ------------------------------------
-    let pool = cold_pool(&synth, cold_classes, seed);
+    let pool = cold_pool(synth, cold_classes, seed);
     let mut cold_answers = Vec::with_capacity(pool.len());
     let t = Instant::now();
     for &f in &pool {

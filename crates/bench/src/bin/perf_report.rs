@@ -36,8 +36,8 @@ use std::time::{Duration, Instant};
 use revsynth_analysis::{random_perm, Rng, SplitMix64};
 use revsynth_bench::{arg_or, env_k};
 use revsynth_bfs::SearchTables;
-use revsynth_circuit::GateLib;
-use revsynth_core::{SearchOptions, SearchStats, Synthesizer};
+use revsynth_circuit::{CostModel, GateLib};
+use revsynth_core::{DepthSynthesizer, SearchOptions, SearchStats, Synthesizer};
 use revsynth_perm::Perm;
 
 /// One throughput measurement. `candidates` is always the seed
@@ -176,7 +176,7 @@ fn main() {
     eprintln!("      median {median_latency:.2?}");
 
     eprintln!(
-        "[4/5] throughput: seed_serial vs engine_serial vs engine_gated vs \
+        "[4/7] throughput: seed_serial vs engine_serial vs engine_gated vs \
          engine_gated_parallel({threads}) ..."
     );
     let start = Instant::now();
@@ -247,7 +247,124 @@ fn main() {
         seed_serial.seconds / gated_parallel.seconds
     );
 
-    eprintln!("[5/5] writing {out_path} ...");
+    // Deterministic digest of the gate-count results (per-query optimal
+    // sizes for the fixed seed): CI compares this against the committed
+    // baseline, so any change to gate-count-mode results — however the
+    // cost-model machinery evolves — fails the perf-smoke job.
+    let gates_results_digest = {
+        let mut fnv = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                fnv ^= u64::from(b);
+                fnv = fnv.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for size in &seed_sizes {
+            mix(size.map_or(u64::MAX, |s| s as u64));
+        }
+        fnv
+    };
+
+    // ---- quantum-cost row ------------------------------------------------
+    let quantum_budget: u64 = arg_or("--quantum-budget", if quick { 7 } else { 9 });
+    eprintln!("[5/7] quantum-cost engine (budget {quantum_budget}) ...");
+    let start = Instant::now();
+    let quantum_tables =
+        SearchTables::generate_weighted(GateLib::nct(4), CostModel::quantum(), quantum_budget);
+    let quantum_generate = start.elapsed();
+    let quantum_classes = quantum_tables.num_representatives();
+    let quantum_reach = quantum_tables.cost_reach();
+    let quantum_synth = Synthesizer::new(quantum_tables);
+    // Queries: random gate strings whose summed quantum cost stays
+    // within the engine's reach, so every query is answerable.
+    let model = CostModel::quantum();
+    let mut quantum_queries: Vec<(Perm, u64)> = Vec::with_capacity(batch);
+    while quantum_queries.len() < batch {
+        let mut f = Perm::identity();
+        let mut cost = 0u64;
+        loop {
+            let gate_idx = rng.gen_range(0..lib.len());
+            let g = lib.gate(gate_idx);
+            if cost + model.gate_cost(g) > quantum_reach {
+                break;
+            }
+            cost += model.gate_cost(g);
+            f = f.then(lib.perm_of(gate_idx));
+        }
+        quantum_queries.push((f, cost));
+    }
+    let fs: Vec<Perm> = quantum_queries.iter().map(|&(f, _)| f).collect();
+    let start = Instant::now();
+    let quantum_results = quantum_synth.synthesize_many(&fs, &SearchOptions::new().threads(1));
+    let quantum_seconds = start.elapsed().as_secs_f64();
+    let mut quantum_total_cost = 0u64;
+    for (j, result) in quantum_results.iter().enumerate() {
+        let syn = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("quantum query {j}: {e}"));
+        assert_eq!(syn.circuit.perm(4), fs[j], "quantum query {j}");
+        assert!(
+            syn.cost <= quantum_queries[j].1,
+            "quantum query {j}: {} > construction cost {}",
+            syn.cost,
+            quantum_queries[j].1
+        );
+        assert_eq!(syn.circuit.cost(&model), syn.cost, "quantum query {j}");
+        quantum_total_cost += syn.cost;
+    }
+    // The residual-bucket gate must not change results (spot A/B).
+    let bare = quantum_synth.synthesize_many(&fs, &SearchOptions::new().threads(1).filter(false));
+    for (j, (a, b)) in quantum_results.iter().zip(&bare).enumerate() {
+        assert_eq!(
+            a.as_ref().unwrap().circuit,
+            b.as_ref().unwrap().circuit,
+            "quantum query {j}: gate changed the result"
+        );
+    }
+    eprintln!(
+        "      {} classes (reach {quantum_reach}) in {:.2}s; {} queries in {:.2}s",
+        quantum_classes,
+        quantum_generate.as_secs_f64(),
+        batch,
+        quantum_seconds
+    );
+
+    // ---- depth row -------------------------------------------------------
+    let depth_budget: usize = arg_or("--depth-budget", if quick { 2 } else { 3 });
+    eprintln!("[6/7] depth engine ({depth_budget} layers) ...");
+    let start = Instant::now();
+    let depth_synth = DepthSynthesizer::generate(GateLib::nct(4), depth_budget);
+    let depth_generate = start.elapsed();
+    let depth_classes: u64 = depth_synth.counts().iter().map(|&(_, c, _)| c).sum();
+    let mut depth_queries: Vec<Perm> = Vec::with_capacity(batch);
+    while depth_queries.len() < batch {
+        // A random product of `depth_budget` layers is within reach.
+        let mut f = Perm::identity();
+        for _ in 0..depth_budget {
+            let layer = &depth_synth.layers()[rng.gen_range(0..depth_synth.layers().len())];
+            f = f.then(layer.perm(4));
+        }
+        depth_queries.push(f);
+    }
+    let start = Instant::now();
+    let mut depth_total = 0u64;
+    for (j, &f) in depth_queries.iter().enumerate() {
+        let c = depth_synth
+            .try_synthesize(f)
+            .unwrap_or_else(|e| panic!("depth query {j}: {e}"));
+        assert_eq!(c.perm(4), f, "depth query {j}");
+        assert!(c.depth() <= depth_budget, "depth query {j}");
+        depth_total += c.depth() as u64;
+    }
+    let depth_seconds = start.elapsed().as_secs_f64();
+    eprintln!(
+        "      {depth_classes} classes in {:.2}s; {} queries in {:.2}s",
+        depth_generate.as_secs_f64(),
+        batch,
+        depth_seconds
+    );
+
+    eprintln!("[7/7] writing {out_path} ...");
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"synthesis\",\n");
@@ -299,8 +416,26 @@ fn main() {
         seed_serial.seconds / engine_gated.seconds
     ));
     json.push_str(&format!(
-        "  \"speedup_engine_gated_parallel_vs_seed\": {:.3}\n",
+        "  \"speedup_engine_gated_parallel_vs_seed\": {:.3},\n",
         seed_serial.seconds / gated_parallel.seconds
+    ));
+    json.push_str(&format!(
+        "  \"gates_results_digest\": \"{gates_results_digest:#018x}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"quantum_cost\": {{\"budget\": {quantum_budget}, \"reach\": {quantum_reach}, \
+         \"classes\": {quantum_classes}, \"generate_seconds\": {:.3}, \"queries\": {batch}, \
+         \"seconds\": {quantum_seconds:.6}, \"queries_per_sec\": {:.3}, \
+         \"total_cost\": {quantum_total_cost}}},\n",
+        quantum_generate.as_secs_f64(),
+        batch as f64 / quantum_seconds
+    ));
+    json.push_str(&format!(
+        "  \"depth\": {{\"budget\": {depth_budget}, \"classes\": {depth_classes}, \
+         \"generate_seconds\": {:.3}, \"queries\": {batch}, \"seconds\": {depth_seconds:.6}, \
+         \"queries_per_sec\": {:.3}, \"total_depth\": {depth_total}}}\n",
+        depth_generate.as_secs_f64(),
+        batch as f64 / depth_seconds
     ));
     json.push_str("}\n");
     let mut file = std::fs::File::create(&out_path).expect("create report file");

@@ -46,6 +46,7 @@ mod parallel;
 pub mod reference;
 mod store;
 mod tables;
+mod weighted;
 
 pub use counts::LevelCount;
 pub use info::{decode_stored, encode_stored, StoredGate, IDENTITY_BYTE};

@@ -6,17 +6,24 @@
 //! workflow a self-describing, checksummed little-endian format:
 //!
 //! ```text
-//! magic   8 B  "RVSYNTB2"
+//! magic   8 B  "RVSYNTB3"
 //! n       1 B  wire count (2..=4)
-//! k       1 B  search depth
+//! k       1 B  number of buckets − 1 (= search depth on unit tables)
 //! lib_len 2 B  number of gates in the library (LE)
 //! gates   lib_len B  (controls << 2) | target, bit 7 clear
+//! model   4 × 8 B  per-control-count gate costs (LE; 1,1,1,1 = unit)
 //! levels  for i in 0..=k:
+//!           cost   8 B (LE; strictly ascending from 0 — the bucket cost)
 //!           count  8 B (LE)
 //!           keys   count × 8 B (LE, sorted ascending)
 //!           values count × 1 B
 //! fnv     8 B  FNV-1a of every preceding byte (LE)
 //! ```
+//!
+//! Version 3 adds the cost-model block and per-bucket costs, so
+//! weighted (cost-bucketed) tables round-trip with their metadata and
+//! a loaded table's engine dispatch (gate-count scan vs cost-bounded
+//! scan) can never disagree with the generate path's.
 //!
 //! Loading validates everything it can cheaply validate: magic, header
 //! ranges, gate encodings, permutation keys, key ordering, value records,
@@ -36,7 +43,7 @@ use revsynth_table::FnTable;
 use crate::info::{decode_stored, StoredGate, IDENTITY_BYTE};
 use crate::tables::SearchTables;
 
-const MAGIC: &[u8; 8] = b"RVSYNTB2";
+const MAGIC: &[u8; 8] = b"RVSYNTB3";
 
 /// Error returned by [`SearchTables::load`].
 #[derive(Debug)]
@@ -151,7 +158,11 @@ pub(crate) fn save(tables: &SearchTables, path: &Path) -> io::Result<()> {
     for (_, gate, _) in tables.lib.iter() {
         w.put(&[(gate.controls() << 2) | gate.target()])?;
     }
-    for level in &tables.levels {
+    for controls in 0..4 {
+        w.put_u64(tables.model.cost_of_controls(controls))?;
+    }
+    for (i, level) in tables.levels.iter().enumerate() {
+        w.put_u64(tables.bucket_costs[i])?;
         w.put_u64(level.len() as u64)?;
         for &rep in level {
             w.put_u64(rep.packed())?;
@@ -213,12 +224,46 @@ pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
     if lib.len() != lib_len {
         return Err(StoreError::Corrupt("duplicate gates in library".into()));
     }
+    let mut costs = [0u64; 4];
+    for (controls, slot) in costs.iter_mut().enumerate() {
+        let c = r.take_u64()?;
+        // Zero would violate CostModel's positivity invariant (and panic
+        // in `custom`); any positive cost a writer could produce must
+        // round-trip — corruption is caught by the trailing checksum.
+        if c == 0 {
+            return Err(StoreError::BadHeader(format!(
+                "zero gate cost for {controls} controls"
+            )));
+        }
+        *slot = c;
+    }
+    let model = revsynth_circuit::CostModel::custom(costs);
 
     let mut levels = Vec::with_capacity(k + 1);
     let mut total = 0usize;
+    let mut bucket_costs: Vec<u64> = Vec::with_capacity(k + 1);
     let mut pairs: Vec<(Vec<Perm>, Vec<u8>)> = Vec::with_capacity(k + 1);
     for i in 0..=k {
+        let bucket_cost = r.take_u64()?;
+        let ascending = match bucket_costs.last() {
+            None => bucket_cost == 0,
+            Some(&prev) => bucket_cost > prev,
+        };
+        if !ascending {
+            return Err(StoreError::Corrupt(format!(
+                "bucket {i} cost {bucket_cost} does not ascend strictly from 0"
+            )));
+        }
+        bucket_costs.push(bucket_cost);
         let count = r.take_u64()?;
+        // Cap far above any real table but far below an allocation that
+        // could abort: a corrupted count must yield a typed error, not a
+        // capacity-overflow panic.
+        if count > 1 << 40 {
+            return Err(StoreError::Corrupt(format!(
+                "level {i} count {count} is implausibly large"
+            )));
+        }
         let count = usize::try_from(count)
             .map_err(|_| StoreError::Corrupt(format!("level {i} count overflows")))?;
         total = total
@@ -288,12 +333,13 @@ pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
         levels.push(keys);
     }
 
-    Ok(SearchTables::assemble(
+    Ok(SearchTables::assemble_weighted(
         lib,
         Symmetries::new(n),
-        k,
+        model,
         table,
         levels,
+        bucket_costs,
     ))
 }
 
@@ -359,6 +405,28 @@ mod tests {
                     );
                     assert!(loaded.invariants().admits(rep, i));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tables_roundtrip_with_cost_metadata() {
+        use revsynth_circuit::{CostModel, GateLib};
+        let tables = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 7);
+        let path = temp_path("weighted");
+        tables.save(&path).unwrap();
+        let loaded = SearchTables::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert!(loaded.is_cost_bucketed());
+        assert_eq!(loaded.model(), tables.model());
+        assert_eq!(loaded.bucket_costs(), tables.bucket_costs());
+        assert_eq!(loaded.levels(), tables.levels());
+        assert_eq!(loaded.invariants(), tables.invariants());
+        assert_eq!(loaded.cost_reach(), tables.cost_reach());
+        for i in 0..loaded.levels().len() {
+            for &rep in loaded.level(i) {
+                assert_eq!(loaded.lookup(rep), tables.lookup(rep));
             }
         }
     }

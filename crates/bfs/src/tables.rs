@@ -4,7 +4,7 @@ use std::fmt;
 use std::path::Path;
 
 use revsynth_canon::Symmetries;
-use revsynth_circuit::GateLib;
+use revsynth_circuit::{CostModel, GateLib};
 use revsynth_perm::Perm;
 use revsynth_table::{FnTable, InvariantIndex, TableStats};
 
@@ -39,18 +39,27 @@ pub struct SearchTables {
     pub(crate) sym: Symmetries,
     pub(crate) k: usize,
     pub(crate) table: FnTable,
-    /// `levels[i]` = sorted canonical representatives of size exactly `i`.
+    /// `levels[i]` = sorted canonical representatives of cost bucket `i`
+    /// (for the breadth-first paths, bucket `i` = size exactly `i`).
     pub(crate) levels: Vec<Vec<Perm>>,
-    /// Class-invariant gate index: combined invariant → distance bitmask.
+    /// Class-invariant gate index: combined invariant → bucket bitmask.
     pub(crate) invariants: InvariantIndex,
+    /// The additive cost model the buckets were built under (unit for the
+    /// breadth-first paths: cost = gate count).
+    pub(crate) model: CostModel,
+    /// `bucket_costs[i]` = the optimal cost shared by every member of
+    /// `levels[i]`; strictly ascending from 0, equal to `0..=k` for the
+    /// breadth-first (gate-count) paths.
+    pub(crate) bucket_costs: Vec<u64>,
 }
 
 impl SearchTables {
-    /// Finalizes a table build: derives the [`InvariantIndex`] from the
-    /// level lists (every representative's combined class invariant,
-    /// tagged with its optimal size). All construction paths — serial
-    /// BFS, parallel BFS and store loading — go through here so the gate
-    /// index can never be out of sync with the tables.
+    /// Finalizes a gate-count table build: derives the [`InvariantIndex`]
+    /// from the level lists (every representative's combined class
+    /// invariant, tagged with its optimal size) and stamps the unit cost
+    /// metadata (`bucket_costs[i] = i`). All gate-count construction
+    /// paths — serial BFS, parallel BFS and store loading — go through
+    /// here so the gate index can never be out of sync with the tables.
     pub(crate) fn assemble(
         lib: GateLib,
         sym: Symmetries,
@@ -58,14 +67,8 @@ impl SearchTables {
         table: FnTable,
         levels: Vec<Vec<Perm>>,
     ) -> Self {
-        let total: usize = levels.iter().map(Vec::len).sum();
-        let invariants = InvariantIndex::build(
-            levels
-                .iter()
-                .enumerate()
-                .flat_map(|(i, level)| level.iter().map(move |&rep| (rep, i))),
-            total,
-        );
+        let invariants = crate::weighted::bucket_invariants(&levels);
+        let bucket_costs: Vec<u64> = (0..levels.len() as u64).collect();
         SearchTables {
             lib,
             sym,
@@ -73,6 +76,38 @@ impl SearchTables {
             table,
             levels,
             invariants,
+            model: CostModel::unit(),
+            bucket_costs,
+        }
+    }
+
+    /// Finalizes a weighted (cost-bucketed) build: same invariant-index
+    /// derivation, but levels are cost buckets labeled by
+    /// `bucket_costs` (strictly ascending from 0, one entry per level).
+    pub(crate) fn assemble_weighted(
+        lib: GateLib,
+        sym: Symmetries,
+        model: CostModel,
+        table: FnTable,
+        levels: Vec<Vec<Perm>>,
+        bucket_costs: Vec<u64>,
+    ) -> Self {
+        assert_eq!(levels.len(), bucket_costs.len(), "one cost per bucket");
+        assert!(
+            bucket_costs.first() == Some(&0) && bucket_costs.windows(2).all(|w| w[0] < w[1]),
+            "bucket costs must ascend strictly from 0"
+        );
+        let invariants = crate::weighted::bucket_invariants(&levels);
+        let k = levels.len().saturating_sub(1);
+        SearchTables {
+            lib,
+            sym,
+            k,
+            table,
+            levels,
+            invariants,
+            model,
+            bucket_costs,
         }
     }
     /// Runs the breadth-first search over the full NCT library on `n`
@@ -118,6 +153,21 @@ impl SearchTables {
     #[must_use]
     pub fn generate_parallel(lib: GateLib, k: usize, threads: usize) -> Self {
         crate::parallel::run(lib, k, threads)
+    }
+
+    /// Runs the **weighted** uniform-cost search (paper §5's "increasing
+    /// cost by one"), settling every equivalence class of optimal cost
+    /// ≤ `budget` under `model` into cost-bucketed levels (see the
+    /// `weighted` module). With [`CostModel::unit`] the buckets coincide
+    /// with the breadth-first levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget > 200` or the model produces more than 32
+    /// distinct cost values (the invariant-index mask width).
+    #[must_use]
+    pub fn generate_weighted(lib: GateLib, model: CostModel, budget: u64) -> Self {
+        crate::weighted::run(lib, model, budget)
     }
 
     /// The wire count.
@@ -232,6 +282,116 @@ impl SearchTables {
             return None;
         }
         (0..=self.k).find(|&i| self.levels[i].binary_search(&rep).is_ok())
+    }
+
+    /// The additive cost model the level buckets were built under
+    /// (unit — cost = gate count — for the breadth-first paths).
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Whether the levels are genuine cost buckets rather than plain
+    /// gate-count levels — i.e. the tables were built under a non-unit
+    /// model. (The bucket *labels* alone cannot tell: quantum costs on
+    /// small libraries happen to be contiguous integers, yet bucket 5
+    /// holds the 1-gate Toffoli.) The engine routes non-bucketed tables
+    /// through the gate-count scan, keeping its results bit-identical to
+    /// the pre-cost-model engine.
+    #[must_use]
+    pub fn is_cost_bucketed(&self) -> bool {
+        self.model != CostModel::unit()
+    }
+
+    /// The optimal cost labeling bucket `i` (equal to `i` on gate-count
+    /// tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a bucket index.
+    #[must_use]
+    pub fn bucket_cost(&self, i: usize) -> u64 {
+        self.bucket_costs[i]
+    }
+
+    /// All bucket costs, ascending (index-aligned with [`levels`](Self::levels)).
+    #[must_use]
+    pub fn bucket_costs(&self) -> &[u64] {
+        &self.bucket_costs
+    }
+
+    /// The largest stored optimal cost (the generation budget actually
+    /// reached; `k` on gate-count tables).
+    #[must_use]
+    pub fn max_cost(&self) -> u64 {
+        *self.bucket_costs.last().expect("bucket 0 always exists")
+    }
+
+    /// The costliest single gate in the library under the table's model.
+    #[must_use]
+    pub fn max_gate_cost(&self) -> u64 {
+        self.lib
+            .iter()
+            .map(|(_, gate, _)| self.model.gate_cost(gate))
+            .max()
+            .expect("library is non-empty")
+    }
+
+    /// The guaranteed meet-in-the-middle reach in cost units: the
+    /// largest `r` such that any function of optimal cost ≤ `r` has a
+    /// split with both halves ≤ `B =` [`max_cost`](Self::max_cost).
+    ///
+    /// Argument: a cost-`r` optimal circuit contains no gate costlier
+    /// than `r`, so with `g(r)` = the costliest library gate of cost
+    /// ≤ `r`, taking the maximal prefix of cost ≤ `B` leaves a suffix of
+    /// cost < `r − B + g(r)`; both halves fit whenever `r ≤ 2B − g(r) +
+    /// 1` (which also forces `g(r) ≤ B` for `r > B`). `r = B` always
+    /// qualifies (the fast path), and the condition is monotone, so the
+    /// reach is the largest qualifying `r ≤ 2B`. For unit tables this is
+    /// the familiar `2k`; for quantum tables with `B ≥ 13` it is
+    /// `2B − 12`.
+    #[must_use]
+    pub fn cost_reach(&self) -> u64 {
+        let b = self.max_cost();
+        let gate_costs: Vec<u64> = self
+            .lib
+            .iter()
+            .map(|(_, gate, _)| self.model.gate_cost(gate))
+            .collect();
+        let mut reach = b;
+        for r in b..=2 * b {
+            let gmax = gate_costs
+                .iter()
+                .copied()
+                .filter(|&g| g <= r)
+                .max()
+                .unwrap_or(1);
+            if r <= (2 * b).saturating_sub(gmax) + 1 {
+                reach = r;
+            } else {
+                break;
+            }
+        }
+        reach
+    }
+
+    /// The bucket index of a **canonical** representative, or `None` if
+    /// it is not stored.
+    #[must_use]
+    pub fn bucket_of(&self, rep: Perm) -> Option<usize> {
+        if !self.table.contains(rep) {
+            return None;
+        }
+        (0..self.levels.len()).find(|&i| self.levels[i].binary_search(&rep).is_ok())
+    }
+
+    /// The optimal cost of `f` under the table's model, if it is within
+    /// the stored budget. Accepts any function (not just canonical
+    /// representatives).
+    #[must_use]
+    pub fn cost_of(&self, f: Perm) -> Option<u64> {
+        self.bucket_of(self.sym.canonical(f))
+            .map(|i| self.bucket_costs[i])
     }
 
     /// Statistics of the underlying hash table (paper Table 2).

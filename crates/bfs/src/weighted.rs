@@ -1,0 +1,243 @@
+//! Weighted (cost-bucketed) table generation — the paper's §5 sketch,
+//! "search for small circuits via increasing cost by one", run all the
+//! way into the [`SearchTables`] product so the meet-in-the-middle
+//! machinery works over any additive [`CostModel`], not just gate count.
+//!
+//! # Algorithm
+//!
+//! A uniform-cost search (Dijkstra with an integer bucket queue) over
+//! equivalence classes: expanding a settled class `f` (and its inverse —
+//! the same completeness argument as the breadth-first `generate`
+//! module, since relabeling and reversal preserve every gate's cost) by
+//! every library gate `λ` discovers `canonical(f.then(λ))` at tentative
+//! cost `cost(f) + cost(λ)`. Classes settle in nondecreasing cost, so
+//! the first settlement is at the optimal cost and the recorded boundary
+//! gate peels toward a *strictly cheaper* function — exactly the witness
+//! mechanics the gate-count peel uses, so [`SearchTables::lookup`] and
+//! the fast-path reconstruction work unchanged.
+//!
+//! # The product
+//!
+//! Levels become **cost buckets**: `levels[i]` holds the sorted
+//! representatives of optimal cost exactly `bucket_costs[i]`, with
+//! `bucket_costs` strictly ascending from 0 (the identity). The unit
+//! model degenerates to `bucket_costs[i] == i` — the same level layout
+//! the breadth-first paths produce — which is how the engine recognizes
+//! gate-count tables and keeps their scan bit-identical.
+//!
+//! The [`InvariantIndex`] is keyed by **bucket index** (not raw cost),
+//! so the cost-bounded engine's gate asks "does any stored class in
+//! residual-cost bucket `b` share this candidate's invariants" — the
+//! exact-`k` residue argument of the gate-count gate generalized to
+//! exact-residual-cost buckets. Bucket indices must fit the index's
+//! 32-bit distance masks, hence the budget assertion below.
+
+use std::collections::BTreeMap;
+
+use revsynth_canon::Symmetries;
+use revsynth_circuit::{CostModel, GateLib};
+use revsynth_perm::Perm;
+use revsynth_table::{FnTable, InvariantIndex};
+
+use crate::info::{encode_stored, IDENTITY_BYTE};
+use crate::tables::SearchTables;
+
+/// Hard ceiling on the number of distinct cost values (= buckets): the
+/// invariant index stores per-bucket occurrence masks in a `u32`.
+pub(crate) const MAX_BUCKETS: usize = 32;
+
+pub(crate) fn run(lib: GateLib, model: CostModel, budget: u64) -> SearchTables {
+    assert!(
+        budget <= 200,
+        "cost budget {budget} looks like a unit mix-up"
+    );
+    let sym = Symmetries::new(lib.wires());
+    let mut table = FnTable::for_entries(1 << 12);
+    table.insert(Perm::identity(), IDENTITY_BYTE);
+    let mut by_cost: BTreeMap<u64, Vec<Perm>> = BTreeMap::new();
+    by_cost.insert(0, vec![Perm::identity()]);
+    // pending[c] = (representative, stored-gate byte) discovered at
+    // tentative cost c; duplicates are filtered at settlement.
+    let mut pending: BTreeMap<u64, Vec<(Perm, u8)>> = BTreeMap::new();
+    expand(
+        &lib,
+        &sym,
+        &model,
+        Perm::identity(),
+        0,
+        budget,
+        &table,
+        &mut pending,
+    );
+
+    while let Some((&cost, _)) = pending.iter().next() {
+        let batch = pending.remove(&cost).expect("key just observed");
+        let mut newly: Vec<Perm> = Vec::new();
+        for (rep, byte) in batch {
+            // Settled earlier (at this or a smaller cost) ⇒ skip.
+            if table.insert_if_absent(rep, byte) {
+                newly.push(rep);
+            }
+        }
+        if newly.is_empty() {
+            continue;
+        }
+        for &rep in &newly {
+            expand(&lib, &sym, &model, rep, cost, budget, &table, &mut pending);
+            let inv = rep.inverse();
+            if inv != rep {
+                expand(&lib, &sym, &model, inv, cost, budget, &table, &mut pending);
+            }
+        }
+        newly.sort_unstable();
+        by_cost.insert(cost, newly);
+    }
+
+    let bucket_costs: Vec<u64> = by_cost.keys().copied().collect();
+    assert!(
+        bucket_costs.len() <= MAX_BUCKETS,
+        "{} cost buckets exceed the {}-bit invariant masks (lower the budget)",
+        bucket_costs.len(),
+        MAX_BUCKETS
+    );
+    let levels: Vec<Vec<Perm>> = by_cost.into_values().collect();
+    SearchTables::assemble_weighted(lib, sym, model, table, levels, bucket_costs)
+}
+
+/// Pushes every one-gate expansion of `f` (settled at `cost`) into the
+/// pending buckets, recording the boundary-gate byte exactly as the
+/// breadth-first expansion does.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    lib: &GateLib,
+    sym: &Symmetries,
+    model: &CostModel,
+    f: Perm,
+    cost: u64,
+    budget: u64,
+    table: &FnTable,
+    pending: &mut BTreeMap<u64, Vec<(Perm, u8)>>,
+) {
+    for (_, gate, gate_perm) in lib.iter() {
+        let next_cost = cost + model.gate_cost(gate);
+        if next_cost > budget {
+            continue;
+        }
+        let h = f.then(gate_perm);
+        let w = sym.canonicalize(h);
+        if table.contains(w.rep) {
+            continue;
+        }
+        let stored = gate.conjugate_by_wires(w.sigma);
+        pending
+            .entry(next_cost)
+            .or_default()
+            .push((w.rep, encode_stored(stored, w.inverted)));
+    }
+}
+
+/// Builds the bucket-indexed invariant index shared by every
+/// construction path (the distance recorded per representative is its
+/// **bucket index**; for unit buckets that equals the optimal size).
+pub(crate) fn bucket_invariants(levels: &[Vec<Perm>]) -> InvariantIndex {
+    let total: usize = levels.iter().map(Vec::len).sum();
+    InvariantIndex::build(
+        levels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, level)| level.iter().map(move |&rep| (rep, i))),
+        total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weighted_tables_match_the_breadth_first_levels() {
+        // The degenerate case: a unit-cost Dijkstra settles exactly the
+        // breadth-first levels (same representative sets per size), so
+        // the weighted path is a strict generalization of the BFS.
+        for (n, k) in [(3usize, 3u64), (4, 2)] {
+            let bfs = SearchTables::generate(n, k as usize);
+            let weighted = SearchTables::generate_weighted(GateLib::nct(n), CostModel::unit(), k);
+            assert!(!weighted.is_cost_bucketed(), "unit buckets are levels");
+            assert_eq!(weighted.levels().len(), bfs.levels().len());
+            for (i, (w, b)) in weighted.levels().iter().zip(bfs.levels()).enumerate() {
+                assert_eq!(w, b, "n={n} k={k} level {i}");
+                assert_eq!(weighted.bucket_cost(i), i as u64);
+            }
+            assert_eq!(weighted.invariants(), bfs.invariants());
+        }
+    }
+
+    #[test]
+    fn quantum_buckets_are_strictly_ascending_and_start_at_zero() {
+        let t = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 8);
+        assert!(t.is_cost_bucketed());
+        assert_eq!(t.bucket_cost(0), 0);
+        assert_eq!(t.level(0), &[Perm::identity()]);
+        for i in 1..t.levels().len() {
+            assert!(t.bucket_cost(i) > t.bucket_cost(i - 1), "bucket {i}");
+            assert!(!t.level(i).is_empty(), "settled buckets are non-empty");
+        }
+        assert_eq!(t.max_cost(), 8);
+        // Every single gate lands in the bucket of its own cost.
+        for (_, gate, p) in GateLib::nct(3).iter() {
+            assert_eq!(t.cost_of(p), Some(CostModel::quantum().gate_cost(gate)));
+        }
+    }
+
+    #[test]
+    fn cost_of_is_class_invariant_and_bounded() {
+        let t = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 7);
+        let sym = t.sym();
+        for i in 0..t.levels().len() {
+            for &rep in t.level(i).iter().step_by(3) {
+                let cost = t.bucket_cost(i);
+                assert_eq!(t.cost_of(rep), Some(cost));
+                assert_eq!(t.cost_of(rep.inverse()), Some(cost), "inversion");
+                for member in sym.class_members(rep).into_iter().step_by(7) {
+                    assert_eq!(t.cost_of(member), Some(cost), "member of {rep}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stored_gate_peels_to_a_cheaper_bucket() {
+        // For every settled non-identity representative, composing with
+        // the stored boundary gate on the recorded side lands in a
+        // strictly cheaper bucket — the invariant the fast-path peel
+        // relies on for termination and optimality.
+        use crate::info::StoredGate;
+        let t = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 7);
+        for i in 1..t.levels().len() {
+            for &rep in t.level(i) {
+                match t.lookup(rep).expect("settled") {
+                    StoredGate::Identity => panic!("identity record in bucket {i}"),
+                    StoredGate::Gate { gate, is_first } => {
+                        let g = gate.perm(3);
+                        let peeled = if is_first { g.then(rep) } else { rep.then(g) };
+                        let peeled_cost = t.cost_of(peeled).expect("cheaper ⇒ settled");
+                        assert!(
+                            peeled_cost < t.bucket_cost(i),
+                            "bucket {i} rep {rep}: {peeled_cost} ≥ {}",
+                            t.bucket_cost(i)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_reach_formula() {
+        let t = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 8);
+        // n = 3 library: costliest gate is TOF at 5 ⇒ reach 2·8 − 5 + 1.
+        assert_eq!(t.cost_reach(), 12);
+        let u = SearchTables::generate(4, 2);
+        assert_eq!(u.cost_reach(), 4, "unit reach is 2k");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the cost axis of the class machinery: every
+//! [`CostKind`] must be invariant under conjugation-by-relabeling and
+//! under inversion — the two moves generating the ×48 classes — and
+//! witness replay must preserve every kind's measure.
+//!
+//! These invariances are *load-bearing*: the residual-bucket invariant
+//! gate assumes a candidate's cost equals its canonical
+//! representative's, and the serve layer's class-keyed cache assumes one
+//! stored circuit answers every class member at the same cost under
+//! every model. Seeded SplitMix64 streams keep the tests deterministic
+//! and offline (no external RNG crate).
+
+use revsynth_canon::{replay_for_witness, Symmetries};
+use revsynth_circuit::{Circuit, CostKind, GateLib};
+use revsynth_perm::WirePerm;
+
+/// Self-contained SplitMix64 (the repo's standard offline stream).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn random_circuits(n: usize, count: usize, max_len: usize, seed: u64) -> Vec<Circuit> {
+    let lib = GateLib::nct(n);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let mut rng = SplitMix64(seed);
+    (0..count)
+        .map(|_| {
+            let len = (rng.next() % (max_len as u64 + 1)) as usize;
+            Circuit::from_gates((0..len).map(|_| gates[rng.next() as usize % gates.len()]))
+        })
+        .collect()
+}
+
+fn all_wire_perms(n: usize) -> Vec<WirePerm> {
+    // Enumerate σ over n wires via the symmetry context's relabeling walk.
+    let sym = Symmetries::new(n);
+    sym.relabelings().to_vec()
+}
+
+#[test]
+fn every_cost_kind_is_invariant_under_conjugation_by_relabeling() {
+    for n in [3usize, 4] {
+        let sigmas = all_wire_perms(n);
+        for (i, circuit) in random_circuits(n, 30, 10, 0xC057_0001).iter().enumerate() {
+            for kind in CostKind::ALL {
+                let base = kind.measure(circuit);
+                for &sigma in &sigmas {
+                    let conjugated = circuit.conjugate_by_wires(sigma);
+                    assert_eq!(
+                        kind.measure(&conjugated),
+                        base,
+                        "n={n} circuit {i} kind {kind} sigma {sigma:?}"
+                    );
+                    // Conjugation really computes the conjugated function.
+                    assert_eq!(
+                        conjugated.perm(n),
+                        circuit.perm(n).conjugate_by_wires(sigma),
+                        "n={n} circuit {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_cost_kind_is_invariant_under_inversion() {
+    for n in [3usize, 4] {
+        for (i, circuit) in random_circuits(n, 40, 12, 0xC057_0002).iter().enumerate() {
+            let inverse = circuit.inverse();
+            assert_eq!(inverse.perm(n), circuit.perm(n).inverse(), "circuit {i}");
+            for kind in CostKind::ALL {
+                assert_eq!(
+                    kind.measure(&inverse),
+                    kind.measure(circuit),
+                    "n={n} circuit {i} kind {kind}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_for_witness_preserves_every_cost_kind() {
+    // The serve-layer contract: a cached representative circuit replayed
+    // through any member's witness keeps the member's cost identical
+    // under all three models — so one cache entry per (model, class) is
+    // enough and replayed answers stay optimal.
+    for n in [3usize, 4] {
+        let sym = Symmetries::new(n);
+        for (i, circuit) in random_circuits(n, 40, 10, 0xC057_0003).iter().enumerate() {
+            let f = circuit.perm(n);
+            let w = sym.canonicalize(f);
+            // Map the circuit into the representative's frame (what the
+            // cache stores), then replay it back.
+            let rep_circuit = if w.inverted {
+                circuit.inverse()
+            } else {
+                circuit.clone()
+            }
+            .conjugate_by_wires(w.sigma);
+            assert_eq!(rep_circuit.perm(n), w.rep, "n={n} circuit {i}");
+            let replayed = replay_for_witness(&rep_circuit, &w);
+            assert_eq!(replayed.perm(n), f, "n={n} circuit {i}");
+            for kind in CostKind::ALL {
+                assert_eq!(
+                    kind.measure(&replayed),
+                    kind.measure(circuit),
+                    "n={n} circuit {i} kind {kind}"
+                );
+                assert_eq!(
+                    kind.measure(&rep_circuit),
+                    kind.measure(circuit),
+                    "n={n} circuit {i} kind {kind} (rep frame)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn class_members_share_every_cost_measure() {
+    // The cache-key argument from the class side: every member of a
+    // class is a conjugate/inverse of the representative, so measures
+    // computed from any member's minimal circuit agree — one cache
+    // entry per (cost model, class) can answer them all.
+    let sym = Symmetries::new(3);
+    for circuit in &random_circuits(3, 12, 8, 0xC057_0004) {
+        let f = circuit.perm(3);
+        for member in sym.class_members(f) {
+            let w = sym.canonicalize(member);
+            assert_eq!(w.rep, sym.canonical(f), "same class");
+        }
+    }
+}

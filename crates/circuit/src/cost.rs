@@ -7,7 +7,132 @@
 //! per control count; the cost-aware search in `revsynth-bfs` explores
 //! circuits in order of increasing total cost exactly as §5 sketches.
 
+use std::fmt;
+use std::str::FromStr;
+
+use crate::circuit::Circuit;
 use crate::gate::Gate;
+
+/// The three cost axes the synthesis stack can optimize (paper §5):
+/// plain **gate count** (the paper's primary metric), weighted
+/// **quantum cost** (NOT = CNOT = 1, TOF = 5, TOF4 = 13), and circuit
+/// **depth** (parallel time steps over the layer alphabet).
+///
+/// Every kind is a *class function*: invariant under conjugation by wire
+/// relabelings and under inversion (relabeling maps gates bijectively
+/// within the NCT library preserving control counts and disjointness;
+/// inversion reverses the gate string, preserving the gate multiset and
+/// the schedule length). That invariance is what makes the ×48 canonical
+/// reduction, the invariant gate and class-keyed result caches sound for
+/// every kind — it is property-tested per kind in `revsynth-canon`.
+///
+/// # Example
+///
+/// ```
+/// use revsynth_circuit::{Circuit, CostKind};
+///
+/// let c: Circuit = "NOT(a) CNOT(b,c) TOF(a,b,c)".parse()?;
+/// assert_eq!(CostKind::Gates.measure(&c), 3);
+/// assert_eq!(CostKind::Quantum.measure(&c), 1 + 1 + 5);
+/// assert_eq!(CostKind::Depth.measure(&c), 2); // NOT(a) ∥ CNOT(b,c)
+/// assert_eq!("quantum".parse::<CostKind>()?, CostKind::Quantum);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum CostKind {
+    /// Gate count — the paper's primary metric, [`CostModel::unit`].
+    #[default]
+    Gates,
+    /// NCT quantum cost — [`CostModel::quantum`].
+    Quantum,
+    /// Parallel time steps (disjoint-support gates share a step).
+    Depth,
+}
+
+impl CostKind {
+    /// Every kind, in wire-encoding order (the discriminant is the
+    /// protocol byte).
+    pub const ALL: [CostKind; 3] = [CostKind::Gates, CostKind::Quantum, CostKind::Depth];
+
+    /// The canonical lower-case name (`gates`, `quantum`, `depth`).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CostKind::Gates => "gates",
+            CostKind::Quantum => "quantum",
+            CostKind::Depth => "depth",
+        }
+    }
+
+    /// The per-gate weight model behind an *additive* kind, or `None`
+    /// for depth (which is not a sum of per-gate costs).
+    #[must_use]
+    pub const fn weights(self) -> Option<CostModel> {
+        match self {
+            CostKind::Gates => Some(CostModel::unit()),
+            CostKind::Quantum => Some(CostModel::quantum()),
+            CostKind::Depth => None,
+        }
+    }
+
+    /// A circuit's cost under this kind.
+    #[must_use]
+    pub fn measure(self, circuit: &Circuit) -> u64 {
+        match self {
+            CostKind::Gates => circuit.len() as u64,
+            CostKind::Quantum => circuit.cost(&CostModel::quantum()),
+            CostKind::Depth => circuit.depth() as u64,
+        }
+    }
+
+    /// The stable wire/byte encoding (also the enum discriminant).
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire/byte encoding.
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<CostKind> {
+        match code {
+            0 => Some(CostKind::Gates),
+            1 => Some(CostKind::Quantum),
+            2 => Some(CostKind::Depth),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`CostKind`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCostKindError(String);
+
+impl fmt::Display for ParseCostKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cost model `{}` (gates|quantum|depth)", self.0)
+    }
+}
+
+impl std::error::Error for ParseCostKindError {}
+
+impl FromStr for CostKind {
+    type Err = ParseCostKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gates" | "gate-count" | "count" => Ok(CostKind::Gates),
+            "quantum" | "qc" => Ok(CostKind::Quantum),
+            "depth" => Ok(CostKind::Depth),
+            other => Err(ParseCostKindError(other.to_owned())),
+        }
+    }
+}
 
 /// Integer gate costs indexed by the number of controls
 /// `[NOT, CNOT, TOF, TOF4]`.
@@ -121,5 +246,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cost_rejected() {
         let _ = CostModel::custom([0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn cost_kind_roundtrips_names_and_codes() {
+        for kind in CostKind::ALL {
+            assert_eq!(kind.as_str().parse::<CostKind>(), Ok(kind));
+            assert_eq!(CostKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(CostKind::from_code(3), None);
+        assert!("florins".parse::<CostKind>().is_err());
+        assert_eq!(CostKind::default(), CostKind::Gates);
+    }
+
+    #[test]
+    fn cost_kind_measures() {
+        let c: crate::Circuit = "NOT(a) CNOT(b,c) TOF(a,b,c) TOF4(a,b,c,d)".parse().unwrap();
+        assert_eq!(CostKind::Gates.measure(&c), 4);
+        assert_eq!(CostKind::Quantum.measure(&c), 1 + 1 + 5 + 13);
+        assert_eq!(CostKind::Depth.measure(&c), c.depth() as u64);
+        assert_eq!(CostKind::Gates.weights(), Some(CostModel::unit()));
+        assert_eq!(CostKind::Quantum.weights(), Some(CostModel::quantum()));
+        assert_eq!(CostKind::Depth.weights(), None);
     }
 }

@@ -46,7 +46,7 @@ mod lib_set;
 pub mod real;
 
 pub use circuit::{Circuit, ParseCircuitError};
-pub use cost::CostModel;
+pub use cost::{CostKind, CostModel, ParseCostKindError};
 pub use gate::{Gate, InvalidGateError, ParseGateError};
 pub use layer::{all_layers, InvalidLayerError, Layer};
 pub use lib_set::GateLib;

@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use revsynth_analysis::{sample_distribution_stats, HardSearch};
 use revsynth_bfs::SearchTables;
-use revsynth_core::{SearchOptions, Synthesizer};
+use revsynth_circuit::CostKind;
+use revsynth_core::{SearchOptions, SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_linear::{linear_only_distribution, PAPER_TABLE5};
 use revsynth_perm::Perm;
 use revsynth_specs::benchmarks;
@@ -23,20 +24,29 @@ COMMANDS:
     bfs        --k <K> [--n <N>] [--out <FILE>] [--threads <T>]
                Generate the breadth-first tables and optionally save them.
     synth      --spec <P0,..,P15> [--k <K>] [--tables <FILE>] [--threads <T>]
+               [--cost gates|quantum|depth] [--cost-budget <B>]
                [--no-filter] [--probe-depth <W>] [--verbose]
-               Synthesize an optimal circuit for a permutation
-               (--threads 0 = all cores; level scans are sharded;
-               --no-filter disables the invariant candidate gate and
-               --probe-depth sets the probe-wavefront depth, both for A/B
-               runs — results are identical; --verbose prints gate
-               selectivity).
+               Synthesize a cost-minimal circuit for a permutation.
+               --cost picks the model (default gates): quantum runs the
+               cost-bounded engine over cost-bucketed tables generated
+               to --cost-budget (default 13, covering every single
+               gate); depth minimizes parallel time steps with
+               --cost-budget layers (default 3). --threads 0 = all
+               cores (level-scan sharding applies to --cost gates; the
+               cost-bounded quantum scan is serial); --no-filter disables the invariant candidate gate
+               and --probe-depth sets the probe-wavefront depth, both
+               for A/B runs — results are identical; --verbose prints
+               gate selectivity.
     benchmarks [--k <K>] [--tables <FILE>]
                Synthesize the paper's Table 6 benchmark suite.
     random     [--samples <N>] [--k <K>] [--seed <S>] [--tables <FILE>]
-               [--threads <T>] [--no-filter] [--probe-depth <W>] [--verbose]
-               Size distribution of random permutations (paper Table 3),
-               measured through the batched search engine (--verbose adds
-               gate-selectivity statistics).
+               [--threads <T>] [--cost gates|quantum|depth]
+               [--cost-budget <B>] [--no-filter] [--probe-depth <W>]
+               [--verbose]
+               Cost distribution of random permutations (paper Table 3
+               for gates; quantum-cost / depth histograms for the other
+               models), measured through the batched search engine
+               (--verbose adds gate-selectivity statistics).
     linear     Distribution of optimal sizes over all 322,560 linear
                reversible functions (paper Table 5).
     hard       [--seconds <S>] [--k <K>] [--seed <SEED>] [--tables <FILE>]
@@ -51,7 +61,7 @@ COMMANDS:
                Cost-optimal synthesis under weighted gates (paper §5).
     serve      [--port <P>] [--workers <W>] [--cache-capacity <C>]
                [--linger-ms <L>] [--k <K>] [--n <N>] [--tables <FILE>]
-               [--threads <T>]
+               [--threads <T>] [--quantum-budget <B>] [--depth-budget <D>]
                Run the synthesis service on 127.0.0.1:<P> (default 7878;
                0 picks a free port, printed on startup). Results are
                cached per equivalence class (--cache-capacity entries,
@@ -63,12 +73,16 @@ COMMANDS:
                coalescing window, at that much added miss latency;
                default 0). Runs until a client sends a shutdown request
                (`revsynth query --shutdown`), then prints final stats.
-    query      [--port <P>] [--spec <P0,..,P15>] [--json] [--stats]
-               [--shutdown]
-               Query a running server: --spec synthesizes a permutation,
-               --stats (or no --spec) prints the ServeStats snapshot,
-               --shutdown stops the server. --json switches the output
-               to single-line JSON.
+               Queries carry a per-request cost model; the quantum and
+               depth engines are generated lazily on first use
+               (--quantum-budget, default 13; --depth-budget, default
+               3), so gates-only traffic never pays for them.
+    query      [--port <P>] [--spec <P0,..,P15>] [--cost gates|quantum|depth]
+               [--json] [--stats] [--shutdown]
+               Query a running server: --spec synthesizes a permutation
+               under --cost (default gates), --stats (or no --spec)
+               prints the ServeStats snapshot, --shutdown stops the
+               server. --json switches the output to single-line JSON.
     loadgen    [--port <P>] [--clients <C>] [--requests <R>]
                [--pool <B>] [--max-len <L>] [--seed <S>] [--quick]
                [--expect-coalesced]
@@ -158,6 +172,11 @@ impl Opts {
         }
         Ok(())
     }
+}
+
+/// Parses the shared `--cost` flag (default gates).
+fn cost_kind(opts: &Opts) -> Result<CostKind, Box<dyn Error>> {
+    Ok(opts.get("cost").unwrap_or("gates").parse::<CostKind>()?)
 }
 
 /// Builds [`SearchOptions`] from the shared engine flags
@@ -289,6 +308,8 @@ fn cmd_synth(opts: &Opts) -> CliResult {
         "n",
         "tables",
         "threads",
+        "cost",
+        "cost-budget",
         "no-filter",
         "probe-depth",
         "verbose",
@@ -297,16 +318,22 @@ fn cmd_synth(opts: &Opts) -> CliResult {
         .get("spec")
         .ok_or("synth needs --spec 0,1,2,...,15 (a permutation value list)")?;
     let f = parse_spec(spec)?;
-    let synth = Synthesizer::new(tables_from(opts, 6)?);
-    let search = search_options(opts)?;
+    let kind = cost_kind(opts)?;
+    let search = search_options(opts)?.cost_model(kind);
+    let synth = cost_synthesizer(opts, kind, 6)?;
     let start = Instant::now();
-    let result = synth.synthesize_with(f, &search)?;
+    let result = match &synth {
+        CostEngine::Mitm(s) => s.synthesize_with(f, &search)?,
+        CostEngine::Depth(suite) => suite.synthesize(f, CostKind::Depth)?,
+    };
     let elapsed = start.elapsed();
     println!("function : {f}");
     println!(
-        "size     : {} gates (provably minimal)",
-        result.circuit.len()
+        "cost     : {} {} (provably minimal)",
+        result.cost,
+        cost_unit(kind)
     );
+    println!("size     : {} gates", result.circuit.len());
     println!("depth    : {}", result.circuit.depth());
     println!("circuit  : {}", result.circuit);
     println!(
@@ -317,6 +344,108 @@ fn cmd_synth(opts: &Opts) -> CliResult {
     );
     print_selectivity(opts, &search, &result.stats);
     Ok(())
+}
+
+/// The engine behind `--cost`: the batched meet-in-the-middle
+/// synthesizer (gates or quantum tables), or the depth suite.
+enum CostEngine {
+    Mitm(Box<Synthesizer>),
+    Depth(Box<SynthesisSuite>),
+}
+
+/// The human-readable unit of a cost value.
+fn cost_unit(kind: CostKind) -> &'static str {
+    match kind {
+        CostKind::Gates => "gates",
+        CostKind::Quantum => "quantum cost",
+        CostKind::Depth => "time steps",
+    }
+}
+
+/// Builds the engine for the selected cost model. Gates reuses the
+/// standard tables (`--k`/`--tables`); quantum loads `--tables` (which
+/// must be a quantum-cost store — format v3 round-trips the model) or
+/// generates cost-bucketed tables to `--cost-budget` (default 13);
+/// depth generates the layer tables to `--cost-budget` layers (default
+/// 3). Flags meaningless under the selected model are rejected instead
+/// of silently ignored.
+fn cost_synthesizer(
+    opts: &Opts,
+    kind: CostKind,
+    default_k: usize,
+) -> Result<CostEngine, Box<dyn Error>> {
+    match kind {
+        CostKind::Gates => {
+            if opts.get("cost-budget").is_some() {
+                return Err("--cost-budget applies to --cost quantum|depth; \
+                     use --k for gate-count tables"
+                    .into());
+            }
+            Ok(CostEngine::Mitm(Box::new(Synthesizer::new(tables_from(
+                opts, default_k,
+            )?))))
+        }
+        CostKind::Quantum => {
+            if opts.get("k").is_some() {
+                return Err(
+                    "--k sizes gate-count tables; use --cost-budget with --cost quantum".into(),
+                );
+            }
+            if let Some(path) = opts.get("tables") {
+                eprintln!("loading quantum-cost tables from {path} ...");
+                let tables = SearchTables::load(path)?;
+                if *tables.model() != revsynth_circuit::CostModel::quantum() {
+                    return Err(format!(
+                        "{path} holds {:?} tables, not quantum-cost ones",
+                        tables.model()
+                    )
+                    .into());
+                }
+                eprintln!(
+                    "  {} classes (reach {})",
+                    tables.num_representatives(),
+                    tables.cost_reach()
+                );
+                return Ok(CostEngine::Mitm(Box::new(Synthesizer::new(tables))));
+            }
+            let n: usize = opts.get_parse("n", 4usize)?;
+            let budget: u64 = opts.get_parse("cost-budget", 13u64)?;
+            eprintln!("generating quantum-cost tables (n = {n}, budget {budget}) ...");
+            let start = Instant::now();
+            let tables = SearchTables::generate_weighted(
+                revsynth_circuit::GateLib::nct(n),
+                revsynth_circuit::CostModel::quantum(),
+                budget,
+            );
+            eprintln!(
+                "  {} classes (reach {}) in {:.2?}",
+                tables.num_representatives(),
+                tables.cost_reach(),
+                start.elapsed()
+            );
+            Ok(CostEngine::Mitm(Box::new(Synthesizer::new(tables))))
+        }
+        CostKind::Depth => {
+            if opts.get("k").is_some() || opts.get("tables").is_some() {
+                return Err("--cost depth generates its own layer tables; \
+                     --k/--tables do not apply (use --cost-budget for the layer budget)"
+                    .into());
+            }
+            let n: usize = opts.get_parse("n", 4usize)?;
+            let budget: usize = opts.get_parse("cost-budget", 3usize)?;
+            eprintln!("generating depth tables (n = {n}, {budget} layers) ...");
+            // A k=1 gate table keeps suite construction trivial; only
+            // the depth engine is exercised.
+            let suite = SynthesisSuite::new(
+                Synthesizer::from_scratch(n, 1),
+                SuiteConfig {
+                    depth_budget: budget,
+                    ..SuiteConfig::default()
+                },
+            );
+            Ok(CostEngine::Depth(Box::new(suite)))
+        }
+    }
 }
 
 fn cmd_benchmarks(opts: &Opts) -> CliResult {
@@ -363,12 +492,22 @@ fn cmd_random(opts: &Opts) -> CliResult {
         "seed",
         "tables",
         "threads",
+        "cost",
+        "cost-budget",
         "no-filter",
         "probe-depth",
         "verbose",
     ])?;
     let samples: usize = opts.get_parse("samples", 25)?;
     let seed: u64 = opts.get_parse("seed", 2010)?;
+    let kind = cost_kind(opts)?;
+    if kind != CostKind::Gates {
+        return random_cost_distribution(opts, kind, samples, seed);
+    }
+    if opts.get("cost-budget").is_some() {
+        return Err("--cost-budget applies to --cost quantum|depth;              use --k for gate-count tables"
+            .into());
+    }
     let synth = Synthesizer::new(tables_from(opts, 6)?);
     let search = search_options(opts)?;
     let start = Instant::now();
@@ -394,6 +533,50 @@ fn cmd_random(opts: &Opts) -> CliResult {
         "weighted average: {:.2} gates (paper: 11.94)",
         dist.weighted_average()
     );
+    Ok(())
+}
+
+/// `random --cost quantum|depth`: a per-model cost histogram of random
+/// permutations through the selected engine's batched entry point.
+fn random_cost_distribution(opts: &Opts, kind: CostKind, samples: usize, seed: u64) -> CliResult {
+    use revsynth_analysis::SplitMix64;
+    let n: usize = opts.get_parse("n", 4usize)?;
+    let engine = cost_synthesizer(opts, kind, 6)?;
+    let search = search_options(opts)?.cost_model(kind);
+    let mut rng = SplitMix64::new(seed);
+    let fs: Vec<revsynth_perm::Perm> = (0..samples)
+        .map(|_| revsynth_analysis::random_perm(n, &mut rng))
+        .collect();
+    let start = Instant::now();
+    let results = match &engine {
+        CostEngine::Mitm(s) => s.synthesize_many(&fs, &search),
+        CostEngine::Depth(suite) => suite.synthesize_many(&fs, &search),
+    };
+    let mut dist: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut unresolved = 0u64;
+    for result in &results {
+        match result {
+            Ok(syn) => *dist.entry(syn.cost).or_default() += 1,
+            Err(_) => unresolved += 1,
+        }
+    }
+    println!(
+        "{samples} random permutations in {:.2?} (seed {seed}, model {kind})",
+        start.elapsed()
+    );
+    println!("{:>6} {:>10} {:>9}", "cost", "count", "fraction");
+    for (&cost, &count) in &dist {
+        println!(
+            "{cost:>6} {count:>10} {:>9.4}",
+            count as f64 / samples as f64
+        );
+    }
+    if unresolved > 0 {
+        println!(
+            "beyond {:>10}  (past the engine's reach; raise --cost-budget)",
+            unresolved
+        );
+    }
     Ok(())
 }
 
@@ -533,6 +716,8 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         "n",
         "tables",
         "threads",
+        "quantum-budget",
+        "depth-budget",
     ])?;
     let config = revsynth_serve::ServerConfig {
         port: opts.get_parse("port", DEFAULT_PORT)?,
@@ -547,15 +732,24 @@ fn cmd_serve(opts: &Opts) -> CliResult {
     if config.cache_capacity == 0 {
         return Err("--cache-capacity must be at least 1".into());
     }
-    let synth = std::sync::Arc::new(Synthesizer::new(tables_from(opts, 4)?));
+    let suite_config = SuiteConfig {
+        quantum_budget: opts.get_parse("quantum-budget", 13u64)?,
+        depth_budget: opts.get_parse("depth-budget", 3usize)?,
+    };
+    let synth = Synthesizer::new(tables_from(opts, 4)?);
     let wires = synth.wires();
     let max_size = synth.max_size();
-    let server = revsynth_serve::Server::bind(synth, &config)?;
+    let suite = std::sync::Arc::new(SynthesisSuite::new(synth, suite_config));
+    let server = revsynth_serve::Server::bind(suite, &config)?;
     println!("listening on {}", server.local_addr());
     println!(
         "serving n = {wires} functions up to {max_size} gates \
-         ({} scheduler workers, {}-class cache)",
-        config.workers, config.cache_capacity
+         ({} scheduler workers, {}-class cache; quantum/depth engines \
+         lazy at budgets {}/{})",
+        config.workers,
+        config.cache_capacity,
+        suite_config.quantum_budget,
+        suite_config.depth_budget
     );
     let stats = server.run()?;
     println!("final stats: {}", stats.to_json());
@@ -563,7 +757,7 @@ fn cmd_serve(opts: &Opts) -> CliResult {
 }
 
 fn cmd_query(opts: &Opts) -> CliResult {
-    opts.reject_unknown(&["port", "spec", "json", "stats", "shutdown"])?;
+    opts.reject_unknown(&["port", "spec", "cost", "json", "stats", "shutdown"])?;
     let addr = server_addr(opts)?;
     let mut client = revsynth_serve::Client::connect(addr)?;
     if opts.has("shutdown") {
@@ -573,12 +767,15 @@ fn cmd_query(opts: &Opts) -> CliResult {
     }
     if let Some(spec) = opts.get("spec") {
         let f = parse_spec(spec)?;
+        let kind = cost_kind(opts)?;
         let start = Instant::now();
-        let circuit = client.query(f)?;
+        let circuit = client.query_with_cost(f, kind)?;
         let elapsed = start.elapsed();
+        let cost = kind.measure(&circuit);
         if opts.has("json") {
             println!(
-                "{{\"function\": \"{f}\", \"size\": {}, \"depth\": {}, \
+                "{{\"function\": \"{f}\", \"cost_model\": \"{kind}\", \"cost\": {cost}, \
+                 \"size\": {}, \"depth\": {}, \
                  \"circuit\": \"{circuit}\", \"round_trip_us\": {}}}",
                 circuit.len(),
                 circuit.depth(),
@@ -586,7 +783,8 @@ fn cmd_query(opts: &Opts) -> CliResult {
             );
         } else {
             println!("function : {f}");
-            println!("size     : {} gates (provably minimal)", circuit.len());
+            println!("cost     : {cost} {} (provably minimal)", cost_unit(kind));
+            println!("size     : {} gates", circuit.len());
             println!("depth    : {}", circuit.depth());
             println!("circuit  : {circuit}");
             println!("round    : {elapsed:.2?}");
@@ -907,12 +1105,76 @@ mod tests {
     }
 
     #[test]
+    fn synth_and_random_accept_cost_models() {
+        let quantum: Vec<String> = [
+            "synth",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--cost",
+            "quantum",
+            "--cost-budget",
+            "5",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(dispatch(&quantum).is_ok());
+        let depth: Vec<String> = [
+            "synth",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--cost",
+            "depth",
+            "--cost-budget",
+            "1",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(dispatch(&depth).is_ok());
+        let random: Vec<String> = [
+            "random",
+            "--samples",
+            "4",
+            "--n",
+            "3",
+            "--cost",
+            "quantum",
+            "--cost-budget",
+            "8",
+            "--seed",
+            "7",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(dispatch(&random).is_ok());
+        let bogus: Vec<String> = [
+            "synth",
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--cost",
+            "florins",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(dispatch(&bogus).is_err(), "unknown cost model rejected");
+    }
+
+    #[test]
     fn serve_query_loadgen_end_to_end() {
         // Serve on an ephemeral port from a background thread, then
         // exercise query (spec, stats, json) and loadgen against it,
         // finishing with a shutdown — the CI smoke flow in miniature.
-        let synth = std::sync::Arc::new(Synthesizer::from_scratch(4, 2));
-        let server = revsynth_serve::Server::bind(synth, &revsynth_serve::ServerConfig::default())
+        let suite = std::sync::Arc::new(SynthesisSuite::new(
+            Synthesizer::from_scratch(4, 2),
+            SuiteConfig {
+                quantum_budget: 6,
+                depth_budget: 2,
+            },
+        ));
+        let server = revsynth_serve::Server::bind(suite, &revsynth_serve::ServerConfig::default())
             .expect("bind");
         let port = server.local_addr().port().to_string();
         let handle = server.spawn();
@@ -929,6 +1191,27 @@ mod tests {
         ]))
         .is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--stats"])).is_ok());
+        assert!(dispatch(&to_args(&[
+            "query",
+            "--port",
+            &port,
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--cost",
+            "quantum",
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&[
+            "query",
+            "--port",
+            &port,
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+            "--cost",
+            "depth",
+            "--json",
+        ]))
+        .is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--json"])).is_ok());
         assert!(dispatch(&to_args(&[
             "loadgen",

@@ -59,6 +59,7 @@ mod depth;
 mod error;
 mod peephole;
 pub mod search;
+mod suite;
 mod synth;
 
 pub use cost::CostSynthesizer;
@@ -66,4 +67,5 @@ pub use depth::DepthSynthesizer;
 pub use error::SynthesisError;
 pub use peephole::PeepholeOptimizer;
 pub use search::{SearchOptions, SearchStats};
+pub use suite::{SuiteConfig, SynthesisSuite};
 pub use synth::{Synthesis, Synthesizer};

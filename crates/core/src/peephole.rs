@@ -11,7 +11,7 @@
 //! optimal synthesizer is guaranteed to succeed on it — local optimality
 //! is certain, and repeated passes run to a fixpoint.
 
-use revsynth_circuit::Circuit;
+use revsynth_circuit::{Circuit, CostKind, Gate};
 use revsynth_perm::Perm;
 
 use crate::error::SynthesisError;
@@ -37,31 +37,80 @@ use crate::synth::Synthesizer;
 pub struct PeepholeOptimizer<'a> {
     synth: &'a Synthesizer,
     window: usize,
+    /// The cost axis splices must strictly improve. [`CostKind::Gates`]
+    /// reproduces the historical behavior (splice when the replacement
+    /// has fewer gates); [`CostKind::Quantum`] accepts only
+    /// quantum-cheaper replacements (an additive kind, so the local test
+    /// equals the global one); [`CostKind::Depth`] compares the whole
+    /// circuit's schedule depth (depth is not additive across a splice
+    /// boundary, so a local test would be unsound).
+    kind: CostKind,
 }
 
 impl<'a> PeepholeOptimizer<'a> {
     /// Creates an optimizer with the default window (the synthesizer's
     /// table depth `k + 2`, keeping every window synthesis on the cheap
-    /// end of the meet-in-the-middle regime).
+    /// end of the meet-in-the-middle regime) minimizing gate count.
     #[must_use]
     pub fn new(synth: &'a Synthesizer) -> Self {
-        let window = (synth.tables().k() + 2).min(synth.max_size());
-        PeepholeOptimizer { synth, window }
+        Self::with_kind(synth, CostKind::Gates)
     }
 
-    /// Creates an optimizer with an explicit window length.
+    /// Creates an optimizer whose splices strictly improve `kind`
+    /// (default window). Pair the quantum kind with a quantum-cost
+    /// synthesizer ([`revsynth_bfs::SearchTables::generate_weighted`])
+    /// so window re-synthesis actually *finds* cheaper circuits; with a
+    /// gate-count synthesizer the kind still guards against splices that
+    /// would regress the chosen measure.
+    #[must_use]
+    pub fn with_kind(synth: &'a Synthesizer, kind: CostKind) -> Self {
+        let window = (synth.tables().k() + 2).min(synth.max_size());
+        PeepholeOptimizer {
+            synth,
+            window,
+            kind,
+        }
+    }
+
+    /// The cost axis splices must improve.
+    #[must_use]
+    pub const fn kind(&self) -> CostKind {
+        self.kind
+    }
+
+    /// Creates a gate-count optimizer with an explicit window length
+    /// (shorthand for [`with_kind_and_window`](Self::with_kind_and_window)
+    /// with [`CostKind::Gates`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`with_kind_and_window`](Self::with_kind_and_window).
+    #[must_use]
+    pub fn with_window(synth: &'a Synthesizer, window: usize) -> Self {
+        Self::with_kind_and_window(synth, CostKind::Gates, window)
+    }
+
+    /// Creates an optimizer with both an explicit cost axis and an
+    /// explicit window length.
     ///
     /// # Panics
     ///
     /// Panics if `window` is 0 or exceeds the synthesizer's searchable
-    /// bound `2k` (windows beyond the bound could fail mid-optimization).
+    /// bound — `2k` gates on gate-count tables, the cost reach on
+    /// cost-bucketed ones (where windows additionally self-shrink to
+    /// the reach in cost units during optimization).
     #[must_use]
-    pub fn with_window(synth: &'a Synthesizer, window: usize) -> Self {
+    pub fn with_kind_and_window(synth: &'a Synthesizer, kind: CostKind, window: usize) -> Self {
         assert!(
             window >= 1 && window <= synth.max_size(),
-            "window must be within 1..=2k"
+            "window must be within 1..=max_size (2k gates, or the cost reach \
+             on cost-bucketed tables)"
         );
-        PeepholeOptimizer { synth, window }
+        PeepholeOptimizer {
+            synth,
+            window,
+            kind,
+        }
     }
 
     /// The window length in gates.
@@ -80,20 +129,38 @@ impl<'a> PeepholeOptimizer<'a> {
     /// synthesizer's domain.
     pub fn optimize(&self, circuit: &Circuit) -> Result<Circuit, SynthesisError> {
         let n = self.synth.wires();
+        let model = *self.synth.tables().model();
+        let bucketed = self.synth.tables().is_cost_bucketed();
+        let reach = self.synth.max_size() as u64;
         let mut gates: Vec<_> = circuit.iter().copied().collect();
         loop {
             let mut improved = false;
             let mut i = 0usize;
             while i < gates.len() {
-                let end = (i + self.window).min(gates.len());
+                let mut end = (i + self.window).min(gates.len());
+                if bucketed {
+                    // On cost-bucketed tables the synthesizer's reach is
+                    // in cost units: shrink the window until its summed
+                    // model cost fits, so every window re-synthesis is
+                    // still guaranteed to succeed.
+                    while end > i && window_model_cost(&gates[i..end], &model) > reach {
+                        end -= 1;
+                    }
+                }
                 if end - i < 2 {
+                    if bucketed {
+                        // A costly gate shrank this window to one gate;
+                        // later windows may still have room.
+                        i += 1;
+                        continue;
+                    }
                     break; // a single gate cannot shrink
                 }
                 let window_fn = gates[i..end]
                     .iter()
                     .fold(Perm::identity(), |acc, g| acc.then(g.perm(n)));
                 let replacement = self.synth.synthesize(window_fn)?;
-                if replacement.len() < end - i {
+                if self.splice_improves(&gates, i, end, &replacement) {
                     gates.splice(i..end, replacement.iter().copied());
                     improved = true;
                     // Re-examine from a little before the splice: the new
@@ -105,6 +172,28 @@ impl<'a> PeepholeOptimizer<'a> {
             }
             if !improved {
                 return Ok(Circuit::from_gates(gates));
+            }
+        }
+    }
+
+    /// Whether replacing `gates[i..end]` with `replacement` strictly
+    /// improves the configured cost axis. Additive kinds (gates,
+    /// quantum) compare the window locally — the global delta equals the
+    /// local delta; each acceptance strictly decreases the whole
+    /// circuit's measure, so passes terminate. Depth compares the whole
+    /// spliced circuit (ASAP depth is not additive across the boundary).
+    fn splice_improves(&self, gates: &[Gate], i: usize, end: usize, replacement: &Circuit) -> bool {
+        match self.kind.weights() {
+            Some(weights) => {
+                replacement.cost(&weights) < window_model_cost(&gates[i..end], &weights)
+            }
+            None => {
+                let mut candidate: Vec<Gate> =
+                    Vec::with_capacity(gates.len() - (end - i) + replacement.len());
+                candidate.extend_from_slice(&gates[..i]);
+                candidate.extend(replacement.iter().copied());
+                candidate.extend_from_slice(&gates[end..]);
+                Circuit::from_gates(candidate).depth() < Circuit::from_gates(gates.to_vec()).depth()
             }
         }
     }
@@ -123,6 +212,11 @@ impl<'a> PeepholeOptimizer<'a> {
         let after = out.len();
         Ok((out, before, after))
     }
+}
+
+/// Summed per-gate model cost of a window.
+fn window_model_cost(gates: &[Gate], model: &revsynth_circuit::CostModel) -> u64 {
+    gates.iter().map(|&g| model.gate_cost(g)).sum()
 }
 
 #[cfg(test)]
@@ -218,6 +312,115 @@ mod tests {
     }
 
     #[test]
+    fn every_kind_preserves_semantics_and_never_increases_its_measure() {
+        // The per-model contract of the rewrite engine: for each cost
+        // kind, optimization preserves the computed function, never
+        // increases the kind's measure, and reaches a fixpoint.
+        let s = synth();
+        for kind in CostKind::ALL {
+            let opt = PeepholeOptimizer::with_kind(s, kind);
+            assert_eq!(opt.kind(), kind);
+            for seed in 0..8u64 {
+                let c = random_circuit(24, seed ^ 0xC057);
+                let out = opt.optimize(&c).unwrap();
+                assert_eq!(out.perm(4), c.perm(4), "{kind} seed {seed}");
+                assert!(
+                    kind.measure(&out) <= kind.measure(&c),
+                    "{kind} seed {seed}: {} > {}",
+                    kind.measure(&out),
+                    kind.measure(&c)
+                );
+                let twice = opt.optimize(&out).unwrap();
+                assert_eq!(out, twice, "{kind} seed {seed}: fixpoint");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelling_pair_rule_improves_every_measure() {
+        // The basic rewrite rule — adjacent self-inverse pairs vanish —
+        // must fire under every kind (it strictly improves all three).
+        let s = synth();
+        for kind in CostKind::ALL {
+            let opt = PeepholeOptimizer::with_kind(s, kind);
+            let c: Circuit = "CNOT(a,b) TOF(a,b,c) TOF(a,b,c) CNOT(a,b)".parse().unwrap();
+            let out = opt.optimize(&c).unwrap();
+            assert!(out.is_empty(), "{kind}: {out}");
+        }
+    }
+
+    #[test]
+    fn quantum_kind_declines_splices_that_regress_quantum_cost() {
+        // Hunt (deterministically) for a 3-wire class whose gate-count
+        // optimum is quantum-costlier than its quantum optimum; feed the
+        // cheap-but-longer circuit to both optimizers. The gates-kind
+        // optimizer may shorten it (possibly paying quantum cost); the
+        // quantum-kind optimizer must never let the quantum cost rise.
+        use revsynth_bfs::SearchTables;
+        use revsynth_circuit::CostModel;
+        let model = CostModel::quantum();
+        let quantum_synth =
+            Synthesizer::new(SearchTables::generate_weighted(GateLib::nct(3), model, 9));
+        let gate_synth = Synthesizer::from_scratch(3, 4);
+        let mut witnessed = false;
+        'hunt: for i in 0..quantum_synth.tables().levels().len() {
+            for &rep in quantum_synth.tables().level(i) {
+                let cheap = quantum_synth.synthesize(rep).unwrap();
+                let Ok(small) = gate_synth.synthesize(rep) else {
+                    continue;
+                };
+                if small.cost(&model) <= cheap.cost(&model) || cheap.len() > 6 {
+                    continue;
+                }
+                // `cheap` is quantum-optimal but gate-count-suboptimal.
+                let gates_opt = PeepholeOptimizer::with_kind(&gate_synth, CostKind::Gates);
+                let quantum_opt = PeepholeOptimizer::with_kind(&gate_synth, CostKind::Quantum);
+                let shortened = gates_opt.optimize(&cheap).unwrap();
+                let guarded = quantum_opt.optimize(&cheap).unwrap();
+                assert_eq!(shortened.perm(3), rep);
+                assert_eq!(guarded.perm(3), rep);
+                // The guard holds on EVERY candidate...
+                assert!(
+                    guarded.cost(&model) <= cheap.cost(&model),
+                    "the quantum kind must never regress: {} > {}",
+                    guarded.cost(&model),
+                    cheap.cost(&model)
+                );
+                // ...and somewhere the gate-count splice genuinely pays
+                // quantum cost for its gate savings, showing the guard
+                // is not vacuous.
+                if shortened.cost(&model) > cheap.cost(&model) {
+                    witnessed = true;
+                    break 'hunt;
+                }
+            }
+        }
+        assert!(witnessed, "the 3-wire space must contain a witness class");
+    }
+
+    #[test]
+    fn cost_bucketed_synthesizer_peepholes_with_cost_windows() {
+        // Peephole over a quantum-cost synthesizer: windows are sized by
+        // model cost (a Toffoli-heavy window shrinks instead of erroring
+        // past the reach), splices strictly reduce quantum cost, and the
+        // function is preserved.
+        use revsynth_bfs::SearchTables;
+        use revsynth_circuit::CostModel;
+        let model = CostModel::quantum();
+        let qsynth = Synthesizer::new(SearchTables::generate_weighted(GateLib::nct(4), model, 7));
+        let opt = PeepholeOptimizer::with_kind(&qsynth, CostKind::Quantum);
+        for seed in 40..46u64 {
+            let c = random_circuit(18, seed);
+            let out = opt.optimize(&c).unwrap();
+            assert_eq!(out.perm(4), c.perm(4), "seed {seed}");
+            assert!(out.cost(&model) <= c.cost(&model), "seed {seed}");
+        }
+        // And the canonical cancelling pair still vanishes.
+        let c: Circuit = "NOT(a) TOF(a,b,c) TOF(a,b,c) NOT(a)".parse().unwrap();
+        assert!(opt.optimize(&c).unwrap().is_empty());
+    }
+
+    #[test]
     fn window_bounds_are_validated() {
         let s = synth();
         assert_eq!(PeepholeOptimizer::new(s).window(), 5);
@@ -225,7 +428,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "within 1..=2k")]
+    #[should_panic(expected = "within 1..=max_size")]
     fn oversized_window_rejected() {
         let _ = PeepholeOptimizer::with_window(synth(), 7);
     }

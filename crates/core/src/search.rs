@@ -104,6 +104,7 @@
 
 use revsynth_bfs::SearchTables;
 use revsynth_canon::Symmetries;
+use revsynth_circuit::CostKind;
 use revsynth_perm::Perm;
 use revsynth_table::{FnTable, InvariantIndex, ProbeRing};
 
@@ -138,6 +139,11 @@ pub struct SearchOptions {
     no_filter: bool,
     /// 0 = use [`DEFAULT_PROBE_DEPTH`].
     probe_depth: usize,
+    /// The cost axis to optimize (defaults to gate count). Consumed by
+    /// cost-dispatching entry points ([`crate::SynthesisSuite`], the
+    /// serve scheduler); a bare [`Synthesizer`] always optimizes its own
+    /// tables' model.
+    cost: CostKind,
 }
 
 impl SearchOptions {
@@ -150,7 +156,9 @@ impl SearchOptions {
 
     /// Number of worker threads for the level scans; `0` (the default)
     /// selects the machine's available parallelism
-    /// ([`effective_threads`](Self::effective_threads)).
+    /// ([`effective_threads`](Self::effective_threads)). Applies to the
+    /// gate-count engine; the cost-bounded scan on cost-bucketed tables
+    /// is serial regardless (its branch-and-bound cap is sequential).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -199,6 +207,23 @@ impl SearchOptions {
         } else {
             self.probe_depth.min(MAX_PROBE_DEPTH)
         }
+    }
+
+    /// Selects the cost axis batches run under when dispatched through a
+    /// cost-aware entry point ([`crate::SynthesisSuite::synthesize_many`],
+    /// the serve scheduler). Defaults to [`CostKind::Gates`]. A bare
+    /// [`Synthesizer`] ignores this: it always optimizes the model its
+    /// tables were built under.
+    #[must_use]
+    pub fn cost_model(mut self, kind: CostKind) -> Self {
+        self.cost = kind;
+        self
+    }
+
+    /// The configured cost axis.
+    #[must_use]
+    pub fn cost_kind(&self) -> CostKind {
+        self.cost
     }
 
     /// The configured limit, or `default` when unset.
@@ -285,6 +310,20 @@ pub(crate) struct PreparedQuery {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Hit {
     pub level: usize,
+    pub rep: Perm,
+    side: Side,
+    step: u32,
+}
+
+/// A cost-bounded meet-in-the-middle hit on cost-bucketed tables: the
+/// query splits as `f = residue ∘ member⁻¹` with the residue in bucket
+/// `residue_bucket`, the member's class in bucket `bucket`, and total
+/// cost `total` (provably minimal when the scan completes).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CostHit {
+    pub residue_bucket: usize,
+    pub bucket: usize,
+    pub total: u64,
     pub rep: Perm,
     side: Side,
     step: u32,
@@ -410,9 +449,157 @@ impl Synthesizer {
             hit.level,
             "suffix must have the hit level's size"
         );
+        let circuit = front.then(&back);
         Synthesis {
-            circuit: front.then(&back),
+            cost: circuit.len() as u64,
+            circuit,
             lists_scanned: hit.level,
+            candidates_tested: stats.canonicalized,
+            stats,
+        }
+    }
+
+    /// The **cost-bounded** meet-in-the-middle scan, for cost-bucketed
+    /// tables ([`SearchTables::is_cost_bucketed`]): enumerates
+    /// half-circuit pairs in nondecreasing combined cost and returns,
+    /// per query, the minimal-total-cost hit within `cost_limit`.
+    ///
+    /// # The generalized residue argument
+    ///
+    /// Any decomposition `f = residue ∘ member⁻¹` with both halves
+    /// stored has total cost `cost(residue) + cost(member)` (inversion
+    /// preserves cost), realized as the candidate composition
+    /// `conj_τ(f).then(rep)` (or the inverse-side twin) landing in the
+    /// residue's **exact cost bucket**. The scan therefore walks member
+    /// buckets `ib` in ascending cost and, per candidate, asks the
+    /// residual-bucket question the gate-count engine asks for the
+    /// single distance `k`: *which residue buckets could still improve
+    /// the best total?* That set — `allowed = {rb ≥ 1 : cost[rb] +
+    /// cost[ib] ≤ cap}` with `cap = min(limit, best_total − 1)` — is a
+    /// bitmask over bucket indices, and the invariant gate
+    /// ([`InvariantIndex::admits_any`]) rejects candidates sharing no
+    /// class invariant with any allowed bucket **before**
+    /// canonicalization, exactly as the exact-`k` gate does. A gated
+    /// candidate provably cannot improve the best decomposition, so
+    /// results are identical with the gate on and off (verified
+    /// exhaustively for 3-wire quantum cost in `tests/cost_oracle.rs`).
+    ///
+    /// Survivors are canonicalized once and their exact bucket is read
+    /// from the sorted bucket lists — the probe is an exact-cost
+    /// membership test, so an accepted hit's total is exact, never an
+    /// upper bound. Acceptance requires `total ≤ cap < best_total`, so
+    /// the final hit is the **first candidate in scan order achieving
+    /// the minimal total** — deterministic, independent of the gate
+    /// setting. Buckets stop as soon as `cost[ib] + cost[1]` exceeds
+    /// the cap (later buckets only cost more).
+    ///
+    /// Minimality: a cost-`c` circuit for `f` with `c ≤`
+    /// [`SearchTables::cost_reach`] splits (maximal prefix argument in
+    /// `cost_reach`'s docs) into two stored halves, so its pair is
+    /// enumerated; the scan's minimum over all pairs is therefore the
+    /// true optimum whenever `f` is within reach.
+    pub(crate) fn mitm_scan_cost(
+        &self,
+        queries: &[PreparedQuery],
+        cost_limit: u64,
+        opts: &SearchOptions,
+    ) -> Vec<(Option<CostHit>, SearchStats)> {
+        let tables = self.tables();
+        let sym = tables.sym();
+        let costs = tables.bucket_costs();
+        let gate = opts.filter_enabled().then(|| tables.invariants());
+        queries
+            .iter()
+            .map(|query| {
+                let mut best: Option<CostHit> = None;
+                let mut stats = SearchStats::default();
+                for ib in 1..costs.len() {
+                    let cap = best.as_ref().map_or(cost_limit, |b| b.total - 1);
+                    if costs[ib] + costs.get(1).copied().unwrap_or(1) > cap {
+                        break; // later buckets only cost more
+                    }
+                    let mut mask = residue_mask(costs, costs[ib], cap);
+                    if mask == 0 {
+                        continue;
+                    }
+                    for &rep in tables.level(ib) {
+                        let rep_self_inverse = rep.inverse() == rep;
+                        for &(frame, step) in &query.fwd {
+                            consider_cost_candidate(
+                                tables,
+                                sym,
+                                gate,
+                                costs,
+                                ib,
+                                &mut mask,
+                                cost_limit,
+                                &mut best,
+                                &mut stats,
+                                frame.then(rep),
+                                rep,
+                                Side::Fwd,
+                                step,
+                            );
+                        }
+                        if !rep_self_inverse {
+                            for &(frame, step) in &query.inv {
+                                consider_cost_candidate(
+                                    tables,
+                                    sym,
+                                    gate,
+                                    costs,
+                                    ib,
+                                    &mut mask,
+                                    cost_limit,
+                                    &mut best,
+                                    &mut stats,
+                                    rep.then(frame),
+                                    rep,
+                                    Side::Inv,
+                                    step,
+                                );
+                            }
+                        }
+                        if mask == 0 {
+                            break; // cap shrank below this bucket's reach
+                        }
+                    }
+                }
+                (best, stats)
+            })
+            .collect()
+    }
+
+    /// Reconstructs the minimal-cost circuit a [`CostHit`] identifies.
+    pub(crate) fn resolve_cost_hit(&self, f: Perm, hit: &CostHit, stats: SearchStats) -> Synthesis {
+        let sym = self.tables().sym();
+        let tau_inv = sym.relabelings()[hit.step as usize].inverse();
+        let member = match hit.side {
+            Side::Fwd => hit.rep.conjugate_by_wires(tau_inv),
+            Side::Inv => hit.rep.inverse().conjugate_by_wires(tau_inv),
+        };
+        let residue = f.then(member);
+        let front = self
+            .peel(residue)
+            .expect("hit guarantees the residue is stored");
+        let back = self
+            .peel(member.inverse())
+            .expect("member inverse shares the member's stored bucket");
+        debug_assert_eq!(
+            front.cost(self.tables().model()),
+            self.tables().bucket_cost(hit.residue_bucket),
+            "front half must realize the residue bucket's exact cost"
+        );
+        let circuit = front.then(&back);
+        debug_assert_eq!(
+            circuit.cost(self.tables().model()),
+            hit.total,
+            "assembled halves must realize the hit's exact total cost"
+        );
+        Synthesis {
+            cost: hit.total,
+            circuit,
+            lists_scanned: hit.bucket,
             candidates_tested: stats.canonicalized,
             stats,
         }
@@ -442,7 +629,6 @@ impl Synthesizer {
     ) -> Vec<Result<Synthesis, SynthesisError>> {
         let limit = opts.limit_or(self.max_size());
         let k = self.tables().k();
-        let deepest = k.min(limit.saturating_sub(k));
 
         let mut results: Vec<Option<Result<Synthesis, SynthesisError>>> =
             (0..fs.len()).map(|_| None).collect();
@@ -454,10 +640,14 @@ impl Synthesizer {
                 continue;
             }
             if let Some(circuit) = self.peel(f) {
-                results[j] = Some(if circuit.len() > limit {
+                // On unit tables the model cost is the gate count, so
+                // this is the historical `len > limit` check verbatim.
+                let cost = circuit.cost(self.tables().model());
+                results[j] = Some(if cost > limit as u64 {
                     Err(SynthesisError::SizeExceedsLimit { function: f, limit })
                 } else {
                     Ok(Synthesis {
+                        cost,
                         circuit,
                         lists_scanned: 0,
                         candidates_tested: 0,
@@ -470,15 +660,30 @@ impl Synthesizer {
             queries.push(self.prepare_query(f));
         }
 
-        let outcome = self.mitm_scan(&queries, deepest, opts);
-        for (slot, &j) in open_idx.iter().enumerate() {
-            results[j] = Some(match outcome.hits[slot] {
-                Some(ref hit) => Ok(self.resolve_hit(fs[j], hit, outcome.stats[slot])),
-                None => Err(SynthesisError::SizeExceedsLimit {
-                    function: fs[j],
-                    limit,
-                }),
-            });
+        if self.tables().is_cost_bucketed() {
+            let outcome = self.mitm_scan_cost(&queries, limit as u64, opts);
+            for (slot, &j) in open_idx.iter().enumerate() {
+                let (ref hit, stats) = outcome[slot];
+                results[j] = Some(match hit {
+                    Some(hit) => Ok(self.resolve_cost_hit(fs[j], hit, stats)),
+                    None => Err(SynthesisError::SizeExceedsLimit {
+                        function: fs[j],
+                        limit,
+                    }),
+                });
+            }
+        } else {
+            let deepest = k.min(limit.saturating_sub(k));
+            let outcome = self.mitm_scan(&queries, deepest, opts);
+            for (slot, &j) in open_idx.iter().enumerate() {
+                results[j] = Some(match outcome.hits[slot] {
+                    Some(ref hit) => Ok(self.resolve_hit(fs[j], hit, outcome.stats[slot])),
+                    None => Err(SynthesisError::SizeExceedsLimit {
+                        function: fs[j],
+                        limit,
+                    }),
+                });
+            }
         }
         results
             .into_iter()
@@ -540,7 +745,7 @@ impl Synthesizer {
     ) -> (Vec<Result<usize, SynthesisError>>, SearchStats) {
         let limit = opts.limit_or(self.max_size());
         let k = self.tables().k();
-        let deepest = k.min(limit.saturating_sub(k));
+        let bucketed = self.tables().is_cost_bucketed();
 
         let mut results: Vec<Option<Result<usize, SynthesisError>>> =
             (0..fs.len()).map(|_| None).collect();
@@ -551,7 +756,13 @@ impl Synthesizer {
                 results[j] = Some(Err(e));
                 continue;
             }
-            if let Some(size) = self.tables().size_of(f) {
+            // On cost-bucketed tables "size" means the model cost.
+            let stored = if bucketed {
+                self.tables().cost_of(f).map(|c| c as usize)
+            } else {
+                self.tables().size_of(f)
+            };
+            if let Some(size) = stored {
                 results[j] = Some(if size > limit {
                     Err(SynthesisError::SizeExceedsLimit { function: f, limit })
                 } else {
@@ -563,25 +774,103 @@ impl Synthesizer {
             queries.push(self.prepare_query(f));
         }
 
-        let outcome = self.mitm_scan(&queries, deepest, opts);
         let mut total = SearchStats::default();
-        for s in &outcome.stats {
-            total.merge(s);
-        }
-        for (slot, &j) in open_idx.iter().enumerate() {
-            results[j] = Some(match outcome.hits[slot] {
-                Some(ref hit) => Ok(k + hit.level),
-                None => Err(SynthesisError::SizeExceedsLimit {
-                    function: fs[j],
-                    limit,
-                }),
-            });
+        if bucketed {
+            let outcome = self.mitm_scan_cost(&queries, limit as u64, opts);
+            for (slot, &j) in open_idx.iter().enumerate() {
+                let (ref hit, stats) = outcome[slot];
+                total.merge(&stats);
+                results[j] = Some(match hit {
+                    Some(hit) => Ok(hit.total as usize),
+                    None => Err(SynthesisError::SizeExceedsLimit {
+                        function: fs[j],
+                        limit,
+                    }),
+                });
+            }
+        } else {
+            let deepest = k.min(limit.saturating_sub(k));
+            let outcome = self.mitm_scan(&queries, deepest, opts);
+            for s in &outcome.stats {
+                total.merge(s);
+            }
+            for (slot, &j) in open_idx.iter().enumerate() {
+                results[j] = Some(match outcome.hits[slot] {
+                    Some(ref hit) => Ok(k + hit.level),
+                    None => Err(SynthesisError::SizeExceedsLimit {
+                        function: fs[j],
+                        limit,
+                    }),
+                });
+            }
         }
         let results = results
             .into_iter()
             .map(|r| r.expect("every query resolved"))
             .collect();
         (results, total)
+    }
+}
+
+/// The residue buckets that could still improve the best decomposition:
+/// bit `rb` set ⇔ `rb ≥ 1` and `costs[rb] + c_ib ≤ cap`.
+fn residue_mask(costs: &[u64], c_ib: u64, cap: u64) -> u32 {
+    let mut mask = 0u32;
+    for (rb, &c) in costs.iter().enumerate().skip(1) {
+        if c + c_ib <= cap {
+            mask |= 1 << rb;
+        }
+    }
+    mask
+}
+
+/// Runs one cost-scan candidate through the residual-bucket gate →
+/// canonicalize → exact-bucket probe pipeline, tightening `best`, the
+/// cap and the allowed mask on acceptance.
+#[allow(clippy::too_many_arguments)] // hot inner kernel, deliberately flat
+#[inline]
+fn consider_cost_candidate(
+    tables: &SearchTables,
+    sym: &Symmetries,
+    gate: Option<&InvariantIndex>,
+    costs: &[u64],
+    ib: usize,
+    mask: &mut u32,
+    cost_limit: u64,
+    best: &mut Option<CostHit>,
+    stats: &mut SearchStats,
+    composition: Perm,
+    rep: Perm,
+    side: Side,
+    step: u32,
+) {
+    stats.considered += 1;
+    if let Some(index) = gate {
+        // No allowed residue bucket shares this candidate's class
+        // invariants ⇒ it cannot improve the best total; skip the
+        // canonicalization (sound for the same reason as the exact-k
+        // gate — the probe below is an exact-bucket membership test).
+        if !index.admits_any(composition, *mask) {
+            stats.gated += 1;
+            return;
+        }
+    }
+    let canon = sym.canonical(composition);
+    stats.canonicalized += 1;
+    stats.probed += 1;
+    if let Some(rb) = tables.bucket_of(canon) {
+        if *mask >> rb & 1 == 1 {
+            let total = costs[rb] + costs[ib];
+            *best = Some(CostHit {
+                residue_bucket: rb,
+                bucket: ib,
+                total,
+                rep,
+                side,
+                step,
+            });
+            *mask = residue_mask(costs, costs[ib], cost_limit.min(total - 1));
+        }
     }
 }
 
@@ -980,6 +1269,41 @@ mod tests {
         let opts = opts.filter(true).probe_depth(1);
         assert!(opts.filter_enabled());
         assert_eq!(opts.effective_probe_depth(), 1);
+        assert_eq!(opts.cost_kind(), CostKind::Gates, "gates is the default");
+        let opts = opts.cost_model(CostKind::Quantum);
+        assert_eq!(opts.cost_kind(), CostKind::Quantum);
+    }
+
+    #[test]
+    fn weighted_tables_batch_and_singles_agree() {
+        use revsynth_bfs::SearchTables;
+        use revsynth_circuit::{CostModel, GateLib};
+        let s = Synthesizer::new(SearchTables::generate_weighted(
+            GateLib::nct(4),
+            CostModel::quantum(),
+            7,
+        ));
+        let fs = random_perms(8, 0xC057);
+        let batch = s.synthesize_many(&fs, &SearchOptions::new().threads(1));
+        let (sizes, stats) = s.size_many_stats(&fs, &SearchOptions::new().threads(1));
+        for (j, (&f, result)) in fs.iter().zip(&batch).enumerate() {
+            match (result, &sizes[j]) {
+                (Ok(syn), Ok(size)) => {
+                    assert_eq!(syn.cost as usize, *size, "query {j}");
+                    assert_eq!(syn.circuit.perm(4), f, "query {j}");
+                    assert_eq!(
+                        syn.circuit.cost(&CostModel::quantum()),
+                        syn.cost,
+                        "query {j}"
+                    );
+                    let single = s.synthesize(f).unwrap();
+                    assert_eq!(single, syn.circuit, "query {j}");
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("query {j} diverged: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(stats.considered, stats.gated + stats.canonicalized);
     }
 
     #[test]

@@ -23,10 +23,17 @@ pub struct Synthesizer {
 /// (used by the Table 1 timing experiments and by tests).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Synthesis {
-    /// A gate-count-minimal circuit for the requested function.
+    /// A cost-minimal circuit for the requested function under the
+    /// synthesizer's cost model (gate-count-minimal on the default
+    /// breadth-first tables).
     pub circuit: Circuit,
-    /// Number of size-`i` lists scanned by the meet-in-the-middle phase
-    /// (0 when the fast path sufficed).
+    /// The circuit's provably minimal cost under the active model: the
+    /// gate count on gate-count tables, the weighted model cost on
+    /// cost-bucketed tables, the schedule depth when produced by the
+    /// depth engine (via [`crate::SynthesisSuite`]).
+    pub cost: u64,
+    /// Number of size-`i` lists (cost buckets) scanned by the
+    /// meet-in-the-middle phase (0 when the fast path sufficed).
     pub lists_scanned: usize,
     /// Number of `canonicalize + probe` candidate tests performed by the
     /// meet-in-the-middle phase (equals [`SearchStats::canonicalized`];
@@ -69,10 +76,16 @@ impl Synthesizer {
     }
 
     /// The deepest size searchable with these tables: `k + deepest list`
-    /// = `2k` (every size-≤k list is stored).
+    /// = `2k` on gate-count tables (every size-≤k list is stored), and
+    /// the guaranteed cost reach `2·max_cost − max_gate_cost + 1` on
+    /// cost-bucketed tables ([`SearchTables::cost_reach`]).
     #[must_use]
     pub fn max_size(&self) -> usize {
-        2 * self.tables.k()
+        if self.tables.is_cost_bucketed() {
+            self.tables.cost_reach() as usize
+        } else {
+            2 * self.tables.k()
+        }
     }
 
     /// Synthesizes a gate-count-minimal circuit for `f`, searching up to
@@ -102,12 +115,18 @@ impl Synthesizer {
     /// As [`synthesize`](Self::synthesize), with `limit` in place of `2k`.
     pub fn synthesize_within(&self, f: Perm, limit: usize) -> Result<Synthesis, SynthesisError> {
         self.check_domain(f)?;
+        // Cost-bucketed tables route through the cost-bounded engine
+        // (same fast path, cost-ordered pair scan instead of level scan).
+        if self.tables.is_cost_bucketed() {
+            return self.synthesize_with(f, &SearchOptions::new().threads(1).limit(limit));
+        }
         // Fast path: size ≤ k.
         if let Some(circuit) = self.peel(f) {
             if circuit.len() > limit {
                 return Err(SynthesisError::SizeExceedsLimit { function: f, limit });
             }
             return Ok(Synthesis {
+                cost: circuit.len() as u64,
                 circuit,
                 lists_scanned: 0,
                 candidates_tested: 0,
@@ -136,6 +155,9 @@ impl Synthesizer {
     /// As [`synthesize`](Self::synthesize).
     pub fn size(&self, f: Perm) -> Result<usize, SynthesisError> {
         self.check_domain(f)?;
+        if self.tables.is_cost_bucketed() {
+            return self.size_with(f, &SearchOptions::new().threads(1));
+        }
         if let Some(size) = self.tables.size_of(f) {
             return Ok(size);
         }
@@ -180,7 +202,11 @@ impl Synthesizer {
         let mut front: Vec<Gate> = Vec::new();
         let mut back: Vec<Gate> = Vec::new();
         let mut cur = f;
-        for _ in 0..=self.tables.k() {
+        // Gate-count tables peel at most k gates; cost-bucketed tables
+        // peel at most max_cost gates (every gate costs ≥ 1, and each
+        // peel lands in a strictly cheaper bucket). max_cost == k on
+        // unit tables, so this is one bound for both.
+        for _ in 0..=self.tables.max_cost() as usize {
             if cur.is_identity() {
                 front.extend(back.iter().rev());
                 return Some(Circuit::from_gates(front));

@@ -1,14 +1,19 @@
 //! The class-keyed result cache: one cached circuit answers up to
 //! `2·n!` functions.
 //!
-//! Keys are **canonical representatives** ([`Symmetries::canonicalize`]),
-//! values are optimal circuits *for the representative*. A query is
-//! served by looking up its class's representative and replaying the
-//! cached circuit through the query's canonicalization witness
-//! ([`revsynth_canon::replay_for_witness`]) — wire relabeling plus gate
-//! reversal, both exact and cost-preserving — so a single search
-//! amortizes across the entire equivalence class, the reduction the
-//! paper's §3.2 builds the whole table scheme on.
+//! Keys are `(cost model, canonical representative)` pairs
+//! ([`CostKind`], [`Symmetries::canonicalize`]); values are optimal —
+//! *under that model* — circuits for the representative. A query is
+//! served by looking up its class's representative under the requested
+//! model and replaying the cached circuit through the query's
+//! canonicalization witness ([`revsynth_canon::replay_for_witness`]) —
+//! wire relabeling plus gate reversal, both exact and cost-preserving
+//! **for every model** (gate count, quantum cost and depth are all
+//! class functions; property-tested in `revsynth-canon`) — so a single
+//! search amortizes across the entire equivalence class, the reduction
+//! the paper's §3.2 builds the whole table scheme on. The same function
+//! queried under two models occupies two distinct entries: a gate-count
+//! optimum is generally *not* a quantum-cost optimum.
 //!
 //! The cache is sharded (power-of-two shard count, shard chosen by a
 //! Wang hash of the packed representative) so concurrent connection
@@ -23,8 +28,16 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use revsynth_circuit::Circuit;
+use revsynth_circuit::{Circuit, CostKind};
 use revsynth_perm::{hash64shift, Perm};
+
+/// The composite cache key: cost-model discriminant + packed canonical
+/// representative.
+type Key = (u8, u64);
+
+fn key_of(kind: CostKind, rep: Perm) -> Key {
+    (kind.code(), rep.packed())
+}
 
 /// Index value marking "no entry" in the intrusive list.
 const NIL: usize = usize::MAX;
@@ -49,7 +62,7 @@ pub struct CacheCounters {
 /// One cached class: the representative's circuit in a slab slot,
 /// threaded onto the shard's recency list.
 struct Entry {
-    key: u64,
+    key: Key,
     circuit: Circuit,
     prev: usize,
     next: usize,
@@ -57,8 +70,8 @@ struct Entry {
 
 /// One shard: an exact LRU over a slab + hash map.
 struct Shard {
-    /// packed representative → slab index.
-    map: HashMap<u64, usize>,
+    /// (model, packed representative) → slab index.
+    map: HashMap<Key, usize>,
     slab: Vec<Entry>,
     free: Vec<usize>,
     /// Most recently used entry, or [`NIL`] when empty.
@@ -116,7 +129,7 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: u64, counted: bool) -> Option<Circuit> {
+    fn get(&mut self, key: Key, counted: bool) -> Option<Circuit> {
         match self.map.get(&key).copied() {
             Some(i) => {
                 if counted {
@@ -137,7 +150,7 @@ impl Shard {
         }
     }
 
-    fn insert(&mut self, key: u64, circuit: Circuit) {
+    fn insert(&mut self, key: Key, circuit: Circuit) {
         if let Some(&i) = self.map.get(&key) {
             // Concurrent searches of the same class can both insert; the
             // circuits are equally minimal, keep the resident one fresh.
@@ -227,10 +240,12 @@ impl ClassCache {
         }
     }
 
-    fn shard_for(&self, rep: Perm) -> &Mutex<Shard> {
+    fn shard_for(&self, key: Key) -> &Mutex<Shard> {
         // hash64shift is also the FnTable slot hash; taking the TOP bits
-        // for the shard keeps the two partitions independent.
-        let h = hash64shift(rep.packed());
+        // for the shard keeps the two partitions independent. The model
+        // discriminant is spread into the high key bits so the same
+        // class under two models can land on different shards.
+        let h = hash64shift(key.1 ^ (u64::from(key.0) << 60));
         &self.shards[(h >> 32 & self.shard_mask) as usize]
     }
 
@@ -243,11 +258,12 @@ impl ClassCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// The cached circuit for class representative `rep`, refreshing its
-    /// recency. Counts a hit or a miss.
+    /// The cached circuit for class representative `rep` under cost
+    /// model `kind`, refreshing its recency. Counts a hit or a miss.
     #[must_use]
-    pub fn get(&self, rep: Perm) -> Option<Circuit> {
-        Self::lock(self.shard_for(rep)).get(rep.packed(), true)
+    pub fn get(&self, kind: CostKind, rep: Perm) -> Option<Circuit> {
+        let key = key_of(kind, rep);
+        Self::lock(self.shard_for(key)).get(key, true)
     }
 
     /// Like [`get`](Self::get) (recency is refreshed) but without
@@ -255,15 +271,18 @@ impl ClassCache {
     /// was already counted — the scheduler's post-miss double-check —
     /// so one query never counts twice.
     #[must_use]
-    pub fn get_quiet(&self, rep: Perm) -> Option<Circuit> {
-        Self::lock(self.shard_for(rep)).get(rep.packed(), false)
+    pub fn get_quiet(&self, kind: CostKind, rep: Perm) -> Option<Circuit> {
+        let key = key_of(kind, rep);
+        Self::lock(self.shard_for(key)).get(key, false)
     }
 
-    /// Caches `circuit` (which must compute `rep`) under `rep`, evicting
-    /// the shard's least-recently-used entry when full. Re-inserting an
-    /// existing key replaces the value without eviction.
-    pub fn insert(&self, rep: Perm, circuit: Circuit) {
-        Self::lock(self.shard_for(rep)).insert(rep.packed(), circuit);
+    /// Caches `circuit` (which must compute `rep`, `kind`-optimally)
+    /// under `(kind, rep)`, evicting the shard's least-recently-used
+    /// entry when full. Re-inserting an existing key replaces the value
+    /// without eviction.
+    pub fn insert(&self, kind: CostKind, rep: Perm, circuit: Circuit) {
+        let key = key_of(kind, rep);
+        Self::lock(self.shard_for(key)).insert(key, circuit);
     }
 
     /// Resident entry count (summed over shards).
@@ -314,6 +333,7 @@ impl std::fmt::Debug for ClassCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use revsynth_circuit::CostKind;
     use revsynth_circuit::Gate;
 
     fn circuit_of(len: usize) -> Circuit {
@@ -337,9 +357,9 @@ mod tests {
     fn get_insert_roundtrip_and_counters() {
         let cache = ClassCache::new(64);
         let p = perm_of(1);
-        assert!(cache.get(p).is_none());
-        cache.insert(p, circuit_of(3));
-        assert_eq!(cache.get(p).unwrap().len(), 3);
+        assert!(cache.get(CostKind::Gates, p).is_none());
+        cache.insert(CostKind::Gates, p, circuit_of(3));
+        assert_eq!(cache.get(CostKind::Gates, p).unwrap().len(), 3);
         let c = cache.counters();
         assert_eq!((c.hits, c.misses, c.insertions, c.len), (1, 1, 1, 1));
         assert!(c.capacity >= 64);
@@ -350,16 +370,19 @@ mod tests {
     fn single_shard_evicts_exact_lru_order() {
         let cache = ClassCache::with_shards(3, 1);
         let ps: Vec<Perm> = (0..4).map(perm_of).collect();
-        cache.insert(ps[0], circuit_of(0));
-        cache.insert(ps[1], circuit_of(1));
-        cache.insert(ps[2], circuit_of(2));
+        cache.insert(CostKind::Gates, ps[0], circuit_of(0));
+        cache.insert(CostKind::Gates, ps[1], circuit_of(1));
+        cache.insert(CostKind::Gates, ps[2], circuit_of(2));
         // Touch p0 so p1 becomes the LRU victim.
-        assert!(cache.get(ps[0]).is_some());
-        cache.insert(ps[3], circuit_of(3));
-        assert!(cache.get(ps[1]).is_none(), "LRU victim evicted");
-        assert!(cache.get(ps[0]).is_some());
-        assert!(cache.get(ps[2]).is_some());
-        assert!(cache.get(ps[3]).is_some());
+        assert!(cache.get(CostKind::Gates, ps[0]).is_some());
+        cache.insert(CostKind::Gates, ps[3], circuit_of(3));
+        assert!(
+            cache.get(CostKind::Gates, ps[1]).is_none(),
+            "LRU victim evicted"
+        );
+        assert!(cache.get(CostKind::Gates, ps[0]).is_some());
+        assert!(cache.get(CostKind::Gates, ps[2]).is_some());
+        assert!(cache.get(CostKind::Gates, ps[3]).is_some());
         assert_eq!(cache.counters().evictions, 1);
         assert_eq!(cache.len(), 3);
     }
@@ -368,7 +391,7 @@ mod tests {
     fn eviction_slots_are_reused() {
         let cache = ClassCache::with_shards(2, 1);
         for i in 0..50 {
-            cache.insert(perm_of(i), circuit_of((i % 7) as usize));
+            cache.insert(CostKind::Gates, perm_of(i), circuit_of((i % 7) as usize));
         }
         let c = cache.counters();
         assert_eq!(c.len, 2);
@@ -376,18 +399,18 @@ mod tests {
         assert_eq!(c.evictions, 48);
         // The slab never grew past capacity + nothing leaked: the two
         // most recent survive.
-        assert!(cache.get(perm_of(49)).is_some());
-        assert!(cache.get(perm_of(48)).is_some());
-        assert!(cache.get(perm_of(0)).is_none());
+        assert!(cache.get(CostKind::Gates, perm_of(49)).is_some());
+        assert!(cache.get(CostKind::Gates, perm_of(48)).is_some());
+        assert!(cache.get(CostKind::Gates, perm_of(0)).is_none());
     }
 
     #[test]
     fn reinsert_replaces_without_eviction() {
         let cache = ClassCache::with_shards(2, 1);
         let p = perm_of(9);
-        cache.insert(p, circuit_of(1));
-        cache.insert(p, circuit_of(5));
-        assert_eq!(cache.get(p).unwrap().len(), 5);
+        cache.insert(CostKind::Gates, p, circuit_of(1));
+        cache.insert(CostKind::Gates, p, circuit_of(5));
+        assert_eq!(cache.get(CostKind::Gates, p).unwrap().len(), 5);
         assert_eq!(cache.counters().evictions, 0);
         assert_eq!(cache.len(), 1);
     }
@@ -396,11 +419,11 @@ mod tests {
     fn shards_partition_the_keyspace() {
         let cache = ClassCache::with_shards(1024, 8);
         for i in 0..200 {
-            cache.insert(perm_of(i), circuit_of(1));
+            cache.insert(CostKind::Gates, perm_of(i), circuit_of(1));
         }
         assert_eq!(cache.len(), 200, "no cross-shard collisions lose entries");
         for i in 0..200 {
-            assert!(cache.get(perm_of(i)).is_some(), "perm {i}");
+            assert!(cache.get(CostKind::Gates, perm_of(i)).is_some(), "perm {i}");
         }
         // More than one shard must actually be populated.
         let populated = cache
@@ -422,8 +445,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..100 {
                         let p = perm_of(t * 100 + i);
-                        cache.insert(p, circuit_of(1));
-                        assert!(cache.get(p).is_some());
+                        cache.insert(CostKind::Gates, p, circuit_of(1));
+                        assert!(cache.get(CostKind::Gates, p).is_some());
                     }
                 });
             }

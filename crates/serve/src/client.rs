@@ -11,7 +11,7 @@ use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use revsynth_circuit::Circuit;
+use revsynth_circuit::{Circuit, CostKind};
 use revsynth_perm::Perm;
 
 use crate::protocol::{
@@ -102,14 +102,27 @@ impl Client {
         Ok(decode_response(&payload)?)
     }
 
-    /// Synthesizes an optimal circuit for `f` on the server.
+    /// Synthesizes a gate-count-optimal circuit for `f` on the server
+    /// (shorthand for [`query_with_cost`](Self::query_with_cost) with
+    /// [`CostKind::Gates`]).
     ///
     /// # Errors
     ///
     /// [`ClientError::Server`] when the server declines the query,
     /// [`ClientError::Protocol`] on transport failure.
     pub fn query(&mut self, f: Perm) -> Result<Circuit, ClientError> {
-        match self.round_trip(&Request::Query(f))? {
+        self.query_with_cost(f, CostKind::Gates)
+    }
+
+    /// Synthesizes a cost-minimal circuit for `f` under the given cost
+    /// model on the server.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query); additionally the server declines when
+    /// the function is beyond the selected engine's reach.
+    pub fn query_with_cost(&mut self, f: Perm, kind: CostKind) -> Result<Circuit, ClientError> {
+        match self.round_trip(&Request::Query(f, kind))? {
             Response::Circuit(circuit) => Ok(circuit),
             Response::Error(msg) => Err(ClientError::Server(msg)),
             _ => Err(ClientError::UnexpectedResponse),

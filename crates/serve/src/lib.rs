@@ -29,11 +29,14 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use revsynth_core::Synthesizer;
+//! use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 //! use revsynth_serve::{Client, Server, ServerConfig};
 //!
-//! let synth = Arc::new(Synthesizer::from_scratch(4, 2));
-//! let server = Server::bind(synth, &ServerConfig::default())?;
+//! let suite = Arc::new(SynthesisSuite::new(
+//!     Synthesizer::from_scratch(4, 2),
+//!     SuiteConfig { quantum_budget: 6, depth_budget: 2 },
+//! ));
+//! let server = Server::bind(suite, &ServerConfig::default())?;
 //! let addr = server.local_addr();
 //! let handle = server.spawn();
 //!

@@ -14,9 +14,14 @@
 //!
 //! | opcode | body | meaning |
 //! |---|---|---|
-//! | `0x01` Query | 16 bytes, `f(0)..f(15)` | synthesize this permutation |
+//! | `0x01` Query | 16 B `f(0)..f(15)` + 1 B cost model | synthesize this permutation |
 //! | `0x02` Stats | empty | snapshot the server counters |
 //! | `0x03` Shutdown | empty | gracefully stop the server |
+//!
+//! The cost-model byte is [`CostKind::code`] (0 = gates, 1 = quantum,
+//! 2 = depth). A 16-byte query body — the pre-cost-model wire form — is
+//! still accepted and means gate count, so old clients keep working;
+//! any other length or an unknown model byte is a [`ProtocolError`].
 //!
 //! Responses:
 //!
@@ -37,7 +42,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use revsynth_circuit::{Circuit, Gate};
+use revsynth_circuit::{Circuit, CostKind, Gate};
 use revsynth_perm::Perm;
 
 use crate::stats::ServeStats;
@@ -61,8 +66,9 @@ const OP_SHUTTING_DOWN: u8 = 0x83;
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Synthesize an optimal circuit for this permutation.
-    Query(Perm),
+    /// Synthesize a cost-minimal circuit for this permutation under the
+    /// given cost model.
+    Query(Perm, CostKind),
     /// Snapshot the server's [`ServeStats`].
     Stats,
     /// Stop the server gracefully.
@@ -267,10 +273,16 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
 #[must_use]
 pub fn encode_request(request: &Request) -> Vec<u8> {
     match request {
-        Request::Query(f) => {
-            let mut payload = Vec::with_capacity(17);
+        Request::Query(f, kind) => {
+            let mut payload = Vec::with_capacity(18);
             payload.push(OP_QUERY);
             payload.extend_from_slice(&f.values());
+            // Gate count keeps the legacy 16-byte body (wire-compatible
+            // with pre-cost-model clients); other models append their
+            // discriminant byte.
+            if *kind != CostKind::Gates {
+                payload.push(kind.code());
+            }
             payload
         }
         Request::Stats => vec![OP_STATS],
@@ -290,15 +302,20 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         .ok_or(ProtocolError::BadBody("empty payload".into()))?;
     match op {
         OP_QUERY => {
-            if body.len() != 16 {
-                return Err(ProtocolError::BadBody(format!(
-                    "query body is {} bytes, expected 16",
-                    body.len()
-                )));
-            }
-            let perm = Perm::from_values(body)
+            let kind = match body.len() {
+                16 => CostKind::Gates, // legacy body form
+                17 => CostKind::from_code(body[16]).ok_or_else(|| {
+                    ProtocolError::BadBody(format!("unknown cost model byte {:#04x}", body[16]))
+                })?,
+                other => {
+                    return Err(ProtocolError::BadBody(format!(
+                        "query body is {other} bytes, expected 16 or 17"
+                    )))
+                }
+            };
+            let perm = Perm::from_values(&body[..16])
                 .map_err(|e| ProtocolError::BadBody(format!("query permutation: {e}")))?;
-            Ok(Request::Query(perm))
+            Ok(Request::Query(perm, kind))
         }
         OP_STATS if body.is_empty() => Ok(Request::Stats),
         OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
@@ -415,10 +432,26 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
-        for req in [Request::Query(f), Request::Stats, Request::Shutdown] {
+        for req in [
+            Request::Query(f, CostKind::Gates),
+            Request::Query(f, CostKind::Quantum),
+            Request::Query(f, CostKind::Depth),
+            Request::Stats,
+            Request::Shutdown,
+        ] {
             let payload = encode_request(&req);
             assert_eq!(decode_request(&payload).unwrap(), req);
         }
+        // The gates encoding stays byte-identical to the pre-cost-model
+        // protocol: 16-byte body, no model byte.
+        assert_eq!(
+            encode_request(&Request::Query(f, CostKind::Gates)).len(),
+            17
+        );
+        assert_eq!(
+            encode_request(&Request::Query(f, CostKind::Quantum)).len(),
+            18
+        );
     }
 
     #[test]
@@ -620,10 +653,28 @@ mod tests {
 
     #[test]
     fn query_rejects_wrong_body_lengths() {
-        for len in [0usize, 1, 15, 17, 64] {
+        for len in [0usize, 1, 15, 18, 64] {
             let mut payload = vec![OP_QUERY];
             payload.extend(std::iter::repeat_n(0u8, len));
             assert!(decode_request(&payload).is_err(), "body length {len}");
         }
+        // 17 bytes needs a valid permutation AND a known model byte.
+        let id: Vec<u8> = (0..16).collect();
+        for model_byte in [3u8, 0x7F, 0xFF] {
+            let mut payload = vec![OP_QUERY];
+            payload.extend_from_slice(&id);
+            payload.push(model_byte);
+            assert!(matches!(
+                decode_request(&payload).unwrap_err(),
+                ProtocolError::BadBody(_)
+            ));
+        }
+        // A legacy 16-byte body decodes as a gate-count query.
+        let mut payload = vec![OP_QUERY];
+        payload.extend_from_slice(&id);
+        assert!(matches!(
+            decode_request(&payload).unwrap(),
+            Request::Query(_, CostKind::Gates)
+        ));
     }
 }

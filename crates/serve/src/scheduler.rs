@@ -33,8 +33,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use revsynth_circuit::Circuit;
-use revsynth_core::{SearchOptions, Synthesizer};
+use revsynth_circuit::{Circuit, CostKind};
+use revsynth_core::{SearchOptions, SynthesisSuite};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
@@ -98,16 +98,17 @@ impl Ticket {
 
 /// Queue state under the scheduler mutex.
 struct QueueState {
-    /// Representatives waiting for a worker, in arrival order.
-    pending: Vec<Perm>,
-    /// Every rep with an unresolved ticket (queued *or* mid-search),
-    /// keyed by packed representative.
-    inflight: HashMap<u64, Arc<Ticket>>,
+    /// `(cost model, representative)` pairs waiting for a worker, in
+    /// arrival order.
+    pending: Vec<(CostKind, Perm)>,
+    /// Every `(model, rep)` with an unresolved ticket (queued *or*
+    /// mid-search), keyed by model discriminant + packed representative.
+    inflight: HashMap<(u8, u64), Arc<Ticket>>,
     shutdown: bool,
 }
 
 struct Inner {
-    synth: Arc<Synthesizer>,
+    suite: Arc<SynthesisSuite>,
     cache: Arc<ClassCache>,
     search: SearchOptions,
     /// Group-commit window: how long a worker waits after the first
@@ -164,12 +165,12 @@ impl Scheduler {
     /// Panics if `workers == 0`.
     #[must_use]
     pub fn new(
-        synth: Arc<Synthesizer>,
+        suite: Arc<SynthesisSuite>,
         cache: Arc<ClassCache>,
         workers: usize,
         search: SearchOptions,
     ) -> Self {
-        Self::with_linger(synth, cache, workers, search, Duration::ZERO)
+        Self::with_linger(suite, cache, workers, search, Duration::ZERO)
     }
 
     /// Like [`new`](Self::new) with an explicit batch-linger window: a
@@ -183,7 +184,7 @@ impl Scheduler {
     /// Panics if `workers == 0`.
     #[must_use]
     pub fn with_linger(
-        synth: Arc<Synthesizer>,
+        suite: Arc<SynthesisSuite>,
         cache: Arc<ClassCache>,
         workers: usize,
         search: SearchOptions,
@@ -191,7 +192,7 @@ impl Scheduler {
     ) -> Self {
         assert!(workers > 0, "need at least one scheduler worker");
         let inner = Arc::new(Inner {
-            synth,
+            suite,
             cache,
             search,
             linger,
@@ -218,22 +219,25 @@ impl Scheduler {
         }
     }
 
-    /// Resolves one cache miss: returns the optimal circuit **for the
-    /// representative** `rep` (the caller replays it through the query's
-    /// witness). Blocks until a worker answers; concurrent calls for the
-    /// same rep share one search.
+    /// Resolves one cache miss: returns the `kind`-optimal circuit
+    /// **for the representative** `rep` (the caller replays it through
+    /// the query's witness). Blocks until a worker answers; concurrent
+    /// calls for the same `(model, rep)` share one search — requests for
+    /// the same class under *different* models are distinct work and do
+    /// not coalesce.
     ///
     /// # Errors
     ///
     /// [`ServeError::Synthesis`] when the synthesizer cannot answer,
     /// [`ServeError::ShuttingDown`] when the scheduler is stopping.
-    pub fn request(&self, rep: Perm) -> Result<Circuit, ServeError> {
+    pub fn request(&self, kind: CostKind, rep: Perm) -> Result<Circuit, ServeError> {
+        let key = (kind.code(), rep.packed());
         let ticket = {
             let mut q = lock(&self.inner.queue);
             if q.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
-            match q.inflight.get(&rep.packed()) {
+            match q.inflight.get(&key) {
                 Some(ticket) => {
                     self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
                     Arc::clone(ticket)
@@ -244,12 +248,12 @@ impl Scheduler {
                     // the in-flight entry is removed, so checking it here
                     // closes the window. Quiet: the caller already counted
                     // this query's miss.
-                    if let Some(circuit) = self.inner.cache.get_quiet(rep) {
+                    if let Some(circuit) = self.inner.cache.get_quiet(kind, rep) {
                         return Ok(circuit);
                     }
                     let ticket = Arc::new(Ticket::new());
-                    q.inflight.insert(rep.packed(), Arc::clone(&ticket));
-                    q.pending.push(rep);
+                    q.inflight.insert(key, Arc::clone(&ticket));
+                    q.pending.push((kind, rep));
                     self.inner.work_ready.notify_one();
                     ticket
                 }
@@ -278,8 +282,8 @@ impl Scheduler {
             let mut q = lock(&self.inner.queue);
             q.shutdown = true;
             // Fail the not-yet-started searches so their waiters wake.
-            for rep in std::mem::take(&mut q.pending) {
-                if let Some(ticket) = q.inflight.remove(&rep.packed()) {
+            for (kind, rep) in std::mem::take(&mut q.pending) {
+                if let Some(ticket) = q.inflight.remove(&(kind.code(), rep.packed())) {
                     ticket.fulfill(Err(ServeError::ShuttingDown));
                 }
             }
@@ -329,7 +333,7 @@ fn worker_loop(inner: &Inner) {
         if !inner.linger.is_zero() {
             std::thread::sleep(inner.linger);
         }
-        let batch: Vec<Perm> = {
+        let batch: Vec<(CostKind, Perm)> = {
             let mut q = lock(&inner.queue);
             std::mem::take(&mut q.pending)
         };
@@ -346,20 +350,35 @@ fn worker_loop(inner: &Inner) {
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
 
-        let results = inner.synth.synthesize_many(&batch, &inner.search);
-        for (rep, result) in batch.iter().zip(results) {
-            let outcome = match result {
-                Ok(synthesis) => {
-                    // Publish to the cache BEFORE resolving the ticket:
-                    // see the module docs on the no-rerun ordering.
-                    inner.cache.insert(*rep, synthesis.circuit.clone());
-                    Ok(synthesis.circuit)
+        // One batched engine call per cost model present in the drain:
+        // each kind's reps ride one pass over that engine's level lists.
+        for kind in CostKind::ALL {
+            let reps: Vec<Perm> = batch
+                .iter()
+                .filter(|(k, _)| *k == kind)
+                .map(|&(_, rep)| rep)
+                .collect();
+            if reps.is_empty() {
+                continue;
+            }
+            let opts = inner.search.cost_model(kind);
+            let results = inner.suite.synthesize_many(&reps, &opts);
+            for (rep, result) in reps.iter().zip(results) {
+                let outcome = match result {
+                    Ok(synthesis) => {
+                        // Publish to the cache BEFORE resolving the ticket:
+                        // see the module docs on the no-rerun ordering.
+                        inner.cache.insert(kind, *rep, synthesis.circuit.clone());
+                        Ok(synthesis.circuit)
+                    }
+                    Err(e) => Err(ServeError::Synthesis(e.to_string())),
+                };
+                let ticket = lock(&inner.queue)
+                    .inflight
+                    .remove(&(kind.code(), rep.packed()));
+                if let Some(ticket) = ticket {
+                    ticket.fulfill(outcome);
                 }
-                Err(e) => Err(ServeError::Synthesis(e.to_string())),
-            };
-            let ticket = lock(&inner.queue).inflight.remove(&rep.packed());
-            if let Some(ticket) = ticket {
-                ticket.fulfill(outcome);
             }
         }
     }
@@ -370,33 +389,44 @@ mod tests {
     use super::*;
     use revsynth_canon::replay_for_witness;
     use revsynth_circuit::GateLib;
+    use revsynth_core::{SuiteConfig, Synthesizer};
     use std::sync::Barrier;
 
-    fn scheduler(workers: usize) -> (Scheduler, Arc<Synthesizer>, Arc<ClassCache>) {
-        let synth = Arc::new(Synthesizer::from_scratch(4, 2));
+    fn test_suite() -> SynthesisSuite {
+        SynthesisSuite::new(
+            Synthesizer::from_scratch(4, 2),
+            SuiteConfig {
+                quantum_budget: 6,
+                depth_budget: 2,
+            },
+        )
+    }
+
+    fn scheduler(workers: usize) -> (Scheduler, Arc<SynthesisSuite>, Arc<ClassCache>) {
+        let suite = Arc::new(test_suite());
         let cache = Arc::new(ClassCache::new(256));
         let sched = Scheduler::new(
-            Arc::clone(&synth),
+            Arc::clone(&suite),
             Arc::clone(&cache),
             workers,
             SearchOptions::new().threads(1),
         );
-        (sched, synth, cache)
+        (sched, suite, cache)
     }
 
     #[test]
     fn request_searches_once_then_hits_cache() {
-        let (sched, synth, cache) = scheduler(1);
+        let (sched, suite, cache) = scheduler(1);
         let f = GateLib::nct(4).iter().next().unwrap().2;
-        let rep = synth.tables().sym().canonical(f);
-        let circuit = sched.request(rep).unwrap();
+        let rep = suite.sym().canonical(f);
+        let circuit = sched.request(CostKind::Gates, rep).unwrap();
         assert_eq!(circuit.perm(4), rep);
         assert_eq!(sched.counters().searches, 1);
         // The worker published the result to the cache.
-        assert_eq!(cache.get(rep).unwrap(), circuit);
+        assert_eq!(cache.get(CostKind::Gates, rep).unwrap(), circuit);
         // A second request short-circuits on the post-miss cache check
         // even though the caller skipped its own cache lookup.
-        let again = sched.request(rep).unwrap();
+        let again = sched.request(CostKind::Gates, rep).unwrap();
         assert_eq!(again, circuit);
         assert_eq!(sched.counters().searches, 1, "no second search");
         sched.shutdown();
@@ -404,8 +434,8 @@ mod tests {
 
     #[test]
     fn concurrent_same_class_requests_coalesce() {
-        let (sched, synth, _cache) = scheduler(1);
-        let sym = synth.tables().sym();
+        let (sched, suite, _cache) = scheduler(1);
+        let sym = suite.sym();
         // A class with several members, none cached.
         let member = "TOF(a,b,d) CNOT(a,b)"
             .parse::<revsynth_circuit::Circuit>()
@@ -421,7 +451,7 @@ mod tests {
                     let barrier = &barrier;
                     scope.spawn(move || {
                         barrier.wait();
-                        sched_ref.request(w.rep).unwrap()
+                        sched_ref.request(CostKind::Gates, w.rep).unwrap()
                     })
                 })
                 .collect();
@@ -447,8 +477,8 @@ mod tests {
 
     #[test]
     fn batch_drains_multiple_classes_in_one_call() {
-        let (sched, synth, _cache) = scheduler(1);
-        let sym = synth.tables().sym();
+        let (sched, suite, _cache) = scheduler(1);
+        let sym = suite.sym();
         let lib = GateLib::nct(4);
         // Queue several distinct classes from different threads at once.
         let reps: Vec<Perm> = lib
@@ -465,7 +495,7 @@ mod tests {
                 let barrier = &barrier;
                 scope.spawn(move || {
                     barrier.wait();
-                    let c = sched_ref.request(rep).unwrap();
+                    let c = sched_ref.request(CostKind::Gates, rep).unwrap();
                     assert_eq!(c.perm(4), rep);
                 });
             }
@@ -484,14 +514,14 @@ mod tests {
     fn scheduled_circuit_replays_to_the_query() {
         // End-to-end miss path as the server performs it: canonicalize,
         // schedule the rep, replay through the witness.
-        let (sched, synth, _cache) = scheduler(1);
-        let sym = synth.tables().sym();
+        let (sched, suite, _cache) = scheduler(1);
+        let sym = suite.sym();
         let query = "TOF(b,c,d) NOT(a) CNOT(c,b)"
             .parse::<revsynth_circuit::Circuit>()
             .unwrap()
             .perm(4);
         let w = sym.canonicalize(query);
-        let rep_circuit = sched.request(w.rep).unwrap();
+        let rep_circuit = sched.request(CostKind::Gates, w.rep).unwrap();
         let answer = replay_for_witness(&rep_circuit, &w);
         assert_eq!(answer.perm(4), query);
         sched.shutdown();
@@ -499,14 +529,17 @@ mod tests {
 
     #[test]
     fn unsynthesizable_queries_fail_cleanly() {
-        let (sched, synth, cache) = scheduler(1);
+        let (sched, suite, cache) = scheduler(1);
         // k = 2 reaches size 4; a random large permutation exceeds it.
         let hard =
             Perm::from_values(&[15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]).unwrap();
-        let rep = synth.tables().sym().canonical(hard);
-        let err = sched.request(rep).unwrap_err();
+        let rep = suite.sym().canonical(hard);
+        let err = sched.request(CostKind::Gates, rep).unwrap_err();
         assert!(matches!(err, ServeError::Synthesis(_)), "{err}");
-        assert!(cache.get(rep).is_none(), "failures are not cached");
+        assert!(
+            cache.get(CostKind::Gates, rep).is_none(),
+            "failures are not cached"
+        );
         sched.shutdown();
     }
 
@@ -516,16 +549,16 @@ mod tests {
         // concurrent first-miss requests must land in ONE drained batch
         // (distinct classes) and same-class requests must attach to the
         // in-flight ticket — deterministically, not as a race.
-        let synth = Arc::new(Synthesizer::from_scratch(4, 2));
+        let suite = Arc::new(test_suite());
         let cache = Arc::new(ClassCache::new(256));
         let sched = Scheduler::with_linger(
-            Arc::clone(&synth),
+            Arc::clone(&suite),
             cache,
             1,
             SearchOptions::new().threads(1),
             Duration::from_millis(150),
         );
-        let sym = synth.tables().sym();
+        let sym = suite.sym();
         let reps: Vec<Perm> = GateLib::nct(4)
             .iter()
             .map(|(_, _, p)| sym.canonical(p))
@@ -537,10 +570,10 @@ mod tests {
         let sched_ref = &sched;
         std::thread::scope(|scope| {
             for &rep in &reps {
-                scope.spawn(move || sched_ref.request(rep).unwrap());
+                scope.spawn(move || sched_ref.request(CostKind::Gates, rep).unwrap());
             }
             for _ in 0..2 {
-                scope.spawn(move || sched_ref.request(dup).unwrap());
+                scope.spawn(move || sched_ref.request(CostKind::Gates, dup).unwrap());
             }
         });
         let c = sched.counters();
@@ -553,12 +586,11 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_requests() {
-        let (sched, synth, _cache) = scheduler(2);
-        let rep = synth
-            .tables()
+        let (sched, suite, _cache) = scheduler(2);
+        let rep = suite
             .sym()
             .canonical(GateLib::nct(4).iter().next().unwrap().2);
-        let _ = sched.request(rep);
+        let _ = sched.request(CostKind::Gates, rep);
         // shutdown() consumes the scheduler; test the post-shutdown flag
         // through a clone of inner by re-creating the sequence: set the
         // flag first, then request.
@@ -566,11 +598,39 @@ mod tests {
             let mut q = lock(&sched.inner.queue);
             q.shutdown = true;
         }
-        assert_eq!(sched.request(rep), Err(ServeError::ShuttingDown));
+        assert_eq!(
+            sched.request(CostKind::Gates, rep),
+            Err(ServeError::ShuttingDown)
+        );
         {
             let mut q = lock(&sched.inner.queue);
             q.shutdown = false;
         }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn different_cost_models_do_not_coalesce_and_cache_separately() {
+        let (sched, suite, cache) = scheduler(1);
+        // A class whose gate-count and quantum-cost optima differ in
+        // *measure* even when the circuits agree: SWAP(a,b) = 3 CNOTs.
+        let swap = "CNOT(a,b) CNOT(b,a) CNOT(a,b)"
+            .parse::<revsynth_circuit::Circuit>()
+            .unwrap()
+            .perm(4);
+        let rep = suite.sym().canonical(swap);
+        let gates_circuit = sched.request(CostKind::Gates, rep).unwrap();
+        let quantum_circuit = sched.request(CostKind::Quantum, rep).unwrap();
+        assert_eq!(gates_circuit.perm(4), rep);
+        assert_eq!(quantum_circuit.perm(4), rep);
+        let counters = sched.counters();
+        assert_eq!(
+            counters.searches, 2,
+            "same class under two models is two searches"
+        );
+        assert_eq!(counters.coalesced, 0, "kinds never share a ticket");
+        assert!(cache.get_quiet(CostKind::Gates, rep).is_some());
+        assert!(cache.get_quiet(CostKind::Quantum, rep).is_some());
         sched.shutdown();
     }
 }

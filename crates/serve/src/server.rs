@@ -33,7 +33,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use revsynth_canon::replay_for_witness;
-use revsynth_core::{SearchOptions, Synthesizer};
+use revsynth_circuit::CostKind;
+use revsynth_core::{SearchOptions, SynthesisSuite};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
@@ -82,7 +83,7 @@ impl Default for ServerConfig {
 
 /// Shared state every connection handler sees.
 struct Shared {
-    synth: Arc<Synthesizer>,
+    suite: Arc<SynthesisSuite>,
     cache: Arc<ClassCache>,
     scheduler: Scheduler,
     requests: AtomicU64,
@@ -97,7 +98,7 @@ impl Shared {
         let cache = self.cache.counters();
         let sched = self.scheduler.counters();
         ServeStats {
-            wires: self.synth.wires() as u64,
+            wires: self.suite.wires() as u64,
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -152,15 +153,19 @@ impl ServerHandle {
 impl Server {
     /// Binds the loopback listener and starts the scheduler workers.
     ///
+    /// Queries carry a per-request cost model; the suite's quantum and
+    /// depth engines are generated lazily on the first query that needs
+    /// them, so a gates-only workload pays nothing for the siblings.
+    ///
     /// # Errors
     ///
     /// Propagates bind failures (e.g. the port is taken).
-    pub fn bind(synth: Arc<Synthesizer>, config: &ServerConfig) -> io::Result<Server> {
+    pub fn bind(suite: Arc<SynthesisSuite>, config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let cache = Arc::new(ClassCache::new(config.cache_capacity));
         let scheduler = Scheduler::with_linger(
-            Arc::clone(&synth),
+            Arc::clone(&suite),
             Arc::clone(&cache),
             config.workers,
             config.search,
@@ -169,7 +174,7 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                synth,
+                suite,
                 cache,
                 scheduler,
                 requests: AtomicU64::new(0),
@@ -288,10 +293,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         let response = match request {
-            Request::Query(f) => {
+            Request::Query(f, kind) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let start = Instant::now();
-                let response = answer_query(shared, f);
+                let response = answer_query(shared, f, kind);
                 let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 shared.latency.record(elapsed);
                 if matches!(response, Response::Error(_)) {
@@ -315,10 +320,13 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-/// The query hot path: canonicalize, cache, replay — scheduler only on
-/// a miss.
-fn answer_query(shared: &Shared, f: Perm) -> Response {
-    let n = shared.synth.wires();
+/// The query hot path: canonicalize, cache (keyed by cost model +
+/// class), replay — scheduler only on a miss. One canonicalization
+/// serves every model (all three cost kinds are class functions), and
+/// witness replay is cost-preserving under all of them, so the warm
+/// path is model-independent work plus a model-tagged cache key.
+fn answer_query(shared: &Shared, f: Perm, kind: CostKind) -> Response {
+    let n = shared.suite.wires();
     for x in (1u8 << n)..16 {
         if f.apply(x) != x {
             return Response::Error(format!(
@@ -326,10 +334,10 @@ fn answer_query(shared: &Shared, f: Perm) -> Response {
             ));
         }
     }
-    let w = shared.synth.tables().sym().canonicalize(f);
-    let rep_circuit = match shared.cache.get(w.rep) {
+    let w = shared.suite.sym().canonicalize(f);
+    let rep_circuit = match shared.cache.get(kind, w.rep) {
         Some(circuit) => circuit,
-        None => match shared.scheduler.request(w.rep) {
+        None => match shared.scheduler.request(kind, w.rep) {
             Ok(circuit) => circuit,
             Err(e) => return Response::Error(e.to_string()),
         },

@@ -10,13 +10,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use revsynth_analysis::{Rng, SplitMix64};
-use revsynth_core::Synthesizer;
+use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_perm::Perm;
 use revsynth_serve::{Client, Server, ServerConfig, ServerHandle};
 
 fn start_server() -> ServerHandle {
-    let synth = Arc::new(Synthesizer::from_scratch(4, 2));
-    Server::bind(synth, &ServerConfig::default())
+    let suite = Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, 2),
+        SuiteConfig {
+            quantum_budget: 6,
+            depth_budget: 2,
+        },
+    ));
+    Server::bind(suite, &ServerConfig::default())
         .expect("bind loopback")
         .spawn()
 }

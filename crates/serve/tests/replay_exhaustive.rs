@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use revsynth_bfs::reference;
 use revsynth_canon::replay_for_witness;
-use revsynth_circuit::GateLib;
+use revsynth_circuit::{CostKind, GateLib};
 use revsynth_core::Synthesizer;
 use revsynth_perm::Perm;
 use revsynth_serve::ClassCache;
@@ -37,14 +37,14 @@ fn exhaustive_n3_cache_replay_is_bit_exact_and_optimal() {
 
     for (&f, &size) in &oracle {
         let w = sym.canonicalize(f);
-        let rep_circuit = match cache.get(w.rep) {
+        let rep_circuit = match cache.get(CostKind::Gates, w.rep) {
             Some(circuit) => circuit,
             None => {
                 let circuit = synth
                     .synthesize(w.rep)
                     .unwrap_or_else(|e| panic!("rep {} of f {f}: {e}", w.rep));
                 searches += 1;
-                cache.insert(w.rep, circuit.clone());
+                cache.insert(CostKind::Gates, w.rep, circuit.clone());
                 circuit
             }
         };
@@ -104,9 +104,9 @@ fn exhaustive_n3_direct_synthesis_agrees_with_replay_on_a_sample() {
             continue;
         }
         let w = sym.canonicalize(f);
-        let rep_circuit = cache.get(w.rep).unwrap_or_else(|| {
+        let rep_circuit = cache.get(CostKind::Gates, w.rep).unwrap_or_else(|| {
             let c = synth.synthesize(w.rep).expect("rep synthesizes");
-            cache.insert(w.rep, c.clone());
+            cache.insert(CostKind::Gates, w.rep, c.clone());
             c
         });
         let replayed = replay_for_witness(&rep_circuit, &w);

@@ -5,18 +5,24 @@
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use revsynth_circuit::Circuit;
-use revsynth_core::Synthesizer;
+use revsynth_circuit::{Circuit, CostKind, CostModel};
+use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_perm::Perm;
 use revsynth_serve::{Client, ClientError, Server, ServerConfig, ServerHandle};
 
 fn start_server(k: usize, workers: usize) -> ServerHandle {
-    let synth = Arc::new(Synthesizer::from_scratch(4, k));
+    let suite = Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, k),
+        SuiteConfig {
+            quantum_budget: 7,
+            depth_budget: 2,
+        },
+    ));
     let config = ServerConfig {
         workers,
         ..ServerConfig::default()
     };
-    Server::bind(synth, &config).expect("bind loopback").spawn()
+    Server::bind(suite, &config).expect("bind loopback").spawn()
 }
 
 #[test]
@@ -109,6 +115,62 @@ fn concurrent_clients_coalesce_on_a_cold_class() {
     // ticket or arrived after the cache was filled; all outcomes are
     // search-free. coalesced counts the former.
     assert_eq!(stats.errors, 0);
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn cost_models_get_distinct_cache_entries_and_correct_circuits() {
+    let handle = start_server(2, 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // TOF(a,b,c) NOT(d): 2 gates, quantum cost 5 + 1, depth 1 (disjoint).
+    let base: Circuit = "TOF(a,b,c) NOT(d)".parse().unwrap();
+    let f = base.perm(4);
+
+    let gates = client.query(f).unwrap();
+    assert_eq!(gates.perm(4), f);
+    assert_eq!(gates.len(), 2, "gate-count optimal");
+
+    let quantum = client.query_with_cost(f, CostKind::Quantum).unwrap();
+    assert_eq!(quantum.perm(4), f);
+    assert_eq!(quantum.cost(&CostModel::quantum()), 6, "quantum optimal");
+
+    let depth = client.query_with_cost(f, CostKind::Depth).unwrap();
+    assert_eq!(depth.perm(4), f);
+    assert_eq!(depth.depth(), 1, "the two gates share a time step");
+
+    // Same function, three models ⇒ three cache entries, three
+    // searches, zero coalescing across models.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cached_classes, 3, "one entry per (model, class)");
+    assert_eq!(stats.searches, 3);
+    assert_eq!(stats.cache_misses, 3);
+    assert_eq!(stats.coalesced, 0);
+
+    // A different member of the same class under quantum is a warm hit
+    // at identical cost: replay preserves every model's measure.
+    let member = f.inverse();
+    let replayed = client.query_with_cost(member, CostKind::Quantum).unwrap();
+    assert_eq!(replayed.perm(4), member);
+    assert_eq!(replayed.cost(&CostModel::quantum()), 6);
+    let warm = client.stats().unwrap();
+    assert_eq!(warm.searches, 3, "no further search");
+    assert_eq!(warm.cache_hits, stats.cache_hits + 1);
+
+    // Beyond-budget depth queries fail cleanly per model without
+    // disturbing the others (SWAP(a,b) needs depth 3 > budget 2).
+    let swap: Circuit = "CNOT(a,b) CNOT(b,a) CNOT(a,b)".parse().unwrap();
+    match client.query_with_cost(swap.perm(4), CostKind::Depth) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    assert_eq!(
+        client.query(swap.perm(4)).unwrap().len(),
+        3,
+        "gates still fine"
+    );
 
     client.shutdown_server().unwrap();
     handle.join().unwrap();

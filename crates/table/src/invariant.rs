@@ -197,6 +197,28 @@ impl InvariantIndex {
         self.distance_mask(key) >> distance & 1 == 1
     }
 
+    /// Whether any stored representative at a distance in `allowed`
+    /// (bit `d` set ⇔ distance `d` allowed) has `f`'s class invariants —
+    /// the cost-bounded engine's gate, where the allowed set is the
+    /// residual-cost **buckets** that could still improve the current
+    /// best decomposition. Staged exactly like [`admits`](Self::admits):
+    /// the weight-key prefilter first, the combined key only for
+    /// survivors; a `false` proves the candidate misses every allowed
+    /// bucket.
+    #[inline]
+    #[must_use]
+    pub fn admits_any(&self, f: Perm, allowed: u32) -> bool {
+        if allowed == 0 {
+            return false;
+        }
+        let weight = f.wire_weight_key();
+        let bit = hash64shift(weight) & self.weight_bit_mask;
+        if self.weight_bits[(bit >> 6) as usize] >> (bit & 63) & 1 == 0 {
+            return false;
+        }
+        self.distance_mask(hash64shift(f.cycle_type_key()) ^ weight) & allowed != 0
+    }
+
     /// Number of distinct invariant values stored.
     #[inline]
     #[must_use]
@@ -361,6 +383,25 @@ mod tests {
                     index.admits(p, d),
                     index.admits_at(key, d),
                     "perm {i}, distance {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn admits_any_agrees_with_per_distance_admits() {
+        let entries: Vec<(Perm, usize)> = (0..120u64)
+            .map(|i| (perm_of(i), (i % 9) as usize))
+            .collect();
+        let index = InvariantIndex::build(entries.iter().copied(), entries.len());
+        for i in 0..300u64 {
+            let p = perm_of(i);
+            for allowed in [0u32, 1, 0b1010, 0x1FF, u32::MAX] {
+                let expected = (0..32).any(|d| allowed >> d & 1 == 1 && index.admits(p, d));
+                assert_eq!(
+                    index.admits_any(p, allowed),
+                    expected,
+                    "perm {i} mask {allowed:#x}"
                 );
             }
         }

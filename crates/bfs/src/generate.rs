@@ -1,4 +1,8 @@
-//! Serial breadth-first search (paper Algorithm 2).
+//! Breadth-first search driver (paper Algorithm 2), built on the sharded
+//! level expander in [`crate::shard`] and extendable level by level —
+//! both in RAM ([`SearchTables::extend_to`]) and streamed to a
+//! checkpointed store so an interrupted generation resumes from its
+//! deepest completed level.
 //!
 //! # Completeness
 //!
@@ -17,6 +21,12 @@
 //! form is inserted exactly once (the hash table already holds all classes
 //! of size < i by induction, so smaller classes are filtered out).
 //!
+//! Because level `i` depends only on the table contents and the sorted
+//! level-`(i−1)` list, the search is **restartable**: a store holding
+//! levels `0..=j` is exactly the state the single-shot search had after
+//! level `j`, so resuming from it and extending to `k` reproduces the
+//! single-shot run byte for byte.
+//!
 //! # Stored gate records
 //!
 //! When a new representative `r = canonical(h)` with `h = x.then(λ)` is
@@ -29,59 +39,90 @@
 //!
 //! (gates are involutions, so `h⁻¹ = λ.then(x⁻¹)`).
 
+use std::path::Path;
+
 use revsynth_canon::Symmetries;
-use revsynth_circuit::GateLib;
+use revsynth_circuit::{CostModel, GateLib};
 use revsynth_perm::Perm;
 use revsynth_table::FnTable;
 
-use crate::info::{encode_stored, IDENTITY_BYTE};
+use crate::info::IDENTITY_BYTE;
+use crate::shard::{expand_level, GenOptions};
+use crate::store::{CheckpointWriter, StoreError};
 use crate::tables::SearchTables;
 
 pub(crate) fn run(lib: GateLib, k: usize) -> SearchTables {
-    assert!(k <= 16, "k = {k} is far beyond any reachable optimal size");
-    let sym = Symmetries::new(lib.wires());
-    let mut table = FnTable::for_entries(SearchTables::estimated_total(&lib, k));
-    table.insert(Perm::identity(), IDENTITY_BYTE);
-    let mut levels: Vec<Vec<Perm>> = vec![vec![Perm::identity()]];
+    run_opts(lib, k, &GenOptions::new())
+}
 
-    for i in 1..=k {
-        let mut level: Vec<Perm> = Vec::new();
-        // Detach the previous level so `table` can be borrowed mutably
-        // while it is iterated.
-        let prev = std::mem::take(&mut levels[i - 1]);
-        for &f in &prev {
-            expand(&lib, &sym, &mut table, &mut level, f);
-            let inv = f.inverse();
-            if inv != f {
-                expand(&lib, &sym, &mut table, &mut level, inv);
-            }
-        }
-        levels[i - 1] = prev;
-        level.sort_unstable();
-        levels.push(level);
-        if levels[i].is_empty() {
-            // The group is exhausted below k; remaining levels stay empty.
-            for _ in i + 1..=k {
-                levels.push(Vec::new());
-            }
-            break;
-        }
-    }
-
+pub(crate) fn run_opts(lib: GateLib, k: usize, opts: &GenOptions) -> SearchTables {
+    let (sym, mut table, mut levels) = seed(&lib, k);
+    extend_levels(&lib, &sym, &mut table, &mut levels, k, opts, None)
+        .expect("no checkpoint writer: extension performs no I/O");
     SearchTables::assemble(lib, sym, k, table, levels)
 }
 
-#[inline]
-fn expand(lib: &GateLib, sym: &Symmetries, table: &mut FnTable, level: &mut Vec<Perm>, f: Perm) {
-    for (_, gate, gate_perm) in lib.iter() {
-        let h = f.then(gate_perm);
-        let w = sym.canonicalize(h);
-        let stored = gate.conjugate_by_wires(w.sigma);
-        let byte = encode_stored(stored, w.inverted);
-        if table.insert_if_absent(w.rep, byte) {
-            level.push(w.rep);
+/// Generates from scratch while streaming every completed level to a v4
+/// checkpoint store at `path` (write-level → fsync → update trailer).
+pub(crate) fn run_checkpointed(
+    lib: GateLib,
+    k: usize,
+    opts: &GenOptions,
+    path: &Path,
+) -> Result<SearchTables, StoreError> {
+    let (sym, mut table, mut levels) = seed(&lib, k);
+    let mut ckpt = CheckpointWriter::create(path, &lib, &CostModel::unit(), true)?;
+    ckpt.append_level(0, &levels[0], &table)?;
+    extend_levels(
+        &lib,
+        &sym,
+        &mut table,
+        &mut levels,
+        k,
+        opts,
+        Some(&mut ckpt),
+    )?;
+    Ok(SearchTables::assemble(lib, sym, k, table, levels))
+}
+
+fn seed(lib: &GateLib, k: usize) -> (Symmetries, FnTable, Vec<Vec<Perm>>) {
+    assert!(k <= 16, "k = {k} is far beyond any reachable optimal size");
+    let sym = Symmetries::new(lib.wires());
+    let mut table = FnTable::for_entries(SearchTables::estimated_total(lib, k));
+    table.insert(Perm::identity(), IDENTITY_BYTE);
+    (sym, table, vec![vec![Perm::identity()]])
+}
+
+/// Extends `levels` (currently complete through `levels.len() - 1`) up
+/// to size `k`, appending each completed level to the checkpoint store
+/// when one is given. This is the one loop behind fresh generation,
+/// in-RAM extension and checkpoint resume; an empty frontier means the
+/// group is exhausted and the remaining levels stay empty (still
+/// recorded, so a resumed store and a single-shot one agree byte for
+/// byte).
+pub(crate) fn extend_levels(
+    lib: &GateLib,
+    sym: &Symmetries,
+    table: &mut FnTable,
+    levels: &mut Vec<Vec<Perm>>,
+    k: usize,
+    opts: &GenOptions,
+    mut ckpt: Option<&mut CheckpointWriter>,
+) -> Result<(), StoreError> {
+    assert!(k <= 16, "k = {k} is far beyond any reachable optimal size");
+    for i in levels.len()..=k {
+        let frontier = &levels[i - 1];
+        let level = if frontier.is_empty() {
+            Vec::new()
+        } else {
+            expand_level(lib, sym, table, frontier, opts)
+        };
+        if let Some(w) = ckpt.as_deref_mut() {
+            w.append_level(i as u64, &level, table)?;
         }
+        levels.push(level);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -205,5 +246,25 @@ mod tests {
         let t = SearchTables::generate_with(GateLib::linear(3), 12);
         let total: u64 = t.counts().iter().map(|c| c.functions).sum();
         assert_eq!(total, 1344);
+    }
+
+    #[test]
+    fn in_ram_extension_matches_single_shot() {
+        // Level-by-level extension is the single-shot search replayed: the
+        // level lists AND the recorded boundary bytes must coincide.
+        let single = SearchTables::generate(3, 5);
+        let mut grown = SearchTables::generate(3, 2);
+        grown.extend_to(5, &GenOptions::new());
+        assert_eq!(grown.k(), 5);
+        assert_eq!(grown.levels(), single.levels());
+        assert_eq!(grown.invariants(), single.invariants());
+        for level in single.levels() {
+            for &rep in level {
+                assert_eq!(grown.lookup(rep), single.lookup(rep), "{rep}");
+            }
+        }
+        // Extending to a size already covered is a no-op.
+        grown.extend_to(3, &GenOptions::new());
+        assert_eq!(grown.k(), 5);
     }
 }

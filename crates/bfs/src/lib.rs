@@ -44,11 +44,13 @@ mod generate;
 mod info;
 mod parallel;
 pub mod reference;
+mod shard;
 mod store;
 mod tables;
 mod weighted;
 
 pub use counts::LevelCount;
 pub use info::{decode_stored, encode_stored, StoredGate, IDENTITY_BYTE};
-pub use store::StoreError;
+pub use shard::GenOptions;
+pub use store::{file_digest, LevelInfo, StoreError, StoreErrorKind, StoreInfo};
 pub use tables::SearchTables;

@@ -1,104 +1,23 @@
-//! Multi-threaded breadth-first search.
+//! Multi-threaded breadth-first search — a thin wrapper over the shared
+//! sharded expander in [`crate::shard`].
 //!
 //! The expansion of level `i−1` is embarrassingly parallel: each worker
 //! canonicalizes its share of the `(representative, gate)` products and
-//! filters against the (read-only during the pass) hash table; the main
-//! thread then inserts the surviving candidates sequentially, which
-//! resolves duplicates discovered concurrently by different workers.
-//!
-//! Work is processed in bounded blocks so candidate buffers stay small and
-//! the "already known" filter stays fresh between blocks. The resulting
-//! *key sets and level counts* are identical to the serial search; the
-//! recorded boundary gate for a representative reachable through several
-//! minimal circuits may legitimately differ (any boundary gate of any
-//! minimal circuit is valid — the reconstruction tests accept all of them).
+//! filters against the (read-only during the pass) hash table. Workers
+//! take contiguous frontier chunks and their outputs are concatenated in
+//! chunk order, so the candidate stream — and with it every recorded
+//! boundary gate — is **identical to the serial search's**: parallel,
+//! serial, sharded and resumed generations all produce byte-identical
+//! tables (asserted by the `shard` and checkpoint tests).
 
-use revsynth_canon::Symmetries;
 use revsynth_circuit::GateLib;
-use revsynth_perm::Perm;
-use revsynth_table::FnTable;
 
-use crate::info::{encode_stored, IDENTITY_BYTE};
+use crate::shard::GenOptions;
 use crate::tables::SearchTables;
-
-/// Source representatives per block (each yields ≤ 2·|lib| candidates).
-const BLOCK: usize = 1 << 14;
 
 pub(crate) fn run(lib: GateLib, k: usize, threads: usize) -> SearchTables {
     assert!(threads >= 1, "need at least one worker thread");
-    assert!(k <= 16, "k = {k} is far beyond any reachable optimal size");
-    if threads == 1 {
-        return crate::generate::run(lib, k);
-    }
-
-    let sym = Symmetries::new(lib.wires());
-    let mut table = FnTable::for_entries(SearchTables::estimated_total(&lib, k));
-    table.insert(Perm::identity(), IDENTITY_BYTE);
-    let mut levels: Vec<Vec<Perm>> = vec![vec![Perm::identity()]];
-
-    for i in 1..=k {
-        let mut level: Vec<Perm> = Vec::new();
-        let prev = std::mem::take(&mut levels[i - 1]);
-        for block in prev.chunks(BLOCK) {
-            let per_worker = block.len().div_ceil(threads);
-            let shards: Vec<Vec<(Perm, u8)>> = std::thread::scope(|scope| {
-                let table = &table;
-                let sym = &sym;
-                let lib = &lib;
-                let handles: Vec<_> = block
-                    .chunks(per_worker.max(1))
-                    .map(|sub| {
-                        scope.spawn(move || {
-                            let mut out: Vec<(Perm, u8)> = Vec::new();
-                            for &f in sub {
-                                collect(lib, sym, table, &mut out, f);
-                                let inv = f.inverse();
-                                if inv != f {
-                                    collect(lib, sym, table, &mut out, inv);
-                                }
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread must not panic"))
-                    .collect()
-            });
-            for shard in shards {
-                for (rep, byte) in shard {
-                    if table.insert_if_absent(rep, byte) {
-                        level.push(rep);
-                    }
-                }
-            }
-        }
-        levels[i - 1] = prev;
-        level.sort_unstable();
-        levels.push(level);
-        if levels[i].is_empty() {
-            for _ in i + 1..=k {
-                levels.push(Vec::new());
-            }
-            break;
-        }
-    }
-
-    SearchTables::assemble(lib, sym, k, table, levels)
-}
-
-#[inline]
-fn collect(lib: &GateLib, sym: &Symmetries, table: &FnTable, out: &mut Vec<(Perm, u8)>, f: Perm) {
-    for (_, gate, gate_perm) in lib.iter() {
-        let h = f.then(gate_perm);
-        let w = sym.canonicalize(h);
-        if table.contains(w.rep) {
-            continue;
-        }
-        let stored = gate.conjugate_by_wires(w.sigma);
-        out.push((w.rep, encode_stored(stored, w.inverted)));
-    }
+    crate::generate::run_opts(lib, k, &GenOptions::new().threads(threads))
 }
 
 #[cfg(test)]
@@ -148,6 +67,20 @@ mod tests {
                         assert_eq!(t.size_of(peeled), Some(i - 1));
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_records_match_serial_records_exactly() {
+        // Stronger than "valid boundary gates": chunk-ordered candidate
+        // production makes the recorded bytes identical to the serial
+        // search's, which is what keeps store digests thread-count-free.
+        let serial = SearchTables::generate(3, 4);
+        let parallel = SearchTables::generate_parallel(GateLib::nct(3), 4, 3);
+        for level in serial.levels() {
+            for &rep in level {
+                assert_eq!(parallel.lookup(rep), serial.lookup(rep), "{rep}");
             }
         }
     }

@@ -1,0 +1,312 @@
+//! Sharded, memory-bounded expansion of one breadth-first level — the
+//! single expander behind the serial path, the multi-threaded path and
+//! checkpointed/resumed generation.
+//!
+//! Every `(representative, gate)` product of the frontier is produced in
+//! **frontier order** (each representative, then its inverse, each by
+//! every library gate — multi-threaded production assigns workers
+//! contiguous frontier chunks and concatenates their outputs in chunk
+//! order, so the candidate stream is the same as the serial one), then
+//! routed to one of `shards` candidate buffers by a hash of its canonical
+//! key. Routing by key means **every duplicate discovery of one class
+//! lands in the same shard, in stream order**, so when a shard is spilled
+//! (deduplicated against the table and folded into the level) the
+//! first-discovered boundary gate wins — exactly the record the
+//! unsharded serial search would have kept. The produced tables are
+//! therefore **byte-identical for every `threads` × `shards` ×
+//! `max_mem` configuration**, which is what lets the CI pipeline pin one
+//! store digest across single-shot, parallel, and kill-and-resumed runs.
+//!
+//! Shards bound the working set: the frontier is consumed in blocks (so
+//! buffers hold at most one block's candidates), and a `max_mem` budget
+//! spills the fullest shard early whenever the buffered candidates exceed
+//! it — the per-level transient memory is then `O(max_mem)` on top of the
+//! tables themselves.
+
+use revsynth_canon::Symmetries;
+use revsynth_circuit::GateLib;
+use revsynth_perm::Perm;
+use revsynth_table::FnTable;
+
+use crate::info::encode_stored;
+
+/// Source representatives per production block (each yields ≤ 2·|lib|
+/// candidates; the block bound keeps the "already known" filter fresh
+/// and the candidate buffers small even without a `max_mem` budget).
+const BLOCK: usize = 1 << 14;
+
+/// In-memory footprint of one buffered candidate.
+const CANDIDATE_BYTES: usize = std::mem::size_of::<(Perm, u8)>();
+
+/// Construction knobs for table generation (see
+/// [`SearchTables::generate_opts`](crate::SearchTables::generate_opts),
+/// [`extend_to`](crate::SearchTables::extend_to) and the checkpointed
+/// variants). The produced tables are byte-identical for every setting;
+/// the knobs trade wall-clock time against memory and core count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenOptions {
+    threads: usize,
+    shards: usize,
+    max_mem: Option<usize>,
+}
+
+impl GenOptions {
+    /// Defaults: 1 thread, 8 shards, no explicit memory budget (buffers
+    /// are still bounded by the production block size).
+    #[must_use]
+    pub fn new() -> Self {
+        GenOptions {
+            threads: 1,
+            shards: 8,
+            max_mem: None,
+        }
+    }
+
+    /// Worker threads for candidate production (`0` means all cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of candidate-buffer shards (clamped to ≥ 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Caps the bytes held in candidate buffers; when the cap is hit the
+    /// fullest shard is spilled into the tables early. `None` keeps the
+    /// block-size bound only.
+    #[must_use]
+    pub fn max_mem_bytes(mut self, bytes: Option<usize>) -> Self {
+        self.max_mem = bytes;
+        self
+    }
+
+    /// The resolved worker-thread count.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The memory budget, if one was set.
+    #[must_use]
+    pub fn max_mem(&self) -> Option<usize> {
+        self.max_mem
+    }
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fibonacci-hash shard routing: a pure function of the canonical key,
+/// so duplicates of one class always collide into the same shard.
+#[inline]
+fn shard_of(rep: Perm, shards: usize) -> usize {
+    let h = rep.packed().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((u128::from(h) * shards as u128) >> 64) as usize
+}
+
+/// Expands one level: composes every frontier representative (and its
+/// inverse) with every library gate, canonicalizes, filters against the
+/// table, and returns the sorted list of newly discovered
+/// representatives (all inserted into `table` with their boundary-gate
+/// bytes).
+pub(crate) fn expand_level(
+    lib: &GateLib,
+    sym: &Symmetries,
+    table: &mut FnTable,
+    frontier: &[Perm],
+    opts: &GenOptions,
+) -> Vec<Perm> {
+    let shard_count = opts.shard_count();
+    let spill_at = opts.max_mem().map(|bytes| (bytes / CANDIDATE_BYTES).max(1));
+    let threads = opts.effective_threads();
+    let mut buffers: Vec<Vec<(Perm, u8)>> = vec![Vec::new(); shard_count];
+    let mut accepted: Vec<Vec<Perm>> = vec![Vec::new(); shard_count];
+    let mut buffered = 0usize;
+    let mut produced: Vec<(Perm, u8)> = Vec::new();
+    for block in frontier.chunks(BLOCK) {
+        produce_block(lib, sym, table, block, threads, &mut produced);
+        for &(rep, byte) in &produced {
+            let s = shard_of(rep, shard_count);
+            buffers[s].push((rep, byte));
+            buffered += 1;
+            if spill_at.is_some_and(|cap| buffered >= cap) {
+                spill_fullest(&mut buffers, &mut accepted, table, &mut buffered);
+            }
+        }
+        // End-of-block spill of every shard: keeps the production-side
+        // "already known" prefilter fresh for the next block, exactly
+        // like the blocked insertion of the original parallel search.
+        for (buf, out) in buffers.iter_mut().zip(accepted.iter_mut()) {
+            spill(buf, out, table, &mut buffered);
+        }
+    }
+    let mut level: Vec<Perm> = accepted.into_iter().flatten().collect();
+    level.sort_unstable();
+    level
+}
+
+/// Folds one shard's buffered candidates into the table in stream order
+/// (first discovery of a class wins) and clears the buffer.
+fn spill(
+    buf: &mut Vec<(Perm, u8)>,
+    out: &mut Vec<Perm>,
+    table: &mut FnTable,
+    buffered: &mut usize,
+) {
+    *buffered -= buf.len();
+    for &(rep, byte) in buf.iter() {
+        if table.insert_if_absent(rep, byte) {
+            out.push(rep);
+        }
+    }
+    buf.clear();
+}
+
+/// Spills the fullest shard (lowest index on ties — deterministic, not
+/// that it matters: per-class winners are shard-local).
+fn spill_fullest(
+    buffers: &mut [Vec<(Perm, u8)>],
+    accepted: &mut [Vec<Perm>],
+    table: &mut FnTable,
+    buffered: &mut usize,
+) {
+    let fullest = (0..buffers.len())
+        .max_by_key(|&s| (buffers[s].len(), usize::MAX - s))
+        .expect("at least one shard");
+    spill(
+        &mut buffers[fullest],
+        &mut accepted[fullest],
+        table,
+        buffered,
+    );
+}
+
+/// Produces the candidate stream of one frontier block into `out`
+/// (cleared first), preserving frontier order; candidates already in the
+/// table are prefiltered (duplicates *within* the stream are kept — the
+/// spill resolves them first-wins).
+fn produce_block(
+    lib: &GateLib,
+    sym: &Symmetries,
+    table: &FnTable,
+    block: &[Perm],
+    threads: usize,
+    out: &mut Vec<(Perm, u8)>,
+) {
+    out.clear();
+    if threads <= 1 || block.len() < 2 {
+        for &f in block {
+            collect(lib, sym, table, out, f);
+            let inv = f.inverse();
+            if inv != f {
+                collect(lib, sym, table, out, inv);
+            }
+        }
+        return;
+    }
+    let per_worker = block.len().div_ceil(threads).max(1);
+    let shards: Vec<Vec<(Perm, u8)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = block
+            .chunks(per_worker)
+            .map(|sub| {
+                scope.spawn(move || {
+                    let mut part: Vec<(Perm, u8)> = Vec::new();
+                    for &f in sub {
+                        collect(lib, sym, table, &mut part, f);
+                        let inv = f.inverse();
+                        if inv != f {
+                            collect(lib, sym, table, &mut part, inv);
+                        }
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread must not panic"))
+            .collect()
+    });
+    for part in shards {
+        out.extend(part);
+    }
+}
+
+#[inline]
+fn collect(lib: &GateLib, sym: &Symmetries, table: &FnTable, out: &mut Vec<(Perm, u8)>, f: Perm) {
+    for (_, gate, gate_perm) in lib.iter() {
+        let h = f.then(gate_perm);
+        let w = sym.canonicalize(h);
+        if table.contains(w.rep) {
+            continue;
+        }
+        let stored = gate.conjugate_by_wires(w.sigma);
+        out.push((w.rep, encode_stored(stored, w.inverted)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::SearchTables;
+
+    #[test]
+    fn shard_routing_is_a_pure_function_of_the_key() {
+        let t = SearchTables::generate(3, 3);
+        for shards in [1usize, 2, 7, 8] {
+            for &rep in t.level(2) {
+                let s = shard_of(rep, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(rep, shards), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn every_knob_combination_produces_identical_tables() {
+        // The whole point of the design: threads × shards × max_mem only
+        // changes *when* candidates are spilled, never which class wins
+        // or which boundary byte is recorded.
+        let baseline = SearchTables::generate_opts(
+            revsynth_circuit::GateLib::nct(3),
+            4,
+            &GenOptions::new().threads(1).shards(1),
+        );
+        for threads in [1usize, 3] {
+            for shards in [1usize, 4, 16] {
+                for max_mem in [None, Some(64), Some(4096)] {
+                    let opts = GenOptions::new()
+                        .threads(threads)
+                        .shards(shards)
+                        .max_mem_bytes(max_mem);
+                    let t =
+                        SearchTables::generate_opts(revsynth_circuit::GateLib::nct(3), 4, &opts);
+                    assert_eq!(t.levels(), baseline.levels(), "{opts:?}");
+                    for level in t.levels() {
+                        for &rep in level {
+                            assert_eq!(t.lookup(rep), baseline.lookup(rep), "{opts:?} {rep}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,94 +1,152 @@
-//! Binary persistence of [`SearchTables`].
+//! Binary persistence of [`SearchTables`] — now checkpointed and
+//! extendable in place.
 //!
 //! The paper computes the k = 9 tables once (~3 h) and thereafter loads
 //! them from disk (§4.1: 1111 seconds to load 43 GB into RAM; §5 estimates
-//! ~5 minutes at modern transfer rates). This module gives the same
-//! workflow a self-describing, checksummed little-endian format:
+//! ~5 minutes at modern transfer rates); the follow-up deep sweeps
+//! (arXiv:1103.2686) restart interrupted multi-hour generations instead of
+//! recomputing. Format **version 4** supports exactly that workflow: the
+//! file is a header plus an append-only sequence of per-level records,
+//! with a small fixed-position trailer naming the completed prefix, so a
+//! generation interrupted at level `k` loses only the in-flight level and
+//! [`SearchTables::resume_checkpointed`] continues from the deepest
+//! completed one.
 //!
 //! ```text
-//! magic   8 B  "RVSYNTB3"
-//! n       1 B  wire count (2..=4)
-//! k       1 B  number of buckets − 1 (= search depth on unit tables)
-//! lib_len 2 B  number of gates in the library (LE)
-//! gates   lib_len B  (controls << 2) | target, bit 7 clear
-//! model   4 × 8 B  per-control-count gate costs (LE; 1,1,1,1 = unit)
-//! levels  for i in 0..=k:
-//!           cost   8 B (LE; strictly ascending from 0 — the bucket cost)
-//!           count  8 B (LE)
-//!           keys   count × 8 B (LE, sorted ascending)
-//!           values count × 1 B
-//! fnv     8 B  FNV-1a of every preceding byte (LE)
+//! magic    8 B  "RVSYNTB4"
+//! n        1 B  wire count (2..=4)
+//! reserved 1 B  zero
+//! lib_len  2 B  number of gates in the library (LE)
+//! gates    lib_len B  (controls << 2) | target, bit 7 clear
+//! model    4 × 8 B  per-control-count gate costs (LE; 1,1,1,1 = unit)
+//! hdr_fnv  8 B  FNV-1a of every preceding byte (LE)
+//! trailer  (fixed offset, rewritten in place after every level)
+//!   levels       8 B  number of completed level records
+//!   payload_end  8 B  file offset one past the last completed record
+//!   trailer_fnv  8 B  FNV-1a of the 16 trailer bytes above
+//! levels   append-only; for each completed level:
+//!   cost    8 B (LE; strictly ascending from 0 — the bucket cost)
+//!   count   8 B (LE)
+//!   keys    count × 8 B (LE, sorted ascending)
+//!   values  count × 1 B
+//!   rec_fnv 8 B  FNV-1a of this record's preceding bytes
 //! ```
 //!
-//! Version 3 adds the cost-model block and per-bucket costs, so
-//! weighted (cost-bucketed) tables round-trip with their metadata and
-//! a loaded table's engine dispatch (gate-count scan vs cost-bounded
-//! scan) can never disagree with the generate path's.
+//! The checkpoint protocol is write-level → fsync → rewrite trailer →
+//! fsync, so at any instant the bytes before `payload_end` form a valid
+//! store and anything after it is an ignorable torn tail. Resuming
+//! truncates the tail and appends, which keeps a resumed file
+//! **byte-identical** to an uninterrupted run.
+//!
+//! Version 3 files ("RVSYNTB3", one whole-file checksum, not extendable)
+//! are still loaded transparently; [`SearchTables::save_v3`] writes them
+//! for downgrade compatibility.
 //!
 //! Loading validates everything it can cheaply validate: magic, header
 //! ranges, gate encodings, permutation keys, key ordering, value records,
-//! and the checksum. The hash table is rebuilt by reinsertion.
+//! and the checksums. The hash table is rebuilt by reinsertion.
 
 use std::error::Error;
 use std::fmt;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 use revsynth_canon::Symmetries;
-use revsynth_circuit::{Gate, GateLib};
+use revsynth_circuit::{CostModel, Gate, GateLib};
 use revsynth_perm::Perm;
 use revsynth_table::FnTable;
 
 use crate::info::{decode_stored, StoredGate, IDENTITY_BYTE};
 use crate::tables::SearchTables;
+use crate::weighted::MAX_BUCKETS;
 
-const MAGIC: &[u8; 8] = b"RVSYNTB3";
+const MAGIC_V3: &[u8; 8] = b"RVSYNTB3";
+const MAGIC_V4: &[u8; 8] = b"RVSYNTB4";
 
-/// Error returned by [`SearchTables::load`].
+/// Error returned by [`SearchTables::load`], [`save`](SearchTables::save)
+/// and the checkpoint/resume paths. Always names the offending file so a
+/// CI failure (or an operator) can tell *which* artifact is bad.
 #[derive(Debug)]
-pub enum StoreError {
+pub struct StoreError {
+    path: PathBuf,
+    kind: StoreErrorKind,
+}
+
+/// What went wrong with a table store file (see [`StoreError`]).
+#[derive(Debug)]
+pub enum StoreErrorKind {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file does not start with the format magic.
+    /// The file does not start with a known format magic.
     BadMagic,
     /// A header field is out of range.
     BadHeader(String),
+    /// The fixed-position checkpoint trailer is truncated or inconsistent.
+    BadTrailer(String),
     /// The body is structurally invalid (bad gate, bad key, bad record…).
     Corrupt(String),
-    /// The FNV-1a checksum does not match the content.
+    /// An FNV-1a checksum does not match the content it covers.
     ChecksumMismatch,
+}
+
+impl StoreError {
+    pub(crate) fn new(path: &Path, kind: StoreErrorKind) -> Self {
+        StoreError {
+            path: path.to_path_buf(),
+            kind,
+        }
+    }
+
+    /// The file the failed operation was reading or writing.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The failure itself, independent of which file it hit.
+    #[must_use]
+    pub fn kind(&self) -> &StoreErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for StoreErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+            StoreErrorKind::BadMagic => write!(f, "not a revsynth table store (bad magic)"),
+            StoreErrorKind::BadHeader(msg) => write!(f, "invalid header: {msg}"),
+            StoreErrorKind::BadTrailer(msg) => write!(f, "invalid checkpoint trailer: {msg}"),
+            StoreErrorKind::Corrupt(msg) => write!(f, "corrupted store: {msg}"),
+            StoreErrorKind::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "i/o error: {e}"),
-            StoreError::BadMagic => write!(f, "not a revsynth table store (bad magic)"),
-            StoreError::BadHeader(msg) => write!(f, "invalid header: {msg}"),
-            StoreError::Corrupt(msg) => write!(f, "corrupted store: {msg}"),
-            StoreError::ChecksumMismatch => write!(f, "checksum mismatch"),
-        }
+        write!(f, "table store {}: {}", self.path.display(), self.kind)
     }
 }
 
 impl Error for StoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            StoreError::Io(e) => Some(e),
+        match &self.kind {
+            StoreErrorKind::Io(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<io::Error> for StoreError {
+impl From<io::Error> for StoreErrorKind {
     fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
+        StoreErrorKind::Io(e)
     }
 }
 
 /// Incremental FNV-1a 64-bit hasher (tiny, dependency-free; collisions are
-/// irrelevant here — the checksum only guards against torn/corrupted
+/// irrelevant here — the checksums only guard against torn/corrupted
 /// files, not adversaries).
 struct Fnv1a(u64);
 
@@ -104,6 +162,34 @@ impl Fnv1a {
     }
     fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+fn fnv1a_of(bytes: &[u8]) -> u64 {
+    let mut fnv = Fnv1a::new();
+    fnv.update(bytes);
+    fnv.finish()
+}
+
+/// FNV-1a 64-bit digest of an entire file's bytes — the "store digest"
+/// the CI pipeline pins: resumed and uninterrupted generations must agree
+/// on it bit for bit.
+///
+/// # Errors
+///
+/// Propagates I/O failures (with the path attached).
+pub fn file_digest<P: AsRef<Path>>(path: P) -> Result<u64, StoreError> {
+    let path = path.as_ref();
+    let wrap = |e: io::Error| StoreError::new(path, e.into());
+    let mut reader = BufReader::new(File::open(path).map_err(wrap)?);
+    let mut fnv = Fnv1a::new();
+    let mut buf = [0u8; 1 << 16];
+    loop {
+        let got = reader.read(&mut buf).map_err(wrap)?;
+        if got == 0 {
+            return Ok(fnv.finish());
+        }
+        fnv.update(&buf[..got]);
     }
 }
 
@@ -128,119 +214,206 @@ struct HashingReader<R: Read> {
 }
 
 impl<R: Read> HashingReader<R> {
-    fn take(&mut self, buf: &mut [u8]) -> Result<(), StoreError> {
+    fn take(&mut self, buf: &mut [u8]) -> Result<(), StoreErrorKind> {
         self.inner.read_exact(buf)?;
         self.fnv.update(buf);
         Ok(())
     }
-    fn take_u64(&mut self) -> Result<u64, StoreError> {
+    fn take_u64(&mut self) -> Result<u64, StoreErrorKind> {
         let mut b = [0u8; 8];
         self.take(&mut b)?;
         Ok(u64::from_le_bytes(b))
     }
-    fn take_u8(&mut self) -> Result<u8, StoreError> {
+    fn take_u8(&mut self) -> Result<u8, StoreErrorKind> {
         let mut b = [0u8; 1];
         self.take(&mut b)?;
         Ok(b[0])
     }
+    /// Restarts the running hash (v4 hashes each record independently).
+    fn reset_fnv(&mut self) {
+        self.fnv = Fnv1a::new();
+    }
+    fn fnv_value(&self) -> u64 {
+        self.fnv.finish()
+    }
 }
 
-pub(crate) fn save(tables: &SearchTables, path: &Path) -> io::Result<()> {
-    let file = File::create(path)?;
-    let mut w = HashingWriter {
-        inner: BufWriter::new(file),
-        fnv: Fnv1a::new(),
-    };
-    w.put(MAGIC)?;
-    w.put(&[tables.lib.wires() as u8, tables.k as u8])?;
-    let lib_len = u16::try_from(tables.lib.len()).expect("library fits u16");
-    w.put(&lib_len.to_le_bytes())?;
-    for (_, gate, _) in tables.lib.iter() {
-        w.put(&[(gate.controls() << 2) | gate.target()])?;
-    }
-    for controls in 0..4 {
-        w.put_u64(tables.model.cost_of_controls(controls))?;
-    }
-    for (i, level) in tables.levels.iter().enumerate() {
-        w.put_u64(tables.bucket_costs[i])?;
-        w.put_u64(level.len() as u64)?;
-        for &rep in level {
-            w.put_u64(rep.packed())?;
-        }
-        for &rep in level {
-            let byte = tables
-                .table
-                .get(rep)
-                .expect("every level member is in the table");
-            w.put(&[byte])?;
-        }
-    }
-    let checksum = w.fnv.finish();
-    w.inner.write_all(&checksum.to_le_bytes())?;
-    w.inner.flush()
-}
+// ---------------------------------------------------------------------------
+// Shared header/level validation
+// ---------------------------------------------------------------------------
 
-pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
-    let file = File::open(path)?;
-    let mut r = HashingReader {
-        inner: BufReader::new(file),
-        fnv: Fnv1a::new(),
-    };
-    let mut magic = [0u8; 8];
-    r.take(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(StoreError::BadMagic);
-    }
-    let n = usize::from(r.take_u8()?);
-    let k = usize::from(r.take_u8()?);
-    if !(2..=4).contains(&n) {
-        return Err(StoreError::BadHeader(format!("wire count {n}")));
-    }
-    if k > 16 {
-        return Err(StoreError::BadHeader(format!("depth k = {k}")));
-    }
-    let mut lib_len_bytes = [0u8; 2];
-    r.take(&mut lib_len_bytes)?;
-    let lib_len = usize::from(u16::from_le_bytes(lib_len_bytes));
-    if lib_len == 0 || lib_len > 127 {
-        return Err(StoreError::BadHeader(format!("library size {lib_len}")));
-    }
-    let mut gates = Vec::with_capacity(lib_len);
-    for i in 0..lib_len {
-        let byte = r.take_u8()?;
+/// Validates and decodes the gate-library bytes shared by v3 and v4.
+fn decode_library(n: usize, bytes: &[u8]) -> Result<GateLib, StoreErrorKind> {
+    let mut gates = Vec::with_capacity(bytes.len());
+    for (i, &byte) in bytes.iter().enumerate() {
         if byte & 0x80 != 0 {
-            return Err(StoreError::Corrupt(format!("gate byte {i} has bit 7 set")));
+            return Err(StoreErrorKind::Corrupt(format!(
+                "gate byte {i} has bit 7 set"
+            )));
         }
         let gate = Gate::new((byte >> 2) & 0x0F, byte & 0x03)
-            .map_err(|e| StoreError::Corrupt(format!("gate byte {i}: {e}")))?;
+            .map_err(|e| StoreErrorKind::Corrupt(format!("gate byte {i}: {e}")))?;
         if usize::from(gate.max_wire()) >= n {
-            return Err(StoreError::Corrupt(format!(
+            return Err(StoreErrorKind::Corrupt(format!(
                 "gate {gate} touches a wire outside the {n}-wire domain"
             )));
         }
         gates.push(gate);
     }
     let lib = GateLib::from_gates(n, &gates);
-    if lib.len() != lib_len {
-        return Err(StoreError::Corrupt("duplicate gates in library".into()));
+    if lib.len() != bytes.len() {
+        return Err(StoreErrorKind::Corrupt("duplicate gates in library".into()));
     }
-    let mut costs = [0u64; 4];
-    for (controls, slot) in costs.iter_mut().enumerate() {
-        let c = r.take_u64()?;
-        // Zero would violate CostModel's positivity invariant (and panic
-        // in `custom`); any positive cost a writer could produce must
-        // round-trip — corruption is caught by the trailing checksum.
+    Ok(lib)
+}
+
+/// Validates a cost-model block: zero would violate `CostModel`'s
+/// positivity invariant (and panic in `custom`); any positive cost a
+/// writer could produce must round-trip — corruption is caught by the
+/// checksums.
+fn decode_model(costs: [u64; 4]) -> Result<CostModel, StoreErrorKind> {
+    for (controls, &c) in costs.iter().enumerate() {
         if c == 0 {
-            return Err(StoreError::BadHeader(format!(
+            return Err(StoreErrorKind::BadHeader(format!(
                 "zero gate cost for {controls} controls"
             )));
         }
-        *slot = c;
     }
-    let model = revsynth_circuit::CostModel::custom(costs);
+    Ok(CostModel::custom(costs))
+}
 
-    let mut levels = Vec::with_capacity(k + 1);
-    let mut total = 0usize;
+/// Structural checks shared by both loaders for one level's keys/values.
+fn check_level(i: usize, keys: &[Perm], values: &[u8]) -> Result<(), StoreErrorKind> {
+    debug_assert_eq!(keys.len(), values.len());
+    for (j, w) in keys.windows(2).enumerate() {
+        if w[1] <= w[0] {
+            return Err(StoreErrorKind::Corrupt(format!(
+                "level {i} keys not strictly ascending at index {}",
+                j + 1
+            )));
+        }
+    }
+    for (j, &byte) in values.iter().enumerate() {
+        match decode_stored(byte) {
+            Some(StoredGate::Identity) if i == 0 => {}
+            Some(StoredGate::Gate { .. }) if i > 0 => {}
+            _ => {
+                return Err(StoreErrorKind::Corrupt(format!(
+                    "level {i} value {j} (byte {byte:#04x}) is invalid for this level"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Assembles the loaded level pairs into `SearchTables`, rebuilding the
+/// hash table by reinsertion (shared final step of both loaders).
+fn assemble_loaded(
+    lib: GateLib,
+    model: CostModel,
+    pairs: Vec<(Vec<Perm>, Vec<u8>)>,
+    bucket_costs: Vec<u64>,
+) -> Result<SearchTables, StoreErrorKind> {
+    if pairs.is_empty() || pairs[0].0 != [Perm::identity()] || pairs[0].1 != [IDENTITY_BYTE] {
+        return Err(StoreErrorKind::Corrupt(
+            "level 0 must be exactly the identity".into(),
+        ));
+    }
+    let n = lib.wires();
+    let total: usize = pairs.iter().map(|(keys, _)| keys.len()).sum();
+    let mut table = FnTable::for_entries(total);
+    let mut levels = Vec::with_capacity(pairs.len());
+    for (keys, values) in pairs {
+        for (&key, &value) in keys.iter().zip(&values) {
+            if !table.insert_if_absent(key, value) {
+                return Err(StoreErrorKind::Corrupt(format!(
+                    "duplicate representative {key} across levels"
+                )));
+            }
+        }
+        levels.push(keys);
+    }
+    Ok(SearchTables::assemble_weighted(
+        lib,
+        Symmetries::new(n),
+        model,
+        table,
+        levels,
+        bucket_costs,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Version 3 (legacy): single whole-file checksum, not extendable
+// ---------------------------------------------------------------------------
+
+/// Writes the legacy v3 format (for downgrade compatibility; new code
+/// writes v4 via [`save`]).
+pub(crate) fn save_v3(tables: &SearchTables, path: &Path) -> Result<(), StoreError> {
+    let wrap = |e: io::Error| StoreError::new(path, e.into());
+    let file = File::create(path).map_err(wrap)?;
+    let mut w = HashingWriter {
+        inner: BufWriter::new(file),
+        fnv: Fnv1a::new(),
+    };
+    let mut body = || -> io::Result<()> {
+        w.put(MAGIC_V3)?;
+        w.put(&[tables.lib.wires() as u8, tables.k as u8])?;
+        let lib_len = u16::try_from(tables.lib.len()).expect("library fits u16");
+        w.put(&lib_len.to_le_bytes())?;
+        for (_, gate, _) in tables.lib.iter() {
+            w.put(&[(gate.controls() << 2) | gate.target()])?;
+        }
+        for controls in 0..4 {
+            w.put_u64(tables.model.cost_of_controls(controls))?;
+        }
+        for (i, level) in tables.levels.iter().enumerate() {
+            w.put_u64(tables.bucket_costs[i])?;
+            w.put_u64(level.len() as u64)?;
+            for &rep in level {
+                w.put_u64(rep.packed())?;
+            }
+            for &rep in level {
+                let byte = tables
+                    .table
+                    .get(rep)
+                    .expect("every level member is in the table");
+                w.put(&[byte])?;
+            }
+        }
+        let checksum = w.fnv.finish();
+        w.inner.write_all(&checksum.to_le_bytes())?;
+        w.inner.flush()
+    };
+    body().map_err(wrap)
+}
+
+/// Loads a v3 file; `r` is positioned just past the magic.
+fn load_v3(mut r: HashingReader<BufReader<File>>) -> Result<SearchTables, StoreErrorKind> {
+    let n = usize::from(r.take_u8()?);
+    let k = usize::from(r.take_u8()?);
+    if !(2..=4).contains(&n) {
+        return Err(StoreErrorKind::BadHeader(format!("wire count {n}")));
+    }
+    if k > 16 {
+        return Err(StoreErrorKind::BadHeader(format!("depth k = {k}")));
+    }
+    let mut lib_len_bytes = [0u8; 2];
+    r.take(&mut lib_len_bytes)?;
+    let lib_len = usize::from(u16::from_le_bytes(lib_len_bytes));
+    if lib_len == 0 || lib_len > 127 {
+        return Err(StoreErrorKind::BadHeader(format!("library size {lib_len}")));
+    }
+    let mut gate_bytes = vec![0u8; lib_len];
+    r.take(&mut gate_bytes)?;
+    let lib = decode_library(n, &gate_bytes)?;
+    let mut costs = [0u64; 4];
+    for slot in costs.iter_mut() {
+        *slot = r.take_u64()?;
+    }
+    let model = decode_model(costs)?;
+
     let mut bucket_costs: Vec<u64> = Vec::with_capacity(k + 1);
     let mut pairs: Vec<(Vec<Perm>, Vec<u8>)> = Vec::with_capacity(k + 1);
     for i in 0..=k {
@@ -250,97 +423,552 @@ pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
             Some(&prev) => bucket_cost > prev,
         };
         if !ascending {
-            return Err(StoreError::Corrupt(format!(
+            return Err(StoreErrorKind::Corrupt(format!(
                 "bucket {i} cost {bucket_cost} does not ascend strictly from 0"
             )));
         }
         bucket_costs.push(bucket_cost);
-        let count = r.take_u64()?;
-        // Cap far above any real table but far below an allocation that
-        // could abort: a corrupted count must yield a typed error, not a
-        // capacity-overflow panic.
-        if count > 1 << 40 {
-            return Err(StoreError::Corrupt(format!(
-                "level {i} count {count} is implausibly large"
-            )));
-        }
-        let count = usize::try_from(count)
-            .map_err(|_| StoreError::Corrupt(format!("level {i} count overflows")))?;
-        total = total
-            .checked_add(count)
-            .ok_or_else(|| StoreError::Corrupt("total count overflows".into()))?;
-        let mut keys = Vec::with_capacity(count);
-        let mut prev: Option<u64> = None;
-        for j in 0..count {
-            let packed = r.take_u64()?;
-            if let Some(p) = prev {
-                if packed <= p {
-                    return Err(StoreError::Corrupt(format!(
-                        "level {i} keys not strictly ascending at index {j}"
-                    )));
-                }
-            }
-            prev = Some(packed);
-            let perm = Perm::from_packed(packed)
-                .map_err(|e| StoreError::Corrupt(format!("level {i} key {j}: {e}")))?;
-            keys.push(perm);
-        }
-        let mut values = vec![0u8; count];
-        if count > 0 {
-            r.take(&mut values)?;
-        }
-        for (j, &byte) in values.iter().enumerate() {
-            match decode_stored(byte) {
-                Some(StoredGate::Identity) if i == 0 => {}
-                Some(StoredGate::Gate { .. }) if i > 0 => {}
-                _ => {
-                    return Err(StoreError::Corrupt(format!(
-                        "level {i} value {j} (byte {byte:#04x}) is invalid for this level"
-                    )))
-                }
-            }
-        }
+        let count = read_count(&mut r, i)?;
+        let (keys, values) = read_level_body(&mut r, i, count)?;
         pairs.push((keys, values));
     }
-    if pairs[0].0 != [Perm::identity()] || pairs[0].1 != [IDENTITY_BYTE] {
-        return Err(StoreError::Corrupt(
-            "level 0 must be exactly the identity".into(),
-        ));
-    }
 
-    let computed = r.fnv.finish();
+    let computed = r.fnv_value();
     let mut checksum_bytes = [0u8; 8];
     r.inner.read_exact(&mut checksum_bytes)?;
     if u64::from_le_bytes(checksum_bytes) != computed {
-        return Err(StoreError::ChecksumMismatch);
+        return Err(StoreErrorKind::ChecksumMismatch);
     }
     let mut trailing = [0u8; 1];
     if r.inner.read(&mut trailing)? != 0 {
-        return Err(StoreError::Corrupt("trailing bytes after checksum".into()));
+        return Err(StoreErrorKind::Corrupt(
+            "trailing bytes after checksum".into(),
+        ));
     }
 
-    let mut table = FnTable::for_entries(total);
-    for (keys, values) in &pairs {
-        for (&key, &value) in keys.iter().zip(values) {
-            if !table.insert_if_absent(key, value) {
-                return Err(StoreError::Corrupt(format!(
-                    "duplicate representative {key} across levels"
+    assemble_loaded(lib, model, pairs, bucket_costs)
+}
+
+/// Reads and range-checks a level's count field. The cap is far above any
+/// real table but far below an allocation that could abort: a corrupted
+/// count must yield a typed error, not a capacity-overflow panic.
+fn read_count<R: Read>(r: &mut HashingReader<R>, i: usize) -> Result<usize, StoreErrorKind> {
+    let count = r.take_u64()?;
+    if count > 1 << 40 {
+        return Err(StoreErrorKind::Corrupt(format!(
+            "level {i} count {count} is implausibly large"
+        )));
+    }
+    usize::try_from(count)
+        .map_err(|_| StoreErrorKind::Corrupt(format!("level {i} count overflows")))
+}
+
+/// Reads one level's keys and values and runs the structural checks.
+fn read_level_body<R: Read>(
+    r: &mut HashingReader<R>,
+    i: usize,
+    count: usize,
+) -> Result<(Vec<Perm>, Vec<u8>), StoreErrorKind> {
+    let mut keys = Vec::with_capacity(count);
+    for j in 0..count {
+        let packed = r.take_u64()?;
+        let perm = Perm::from_packed(packed)
+            .map_err(|e| StoreErrorKind::Corrupt(format!("level {i} key {j}: {e}")))?;
+        keys.push(perm);
+    }
+    let mut values = vec![0u8; count];
+    if count > 0 {
+        r.take(&mut values)?;
+    }
+    check_level(i, &keys, &values)?;
+    Ok((keys, values))
+}
+
+// ---------------------------------------------------------------------------
+// Version 4: checkpointed, extendable in place
+// ---------------------------------------------------------------------------
+
+/// Size of the fixed trailer: levels (8) + payload_end (8) + fnv (8).
+const TRAILER_LEN: u64 = 24;
+
+/// Byte layout of the v4 header for a given library size.
+fn trailer_offset(lib_len: usize) -> u64 {
+    // magic 8 + n 1 + reserved 1 + lib_len 2 + gates + model 32 + fnv 8
+    52 + lib_len as u64
+}
+
+fn encode_trailer(levels: u64, payload_end: u64) -> [u8; TRAILER_LEN as usize] {
+    let mut out = [0u8; TRAILER_LEN as usize];
+    out[..8].copy_from_slice(&levels.to_le_bytes());
+    out[8..16].copy_from_slice(&payload_end.to_le_bytes());
+    let fnv = fnv1a_of(&out[..16]);
+    out[16..].copy_from_slice(&fnv.to_le_bytes());
+    out
+}
+
+/// v4 metadata carried alongside a loaded `SearchTables` so a resume can
+/// pick up writing where the completed prefix ends.
+pub(crate) struct V4Meta {
+    pub(crate) trailer_offset: u64,
+    pub(crate) payload_end: u64,
+    pub(crate) levels_complete: u64,
+}
+
+/// Incremental writer of the v4 format: create (or resume) a store, then
+/// append one record per completed level. With `durable` set, every
+/// append is write → fsync → rewrite trailer → fsync, so an interrupt at
+/// any instant leaves a loadable store holding every completed level.
+pub(crate) struct CheckpointWriter {
+    path: PathBuf,
+    file: File,
+    trailer_offset: u64,
+    payload_end: u64,
+    levels_complete: u64,
+    durable: bool,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a fresh v4 store holding the header and an
+    /// empty-prefix trailer; level records follow via
+    /// [`append_level`](Self::append_level).
+    pub(crate) fn create(
+        path: &Path,
+        lib: &GateLib,
+        model: &CostModel,
+        durable: bool,
+    ) -> Result<Self, StoreError> {
+        let wrap = |e: io::Error| StoreError::new(path, e.into());
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(wrap)?;
+        let mut header = Vec::with_capacity(64 + lib.len());
+        header.extend_from_slice(MAGIC_V4);
+        header.push(lib.wires() as u8);
+        header.push(0); // reserved
+        let lib_len = u16::try_from(lib.len()).expect("library fits u16");
+        header.extend_from_slice(&lib_len.to_le_bytes());
+        for (_, gate, _) in lib.iter() {
+            header.push((gate.controls() << 2) | gate.target());
+        }
+        for controls in 0..4 {
+            header.extend_from_slice(&model.cost_of_controls(controls).to_le_bytes());
+        }
+        let header_fnv = fnv1a_of(&header);
+        header.extend_from_slice(&header_fnv.to_le_bytes());
+        let trailer_offset = trailer_offset(lib.len());
+        debug_assert_eq!(header.len() as u64, trailer_offset);
+        let payload_end = trailer_offset + TRAILER_LEN;
+        header.extend_from_slice(&encode_trailer(0, payload_end));
+        let mut w = BufWriter::new(&file);
+        w.write_all(&header).map_err(wrap)?;
+        w.flush().map_err(wrap)?;
+        drop(w);
+        if durable {
+            file.sync_data().map_err(wrap)?;
+        }
+        Ok(CheckpointWriter {
+            path: path.to_path_buf(),
+            file,
+            trailer_offset,
+            payload_end,
+            levels_complete: 0,
+            durable,
+        })
+    }
+
+    /// Reopens an existing v4 store for appending: loads it, drops any
+    /// torn tail beyond the trailer's `payload_end`, and positions the
+    /// writer after the last completed level.
+    pub(crate) fn resume(path: &Path, durable: bool) -> Result<(SearchTables, Self), StoreError> {
+        let (tables, meta) = load_v4_with_meta(path)?;
+        let wrap = |e: io::Error| StoreError::new(path, e.into());
+        let file = OpenOptions::new().write(true).open(path).map_err(wrap)?;
+        // Drop the torn in-flight level (if any) so appended levels land
+        // exactly where an uninterrupted run would have put them.
+        file.set_len(meta.payload_end).map_err(wrap)?;
+        if durable {
+            file.sync_data().map_err(wrap)?;
+        }
+        Ok((
+            tables,
+            CheckpointWriter {
+                path: path.to_path_buf(),
+                file,
+                trailer_offset: meta.trailer_offset,
+                payload_end: meta.payload_end,
+                levels_complete: meta.levels_complete,
+                durable,
+            },
+        ))
+    }
+
+    /// Appends one completed level (cost bucket) and republishes the
+    /// trailer. On return (durable mode) the record is on disk and the
+    /// store loads with this level included.
+    pub(crate) fn append_level(
+        &mut self,
+        cost: u64,
+        level: &[Perm],
+        table: &FnTable,
+    ) -> Result<(), StoreError> {
+        let wrap = |e: io::Error| StoreError::new(&self.path, e.into());
+        (&self.file)
+            .seek(SeekFrom::Start(self.payload_end))
+            .map_err(wrap)?;
+        let mut w = HashingWriter {
+            inner: BufWriter::new(&self.file),
+            fnv: Fnv1a::new(),
+        };
+        let mut body = || -> io::Result<()> {
+            w.put_u64(cost)?;
+            w.put_u64(level.len() as u64)?;
+            for &rep in level {
+                w.put_u64(rep.packed())?;
+            }
+            for &rep in level {
+                let byte = table.get(rep).expect("every level member is in the table");
+                w.put(&[byte])?;
+            }
+            let rec_fnv = w.fnv.finish();
+            w.inner.write_all(&rec_fnv.to_le_bytes())?;
+            w.inner.flush()
+        };
+        body().map_err(wrap)?;
+        if self.durable {
+            self.file.sync_data().map_err(wrap)?;
+        }
+        self.payload_end += 24 + 9 * level.len() as u64;
+        self.levels_complete += 1;
+        (&self.file)
+            .seek(SeekFrom::Start(self.trailer_offset))
+            .map_err(wrap)?;
+        (&self.file)
+            .write_all(&encode_trailer(self.levels_complete, self.payload_end))
+            .map_err(wrap)?;
+        if self.durable {
+            self.file.sync_data().map_err(wrap)?;
+        }
+        Ok(())
+    }
+}
+
+/// One-shot v4 write of fully built tables (same bytes as checkpointed
+/// generation of the same tables, minus the fsyncs).
+pub(crate) fn save(tables: &SearchTables, path: &Path) -> Result<(), StoreError> {
+    let mut w = CheckpointWriter::create(path, &tables.lib, &tables.model, false)?;
+    for (i, level) in tables.levels.iter().enumerate() {
+        w.append_level(tables.bucket_costs[i], level, &tables.table)?;
+    }
+    Ok(())
+}
+
+/// Reads and validates the v4 header, returning `(lib, model)` and
+/// leaving `r` positioned at the trailer.
+fn read_v4_header(
+    r: &mut HashingReader<impl Read>,
+) -> Result<(GateLib, CostModel), StoreErrorKind> {
+    let n = usize::from(r.take_u8()?);
+    let reserved = r.take_u8()?;
+    if !(2..=4).contains(&n) {
+        return Err(StoreErrorKind::BadHeader(format!("wire count {n}")));
+    }
+    if reserved != 0 {
+        return Err(StoreErrorKind::BadHeader(format!(
+            "reserved byte {reserved:#04x} is nonzero"
+        )));
+    }
+    let mut lib_len_bytes = [0u8; 2];
+    r.take(&mut lib_len_bytes)?;
+    let lib_len = usize::from(u16::from_le_bytes(lib_len_bytes));
+    if lib_len == 0 || lib_len > 127 {
+        return Err(StoreErrorKind::BadHeader(format!("library size {lib_len}")));
+    }
+    let mut gate_bytes = vec![0u8; lib_len];
+    r.take(&mut gate_bytes)?;
+    let lib = decode_library(n, &gate_bytes)?;
+    let mut costs = [0u64; 4];
+    for slot in costs.iter_mut() {
+        *slot = r.take_u64()?;
+    }
+    let model = decode_model(costs)?;
+    let computed = r.fnv_value();
+    let mut fnv_bytes = [0u8; 8];
+    r.inner.read_exact(&mut fnv_bytes)?;
+    if u64::from_le_bytes(fnv_bytes) != computed {
+        return Err(StoreErrorKind::ChecksumMismatch);
+    }
+    Ok((lib, model))
+}
+
+/// Reads and validates the trailer, returning `(levels, payload_end)`.
+fn read_trailer(inner: &mut impl Read) -> Result<(u64, u64), StoreErrorKind> {
+    let mut trailer = [0u8; TRAILER_LEN as usize];
+    inner.read_exact(&mut trailer).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreErrorKind::BadTrailer("file truncated inside the trailer".into())
+        } else {
+            e.into()
+        }
+    })?;
+    let fnv = u64::from_le_bytes(trailer[16..24].try_into().expect("8 bytes"));
+    if fnv != fnv1a_of(&trailer[..16]) {
+        return Err(StoreErrorKind::BadTrailer(
+            "trailer checksum mismatch (torn or corrupted checkpoint)".into(),
+        ));
+    }
+    let levels = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+    let payload_end = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+    Ok((levels, payload_end))
+}
+
+fn load_v4_with_meta(path: &Path) -> Result<(SearchTables, V4Meta), StoreError> {
+    let kind_err = |kind: StoreErrorKind| StoreError::new(path, kind);
+    let file = File::open(path).map_err(|e| kind_err(e.into()))?;
+    let file_len = file.metadata().map_err(|e| kind_err(e.into()))?.len();
+    let mut r = HashingReader {
+        inner: BufReader::new(file),
+        fnv: Fnv1a::new(),
+    };
+    let mut magic = [0u8; 8];
+    r.take(&mut magic).map_err(kind_err)?;
+    if &magic != MAGIC_V4 {
+        // A v3 file is a *valid store* that merely predates checkpointing;
+        // say so instead of "bad magic".
+        if &magic == MAGIC_V3 {
+            return Err(kind_err(StoreErrorKind::BadHeader(
+                "version 3 stores cannot be extended in place; \
+                 load and re-save to upgrade to v4"
+                    .into(),
+            )));
+        }
+        return Err(kind_err(StoreErrorKind::BadMagic));
+    }
+    load_v4_body(&mut r, file_len).map_err(kind_err)
+}
+
+fn load_v4_body(
+    r: &mut HashingReader<BufReader<File>>,
+    file_len: u64,
+) -> Result<(SearchTables, V4Meta), StoreErrorKind> {
+    let (lib, model) = read_v4_header(r)?;
+    let trailer_offset = trailer_offset(lib.len());
+    let (levels_complete, payload_end) = read_trailer(&mut r.inner)?;
+    let unit = model == CostModel::unit();
+    let max_levels = if unit { 17 } else { MAX_BUCKETS as u64 };
+    if levels_complete == 0 || levels_complete > max_levels {
+        return Err(StoreErrorKind::BadTrailer(format!(
+            "{levels_complete} completed levels is outside 1..={max_levels}"
+        )));
+    }
+    let payload_start = trailer_offset + TRAILER_LEN;
+    if payload_end < payload_start || payload_end > file_len {
+        return Err(StoreErrorKind::BadTrailer(format!(
+            "payload end {payload_end} is outside the file (length {file_len})"
+        )));
+    }
+
+    let mut offset = payload_start;
+    let mut bucket_costs: Vec<u64> = Vec::with_capacity(levels_complete as usize);
+    let mut pairs: Vec<(Vec<Perm>, Vec<u8>)> = Vec::with_capacity(levels_complete as usize);
+    for i in 0..levels_complete as usize {
+        r.reset_fnv();
+        let cost = r.take_u64()?;
+        let ascending = match bucket_costs.last() {
+            None => cost == 0,
+            Some(&prev) => cost > prev,
+        };
+        if !ascending {
+            return Err(StoreErrorKind::Corrupt(format!(
+                "bucket {i} cost {cost} does not ascend strictly from 0"
+            )));
+        }
+        if unit && cost != i as u64 {
+            return Err(StoreErrorKind::Corrupt(format!(
+                "unit-model bucket {i} labeled cost {cost}"
+            )));
+        }
+        bucket_costs.push(cost);
+        let count = read_count(r, i)?;
+        let record_len = 24 + 9 * count as u64;
+        if offset + record_len > payload_end {
+            return Err(StoreErrorKind::Corrupt(format!(
+                "level {i} record overruns the checkpointed payload"
+            )));
+        }
+        let (keys, values) = read_level_body(r, i, count)?;
+        let computed = r.fnv_value();
+        let mut fnv_bytes = [0u8; 8];
+        r.inner.read_exact(&mut fnv_bytes)?;
+        if u64::from_le_bytes(fnv_bytes) != computed {
+            return Err(StoreErrorKind::ChecksumMismatch);
+        }
+        offset += record_len;
+        pairs.push((keys, values));
+    }
+    if offset != payload_end {
+        return Err(StoreErrorKind::BadTrailer(format!(
+            "completed records end at {offset}, trailer says {payload_end}"
+        )));
+    }
+    // Bytes beyond payload_end are a torn in-flight level: legal, ignored.
+
+    let tables = assemble_loaded(lib, model, pairs, bucket_costs)?;
+    Ok((
+        tables,
+        V4Meta {
+            trailer_offset,
+            payload_end,
+            levels_complete,
+        },
+    ))
+}
+
+/// Loads either format, dispatching on the magic.
+pub(crate) fn load(path: &Path) -> Result<SearchTables, StoreError> {
+    let kind_err = |kind: StoreErrorKind| StoreError::new(path, kind);
+    let file = File::open(path).map_err(|e| kind_err(e.into()))?;
+    let file_len = file.metadata().map_err(|e| kind_err(e.into()))?.len();
+    let mut r = HashingReader {
+        inner: BufReader::new(file),
+        fnv: Fnv1a::new(),
+    };
+    let mut magic = [0u8; 8];
+    r.take(&mut magic).map_err(kind_err)?;
+    if &magic == MAGIC_V4 {
+        return load_v4_body(&mut r, file_len)
+            .map(|(tables, _)| tables)
+            .map_err(kind_err);
+    }
+    if &magic == MAGIC_V3 {
+        return load_v3(r).map_err(kind_err);
+    }
+    Err(kind_err(StoreErrorKind::BadMagic))
+}
+
+// ---------------------------------------------------------------------------
+// Cheap store inspection (no key/value validation)
+// ---------------------------------------------------------------------------
+
+/// Summary of one level record as reported by [`SearchTables::peek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelInfo {
+    /// The bucket cost labeling this level.
+    pub cost: u64,
+    /// Number of stored canonical representatives.
+    pub classes: u64,
+    /// Byte offset of the record in the file.
+    pub offset: u64,
+}
+
+/// Header-and-trailer summary of a store file, gathered without reading
+/// (or validating) the level bodies — cheap enough to poll while a
+/// checkpointed generation is writing the same file.
+#[derive(Debug, Clone)]
+pub struct StoreInfo {
+    /// Store format version (3 or 4).
+    pub version: u8,
+    /// Wire count.
+    pub wires: usize,
+    /// The cost model the levels were bucketed under.
+    pub model: CostModel,
+    /// Per-level cost and class count, in file order.
+    pub levels: Vec<LevelInfo>,
+    /// One past the last completed level record (v4: from the trailer;
+    /// v3: the checksum offset).
+    pub payload_end: u64,
+    /// Total file length; bytes in `payload_end..file_len` are a torn
+    /// in-flight level on v4 files.
+    pub file_len: u64,
+}
+
+impl StoreInfo {
+    /// Total stored classes across all completed levels.
+    #[must_use]
+    pub fn total_classes(&self) -> u64 {
+        self.levels.iter().map(|l| l.classes).sum()
+    }
+}
+
+/// Walks the level records of either format without validating bodies.
+pub(crate) fn peek(path: &Path) -> Result<StoreInfo, StoreError> {
+    let kind_err = |kind: StoreErrorKind| StoreError::new(path, kind);
+    let inner = || -> Result<StoreInfo, StoreErrorKind> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        let v4 = match &magic {
+            m if m == MAGIC_V4 => true,
+            m if m == MAGIC_V3 => false,
+            _ => return Err(StoreErrorKind::BadMagic),
+        };
+        let mut head = [0u8; 2];
+        file.read_exact(&mut head)?;
+        let wires = usize::from(head[0]); // v3: [n, k]; v4: [n, reserved]
+        let v3_k = usize::from(head[1]);
+        let mut lib_len_bytes = [0u8; 2];
+        file.read_exact(&mut lib_len_bytes)?;
+        let lib_len = u64::from(u16::from_le_bytes(lib_len_bytes));
+        file.seek(SeekFrom::Current(lib_len as i64))?;
+        let mut model_bytes = [0u8; 32];
+        file.read_exact(&mut model_bytes)?;
+        let mut costs = [0u64; 4];
+        for (slot, chunk) in costs.iter_mut().zip(model_bytes.chunks_exact(8)) {
+            *slot = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        let model = decode_model(costs)?;
+        let (count, payload_end) = if v4 {
+            file.seek(SeekFrom::Current(8))?; // header fnv
+            let (levels, payload_end) = read_trailer(&mut file)?;
+            if payload_end > file_len {
+                return Err(StoreErrorKind::BadTrailer(format!(
+                    "payload end {payload_end} is outside the file (length {file_len})"
                 )));
             }
+            (levels, payload_end)
+        } else {
+            (v3_k as u64 + 1, file_len.saturating_sub(8))
+        };
+        let mut levels = Vec::with_capacity(count as usize);
+        let per_record_overhead: u64 = if v4 { 24 } else { 16 };
+        for i in 0..count {
+            let offset = file.stream_position()?;
+            if offset >= payload_end {
+                return Err(StoreErrorKind::Corrupt(format!(
+                    "level {i} record starts past the payload end"
+                )));
+            }
+            let mut rec = [0u8; 16];
+            file.read_exact(&mut rec)?;
+            let cost = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            let classes = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            if classes > 1 << 40 {
+                return Err(StoreErrorKind::Corrupt(format!(
+                    "level {i} count {classes} is implausibly large"
+                )));
+            }
+            file.seek(SeekFrom::Current(
+                (9 * classes + per_record_overhead - 16) as i64,
+            ))?;
+            levels.push(LevelInfo {
+                cost,
+                classes,
+                offset,
+            });
         }
-    }
-    for (keys, _) in pairs {
-        levels.push(keys);
-    }
-
-    Ok(SearchTables::assemble_weighted(
-        lib,
-        Symmetries::new(n),
-        model,
-        table,
-        levels,
-        bucket_costs,
-    ))
+        Ok(StoreInfo {
+            version: if v4 { 4 } else { 3 },
+            wires,
+            model,
+            levels,
+            payload_end,
+            file_len,
+        })
+    };
+    inner().map_err(kind_err)
 }
 
 #[cfg(test)]
@@ -432,12 +1060,24 @@ mod tests {
     }
 
     #[test]
+    fn v3_files_still_load() {
+        let tables = SearchTables::generate(3, 3);
+        let path = temp_path("v3compat");
+        tables.save_v3(&path).unwrap();
+        let loaded = SearchTables::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.levels(), tables.levels());
+        assert_eq!(loaded.model(), tables.model());
+        assert_eq!(loaded.invariants(), tables.invariants());
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let path = temp_path("magic");
         std::fs::write(&path, b"NOTATABLESTORE__").unwrap();
         let err = SearchTables::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, StoreError::BadMagic));
+        assert!(matches!(err.kind(), StoreErrorKind::BadMagic));
     }
 
     #[test]
@@ -450,7 +1090,10 @@ mod tests {
         let err = SearchTables::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(
-            matches!(err, StoreError::Io(_) | StoreError::Corrupt(_)),
+            matches!(
+                err.kind(),
+                StoreErrorKind::Io(_) | StoreErrorKind::Corrupt(_) | StoreErrorKind::BadTrailer(_)
+            ),
             "unexpected error {err:?}"
         );
     }
@@ -466,19 +1109,58 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = SearchTables::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        // Either the structural validation or the checksum catches it.
+        // Either the structural validation or a checksum catches it.
         assert!(
             matches!(
-                err,
-                StoreError::Corrupt(_) | StoreError::ChecksumMismatch | StoreError::BadHeader(_)
+                err.kind(),
+                StoreErrorKind::Corrupt(_)
+                    | StoreErrorKind::ChecksumMismatch
+                    | StoreErrorKind::BadHeader(_)
+                    | StoreErrorKind::BadTrailer(_)
             ),
             "unexpected error {err:?}"
         );
     }
 
     #[test]
-    fn missing_file_is_io_error() {
-        let err = SearchTables::load(temp_path("nonexistent")).unwrap_err();
-        assert!(matches!(err, StoreError::Io(_)));
+    fn missing_file_is_io_error_with_path() {
+        let path = temp_path("nonexistent");
+        let err = SearchTables::load(&path).unwrap_err();
+        assert!(matches!(err.kind(), StoreErrorKind::Io(_)));
+        assert_eq!(err.path(), path);
+        assert!(
+            err.to_string().contains("nonexistent"),
+            "error must name the file: {err}"
+        );
+    }
+
+    #[test]
+    fn peek_reports_levels_without_full_validation() {
+        let tables = SearchTables::generate(3, 3);
+        let path = temp_path("peek");
+        tables.save(&path).unwrap();
+        let info = SearchTables::peek(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(info.version, 4);
+        assert_eq!(info.wires, 3);
+        assert_eq!(info.levels.len(), 4);
+        for (i, level) in info.levels.iter().enumerate() {
+            assert_eq!(level.cost, i as u64);
+            assert_eq!(level.classes, tables.level(i).len() as u64);
+        }
+        assert_eq!(info.total_classes(), tables.num_representatives() as u64);
+        assert_eq!(info.payload_end, info.file_len);
+    }
+
+    #[test]
+    fn peek_reads_v3_files_too() {
+        let tables = SearchTables::generate(2, 3);
+        let path = temp_path("peek-v3");
+        tables.save_v3(&path).unwrap();
+        let info = SearchTables::peek(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.levels.len(), 4);
+        assert_eq!(info.total_classes(), tables.num_representatives() as u64);
     }
 }

@@ -10,7 +10,8 @@ use revsynth_table::{FnTable, InvariantIndex, TableStats};
 
 use crate::counts::LevelCount;
 use crate::info::{decode_stored, StoredGate};
-use crate::store::StoreError;
+use crate::shard::GenOptions;
+use crate::store::{CheckpointWriter, StoreError, StoreInfo};
 
 /// Known reduced (per-class) counts for the 4-wire NCT library, paper
 /// Table 4 — used to pre-size the hash table. Indices are sizes 0..=9.
@@ -168,6 +169,146 @@ impl SearchTables {
     #[must_use]
     pub fn generate_weighted(lib: GateLib, model: CostModel, budget: u64) -> Self {
         crate::weighted::run(lib, model, budget)
+    }
+
+    /// Gate-count generation with explicit construction knobs
+    /// ([`GenOptions`]: worker threads, candidate shards, memory budget).
+    /// The result is **byte-identical** for every knob setting — the
+    /// sharded expander routes candidates by canonical key, so the
+    /// first-discovered boundary gate wins regardless of spill timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 16`.
+    #[must_use]
+    pub fn generate_opts(lib: GateLib, k: usize, opts: &GenOptions) -> Self {
+        crate::generate::run_opts(lib, k, opts)
+    }
+
+    /// Generates from scratch while **streaming every completed level**
+    /// (cost bucket) to a format-v4 store at `path`: each level is
+    /// written, fsynced, and published via the store trailer before the
+    /// next one starts, so an interrupt at any instant leaves a loadable
+    /// store missing only the in-flight level. With a unit `model` this
+    /// is the breadth-first search to size `budget`; otherwise the
+    /// weighted uniform-cost search to cost `budget` (which is serial —
+    /// the [`GenOptions`] knobs tune only the unit-model expander).
+    ///
+    /// The finished file is byte-identical to [`save`](Self::save) of
+    /// the same tables — and to any interrupted-then-
+    /// [resumed](Self::resume_checkpointed) run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on any I/O failure (the checkpoint file is
+    /// left in its last published state).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range budgets (unit: `budget > 16`; weighted:
+    /// `budget > 200` or more than 32 distinct cost values).
+    pub fn generate_checkpointed<P: AsRef<Path>>(
+        lib: GateLib,
+        model: CostModel,
+        budget: u64,
+        opts: &GenOptions,
+        path: P,
+    ) -> Result<Self, StoreError> {
+        if model == CostModel::unit() {
+            let k = usize::try_from(budget).expect("unit budget is a level count");
+            crate::generate::run_checkpointed(lib, k, opts, path.as_ref())
+        } else {
+            crate::weighted::run_checkpointed(lib, model, budget, path.as_ref())
+        }
+    }
+
+    /// Resumes an interrupted (or simply shallower) checkpointed
+    /// generation: loads the v4 store at `path`, drops any torn
+    /// in-flight level, and extends it to `budget` — streaming the new
+    /// levels back into the same file. The result (in RAM and on disk)
+    /// is byte-identical to an uninterrupted
+    /// [`generate_checkpointed`](Self::generate_checkpointed) run with
+    /// the same target.
+    ///
+    /// Unit-model stores resume the breadth-first search from the
+    /// deepest completed level; cost-bucketed stores rebuild the
+    /// uniform-cost frontier from the settled buckets. A store already
+    /// at (or past) `budget` is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the store cannot be loaded (v3 files
+    /// are loadable but not extendable in place — re-save as v4 first)
+    /// or on I/O failure while appending.
+    pub fn resume_checkpointed<P: AsRef<Path>>(
+        path: P,
+        budget: u64,
+        opts: &GenOptions,
+    ) -> Result<Self, StoreError> {
+        let (mut tables, mut ckpt) = CheckpointWriter::resume(path.as_ref(), true)?;
+        tables.extend_impl(budget, opts, Some(&mut ckpt))?;
+        Ok(tables)
+    }
+
+    /// Extends the tables **in place** until every class of optimal cost
+    /// ≤ `budget` is stored (for gate-count tables the budget is the
+    /// size `k`). A budget at or below [`max_cost`](Self::max_cost) is a
+    /// no-op; the invariant index and cost metadata are rebuilt to cover
+    /// the new levels (the rebuild walks every stored level, so growing
+    /// one level at a time costs more index work than one big
+    /// extension). The extension replays exactly what single-shot
+    /// generation at the larger budget would have done, so the extended
+    /// tables are indistinguishable from freshly generated ones. On
+    /// cost-bucketed tables the [`GenOptions`] knobs are ignored (the
+    /// weighted search is serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range budgets (unit: `budget > 16`; weighted:
+    /// `budget > 200` or more than 32 distinct cost values).
+    pub fn extend_to(&mut self, budget: u64, opts: &GenOptions) {
+        self.extend_impl(budget, opts, None)
+            .expect("in-RAM extension performs no I/O");
+    }
+
+    /// The shared extension core behind [`extend_to`](Self::extend_to)
+    /// and [`resume_checkpointed`](Self::resume_checkpointed).
+    fn extend_impl(
+        &mut self,
+        budget: u64,
+        opts: &GenOptions,
+        ckpt: Option<&mut CheckpointWriter>,
+    ) -> Result<(), StoreError> {
+        if budget <= self.max_cost() {
+            return Ok(());
+        }
+        if self.model == CostModel::unit() {
+            let k = usize::try_from(budget).expect("unit budget is a level count");
+            crate::generate::extend_levels(
+                &self.lib,
+                &self.sym,
+                &mut self.table,
+                &mut self.levels,
+                k,
+                opts,
+                ckpt,
+            )?;
+            self.bucket_costs = (0..self.levels.len() as u64).collect();
+        } else {
+            crate::weighted::settle(
+                &self.lib,
+                &self.model,
+                &self.sym,
+                &mut self.table,
+                &mut self.levels,
+                &mut self.bucket_costs,
+                budget,
+                ckpt,
+            )?;
+        }
+        self.k = self.levels.len().saturating_sub(1);
+        self.invariants = crate::weighted::bucket_invariants(&self.levels);
+        Ok(())
     }
 
     /// The wire count.
@@ -414,26 +555,53 @@ impl SearchTables {
         self.levels.iter().map(|l| l.len() as u64).collect()
     }
 
-    /// Serializes to `path` (self-describing binary format with an FNV-1a
-    /// checksum; see the `store` module).
+    /// Serializes to `path` in the checkpointable v4 format
+    /// (self-describing, per-level FNV-1a checksums; see the `store`
+    /// module). The bytes are identical to what a
+    /// [checkpointed generation](Self::generate_checkpointed) of the
+    /// same tables writes.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+    /// Returns [`StoreError`] on I/O failure (with the path attached).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
         crate::store::save(self, path.as_ref())
     }
 
-    /// Loads tables previously written by [`save`](Self::save), rebuilding
-    /// the hash table (the paper's "load previously computed optimal
-    /// circuits into RAM" step).
+    /// Serializes to the legacy v3 format (single whole-file checksum,
+    /// not extendable in place) for consumers that predate v4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure (with the path attached).
+    pub fn save_v3<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
+        crate::store::save_v3(self, path.as_ref())
+    }
+
+    /// Loads tables previously written by [`save`](Self::save) (either
+    /// format version), rebuilding the hash table (the paper's "load
+    /// previously computed optimal circuits into RAM" step).
     ///
     /// # Errors
     ///
     /// Returns [`StoreError`] on I/O failure, malformed or corrupted files,
-    /// or checksum mismatch.
+    /// or checksum mismatch — always naming the offending file.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
         crate::store::load(path.as_ref())
+    }
+
+    /// Summarizes a store file (version, wires, model, per-level costs
+    /// and class counts) **without** reading or validating the level
+    /// bodies — cheap enough to poll while a checkpointed generation is
+    /// appending to the same file, which is how the CI pipeline decides
+    /// when to kill a generation mid-level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure or a malformed
+    /// header/trailer.
+    pub fn peek<P: AsRef<Path>>(path: P) -> Result<StoreInfo, StoreError> {
+        crate::store::peek(path.as_ref())
     }
 
     /// Pre-sizing hint: expected total representative count for the

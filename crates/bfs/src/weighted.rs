@@ -16,6 +16,18 @@
 //! mechanics the gate-count peel uses, so [`SearchTables::lookup`] and
 //! the fast-path reconstruction work unchanged.
 //!
+//! # Restartability
+//!
+//! Settled buckets are expanded in **sorted representative order**, which
+//! makes the whole search a deterministic function of the settled prefix:
+//! the pending queue can always be rebuilt by re-expanding the settled
+//! buckets that can still reach past the settled frontier (those with
+//! `cost > settled_max − max_gate_cost`; anything cheaper only produces
+//! candidates that are already settled). [`settle`] therefore serves
+//! three callers with byte-identical results: fresh generation,
+//! budget extension of in-RAM tables, and resuming a checkpointed store
+//! whose generation was interrupted mid-bucket.
+//!
 //! # The product
 //!
 //! Levels become **cost buckets**: `levels[i]` holds the sorted
@@ -33,6 +45,7 @@
 //! 32-bit distance masks, hence the budget assertion below.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use revsynth_canon::Symmetries;
 use revsynth_circuit::{CostModel, GateLib};
@@ -40,6 +53,7 @@ use revsynth_perm::Perm;
 use revsynth_table::{FnTable, InvariantIndex};
 
 use crate::info::{encode_stored, IDENTITY_BYTE};
+use crate::store::{CheckpointWriter, StoreError};
 use crate::tables::SearchTables;
 
 /// Hard ceiling on the number of distinct cost values (= buckets): the
@@ -47,28 +61,107 @@ use crate::tables::SearchTables;
 pub(crate) const MAX_BUCKETS: usize = 32;
 
 pub(crate) fn run(lib: GateLib, model: CostModel, budget: u64) -> SearchTables {
+    let (sym, mut table, mut levels, mut costs) = seed(lib.wires());
+    settle(
+        &lib,
+        &model,
+        &sym,
+        &mut table,
+        &mut levels,
+        &mut costs,
+        budget,
+        None,
+    )
+    .expect("no checkpoint writer: settling performs no I/O");
+    SearchTables::assemble_weighted(lib, sym, model, table, levels, costs)
+}
+
+/// Fresh weighted generation streamed to a v4 checkpoint store: every
+/// settled bucket is written (then fsynced) before the next one starts.
+pub(crate) fn run_checkpointed(
+    lib: GateLib,
+    model: CostModel,
+    budget: u64,
+    path: &Path,
+) -> Result<SearchTables, StoreError> {
+    let (sym, mut table, mut levels, mut costs) = seed(lib.wires());
+    let mut ckpt = CheckpointWriter::create(path, &lib, &model, true)?;
+    ckpt.append_level(0, &levels[0], &table)?;
+    settle(
+        &lib,
+        &model,
+        &sym,
+        &mut table,
+        &mut levels,
+        &mut costs,
+        budget,
+        Some(&mut ckpt),
+    )?;
+    Ok(SearchTables::assemble_weighted(
+        lib, sym, model, table, levels, costs,
+    ))
+}
+
+fn seed(n: usize) -> (Symmetries, FnTable, Vec<Vec<Perm>>, Vec<u64>) {
+    let sym = Symmetries::new(n);
+    let mut table = FnTable::for_entries(1 << 12);
+    table.insert(Perm::identity(), IDENTITY_BYTE);
+    (sym, table, vec![vec![Perm::identity()]], vec![0])
+}
+
+/// Runs the uniform-cost search from the settled state in
+/// `levels`/`bucket_costs` (which must describe a complete prefix: every
+/// class of optimal cost ≤ `bucket_costs.last()` settled) until every
+/// class of optimal cost ≤ `budget` is settled. The pending queue is
+/// rebuilt from the settled frontier, so this is equally a fresh run
+/// (state = the identity bucket), an in-RAM budget extension, or a
+/// checkpoint resume — all byte-identical.
+///
+/// # Panics
+///
+/// Panics if `budget > 200` or the model produces more than
+/// [`MAX_BUCKETS`] distinct cost values.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn settle(
+    lib: &GateLib,
+    model: &CostModel,
+    sym: &Symmetries,
+    table: &mut FnTable,
+    levels: &mut Vec<Vec<Perm>>,
+    bucket_costs: &mut Vec<u64>,
+    budget: u64,
+    mut ckpt: Option<&mut CheckpointWriter>,
+) -> Result<(), StoreError> {
     assert!(
         budget <= 200,
         "cost budget {budget} looks like a unit mix-up"
     );
-    let sym = Symmetries::new(lib.wires());
-    let mut table = FnTable::for_entries(1 << 12);
-    table.insert(Perm::identity(), IDENTITY_BYTE);
-    let mut by_cost: BTreeMap<u64, Vec<Perm>> = BTreeMap::new();
-    by_cost.insert(0, vec![Perm::identity()]);
+    let gmax = lib
+        .iter()
+        .map(|(_, gate, _)| model.gate_cost(gate))
+        .max()
+        .expect("library is non-empty");
+    let settled_max = *bucket_costs.last().expect("bucket 0 always exists");
     // pending[c] = (representative, stored-gate byte) discovered at
     // tentative cost c; duplicates are filtered at settlement.
     let mut pending: BTreeMap<u64, Vec<(Perm, u8)>> = BTreeMap::new();
-    expand(
-        &lib,
-        &sym,
-        &model,
-        Perm::identity(),
-        0,
-        budget,
-        &table,
-        &mut pending,
-    );
+    // Rebuild the frontier: only settled buckets within one gate cost of
+    // the settled maximum can discover anything new (cheaper buckets'
+    // expansions all land at tentative cost ≤ settled_max, i.e. on
+    // classes that are already settled and filtered out).
+    for (i, level) in levels.iter().enumerate() {
+        let cost = bucket_costs[i];
+        if cost + gmax <= settled_max {
+            continue;
+        }
+        for &rep in level {
+            expand(lib, sym, model, rep, cost, budget, table, &mut pending);
+            let inv = rep.inverse();
+            if inv != rep {
+                expand(lib, sym, model, inv, cost, budget, table, &mut pending);
+            }
+        }
+    }
 
     while let Some((&cost, _)) = pending.iter().next() {
         let batch = pending.remove(&cost).expect("key just observed");
@@ -82,26 +175,29 @@ pub(crate) fn run(lib: GateLib, model: CostModel, budget: u64) -> SearchTables {
         if newly.is_empty() {
             continue;
         }
+        assert!(
+            bucket_costs.len() < MAX_BUCKETS,
+            "more than {MAX_BUCKETS} cost buckets exceed the 32-bit invariant masks \
+             (lower the budget)"
+        );
+        // Sorted expansion order makes the search restartable: a resumed
+        // run re-expands stored (sorted) buckets and must push the same
+        // pending stream the uninterrupted run pushed.
+        newly.sort_unstable();
         for &rep in &newly {
-            expand(&lib, &sym, &model, rep, cost, budget, &table, &mut pending);
+            expand(lib, sym, model, rep, cost, budget, table, &mut pending);
             let inv = rep.inverse();
             if inv != rep {
-                expand(&lib, &sym, &model, inv, cost, budget, &table, &mut pending);
+                expand(lib, sym, model, inv, cost, budget, table, &mut pending);
             }
         }
-        newly.sort_unstable();
-        by_cost.insert(cost, newly);
+        if let Some(w) = ckpt.as_deref_mut() {
+            w.append_level(cost, &newly, table)?;
+        }
+        bucket_costs.push(cost);
+        levels.push(newly);
     }
-
-    let bucket_costs: Vec<u64> = by_cost.keys().copied().collect();
-    assert!(
-        bucket_costs.len() <= MAX_BUCKETS,
-        "{} cost buckets exceed the {}-bit invariant masks (lower the budget)",
-        bucket_costs.len(),
-        MAX_BUCKETS
-    );
-    let levels: Vec<Vec<Perm>> = by_cost.into_values().collect();
-    SearchTables::assemble_weighted(lib, sym, model, table, levels, bucket_costs)
+    Ok(())
 }
 
 /// Pushes every one-gate expansion of `f` (settled at `cost`) into the
@@ -239,5 +335,23 @@ mod tests {
         assert_eq!(t.cost_reach(), 12);
         let u = SearchTables::generate(4, 2);
         assert_eq!(u.cost_reach(), 4, "unit reach is 2k");
+    }
+
+    #[test]
+    fn budget_extension_matches_single_shot() {
+        // Settle to 5, extend in place to 8: same buckets, same recorded
+        // bytes as settling to 8 in one shot — the restartability
+        // property the checkpoint/resume path is built on.
+        let single = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 8);
+        let mut grown = SearchTables::generate_weighted(GateLib::nct(3), CostModel::quantum(), 5);
+        grown.extend_to(8, &crate::GenOptions::new());
+        assert_eq!(grown.bucket_costs(), single.bucket_costs());
+        assert_eq!(grown.levels(), single.levels());
+        assert_eq!(grown.invariants(), single.invariants());
+        for level in single.levels() {
+            for &rep in level {
+                assert_eq!(grown.lookup(rep), single.lookup(rep), "{rep}");
+            }
+        }
     }
 }

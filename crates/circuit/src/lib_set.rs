@@ -67,8 +67,9 @@ impl GateLib {
     /// gates for n = 4.
     ///
     /// Unlike the built-in NCT/linear libraries this one is **not closed
-    /// under wire relabeling** ([`is_relabeling_closed`]
-    /// (Self::is_relabeling_closed) is `false`), so the symmetry-reduced
+    /// under wire relabeling**
+    /// ([`is_relabeling_closed`](Self::is_relabeling_closed) is
+    /// `false`), so the symmetry-reduced
     /// search computes optimality *up to simultaneous input/output
     /// relabeling* — the paper's §5 "trivially if an optimal
     /// implementation is required up to the input/output permutation"

@@ -23,6 +23,25 @@ USAGE:
 COMMANDS:
     bfs        --k <K> [--n <N>] [--out <FILE>] [--threads <T>]
                Generate the breadth-first tables and optionally save them.
+    tables     generate --out <FILE> [--n <N>] [--k <K>] [--model unit|quantum]
+                        [--budget <B>] [--threads <T>] [--shards <S>]
+                        [--max-mem <BYTES>] [--resume]
+               extend   --store <FILE> (--k <K> | --budget <B>)
+                        [--threads <T>] [--shards <S>] [--max-mem <BYTES>]
+               info     --store <FILE> [--json]
+               verify   --store <FILE> [--expect-digest <HEX>]
+               Checkpointed deep-table builds (store format v4): generation
+               streams every completed level to disk (write → fsync →
+               update trailer), so a crash or kill loses only the in-flight
+               level; `--resume` (or `extend`) continues from the deepest
+               completed level and produces a store byte-identical to an
+               uninterrupted run. --shards partitions the candidate
+               buffers by canonical key and --max-mem (accepts K/M/G
+               suffixes) spills the fullest shard early to bound the
+               per-level working set; neither knob (nor --threads)
+               changes the output bytes. `info` is cheap enough to poll
+               while a generation is writing; `verify` fully validates
+               the store and prints its FNV-1a digest.
     synth      --spec <P0,..,P15> [--k <K>] [--tables <FILE>] [--threads <T>]
                [--cost gates|quantum|depth] [--cost-budget <B>]
                [--no-filter] [--probe-depth <W>] [--verbose]
@@ -106,6 +125,7 @@ const SWITCHES: &[&str] = &[
     "shutdown",
     "quick",
     "expect-coalesced",
+    "resume",
 ];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand, plus
@@ -216,6 +236,11 @@ pub fn dispatch(args: &[String]) -> CliResult {
         println!("{USAGE}");
         return Ok(());
     };
+    // `tables` takes an action word before its flags; dispatch it before
+    // the flag parser sees the bare argument.
+    if command == "tables" {
+        return cmd_tables(&args[1..]);
+    }
     let opts = Opts::parse(&args[1..])?;
     match command.as_str() {
         "bfs" => cmd_bfs(&opts),
@@ -292,6 +317,273 @@ fn cmd_bfs(opts: &Opts) -> CliResult {
         let start = Instant::now();
         tables.save(path)?;
         println!("saved to {path} in {:.2?}", start.elapsed());
+    }
+    Ok(())
+}
+
+/// Parses a byte count with optional K/M/G suffix (binary multiples).
+fn parse_mem(text: &str) -> Result<usize, Box<dyn Error>> {
+    let (digits, mult) = match text.as_bytes().last() {
+        Some(b'K' | b'k') => (&text[..text.len() - 1], 1usize << 10),
+        Some(b'M' | b'm') => (&text[..text.len() - 1], 1 << 20),
+        Some(b'G' | b'g') => (&text[..text.len() - 1], 1 << 30),
+        _ => (text, 1),
+    };
+    let base: usize = digits
+        .parse()
+        .map_err(|_| format!("`{text}` is not a byte count (try 512M, 2G, or plain bytes)"))?;
+    base.checked_mul(mult)
+        .ok_or_else(|| format!("`{text}` overflows a byte count").into())
+}
+
+/// Builds [`revsynth_bfs::GenOptions`] from the shared generation flags
+/// (`--threads`, `--shards`, `--max-mem`).
+fn gen_options(opts: &Opts) -> Result<revsynth_bfs::GenOptions, Box<dyn Error>> {
+    let mut gen = revsynth_bfs::GenOptions::new().threads(opts.get_parse("threads", 1)?);
+    if let Some(shards) = opts.get("shards") {
+        gen = gen.shards(shards.parse()?);
+    }
+    if let Some(mem) = opts.get("max-mem") {
+        gen = gen.max_mem_bytes(Some(parse_mem(mem)?));
+    }
+    Ok(gen)
+}
+
+/// Resolves the `--model`/`--k`/`--budget` trio shared by `tables
+/// generate` and `tables extend` into `(model, budget)`.
+fn tables_target(opts: &Opts) -> Result<(revsynth_circuit::CostModel, u64), Box<dyn Error>> {
+    let model = match opts.get("model").unwrap_or("unit") {
+        "unit" => revsynth_circuit::CostModel::unit(),
+        "quantum" => revsynth_circuit::CostModel::quantum(),
+        other => return Err(format!("unknown table model `{other}` (unit|quantum)").into()),
+    };
+    let budget = if model == revsynth_circuit::CostModel::unit() {
+        if opts.get("budget").is_some() {
+            return Err("--budget applies to --model quantum; use --k for unit tables".into());
+        }
+        opts.get_parse("k", 6u64)?
+    } else {
+        if opts.get("k").is_some() {
+            return Err("--k sizes unit tables; use --budget with --model quantum".into());
+        }
+        opts.get_parse("budget", 13u64)?
+    };
+    Ok((model, budget))
+}
+
+fn print_store_summary(tables: &SearchTables, path: &str, elapsed: std::time::Duration) {
+    println!(
+        "store    : {path} ({} levels, {} classes, model {:?})",
+        tables.levels().len(),
+        tables.num_representatives(),
+        tables.model()
+    );
+    println!("max cost : {}", tables.max_cost());
+    println!("runtime  : {elapsed:.2?}");
+}
+
+/// `tables <generate|extend|info|verify>` — the checkpointed deep-table
+/// workflow (see the `tables` section of the usage text).
+fn cmd_tables(args: &[String]) -> CliResult {
+    let Some(action) = args.first() else {
+        return Err("tables needs an action: generate|extend|info|verify".into());
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match action.as_str() {
+        "generate" => tables_generate(&opts),
+        "extend" => tables_extend(&opts),
+        "info" => tables_info(&opts),
+        "verify" => tables_verify(&opts),
+        other => {
+            Err(format!("unknown tables action `{other}` (generate|extend|info|verify)").into())
+        }
+    }
+}
+
+fn tables_generate(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&[
+        "out", "n", "k", "model", "budget", "threads", "shards", "max-mem", "resume",
+    ])?;
+    let out = opts
+        .get("out")
+        .ok_or("tables generate needs --out <FILE>")?;
+    let n: usize = opts.get_parse("n", 4)?;
+    let (model, budget) = tables_target(opts)?;
+    let gen = gen_options(opts)?;
+    warn_weighted_knobs(opts, model != revsynth_circuit::CostModel::unit());
+    let path = PathBuf::from(out);
+    let start = Instant::now();
+    // --resume: continue the store only when it actually holds completed
+    // levels AND matches the requested parameters — validated *before*
+    // any extension work mutates the file. A header-only store (killed
+    // before the first level checkpointed) or an unreadable file left by
+    // a dead run restarts from scratch, which is what --resume promises.
+    let resumable = if opts.has("resume") && path.exists() {
+        match SearchTables::peek(&path) {
+            Ok(info) if !info.levels.is_empty() => {
+                if info.wires != n {
+                    return Err(format!(
+                        "{} holds {}-wire tables, but --n {n} was requested",
+                        path.display(),
+                        info.wires
+                    )
+                    .into());
+                }
+                if info.model != model {
+                    return Err(format!(
+                        "{} holds {:?} tables, but --model asked for {:?}",
+                        path.display(),
+                        info.model,
+                        model
+                    )
+                    .into());
+                }
+                true
+            }
+            _ => {
+                eprintln!(
+                    "{} has no completed levels; restarting from scratch",
+                    path.display()
+                );
+                false
+            }
+        }
+    } else {
+        false
+    };
+    let tables = if resumable {
+        eprintln!("resuming {} toward cost {budget} ...", path.display());
+        SearchTables::resume_checkpointed(&path, budget, &gen)?
+    } else {
+        eprintln!(
+            "generating checkpointed tables (n = {n}, model {:?}, cost ≤ {budget}) ...",
+            model
+        );
+        SearchTables::generate_checkpointed(
+            revsynth_circuit::GateLib::nct(n),
+            model,
+            budget,
+            &gen,
+            &path,
+        )?
+    };
+    print_store_summary(&tables, out, start.elapsed());
+    println!("digest   : {:#018x}", revsynth_bfs::file_digest(&path)?);
+    Ok(())
+}
+
+/// Tells the operator when the expander knobs will be ignored: the
+/// weighted (cost-bucketed) uniform-cost search is serial and
+/// memory-unbounded — `--threads`/`--shards`/`--max-mem` tune only the
+/// unit-model (gate-count) expander.
+fn warn_weighted_knobs(opts: &Opts, weighted: bool) {
+    let any_knob = opts.get("threads").is_some()
+        || opts.get("shards").is_some()
+        || opts.get("max-mem").is_some();
+    if weighted && any_knob {
+        eprintln!(
+            "note: --threads/--shards/--max-mem tune the unit-model expander; \
+             the weighted uniform-cost search is serial and ignores them"
+        );
+    }
+}
+
+fn tables_extend(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&[
+        "store", "k", "budget", "model", "threads", "shards", "max-mem",
+    ])?;
+    let store = opts
+        .get("store")
+        .ok_or("tables extend needs --store <FILE>")?;
+    if let Ok(info) = SearchTables::peek(store) {
+        warn_weighted_knobs(opts, info.model != revsynth_circuit::CostModel::unit());
+    }
+    // The file knows its model; --k/--budget just names the target cost.
+    let budget: u64 = match (opts.get("k"), opts.get("budget")) {
+        (Some(k), None) => k.parse()?,
+        (None, Some(b)) => b.parse()?,
+        _ => return Err("tables extend needs exactly one of --k (unit) or --budget".into()),
+    };
+    let gen = gen_options(opts)?;
+    let start = Instant::now();
+    let tables = SearchTables::resume_checkpointed(store, budget, &gen)?;
+    print_store_summary(&tables, store, start.elapsed());
+    println!("digest   : {:#018x}", revsynth_bfs::file_digest(store)?);
+    Ok(())
+}
+
+fn tables_info(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["store", "json"])?;
+    let store = opts
+        .get("store")
+        .ok_or("tables info needs --store <FILE>")?;
+    let info = SearchTables::peek(store)?;
+    let torn = info.file_len.saturating_sub(info.payload_end);
+    if opts.has("json") {
+        let levels: Vec<String> = info
+            .levels
+            .iter()
+            .map(|l| format!("{{\"cost\": {}, \"classes\": {}}}", l.cost, l.classes))
+            .collect();
+        println!(
+            "{{\"version\": {}, \"wires\": {}, \"levels_complete\": {}, \
+             \"total_classes\": {}, \"payload_end\": {}, \"file_len\": {}, \
+             \"torn_tail_bytes\": {}, \"levels\": [{}]}}",
+            info.version,
+            info.wires,
+            info.levels.len(),
+            info.total_classes(),
+            info.payload_end,
+            info.file_len,
+            torn,
+            levels.join(", ")
+        );
+        return Ok(());
+    }
+    println!("store    : {store} (format v{})", info.version);
+    println!("wires    : {}", info.wires);
+    println!("model    : {:?}", info.model);
+    println!("levels   : {} completed", info.levels.len());
+    for (i, level) in info.levels.iter().enumerate() {
+        println!(
+            "  level {i:>2}: cost {:>3}, {:>12} classes",
+            level.cost, level.classes
+        );
+    }
+    println!("classes  : {}", info.total_classes());
+    if torn > 0 {
+        println!("torn tail: {torn} bytes past the checkpoint (in-flight level; resume drops it)");
+    }
+    Ok(())
+}
+
+fn tables_verify(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["store", "expect-digest"])?;
+    let store = opts
+        .get("store")
+        .ok_or("tables verify needs --store <FILE>")?;
+    let start = Instant::now();
+    let tables = SearchTables::load(store)?;
+    let digest = revsynth_bfs::file_digest(store)?;
+    println!(
+        "verified : {store} ({} levels, {} classes, model {:?}) in {:.2?}",
+        tables.levels().len(),
+        tables.num_representatives(),
+        tables.model(),
+        start.elapsed()
+    );
+    println!("digest   : {digest:#018x}");
+    if let Some(expected) = opts.get("expect-digest") {
+        let expected = expected.trim_start_matches("0x");
+        let want = u64::from_str_radix(expected, 16)
+            .map_err(|_| format!("--expect-digest `{expected}` is not a hex digest"))?;
+        if digest != want {
+            return Err(format!(
+                "digest mismatch for {store}: got {digest:#018x}, expected {want:#018x}"
+            )
+            .into());
+        }
+        println!("matches  : expected digest");
     }
     Ok(())
 }
@@ -1231,6 +1523,173 @@ mod tests {
     fn serve_rejects_unknown_flags() {
         assert!(dispatch(&["serve".to_owned(), "--bogus".to_owned(), "1".to_owned()]).is_err());
         assert!(dispatch(&["query".to_owned(), "--workers".to_owned(), "1".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn tables_command_end_to_end() {
+        // generate → info → extend → verify (with digest assert) → resume
+        // no-op, all through the dispatcher — the CI tables-deep flow in
+        // miniature.
+        let store = std::env::temp_dir().join(format!(
+            "revsynth-cli-tables-test-{}.rvtab",
+            std::process::id()
+        ));
+        let store_str = store.to_string_lossy().into_owned();
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        assert!(dispatch(&to_args(&[
+            "tables",
+            "generate",
+            "--out",
+            &store_str,
+            "--n",
+            "3",
+            "--k",
+            "2",
+            "--shards",
+            "4",
+            "--max-mem",
+            "1M",
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&["tables", "info", "--store", &store_str])).is_ok());
+        assert!(dispatch(&to_args(&[
+            "tables", "info", "--store", &store_str, "--json"
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&[
+            "tables", "extend", "--store", &store_str, "--k", "3"
+        ]))
+        .is_ok());
+        let digest = format!(
+            "{:#018x}",
+            revsynth_bfs::file_digest(&store).expect("digest")
+        );
+        assert!(dispatch(&to_args(&[
+            "tables",
+            "verify",
+            "--store",
+            &store_str,
+            "--expect-digest",
+            &digest,
+        ]))
+        .is_ok());
+        assert!(
+            dispatch(&to_args(&[
+                "tables",
+                "verify",
+                "--store",
+                &store_str,
+                "--expect-digest",
+                "0xdeadbeefdeadbeef",
+            ]))
+            .is_err(),
+            "digest mismatch must fail"
+        );
+        // --resume on an existing store at the same depth is a no-op run.
+        assert!(dispatch(&to_args(&[
+            "tables", "generate", "--out", &store_str, "--n", "3", "--k", "3", "--resume",
+        ]))
+        .is_ok());
+        assert_eq!(
+            format!("{:#018x}", revsynth_bfs::file_digest(&store).unwrap()),
+            digest,
+            "no-op resume must not rewrite the store"
+        );
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn tables_resume_validates_before_touching_the_store() {
+        let store = std::env::temp_dir().join(format!(
+            "revsynth-cli-resume-test-{}.rvtab",
+            std::process::id()
+        ));
+        let store_str = store.to_string_lossy().into_owned();
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        assert!(dispatch(&to_args(&[
+            "tables", "generate", "--out", &store_str, "--n", "3", "--k", "2",
+        ]))
+        .is_ok());
+        let before = std::fs::read(&store).unwrap();
+        // Wrong wire count and wrong model are rejected up front — the
+        // store must not be extended (or mutated at all) first.
+        assert!(dispatch(&to_args(&[
+            "tables", "generate", "--out", &store_str, "--n", "4", "--k", "3", "--resume",
+        ]))
+        .is_err());
+        assert!(dispatch(&to_args(&[
+            "tables", "generate", "--out", &store_str, "--n", "3", "--model", "quantum",
+            "--budget", "4", "--resume",
+        ]))
+        .is_err());
+        assert_eq!(
+            std::fs::read(&store).unwrap(),
+            before,
+            "rejected resume must leave the store untouched"
+        );
+        // An unreadable leftover (e.g. killed before the first level
+        // checkpointed) restarts from scratch instead of wedging.
+        std::fs::write(&store, b"RVSYNTB4 but then garbage").unwrap();
+        assert!(dispatch(&to_args(&[
+            "tables", "generate", "--out", &store_str, "--n", "3", "--k", "2", "--resume",
+        ]))
+        .is_ok());
+        assert_eq!(
+            std::fs::read(&store).unwrap(),
+            before,
+            "restarted generation reproduces the deterministic bytes"
+        );
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn tables_command_rejects_bad_usage() {
+        assert!(dispatch(&["tables".to_owned()]).is_err(), "needs an action");
+        assert!(
+            dispatch(&["tables".to_owned(), "frobnicate".to_owned()]).is_err(),
+            "unknown action"
+        );
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        assert!(
+            dispatch(&to_args(&["tables", "generate", "--n", "3"])).is_err(),
+            "generate needs --out"
+        );
+        assert!(
+            dispatch(&to_args(&[
+                "tables", "generate", "--out", "/tmp/x", "--k", "2", "--budget", "5",
+            ]))
+            .is_err(),
+            "--budget with unit model"
+        );
+        assert!(
+            dispatch(&to_args(&[
+                "tables",
+                "extend",
+                "--store",
+                "/nonexistent/x",
+                "--k",
+                "3"
+            ]))
+            .is_err(),
+            "missing store"
+        );
+        assert!(
+            dispatch(&to_args(&["tables", "verify", "--store", "/nonexistent/x"])).is_err(),
+            "missing store"
+        );
+    }
+
+    #[test]
+    fn mem_suffixes_parse() {
+        assert_eq!(parse_mem("123").unwrap(), 123);
+        assert_eq!(parse_mem("4K").unwrap(), 4096);
+        assert_eq!(parse_mem("2m").unwrap(), 2 << 20);
+        assert_eq!(parse_mem("1G").unwrap(), 1 << 30);
+        assert!(parse_mem("banana").is_err());
+        assert!(parse_mem("999999999999G").is_err(), "overflow");
     }
 
     #[test]

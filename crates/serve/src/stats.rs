@@ -154,8 +154,8 @@ const FIRST_OCTAVE: u64 = 4;
 const BUCKETS: usize = (DIRECT + (64 - FIRST_OCTAVE) * SUBS) as usize;
 
 /// A lock-free log-linear histogram of microsecond latencies
-/// (HDR-histogram-shaped: power-of-two octaves split into
-/// [`SUBS`] linear sub-buckets).
+/// (HDR-histogram-shaped: power-of-two octaves split into `SUBS`
+/// linear sub-buckets).
 ///
 /// Recording is one atomic increment; quantiles scan the 496 buckets.
 /// Quantile values are bucket **upper bounds**, so reported p50/p99

@@ -10,7 +10,13 @@
 //!   **zero searches** (asserted on the server's own counters);
 //! * **coalesced** — a concurrent client fleet rendezvousing on cold
 //!   classes, exercising the scheduler's request-coalescing path
-//!   (at least one coalesced request is asserted).
+//!   (at least one coalesced request is asserted);
+//! * **overload** — a second server with a bounded miss queue and a
+//!   seeded fault plan (injected search latency) is driven into
+//!   saturation: the report records how many misses were shed, how many
+//!   deadlines expired before their search, and how many cache hits
+//!   were served *during* the saturation window, and the counters must
+//!   reconcile exactly ([`loadgen::OverloadReport::verify`]).
 //!
 //! Correctness is asserted throughout: every response circuit must
 //! compute the queried permutation, warm answers must match the cold
@@ -28,14 +34,14 @@
 
 use std::io::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use revsynth_analysis::{Rng, SplitMix64};
 use revsynth_bench::{arg_or, env_k};
 use revsynth_circuit::{Circuit, GateLib};
 use revsynth_core::Synthesizer;
 use revsynth_perm::{Perm, WirePerm};
-use revsynth_serve::{loadgen, Client, ServeStats, Server, ServerConfig};
+use revsynth_serve::{loadgen, Client, FaultPlan, ServeStats, Server, ServerConfig};
 
 struct Phase {
     queries: usize,
@@ -225,6 +231,53 @@ fn main() {
     let closing = handle.join().expect("server exits cleanly");
     assert_eq!(closing.errors, 0);
 
+    // ---- overload: bounded admission under injected latency ----------
+    // A dedicated server (fresh cache) with a queue bound of 1 and a
+    // deterministic 200 ms per-search delay; the standard overload
+    // scenario must shed, keep serving cache hits, and reconcile.
+    let plan =
+        Arc::new(FaultPlan::new(seed ^ 0x0BAD).with_search_delay(Duration::from_millis(200)));
+    let chaos_config = ServerConfig {
+        max_queue: 1,
+        retry_after_ms: 20,
+        faults: Some(Arc::clone(&plan)),
+        ..ServerConfig::default()
+    };
+    let chaos_server = Server::bind(Arc::clone(&suite), &chaos_config).expect("bind chaos server");
+    let chaos_addr = chaos_server.local_addr();
+    let chaos_handle = chaos_server.spawn();
+    let overload_config = loadgen::OverloadConfig {
+        max_len: 2 * k.min(3),
+        seed: seed ^ 0x10AD,
+        ..loadgen::OverloadConfig::default()
+    };
+    let overload =
+        loadgen::run_overload(chaos_addr, 4, &overload_config).expect("overload scenario");
+    overload
+        .verify(true)
+        .expect("overload counters must reconcile exactly");
+    eprintln!(
+        "overload: {} shed, {} expired, {} cold served, {} hits during saturation \
+         ({:.3}s, recovered: {})",
+        overload.overloaded,
+        overload.expired,
+        overload.cold_successes,
+        overload.warm_hits,
+        overload.seconds,
+        overload.recovered
+    );
+    Client::connect(chaos_addr)
+        .expect("connect chaos server")
+        .shutdown_server()
+        .expect("chaos shutdown");
+    let chaos_closing = chaos_handle.join().expect("chaos server exits cleanly");
+    // Expired deadlines are answered with error frames, so they are the
+    // only errors the chaos server may report: sheds and hits are not.
+    assert_eq!(
+        chaos_closing.errors, chaos_closing.expired,
+        "every chaos-server error is an expired deadline"
+    );
+
     let json = render_json(
         k,
         quick,
@@ -235,6 +288,7 @@ fn main() {
         speedup,
         report.successes,
         fleet_seconds,
+        &overload,
         &final_stats,
     );
     std::fs::File::create(&out)
@@ -255,6 +309,7 @@ fn render_json(
     speedup: f64,
     fleet_requests: u64,
     fleet_seconds: f64,
+    overload: &loadgen::OverloadReport,
     stats: &ServeStats,
 ) -> String {
     format!(
@@ -266,11 +321,21 @@ fn render_json(
          \"speedup_warm_vs_cold\": {speedup:.1},\n  \
          \"fleet\": {{\"requests\": {fleet_requests}, \"seconds\": {fleet_seconds:.6}, \
          \"queries_per_sec\": {:.1}}},\n  \
+         \"overload\": {{\"shed\": {}, \"expired\": {}, \"cold_served\": {}, \
+         \"hits_served_during_saturation\": {}, \"injected_failures\": {}, \
+         \"recovered\": {}, \"seconds\": {:.6}}},\n  \
          \"final_stats\": {}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cold.json(),
         warm.json(),
         fleet_requests as f64 / fleet_seconds,
+        overload.overloaded,
+        overload.expired,
+        overload.cold_successes,
+        overload.warm_hits,
+        overload.injected_failures,
+        overload.recovered,
+        overload.seconds,
         stats.to_json()
     )
 }

@@ -81,6 +81,9 @@ COMMANDS:
     serve      [--port <P>] [--workers <W>] [--cache-capacity <C>]
                [--linger-ms <L>] [--k <K>] [--n <N>] [--tables <FILE>]
                [--threads <T>] [--quantum-budget <B>] [--depth-budget <D>]
+               [--max-queue <Q>] [--max-conns <C>] [--retry-after-ms <MS>]
+               [--fault-search-delay-ms <MS>] [--fault-fail-every <N>]
+               [--fault-seed <S>]
                Run the synthesis service on 127.0.0.1:<P> (default 7878;
                0 picks a free port, printed on startup). Results are
                cached per equivalence class (--cache-capacity entries,
@@ -96,21 +99,38 @@ COMMANDS:
                depth engines are generated lazily on first use
                (--quantum-budget, default 13; --depth-budget, default
                3), so gates-only traffic never pays for them.
+               Overload control: --max-queue bounds the queued searches
+               per cost model and --max-conns the concurrent
+               connections (0 = unbounded, the default for both);
+               excess load is shed with Overloaded frames carrying the
+               --retry-after-ms hint (default 100). The --fault-* flags
+               inject deterministic chaos (per-search latency, forced
+               failures) for tests — never set them in production.
     query      [--port <P>] [--spec <P0,..,P15>] [--cost gates|quantum|depth]
-               [--json] [--stats] [--shutdown]
+               [--deadline-ms <MS>] [--json] [--stats] [--shutdown]
                Query a running server: --spec synthesizes a permutation
                under --cost (default gates), --stats (or no --spec)
                prints the ServeStats snapshot, --shutdown stops the
-               server. --json switches the output to single-line JSON.
+               server. --deadline-ms asks the server to expire the
+               request unstarted if it cannot begin the search in time.
+               --json switches the output to single-line JSON.
     loadgen    [--port <P>] [--clients <C>] [--requests <R>]
                [--pool <B>] [--max-len <L>] [--seed <S>] [--quick]
-               [--expect-coalesced]
+               [--expect-coalesced] [--overload] [--expect-shed]
+               [--deadline-ms <MS>]
                Closed-loop load against a running server: C connections
                (default 4) × R requests (default 100) drawn from B
                classes (default 8). Verifies every response circuit,
                reports throughput and the server stats; exits nonzero
                on any error (and, with --expect-coalesced, when no
                request coalesced). --quick is the CI smoke scale.
+               --overload switches to the saturation phase instead: the
+               clients burst distinct cold classes (with --deadline-ms
+               deadlines, default 50) at a server configured with a
+               bounded queue and injected search latency, while warm
+               traffic must keep being served; exits nonzero unless
+               every shed/expiry counter reconciles exactly (and, with
+               --expect-shed, unless saturation actually shed).
     help       Show this message.
 
 Tables are regenerated on the fly unless --tables points at a file written
@@ -125,6 +145,8 @@ const SWITCHES: &[&str] = &[
     "shutdown",
     "quick",
     "expect-coalesced",
+    "overload",
+    "expect-shed",
     "resume",
 ];
 
@@ -1010,13 +1032,34 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         "threads",
         "quantum-budget",
         "depth-budget",
+        "max-queue",
+        "max-conns",
+        "retry-after-ms",
+        "fault-search-delay-ms",
+        "fault-fail-every",
+        "fault-seed",
     ])?;
+    let fault_delay_ms: u64 = opts.get_parse("fault-search-delay-ms", 0)?;
+    let fault_fail_every: u64 = opts.get_parse("fault-fail-every", 0)?;
+    let faults = if fault_delay_ms > 0 || fault_fail_every > 0 {
+        Some(std::sync::Arc::new(
+            revsynth_serve::FaultPlan::new(opts.get_parse("fault-seed", 0)?)
+                .with_search_delay(std::time::Duration::from_millis(fault_delay_ms))
+                .with_fail_every(fault_fail_every),
+        ))
+    } else {
+        None
+    };
     let config = revsynth_serve::ServerConfig {
         port: opts.get_parse("port", DEFAULT_PORT)?,
         workers: opts.get_parse("workers", 1)?,
         cache_capacity: opts.get_parse("cache-capacity", 1usize << 16)?,
         search: SearchOptions::new().threads(opts.get_parse("threads", 1)?),
         batch_linger: std::time::Duration::from_millis(opts.get_parse("linger-ms", 0u64)?),
+        max_queue: opts.get_parse("max-queue", 0usize)?,
+        max_conns: opts.get_parse("max-conns", 0usize)?,
+        retry_after_ms: opts.get_parse("retry-after-ms", 100u32)?,
+        faults,
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -1034,6 +1077,19 @@ fn cmd_serve(opts: &Opts) -> CliResult {
     let suite = std::sync::Arc::new(SynthesisSuite::new(synth, suite_config));
     let server = revsynth_serve::Server::bind(suite, &config)?;
     println!("listening on {}", server.local_addr());
+    if config.max_queue > 0 || config.max_conns > 0 || config.faults.is_some() {
+        println!(
+            "overload control: max-queue {}, max-conns {}, retry-after {} ms{}",
+            config.max_queue,
+            config.max_conns,
+            config.retry_after_ms,
+            if config.faults.is_some() {
+                " (fault injection ACTIVE)"
+            } else {
+                ""
+            }
+        );
+    }
     println!(
         "serving n = {wires} functions up to {max_size} gates \
          ({} scheduler workers, {}-class cache; quantum/depth engines \
@@ -1049,8 +1105,19 @@ fn cmd_serve(opts: &Opts) -> CliResult {
 }
 
 fn cmd_query(opts: &Opts) -> CliResult {
-    opts.reject_unknown(&["port", "spec", "cost", "json", "stats", "shutdown"])?;
+    opts.reject_unknown(&[
+        "port",
+        "spec",
+        "cost",
+        "deadline-ms",
+        "json",
+        "stats",
+        "shutdown",
+    ])?;
     let addr = server_addr(opts)?;
+    // Parse before connecting so a bad value fails cleanly even on the
+    // stats/shutdown paths (which never send a deadline).
+    let deadline_ms: Option<u32> = opts.get("deadline-ms").map(str::parse).transpose()?;
     let mut client = revsynth_serve::Client::connect(addr)?;
     if opts.has("shutdown") {
         client.shutdown_server()?;
@@ -1061,7 +1128,7 @@ fn cmd_query(opts: &Opts) -> CliResult {
         let f = parse_spec(spec)?;
         let kind = cost_kind(opts)?;
         let start = Instant::now();
-        let circuit = client.query_with_cost(f, kind)?;
+        let circuit = client.query_with_deadline(f, kind, deadline_ms)?;
         let elapsed = start.elapsed();
         let cost = kind.measure(&circuit);
         if opts.has("json") {
@@ -1104,6 +1171,10 @@ fn cmd_query(opts: &Opts) -> CliResult {
         );
         println!("errors        : {}", stats.errors);
         println!(
+            "overload      : {} shed, {} expired, {} connections refused",
+            stats.shed, stats.expired, stats.shed_conns
+        );
+        println!(
             "latency       : p50 {} µs, p99 {} µs",
             stats.p50_latency_us, stats.p99_latency_us
         );
@@ -1121,10 +1192,19 @@ fn cmd_loadgen(opts: &Opts) -> CliResult {
         "seed",
         "quick",
         "expect-coalesced",
+        "overload",
+        "expect-shed",
+        "deadline-ms",
         "json",
     ])?;
     let addr = server_addr(opts)?;
     let seed: u64 = opts.get_parse("seed", 2010)?;
+    if opts.has("overload") {
+        return cmd_loadgen_overload(opts, addr, seed);
+    }
+    if opts.has("expect-shed") || opts.get("deadline-ms").is_some() {
+        return Err("--expect-shed/--deadline-ms only apply with --overload".into());
+    }
     let defaults = if opts.has("quick") {
         revsynth_serve::loadgen::LoadgenConfig::quick(seed)
     } else {
@@ -1181,6 +1261,74 @@ fn cmd_loadgen(opts: &Opts) -> CliResult {
     if opts.has("expect-coalesced") && report.coalesced == 0 {
         return Err("expected at least one coalesced request, saw none".into());
     }
+    Ok(())
+}
+
+/// The `loadgen --overload` saturation phase: burst cold classes at a
+/// bounded-queue server, demand warm traffic stays served, reconcile
+/// every shed/expiry counter against what the clients observed.
+fn cmd_loadgen_overload(opts: &Opts, addr: std::net::SocketAddr, seed: u64) -> CliResult {
+    let defaults = revsynth_serve::loadgen::OverloadConfig::default();
+    let config = revsynth_serve::loadgen::OverloadConfig {
+        clients: opts.get_parse("clients", defaults.clients)?,
+        per_client: opts.get_parse("requests", defaults.per_client)?,
+        deadline_ms: Some(opts.get_parse("deadline-ms", 50u32)?),
+        max_len: opts.get_parse("max-len", defaults.max_len)?,
+        seed,
+        ..defaults
+    };
+    let wires = usize::try_from(revsynth_serve::Client::connect(addr)?.stats()?.wires)
+        .map_err(|_| "server reported a nonsense wire count")?;
+    if !(2..=4).contains(&wires) {
+        return Err(format!("server reported unsupported wire count {wires}").into());
+    }
+    let report = revsynth_serve::loadgen::run_overload(addr, wires, &config)?;
+    if opts.has("json") {
+        println!(
+            "{{\"warm_hits\": {}, \"warm_failures\": {}, \"cold_successes\": {}, \
+             \"overloaded\": {}, \"expired\": {}, \"injected_failures\": {}, \
+             \"other_errors\": {}, \"recovered\": {}, \"seconds\": {:.6}, \
+             \"stats\": {}}}",
+            report.warm_hits,
+            report.warm_failures,
+            report.cold_successes,
+            report.overloaded,
+            report.expired,
+            report.injected_failures,
+            report.other_errors,
+            report.recovered,
+            report.seconds,
+            report.stats.to_json()
+        );
+    } else {
+        println!(
+            "overload burst ({} clients × {} cold classes, {} warm queries) in {:.2?}",
+            config.clients,
+            config.per_client,
+            report.warm_hits + report.warm_failures,
+            std::time::Duration::from_secs_f64(report.seconds),
+        );
+        println!(
+            "  cold: {} served, {} shed, {} expired, {} injected failures, {} other",
+            report.cold_successes,
+            report.overloaded,
+            report.expired,
+            report.injected_failures,
+            report.other_errors
+        );
+        println!(
+            "  warm: {}/{} cache hits served during saturation",
+            report.warm_hits,
+            report.warm_hits + report.warm_failures
+        );
+        println!(
+            "  recovery via retry/backoff: {}",
+            if report.recovered { "ok" } else { "FAILED" }
+        );
+        println!("server stats: {}", report.stats.to_json());
+    }
+    report.verify(opts.has("expect-shed"))?;
+    println!("overload counters reconcile exactly");
     Ok(())
 }
 
@@ -1517,6 +1665,48 @@ mod tests {
         .is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--shutdown"])).is_ok());
         handle.join().expect("clean shutdown");
+    }
+
+    #[test]
+    fn loadgen_overload_reconciles_against_chaos_server() {
+        // The CI serve-chaos flow in miniature: a 1-worker server with a
+        // bounded queue and injected search latency must shed the burst,
+        // keep serving warm hits, and reconcile every counter.
+        let suite = std::sync::Arc::new(SynthesisSuite::new(
+            Synthesizer::from_scratch(4, 2),
+            SuiteConfig {
+                quantum_budget: 6,
+                depth_budget: 2,
+            },
+        ));
+        let config = revsynth_serve::ServerConfig {
+            max_queue: 1,
+            retry_after_ms: 20,
+            faults: Some(std::sync::Arc::new(
+                revsynth_serve::FaultPlan::new(99)
+                    .with_search_delay(std::time::Duration::from_millis(250)),
+            )),
+            ..revsynth_serve::ServerConfig::default()
+        };
+        let server = revsynth_serve::Server::bind(suite, &config).expect("bind");
+        let port = server.local_addr().port().to_string();
+        let handle = server.spawn();
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        assert!(dispatch(&to_args(&[
+            "loadgen",
+            "--port",
+            &port,
+            "--overload",
+            "--expect-shed",
+            "--max-len",
+            "4",
+            "--json",
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--shutdown"])).is_ok());
+        let stats = handle.join().expect("clean shutdown");
+        assert!(stats.shed > 0, "{stats:?}");
     }
 
     #[test]

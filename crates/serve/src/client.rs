@@ -4,13 +4,23 @@
 //! synchronously (the protocol is strictly request/response per
 //! connection). Clients are cheap; open one per thread for concurrent
 //! load.
+//!
+//! Overload handling: a server shedding load answers with an
+//! `Overloaded` frame, surfaced as [`ClientError::Overloaded`] with the
+//! server's retry hint; [`Client::query_with_retry`] turns the hint
+//! into capped exponential backoff with deterministic SplitMix64
+//! jitter ([`RetryPolicy`]). A read that exhausts its timeout budget is
+//! surfaced as [`ClientError::DeadlineExceeded`] — distinguishable from
+//! a dead socket — after which the connection must be discarded (a late
+//! response may still be in flight on the stream).
 
 use std::error::Error;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use revsynth_analysis::{Rng, SplitMix64};
 use revsynth_circuit::{Circuit, CostKind};
 use revsynth_perm::Perm;
 
@@ -27,6 +37,22 @@ pub enum ClientError {
     /// The server answered with an error response (unsynthesizable
     /// function, shutdown in progress, malformed request…).
     Server(String),
+    /// The server shed the request (queue or connection limit); retry
+    /// after the hint, with backoff ([`Client::query_with_retry`] does
+    /// this automatically).
+    Overloaded {
+        /// The server's suggested wait before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// No response arrived within the connection's timeout budget. The
+    /// server may still answer later — the connection is now
+    /// desynchronized and must be discarded.
+    DeadlineExceeded {
+        /// Time waited before giving up.
+        elapsed: Duration,
+        /// The connection's configured timeout budget.
+        budget: Duration,
+    },
     /// The server answered with a response that does not match the
     /// request (e.g. stats for a query) — a protocol bug or a hostile
     /// server.
@@ -38,6 +64,15 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
+            ClientError::DeadlineExceeded { elapsed, budget } => write!(
+                f,
+                "deadline exceeded: no response after {:.1} s of a {:.1} s budget",
+                elapsed.as_secs_f64(),
+                budget.as_secs_f64()
+            ),
             ClientError::UnexpectedResponse => write!(f, "response does not match the request"),
         }
     }
@@ -64,9 +99,61 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Capped exponential backoff with deterministic jitter, used by
+/// [`Client::query_with_retry`] when the server sheds load.
+///
+/// Attempt `k` (0-based) waits `max(server hint, jittered backoff)`
+/// where the backoff doubles from `base` up to `cap` and the jitter
+/// draws uniformly from `[delay/2, delay]` using a seeded
+/// [`SplitMix64`] — deterministic per seed, decorrelated across
+/// clients so a shed thundering herd does not reconverge on one retry
+/// instant.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try plus retries); at least 1.
+    pub attempts: u32,
+    /// Backoff before the first retry (doubles each retry).
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Jitter seed (vary per client; determinism per seed is what chaos
+    /// tests pin).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 10 ms doubling to a 1 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based), honoring the
+    /// server's `retry_after_ms` hint as a floor.
+    fn delay(&self, retry: u32, retry_after_ms: u32, rng: &mut SplitMix64) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.cap);
+        let nanos = doubled.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Uniform in [delay/2, delay]: keeps a meaningful wait while
+        // spreading clients across half the window.
+        let jittered = Duration::from_nanos(nanos / 2 + rng.next_u64() % (nanos / 2 + 1));
+        jittered.max(Duration::from_millis(u64::from(retry_after_ms)))
+    }
+}
+
 /// A blocking connection to a synthesis server.
 pub struct Client {
     stream: TcpStream,
+    /// The read/write timeout budget, kept for deadline reporting.
+    timeout: Duration,
 }
 
 impl Client {
@@ -93,12 +180,40 @@ impl Client {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        Ok(Client { stream })
+        Ok(Client { stream, timeout })
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &encode_request(request)).map_err(ProtocolError::Io)?;
-        let payload = read_frame(&mut self.stream)?;
+        let start = Instant::now();
+        if let Err(e) = write_frame(&mut self.stream, &encode_request(request)) {
+            // A server shedding this connection answers *before* reading
+            // the request and closes, so the write can fail with the
+            // response already in our receive buffer. Drain one pending
+            // frame before giving up — that is how the typed
+            // `Overloaded` reaches callers of a shed connection.
+            if let Ok(payload) = read_frame(&mut self.stream) {
+                return Ok(decode_response(&payload)?);
+            }
+            return Err(ClientError::Protocol(ProtocolError::Io(e)));
+        }
+        let payload = read_frame(&mut self.stream).map_err(|e| match e {
+            // An OS read timeout (reported as WouldBlock or TimedOut
+            // depending on platform) is the request's budget running
+            // out, not a dead socket — surface it as the typed deadline
+            // error with the elapsed/budget evidence.
+            ProtocolError::Io(io)
+                if matches!(
+                    io.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                ClientError::DeadlineExceeded {
+                    elapsed: start.elapsed(),
+                    budget: self.timeout,
+                }
+            }
+            other => ClientError::Protocol(other),
+        })?;
         Ok(decode_response(&payload)?)
     }
 
@@ -122,11 +237,63 @@ impl Client {
     /// As [`query`](Self::query); additionally the server declines when
     /// the function is beyond the selected engine's reach.
     pub fn query_with_cost(&mut self, f: Perm, kind: CostKind) -> Result<Circuit, ClientError> {
-        match self.round_trip(&Request::Query(f, kind))? {
+        self.query_with_deadline(f, kind, None)
+    }
+
+    /// [`query_with_cost`](Self::query_with_cost) with an optional
+    /// server-side deadline (milliseconds from the server decoding the
+    /// request): if the search cannot *start* within the budget, the
+    /// server expires the request instead of running it, and the error
+    /// message says so.
+    ///
+    /// # Errors
+    ///
+    /// As [`query_with_cost`](Self::query_with_cost); additionally
+    /// [`ClientError::Overloaded`] when the server sheds the request.
+    pub fn query_with_deadline(
+        &mut self,
+        f: Perm,
+        kind: CostKind,
+        deadline_ms: Option<u32>,
+    ) -> Result<Circuit, ClientError> {
+        match self.round_trip(&Request::Query(f, kind, deadline_ms))? {
             Response::Circuit(circuit) => Ok(circuit),
             Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Overloaded { retry_after_ms } => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
             _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+
+    /// [`query_with_cost`](Self::query_with_cost) that rides out
+    /// overload: on [`ClientError::Overloaded`] it sleeps per `policy`
+    /// (capped exponential backoff, jittered, floored at the server's
+    /// hint) and retries on the same connection — a shed answer is a
+    /// complete response, so the stream stays synchronized. All other
+    /// errors are returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`query_with_cost`](Self::query_with_cost); still
+    /// [`ClientError::Overloaded`] if every attempt was shed.
+    pub fn query_with_retry(
+        &mut self,
+        f: Perm,
+        kind: CostKind,
+        policy: &RetryPolicy,
+    ) -> Result<Circuit, ClientError> {
+        let mut rng = SplitMix64::new(policy.seed);
+        let attempts = policy.attempts.max(1);
+        for retry in 0..attempts {
+            match self.query_with_cost(f, kind) {
+                Err(ClientError::Overloaded { retry_after_ms }) if retry + 1 < attempts => {
+                    std::thread::sleep(policy.delay(retry, retry_after_ms, &mut rng));
+                }
+                other => return other,
+            }
+        }
+        unreachable!("the last attempt always returns")
     }
 
     /// Fetches the server's stats snapshot.

@@ -1,0 +1,315 @@
+//! Deterministic fault injection for the serve stack.
+//!
+//! Overload behavior is only trustworthy if it can be *driven*: a burst
+//! of cold-class queries against paper-scale tables means multi-second
+//! searches, but a test cannot wait for real saturation — it injects it.
+//! A [`FaultPlan`] sits at the scheduler↔synthesizer boundary and, per
+//! scheduled search, adds a fixed latency and/or forces a failure,
+//! following a deterministic schedule (a seeded counter, not wall-clock
+//! or thread races), so a test can predict *exactly* how many searches
+//! were delayed and how many were failed and reconcile the server's
+//! shed/expiry counters against the plan.
+//!
+//! The connection layer gets its own attackers: [`TrickleStream`]
+//! (writes leak out a few bytes at a time, slower than the server's
+//! poll interval) and [`DropAfter`] (the stream dies mid-frame after a
+//! byte budget), both seeded and deterministic. They wrap a client-side
+//! `TcpStream` in tests and `loadgen --overload`, proving the server
+//! survives torn frames and glacial writers without wedging its accept
+//! loop.
+//!
+//! Everything here is plumbed through [`ServerConfig::faults`] /
+//! [`SchedulerOptions::faults`]; a `None` plan costs one branch per
+//! drained search.
+//!
+//! [`ServerConfig::faults`]: crate::ServerConfig
+//! [`SchedulerOptions::faults`]: crate::SchedulerOptions
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What the plan injects into one scheduled search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchFault {
+    /// Latency to add before the search runs.
+    pub delay: Option<Duration>,
+    /// Whether the search must fail without running (reported to the
+    /// waiter as a synthesis error carrying [`INJECTED_FAILURE`]).
+    pub fail: bool,
+}
+
+/// The message substring marking a failure as plan-injected (tests and
+/// the load generator match on it to separate injected failures from
+/// genuine synthesis errors).
+pub const INJECTED_FAILURE: &str = "injected synthesizer failure";
+
+/// Counter snapshot of what a [`FaultPlan`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Searches that were delayed.
+    pub delays: u64,
+    /// Searches that were failed without running.
+    pub failures: u64,
+}
+
+/// A seeded, deterministic fault-injection plan for the scheduler's
+/// search boundary.
+///
+/// Decisions are a pure function of the search sequence number: search
+/// `s` (1-based, in scheduler-drain order) is failed iff `fail_every >
+/// 0 && s % fail_every == 0`, and every search that is not failed is
+/// delayed by `search_delay` when one is configured. With a
+/// single-worker scheduler the drain order — and therefore the full
+/// injection transcript — is deterministic, which is what lets tests
+/// assert exact counter reconciliation.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    search_delay: Duration,
+    fail_every: u64,
+    sequence: AtomicU64,
+    delays: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An inert plan (injects nothing) carrying `seed` for the
+    /// connection-layer helpers derived from it.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds `delay` of latency to every search the plan does not fail.
+    #[must_use]
+    pub fn with_search_delay(mut self, delay: Duration) -> Self {
+        self.search_delay = delay;
+        self
+    }
+
+    /// Fails every `n`-th scheduled search (1-based; `0` disables
+    /// forced failures).
+    #[must_use]
+    pub fn with_fail_every(mut self, n: u64) -> Self {
+        self.fail_every = n;
+        self
+    }
+
+    /// The plan's seed (handed to the connection-layer attackers so one
+    /// flag seeds the whole chaos run).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the fault for the next scheduled search and advances the
+    /// injection counters. Called by the scheduler worker once per
+    /// search it is about to run — never for expired or shed tickets,
+    /// so the sequence numbers line up with searches actually reached.
+    pub fn next_search(&self) -> SearchFault {
+        let s = self.sequence.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fail_every > 0 && s.is_multiple_of(self.fail_every) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return SearchFault {
+                delay: None,
+                fail: true,
+            };
+        }
+        if self.search_delay.is_zero() {
+            return SearchFault {
+                delay: None,
+                fail: false,
+            };
+        }
+        self.delays.fetch_add(1, Ordering::Relaxed);
+        SearchFault {
+            delay: Some(self.search_delay),
+            fail: false,
+        }
+    }
+
+    /// What the plan has injected so far.
+    #[must_use]
+    pub fn injected(&self) -> FaultCounters {
+        FaultCounters {
+            delays: self.delays.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A writer that leaks bytes out `chunk` at a time, pausing `pause`
+/// between chunks — a deterministic model of a glacial client. Reads
+/// pass through untouched.
+#[derive(Debug)]
+pub struct TrickleStream<S> {
+    inner: S,
+    chunk: usize,
+    pause: Duration,
+}
+
+impl<S> TrickleStream<S> {
+    /// Wraps `inner`, emitting at most `chunk` bytes per write with
+    /// `pause` between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn new(inner: S, chunk: usize, pause: Duration) -> Self {
+        assert!(chunk > 0, "trickle chunk must be positive");
+        TrickleStream {
+            inner,
+            chunk,
+            pause,
+        }
+    }
+}
+
+impl<S: Read> Read for TrickleStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for TrickleStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let take = buf.len().min(self.chunk);
+        let written = self.inner.write(&buf[..take])?;
+        self.inner.flush()?;
+        if !self.pause.is_zero() {
+            std::thread::sleep(self.pause);
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A stream that dies after writing `budget` bytes — every later write
+/// fails with `BrokenPipe`, modelling a peer cut off mid-frame. Reads
+/// pass through until the budget is spent, then report EOF.
+#[derive(Debug)]
+pub struct DropAfter<S> {
+    inner: S,
+    budget: usize,
+}
+
+impl<S> DropAfter<S> {
+    /// Wraps `inner` with a write budget of `budget` bytes.
+    pub fn new(inner: S, budget: usize) -> Self {
+        DropAfter { inner, budget }
+    }
+
+    /// Whether the budget is spent (the stream is "dead").
+    #[must_use]
+    pub fn dropped(&self) -> bool {
+        self.budget == 0
+    }
+}
+
+impl<S: Read> Read for DropAfter<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Ok(0);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for DropAfter<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fault injection: connection dropped mid-frame",
+            ));
+        }
+        let take = buf.len().min(self.budget);
+        let written = self.inner.write(&buf[..take])?;
+        self.budget -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_every_follows_the_counter_exactly() {
+        let plan = FaultPlan::new(1)
+            .with_fail_every(3)
+            .with_search_delay(Duration::from_millis(1));
+        let transcript: Vec<bool> = (0..9).map(|_| plan.next_search().fail).collect();
+        assert_eq!(
+            transcript,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        let injected = plan.injected();
+        assert_eq!(injected.failures, 3);
+        assert_eq!(injected.delays, 6, "failed searches are not delayed");
+    }
+
+    #[test]
+    fn inert_plan_injects_nothing() {
+        let plan = FaultPlan::new(7);
+        for _ in 0..5 {
+            assert_eq!(
+                plan.next_search(),
+                SearchFault {
+                    delay: None,
+                    fail: false
+                }
+            );
+        }
+        assert_eq!(plan.injected(), FaultCounters::default());
+        assert_eq!(plan.seed(), 7);
+    }
+
+    #[test]
+    fn trickle_writes_in_chunks() {
+        let mut sink = Vec::new();
+        {
+            let mut t = TrickleStream::new(&mut sink, 3, Duration::ZERO);
+            t.write_all(&[1, 2, 3, 4, 5, 6, 7]).unwrap();
+        }
+        assert_eq!(sink, [1, 2, 3, 4, 5, 6, 7], "all bytes arrive in order");
+    }
+
+    #[test]
+    fn drop_after_enforces_the_budget() {
+        let mut sink = Vec::new();
+        {
+            let mut d = DropAfter::new(&mut sink, 5);
+            d.write_all(&[9; 5]).unwrap();
+            assert!(d.dropped());
+            let err = d.write(&[1]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        }
+        assert_eq!(sink.len(), 5);
+        let mut dead = DropAfter::new(&b"bytes"[..], 0);
+        assert_eq!(dead.read(&mut [0; 4]).unwrap(), 0, "dead stream reads EOF");
+    }
+
+    #[test]
+    fn drop_after_partial_write_cuts_mid_buffer() {
+        let mut sink = Vec::new();
+        {
+            let mut d = DropAfter::new(&mut sink, 3);
+            // write_all loops: 3 bytes land, then BrokenPipe.
+            let err = d.write_all(&[8; 10]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        }
+        assert_eq!(sink, [8, 8, 8]);
+    }
+}

@@ -24,6 +24,13 @@
 //!   p50/p99 latency) and graceful shutdown.
 //! * [`loadgen`] — a deterministic closed-loop load generator used by
 //!   the CLI, CI smoke test and `bench_serve` harness.
+//! * **Overload control** — the miss queue is bounded per cost model
+//!   and saturation is shed with typed `Overloaded` frames (retry
+//!   hint included) while cache hits keep being served; requests may
+//!   carry deadlines that expire queued work *before* it is searched;
+//!   [`Client::query_with_retry`] backs off with jitter
+//!   ([`RetryPolicy`]). The [`fault`] module injects deterministic
+//!   latency, failures and torn connections so all of this is testable.
 //!
 //! # Example
 //!
@@ -63,6 +70,7 @@
 
 mod cache;
 mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod protocol;
 mod scheduler;
@@ -70,7 +78,8 @@ mod server;
 mod stats;
 
 pub use cache::{CacheCounters, ClassCache};
-pub use client::{Client, ClientError};
-pub use scheduler::{Scheduler, SchedulerCounters, ServeError};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use fault::{FaultCounters, FaultPlan};
+pub use scheduler::{Scheduler, SchedulerCounters, SchedulerOptions, ServeError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::{LatencyHistogram, ServeStats};

@@ -33,15 +33,26 @@
 //! Every response circuit is verified to compute the queried
 //! permutation before it counts as a success.
 
+//! A third, separately invoked phase — [`run_overload`] — drives the
+//! server into saturation on purpose (against a server configured with
+//! a bounded queue and injected search latency) and checks the
+//! graceful-degradation contract: cache hits keep being served, misses
+//! are shed with typed `Overloaded` frames, deadlines expire queued
+//! work before it is searched, and every server-side shed/expiry
+//! counter reconciles exactly with what the clients observed.
+
 use std::net::SocketAddr;
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use revsynth_analysis::{Rng, SplitMix64};
-use revsynth_circuit::{Circuit, GateLib};
+use revsynth_canon::Symmetries;
+use revsynth_circuit::{Circuit, CostKind, GateLib};
 use revsynth_perm::{Perm, WirePerm};
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, RetryPolicy};
+use crate::fault::INJECTED_FAILURE;
+use crate::scheduler::ServeError;
 use crate::stats::ServeStats;
 
 /// Load-run parameters.
@@ -252,6 +263,331 @@ pub fn run(
         errors,
         seconds,
         coalesced: stats.coalesced - baseline.coalesced,
+        stats,
+    })
+}
+
+/// Parameters for the [`run_overload`] saturation phase.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Concurrent cold-burst client connections.
+    pub clients: usize,
+    /// Distinct cold classes queried per burst client (each exactly
+    /// once, so server counters reconcile without coalescing terms).
+    pub per_client: usize,
+    /// Warm (guaranteed-cache-hit) queries issued concurrently with the
+    /// burst; every one must succeed — that is the degradation
+    /// contract.
+    pub hit_requests: usize,
+    /// Deadline attached to every burst query, milliseconds; `None`
+    /// disables deadline testing (no expiries will occur).
+    pub deadline_ms: Option<u32>,
+    /// Maximum gate count of pool functions. Keep at or below the
+    /// server's `2k` reach or genuine synthesis errors will fail the
+    /// reconciliation.
+    pub max_len: usize,
+    /// RNG seed for pool construction.
+    pub seed: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            clients: 3,
+            per_client: 4,
+            hit_requests: 20,
+            deadline_ms: Some(50),
+            max_len: 5,
+            seed: 2010,
+        }
+    }
+}
+
+/// Outcome of an overload run, with server counter deltas over the
+/// saturation window for exact reconciliation.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Warm queries answered (verified) while the burst was running.
+    pub warm_hits: u64,
+    /// Warm queries that failed — must be 0 for the run to verify.
+    pub warm_failures: u64,
+    /// Burst queries answered with a verified circuit.
+    pub cold_successes: u64,
+    /// Burst queries shed with an `Overloaded` frame.
+    pub overloaded: u64,
+    /// Burst queries expired server-side (deadline passed before the
+    /// search started).
+    pub expired: u64,
+    /// Burst queries failed by the server's injected fault plan.
+    pub injected_failures: u64,
+    /// Any other burst outcome (unexpected errors, bad circuits) — must
+    /// be 0 for the run to verify.
+    pub other_errors: u64,
+    /// Whether a post-burst [`Client::query_with_retry`] rode the
+    /// backoff out of saturation to a verified answer.
+    pub recovered: bool,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+    /// Server counter deltas over the saturation window (baseline to
+    /// the post-burst snapshot; the recovery phase is excluded because
+    /// retry absorbs its own sheds).
+    pub shed_delta: u64,
+    /// Deadline expiries, same window.
+    pub expired_delta: u64,
+    /// Searches actually run, same window.
+    pub searches_delta: u64,
+    /// Misses coalesced onto in-flight searches, same window.
+    pub coalesced_delta: u64,
+    /// Cache misses, same window.
+    pub misses_delta: u64,
+    /// Final server stats snapshot (after recovery).
+    pub stats: ServeStats,
+}
+
+impl OverloadReport {
+    /// Checks the graceful-degradation contract, returning the first
+    /// violation as a message. `expect_shed` additionally requires that
+    /// saturation actually shed something (the CI gate: a chaos run
+    /// that never sheds is not testing overload).
+    ///
+    /// The load-conservation identity is the "nothing silently dropped,
+    /// nothing wastefully searched" check: every cache miss in the
+    /// window is accounted for as exactly one of searched, coalesced,
+    /// shed, expired, or plan-failed.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn verify(&self, expect_shed: bool) -> Result<(), String> {
+        if self.warm_failures > 0 {
+            return Err(format!(
+                "{} of {} cache hits failed under saturation",
+                self.warm_failures,
+                self.warm_failures + self.warm_hits
+            ));
+        }
+        if self.other_errors > 0 {
+            return Err(format!(
+                "{} burst queries failed outside the overload protocol",
+                self.other_errors
+            ));
+        }
+        if self.overloaded != self.shed_delta {
+            return Err(format!(
+                "clients saw {} Overloaded frames but the server shed {}",
+                self.overloaded, self.shed_delta
+            ));
+        }
+        if self.expired != self.expired_delta {
+            return Err(format!(
+                "clients saw {} expiries but the server expired {}",
+                self.expired, self.expired_delta
+            ));
+        }
+        let accounted = self.searches_delta
+            + self.coalesced_delta
+            + self.shed_delta
+            + self.expired_delta
+            + self.injected_failures;
+        if self.misses_delta != accounted {
+            return Err(format!(
+                "load conservation violated: {} misses vs {} accounted \
+                 ({} searched + {} coalesced + {} shed + {} expired + {} injected)",
+                self.misses_delta,
+                accounted,
+                self.searches_delta,
+                self.coalesced_delta,
+                self.shed_delta,
+                self.expired_delta,
+                self.injected_failures
+            ));
+        }
+        if !self.recovered {
+            return Err("query_with_retry never recovered after the burst".into());
+        }
+        if expect_shed && self.overloaded == 0 {
+            return Err("overload run shed nothing — saturation was never reached".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-burst-client outcome tally.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    successes: u64,
+    overloaded: u64,
+    expired: u64,
+    injected: u64,
+    other: u64,
+}
+
+/// Builds `need` functions in pairwise-distinct equivalence classes
+/// (deduped by canonical representative), deterministic in `seed`.
+/// Distinctness is what makes the reconciliation exact: each cold class
+/// is queried once, so no burst miss can coalesce or re-hit the cache.
+fn distinct_class_pool(n: usize, need: usize, max_len: usize, seed: u64) -> Vec<Perm> {
+    let sym = Symmetries::new(n);
+    let lib = GateLib::nct(n);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let mut rng = SplitMix64::new(seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut pool = Vec::with_capacity(need);
+    for _ in 0..need * 100 {
+        if pool.len() == need {
+            break;
+        }
+        let f =
+            Circuit::from_gates((0..max_len).map(|_| gates[rng.next_u64() as usize % gates.len()]))
+                .perm(n);
+        if seen.insert(sym.canonical(f)) {
+            pool.push(f);
+        }
+    }
+    assert_eq!(
+        pool.len(),
+        need,
+        "could not draw {need} distinct classes on {n} wires (seed {seed})"
+    );
+    pool
+}
+
+/// Drives the server into saturation and measures how it degrades.
+///
+/// The server must be configured for the run to mean anything: a
+/// bounded miss queue (`--max-queue`) and injected search latency
+/// (`--fault-search-delay-ms`) slow enough that the burst outruns the
+/// queue, and **no** `--fault-fail-every` unless injected failures are
+/// part of the reconciliation you want. Phases:
+///
+/// 1. warm one class into the cache (one search, must succeed);
+/// 2. burst: `clients` threads each query their own `per_client`
+///    distinct cold classes (with deadlines) while a concurrent thread
+///    issues `hit_requests` warm queries — cache hits must all be
+///    served even though the miss queue is saturated;
+/// 3. snapshot and reconcile counters ([`OverloadReport::verify`]);
+/// 4. recovery: one [`Client::query_with_retry`] must back off through
+///    the drain and succeed.
+///
+/// # Errors
+///
+/// Fails only on setup (connections, stats); per-request outcomes are
+/// tallied in the report.
+pub fn run_overload(
+    addr: SocketAddr,
+    wires: usize,
+    config: &OverloadConfig,
+) -> Result<OverloadReport, ClientError> {
+    let expired_msg = ServeError::Expired.to_string();
+    let baseline = Client::connect(addr)?.stats()?;
+    let start = Instant::now();
+    let need = 2 + config.clients * config.per_client;
+    let pool = distinct_class_pool(wires, need, config.max_len, config.seed);
+    let (warm, recovery, cold) = (pool[0], pool[1], &pool[2..]);
+
+    // Phase 1: the warm class must be cached before saturation begins.
+    {
+        let mut client = Client::connect(addr)?;
+        match client.query(warm) {
+            Ok(circuit) if circuit.perm(wires) == warm => {}
+            Ok(_) => return Err(ClientError::UnexpectedResponse),
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Phase 2: saturation burst + concurrent warm traffic.
+    let barrier = Barrier::new(config.clients + 1);
+    let (tallies, warm_outcome) =
+        std::thread::scope(|scope| -> Result<(Vec<Tally>, (u64, u64)), ClientError> {
+            let burst: Vec<_> = (0..config.clients)
+                .map(|c| {
+                    let barrier = &barrier;
+                    let slice = &cold[c * config.per_client..(c + 1) * config.per_client];
+                    let expired_msg = expired_msg.as_str();
+                    scope.spawn(move || -> Result<Tally, ClientError> {
+                        let mut client = Client::connect(addr)?;
+                        barrier.wait();
+                        let mut tally = Tally::default();
+                        for &f in slice {
+                            match client.query_with_deadline(f, CostKind::Gates, config.deadline_ms)
+                            {
+                                Ok(circuit) if circuit.perm(wires) == f => tally.successes += 1,
+                                Ok(_) => tally.other += 1,
+                                Err(ClientError::Overloaded { .. }) => tally.overloaded += 1,
+                                Err(ClientError::Server(msg)) if msg == expired_msg => {
+                                    tally.expired += 1;
+                                }
+                                Err(ClientError::Server(msg)) if msg.contains(INJECTED_FAILURE) => {
+                                    tally.injected += 1;
+                                }
+                                Err(_) => tally.other += 1,
+                            }
+                        }
+                        Ok(tally)
+                    })
+                })
+                .collect();
+            let warm_thread = scope.spawn(|| -> Result<(u64, u64), ClientError> {
+                let mut client = Client::connect(addr)?;
+                barrier.wait();
+                let (mut hits, mut failures) = (0u64, 0u64);
+                for _ in 0..config.hit_requests {
+                    match client.query(warm) {
+                        Ok(circuit) if circuit.perm(wires) == warm => hits += 1,
+                        _ => failures += 1,
+                    }
+                }
+                Ok((hits, failures))
+            });
+            let tallies = burst
+                .into_iter()
+                .map(|h| h.join().expect("burst client must not panic"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let warm_outcome = warm_thread.join().expect("warm client must not panic")?;
+            Ok((tallies, warm_outcome))
+        })?;
+    let sum = |f: fn(&Tally) -> u64| tallies.iter().map(f).sum::<u64>();
+    let (overloaded, expired, injected) = (
+        sum(|t| t.overloaded),
+        sum(|t| t.expired),
+        sum(|t| t.injected),
+    );
+
+    // Phase 3: the reconciliation snapshot, before recovery retries can
+    // shed (retry absorbs its sheds, which would skew the counts).
+    let mid = Client::connect(addr)?.stats()?;
+
+    // Phase 4: backoff must carry a client through the drain.
+    let recovered = {
+        let mut client = Client::connect(addr)?;
+        let policy = RetryPolicy {
+            attempts: 10,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: config.seed,
+        };
+        matches!(
+            client.query_with_retry(recovery, CostKind::Gates, &policy),
+            Ok(circuit) if circuit.perm(wires) == recovery
+        )
+    };
+
+    let stats = Client::connect(addr)?.stats()?;
+    Ok(OverloadReport {
+        warm_hits: warm_outcome.0,
+        warm_failures: warm_outcome.1,
+        cold_successes: sum(|t| t.successes),
+        overloaded,
+        expired,
+        injected_failures: injected,
+        other_errors: sum(|t| t.other),
+        recovered,
+        seconds: start.elapsed().as_secs_f64(),
+        shed_delta: mid.shed - baseline.shed,
+        expired_delta: mid.expired - baseline.expired,
+        searches_delta: mid.searches - baseline.searches,
+        coalesced_delta: mid.coalesced - baseline.coalesced,
+        misses_delta: mid.cache_misses - baseline.cache_misses,
         stats,
     })
 }

@@ -19,9 +19,14 @@
 //! | `0x03` Shutdown | empty | gracefully stop the server |
 //!
 //! The cost-model byte is [`CostKind::code`] (0 = gates, 1 = quantum,
-//! 2 = depth). A 16-byte query body — the pre-cost-model wire form — is
-//! still accepted and means gate count, so old clients keep working;
-//! any other length or an unknown model byte is a [`ProtocolError`].
+//! 2 = depth). Query bodies come in three compatible lengths: 16 bytes
+//! (the pre-cost-model wire form, meaning gate count), 17 bytes (the
+//! PR4 form with a cost-model byte), or 21 bytes (model byte followed
+//! by a u32 LE **deadline** in milliseconds — the client's total
+//! latency budget for this request; the server expires the work instead
+//! of running a search whose answer nobody is waiting for). Old clients
+//! keep working; any other length or an unknown model byte is a
+//! [`ProtocolError`].
 //!
 //! Responses:
 //!
@@ -29,8 +34,9 @@
 //! |---|---|---|
 //! | `0x80` Circuit | u16 LE gate count, then 1 B per gate | the optimal circuit |
 //! | `0x81` Error | UTF-8 message | request-level failure |
-//! | `0x82` Stats | 13 × u64 LE | [`ServeStats`] snapshot |
+//! | `0x82` Stats | 17 × u64 LE | [`ServeStats`] snapshot |
 //! | `0x83` ShuttingDown | empty | shutdown acknowledged |
+//! | `0x84` Overloaded | u32 LE retry-after ms | load shed: retry later with backoff |
 //!
 //! Gates use the same 1-byte encoding as the table store:
 //! `(controls << 2) | target` with bit 7 clear. Decoding validates
@@ -62,13 +68,16 @@ const OP_CIRCUIT: u8 = 0x80;
 const OP_ERROR: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTTING_DOWN: u8 = 0x83;
+const OP_OVERLOADED: u8 = 0x84;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Synthesize a cost-minimal circuit for this permutation under the
-    /// given cost model.
-    Query(Perm, CostKind),
+    /// given cost model, optionally bounded by a deadline (milliseconds
+    /// of total latency budget; `None` means the client waits
+    /// indefinitely, the pre-deadline wire forms).
+    Query(Perm, CostKind, Option<u32>),
     /// Snapshot the server's [`ServeStats`].
     Stats,
     /// Stop the server gracefully.
@@ -87,6 +96,14 @@ pub enum Response {
     Stats(ServeStats),
     /// Acknowledges a shutdown request; the server closes afterwards.
     ShuttingDown,
+    /// The request was shed at admission (miss queue or connection
+    /// limit); the client should back off and retry after the given
+    /// hint. Cache hits are still served — only work that would queue
+    /// is refused.
+    Overloaded {
+        /// Server's backoff hint, milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// Error raised while reading or decoding protocol traffic.
@@ -273,15 +290,25 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
 #[must_use]
 pub fn encode_request(request: &Request) -> Vec<u8> {
     match request {
-        Request::Query(f, kind) => {
-            let mut payload = Vec::with_capacity(18);
+        Request::Query(f, kind, deadline_ms) => {
+            let mut payload = Vec::with_capacity(22);
             payload.push(OP_QUERY);
             payload.extend_from_slice(&f.values());
-            // Gate count keeps the legacy 16-byte body (wire-compatible
-            // with pre-cost-model clients); other models append their
-            // discriminant byte.
-            if *kind != CostKind::Gates {
-                payload.push(kind.code());
+            match deadline_ms {
+                // Gate count keeps the legacy 16-byte body
+                // (wire-compatible with pre-cost-model clients); other
+                // models append their discriminant byte.
+                None => {
+                    if *kind != CostKind::Gates {
+                        payload.push(kind.code());
+                    }
+                }
+                // A deadline always carries the model byte so the body
+                // length alone disambiguates the three forms.
+                Some(ms) => {
+                    payload.push(kind.code());
+                    payload.extend_from_slice(&ms.to_le_bytes());
+                }
             }
             payload
         }
@@ -302,20 +329,27 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         .ok_or(ProtocolError::BadBody("empty payload".into()))?;
     match op {
         OP_QUERY => {
-            let kind = match body.len() {
-                16 => CostKind::Gates, // legacy body form
-                17 => CostKind::from_code(body[16]).ok_or_else(|| {
-                    ProtocolError::BadBody(format!("unknown cost model byte {:#04x}", body[16]))
-                })?,
+            let model_of = |byte: u8| {
+                CostKind::from_code(byte).ok_or_else(|| {
+                    ProtocolError::BadBody(format!("unknown cost model byte {byte:#04x}"))
+                })
+            };
+            let (kind, deadline_ms) = match body.len() {
+                16 => (CostKind::Gates, None), // legacy body form
+                17 => (model_of(body[16])?, None),
+                21 => {
+                    let ms = u32::from_le_bytes(body[17..21].try_into().expect("4 deadline bytes"));
+                    (model_of(body[16])?, Some(ms))
+                }
                 other => {
                     return Err(ProtocolError::BadBody(format!(
-                        "query body is {other} bytes, expected 16 or 17"
+                        "query body is {other} bytes, expected 16, 17 or 21"
                     )))
                 }
             };
             let perm = Perm::from_values(&body[..16])
                 .map_err(|e| ProtocolError::BadBody(format!("query permutation: {e}")))?;
-            Ok(Request::Query(perm, kind))
+            Ok(Request::Query(perm, kind, deadline_ms))
         }
         OP_STATS if body.is_empty() => Ok(Request::Stats),
         OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
@@ -356,6 +390,12 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             payload
         }
         Response::ShuttingDown => vec![OP_SHUTTING_DOWN],
+        Response::Overloaded { retry_after_ms } => {
+            let mut payload = Vec::with_capacity(5);
+            payload.push(OP_OVERLOADED);
+            payload.extend_from_slice(&retry_after_ms.to_le_bytes());
+            payload
+        }
     }
 }
 
@@ -421,6 +461,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         OP_SHUTTING_DOWN => Err(ProtocolError::BadBody(
             "shutdown acknowledgement takes no body".into(),
         )),
+        OP_OVERLOADED => {
+            let bytes: [u8; 4] = body.try_into().map_err(|_| {
+                ProtocolError::BadBody(format!(
+                    "overloaded body is {} bytes, expected 4",
+                    body.len()
+                ))
+            })?;
+            Ok(Response::Overloaded {
+                retry_after_ms: u32::from_le_bytes(bytes),
+            })
+        }
         other => Err(ProtocolError::BadOpcode(other)),
     }
 }
@@ -433,9 +484,12 @@ mod tests {
     fn request_roundtrips() {
         let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
         for req in [
-            Request::Query(f, CostKind::Gates),
-            Request::Query(f, CostKind::Quantum),
-            Request::Query(f, CostKind::Depth),
+            Request::Query(f, CostKind::Gates, None),
+            Request::Query(f, CostKind::Quantum, None),
+            Request::Query(f, CostKind::Depth, None),
+            Request::Query(f, CostKind::Gates, Some(0)),
+            Request::Query(f, CostKind::Quantum, Some(1_500)),
+            Request::Query(f, CostKind::Depth, Some(u32::MAX)),
             Request::Stats,
             Request::Shutdown,
         ] {
@@ -445,13 +499,47 @@ mod tests {
         // The gates encoding stays byte-identical to the pre-cost-model
         // protocol: 16-byte body, no model byte.
         assert_eq!(
-            encode_request(&Request::Query(f, CostKind::Gates)).len(),
+            encode_request(&Request::Query(f, CostKind::Gates, None)).len(),
             17
         );
         assert_eq!(
-            encode_request(&Request::Query(f, CostKind::Quantum)).len(),
+            encode_request(&Request::Query(f, CostKind::Quantum, None)).len(),
             18
         );
+        // A deadline always carries the model byte: 1 opcode + 16 perm +
+        // 1 model + 4 deadline.
+        assert_eq!(
+            encode_request(&Request::Query(f, CostKind::Gates, Some(250))).len(),
+            22
+        );
+    }
+
+    #[test]
+    fn deadline_decoding_is_length_disambiguated() {
+        let id: Vec<u8> = (0..16).collect();
+        // 21-byte body: model byte + 4-byte LE deadline.
+        let mut payload = vec![OP_QUERY];
+        payload.extend_from_slice(&id);
+        payload.push(CostKind::Depth.code());
+        payload.extend_from_slice(&750u32.to_le_bytes());
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            Request::Query(Perm::identity(), CostKind::Depth, Some(750))
+        );
+        // A 21-byte body still validates its model byte (payload index
+        // 17: opcode + 16 permutation values).
+        payload[17] = 0xEE;
+        assert!(matches!(
+            decode_request(&payload).unwrap_err(),
+            ProtocolError::BadBody(_)
+        ));
+        // Lengths between/around the three valid forms are rejected.
+        for len in [18usize, 19, 20, 22] {
+            let mut bad = vec![OP_QUERY];
+            bad.extend_from_slice(&id);
+            bad.extend(std::iter::repeat_n(0u8, len - 16));
+            assert!(decode_request(&bad).is_err(), "body length {len}");
+        }
     }
 
     #[test]
@@ -472,6 +560,9 @@ mod tests {
             cache_capacity: 64,
             p50_latency_us: 12,
             p99_latency_us: 900,
+            shed: 5,
+            expired: 2,
+            shed_conns: 1,
         };
         for resp in [
             Response::Circuit(circuit),
@@ -479,9 +570,22 @@ mod tests {
             Response::Error("no circuit with at most 6 gates".into()),
             Response::Stats(stats),
             Response::ShuttingDown,
+            Response::Overloaded { retry_after_ms: 0 },
+            Response::Overloaded {
+                retry_after_ms: 250,
+            },
+            Response::Overloaded {
+                retry_after_ms: u32::MAX,
+            },
         ] {
             let payload = encode_response(&resp);
             assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
+        // Malformed overloaded bodies are rejected, not zero-filled.
+        for len in [0usize, 3, 5, 8] {
+            let mut bad = vec![OP_OVERLOADED];
+            bad.extend(std::iter::repeat_n(0u8, len));
+            assert!(decode_response(&bad).is_err(), "body length {len}");
         }
     }
 
@@ -674,7 +778,7 @@ mod tests {
         payload.extend_from_slice(&id);
         assert!(matches!(
             decode_request(&payload).unwrap(),
-            Request::Query(_, CostKind::Gates)
+            Request::Query(_, CostKind::Gates, None)
         ));
     }
 }

@@ -19,6 +19,23 @@
 //! arriving at any point either hits the cache or finds the in-flight
 //! ticket — no ordering window re-runs a finished search.
 //!
+//! **Overload control** (the robustness substrate under the planet-scale
+//! rewrite): the miss queue is bounded per cost model
+//! ([`SchedulerOptions::max_queue`]). A miss for a class already in
+//! flight *always* attaches to its ticket — coalescing costs no queue
+//! slot — but a miss that would enqueue new work when that model's queue
+//! is full is rejected at admission with [`ServeError::Overloaded`]
+//! (carrying a retry hint), before any state is allocated. Requests may
+//! carry a deadline; a queued ticket whose deadline has already passed
+//! when a worker drains it is expired with [`ServeError::Expired`] —
+//! the search is never started, so saturation sheds *future* work
+//! instead of finishing work nobody is waiting for. Sheds and expiries
+//! are counted per cost model in [`SchedulerCounters`].
+//!
+//! An optional [`FaultPlan`] injects per-search latency and forced
+//! failures at this boundary, deterministically, so tests can drive the
+//! scheduler into saturation and reconcile every counter.
+//!
 //! Shutdown is graceful: workers finish the batch they are searching,
 //! still-queued representatives are answered with
 //! [`ServeError::ShuttingDown`], and `shutdown` joins every worker.
@@ -31,13 +48,18 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use revsynth_circuit::{Circuit, CostKind};
 use revsynth_core::{SearchOptions, SynthesisSuite};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
+use crate::fault::{FaultPlan, INJECTED_FAILURE};
+
+/// Number of cost models (the per-model accounting arrays are indexed
+/// by [`CostKind::code`]).
+const MODELS: usize = CostKind::ALL.len();
 
 /// Request-level failure reported to a waiting client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +71,16 @@ pub enum ServeError {
     Synthesis(String),
     /// The server is shutting down; the search was not performed.
     ShuttingDown,
+    /// The miss queue for this cost model is full; the request was shed
+    /// at admission (no search was queued). Retry after the hint, with
+    /// backoff.
+    Overloaded {
+        /// Suggested wait before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The request's deadline passed before a worker reached its
+    /// ticket; the search was never started.
+    Expired,
 }
 
 impl fmt::Display for ServeError {
@@ -56,6 +88,12 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Synthesis(msg) => write!(f, "{msg}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
+            ServeError::Expired => {
+                write!(f, "deadline expired before the search started")
+            }
         }
     }
 }
@@ -96,29 +134,58 @@ impl Ticket {
     }
 }
 
+/// One queued class search awaiting a worker.
+struct Pending {
+    kind: CostKind,
+    rep: Perm,
+    /// Latest instant at which starting the search is still useful; a
+    /// worker reaching the entry after this expires it unsearched.
+    deadline: Option<Instant>,
+}
+
 /// Queue state under the scheduler mutex.
 struct QueueState {
-    /// `(cost model, representative)` pairs waiting for a worker, in
-    /// arrival order.
-    pending: Vec<(CostKind, Perm)>,
+    /// Class searches waiting for a worker, in arrival order.
+    pending: Vec<Pending>,
     /// Every `(model, rep)` with an unresolved ticket (queued *or*
     /// mid-search), keyed by model discriminant + packed representative.
     inflight: HashMap<(u8, u64), Arc<Ticket>>,
+    /// Pending-queue occupancy per cost model (what `max_queue` bounds;
+    /// in-flight-but-draining searches no longer hold a slot).
+    queued: [usize; MODELS],
     shutdown: bool,
+}
+
+/// Tuning and overload-control knobs for [`Scheduler::with_options`].
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerOptions {
+    /// Group-commit window: how long a worker waits after the first
+    /// queued miss before draining, letting near-simultaneous misses
+    /// join the batch. Zero (the default) = drain immediately.
+    pub linger: Duration,
+    /// Maximum queued (not yet drained) searches **per cost model**;
+    /// admission of a new class search beyond this is refused with
+    /// [`ServeError::Overloaded`]. `0` (the default) = unbounded.
+    /// Coalescing onto an in-flight ticket never consumes a slot and is
+    /// never refused.
+    pub max_queue: usize,
+    /// The retry hint carried by [`ServeError::Overloaded`],
+    /// milliseconds.
+    pub retry_after_ms: u32,
+    /// Deterministic fault injection at the search boundary (tests,
+    /// chaos runs); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 struct Inner {
     suite: Arc<SynthesisSuite>,
     cache: Arc<ClassCache>,
     search: SearchOptions,
-    /// Group-commit window: how long a worker waits after the first
-    /// queued miss before draining, letting near-simultaneous misses
-    /// join the batch (same class → coalesce; different classes → one
-    /// bigger `synthesize_many` call). Zero = drain immediately.
-    linger: Duration,
+    options: SchedulerOptions,
     queue: Mutex<QueueState>,
     work_ready: Condvar,
-    /// Class representatives actually submitted to the synthesizer.
+    /// Class representatives actually submitted to the synthesizer
+    /// (shed, expired, and plan-failed entries never count).
     searches: AtomicU64,
     /// Batches drained by workers.
     batches: AtomicU64,
@@ -126,6 +193,10 @@ struct Inner {
     max_batch: AtomicU64,
     /// Misses that attached to an existing in-flight ticket.
     coalesced: AtomicU64,
+    /// Admissions refused because the model's queue was full.
+    shed: [AtomicU64; MODELS],
+    /// Queued searches expired (deadline passed) before being started.
+    expired: [AtomicU64; MODELS],
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -152,6 +223,25 @@ pub struct SchedulerCounters {
     pub max_batch: u64,
     /// Requests coalesced onto an in-flight search.
     pub coalesced: u64,
+    /// Admissions refused (queue full), indexed by [`CostKind::code`].
+    pub shed: [u64; MODELS],
+    /// Deadline expiries before search start, indexed by
+    /// [`CostKind::code`].
+    pub expired: [u64; MODELS],
+}
+
+impl SchedulerCounters {
+    /// Total sheds across cost models.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Total deadline expiries across cost models.
+    #[must_use]
+    pub fn expired_total(&self) -> u64 {
+        self.expired.iter().sum()
+    }
 }
 
 impl Scheduler {
@@ -190,15 +280,43 @@ impl Scheduler {
         search: SearchOptions,
         linger: Duration,
     ) -> Self {
+        Self::with_options(
+            suite,
+            cache,
+            workers,
+            search,
+            SchedulerOptions {
+                linger,
+                ..SchedulerOptions::default()
+            },
+        )
+    }
+
+    /// The full-control constructor: [`with_linger`](Self::with_linger)
+    /// plus the overload-control and fault-injection knobs in
+    /// [`SchedulerOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn with_options(
+        suite: Arc<SynthesisSuite>,
+        cache: Arc<ClassCache>,
+        workers: usize,
+        search: SearchOptions,
+        options: SchedulerOptions,
+    ) -> Self {
         assert!(workers > 0, "need at least one scheduler worker");
         let inner = Arc::new(Inner {
             suite,
             cache,
             search,
-            linger,
+            options,
             queue: Mutex::new(QueueState {
                 pending: Vec::new(),
                 inflight: HashMap::new(),
+                queued: [0; MODELS],
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
@@ -206,6 +324,8 @@ impl Scheduler {
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            shed: std::array::from_fn(|_| AtomicU64::new(0)),
+            expired: std::array::from_fn(|_| AtomicU64::new(0)),
         });
         let workers = (0..workers)
             .map(|_| {
@@ -229,9 +349,32 @@ impl Scheduler {
     /// # Errors
     ///
     /// [`ServeError::Synthesis`] when the synthesizer cannot answer,
-    /// [`ServeError::ShuttingDown`] when the scheduler is stopping.
+    /// [`ServeError::ShuttingDown`] when the scheduler is stopping,
+    /// [`ServeError::Overloaded`] when the model's miss queue is full.
     pub fn request(&self, kind: CostKind, rep: Perm) -> Result<Circuit, ServeError> {
+        self.request_with_deadline(kind, rep, None)
+    }
+
+    /// [`request`](Self::request) with an optional deadline: if the
+    /// deadline passes before a worker starts the search, the request is
+    /// answered with [`ServeError::Expired`] and the search is never
+    /// run. A deadline that is already in the past is expired at
+    /// admission. Coalescing ignores deadlines — an attached waiter
+    /// rides the in-flight search however long it takes (the search is
+    /// already paid for).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`request`](Self::request) returns, plus
+    /// [`ServeError::Expired`].
+    pub fn request_with_deadline(
+        &self,
+        kind: CostKind,
+        rep: Perm,
+        deadline: Option<Instant>,
+    ) -> Result<Circuit, ServeError> {
         let key = (kind.code(), rep.packed());
+        let model = kind.code() as usize;
         let ticket = {
             let mut q = lock(&self.inner.queue);
             if q.shutdown {
@@ -251,9 +394,27 @@ impl Scheduler {
                     if let Some(circuit) = self.inner.cache.get_quiet(kind, rep) {
                         return Ok(circuit);
                     }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        self.inner.expired[model].fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Expired);
+                    }
+                    // Admission control, after the coalesce/cache paths:
+                    // only *new* search work can be shed.
+                    let max = self.inner.options.max_queue;
+                    if max > 0 && q.queued[model] >= max {
+                        self.inner.shed[model].fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Overloaded {
+                            retry_after_ms: self.inner.options.retry_after_ms,
+                        });
+                    }
                     let ticket = Arc::new(Ticket::new());
                     q.inflight.insert(key, Arc::clone(&ticket));
-                    q.pending.push((kind, rep));
+                    q.pending.push(Pending {
+                        kind,
+                        rep,
+                        deadline,
+                    });
+                    q.queued[model] += 1;
                     self.inner.work_ready.notify_one();
                     ticket
                 }
@@ -270,6 +431,16 @@ impl Scheduler {
             batches: self.inner.batches.load(Ordering::Relaxed),
             max_batch: self.inner.max_batch.load(Ordering::Relaxed),
             coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            shed: self
+                .inner
+                .shed
+                .each_ref()
+                .map(|c| c.load(Ordering::Relaxed)),
+            expired: self
+                .inner
+                .expired
+                .each_ref()
+                .map(|c| c.load(Ordering::Relaxed)),
         }
     }
 
@@ -281,9 +452,10 @@ impl Scheduler {
         {
             let mut q = lock(&self.inner.queue);
             q.shutdown = true;
+            q.queued = [0; MODELS];
             // Fail the not-yet-started searches so their waiters wake.
-            for (kind, rep) in std::mem::take(&mut q.pending) {
-                if let Some(ticket) = q.inflight.remove(&(kind.code(), rep.packed())) {
+            for entry in std::mem::take(&mut q.pending) {
+                if let Some(ticket) = q.inflight.remove(&(entry.kind.code(), entry.rep.packed())) {
                     ticket.fulfill(Err(ServeError::ShuttingDown));
                 }
             }
@@ -330,15 +502,62 @@ fn worker_loop(inner: &Inner) {
         // pile into this batch (the queued reps stay in `inflight`, so
         // same-class arrivals during the window attach to their
         // tickets). The lock is NOT held while lingering.
-        if !inner.linger.is_zero() {
-            std::thread::sleep(inner.linger);
+        if !inner.options.linger.is_zero() {
+            std::thread::sleep(inner.options.linger);
         }
-        let batch: Vec<(CostKind, Perm)> = {
+        let drained: Vec<Pending> = {
             let mut q = lock(&inner.queue);
+            // The whole pending queue moves out, so every model's
+            // occupancy drops to zero — drained searches no longer hold
+            // admission slots (they are committed work now).
+            q.queued = [0; MODELS];
             std::mem::take(&mut q.pending)
         };
-        if batch.is_empty() {
+        if drained.is_empty() {
             // Another worker drained the queue during our linger.
+            continue;
+        }
+
+        // Expire-before-search: a drained entry whose deadline already
+        // passed is answered `Expired` without ever reaching the
+        // synthesizer — under saturation this is the difference between
+        // shedding future work and finishing work nobody is waiting for.
+        let now = Instant::now();
+        let mut batch: Vec<Pending> = Vec::with_capacity(drained.len());
+        for entry in drained {
+            if entry.deadline.is_some_and(|d| now >= d) {
+                inner.expired[entry.kind.code() as usize].fetch_add(1, Ordering::Relaxed);
+                resolve(inner, entry.kind, entry.rep, Err(ServeError::Expired));
+            } else {
+                batch.push(entry);
+            }
+        }
+
+        // Fault injection at the search boundary: plan-failed entries
+        // are answered without running (and without counting as
+        // searches); plan-delayed entries model a slow synthesizer by
+        // sleeping per search before the batch is submitted.
+        if let Some(plan) = inner.options.faults.as_deref() {
+            let mut kept: Vec<Pending> = Vec::with_capacity(batch.len());
+            for entry in batch {
+                let fault = plan.next_search();
+                if fault.fail {
+                    resolve(
+                        inner,
+                        entry.kind,
+                        entry.rep,
+                        Err(ServeError::Synthesis(INJECTED_FAILURE.to_string())),
+                    );
+                    continue;
+                }
+                if let Some(delay) = fault.delay {
+                    std::thread::sleep(delay);
+                }
+                kept.push(entry);
+            }
+            batch = kept;
+        }
+        if batch.is_empty() {
             continue;
         }
 
@@ -355,8 +574,8 @@ fn worker_loop(inner: &Inner) {
         for kind in CostKind::ALL {
             let reps: Vec<Perm> = batch
                 .iter()
-                .filter(|(k, _)| *k == kind)
-                .map(|&(_, rep)| rep)
+                .filter(|e| e.kind == kind)
+                .map(|e| e.rep)
                 .collect();
             if reps.is_empty() {
                 continue;
@@ -373,14 +592,21 @@ fn worker_loop(inner: &Inner) {
                     }
                     Err(e) => Err(ServeError::Synthesis(e.to_string())),
                 };
-                let ticket = lock(&inner.queue)
-                    .inflight
-                    .remove(&(kind.code(), rep.packed()));
-                if let Some(ticket) = ticket {
-                    ticket.fulfill(outcome);
-                }
+                resolve(inner, kind, *rep, outcome);
             }
         }
+    }
+}
+
+/// Removes the `(kind, rep)` in-flight ticket and wakes its waiters
+/// with `outcome`. (For successes the cache insert has already
+/// happened — see the module docs on the no-rerun ordering.)
+fn resolve(inner: &Inner, kind: CostKind, rep: Perm, outcome: Result<Circuit, ServeError>) {
+    let ticket = lock(&inner.queue)
+        .inflight
+        .remove(&(kind.code(), rep.packed()));
+    if let Some(ticket) = ticket {
+        ticket.fulfill(outcome);
     }
 }
 
@@ -631,6 +857,147 @@ mod tests {
         assert_eq!(counters.coalesced, 0, "kinds never share a ticket");
         assert!(cache.get_quiet(CostKind::Gates, rep).is_some());
         assert!(cache.get_quiet(CostKind::Quantum, rep).is_some());
+        sched.shutdown();
+    }
+
+    /// A scheduler whose single worker is slowed by `plan`, with the
+    /// given per-model queue bound.
+    fn chaos_scheduler(plan: Arc<FaultPlan>, max_queue: usize) -> (Scheduler, Arc<SynthesisSuite>) {
+        let suite = Arc::new(test_suite());
+        let sched = Scheduler::with_options(
+            Arc::clone(&suite),
+            Arc::new(ClassCache::new(256)),
+            1,
+            SearchOptions::new().threads(1),
+            SchedulerOptions {
+                max_queue,
+                retry_after_ms: 42,
+                faults: Some(plan),
+                ..SchedulerOptions::default()
+            },
+        );
+        (sched, suite)
+    }
+
+    /// Distinct class representatives, deterministic order.
+    fn class_reps(suite: &SynthesisSuite, n: usize) -> Vec<Perm> {
+        let sym = suite.sym();
+        let reps: Vec<Perm> = GateLib::nct(4)
+            .iter()
+            .map(|(_, _, p)| sym.canonical(p))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .take(n)
+            .collect();
+        assert_eq!(reps.len(), n, "gate library has too few classes");
+        reps
+    }
+
+    #[test]
+    fn full_queue_sheds_new_classes_but_still_coalesces() {
+        // Pinned seed; the 400 ms injected search latency keeps the lone
+        // worker busy while the bounded queue fills behind it.
+        let plan = Arc::new(FaultPlan::new(0xC4A0).with_search_delay(Duration::from_millis(400)));
+        let (sched, suite) = chaos_scheduler(Arc::clone(&plan), 1);
+        let reps = class_reps(&suite, 3);
+        let (first, queued, refused) = (reps[0], reps[1], reps[2]);
+        let sched_ref = &sched;
+        std::thread::scope(|scope| {
+            let a = scope.spawn(move || sched_ref.request(CostKind::Gates, first));
+            // Let the worker drain `first` and start its injected delay.
+            std::thread::sleep(Duration::from_millis(100));
+            let b = scope.spawn(move || sched_ref.request(CostKind::Gates, queued));
+            std::thread::sleep(Duration::from_millis(100));
+            // Queue holds `queued` (1/1): a third class is shed with the
+            // configured hint...
+            assert_eq!(
+                sched_ref.request(CostKind::Gates, refused),
+                Err(ServeError::Overloaded { retry_after_ms: 42 })
+            );
+            // ...a *different model* has its own empty queue and admits...
+            let c = scope.spawn(move || sched_ref.request(CostKind::Quantum, refused));
+            // ...and coalescing onto the in-flight first search needs no
+            // slot, so it must succeed even now.
+            let a2 = scope.spawn(move || sched_ref.request(CostKind::Gates, first));
+            assert!(a.join().unwrap().is_ok());
+            assert!(a2.join().unwrap().is_ok());
+            assert!(b.join().unwrap().is_ok());
+            assert!(c.join().unwrap().is_ok());
+        });
+        let counters = sched.counters();
+        assert_eq!(counters.shed[CostKind::Gates.code() as usize], 1);
+        assert_eq!(counters.shed_total(), 1, "only the gates queue shed");
+        assert!(counters.coalesced >= 1, "{counters:?}");
+        assert_eq!(
+            counters.searches, 3,
+            "shed and coalesced requests never searched"
+        );
+        assert_eq!(counters.searches, plan.injected().delays, "plan reconciles");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn deadline_expires_before_search_under_injected_latency() {
+        let plan = Arc::new(FaultPlan::new(0xDEAD).with_search_delay(Duration::from_millis(300)));
+        let (sched, suite) = chaos_scheduler(Arc::clone(&plan), 0);
+        let reps = class_reps(&suite, 2);
+        let sched_ref = &sched;
+        std::thread::scope(|scope| {
+            let first = reps[0];
+            let a = scope.spawn(move || sched_ref.request(CostKind::Gates, first));
+            std::thread::sleep(Duration::from_millis(100));
+            // Queued behind a 300 ms search with only 50 ms of budget:
+            // a worker reaches the ticket after the deadline and must
+            // answer Expired without searching.
+            let doomed = reps[1];
+            let deadline = Instant::now() + Duration::from_millis(50);
+            assert_eq!(
+                sched_ref.request_with_deadline(CostKind::Gates, doomed, Some(deadline)),
+                Err(ServeError::Expired)
+            );
+            assert!(a.join().unwrap().is_ok());
+        });
+        // An already-past deadline is expired at admission, before any
+        // queue slot is taken.
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            sched.request_with_deadline(CostKind::Gates, reps[1], Some(past)),
+            Err(ServeError::Expired)
+        );
+        let counters = sched.counters();
+        assert_eq!(counters.expired[CostKind::Gates.code() as usize], 2);
+        assert_eq!(
+            counters.searches, 1,
+            "expired tickets never reach the engine"
+        );
+        assert_eq!(plan.injected().delays, 1, "one search was delayed");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn injected_failures_are_reported_and_never_cached() {
+        let plan = Arc::new(FaultPlan::new(7).with_fail_every(1));
+        let suite = Arc::new(test_suite());
+        let cache = Arc::new(ClassCache::new(256));
+        let sched = Scheduler::with_options(
+            Arc::clone(&suite),
+            Arc::clone(&cache),
+            1,
+            SearchOptions::new().threads(1),
+            SchedulerOptions {
+                faults: Some(Arc::clone(&plan)),
+                ..SchedulerOptions::default()
+            },
+        );
+        let rep = class_reps(&suite, 1)[0];
+        match sched.request(CostKind::Gates, rep) {
+            Err(ServeError::Synthesis(msg)) => assert!(msg.contains(INJECTED_FAILURE), "{msg}"),
+            other => panic!("expected injected failure, got {other:?}"),
+        }
+        assert!(cache.get_quiet(CostKind::Gates, rep).is_none());
+        let counters = sched.counters();
+        assert_eq!(counters.searches, 0, "plan-failed searches never run");
+        assert_eq!(plan.injected().failures, 1);
         sched.shutdown();
     }
 }

@@ -38,8 +38,9 @@ use revsynth_core::{SearchOptions, SynthesisSuite};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
+use crate::fault::FaultPlan;
 use crate::protocol::{self, write_frame, FrameReader, Request, Response};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SchedulerOptions, ServeError};
 use crate::stats::{LatencyHistogram, ServeStats};
 
 /// How often an idle connection handler re-checks the shutdown flag.
@@ -65,11 +66,28 @@ pub struct ServerConfig {
     /// (the default) drains immediately — lowest cold latency, batches
     /// only form under genuine queueing.
     pub batch_linger: Duration,
+    /// Maximum queued (not yet drained) class searches per cost model;
+    /// misses beyond this are shed with an `Overloaded` frame instead
+    /// of queueing unboundedly. `0` (the default) = unbounded. Cache
+    /// hits are unaffected — the warm path keeps serving at any queue
+    /// depth.
+    pub max_queue: usize,
+    /// Maximum concurrently served connections; accepts beyond this are
+    /// answered with one serialized `Overloaded` frame and closed, so
+    /// the handler list cannot grow without bound. `0` (the default) =
+    /// unbounded.
+    pub max_conns: usize,
+    /// The retry hint carried by `Overloaded` responses, milliseconds.
+    pub retry_after_ms: u32,
+    /// Deterministic fault injection at the scheduler's search boundary
+    /// (chaos tests, `loadgen --overload`); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
-    /// One worker, a 64k-class cache, serial searches, no linger, an
-    /// ephemeral port.
+    /// One worker, a 64k-class cache, serial searches, no linger,
+    /// unbounded queue and connections, a 100 ms retry hint, no fault
+    /// injection, an ephemeral port.
     fn default() -> Self {
         ServerConfig {
             port: 0,
@@ -77,6 +95,10 @@ impl Default for ServerConfig {
             cache_capacity: 1 << 16,
             search: SearchOptions::new().threads(1),
             batch_linger: Duration::ZERO,
+            max_queue: 0,
+            max_conns: 0,
+            retry_after_ms: 100,
+            faults: None,
         }
     }
 }
@@ -88,6 +110,8 @@ struct Shared {
     scheduler: Scheduler,
     requests: AtomicU64,
     errors: AtomicU64,
+    shed_conns: AtomicU64,
+    retry_after_ms: u32,
     latency: LatencyHistogram,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -112,6 +136,9 @@ impl Shared {
             cache_capacity: cache.capacity,
             p50_latency_us: self.latency.quantile(0.5),
             p99_latency_us: self.latency.quantile(0.99),
+            shed: sched.shed_total(),
+            expired: sched.expired_total(),
+            shed_conns: self.shed_conns.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +147,7 @@ impl Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    max_conns: usize,
 }
 
 /// Handle to a server running on a background thread
@@ -164,21 +192,29 @@ impl Server {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let cache = Arc::new(ClassCache::new(config.cache_capacity));
-        let scheduler = Scheduler::with_linger(
+        let scheduler = Scheduler::with_options(
             Arc::clone(&suite),
             Arc::clone(&cache),
             config.workers,
             config.search,
-            config.batch_linger,
+            SchedulerOptions {
+                linger: config.batch_linger,
+                max_queue: config.max_queue,
+                retry_after_ms: config.retry_after_ms,
+                faults: config.faults.clone(),
+            },
         );
         Ok(Server {
             listener,
+            max_conns: config.max_conns,
             shared: Arc::new(Shared {
                 suite,
                 cache,
                 scheduler,
                 requests: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                shed_conns: AtomicU64::new(0),
+                retry_after_ms: config.retry_after_ms,
                 latency: LatencyHistogram::new(),
                 shutdown: AtomicBool::new(false),
                 addr,
@@ -201,7 +237,11 @@ impl Server {
     /// Propagates accept-loop I/O failures (per-connection errors are
     /// contained in their handlers).
     pub fn run(self) -> io::Result<ServeStats> {
-        let Server { listener, shared } = self;
+        let Server {
+            listener,
+            shared,
+            max_conns,
+        } = self;
         // Only the accept loop touches this list; handlers are joined
         // after the loop exits.
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
@@ -216,16 +256,32 @@ impl Server {
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                 Err(e) => return Err(e),
             };
+            // Reap finished handlers so long-running servers don't
+            // accumulate join handles — and JOIN them, so a handler
+            // panic is observed (counted as an error) instead of being
+            // silently discarded with the handle.
+            let mut running = Vec::with_capacity(handlers.len());
+            for handle in handlers {
+                if handle.is_finished() {
+                    join_handler(&shared, handle);
+                } else {
+                    running.push(handle);
+                }
+            }
+            handlers = running;
+            // The connection cap is enforced after reaping, so finished
+            // handlers always free their slots first.
+            if max_conns > 0 && handlers.len() >= max_conns {
+                shed_connection(&shared, stream);
+                continue;
+            }
             let shared = Arc::clone(&shared);
             handlers.push(std::thread::spawn(move || {
                 handle_connection(&shared, stream)
             }));
-            // Reap finished handlers so long-running servers don't
-            // accumulate join handles.
-            handlers.retain(|h| !h.is_finished());
         }
         for handle in handlers {
-            let _ = handle.join();
+            join_handler(&shared, handle);
         }
         shared.scheduler.shutdown();
         Ok(shared.snapshot())
@@ -241,6 +297,31 @@ impl Server {
             thread: std::thread::spawn(move || self.run()),
         }
     }
+}
+
+/// Joins a handler thread, counting a panic as a server error (a
+/// handler must never panic on client bytes; if one does, the counter
+/// makes it visible instead of vanishing with the handle).
+fn join_handler(shared: &Shared, handle: JoinHandle<()>) {
+    if handle.join().is_err() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Sheds one accepted connection at the cap: writes a single serialized
+/// `Overloaded` frame (bounded by a write timeout so a glacial peer
+/// cannot stall the accept loop) and closes the socket.
+fn shed_connection(shared: &Shared, stream: TcpStream) {
+    shared.shed_conns.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut writer = io::BufWriter::new(stream);
+    let _ = write_frame(
+        &mut writer,
+        &protocol::encode_response(&Response::Overloaded {
+            retry_after_ms: shared.retry_after_ms,
+        }),
+    );
 }
 
 /// Serves one connection until the peer hangs up, a fatal protocol
@@ -293,10 +374,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         let response = match request {
-            Request::Query(f, kind) => {
+            Request::Query(f, kind, deadline_ms) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let start = Instant::now();
-                let response = answer_query(shared, f, kind);
+                // The deadline clock starts when the frame is decoded —
+                // the budget covers queueing and search, not network
+                // transit.
+                let deadline = deadline_ms.map(|ms| start + Duration::from_millis(u64::from(ms)));
+                let response = answer_query(shared, f, kind, deadline);
                 let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 shared.latency.record(elapsed);
                 if matches!(response, Response::Error(_)) {
@@ -325,7 +410,12 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 /// serves every model (all three cost kinds are class functions), and
 /// witness replay is cost-preserving under all of them, so the warm
 /// path is model-independent work plus a model-tagged cache key.
-fn answer_query(shared: &Shared, f: Perm, kind: CostKind) -> Response {
+///
+/// The cache lookup runs *before* admission control ever gets a say:
+/// that ordering is the graceful-degradation contract — a saturated
+/// miss queue sheds new searches while cache hits keep being answered
+/// at full speed.
+fn answer_query(shared: &Shared, f: Perm, kind: CostKind, deadline: Option<Instant>) -> Response {
     let n = shared.suite.wires();
     for x in (1u8 << n)..16 {
         if f.apply(x) != x {
@@ -337,8 +427,14 @@ fn answer_query(shared: &Shared, f: Perm, kind: CostKind) -> Response {
     let w = shared.suite.sym().canonicalize(f);
     let rep_circuit = match shared.cache.get(kind, w.rep) {
         Some(circuit) => circuit,
-        None => match shared.scheduler.request(kind, w.rep) {
+        None => match shared
+            .scheduler
+            .request_with_deadline(kind, w.rep, deadline)
+        {
             Ok(circuit) => circuit,
+            Err(ServeError::Overloaded { retry_after_ms }) => {
+                return Response::Overloaded { retry_after_ms }
+            }
             Err(e) => return Response::Error(e.to_string()),
         },
     };

@@ -49,11 +49,20 @@ pub struct ServeStats {
     pub p50_latency_us: u64,
     /// 99th-percentile request service latency, microseconds.
     pub p99_latency_us: u64,
+    /// Cache misses shed at admission because the miss queue was full
+    /// (answered with an `Overloaded` frame, no search queued).
+    pub shed: u64,
+    /// Queued searches expired because their deadline passed before a
+    /// worker reached them (the search was never started).
+    pub expired: u64,
+    /// Connections refused at accept because the handler limit was
+    /// reached (answered with an `Overloaded` frame, then closed).
+    pub shed_conns: u64,
 }
 
 impl ServeStats {
     /// Number of `u64` words in the wire encoding.
-    pub const FIELDS: usize = 14;
+    pub const FIELDS: usize = 17;
 
     /// The wire encoding order (field order above).
     #[must_use]
@@ -73,6 +82,9 @@ impl ServeStats {
             self.cache_capacity,
             self.p50_latency_us,
             self.p99_latency_us,
+            self.shed,
+            self.expired,
+            self.shed_conns,
         ]
     }
 
@@ -94,6 +106,9 @@ impl ServeStats {
             cache_capacity: words[11],
             p50_latency_us: words[12],
             p99_latency_us: words[13],
+            shed: words[14],
+            expired: words[15],
+            shed_conns: words[16],
         }
     }
 
@@ -119,6 +134,7 @@ impl ServeStats {
              \"max_batch\": {}, \"evictions\": {}, \"errors\": {}, \
              \"cached_classes\": {}, \"cache_capacity\": {}, \
              \"p50_latency_us\": {}, \"p99_latency_us\": {}, \
+             \"shed\": {}, \"expired\": {}, \"shed_conns\": {}, \
              \"hit_rate\": {:.4}}}",
             self.wires,
             self.requests,
@@ -134,6 +150,9 @@ impl ServeStats {
             self.cache_capacity,
             self.p50_latency_us,
             self.p99_latency_us,
+            self.shed,
+            self.expired,
+            self.shed_conns,
             self.hit_rate()
         )
     }
@@ -274,6 +293,9 @@ mod tests {
             cache_capacity: 11,
             p50_latency_us: 12,
             p99_latency_us: 13,
+            shed: 14,
+            expired: 15,
+            shed_conns: 16,
         };
         assert_eq!(ServeStats::from_words(&stats.to_words()), stats);
         let json = stats.to_json();
@@ -282,6 +304,9 @@ mod tests {
             "\"requests\": 1",
             "\"coalesced\": 4",
             "\"p99_latency_us\": 13",
+            "\"shed\": 14",
+            "\"expired\": 15",
+            "\"shed_conns\": 16",
         ] {
             assert!(json.contains(field), "{json}");
         }

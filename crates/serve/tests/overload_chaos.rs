@@ -1,0 +1,363 @@
+//! Chaos suite for overload control: a server with a bounded queue and
+//! a seeded fault plan is driven into saturation and torn-connection
+//! abuse, and must degrade *gracefully* — cache hits keep being served,
+//! misses are shed with typed `Overloaded` frames, deadlines expire
+//! queued work before it is searched, counters reconcile exactly with
+//! the injected plan, and nothing ever panics or wedges the accept
+//! loop.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use revsynth_circuit::{Circuit, CostKind, GateLib};
+use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
+use revsynth_perm::Perm;
+use revsynth_serve::fault::{DropAfter, TrickleStream};
+use revsynth_serve::{
+    Client, ClientError, FaultPlan, RetryPolicy, Server, ServerConfig, ServerHandle,
+};
+
+fn suite() -> Arc<SynthesisSuite> {
+    Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, 2),
+        SuiteConfig {
+            quantum_budget: 6,
+            depth_budget: 2,
+        },
+    ))
+}
+
+fn start_server(config: &ServerConfig) -> ServerHandle {
+    Server::bind(suite(), config)
+        .expect("bind loopback")
+        .spawn()
+}
+
+/// Distinct-class cold functions, deterministic: single library gates
+/// canonicalize to few classes, so use short compositions deduped by
+/// canonical representative.
+fn cold_classes(n: usize) -> Vec<Perm> {
+    let suite = suite();
+    let sym = suite.sym();
+    let lib = GateLib::nct(n);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    'outer: for a in 0..gates.len() {
+        for b in 0..gates.len() {
+            let f = Circuit::from_gates([gates[a], gates[b]]).perm(n);
+            if seen.insert(sym.canonical(f)) {
+                out.push(f);
+                if out.len() == 12 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(out.len() >= 8, "need enough distinct classes");
+    out
+}
+
+fn server_still_alive(addr: SocketAddr) {
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+    let mut client =
+        Client::connect_with_timeout(addr, Duration::from_secs(10)).expect("server accepts");
+    let circuit = client.query(f).expect("server answers valid queries");
+    assert_eq!(circuit.perm(4), f);
+}
+
+const OP_CIRCUIT: u8 = 0x80;
+const OP_OVERLOADED: u8 = 0x84;
+
+/// Reads one response frame's payload (bounded by the socket timeout).
+fn read_response(stream: &mut impl Read) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).ok()?;
+    let len = u32::from_le_bytes(len) as usize;
+    assert!(len > 0 && len <= 1 << 16, "server frames are well-formed");
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+#[test]
+fn saturation_sheds_misses_but_serves_hits_and_reconciles_with_the_plan() {
+    // Single worker, queue bound 1, every search slowed 300 ms: a burst
+    // of distinct cold classes must overrun admission.
+    let plan = Arc::new(FaultPlan::new(0xCAFE).with_search_delay(Duration::from_millis(300)));
+    let config = ServerConfig {
+        max_queue: 1,
+        retry_after_ms: 25,
+        faults: Some(Arc::clone(&plan)),
+        ..ServerConfig::default()
+    };
+    let handle = start_server(&config);
+    let addr = handle.addr();
+    let classes = cold_classes(4);
+    let (warm, burst) = (classes[0], &classes[1..9]);
+
+    // Warm one class into the cache (pays one delayed search).
+    let mut warm_client = Client::connect(addr).unwrap();
+    let warm_circuit = warm_client.query(warm).unwrap();
+    assert_eq!(warm_circuit.perm(4), warm);
+
+    // Burst the cold classes from parallel clients while hammering the
+    // warm class: every warm query must be a served cache hit.
+    let barrier = std::sync::Barrier::new(burst.len() + 1);
+    let (shed_seen, served_cold) = std::thread::scope(|scope| {
+        let handles: Vec<_> = burst
+            .iter()
+            .map(|&f| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    match client.query(f) {
+                        Ok(circuit) => {
+                            assert_eq!(circuit.perm(4), f, "served answers are verified");
+                            (0u64, 1u64)
+                        }
+                        Err(ClientError::Overloaded { retry_after_ms }) => {
+                            assert_eq!(retry_after_ms, 25, "hint is the configured one");
+                            (1, 0)
+                        }
+                        Err(e) => panic!("unexpected burst outcome: {e}"),
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        for _ in 0..30 {
+            let c = warm_client
+                .query(warm)
+                .expect("cache hits served under saturation");
+            assert_eq!(c.perm(4), warm);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(s, c), (ds, dc)| (s + ds, c + dc))
+    });
+    assert!(shed_seen > 0, "the burst must saturate the queue");
+    assert_eq!(shed_seen + served_cold, burst.len() as u64);
+
+    let stats = Client::connect(addr).unwrap().stats().unwrap();
+    // Exact reconciliation against the server counters and the plan:
+    // every shed was observed by a client, every search was delayed by
+    // the plan, and nothing ran for a waiter that was gone.
+    assert_eq!(stats.shed, shed_seen);
+    assert_eq!(stats.searches, 1 + served_cold, "warm + served cold only");
+    assert_eq!(
+        plan.injected().delays,
+        stats.searches,
+        "plan transcript matches"
+    );
+    assert_eq!(plan.injected().failures, 0);
+    assert_eq!(
+        stats.cache_misses,
+        stats.searches + stats.coalesced + stats.shed + stats.expired,
+        "load conservation: every miss accounted for"
+    );
+
+    // Backoff rides out the drain: a shed-prone query retried with the
+    // policy must eventually land.
+    let mut retry_client = Client::connect(addr).unwrap();
+    let policy = RetryPolicy {
+        attempts: 10,
+        base: Duration::from_millis(50),
+        cap: Duration::from_secs(2),
+        seed: 7,
+    };
+    let recovered = retry_client
+        .query_with_retry(classes[9], CostKind::Gates, &policy)
+        .expect("retry must recover after the burst");
+    assert_eq!(recovered.perm(4), classes[9]);
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    let final_stats = handle.join().unwrap();
+    assert_eq!(
+        final_stats.errors, 0,
+        "no handler panicked, no silent drops"
+    );
+}
+
+#[test]
+fn connection_cap_sheds_accepts_with_an_overloaded_frame() {
+    let config = ServerConfig {
+        max_conns: 1,
+        retry_after_ms: 77,
+        ..ServerConfig::default()
+    };
+    let handle = start_server(&config);
+    let addr = handle.addr();
+
+    // First connection occupies the only slot.
+    let mut first = Client::connect(addr).unwrap();
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+    assert_eq!(first.query(f).unwrap().perm(4), f);
+
+    // The next accept is shed: one Overloaded frame, then EOF.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let payload = read_response(&mut raw).expect("shed connections get a frame");
+    assert_eq!(payload[0], OP_OVERLOADED);
+    assert_eq!(payload[1..], 77u32.to_le_bytes(), "hint rides the frame");
+    let mut rest = Vec::new();
+    let _ = raw.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "the shed connection is closed");
+
+    // A typed client maps the shed to ClientError::Overloaded.
+    let mut shed_client = Client::connect(addr).unwrap();
+    match shed_client.query(f) {
+        Err(ClientError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 77),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // Freeing the slot restores service (the reap joins the finished
+    // handler before the cap check). The reap runs per accept, so poll
+    // until a connection is admitted again.
+    drop(first);
+    let mut recovered = false;
+    for _ in 0..100 {
+        let mut client = Client::connect(addr).unwrap();
+        match client.query(f) {
+            Ok(circuit) => {
+                assert_eq!(circuit.perm(4), f);
+                client.shutdown_server().unwrap();
+                recovered = true;
+                break;
+            }
+            Err(ClientError::Overloaded { .. }) => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("unexpected error while slot frees: {e}"),
+        }
+    }
+    assert!(recovered, "closing a connection must free its slot");
+    let stats = handle.join().unwrap();
+    assert!(stats.shed_conns >= 2, "{stats:?}");
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn torn_and_trickled_connections_never_wedge_the_server() {
+    let handle = start_server(&ServerConfig::default());
+    let addr = handle.addr();
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&17u32.to_le_bytes());
+    frame.push(0x01);
+    frame.extend_from_slice(&f.values());
+
+    // A glacial writer (2 bytes per 60 ms, slower than the server's
+    // poll interval) still gets an answer: the FrameReader reassembles
+    // across read timeouts.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut trickle = TrickleStream::new(stream, 2, Duration::from_millis(60));
+    trickle.write_all(&frame).unwrap();
+    let payload = read_response(&mut trickle).expect("trickled query answered");
+    assert_eq!(payload[0], OP_CIRCUIT);
+    drop(trickle);
+
+    // Connections dropped mid-frame at every possible cut point: the
+    // handler sees a truncated frame and hangs up; the accept loop must
+    // keep serving.
+    for budget in 1..frame.len() {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut dropper = DropAfter::new(stream, budget);
+        let err = dropper.write_all(&frame).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(dropper.dropped());
+        drop(dropper);
+    }
+    server_still_alive(addr);
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.errors, 0, "client abuse is not a server error");
+}
+
+#[test]
+fn client_read_timeout_surfaces_as_deadline_exceeded() {
+    // Searches take 600 ms; a client with a 150 ms budget must get the
+    // typed DeadlineExceeded (with evidence), not a bare I/O error.
+    let plan = Arc::new(FaultPlan::new(3).with_search_delay(Duration::from_millis(600)));
+    let config = ServerConfig {
+        faults: Some(plan),
+        ..ServerConfig::default()
+    };
+    let handle = start_server(&config);
+    let addr = handle.addr();
+    let cold = cold_classes(4)[0];
+
+    let budget = Duration::from_millis(150);
+    let mut impatient = Client::connect_with_timeout(addr, budget).unwrap();
+    match impatient.query(cold) {
+        Err(ClientError::DeadlineExceeded { elapsed, budget: b }) => {
+            assert_eq!(b, budget);
+            assert!(
+                elapsed >= Duration::from_millis(100),
+                "gave the budget a chance: {elapsed:?}"
+            );
+            let msg = ClientError::DeadlineExceeded { elapsed, budget: b }.to_string();
+            assert!(msg.contains("budget"), "{msg}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    drop(impatient); // desynchronized — must be discarded
+
+    // The search itself completed and was cached; a patient client is
+    // served instantly.
+    std::thread::sleep(Duration::from_millis(700));
+    let mut patient = Client::connect(addr).unwrap();
+    assert_eq!(patient.query(cold).unwrap().perm(4), cold);
+
+    patient.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn legacy_and_deadline_wire_forms_are_served_alike() {
+    // Satellite compatibility check against a live server: the 16-byte
+    // legacy body, the 17-byte cost-model body and the 21-byte deadline
+    // body must all produce the same circuit for the same function.
+    let handle = start_server(&ServerConfig::default());
+    let addr = handle.addr();
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut answers = Vec::new();
+    for body_tail in [
+        Vec::new(),                                             // legacy: values only
+        vec![0u8],                                              // + cost model (gates)
+        [vec![0u8], 60_000u32.to_le_bytes().to_vec()].concat(), // + deadline
+    ] {
+        let mut payload = vec![0x01];
+        payload.extend_from_slice(&f.values());
+        payload.extend_from_slice(&body_tail);
+        stream
+            .write_all(&u32::try_from(payload.len()).unwrap().to_le_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        let response = read_response(&mut stream).expect("all three forms answered");
+        assert_eq!(response[0], OP_CIRCUIT, "tail {body_tail:?}");
+        answers.push(response);
+    }
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[1], answers[2]);
+    drop(stream);
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}

@@ -16,7 +16,12 @@
 //!   saturation: the report records how many misses were shed, how many
 //!   deadlines expired before their search, and how many cache hits
 //!   were served *during* the saturation window, and the counters must
-//!   reconcile exactly ([`loadgen::OverloadReport::verify`]).
+//!   reconcile exactly ([`loadgen::OverloadReport::verify`]);
+//! * **restart** — the warmed server snapshots its cache at graceful
+//!   shutdown and a fresh process boots from the snapshot: replaying
+//!   the entire cold pool against the restored server must trigger
+//!   **zero** searches (asserted), so the phase measures the price of a
+//!   crash + warm restart versus re-searching from cold.
 //!
 //! Correctness is asserted throughout: every response circuit must
 //! compute the queried permutation, warm answers must match the cold
@@ -130,8 +135,16 @@ fn main() {
         synth.tables().num_representatives()
     );
 
-    let server =
-        Server::bind(Arc::clone(&suite), &ServerConfig::default()).expect("bind loopback server");
+    // The warmed server persists its cache at graceful shutdown; the
+    // restart phase boots a second server from the same snapshot.
+    let snapshot_path =
+        std::env::temp_dir().join(format!("bench-serve-snapshot-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot_path);
+    let warm_config = ServerConfig {
+        snapshot: Some(snapshot_path.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Arc::clone(&suite), &warm_config).expect("bind loopback server");
     let addr = server.local_addr();
     let handle = server.spawn();
     let mut client = Client::connect(addr).expect("connect");
@@ -230,6 +243,51 @@ fn main() {
     client.shutdown_server().expect("shutdown");
     let closing = handle.join().expect("server exits cleanly");
     assert_eq!(closing.errors, 0);
+    assert!(
+        closing.snapshot_writes >= 1,
+        "graceful shutdown must snapshot the cache"
+    );
+
+    // ---- restart: boot from the snapshot, replay the cold pool -------
+    let restart_server =
+        Server::bind(Arc::clone(&suite), &warm_config).expect("bind restarted server");
+    let restored = restart_server.restore_summary().restored;
+    assert!(
+        restored >= cold_classes as u64,
+        "the snapshot must cover at least every cold class, restored {restored}"
+    );
+    let restart_addr = restart_server.local_addr();
+    let restart_handle = restart_server.spawn();
+    let mut restart_client = Client::connect(restart_addr).expect("connect restarted server");
+    let t = Instant::now();
+    for (&f, &size) in pool.iter().zip(&cold_answers) {
+        let circuit = restart_client.query(f).expect("restored query");
+        assert_eq!(circuit.perm(4), f, "restored answer must compute f");
+        assert_eq!(circuit.len(), size, "restored answer is still optimal");
+    }
+    let restart = Phase {
+        queries: pool.len(),
+        seconds: t.elapsed().as_secs_f64(),
+    };
+    let after_restart = restart_client.stats().expect("stats");
+    assert_eq!(
+        after_restart.searches, 0,
+        "a warm restart must re-search NOTHING"
+    );
+    assert_eq!(after_restart.restored, restored);
+    let restart_speedup = restart.qps() / cold.qps();
+    eprintln!(
+        "restart: {restored} classes restored; {} cold-pool queries in {:.3}s \
+         ({:.1} q/s, {restart_speedup:.1}x cold, zero searches)",
+        restart.queries,
+        restart.seconds,
+        restart.qps()
+    );
+    restart_client.shutdown_server().expect("restart shutdown");
+    restart_handle
+        .join()
+        .expect("restarted server exits cleanly");
+    let _ = std::fs::remove_file(&snapshot_path);
 
     // ---- overload: bounded admission under injected latency ----------
     // A dedicated server (fresh cache) with a queue bound of 1 and a
@@ -289,6 +347,9 @@ fn main() {
         report.successes,
         fleet_seconds,
         &overload,
+        &restart,
+        restored,
+        restart_speedup,
         &final_stats,
     );
     std::fs::File::create(&out)
@@ -310,6 +371,9 @@ fn render_json(
     fleet_requests: u64,
     fleet_seconds: f64,
     overload: &loadgen::OverloadReport,
+    restart: &Phase,
+    restored: u64,
+    restart_speedup: f64,
     stats: &ServeStats,
 ) -> String {
     format!(
@@ -324,6 +388,9 @@ fn render_json(
          \"overload\": {{\"shed\": {}, \"expired\": {}, \"cold_served\": {}, \
          \"hits_served_during_saturation\": {}, \"injected_failures\": {}, \
          \"recovered\": {}, \"seconds\": {:.6}}},\n  \
+         \"restart\": {{\"restored_classes\": {restored}, \"queries\": {}, \
+         \"seconds\": {:.6}, \"queries_per_sec\": {:.1}, \"searches\": 0, \
+         \"speedup_vs_cold\": {restart_speedup:.1}}},\n  \
          \"final_stats\": {}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cold.json(),
@@ -336,6 +403,9 @@ fn render_json(
         overload.injected_failures,
         overload.recovered,
         overload.seconds,
+        restart.queries,
+        restart.seconds,
+        restart.qps(),
         stats.to_json()
     )
 }

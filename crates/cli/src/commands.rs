@@ -82,7 +82,9 @@ COMMANDS:
                [--linger-ms <L>] [--k <K>] [--n <N>] [--tables <FILE>]
                [--threads <T>] [--quantum-budget <B>] [--depth-budget <D>]
                [--max-queue <Q>] [--max-conns <C>] [--retry-after-ms <MS>]
+               [--snapshot <FILE>] [--snapshot-interval-secs <S>]
                [--fault-search-delay-ms <MS>] [--fault-fail-every <N>]
+               [--fault-panic-every <N>] [--fault-snapshot-delay-ms <MS>]
                [--fault-seed <S>]
                Run the synthesis service on 127.0.0.1:<P> (default 7878;
                0 picks a free port, printed on startup). Results are
@@ -103,21 +105,33 @@ COMMANDS:
                per cost model and --max-conns the concurrent
                connections (0 = unbounded, the default for both);
                excess load is shed with Overloaded frames carrying the
-               --retry-after-ms hint (default 100). The --fault-* flags
-               inject deterministic chaos (per-search latency, forced
-               failures) for tests — never set them in production.
+               --retry-after-ms hint (default 100).
+               Warm restarts: --snapshot restores the class cache from
+               FILE at boot (checksummed records; corrupt ones skipped,
+               an unreadable snapshot quarantined to FILE.corrupt and
+               the boot proceeds cold), snapshots back to FILE on
+               graceful shutdown and, with --snapshot-interval-secs,
+               periodically. Writes are atomic (temp + fsync + rename),
+               so kill -9 never costs more than the interval.
+               The --fault-* flags inject deterministic chaos
+               (per-search latency, forced failures, worker panics,
+               slowed snapshot writes) for tests — never set them in
+               production.
     query      [--port <P>] [--spec <P0,..,P15>] [--cost gates|quantum|depth]
-               [--deadline-ms <MS>] [--json] [--stats] [--shutdown]
+               [--deadline-ms <MS>] [--json] [--stats] [--health]
+               [--shutdown]
                Query a running server: --spec synthesizes a permutation
                under --cost (default gates), --stats (or no --spec)
-               prints the ServeStats snapshot, --shutdown stops the
-               server. --deadline-ms asks the server to expire the
-               request unstarted if it cannot begin the search in time.
+               prints the ServeStats snapshot, --health prints the
+               readiness probe (uptime, restored classes, live workers,
+               snapshot age), --shutdown stops the server.
+               --deadline-ms asks the server to expire the request
+               unstarted if it cannot begin the search in time.
                --json switches the output to single-line JSON.
     loadgen    [--port <P>] [--clients <C>] [--requests <R>]
                [--pool <B>] [--max-len <L>] [--seed <S>] [--quick]
                [--expect-coalesced] [--overload] [--expect-shed]
-               [--deadline-ms <MS>]
+               [--deadline-ms <MS>] [--restart] [--expect-warm]
                Closed-loop load against a running server: C connections
                (default 4) × R requests (default 100) drawn from B
                classes (default 8). Verifies every response circuit,
@@ -131,6 +145,12 @@ COMMANDS:
                traffic must keep being served; exits nonzero unless
                every shed/expiry counter reconciles exactly (and, with
                --expect-shed, unless saturation actually shed).
+               --restart switches to the warm-restart phase: replays
+               the seed's deterministic working set against a restarted
+               server and verifies every circuit; with --expect-warm it
+               additionally exits nonzero unless the server restored a
+               snapshot and answered the whole set with ZERO new
+               searches.
     help       Show this message.
 
 Tables are regenerated on the fly unless --tables points at a file written
@@ -147,6 +167,9 @@ const SWITCHES: &[&str] = &[
     "expect-coalesced",
     "overload",
     "expect-shed",
+    "restart",
+    "expect-warm",
+    "health",
     "resume",
 ];
 
@@ -1035,21 +1058,34 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         "max-queue",
         "max-conns",
         "retry-after-ms",
+        "snapshot",
+        "snapshot-interval-secs",
         "fault-search-delay-ms",
         "fault-fail-every",
+        "fault-panic-every",
+        "fault-snapshot-delay-ms",
         "fault-seed",
     ])?;
     let fault_delay_ms: u64 = opts.get_parse("fault-search-delay-ms", 0)?;
     let fault_fail_every: u64 = opts.get_parse("fault-fail-every", 0)?;
-    let faults = if fault_delay_ms > 0 || fault_fail_every > 0 {
+    let fault_panic_every: u64 = opts.get_parse("fault-panic-every", 0)?;
+    let fault_snapshot_delay_ms: u64 = opts.get_parse("fault-snapshot-delay-ms", 0)?;
+    let faults = if fault_delay_ms > 0
+        || fault_fail_every > 0
+        || fault_panic_every > 0
+        || fault_snapshot_delay_ms > 0
+    {
         Some(std::sync::Arc::new(
             revsynth_serve::FaultPlan::new(opts.get_parse("fault-seed", 0)?)
                 .with_search_delay(std::time::Duration::from_millis(fault_delay_ms))
-                .with_fail_every(fault_fail_every),
+                .with_fail_every(fault_fail_every)
+                .with_panic_every(fault_panic_every)
+                .with_snapshot_delay(std::time::Duration::from_millis(fault_snapshot_delay_ms)),
         ))
     } else {
         None
     };
+    let snapshot_interval_secs: u64 = opts.get_parse("snapshot-interval-secs", 0)?;
     let config = revsynth_serve::ServerConfig {
         port: opts.get_parse("port", DEFAULT_PORT)?,
         workers: opts.get_parse("workers", 1)?,
@@ -1060,7 +1096,13 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         max_conns: opts.get_parse("max-conns", 0usize)?,
         retry_after_ms: opts.get_parse("retry-after-ms", 100u32)?,
         faults,
+        snapshot: opts.get("snapshot").map(std::path::PathBuf::from),
+        snapshot_interval: (snapshot_interval_secs > 0)
+            .then(|| std::time::Duration::from_secs(snapshot_interval_secs)),
     };
+    if config.snapshot.is_none() && config.snapshot_interval.is_some() {
+        return Err("--snapshot-interval-secs needs --snapshot".into());
+    }
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
     }
@@ -1076,6 +1118,31 @@ fn cmd_serve(opts: &Opts) -> CliResult {
     let max_size = synth.max_size();
     let suite = std::sync::Arc::new(SynthesisSuite::new(synth, suite_config));
     let server = revsynth_serve::Server::bind(suite, &config)?;
+    if let Some(path) = config.snapshot.as_deref() {
+        let summary = server.restore_summary();
+        if let Some(quarantine) = summary.quarantined.as_deref() {
+            println!(
+                "snapshot {} unreadable ({}); quarantined to {}, booting cold",
+                path.display(),
+                summary
+                    .quarantine_reason
+                    .as_deref()
+                    .unwrap_or("unknown reason"),
+                quarantine.display()
+            );
+        } else {
+            println!(
+                "snapshot {}: restored {} classes, skipped {} corrupt records{}",
+                path.display(),
+                summary.restored,
+                summary.skipped,
+                match config.snapshot_interval {
+                    Some(every) => format!("; re-snapshotting every {} s", every.as_secs()),
+                    None => "; snapshotting at shutdown".to_owned(),
+                }
+            );
+        }
+    }
     println!("listening on {}", server.local_addr());
     if config.max_queue > 0 || config.max_conns > 0 || config.faults.is_some() {
         println!(
@@ -1112,6 +1179,7 @@ fn cmd_query(opts: &Opts) -> CliResult {
         "deadline-ms",
         "json",
         "stats",
+        "health",
         "shutdown",
     ])?;
     let addr = server_addr(opts)?;
@@ -1122,6 +1190,21 @@ fn cmd_query(opts: &Opts) -> CliResult {
     if opts.has("shutdown") {
         client.shutdown_server()?;
         println!("server at {addr} is shutting down");
+        return Ok(());
+    }
+    if opts.has("health") {
+        let health = client.health()?;
+        if opts.has("json") {
+            println!("{}", health.to_json());
+        } else {
+            println!("uptime        : {} ms", health.uptime_ms);
+            println!("restored      : {} classes from snapshot", health.restored);
+            println!("live workers  : {}", health.live_workers);
+            match health.snapshot_age() {
+                Some(age) => println!("snapshot age  : {} ms", age),
+                None => println!("snapshot age  : none written yet"),
+            }
+        }
         return Ok(());
     }
     if let Some(spec) = opts.get("spec") {
@@ -1175,6 +1258,11 @@ fn cmd_query(opts: &Opts) -> CliResult {
             stats.shed, stats.expired, stats.shed_conns
         );
         println!(
+            "persistence   : {} restored, {} snapshots written, {} records skipped, \
+             {} worker restarts",
+            stats.restored, stats.snapshot_writes, stats.snapshot_skipped, stats.worker_restarts
+        );
+        println!(
             "latency       : p50 {} µs, p99 {} µs",
             stats.p50_latency_us, stats.p99_latency_us
         );
@@ -1194,16 +1282,27 @@ fn cmd_loadgen(opts: &Opts) -> CliResult {
         "expect-coalesced",
         "overload",
         "expect-shed",
+        "restart",
+        "expect-warm",
         "deadline-ms",
         "json",
     ])?;
     let addr = server_addr(opts)?;
     let seed: u64 = opts.get_parse("seed", 2010)?;
+    if opts.has("overload") && opts.has("restart") {
+        return Err("--overload and --restart are mutually exclusive".into());
+    }
     if opts.has("overload") {
         return cmd_loadgen_overload(opts, addr, seed);
     }
+    if opts.has("restart") {
+        return cmd_loadgen_restart(opts, addr, seed);
+    }
     if opts.has("expect-shed") || opts.get("deadline-ms").is_some() {
         return Err("--expect-shed/--deadline-ms only apply with --overload".into());
+    }
+    if opts.has("expect-warm") {
+        return Err("--expect-warm only applies with --restart".into());
     }
     let defaults = if opts.has("quick") {
         revsynth_serve::loadgen::LoadgenConfig::quick(seed)
@@ -1329,6 +1428,74 @@ fn cmd_loadgen_overload(opts: &Opts, addr: std::net::SocketAddr, seed: u64) -> C
     }
     report.verify(opts.has("expect-shed"))?;
     println!("overload counters reconcile exactly");
+    Ok(())
+}
+
+/// The `loadgen --restart` warm-restart phase: replay the seed's
+/// deterministic working set against a restarted server and verify it —
+/// with `--expect-warm`, demand a restored snapshot answered everything
+/// with zero new searches.
+fn cmd_loadgen_restart(opts: &Opts, addr: std::net::SocketAddr, seed: u64) -> CliResult {
+    let defaults = if opts.has("quick") {
+        revsynth_serve::loadgen::LoadgenConfig::quick(seed)
+    } else {
+        revsynth_serve::loadgen::LoadgenConfig {
+            seed,
+            ..revsynth_serve::loadgen::LoadgenConfig::default()
+        }
+    };
+    let config = revsynth_serve::loadgen::LoadgenConfig {
+        clients: opts.get_parse("clients", defaults.clients)?,
+        requests_per_client: opts.get_parse("requests", defaults.requests_per_client)?,
+        pool: opts.get_parse("pool", defaults.pool)?,
+        max_len: opts.get_parse("max-len", defaults.max_len)?,
+        seed,
+    };
+    let wires = usize::try_from(revsynth_serve::Client::connect(addr)?.stats()?.wires)
+        .map_err(|_| "server reported a nonsense wire count")?;
+    if !(2..=4).contains(&wires) {
+        return Err(format!("server reported unsupported wire count {wires}").into());
+    }
+    let report = revsynth_serve::loadgen::run_restart(addr, wires, &config)?;
+    if opts.has("json") {
+        println!(
+            "{{\"successes\": {}, \"errors\": {}, \"searches_delta\": {}, \
+             \"restored\": {}, \"snapshot_skipped\": {}, \"seconds\": {:.6}, \
+             \"health\": {}, \"stats\": {}}}",
+            report.successes,
+            report.errors,
+            report.searches_delta,
+            report.restored,
+            report.snapshot_skipped,
+            report.seconds,
+            report.health.to_json(),
+            report.stats.to_json()
+        );
+    } else {
+        println!(
+            "restart replay ({} working-set queries) in {:.2?}: {} ok, {} errors, \
+             {} new searches",
+            report.successes + report.errors,
+            std::time::Duration::from_secs_f64(report.seconds),
+            report.successes,
+            report.errors,
+            report.searches_delta
+        );
+        println!(
+            "  restored {} classes ({} records skipped), {} live workers",
+            report.restored, report.snapshot_skipped, report.health.live_workers
+        );
+        println!("server stats: {}", report.stats.to_json());
+    }
+    report.verify(opts.has("expect-warm"))?;
+    println!(
+        "restart verified{}",
+        if opts.has("expect-warm") {
+            ": warm, zero new searches"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 

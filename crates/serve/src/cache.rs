@@ -297,6 +297,39 @@ impl ClassCache {
         self.len() == 0
     }
 
+    /// Exports every resident entry for snapshotting, least-recently
+    /// used first **within each shard** — re-[`insert`](Self::insert)ing
+    /// the export in order reproduces each shard's recency order, so a
+    /// restored cache evicts the same victims the original would have.
+    ///
+    /// Shards are locked one at a time: the export is a consistent
+    /// per-shard view, not a global atomic snapshot (concurrent inserts
+    /// during the walk may or may not be included — either way the
+    /// snapshot is a valid cache state).
+    #[must_use]
+    pub fn export(&self) -> Vec<(CostKind, Perm, Circuit)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = Self::lock(shard);
+            // Walk tail → head (LRU → MRU) over the intrusive list.
+            let mut i = s.tail;
+            while i != NIL {
+                let entry = &s.slab[i];
+                // Keys are only ever built by `key_of` from valid
+                // kinds/perms; a decode failure here would be memory
+                // corruption, so skip rather than panic.
+                if let (Some(kind), Ok(rep)) = (
+                    CostKind::from_code(entry.key.0),
+                    Perm::from_packed(entry.key.1),
+                ) {
+                    out.push((kind, rep, entry.circuit.clone()));
+                }
+                i = entry.prev;
+            }
+        }
+        out
+    }
+
     /// Aggregated counters across all shards.
     #[must_use]
     pub fn counters(&self) -> CacheCounters {
@@ -460,5 +493,49 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _ = ClassCache::new(0);
+    }
+
+    #[test]
+    fn export_walks_lru_to_mru_and_reinsertion_reproduces_recency() {
+        let cache = ClassCache::with_shards(3, 1);
+        let ps: Vec<Perm> = (0..3).map(perm_of).collect();
+        for (i, &p) in ps.iter().enumerate() {
+            cache.insert(CostKind::Gates, p, circuit_of(i));
+        }
+        // Touch p0: recency becomes p1 (LRU), p2, p0 (MRU).
+        assert!(cache.get(CostKind::Gates, ps[0]).is_some());
+        let exported = cache.export();
+        assert_eq!(
+            exported.iter().map(|(_, p, _)| *p).collect::<Vec<_>>(),
+            vec![ps[1], ps[2], ps[0]],
+            "tail-to-head walk"
+        );
+        // Re-inserting the export into a fresh cache reproduces the
+        // original's eviction victim.
+        let restored = ClassCache::with_shards(3, 1);
+        for (kind, rep, circuit) in exported {
+            restored.insert(kind, rep, circuit);
+        }
+        restored.insert(CostKind::Gates, perm_of(7), circuit_of(9));
+        assert!(
+            restored.get(CostKind::Gates, ps[1]).is_none(),
+            "same LRU victim"
+        );
+        assert!(restored.get(CostKind::Gates, ps[0]).is_some());
+        assert!(restored.get(CostKind::Gates, ps[2]).is_some());
+    }
+
+    #[test]
+    fn export_covers_every_shard_and_model() {
+        let cache = ClassCache::new(1024);
+        for i in 0..60 {
+            let kind = CostKind::ALL[(i % 3) as usize];
+            cache.insert(kind, perm_of(i), circuit_of(2));
+        }
+        let exported = cache.export();
+        assert_eq!(exported.len(), 60);
+        for kind in CostKind::ALL {
+            assert!(exported.iter().any(|(k, _, _)| *k == kind), "{kind:?}");
+        }
     }
 }

@@ -27,7 +27,7 @@ use revsynth_perm::Perm;
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
 };
-use crate::stats::ServeStats;
+use crate::stats::{HealthReport, ServeStats};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -296,30 +296,62 @@ impl Client {
         unreachable!("the last attempt always returns")
     }
 
+    /// One round trip with the error demultiplexing every non-query
+    /// request shares: `Error` and `Overloaded` frames become their
+    /// typed client errors (a connection shed at the accept gate
+    /// answers *any* request with `Overloaded`, not just queries);
+    /// anything else is handed to `expect` for request-specific
+    /// matching.
+    fn round_trip_demuxed<T>(
+        &mut self,
+        request: &Request,
+        expect: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ClientError> {
+        match self.round_trip(request)? {
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            Response::Overloaded { retry_after_ms } => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
+            other => expect(other).ok_or(ClientError::UnexpectedResponse),
+        }
+    }
+
     /// Fetches the server's stats snapshot.
     ///
     /// # Errors
     ///
-    /// As [`query`](Self::query).
+    /// As [`query`](Self::query); additionally
+    /// [`ClientError::Overloaded`] when the connection itself was shed.
     pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
-        match self.round_trip(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
-            _ => Err(ClientError::UnexpectedResponse),
-        }
+        self.round_trip_demuxed(&Request::Stats, |r| match r {
+            Response::Stats(stats) => Some(stats),
+            _ => None,
+        })
+    }
+
+    /// Fetches the server's health probe: uptime, snapshot-restore
+    /// count, live worker count, and snapshot age.
+    ///
+    /// # Errors
+    ///
+    /// As [`stats`](Self::stats).
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        self.round_trip_demuxed(&Request::Health, |r| match r {
+            Response::Health(report) => Some(report),
+            _ => None,
+        })
     }
 
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors
     ///
-    /// As [`query`](Self::query).
+    /// As [`stats`](Self::stats).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        match self.round_trip(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
-            _ => Err(ClientError::UnexpectedResponse),
-        }
+        self.round_trip_demuxed(&Request::Shutdown, |r| match r {
+            Response::ShuttingDown => Some(()),
+            _ => None,
+        })
     }
 }
 

@@ -37,12 +37,19 @@ pub struct SearchFault {
     /// Whether the search must fail without running (reported to the
     /// waiter as a synthesis error carrying [`INJECTED_FAILURE`]).
     pub fail: bool,
+    /// Whether the worker must **panic** when it reaches this search —
+    /// the supervision test: the panicking worker's drained batch is
+    /// failed cleanly (no stranded waiters) and the worker is respawned.
+    pub panic: bool,
 }
 
 /// The message substring marking a failure as plan-injected (tests and
 /// the load generator match on it to separate injected failures from
 /// genuine synthesis errors).
 pub const INJECTED_FAILURE: &str = "injected synthesizer failure";
+
+/// The panic payload an injected worker panic carries.
+pub const INJECTED_PANIC: &str = "injected worker panic";
 
 /// Counter snapshot of what a [`FaultPlan`] actually injected.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,6 +58,10 @@ pub struct FaultCounters {
     pub delays: u64,
     /// Searches that were failed without running.
     pub failures: u64,
+    /// Worker panics demanded.
+    pub panics: u64,
+    /// Snapshot writes that were slowed.
+    pub snapshot_delays: u64,
 }
 
 /// A seeded, deterministic fault-injection plan for the scheduler's
@@ -68,9 +79,13 @@ pub struct FaultPlan {
     seed: u64,
     search_delay: Duration,
     fail_every: u64,
+    panic_every: u64,
+    snapshot_delay: Duration,
     sequence: AtomicU64,
     delays: AtomicU64,
     failures: AtomicU64,
+    panics: AtomicU64,
+    snapshot_delays: AtomicU64,
 }
 
 impl FaultPlan {
@@ -99,6 +114,24 @@ impl FaultPlan {
         self
     }
 
+    /// Panics the worker at every `n`-th scheduled search (1-based; `0`
+    /// disables injected panics). Panics take precedence over forced
+    /// failures when both land on the same sequence number.
+    #[must_use]
+    pub fn with_panic_every(mut self, n: u64) -> Self {
+        self.panic_every = n;
+        self
+    }
+
+    /// Adds `delay` of latency inside every snapshot write, between
+    /// staging the temp file and the atomic rename — widening the
+    /// window a kill-mid-snapshot test aims at.
+    #[must_use]
+    pub fn with_snapshot_delay(mut self, delay: Duration) -> Self {
+        self.snapshot_delay = delay;
+        self
+    }
+
     /// The plan's seed (handed to the connection-layer attackers so one
     /// flag seeds the whole chaos run).
     #[must_use]
@@ -112,24 +145,47 @@ impl FaultPlan {
     /// so the sequence numbers line up with searches actually reached.
     pub fn next_search(&self) -> SearchFault {
         let s = self.sequence.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.panic_every > 0 && s.is_multiple_of(self.panic_every) {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            return SearchFault {
+                delay: None,
+                fail: false,
+                panic: true,
+            };
+        }
         if self.fail_every > 0 && s.is_multiple_of(self.fail_every) {
             self.failures.fetch_add(1, Ordering::Relaxed);
             return SearchFault {
                 delay: None,
                 fail: true,
+                panic: false,
             };
         }
         if self.search_delay.is_zero() {
             return SearchFault {
                 delay: None,
                 fail: false,
+                panic: false,
             };
         }
         self.delays.fetch_add(1, Ordering::Relaxed);
         SearchFault {
             delay: Some(self.search_delay),
             fail: false,
+            panic: false,
         }
+    }
+
+    /// The latency to inject into the current snapshot write, if any.
+    /// Called by the server's snapshot path once per write; counts every
+    /// slowed write so chaos runs can reconcile.
+    #[must_use]
+    pub fn next_snapshot_delay(&self) -> Option<Duration> {
+        if self.snapshot_delay.is_zero() {
+            return None;
+        }
+        self.snapshot_delays.fetch_add(1, Ordering::Relaxed);
+        Some(self.snapshot_delay)
     }
 
     /// What the plan has injected so far.
@@ -138,6 +194,8 @@ impl FaultPlan {
         FaultCounters {
             delays: self.delays.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            snapshot_delays: self.snapshot_delays.load(Ordering::Relaxed),
         }
     }
 }
@@ -268,12 +326,47 @@ mod tests {
                 plan.next_search(),
                 SearchFault {
                     delay: None,
-                    fail: false
+                    fail: false,
+                    panic: false,
                 }
             );
         }
         assert_eq!(plan.injected(), FaultCounters::default());
         assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.next_snapshot_delay(), None);
+    }
+
+    #[test]
+    fn panic_schedule_takes_precedence_and_counts() {
+        let plan = FaultPlan::new(2).with_panic_every(2).with_fail_every(2);
+        let transcript: Vec<(bool, bool)> = (0..6)
+            .map(|_| {
+                let f = plan.next_search();
+                (f.panic, f.fail)
+            })
+            .collect();
+        assert_eq!(
+            transcript,
+            [
+                (false, false),
+                (true, false),
+                (false, false),
+                (true, false),
+                (false, false),
+                (true, false)
+            ],
+            "panic wins when both schedules collide"
+        );
+        assert_eq!(plan.injected().panics, 3);
+        assert_eq!(plan.injected().failures, 0);
+    }
+
+    #[test]
+    fn snapshot_delay_is_drawn_per_write() {
+        let plan = FaultPlan::new(3).with_snapshot_delay(Duration::from_millis(5));
+        assert_eq!(plan.next_snapshot_delay(), Some(Duration::from_millis(5)));
+        assert_eq!(plan.next_snapshot_delay(), Some(Duration::from_millis(5)));
+        assert_eq!(plan.injected().snapshot_delays, 2);
     }
 
     #[test]

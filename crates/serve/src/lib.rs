@@ -31,6 +31,14 @@
 //!   [`Client::query_with_retry`] backs off with jitter
 //!   ([`RetryPolicy`]). The [`fault`] module injects deterministic
 //!   latency, failures and torn connections so all of this is testable.
+//! * **Warm restarts** — the cache persists across process deaths via
+//!   the [`snapshot`] module: checksummed, atomically-written snapshots
+//!   restored (and revalidated record by record) at boot, written
+//!   periodically and at graceful shutdown. Scheduler workers are
+//!   supervised — a panicking worker is respawned and its batch failed
+//!   cleanly — and a `Health` probe ([`Client::health`],
+//!   [`HealthReport`]) reports uptime, restore count, live workers and
+//!   snapshot age.
 //!
 //! # Example
 //!
@@ -75,11 +83,12 @@ pub mod loadgen;
 pub mod protocol;
 mod scheduler;
 mod server;
+pub mod snapshot;
 mod stats;
 
 pub use cache::{CacheCounters, ClassCache};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{FaultCounters, FaultPlan};
 pub use scheduler::{Scheduler, SchedulerCounters, SchedulerOptions, ServeError};
-pub use server::{Server, ServerConfig, ServerHandle};
-pub use stats::{LatencyHistogram, ServeStats};
+pub use server::{RestoreSummary, Server, ServerConfig, ServerHandle};
+pub use stats::{HealthReport, LatencyHistogram, ServeStats};

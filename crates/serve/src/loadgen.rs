@@ -40,6 +40,12 @@
 //! are shed with typed `Overloaded` frames, deadlines expire queued
 //! work before it is searched, and every server-side shed/expiry
 //! counter reconciles exactly with what the clients observed.
+//!
+//! A fourth — [`run_restart`] — verifies warm restarts: because the
+//! pool is deterministic in the seed, the working set a pre-crash
+//! [`run`] warmed can be replayed verbatim against the restarted
+//! server, and [`RestartReport::verify`] demands the whole set come
+//! back exact with **zero** new searches when a snapshot was restored.
 
 use std::net::SocketAddr;
 use std::sync::Barrier;
@@ -53,7 +59,7 @@ use revsynth_perm::{Perm, WirePerm};
 use crate::client::{Client, ClientError, RetryPolicy};
 use crate::fault::INJECTED_FAILURE;
 use crate::scheduler::ServeError;
-use crate::stats::ServeStats;
+use crate::stats::{HealthReport, ServeStats};
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -588,6 +594,112 @@ pub fn run_overload(
         searches_delta: mid.searches - baseline.searches,
         coalesced_delta: mid.coalesced - baseline.coalesced,
         misses_delta: mid.cache_misses - baseline.cache_misses,
+        stats,
+    })
+}
+
+/// Outcome of a [`run_restart`] warm-restart verification pass.
+#[derive(Debug, Clone)]
+pub struct RestartReport {
+    /// Working-set queries answered with a verified circuit.
+    pub successes: u64,
+    /// Working-set queries that errored or verified wrong — must be 0.
+    pub errors: u64,
+    /// Searches the server ran during the pass: 0 on a warm restart
+    /// means every class came out of the snapshot.
+    pub searches_delta: u64,
+    /// Cache entries the server restored from its boot snapshot.
+    pub restored: u64,
+    /// Snapshot records the server skipped at restore (corrupt/torn).
+    pub snapshot_skipped: u64,
+    /// Wall-clock seconds for the pass.
+    pub seconds: f64,
+    /// The server's health probe after the pass.
+    pub health: HealthReport,
+    /// Final server stats snapshot.
+    pub stats: ServeStats,
+}
+
+impl RestartReport {
+    /// Checks the warm-restart contract, returning the first violation
+    /// as a message. With `expect_warm`, the server must have restored
+    /// a snapshot and answered the entire working set **without a
+    /// single new search** — the "zero cold work after a crash" gate.
+    /// Without it (a deliberately cold boot, e.g. after quarantine),
+    /// only correctness and liveness are required.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn verify(&self, expect_warm: bool) -> Result<(), String> {
+        if self.errors > 0 {
+            return Err(format!(
+                "{} of {} working-set queries failed after restart",
+                self.errors,
+                self.errors + self.successes
+            ));
+        }
+        if self.successes == 0 {
+            return Err("restart pass issued no queries".into());
+        }
+        if self.health.live_workers == 0 {
+            return Err("health probe reports no live workers".into());
+        }
+        if expect_warm {
+            if self.restored == 0 {
+                return Err("expected a warm restart but nothing was restored".into());
+            }
+            if self.searches_delta > 0 {
+                return Err(format!(
+                    "warm restart re-ran {} searches for snapshotted classes",
+                    self.searches_delta
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replays the deterministic working set of [`run`] (same
+/// [`LoadgenConfig::seed`] → same classes) against a restarted server
+/// and measures how warm it came back: every member of every pool
+/// class is queried and verified, and the server's search counter delta
+/// over the pass tells whether the snapshot actually spared the
+/// searches. Also probes `Health` for the restore count and worker
+/// liveness.
+///
+/// # Errors
+///
+/// Fails only on setup (connections, stats, health); per-request
+/// failures are counted in the report.
+pub fn run_restart(
+    addr: SocketAddr,
+    wires: usize,
+    config: &LoadgenConfig,
+) -> Result<RestartReport, ClientError> {
+    let baseline = Client::connect(addr)?.stats()?;
+    let start = Instant::now();
+    let pool = build_pool(wires, config, config.seed);
+    let mut client = Client::connect(addr)?;
+    let (mut successes, mut errors) = (0u64, 0u64);
+    for class in &pool {
+        for &f in class {
+            match client.query(f) {
+                Ok(circuit) if circuit.perm(wires) == f => successes += 1,
+                Ok(_) | Err(_) => errors += 1,
+            }
+        }
+    }
+    let health = client.health()?;
+    let stats = client.stats()?;
+    Ok(RestartReport {
+        successes,
+        errors,
+        searches_delta: stats.searches - baseline.searches,
+        restored: stats.restored,
+        snapshot_skipped: stats.snapshot_skipped,
+        seconds: start.elapsed().as_secs_f64(),
+        health,
         stats,
     })
 }

@@ -17,6 +17,7 @@
 //! | `0x01` Query | 16 B `f(0)..f(15)` + 1 B cost model | synthesize this permutation |
 //! | `0x02` Stats | empty | snapshot the server counters |
 //! | `0x03` Shutdown | empty | gracefully stop the server |
+//! | `0x05` Health | empty | readiness probe (uptime, restored entries, live workers, snapshot age) |
 //!
 //! The cost-model byte is [`CostKind::code`] (0 = gates, 1 = quantum,
 //! 2 = depth). Query bodies come in three compatible lengths: 16 bytes
@@ -34,9 +35,10 @@
 //! |---|---|---|
 //! | `0x80` Circuit | u16 LE gate count, then 1 B per gate | the optimal circuit |
 //! | `0x81` Error | UTF-8 message | request-level failure |
-//! | `0x82` Stats | 17 × u64 LE | [`ServeStats`] snapshot |
+//! | `0x82` Stats | 21 × u64 LE | [`ServeStats`] snapshot |
 //! | `0x83` ShuttingDown | empty | shutdown acknowledged |
 //! | `0x84` Overloaded | u32 LE retry-after ms | load shed: retry later with backoff |
+//! | `0x85` Health | 4 × u64 LE | [`HealthReport`]: uptime ms, restored entries, live workers, snapshot age ms |
 //!
 //! Gates use the same 1-byte encoding as the table store:
 //! `(controls << 2) | target` with bit 7 clear. Decoding validates
@@ -51,7 +53,7 @@ use std::io::{self, Read, Write};
 use revsynth_circuit::{Circuit, CostKind, Gate};
 use revsynth_perm::Perm;
 
-use crate::stats::ServeStats;
+use crate::stats::{HealthReport, ServeStats};
 
 /// Hard cap on a frame's payload length. Far above any legitimate
 /// message (the largest is a stats response at ~100 bytes) but small
@@ -62,6 +64,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 16;
 const OP_QUERY: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
+const OP_HEALTH: u8 = 0x05;
 
 /// Response opcodes.
 const OP_CIRCUIT: u8 = 0x80;
@@ -69,6 +72,7 @@ const OP_ERROR: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTTING_DOWN: u8 = 0x83;
 const OP_OVERLOADED: u8 = 0x84;
+const OP_HEALTH_REPLY: u8 = 0x85;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +86,9 @@ pub enum Request {
     Stats,
     /// Stop the server gracefully.
     Shutdown,
+    /// Probe readiness: uptime, restored-entry count, live workers and
+    /// snapshot age, cheap enough for an external supervisor to poll.
+    Health,
 }
 
 /// A server→client message.
@@ -104,6 +111,8 @@ pub enum Response {
         /// Server's backoff hint, milliseconds.
         retry_after_ms: u32,
     },
+    /// The readiness probe answering a health request.
+    Health(HealthReport),
 }
 
 /// Error raised while reading or decoding protocol traffic.
@@ -314,6 +323,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Stats => vec![OP_STATS],
         Request::Shutdown => vec![OP_SHUTDOWN],
+        Request::Health => vec![OP_HEALTH],
     }
 }
 
@@ -353,7 +363,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         }
         OP_STATS if body.is_empty() => Ok(Request::Stats),
         OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
-        OP_STATS | OP_SHUTDOWN => Err(ProtocolError::BadBody(format!(
+        OP_HEALTH if body.is_empty() => Ok(Request::Health),
+        OP_STATS | OP_SHUTDOWN | OP_HEALTH => Err(ProtocolError::BadBody(format!(
             "opcode {op:#04x} takes no body, got {} bytes",
             body.len()
         ))),
@@ -394,6 +405,14 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             let mut payload = Vec::with_capacity(5);
             payload.push(OP_OVERLOADED);
             payload.extend_from_slice(&retry_after_ms.to_le_bytes());
+            payload
+        }
+        Response::Health(health) => {
+            let mut payload = Vec::with_capacity(1 + 8 * HealthReport::FIELDS);
+            payload.push(OP_HEALTH_REPLY);
+            for v in health.to_words() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
             payload
         }
     }
@@ -472,6 +491,20 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 retry_after_ms: u32::from_le_bytes(bytes),
             })
         }
+        OP_HEALTH_REPLY => {
+            if body.len() != 8 * HealthReport::FIELDS {
+                return Err(ProtocolError::BadBody(format!(
+                    "health body is {} bytes, expected {}",
+                    body.len(),
+                    8 * HealthReport::FIELDS
+                )));
+            }
+            let mut words = [0u64; HealthReport::FIELDS];
+            for (i, chunk) in body.chunks_exact(8).enumerate() {
+                words[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            Ok(Response::Health(HealthReport::from_words(&words)))
+        }
         other => Err(ProtocolError::BadOpcode(other)),
     }
 }
@@ -492,6 +525,7 @@ mod tests {
             Request::Query(f, CostKind::Depth, Some(u32::MAX)),
             Request::Stats,
             Request::Shutdown,
+            Request::Health,
         ] {
             let payload = encode_request(&req);
             assert_eq!(decode_request(&payload).unwrap(), req);
@@ -563,6 +597,10 @@ mod tests {
             shed: 5,
             expired: 2,
             shed_conns: 1,
+            restored: 9,
+            snapshot_writes: 3,
+            snapshot_skipped: 2,
+            worker_restarts: 1,
         };
         for resp in [
             Response::Circuit(circuit),
@@ -577,6 +615,16 @@ mod tests {
             Response::Overloaded {
                 retry_after_ms: u32::MAX,
             },
+            Response::Health(HealthReport {
+                uptime_ms: 60_000,
+                restored: 1_024,
+                live_workers: 4,
+                snapshot_age_ms: 1_500,
+            }),
+            Response::Health(HealthReport {
+                snapshot_age_ms: HealthReport::NO_SNAPSHOT,
+                ..HealthReport::default()
+            }),
         ] {
             let payload = encode_response(&resp);
             assert_eq!(decode_response(&payload).unwrap(), resp);
@@ -587,6 +635,14 @@ mod tests {
             bad.extend(std::iter::repeat_n(0u8, len));
             assert!(decode_response(&bad).is_err(), "body length {len}");
         }
+        // Malformed health bodies too.
+        for len in [0usize, 8, 31, 33, 40] {
+            let mut bad = vec![OP_HEALTH_REPLY];
+            bad.extend(std::iter::repeat_n(0u8, len));
+            assert!(decode_response(&bad).is_err(), "body length {len}");
+        }
+        // A health request takes no body.
+        assert!(decode_request(&[OP_HEALTH, 0]).is_err());
     }
 
     #[test]

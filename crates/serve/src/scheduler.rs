@@ -36,11 +36,20 @@
 //! failures at this boundary, deterministically, so tests can drive the
 //! scheduler into saturation and reconcile every counter.
 //!
+//! **Supervision**: worker threads run under a supervisor that catches
+//! panics. A panicking worker first answers every entry of the batch it
+//! had drained with [`ServeError::Synthesis`] (a drop guard does this
+//! during unwinding, so no coalesced waiter ever blocks forever), then
+//! re-enters its loop — the pool self-heals at full strength, counted
+//! in [`SchedulerCounters::worker_restarts`]. [`FaultPlan::with_panic_every`]
+//! drives this path deterministically in chaos tests.
+//!
 //! Shutdown is graceful: workers finish the batch they are searching,
 //! still-queued representatives are answered with
 //! [`ServeError::ShuttingDown`], and `shutdown` joins every worker.
 //!
 //! [`Synthesizer::synthesize_many`]: revsynth_core::Synthesizer::synthesize_many
+//! [`FaultPlan::with_panic_every`]: crate::fault::FaultPlan::with_panic_every
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -55,11 +64,17 @@ use revsynth_core::{SearchOptions, SynthesisSuite};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
-use crate::fault::{FaultPlan, INJECTED_FAILURE};
+use crate::fault::{FaultPlan, INJECTED_FAILURE, INJECTED_PANIC};
 
 /// Number of cost models (the per-model accounting arrays are indexed
 /// by [`CostKind::code`]).
 const MODELS: usize = CostKind::ALL.len();
+
+/// Message carried by the [`ServeError::Synthesis`] a waiter receives
+/// when the worker searching its batch panicked: the search is
+/// abandoned, never half-answered, and the client may simply retry
+/// (the supervisor has already respawned the worker).
+pub const WORKER_PANIC: &str = "worker panicked; search abandoned";
 
 /// Request-level failure reported to a waiting client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +150,7 @@ impl Ticket {
 }
 
 /// One queued class search awaiting a worker.
+#[derive(Clone, Copy)]
 struct Pending {
     kind: CostKind,
     rep: Perm,
@@ -197,6 +213,13 @@ struct Inner {
     shed: [AtomicU64; MODELS],
     /// Queued searches expired (deadline passed) before being started.
     expired: [AtomicU64; MODELS],
+    /// Times a supervisor caught a worker panic and re-entered the
+    /// worker loop.
+    worker_restarts: AtomicU64,
+    /// Workers currently inside their supervised loop. Stable across
+    /// respawns (the supervisor never exits on a panic), so a live
+    /// server reports the configured pool size here.
+    live_workers: AtomicU64,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -228,6 +251,9 @@ pub struct SchedulerCounters {
     /// Deadline expiries before search start, indexed by
     /// [`CostKind::code`].
     pub expired: [u64; MODELS],
+    /// Worker panics caught by the supervisor (each one respawned the
+    /// worker in place).
+    pub worker_restarts: u64,
 }
 
 impl SchedulerCounters {
@@ -326,11 +352,13 @@ impl Scheduler {
             coalesced: AtomicU64::new(0),
             shed: std::array::from_fn(|_| AtomicU64::new(0)),
             expired: std::array::from_fn(|_| AtomicU64::new(0)),
+            worker_restarts: AtomicU64::new(0),
+            live_workers: AtomicU64::new(0),
         });
         let workers = (0..workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || supervised_worker(&inner))
             })
             .collect();
         Scheduler {
@@ -441,7 +469,16 @@ impl Scheduler {
                 .expired
                 .each_ref()
                 .map(|c| c.load(Ordering::Relaxed)),
+            worker_restarts: self.inner.worker_restarts.load(Ordering::Relaxed),
         }
+    }
+
+    /// Workers currently running their supervised loop. Equals the
+    /// configured pool size on a healthy (or self-healed) scheduler;
+    /// drops to zero only after [`shutdown`](Self::shutdown).
+    #[must_use]
+    pub fn live_workers(&self) -> u64 {
+        self.inner.live_workers.load(Ordering::Relaxed)
     }
 
     /// Stops the workers: in-progress batches complete, queued-but-not-
@@ -478,6 +515,68 @@ impl fmt::Debug for Scheduler {
             c.batches,
             c.coalesced
         )
+    }
+}
+
+/// The supervisor wrapping every worker thread: catches a panicking
+/// [`worker_loop`], counts the restart, and re-enters the loop so the
+/// pool recovers to full strength without outside intervention. The
+/// batch the panicking worker had drained has already been answered by
+/// its [`DrainGuard`] during unwinding — no waiter is stranded. Exits
+/// only when the loop returns cleanly (shutdown).
+fn supervised_worker(inner: &Inner) {
+    inner.live_workers.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(inner)));
+        match run {
+            Ok(()) => break,
+            Err(_) => {
+                inner.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if lock(&inner.queue).shutdown {
+                    break;
+                }
+            }
+        }
+    }
+    inner.live_workers.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The batch a worker has drained but not yet fully answered. Every
+/// stage resolves entries *through* the guard so the unresolved set
+/// shrinks as answers go out; if the worker panics mid-batch (a bug in
+/// the engine, or an injected chaos panic), `Drop` runs during
+/// unwinding and fails every remaining entry with [`WORKER_PANIC`] —
+/// coalesced waiters wake with a clean error instead of blocking on a
+/// ticket nobody will ever fulfill.
+struct DrainGuard<'a> {
+    inner: &'a Inner,
+    entries: Vec<Pending>,
+}
+
+impl DrainGuard<'_> {
+    /// Answers one entry and removes it from the unresolved set.
+    fn resolve(&mut self, kind: CostKind, rep: Perm, outcome: Result<Circuit, ServeError>) {
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.kind == kind && e.rep == rep)
+        {
+            self.entries.swap_remove(i);
+        }
+        resolve(self.inner, kind, rep, outcome);
+    }
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        for entry in std::mem::take(&mut self.entries) {
+            resolve(
+                self.inner,
+                entry.kind,
+                entry.rep,
+                Err(ServeError::Synthesis(WORKER_PANIC.to_string())),
+            );
+        }
     }
 }
 
@@ -518,32 +617,40 @@ fn worker_loop(inner: &Inner) {
             continue;
         }
 
+        // From here to the end of the batch, the guard owns every
+        // drained-but-unanswered entry: a panic at any point fails the
+        // remainder during unwinding instead of stranding waiters.
+        let mut guard = DrainGuard {
+            inner,
+            entries: drained,
+        };
+
         // Expire-before-search: a drained entry whose deadline already
         // passed is answered `Expired` without ever reaching the
         // synthesizer — under saturation this is the difference between
         // shedding future work and finishing work nobody is waiting for.
         let now = Instant::now();
-        let mut batch: Vec<Pending> = Vec::with_capacity(drained.len());
-        for entry in drained {
+        for entry in guard.entries.clone() {
             if entry.deadline.is_some_and(|d| now >= d) {
                 inner.expired[entry.kind.code() as usize].fetch_add(1, Ordering::Relaxed);
-                resolve(inner, entry.kind, entry.rep, Err(ServeError::Expired));
-            } else {
-                batch.push(entry);
+                guard.resolve(entry.kind, entry.rep, Err(ServeError::Expired));
             }
         }
 
         // Fault injection at the search boundary: plan-failed entries
         // are answered without running (and without counting as
         // searches); plan-delayed entries model a slow synthesizer by
-        // sleeping per search before the batch is submitted.
+        // sleeping per search before the batch is submitted; a
+        // plan-panic kills the worker mid-batch — the guard answers the
+        // batch, the supervisor respawns the worker.
         if let Some(plan) = inner.options.faults.as_deref() {
-            let mut kept: Vec<Pending> = Vec::with_capacity(batch.len());
-            for entry in batch {
+            for entry in guard.entries.clone() {
                 let fault = plan.next_search();
+                if fault.panic {
+                    panic!("{INJECTED_PANIC}");
+                }
                 if fault.fail {
-                    resolve(
-                        inner,
+                    guard.resolve(
                         entry.kind,
                         entry.rep,
                         Err(ServeError::Synthesis(INJECTED_FAILURE.to_string())),
@@ -553,26 +660,25 @@ fn worker_loop(inner: &Inner) {
                 if let Some(delay) = fault.delay {
                     std::thread::sleep(delay);
                 }
-                kept.push(entry);
             }
-            batch = kept;
         }
-        if batch.is_empty() {
+        if guard.entries.is_empty() {
             continue;
         }
 
         inner.batches.fetch_add(1, Ordering::Relaxed);
         inner
             .searches
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(guard.entries.len() as u64, Ordering::Relaxed);
         inner
             .max_batch
-            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+            .fetch_max(guard.entries.len() as u64, Ordering::Relaxed);
 
         // One batched engine call per cost model present in the drain:
         // each kind's reps ride one pass over that engine's level lists.
         for kind in CostKind::ALL {
-            let reps: Vec<Perm> = batch
+            let reps: Vec<Perm> = guard
+                .entries
                 .iter()
                 .filter(|e| e.kind == kind)
                 .map(|e| e.rep)
@@ -592,7 +698,7 @@ fn worker_loop(inner: &Inner) {
                     }
                     Err(e) => Err(ServeError::Synthesis(e.to_string())),
                 };
-                resolve(inner, kind, *rep, outcome);
+                guard.resolve(kind, *rep, outcome);
             }
         }
     }
@@ -999,5 +1105,46 @@ mod tests {
         assert_eq!(counters.searches, 0, "plan-failed searches never run");
         assert_eq!(plan.injected().failures, 1);
         sched.shutdown();
+    }
+
+    #[test]
+    fn panicking_worker_is_respawned_and_waiters_get_a_clean_error() {
+        // panic_every(2): the second drained search kills the worker.
+        // Its waiter must receive WORKER_PANIC (not hang), the
+        // supervisor must respawn the worker in place, and the
+        // respawned worker must answer the next request normally.
+        let plan = Arc::new(FaultPlan::new(11).with_panic_every(2));
+        let suite = Arc::new(test_suite());
+        let cache = Arc::new(ClassCache::new(256));
+        let sched = Scheduler::with_options(
+            Arc::clone(&suite),
+            Arc::clone(&cache),
+            1,
+            SearchOptions::new().threads(1),
+            SchedulerOptions {
+                faults: Some(Arc::clone(&plan)),
+                ..SchedulerOptions::default()
+            },
+        );
+        let reps = class_reps(&suite, 3);
+        // Search #1: no fault, answered normally.
+        let first = sched.request(CostKind::Gates, reps[0]).unwrap();
+        assert_eq!(first.perm(4), reps[0]);
+        // Search #2: the injected panic. The drain guard answers the
+        // waiter during unwinding; nothing reaches the cache.
+        match sched.request(CostKind::Gates, reps[1]) {
+            Err(ServeError::Synthesis(msg)) => assert!(msg.contains(WORKER_PANIC), "{msg}"),
+            other => panic!("expected abandoned search, got {other:?}"),
+        }
+        assert!(cache.get_quiet(CostKind::Gates, reps[1]).is_none());
+        // Search #3: served by the respawned worker.
+        let third = sched.request(CostKind::Gates, reps[2]).unwrap();
+        assert_eq!(third.perm(4), reps[2]);
+        let counters = sched.counters();
+        assert_eq!(counters.worker_restarts, 1, "{counters:?}");
+        assert_eq!(plan.injected().panics, 1);
+        assert_eq!(sched.live_workers(), 1, "pool self-healed to strength");
+        sched.shutdown();
+        assert_eq!(sched.live_workers(), 0);
     }
 }

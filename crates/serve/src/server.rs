@@ -17,18 +17,32 @@
 //! itself never sees client bytes and cannot be hung or crashed by
 //! them.
 //!
+//! **Warm restarts**: with a snapshot path configured, [`Server::bind`]
+//! restores the class cache from the checksummed on-disk snapshot
+//! before accepting a single connection — every record is validated
+//! (checksum, then replay against its representative) and corrupt ones
+//! are skipped and counted; an unreadable snapshot is quarantined to
+//! `<path>.corrupt` and the server boots cold. A background thread
+//! re-snapshots the cache on an interval, and graceful shutdown writes
+//! one final snapshot after the scheduler drains, so the next boot is
+//! as warm as this one was. Every write is atomic (temp file + fsync +
+//! rename), so a SIGKILL at any instant costs at most the work since
+//! the previous snapshot — never the snapshot itself.
+//!
 //! Shutdown: any client may send a shutdown frame. The flag flips, the
 //! acceptor is unblocked with a self-connection, handlers drain, the
-//! scheduler completes in-flight batches and fails queued ones, and
-//! [`Server::run`] returns the final [`ServeStats`].
+//! scheduler completes in-flight batches and fails queued ones, the
+//! final snapshot is written, and [`Server::run`] returns the final
+//! [`ServeStats`].
 //!
 //! [`Symmetries::canonicalize`]: revsynth_canon::Symmetries::canonicalize
 //! [`replay_for_witness`]: revsynth_canon::replay_for_witness
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,7 +55,8 @@ use crate::cache::ClassCache;
 use crate::fault::FaultPlan;
 use crate::protocol::{self, write_frame, FrameReader, Request, Response};
 use crate::scheduler::{Scheduler, SchedulerOptions, ServeError};
-use crate::stats::{LatencyHistogram, ServeStats};
+use crate::snapshot::{self, RestoreOutcome, SnapshotRecord};
+use crate::stats::{HealthReport, LatencyHistogram, ServeStats};
 
 /// How often an idle connection handler re-checks the shutdown flag.
 /// Bounds both shutdown latency and the cost of parked connections.
@@ -82,6 +97,15 @@ pub struct ServerConfig {
     /// Deterministic fault injection at the scheduler's search boundary
     /// (chaos tests, `loadgen --overload`); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Snapshot path: restore the cache from it at boot (tolerating
+    /// torn tails and bitflips), snapshot to it on graceful shutdown
+    /// and, when [`snapshot_interval`](Self::snapshot_interval) is set,
+    /// periodically. `None` (the default) disables persistence.
+    pub snapshot: Option<PathBuf>,
+    /// How often the background snapshotter re-writes the snapshot;
+    /// `None` (the default) snapshots only at graceful shutdown.
+    /// Ignored without a [`snapshot`](Self::snapshot) path.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -99,8 +123,27 @@ impl Default for ServerConfig {
             max_conns: 0,
             retry_after_ms: 100,
             faults: None,
+            snapshot: None,
+            snapshot_interval: None,
         }
     }
+}
+
+/// What restore-on-boot found at the snapshot path (for operator
+/// display; the same numbers feed [`ServeStats::restored`] and
+/// [`ServeStats::snapshot_skipped`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RestoreSummary {
+    /// Records validated and inserted into the cache.
+    pub restored: u64,
+    /// Records rejected (torn tail, failed checksum, failed replay or
+    /// canonicality validation) — skipped, never served.
+    pub skipped: u64,
+    /// Where an unreadable snapshot was quarantined, if it was; the
+    /// server booted cold.
+    pub quarantined: Option<PathBuf>,
+    /// The rendered reason for quarantine, when one happened.
+    pub quarantine_reason: Option<String>,
 }
 
 /// Shared state every connection handler sees.
@@ -115,6 +158,24 @@ struct Shared {
     latency: LatencyHistogram,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    started: Instant,
+    /// Snapshot path when persistence is on; `None` makes every
+    /// snapshot call a no-op.
+    snapshot_path: Option<PathBuf>,
+    /// Fault plan, consulted for injected snapshot-write pauses.
+    faults: Option<Arc<FaultPlan>>,
+    restored: AtomicU64,
+    snapshot_writes: AtomicU64,
+    snapshot_skipped: AtomicU64,
+    /// When the last successful snapshot write finished (`None` until
+    /// the first one; restore-at-boot does not count — the probe
+    /// reports the age of *this process's* persistence, not the
+    /// previous incarnation's).
+    last_snapshot: Mutex<Option<Instant>>,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared {
@@ -139,6 +200,51 @@ impl Shared {
             shed: sched.shed_total(),
             expired: sched.expired_total(),
             shed_conns: self.shed_conns.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
+            snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+            snapshot_skipped: self.snapshot_skipped.load(Ordering::Relaxed),
+            worker_restarts: sched.worker_restarts,
+        }
+    }
+
+    fn health(&self) -> HealthReport {
+        let snapshot_age_ms = lock(&self.last_snapshot).map_or(HealthReport::NO_SNAPSHOT, |t| {
+            t.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+        });
+        HealthReport {
+            uptime_ms: self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            restored: self.restored.load(Ordering::Relaxed),
+            live_workers: self.scheduler.live_workers(),
+            snapshot_age_ms,
+        }
+    }
+}
+
+/// Writes one snapshot of the current cache contents, if persistence is
+/// on. A write failure is counted as a server error and the previous
+/// snapshot (if any) stays in place — persistence degrades, serving
+/// does not.
+fn write_snapshot_now(shared: &Shared) {
+    let Some(path) = shared.snapshot_path.as_deref() else {
+        return;
+    };
+    let records: Vec<SnapshotRecord> = shared
+        .cache
+        .export()
+        .into_iter()
+        .map(|(kind, rep, circuit)| SnapshotRecord { kind, rep, circuit })
+        .collect();
+    let pause = shared
+        .faults
+        .as_deref()
+        .and_then(FaultPlan::next_snapshot_delay);
+    match snapshot::write_snapshot_paced(path, shared.suite.wires(), &records, pause) {
+        Ok(_) => {
+            shared.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+            *lock(&shared.last_snapshot) = Some(Instant::now());
+        }
+        Err(_) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -148,12 +254,15 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     max_conns: usize,
+    snapshot_interval: Option<Duration>,
+    restore_summary: RestoreSummary,
 }
 
 /// Handle to a server running on a background thread
 /// ([`Server::spawn`]); joining returns the final stats.
 pub struct ServerHandle {
     addr: SocketAddr,
+    shared: Arc<Shared>,
     thread: JoinHandle<io::Result<ServeStats>>,
 }
 
@@ -168,13 +277,17 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Propagates the accept loop's I/O error, if it died on one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server thread itself panicked.
+    /// Propagates the accept loop's I/O error, if it died on one; a
+    /// panicked server thread is reported as a typed I/O error (and
+    /// counted), never re-panicked into the caller.
     pub fn join(self) -> io::Result<ServeStats> {
-        self.thread.join().expect("server thread must not panic")
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => {
+                self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                Err(io::Error::other("server thread panicked"))
+            }
+        }
     }
 }
 
@@ -192,6 +305,35 @@ impl Server {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let cache = Arc::new(ClassCache::new(config.cache_capacity));
+        // Restore before the first accept: a warm restart serves its
+        // first query from the restored cache. Nothing here can fail
+        // the boot — a missing snapshot is a cold start, an unreadable
+        // one is quarantined and *then* a cold start.
+        let mut restore_summary = RestoreSummary::default();
+        if let Some(path) = config.snapshot.as_deref() {
+            match snapshot::restore(path, suite.wires()) {
+                RestoreOutcome::Missing => {}
+                RestoreOutcome::Restored { records, skipped } => {
+                    restore_summary.skipped = skipped;
+                    for record in records {
+                        // Belt over the format's suspenders: only
+                        // canonical representatives are legal cache
+                        // keys (a non-canonical key would never be
+                        // looked up, and a *forged* one must not be).
+                        if suite.sym().canonical(record.rep) == record.rep {
+                            cache.insert(record.kind, record.rep, record.circuit);
+                            restore_summary.restored += 1;
+                        } else {
+                            restore_summary.skipped += 1;
+                        }
+                    }
+                }
+                RestoreOutcome::Quarantined { error, quarantine } => {
+                    restore_summary.quarantine_reason = Some(error.to_string());
+                    restore_summary.quarantined = quarantine;
+                }
+            }
+        }
         let scheduler = Scheduler::with_options(
             Arc::clone(&suite),
             Arc::clone(&cache),
@@ -207,6 +349,7 @@ impl Server {
         Ok(Server {
             listener,
             max_conns: config.max_conns,
+            snapshot_interval: config.snapshot_interval,
             shared: Arc::new(Shared {
                 suite,
                 cache,
@@ -218,7 +361,15 @@ impl Server {
                 latency: LatencyHistogram::new(),
                 shutdown: AtomicBool::new(false),
                 addr,
+                started: Instant::now(),
+                snapshot_path: config.snapshot.clone(),
+                faults: config.faults.clone(),
+                restored: AtomicU64::new(restore_summary.restored),
+                snapshot_writes: AtomicU64::new(0),
+                snapshot_skipped: AtomicU64::new(restore_summary.skipped),
+                last_snapshot: Mutex::new(None),
             }),
+            restore_summary,
         })
     }
 
@@ -226,6 +377,13 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// What restore-on-boot found (all zeroes when no snapshot path was
+    /// configured or no snapshot existed).
+    #[must_use]
+    pub fn restore_summary(&self) -> &RestoreSummary {
+        &self.restore_summary
     }
 
     /// Runs the accept loop on the calling thread until a shutdown
@@ -241,10 +399,34 @@ impl Server {
             listener,
             shared,
             max_conns,
+            snapshot_interval,
+            restore_summary: _,
         } = self;
+        // The background snapshotter: wakes every poll tick (so
+        // shutdown is prompt), writes when the interval has elapsed.
+        let snapshotter: Option<JoinHandle<()>> = match snapshot_interval {
+            Some(every) if shared.snapshot_path.is_some() => {
+                let shared = Arc::clone(&shared);
+                Some(std::thread::spawn(move || {
+                    let mut last = Instant::now();
+                    loop {
+                        std::thread::sleep(POLL_INTERVAL.min(every));
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if last.elapsed() >= every {
+                            write_snapshot_now(&shared);
+                            last = Instant::now();
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
         // Only the accept loop touches this list; handlers are joined
         // after the loop exits.
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        let mut accept_error: Option<io::Error> = None;
         for stream in listener.incoming() {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -254,7 +436,10 @@ impl Server {
                 // Transient accept errors (e.g. a peer that reset before
                 // the handshake finished) must not kill the server.
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => return Err(e),
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
             };
             // Reap finished handlers so long-running servers don't
             // accumulate join handles — and JOIN them, so a handler
@@ -280,11 +465,24 @@ impl Server {
                 handle_connection(&shared, stream)
             }));
         }
+        // Drain order is the crash-safety contract: stop accepting,
+        // drain handlers, fail queued tickets, THEN write the final
+        // snapshot — so the snapshot sees every search the drain
+        // completed and the file on disk is the warmest state this
+        // process ever had.
+        shared.shutdown.store(true, Ordering::SeqCst);
         for handle in handlers {
             join_handler(&shared, handle);
         }
         shared.scheduler.shutdown();
-        Ok(shared.snapshot())
+        if let Some(handle) = snapshotter {
+            let _ = handle.join();
+        }
+        write_snapshot_now(&shared);
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(shared.snapshot()),
+        }
     }
 
     /// Runs the server on a background thread; the returned handle
@@ -292,8 +490,10 @@ impl Server {
     #[must_use]
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
+        let shared = Arc::clone(&self.shared);
         ServerHandle {
             addr,
+            shared,
             thread: std::thread::spawn(move || self.run()),
         }
     }
@@ -390,6 +590,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 response
             }
             Request::Stats => Response::Stats(shared.snapshot()),
+            Request::Health => Response::Health(shared.health()),
             Request::Shutdown => {
                 let _ = write_frame(
                     &mut writer,

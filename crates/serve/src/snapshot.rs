@@ -1,0 +1,620 @@
+//! Crash-safe persistence of the [`ClassCache`]: checksummed, versioned
+//! snapshots so a restarted server comes up **warm** instead of
+//! re-running millions of meet-in-the-middle searches.
+//!
+//! The format reuses the v4 table store's durability discipline
+//! (`revsynth-bfs/src/store.rs`): FNV-1a checksums over every region,
+//! validated before any byte is trusted. Layout:
+//!
+//! ```text
+//! magic    8 B  "RVSYNSS1"
+//! wires    1 B  wire count (2..=4)
+//! reserved 7 B  zero
+//! count    8 B  number of records (LE)
+//! hdr_fnv  8 B  FNV-1a of every preceding byte (LE)
+//! records  count times:
+//!   model    1 B  cost-model discriminant (CostKind::code)
+//!   rep      8 B  packed canonical representative (LE)
+//!   len      2 B  gate count (LE)
+//!   gates    len B  (controls << 2) | target, bit 7 clear
+//!   rec_fnv  8 B  FNV-1a of this record's preceding bytes (LE)
+//! ```
+//!
+//! **Atomicity**: a snapshot is written to `<path>.tmp`, fsynced, and
+//! atomically renamed over `<path>` — so the file at `<path>` is either
+//! a complete previous snapshot or a complete new one, never a torn
+//! write. A SIGKILL mid-write leaves a stale `.tmp` (ignored on boot)
+//! and the previous complete snapshot intact.
+//!
+//! **Corruption contract** ([`restore`]): a snapshot damaged *after*
+//! the rename (bitflips, truncation) is degraded record by record —
+//! a record whose checksum fails is skipped and counted; a torn tail
+//! skips the unreadable remainder; an unreadable header quarantines the
+//! whole file to `<path>.corrupt` and the caller boots cold. Restore
+//! never panics, and every surviving record is **revalidated by
+//! replay** — the circuit must compute its claimed representative on
+//! the declared wire count — so a corrupt snapshot can cost warmth but
+//! can never poison an answer.
+//!
+//! [`ClassCache`]: crate::ClassCache
+
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use revsynth_circuit::{Circuit, CostKind, Gate};
+use revsynth_perm::Perm;
+
+/// Snapshot format magic ("revsynth serve snapshot v1").
+const MAGIC: &[u8; 8] = b"RVSYNSS1";
+
+/// Fixed header length: magic + wires + reserved + count + header FNV.
+const HEADER_LEN: usize = 8 + 1 + 7 + 8 + 8;
+
+/// Per-record overhead around the gate bytes: model + rep + len + FNV.
+const RECORD_OVERHEAD: usize = 1 + 8 + 2 + 8;
+
+/// One cached class as persisted: the cost model, the canonical
+/// representative, and its optimal circuit under that model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRecord {
+    /// Cost model the circuit is optimal under.
+    pub kind: CostKind,
+    /// The class's canonical representative.
+    pub rep: Perm,
+    /// The representative's cached circuit.
+    pub circuit: Circuit,
+}
+
+/// Error raised while writing or reading a snapshot; always names the
+/// file so operators can tell which artifact is bad.
+#[derive(Debug)]
+pub struct SnapshotError {
+    path: PathBuf,
+    kind: SnapshotErrorKind,
+}
+
+/// What went wrong with a snapshot file.
+#[derive(Debug)]
+pub enum SnapshotErrorKind {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// A header field is out of range or its checksum fails.
+    BadHeader(String),
+}
+
+impl SnapshotError {
+    fn new(path: &Path, kind: SnapshotErrorKind) -> Self {
+        SnapshotError {
+            path: path.to_path_buf(),
+            kind,
+        }
+    }
+
+    /// The file the failed operation was touching.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The failure itself.
+    #[must_use]
+    pub fn kind(&self) -> &SnapshotErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot {}: ", self.path.display())?;
+        match &self.kind {
+            SnapshotErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotErrorKind::BadMagic => write!(f, "not a cache snapshot (bad magic)"),
+            SnapshotErrorKind::BadHeader(msg) => write!(f, "invalid header: {msg}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            SnapshotErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental FNV-1a, the same construction the v4 table store uses.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+fn fnv1a_of(bytes: &[u8]) -> u64 {
+    let mut fnv = Fnv1a::new();
+    fnv.update(bytes);
+    fnv.value()
+}
+
+/// Serializes one record (without its trailing FNV) into `out`.
+fn encode_record(record: &SnapshotRecord, out: &mut Vec<u8>) {
+    out.push(record.kind.code());
+    out.extend_from_slice(&record.rep.packed().to_le_bytes());
+    let len = u16::try_from(record.circuit.len()).expect("snapshot circuit fits u16");
+    out.extend_from_slice(&len.to_le_bytes());
+    for g in record.circuit.iter() {
+        out.push((g.controls() << 2) | g.target());
+    }
+}
+
+/// Writes a complete snapshot of `records` to `path`, atomically.
+///
+/// The bytes go to `<path>.tmp` first, are fsynced, and the temp file
+/// is renamed over `path` — a crash (or SIGKILL) at any instant leaves
+/// `path` holding either the previous complete snapshot or the new one.
+/// Returns the number of records written.
+///
+/// # Errors
+///
+/// [`SnapshotErrorKind::Io`] on any filesystem failure; the temp file
+/// is removed best-effort on error.
+pub fn write_snapshot(
+    path: &Path,
+    wires: usize,
+    records: &[SnapshotRecord],
+) -> Result<u64, SnapshotError> {
+    write_snapshot_paced(path, wires, records, None)
+}
+
+/// [`write_snapshot`] with an injected pause between the temp file
+/// becoming durable and the rename publishing it — the chaos hook that
+/// widens the "killed mid-snapshot" window to something a test can
+/// reliably hit. A kill during the pause leaves a complete `.tmp`
+/// beside the previous snapshot; [`restore`] ignores temp files, so the
+/// previous snapshot still boots.
+///
+/// # Errors
+///
+/// As [`write_snapshot`].
+pub fn write_snapshot_paced(
+    path: &Path,
+    wires: usize,
+    records: &[SnapshotRecord],
+    mid_write_pause: Option<std::time::Duration>,
+) -> Result<u64, SnapshotError> {
+    let tmp = tmp_path(path);
+    let io_err = |e: io::Error| SnapshotError::new(&tmp, SnapshotErrorKind::Io(e));
+    let result = (|| {
+        let file = File::create(&tmp).map_err(io_err)?;
+        let mut w = BufWriter::new(file);
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.push(u8::try_from(wires).expect("wire count fits a byte"));
+        header.extend_from_slice(&[0u8; 7]);
+        header.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        header.extend_from_slice(&fnv1a_of(&header).to_le_bytes());
+        debug_assert_eq!(header.len(), HEADER_LEN);
+        w.write_all(&header).map_err(io_err)?;
+        let mut buf = Vec::new();
+        for record in records {
+            buf.clear();
+            encode_record(record, &mut buf);
+            let fnv = fnv1a_of(&buf);
+            buf.extend_from_slice(&fnv.to_le_bytes());
+            w.write_all(&buf).map_err(io_err)?;
+        }
+        // Flush + fsync the temp file BEFORE the rename: the rename must
+        // only ever expose fully durable bytes.
+        w.flush().map_err(io_err)?;
+        w.into_inner()
+            .map_err(|e| io_err(e.into_error()))?
+            .sync_all()
+            .map_err(io_err)?;
+        if let Some(pause) = mid_write_pause {
+            std::thread::sleep(pause);
+        }
+        fs::rename(&tmp, path).map_err(|e| SnapshotError::new(path, SnapshotErrorKind::Io(e)))?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(records.len() as u64)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// The temp-file path a snapshot write stages through.
+#[must_use]
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// The quarantine path an unreadable snapshot is moved to.
+#[must_use]
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".corrupt");
+    PathBuf::from(os)
+}
+
+/// What [`restore`] found at the snapshot path.
+#[derive(Debug)]
+pub enum RestoreOutcome {
+    /// No snapshot exists; boot cold (not an error).
+    Missing,
+    /// The snapshot's header validated; `records` passed per-record
+    /// checksum and replay validation, `skipped` records did not (torn
+    /// tail, bitflip, or a circuit that does not compute its rep).
+    Restored {
+        /// Records safe to insert into the cache, oldest-first (so
+        /// re-insertion reproduces the snapshot's recency order).
+        records: Vec<SnapshotRecord>,
+        /// Records declared by the header but not restored.
+        skipped: u64,
+    },
+    /// The header itself was unreadable (bad magic, wrong wire count,
+    /// checksum mismatch, I/O failure): the file was moved to
+    /// `<path>.corrupt` (when the move succeeded) and the caller must
+    /// boot cold.
+    Quarantined {
+        /// Why the snapshot was rejected.
+        error: SnapshotError,
+        /// Where the bad file was moved, if the move succeeded.
+        quarantine: Option<PathBuf>,
+    },
+}
+
+/// Reads one record body (after the header) from `r`. Returns
+/// `Ok(None)` for a record that is individually corrupt but leaves the
+/// stream positioned at the next record; `Err(())` when framing is lost
+/// (torn tail / unreadable length) and nothing further can be read.
+fn read_record(r: &mut impl Read, wires: usize) -> Result<Option<SnapshotRecord>, ()> {
+    let mut fixed = [0u8; 11];
+    read_exact_or_tear(r, &mut fixed)?;
+    let len = usize::from(u16::from_le_bytes([fixed[9], fixed[10]]));
+    let mut gates = vec![0u8; len];
+    read_exact_or_tear(r, &mut gates)?;
+    let mut fnv_bytes = [0u8; 8];
+    read_exact_or_tear(r, &mut fnv_bytes)?;
+    let mut fnv = Fnv1a::new();
+    fnv.update(&fixed);
+    fnv.update(&gates);
+    if fnv.value() != u64::from_le_bytes(fnv_bytes) {
+        return Ok(None);
+    }
+    // Checksum holds: decode, then revalidate by replay. Any failure
+    // past this point is a skip, never a crash.
+    let Some(kind) = CostKind::from_code(fixed[0]) else {
+        return Ok(None);
+    };
+    let packed = u64::from_le_bytes(fixed[1..9].try_into().expect("8 rep bytes"));
+    let Ok(rep) = Perm::from_packed(packed) else {
+        return Ok(None);
+    };
+    let mut circuit = Circuit::new();
+    for &byte in &gates {
+        if byte & 0x80 != 0 {
+            return Ok(None);
+        }
+        match Gate::new(byte >> 2, byte & 0x03) {
+            Ok(gate) => circuit.push(gate),
+            Err(_) => return Ok(None),
+        }
+    }
+    // Replay validation: the circuit must compute its claimed rep, and
+    // the rep must live on the declared wire domain.
+    for x in (1u8 << wires)..16 {
+        if rep.apply(x) != x {
+            return Ok(None);
+        }
+    }
+    if circuit.perm(wires) != rep {
+        return Ok(None);
+    }
+    Ok(Some(SnapshotRecord { kind, rep, circuit }))
+}
+
+fn read_exact_or_tear(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ()> {
+    r.read_exact(buf).map_err(|_| ())
+}
+
+/// Restores a snapshot from `path`, degrading instead of failing:
+/// corrupt records are skipped and counted, a torn tail truncates the
+/// restore, and a snapshot whose *header* cannot be trusted is
+/// quarantined to `<path>.corrupt` so the next boot is a clean cold
+/// start. Never panics on file contents.
+#[must_use]
+pub fn restore(path: &Path, wires: usize) -> RestoreOutcome {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::NotFound => return RestoreOutcome::Missing,
+        Err(e) => return quarantine(path, SnapshotErrorKind::Io(e)),
+    };
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; HEADER_LEN];
+    if let Err(e) = r.read_exact(&mut header) {
+        return quarantine(path, SnapshotErrorKind::Io(e));
+    }
+    if &header[..8] != MAGIC {
+        return quarantine(path, SnapshotErrorKind::BadMagic);
+    }
+    let fnv = u64::from_le_bytes(header[HEADER_LEN - 8..].try_into().expect("8 bytes"));
+    if fnv != fnv1a_of(&header[..HEADER_LEN - 8]) {
+        return quarantine(
+            path,
+            SnapshotErrorKind::BadHeader("header checksum mismatch".into()),
+        );
+    }
+    if usize::from(header[8]) != wires {
+        return quarantine(
+            path,
+            SnapshotErrorKind::BadHeader(format!(
+                "snapshot is for {} wires, server runs {wires}",
+                header[8]
+            )),
+        );
+    }
+    let count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let mut records = Vec::new();
+    for _ in 0..count {
+        match read_record(&mut r, wires) {
+            Ok(Some(record)) => records.push(record),
+            Ok(None) => {}    // individually corrupt: skip, keep reading
+            Err(()) => break, // torn tail: the remainder is unreadable
+        }
+    }
+    // Every record the header declared but we could not restore —
+    // individually corrupt or lost in a torn tail — counts as skipped.
+    let skipped = count - records.len() as u64;
+    RestoreOutcome::Restored { records, skipped }
+}
+
+fn quarantine(path: &Path, kind: SnapshotErrorKind) -> RestoreOutcome {
+    let error = SnapshotError::new(path, kind);
+    let target = quarantine_path(path);
+    let quarantine = fs::rename(path, &target).ok().map(|()| target);
+    RestoreOutcome::Quarantined { error, quarantine }
+}
+
+/// Approximate serialized size of `records`, for pre-sizing buffers.
+#[must_use]
+pub fn serialized_size(records: &[SnapshotRecord]) -> usize {
+    HEADER_LEN
+        + records
+            .iter()
+            .map(|r| RECORD_OVERHEAD + r.circuit.len())
+            .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revsynth_circuit::GateLib;
+
+    fn records_on(n: usize, count: usize) -> Vec<SnapshotRecord> {
+        let lib = GateLib::nct(n);
+        let gates: Vec<Gate> = lib.iter().map(|(_, g, _)| g).collect();
+        (0..count)
+            .map(|i| {
+                let circuit =
+                    Circuit::from_gates((0..=(i % 3)).map(|j| gates[(i + j) % gates.len()]));
+                SnapshotRecord {
+                    kind: CostKind::ALL[i % CostKind::ALL.len()],
+                    rep: circuit.perm(n),
+                    circuit,
+                }
+            })
+            .collect()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("revsynth-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("cache.snap");
+        let records = records_on(4, 24);
+        assert_eq!(write_snapshot(&path, 4, &records).unwrap(), 24);
+        match restore(&path, 4) {
+            RestoreOutcome::Restored {
+                records: restored,
+                skipped,
+            } => {
+                assert_eq!(skipped, 0);
+                assert_eq!(restored, records, "bit-identical restore");
+            }
+            other => panic!("expected restore, got {other:?}"),
+        }
+        assert!(!tmp_path(&path).exists(), "temp file renamed away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_boot_not_an_error() {
+        let dir = tempdir("missing");
+        assert!(matches!(
+            restore(&dir.join("nope.snap"), 4),
+            RestoreOutcome::Missing
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_restores_the_intact_prefix() {
+        let dir = tempdir("torn");
+        let path = dir.join("cache.snap");
+        let records = records_on(4, 12);
+        write_snapshot(&path, 4, &records).unwrap();
+        // Cut the file mid-record: everything before the cut restores,
+        // the remainder is counted skipped.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 13]).unwrap();
+        match restore(&path, 4) {
+            RestoreOutcome::Restored {
+                records: restored,
+                skipped,
+            } => {
+                assert!(skipped >= 1, "the torn record is counted");
+                assert_eq!(restored.len() as u64 + skipped, 12);
+                assert_eq!(restored[..], records[..restored.len()]);
+            }
+            other => panic!("expected degraded restore, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_bitflip_skips_only_that_record() {
+        let dir = tempdir("bitflip");
+        let path = dir.join("cache.snap");
+        let records = records_on(4, 10);
+        write_snapshot(&path, 4, &records).unwrap();
+        // Flip one bit inside the first record's rep field (offset:
+        // header + model byte + 3). Framing survives, the checksum
+        // catches it, and every later record still restores.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 4] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        match restore(&path, 4) {
+            RestoreOutcome::Restored {
+                records: restored,
+                skipped,
+            } => {
+                assert_eq!(skipped, 1, "exactly the flipped record");
+                assert_eq!(restored[..], records[1..]);
+            }
+            other => panic!("expected degraded restore, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_header_quarantines_and_leaves_a_cold_boot() {
+        let dir = tempdir("quarantine");
+        let path = dir.join("cache.snap");
+        write_snapshot(&path, 4, &records_on(4, 5)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0xFF; // corrupt the magic
+        fs::write(&path, &bytes).unwrap();
+        match restore(&path, 4) {
+            RestoreOutcome::Quarantined { error, quarantine } => {
+                assert!(matches!(error.kind(), SnapshotErrorKind::BadMagic));
+                let q = quarantine.expect("rename succeeded");
+                assert!(q.exists(), "bad file preserved for forensics");
+                assert!(!path.exists(), "snapshot path cleared");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The next restore is a clean cold boot.
+        assert!(matches!(restore(&path, 4), RestoreOutcome::Missing));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_wire_count_is_quarantined() {
+        let dir = tempdir("wires");
+        let path = dir.join("cache.snap");
+        write_snapshot(&path, 3, &records_on(3, 4)).unwrap();
+        assert!(matches!(
+            restore(&path, 4),
+            RestoreOutcome::Quarantined { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_failing_replay_are_skipped() {
+        let dir = tempdir("replay");
+        let path = dir.join("cache.snap");
+        // A record whose circuit does NOT compute its claimed rep, with
+        // a *valid* checksum — the replay validation must reject it.
+        let lib = GateLib::nct(4);
+        let gate = lib.iter().next().unwrap().1;
+        let lying = SnapshotRecord {
+            kind: CostKind::Gates,
+            rep: Perm::identity(),
+            circuit: Circuit::from_gates([gate]),
+        };
+        let honest = records_on(4, 1);
+        write_snapshot(&path, 4, &[lying, honest[0].clone()]).unwrap();
+        match restore(&path, 4) {
+            RestoreOutcome::Restored {
+                records: restored,
+                skipped,
+            } => {
+                assert_eq!(skipped, 1, "the lying record is rejected");
+                assert_eq!(restored, honest);
+            }
+            other => panic!("expected degraded restore, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_from_a_killed_writer_is_ignored() {
+        let dir = tempdir("staletmp");
+        let path = dir.join("cache.snap");
+        let records = records_on(4, 6);
+        write_snapshot(&path, 4, &records).unwrap();
+        // A SIGKILL mid-write leaves a partial temp file; the complete
+        // snapshot at `path` must restore untouched.
+        fs::write(tmp_path(&path), b"partial garbage from a dead writer").unwrap();
+        match restore(&path, 4) {
+            RestoreOutcome::Restored {
+                records: restored,
+                skipped,
+            } => {
+                assert_eq!(skipped, 0);
+                assert_eq!(restored, records);
+            }
+            other => panic!("expected restore, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let dir = tempdir("empty");
+        let path = dir.join("cache.snap");
+        assert_eq!(write_snapshot(&path, 4, &[]).unwrap(), 0);
+        match restore(&path, 4) {
+            RestoreOutcome::Restored { records, skipped } => {
+                assert!(records.is_empty());
+                assert_eq!(skipped, 0);
+            }
+            other => panic!("expected restore, got {other:?}"),
+        }
+        assert!(serialized_size(&[]) == HEADER_LEN);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

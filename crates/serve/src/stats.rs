@@ -58,11 +58,23 @@ pub struct ServeStats {
     /// Connections refused at accept because the handler limit was
     /// reached (answered with an `Overloaded` frame, then closed).
     pub shed_conns: u64,
+    /// Cache entries restored from the boot snapshot (each one a class
+    /// whose first query costs zero searches after a restart).
+    pub restored: u64,
+    /// Complete snapshots written (periodic + shutdown), each one an
+    /// atomic temp-file + fsync + rename.
+    pub snapshot_writes: u64,
+    /// Snapshot records rejected during restore (torn tail, failed
+    /// checksum, failed replay validation) — skipped, never served.
+    pub snapshot_skipped: u64,
+    /// Scheduler workers respawned after a panic (one poisoned search
+    /// no longer silently shrinks the worker pool).
+    pub worker_restarts: u64,
 }
 
 impl ServeStats {
     /// Number of `u64` words in the wire encoding.
-    pub const FIELDS: usize = 17;
+    pub const FIELDS: usize = 21;
 
     /// The wire encoding order (field order above).
     #[must_use]
@@ -85,6 +97,10 @@ impl ServeStats {
             self.shed,
             self.expired,
             self.shed_conns,
+            self.restored,
+            self.snapshot_writes,
+            self.snapshot_skipped,
+            self.worker_restarts,
         ]
     }
 
@@ -109,6 +125,10 @@ impl ServeStats {
             shed: words[14],
             expired: words[15],
             shed_conns: words[16],
+            restored: words[17],
+            snapshot_writes: words[18],
+            snapshot_skipped: words[19],
+            worker_restarts: words[20],
         }
     }
 
@@ -135,6 +155,8 @@ impl ServeStats {
              \"cached_classes\": {}, \"cache_capacity\": {}, \
              \"p50_latency_us\": {}, \"p99_latency_us\": {}, \
              \"shed\": {}, \"expired\": {}, \"shed_conns\": {}, \
+             \"restored\": {}, \"snapshot_writes\": {}, \
+             \"snapshot_skipped\": {}, \"worker_restarts\": {}, \
              \"hit_rate\": {:.4}}}",
             self.wires,
             self.requests,
@@ -153,7 +175,83 @@ impl ServeStats {
             self.shed,
             self.expired,
             self.shed_conns,
+            self.restored,
+            self.snapshot_writes,
+            self.snapshot_skipped,
+            self.worker_restarts,
             self.hit_rate()
+        )
+    }
+}
+
+/// The readiness probe a `0x05 Health` request answers: enough for an
+/// external supervisor to tell a freshly booted warm server from a cold
+/// one, and a live worker pool from a shrunken one, without parsing the
+/// full stats snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Milliseconds since the server started serving.
+    pub uptime_ms: u64,
+    /// Cache entries restored from the boot snapshot.
+    pub restored: u64,
+    /// Scheduler workers currently alive (a panicked worker is respawned,
+    /// so this should always equal the configured pool size).
+    pub live_workers: u64,
+    /// Milliseconds since the last complete snapshot write **or**
+    /// restore; [`HealthReport::NO_SNAPSHOT`] when snapshotting is off
+    /// or nothing has been written yet.
+    pub snapshot_age_ms: u64,
+}
+
+impl HealthReport {
+    /// Number of `u64` words in the wire encoding.
+    pub const FIELDS: usize = 4;
+
+    /// Sentinel `snapshot_age_ms`: no snapshot has ever been written.
+    pub const NO_SNAPSHOT: u64 = u64::MAX;
+
+    /// The wire encoding order (field order above).
+    #[must_use]
+    pub fn to_words(&self) -> [u64; Self::FIELDS] {
+        [
+            self.uptime_ms,
+            self.restored,
+            self.live_workers,
+            self.snapshot_age_ms,
+        ]
+    }
+
+    /// Inverse of [`to_words`](Self::to_words).
+    #[must_use]
+    pub fn from_words(words: &[u64; Self::FIELDS]) -> Self {
+        HealthReport {
+            uptime_ms: words[0],
+            restored: words[1],
+            live_workers: words[2],
+            snapshot_age_ms: words[3],
+        }
+    }
+
+    /// The age of the last snapshot write, decoded from the sentinel:
+    /// `None` when this process has never written one.
+    #[must_use]
+    pub fn snapshot_age(&self) -> Option<u64> {
+        (self.snapshot_age_ms != Self::NO_SNAPSHOT).then_some(self.snapshot_age_ms)
+    }
+
+    /// Renders the probe as a single-line JSON object (`snapshot_age_ms`
+    /// becomes `null` when no snapshot exists).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let age = if self.snapshot_age_ms == Self::NO_SNAPSHOT {
+            "null".to_owned()
+        } else {
+            self.snapshot_age_ms.to_string()
+        };
+        format!(
+            "{{\"uptime_ms\": {}, \"restored\": {}, \"live_workers\": {}, \
+             \"snapshot_age_ms\": {age}}}",
+            self.uptime_ms, self.restored, self.live_workers
         )
     }
 }
@@ -296,6 +394,10 @@ mod tests {
             shed: 14,
             expired: 15,
             shed_conns: 16,
+            restored: 17,
+            snapshot_writes: 18,
+            snapshot_skipped: 19,
+            worker_restarts: 20,
         };
         assert_eq!(ServeStats::from_words(&stats.to_words()), stats);
         let json = stats.to_json();
@@ -307,9 +409,39 @@ mod tests {
             "\"shed\": 14",
             "\"expired\": 15",
             "\"shed_conns\": 16",
+            "\"restored\": 17",
+            "\"snapshot_writes\": 18",
+            "\"snapshot_skipped\": 19",
+            "\"worker_restarts\": 20",
         ] {
             assert!(json.contains(field), "{json}");
         }
+    }
+
+    #[test]
+    fn health_words_roundtrip_and_render() {
+        let health = HealthReport {
+            uptime_ms: 12_345,
+            restored: 512,
+            live_workers: 4,
+            snapshot_age_ms: 900,
+        };
+        assert_eq!(HealthReport::from_words(&health.to_words()), health);
+        let json = health.to_json();
+        for field in [
+            "\"uptime_ms\": 12345",
+            "\"restored\": 512",
+            "\"live_workers\": 4",
+            "\"snapshot_age_ms\": 900",
+        ] {
+            assert!(json.contains(field), "{json}");
+        }
+        let never = HealthReport {
+            snapshot_age_ms: HealthReport::NO_SNAPSHOT,
+            ..health
+        };
+        assert_eq!(HealthReport::from_words(&never.to_words()), never);
+        assert!(never.to_json().contains("\"snapshot_age_ms\": null"));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Restart-chaos suite: the crash-safe warm-restart contract, end to
+//! end. A warmed server must come back from its snapshot answering the
+//! same working set with **zero** new searches and every circuit exact;
+//! torn tails, bitflips and unreadable headers must degrade to skipped
+//! records or a quarantined cold boot — never a panic, never a wrong
+//! answer; panicking workers must be respawned without stranding a
+//! single waiter; and the health probe must report it all.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use revsynth_analysis::{Rng, SplitMix64};
+use revsynth_circuit::{Circuit, CostKind, GateLib};
+use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
+use revsynth_serve::loadgen::{self, LoadgenConfig};
+use revsynth_serve::snapshot::{self, RestoreOutcome, SnapshotRecord};
+use revsynth_serve::{
+    ClassCache, Client, FaultPlan, HealthReport, Server, ServerConfig, ServerHandle,
+};
+
+/// Deep enough (`k = 3`, quantum budget 7) that the loadgen pool's
+/// up-to-5-gate circuits all synthesize within budget, so loadgen
+/// reports distinguish *injected* damage from legitimate misses.
+fn suite() -> Arc<SynthesisSuite> {
+    Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, 3),
+        SuiteConfig {
+            quantum_budget: 7,
+            depth_budget: 2,
+        },
+    ))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("revsynth-restart-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_server(config: &ServerConfig) -> ServerHandle {
+    Server::bind(suite(), config)
+        .expect("bind loopback")
+        .spawn()
+}
+
+fn snapshot_config(path: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        snapshot: Some(path.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+/// Warm → graceful shutdown → restart from the same snapshot path →
+/// the same working set is served with zero new searches, every
+/// circuit exact. The tentpole's happy path.
+#[test]
+fn graceful_shutdown_then_warm_restart_costs_zero_searches() {
+    let dir = tempdir("warm");
+    let path = dir.join("cache.snap");
+    let config = snapshot_config(&path);
+    let load = LoadgenConfig::quick(0xFEED);
+
+    // Incarnation 1: warm the cache, shut down gracefully (which
+    // writes the final snapshot).
+    let first = start_server(&config);
+    let report = loadgen::run(first.addr(), 4, &load).expect("warm run");
+    assert_eq!(report.errors, 0, "{report:?}");
+    let warmed_searches = report.stats.searches;
+    assert!(warmed_searches > 0, "the warm run searched something");
+    Client::connect(first.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    let final_stats = first.join().unwrap();
+    assert!(
+        final_stats.snapshot_writes >= 1,
+        "graceful shutdown snapshots: {final_stats:?}"
+    );
+    assert!(path.exists(), "snapshot on disk after shutdown");
+
+    // Incarnation 2: boot from the snapshot, replay the working set.
+    let second = start_server(&config);
+    let restart = loadgen::run_restart(second.addr(), 4, &load).expect("restart replay");
+    restart.verify(true).expect("warm-restart contract");
+    assert!(restart.restored > 0, "{restart:?}");
+    assert_eq!(restart.searches_delta, 0, "{restart:?}");
+    Client::connect(second.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    second.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Seeded property test: a cache filled across every shard and every
+/// cost model exports, snapshots, and restores bit-identically —
+/// contents AND recency order.
+#[test]
+fn property_snapshot_roundtrips_across_all_shards_and_models() {
+    let dir = tempdir("property");
+    let path = dir.join("cache.snap");
+    let lib = GateLib::nct(4);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let mut rng = SplitMix64::new(0x5EED_CAFE);
+    let cache = ClassCache::new(256);
+    // Random circuits keyed by the permutation they compute (the
+    // snapshot layer validates replay, not canonicality): enough draws
+    // that, with 8 shards keyed by an avalanched hash, every shard ends
+    // up populated and every cost model appears.
+    for _ in 0..96 {
+        let len = 1 + (rng.next_u64() as usize % 4);
+        let circuit =
+            Circuit::from_gates((0..len).map(|_| gates[rng.next_u64() as usize % gates.len()]));
+        let rep = circuit.perm(4);
+        let kind = CostKind::ALL[rng.next_u64() as usize % CostKind::ALL.len()];
+        cache.insert(kind, rep, circuit);
+    }
+    let exported = cache.export();
+    assert_eq!(exported.len() as u64, cache.counters().len);
+    let records: Vec<SnapshotRecord> = exported
+        .into_iter()
+        .map(|(kind, rep, circuit)| SnapshotRecord { kind, rep, circuit })
+        .collect();
+    // Every cost model made it in.
+    for kind in CostKind::ALL {
+        assert!(
+            records.iter().any(|r| r.kind == kind),
+            "model {kind:?} missing from the draw"
+        );
+    }
+    snapshot::write_snapshot(&path, 4, &records).unwrap();
+    match snapshot::restore(&path, 4) {
+        RestoreOutcome::Restored {
+            records: restored,
+            skipped,
+        } => {
+            assert_eq!(skipped, 0);
+            assert_eq!(restored, records, "bit-identical, order included");
+        }
+        other => panic!("expected restore, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A torn tail (truncated mid-record) boots the intact prefix: the
+/// damaged records are skipped and counted, everything restored serves
+/// exactly, and the lost classes are simply searched again.
+#[test]
+fn server_boots_the_intact_prefix_of_a_torn_snapshot() {
+    let dir = tempdir("torn");
+    let path = dir.join("cache.snap");
+    let config = snapshot_config(&path);
+    let load = LoadgenConfig::quick(0xBEEF);
+
+    let first = start_server(&config);
+    loadgen::run(first.addr(), 4, &load).expect("warm run");
+    Client::connect(first.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    first.join().unwrap();
+
+    // Tear the tail mid-record.
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let second = start_server(&config);
+    let restart = loadgen::run_restart(second.addr(), 4, &load).expect("restart replay");
+    // Not expect_warm: the torn class legitimately needs one search.
+    restart
+        .verify(false)
+        .expect("correctness after a torn tail");
+    assert!(restart.restored > 0, "{restart:?}");
+    assert!(restart.snapshot_skipped >= 1, "{restart:?}");
+    Client::connect(second.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    second.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A single bitflipped record is skipped (checksum), every other
+/// record restores, and the served answers stay exact.
+#[test]
+fn server_skips_a_bitflipped_record_and_serves_the_rest() {
+    let dir = tempdir("bitflip");
+    let path = dir.join("cache.snap");
+    let config = snapshot_config(&path);
+    let load = LoadgenConfig::quick(0xF11A);
+
+    let first = start_server(&config);
+    loadgen::run(first.addr(), 4, &load).expect("warm run");
+    Client::connect(first.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    let stats = first.join().unwrap();
+    let snapshotted = stats.cached_classes;
+    assert!(snapshotted >= 2, "need at least two records to damage one");
+
+    // Flip one bit inside the first record's rep field.
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[32 + 3] ^= 0x40;
+    fs::write(&path, &bytes).unwrap();
+
+    let second = start_server(&config);
+    let restart = loadgen::run_restart(second.addr(), 4, &load).expect("restart replay");
+    restart.verify(false).expect("correctness after a bitflip");
+    assert_eq!(restart.snapshot_skipped, 1, "{restart:?}");
+    assert_eq!(restart.restored, snapshotted - 1, "{restart:?}");
+    Client::connect(second.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    second.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An unreadable snapshot (corrupted header) is quarantined to
+/// `<path>.corrupt` and the server boots cold — and keeps serving.
+#[test]
+fn unreadable_snapshot_is_quarantined_and_the_boot_is_cold() {
+    let dir = tempdir("quarantine");
+    let path = dir.join("cache.snap");
+    let config = snapshot_config(&path);
+    let load = LoadgenConfig::quick(0xC01D);
+
+    let first = start_server(&config);
+    loadgen::run(first.addr(), 4, &load).expect("warm run");
+    Client::connect(first.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    first.join().unwrap();
+
+    // Smash the magic.
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+
+    let server = Server::bind(suite(), &config).expect("bind");
+    let summary = server.restore_summary().clone();
+    assert!(summary.quarantined.is_some(), "{summary:?}");
+    assert_eq!(summary.restored, 0);
+    assert!(!path.exists(), "the unreadable snapshot was moved away");
+    assert!(
+        snapshot::quarantine_path(&path).exists(),
+        "quarantine file present for the operator"
+    );
+    let handle = server.spawn();
+    let restart = loadgen::run_restart(handle.addr(), 4, &load).expect("cold replay");
+    restart.verify(false).expect("cold boot still serves");
+    assert_eq!(restart.restored, 0, "{restart:?}");
+    assert!(restart.searches_delta > 0, "cold boot searches");
+    Client::connect(handle.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    handle.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A stale `.tmp` left by a writer killed mid-snapshot is ignored at
+/// boot and cleaned up by the next successful write.
+#[test]
+fn stale_tmp_from_a_killed_writer_does_not_confuse_the_boot() {
+    let dir = tempdir("staletmp");
+    let path = dir.join("cache.snap");
+    let config = snapshot_config(&path);
+    let load = LoadgenConfig::quick(0xDEAD);
+
+    let first = start_server(&config);
+    loadgen::run(first.addr(), 4, &load).expect("warm run");
+    Client::connect(first.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    first.join().unwrap();
+
+    // Simulate a writer SIGKILLed after staging but before the rename.
+    fs::write(snapshot::tmp_path(&path), b"half-written garbage").unwrap();
+
+    let second = start_server(&config);
+    let restart = loadgen::run_restart(second.addr(), 4, &load).expect("restart replay");
+    restart
+        .verify(true)
+        .expect("the real snapshot still boots warm");
+    Client::connect(second.addr())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    second.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Worker supervision at the server level: an injected worker panic
+/// fails its batch cleanly (no hung client, no poisoned answer), the
+/// supervisor respawns the worker, and both the stats counter and the
+/// health probe show it.
+#[test]
+fn panicking_workers_are_respawned_and_clients_see_clean_errors() {
+    // Every 2nd search panics the worker; odd searches succeed.
+    let plan = Arc::new(FaultPlan::new(0xBAD).with_panic_every(2));
+    let config = ServerConfig {
+        faults: Some(plan),
+        ..ServerConfig::default()
+    };
+    let handle = start_server(&config);
+    let suite = suite();
+    let sym = suite.sym();
+    let lib = GateLib::nct(4);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut classes = Vec::new();
+    'outer: for a in 0..gates.len() {
+        for b in 0..gates.len() {
+            let f = Circuit::from_gates([gates[a], gates[b]]).perm(4);
+            if seen.insert(sym.canonical(f)) {
+                classes.push(f);
+                if classes.len() == 6 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (mut ok, mut panicked) = (0u64, 0u64);
+    for &f in &classes {
+        match client.query(f) {
+            Ok(circuit) => {
+                assert_eq!(circuit.perm(4), f, "never a poisoned answer");
+                ok += 1;
+            }
+            Err(e) => {
+                assert!(
+                    e.to_string().contains("worker panicked"),
+                    "only the typed panic error is acceptable: {e}"
+                );
+                panicked += 1;
+            }
+        }
+    }
+    assert!(ok >= 1 && panicked >= 1, "ok {ok}, panicked {panicked}");
+    // The waiter is released (DrainGuard drop, mid-unwind) *before*
+    // the supervisor bumps the restart counter, so poll briefly.
+    let mut stats = client.stats().unwrap();
+    for _ in 0..50 {
+        if stats.worker_restarts == panicked {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        stats = client.stats().unwrap();
+    }
+    assert_eq!(stats.worker_restarts, panicked, "each panic = one respawn");
+    let health = client.health().unwrap();
+    assert_eq!(health.live_workers, 1, "pool back at strength");
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+/// The health probe end to end: uptime advances, the restored count
+/// matches the boot snapshot, live workers equal the pool size, and
+/// snapshot age flips from `None` to a number once the periodic
+/// snapshotter fires.
+#[test]
+fn health_probe_reports_restore_liveness_and_snapshot_age() {
+    let dir = tempdir("health");
+    let path = dir.join("cache.snap");
+    let load = LoadgenConfig::quick(0xAB1E);
+
+    let first = start_server(&snapshot_config(&path));
+    // Cold boot, nothing restored, no snapshot written yet.
+    let mut probe = Client::connect(first.addr()).unwrap();
+    let h0 = probe.health().unwrap();
+    assert_eq!(h0.restored, 0);
+    assert_eq!(h0.live_workers, 1);
+    assert_eq!(h0.snapshot_age(), None);
+    loadgen::run(first.addr(), 4, &load).expect("warm run");
+    probe.shutdown_server().unwrap();
+    first.join().unwrap();
+
+    // Warm boot with a fast periodic snapshotter.
+    let config = ServerConfig {
+        workers: 2,
+        snapshot: Some(path.clone()),
+        snapshot_interval: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    };
+    let second = start_server(&config);
+    let mut client = Client::connect(second.addr()).unwrap();
+    let h1 = client.health().unwrap();
+    assert!(h1.restored > 0, "{h1:?}");
+    assert_eq!(h1.live_workers, 2);
+    // Boot restore is the previous process's snapshot, not this one's.
+    assert_eq!(h1.snapshot_age(), None);
+    // Wait for the periodic snapshotter to fire at least once.
+    let mut aged: Option<HealthReport> = None;
+    for _ in 0..40 {
+        std::thread::sleep(Duration::from_millis(100));
+        let h = client.health().unwrap();
+        if h.snapshot_age().is_some() {
+            aged = Some(h);
+            break;
+        }
+    }
+    let aged = aged.expect("periodic snapshotter never fired");
+    assert!(aged.uptime_ms >= h1.uptime_ms);
+    let stats = client.stats().unwrap();
+    assert!(stats.snapshot_writes >= 1, "{stats:?}");
+    client.shutdown_server().unwrap();
+    second.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -21,7 +21,11 @@
 //!   shutdown and a fresh process boots from the snapshot: replaying
 //!   the entire cold pool against the restored server must trigger
 //!   **zero** searches (asserted), so the phase measures the price of a
-//!   crash + warm restart versus re-searching from cold.
+//!   crash + warm restart versus re-searching from cold;
+//! * **obs_overhead** — warm cache-hit throughput with full request
+//!   tracing and slow-query capture enabled versus instrumentation
+//!   disabled, interleaved best-of-5 rounds; the instrumented path must
+//!   stay within 5% of the uninstrumented one (asserted).
 //!
 //! Correctness is asserted throughout: every response circuit must
 //! compute the queried permutation, warm answers must match the cold
@@ -336,6 +340,71 @@ fn main() {
         "every chaos-server error is an expired deadline"
     );
 
+    // ---- obs_overhead: tracing on vs instrumentation off -------------
+    // Two fresh servers over the same suite: one tracing every request
+    // (and capturing all of them as "slow"), one with per-request
+    // instrumentation off entirely. Warm cache-hit throughput — the
+    // regime where fixed per-request cost is the largest relative
+    // share — is measured in interleaved rounds, best-of-5 per config.
+    let obs_on = ServerConfig {
+        slow_query_us: 1,
+        ..ServerConfig::default()
+    };
+    let obs_off = ServerConfig {
+        instrumentation: false,
+        ..ServerConfig::default()
+    };
+    let on_server = Server::bind(Arc::clone(&suite), &obs_on).expect("bind instrumented server");
+    let off_server =
+        Server::bind(Arc::clone(&suite), &obs_off).expect("bind uninstrumented server");
+    let on_addr = on_server.local_addr();
+    let off_addr = off_server.local_addr();
+    let on_handle = on_server.spawn();
+    let off_handle = off_server.spawn();
+    let mut on_client = Client::connect(on_addr).expect("connect instrumented");
+    let mut off_client = Client::connect(off_addr).expect("connect uninstrumented");
+    for &f in &pool {
+        on_client.query(f).expect("prime instrumented");
+        off_client.query(f).expect("prime uninstrumented");
+    }
+    // Repeat the warm set until each round is long enough to time
+    // (matters at --quick scale, where one pass is ~50 queries).
+    let reps = (2000 / warm_queries.len()).max(1);
+    let mut enabled_qps = 0f64;
+    let mut disabled_qps = 0f64;
+    for _ in 0..5 {
+        for (client, best) in [
+            (&mut on_client, &mut enabled_qps),
+            (&mut off_client, &mut disabled_qps),
+        ] {
+            let t = Instant::now();
+            for _ in 0..reps {
+                for &(m, _) in &warm_queries {
+                    client.query(m).expect("overhead warm query");
+                }
+            }
+            let qps = (reps * warm_queries.len()) as f64 / t.elapsed().as_secs_f64();
+            *best = best.max(qps);
+        }
+    }
+    let overhead_pct = ((disabled_qps - enabled_qps) / disabled_qps * 100.0).max(0.0);
+    eprintln!(
+        "obs    : {enabled_qps:.1} q/s instrumented vs {disabled_qps:.1} q/s off \
+         ({overhead_pct:.2}% overhead)"
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "full instrumentation must cost ≤ 5% warm throughput, measured {overhead_pct:.2}%"
+    );
+    on_client.shutdown_server().expect("instrumented shutdown");
+    off_client
+        .shutdown_server()
+        .expect("uninstrumented shutdown");
+    on_handle.join().expect("instrumented server exits cleanly");
+    off_handle
+        .join()
+        .expect("uninstrumented server exits cleanly");
+
     let json = render_json(
         k,
         quick,
@@ -350,6 +419,7 @@ fn main() {
         &restart,
         restored,
         restart_speedup,
+        (enabled_qps, disabled_qps, overhead_pct),
         &final_stats,
     );
     std::fs::File::create(&out)
@@ -374,8 +444,10 @@ fn render_json(
     restart: &Phase,
     restored: u64,
     restart_speedup: f64,
+    obs: (f64, f64, f64),
     stats: &ServeStats,
 ) -> String {
+    let (enabled_qps, disabled_qps, overhead_pct) = obs;
     format!(
         "{{\n  \"bench\": \"serve\",\n  \"config\": {{\"n\": 4, \"k\": {k}, \
          \"seed\": {seed}, \"quick\": {quick}, \"workers\": 1, \
@@ -391,6 +463,9 @@ fn render_json(
          \"restart\": {{\"restored_classes\": {restored}, \"queries\": {}, \
          \"seconds\": {:.6}, \"queries_per_sec\": {:.1}, \"searches\": 0, \
          \"speedup_vs_cold\": {restart_speedup:.1}}},\n  \
+         \"obs_overhead\": {{\"enabled_qps\": {enabled_qps:.1}, \
+         \"disabled_qps\": {disabled_qps:.1}, \
+         \"overhead_pct\": {overhead_pct:.2}}},\n  \
          \"final_stats\": {}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cold.json(),

@@ -83,6 +83,7 @@ COMMANDS:
                [--threads <T>] [--quantum-budget <B>] [--depth-budget <D>]
                [--max-queue <Q>] [--max-conns <C>] [--retry-after-ms <MS>]
                [--snapshot <FILE>] [--snapshot-interval-secs <S>]
+               [--slow-query-us <US>]
                [--fault-search-delay-ms <MS>] [--fault-fail-every <N>]
                [--fault-panic-every <N>] [--fault-snapshot-delay-ms <MS>]
                [--fault-seed <S>]
@@ -113,18 +114,29 @@ COMMANDS:
                graceful shutdown and, with --snapshot-interval-secs,
                periodically. Writes are atomic (temp + fsync + rename),
                so kill -9 never costs more than the interval.
+               Observability: every request is traced through the
+               pipeline stages into Prometheus-style metrics (scrape
+               with `revsynth query --metrics`); --slow-query-us
+               additionally captures full traces of requests slower
+               than that many microseconds into a ring readable via
+               `revsynth query --slow` (0, the default, captures none).
                The --fault-* flags inject deterministic chaos
                (per-search latency, forced failures, worker panics,
                slowed snapshot writes) for tests — never set them in
                production.
     query      [--port <P>] [--spec <P0,..,P15>] [--cost gates|quantum|depth]
                [--deadline-ms <MS>] [--json] [--stats] [--health]
-               [--shutdown]
+               [--metrics] [--slow] [--shutdown]
                Query a running server: --spec synthesizes a permutation
                under --cost (default gates), --stats (or no --spec)
                prints the ServeStats snapshot, --health prints the
                readiness probe (uptime, restored classes, live workers,
-               snapshot age), --shutdown stops the server.
+               snapshot age), --metrics prints the full Prometheus
+               text exposition (every stats counter plus per-stage
+               latency histograms, queue depths, shard occupancy and
+               engine profiling), --slow prints the captured
+               slow-query traces as JSON (see serve --slow-query-us),
+               --shutdown stops the server.
                --deadline-ms asks the server to expire the request
                unstarted if it cannot begin the search in time.
                --json switches the output to single-line JSON.
@@ -171,6 +183,8 @@ const SWITCHES: &[&str] = &[
     "expect-warm",
     "health",
     "resume",
+    "metrics",
+    "slow",
 ];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand, plus
@@ -1060,6 +1074,7 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         "retry-after-ms",
         "snapshot",
         "snapshot-interval-secs",
+        "slow-query-us",
         "fault-search-delay-ms",
         "fault-fail-every",
         "fault-panic-every",
@@ -1099,6 +1114,8 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         snapshot: opts.get("snapshot").map(std::path::PathBuf::from),
         snapshot_interval: (snapshot_interval_secs > 0)
             .then(|| std::time::Duration::from_secs(snapshot_interval_secs)),
+        slow_query_us: opts.get_parse("slow-query-us", 0u64)?,
+        instrumentation: true,
     };
     if config.snapshot.is_none() && config.snapshot_interval.is_some() {
         return Err("--snapshot-interval-secs needs --snapshot".into());
@@ -1180,6 +1197,8 @@ fn cmd_query(opts: &Opts) -> CliResult {
         "json",
         "stats",
         "health",
+        "metrics",
+        "slow",
         "shutdown",
     ])?;
     let addr = server_addr(opts)?;
@@ -1205,6 +1224,18 @@ fn cmd_query(opts: &Opts) -> CliResult {
                 None => println!("snapshot age  : none written yet"),
             }
         }
+        return Ok(());
+    }
+    if opts.has("metrics") {
+        // The exposition is already line-oriented text; print verbatim
+        // so `query --metrics > metrics.txt` is a valid scrape.
+        print!("{}", client.metrics()?);
+        return Ok(());
+    }
+    if opts.has("slow") {
+        // Slow-query traces arrive as a JSON array either way; --json
+        // just names the format explicitly.
+        println!("{}", client.slow_queries()?);
         return Ok(());
     }
     if let Some(spec) = opts.get("spec") {
@@ -1830,6 +1861,42 @@ mod tests {
             "--json",
         ]))
         .is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--shutdown"])).is_ok());
+        handle.join().expect("clean shutdown");
+    }
+
+    #[test]
+    fn query_metrics_and_slow_end_to_end() {
+        // The observability surface through the dispatcher: a server
+        // capturing every request as "slow" (1 µs threshold), scraped
+        // and queried for traces via the CLI.
+        let suite = std::sync::Arc::new(SynthesisSuite::new(
+            Synthesizer::from_scratch(4, 2),
+            SuiteConfig {
+                quantum_budget: 6,
+                depth_budget: 2,
+            },
+        ));
+        let config = revsynth_serve::ServerConfig {
+            slow_query_us: 1,
+            ..revsynth_serve::ServerConfig::default()
+        };
+        let server = revsynth_serve::Server::bind(suite, &config).expect("bind");
+        let port = server.local_addr().port().to_string();
+        let handle = server.spawn();
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        assert!(dispatch(&to_args(&[
+            "query",
+            "--port",
+            &port,
+            "--spec",
+            "1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14",
+        ]))
+        .is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--metrics"])).is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--slow"])).is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--slow", "--json"])).is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--shutdown"])).is_ok());
         handle.join().expect("clean shutdown");
     }

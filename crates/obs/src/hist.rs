@@ -1,0 +1,279 @@
+//! The log-linear latency histogram shared by every latency metric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of sub-buckets per power-of-two octave: values within an
+/// octave are resolved to 1/8 of the octave, bounding the quantile
+/// error at ~12.5%.
+const SUBS: u64 = 8;
+
+/// Values below this are direct-indexed (exact, one bucket per value).
+const DIRECT: u64 = 16;
+
+/// First octave handled log-linearly (`2^FIRST_OCTAVE == DIRECT`).
+const FIRST_OCTAVE: u64 = 4;
+
+/// Bucket count: 16 direct + 60 octaves × 8 sub-buckets covers u64.
+const BUCKETS: usize = (DIRECT + (64 - FIRST_OCTAVE) * SUBS) as usize;
+
+/// A lock-free log-linear histogram of microsecond latencies
+/// (HDR-histogram-shaped: power-of-two octaves split into `SUBS`
+/// linear sub-buckets).
+///
+/// Recording is one atomic increment; quantiles scan the 496 buckets.
+/// Quantile values are bucket **upper bounds**, so reported p50/p99
+/// never understate the true quantile by more than one sub-bucket.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    fn bucket_of(value_us: u64) -> usize {
+        if value_us < DIRECT {
+            return value_us as usize;
+        }
+        let octave = 63 - u64::from(value_us.leading_zeros());
+        let sub = (value_us >> (octave - 3)) & (SUBS - 1);
+        (DIRECT + (octave - FIRST_OCTAVE) * SUBS + sub) as usize
+    }
+
+    /// The largest value mapping to `bucket` (what quantiles report).
+    fn bucket_upper_bound(bucket: usize) -> u64 {
+        let bucket = bucket as u64;
+        if bucket < DIRECT {
+            return bucket;
+        }
+        let rel = bucket - DIRECT;
+        let octave = rel / SUBS + FIRST_OCTAVE;
+        let sub = rel % SUBS;
+        // Sub-bucket `sub` of octave `o` covers
+        // [(8+sub)·2^(o−3), (9+sub)·2^(o−3)); widen to u128 because the
+        // top octave's bound brushes against 2^64.
+        let bound = (u128::from(SUBS + sub + 1) << (octave - 3)) - 1;
+        u64::try_from(bound).unwrap_or(u64::MAX)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, value_us: u64) {
+        self.buckets[Self::bucket_of(value_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The value at quantile `q` (0.0..=1.0), or 0 when empty. Reported
+    /// as the containing bucket's upper bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// The 99.9th-percentile observation, or 0 when empty.
+    ///
+    /// Like every quantile here, the value reported is the containing
+    /// bucket's **upper bound**: below 16 µs buckets are exact (one per
+    /// microsecond); from 16 µs up, each power-of-two octave is split
+    /// into 8 linear sub-buckets, so the bound overstates the true
+    /// rank-⌈0.999·n⌉ observation by at most one eighth of its octave
+    /// (~12.5%) and never understates it.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Snapshot of the non-empty buckets as ascending
+    /// `(upper_bound, count)` pairs — the raw material for a text
+    /// exposition (cumulative `le` buckets) without exporting the
+    /// bucket scheme itself.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (Self::bucket_upper_bound(i), c))
+            })
+            .collect()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LatencyHistogram({} observations, p50 {} µs, p99 {} µs)",
+            self.count(),
+            self.quantile(0.5),
+            self.quantile(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix64;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev_bound = 0;
+        for b in 1..BUCKETS {
+            let bound = LatencyHistogram::bucket_upper_bound(b);
+            assert!(bound > prev_bound, "bucket {b}");
+            prev_bound = bound;
+        }
+        for v in [0u64, 1, 7, 8, 9, 100, 1_000, 1_000_000, u64::MAX] {
+            let b = LatencyHistogram::bucket_of(v);
+            assert!(b < BUCKETS, "value {v}");
+            assert!(LatencyHistogram::bucket_upper_bound(b) >= v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_true_value() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // True p50 is 500; log-linear resolution is 1/8 of the octave.
+        assert!((500..=575).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1151).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) >= 1000);
+        // p999 of 1..=1000 is 999; its bucket's upper bound may round up
+        // by at most one sub-bucket (1/8 of the 512..1023 octave = 64).
+        let p999 = h.p999();
+        assert!((999..=1151).contains(&p999), "p999 = {p999}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.p999(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    /// Seeded property test: for any recorded multiset, the quantile
+    /// function is monotone in `q` and every reported value is an upper
+    /// bound on the true rank statistic.
+    #[test]
+    fn quantiles_are_monotone_and_upper_bound_seeded() {
+        for seed in [1u64, 0x5EED, 0xDEAD_BEEF] {
+            let h = LatencyHistogram::new();
+            let mut state = seed;
+            let mut values = Vec::with_capacity(4096);
+            for _ in 0..4096 {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                // Mix, then skew toward small values (latencies are
+                // log-distributed): shift by a mixed-in octave choice.
+                let r = splitmix64(state);
+                let v = r >> (r % 48);
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            let mut prev = 0u64;
+            for step in 0..=100u32 {
+                let q = f64::from(step) / 100.0;
+                let reported = h.quantile(q);
+                assert!(
+                    reported >= prev,
+                    "seed {seed:#x}: quantile({q}) = {reported} < quantile(prev) = {prev}"
+                );
+                prev = reported;
+                // True rank statistic (same rank rule as `quantile`).
+                let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+                let truth = values[rank - 1];
+                assert!(
+                    reported >= truth,
+                    "seed {seed:#x}: quantile({q}) = {reported} understates true {truth}"
+                );
+            }
+        }
+    }
+
+    /// Concurrent recording loses nothing: N threads × M records each
+    /// must produce exactly N·M observations with every per-value count
+    /// intact (each thread records a disjoint, recognizable value).
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 10_000;
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    // Thread t hammers one exact (direct-indexed) bucket
+                    // value plus a shared high bucket, interleaved.
+                    for i in 0..PER_THREAD {
+                        h.record(t); // direct bucket t
+                        if i % 2 == 0 {
+                            h.record(1 << 20);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().expect("recorder thread");
+        }
+        let expected = THREADS * PER_THREAD + THREADS * PER_THREAD / 2;
+        assert_eq!(h.count(), expected);
+        let buckets = h.nonzero_buckets();
+        // Direct buckets 0..THREADS hold exactly PER_THREAD each.
+        for t in 0..THREADS {
+            let (_, c) = buckets[t as usize];
+            assert_eq!(c, PER_THREAD, "direct bucket {t}");
+        }
+        // The shared 2^20 bucket holds the other half.
+        let high: u64 = buckets
+            .iter()
+            .filter(|(ub, _)| *ub >= 1 << 20)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(high, THREADS * PER_THREAD / 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Observability primitives for the revsynth stack.
+//!
+//! Everything here is `std`-only and lock-free on the hot path:
+//!
+//! - [`LatencyHistogram`] — the log-linear (HDR-shaped) bucket scheme
+//!   behind every latency metric; recording is one relaxed atomic
+//!   increment.
+//! - [`Registry`] + [`Counter`]/[`Gauge`]/[`Histogram`] — typed metric
+//!   handles registered by name with static label sets and rendered in
+//!   Prometheus text exposition format. The registry mutex guards
+//!   *registration only*; handles are `Arc`-shared atomics, so
+//!   incrementing a counter or recording a latency never takes a lock.
+//! - [`Stage`] / [`Trace`] / [`SpanIds`] — per-request trace spans: a
+//!   seeded span ID carried through the request pipeline with one
+//!   microsecond bucket per stage.
+//! - [`TraceRing`] — a fixed-capacity lock-free ring of completed
+//!   traces (seqlock-style slots over plain atomics, no `unsafe`),
+//!   used for the live trace buffer and the slow-query capture ring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod ring;
+mod trace;
+
+pub use hist::LatencyHistogram;
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use ring::TraceRing;
+pub use trace::{splitmix64, SpanIds, Stage, Trace};

@@ -1,0 +1,449 @@
+//! The typed metrics registry and its Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-shared
+//! atomics: the registry's mutex is taken at *registration* time only,
+//! so the hot path (increment / set / record) is lock-free. Rendering
+//! walks the registered entries and emits the standard text format
+//! (`# HELP`/`# TYPE` once per family, then one sample line per
+//! labeled series; histograms as cumulative `le` buckets plus `_sum`
+//! and `_count`).
+//!
+//! Histogram buckets are stored at full log-linear resolution (see
+//! [`LatencyHistogram`]) but *exposed* merged to power-of-two octaves:
+//! the exposition stays small and bounded (≤ 62 `le` lines per series
+//! instead of 496) while in-process quantiles keep the fine buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::LatencyHistogram;
+
+/// A monotonically increasing counter handle. Cloning shares the
+/// underlying atomic.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (relaxed; never blocks).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down (or be set from a
+/// fresh measurement at scrape time). Cloning shares the atomic.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value (relaxed; never blocks).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    hist: LatencyHistogram,
+    sum: AtomicU64,
+}
+
+/// A histogram handle over the shared log-linear bucket scheme.
+/// Recording is two relaxed atomic adds (bucket + sum). Cloning shares
+/// the buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Records one observation (e.g. a stage latency in microseconds).
+    pub fn record(&self, value: u64) {
+        self.0.hist.record(value);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.hist.count()
+    }
+
+    /// Sum of all recorded observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` (bucket upper bound; see
+    /// [`LatencyHistogram::quantile`]).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.0.hist.quantile(q)
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCore>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    /// Pre-rendered label pairs, e.g. `stage="replay"` (empty for an
+    /// unlabeled series).
+    labels: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A registry of named metrics with static label sets.
+///
+/// Registration is idempotent: asking for an existing `(name, labels)`
+/// series returns a handle to the same atomics, so independent
+/// subsystems can share a series without coordination. Registering the
+/// same series as two different *kinds* panics (a startup-time bug).
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+        reuse: impl FnOnce(&Metric) -> Option<T>,
+        handle: impl FnOnce(&Metric) -> T,
+    ) -> T {
+        let labels = render_labels(labels);
+        let mut entries = lock(&self.entries);
+        if let Some(existing) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return reuse(&existing.metric).unwrap_or_else(|| {
+                panic!(
+                    "metric `{name}{{{labels}}}` already registered as a {}",
+                    existing.metric.type_name()
+                )
+            });
+        }
+        let metric = make();
+        let out = handle(&metric);
+        entries.push(Entry {
+            name: name.to_owned(),
+            labels,
+            help: help.to_owned(),
+            metric,
+        });
+        out
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.register(
+            name,
+            labels,
+            help,
+            || Metric::Counter(Arc::new(AtomicU64::new(0))),
+            |m| match m {
+                Metric::Counter(a) => Some(Counter(Arc::clone(a))),
+                _ => None,
+            },
+            |m| match m {
+                Metric::Counter(a) => Counter(Arc::clone(a)),
+                _ => unreachable!(),
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        self.register(
+            name,
+            labels,
+            help,
+            || Metric::Gauge(Arc::new(AtomicU64::new(0))),
+            |m| match m {
+                Metric::Gauge(a) => Some(Gauge(Arc::clone(a))),
+                _ => None,
+            },
+            |m| match m {
+                Metric::Gauge(a) => Gauge(Arc::clone(a)),
+                _ => unreachable!(),
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        self.register(
+            name,
+            labels,
+            help,
+            || {
+                Metric::Histogram(Arc::new(HistCore {
+                    hist: LatencyHistogram::new(),
+                    sum: AtomicU64::new(0),
+                }))
+            },
+            |m| match m {
+                Metric::Histogram(h) => Some(Histogram(Arc::clone(h))),
+                _ => None,
+            },
+            |m| match m {
+                Metric::Histogram(h) => Histogram(Arc::clone(h)),
+                _ => unreachable!(),
+            },
+        )
+    }
+
+    /// Renders every registered series in Prometheus text exposition
+    /// format, in registration order, appending to `out`.
+    pub fn render_into(&self, out: &mut String) {
+        let entries = lock(&self.entries);
+        let mut seen: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !seen.contains(&e.name.as_str()) {
+                seen.push(&e.name);
+                out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                out.push_str(&format!("# TYPE {} {}\n", e.name, e.metric.type_name()));
+            }
+            match &e.metric {
+                Metric::Counter(a) | Metric::Gauge(a) => {
+                    out.push_str(&sample(&e.name, &e.labels, a.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(h) => render_histogram(out, &e.name, &e.labels, h),
+            }
+        }
+    }
+
+    /// Renders the whole registry to a fresh string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+/// Poison-tolerant lock (a panicked scraper must not wedge metrics).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn sample(name: &str, labels: &str, value: u64) -> String {
+    if labels.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{labels}}} {value}\n")
+    }
+}
+
+/// The exposition `le` bound for a fine bucket's upper bound: fine
+/// buckets merge into their power-of-two octave (direct buckets below
+/// 16 merge into `le="15"`).
+fn octave_le(upper_bound: u64) -> u64 {
+    if upper_bound < 16 {
+        return 15;
+    }
+    match upper_bound.leading_zeros() {
+        0 => u64::MAX,
+        lz => (1u64 << (64 - lz)) - 1,
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Arc<HistCore>) {
+    // Merge the fine (sub-octave) buckets into octave `le` bounds so
+    // the exposition stays bounded; counts are cumulative per the text
+    // format.
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for (ub, c) in h.hist.nonzero_buckets() {
+        let le = octave_le(ub);
+        match merged.last_mut() {
+            Some((last, n)) if *last == le => *n += c,
+            _ => merged.push((le, c)),
+        }
+    }
+    let with_le = |le: &str| {
+        if labels.is_empty() {
+            format!("le=\"{le}\"")
+        } else {
+            format!("{labels},le=\"{le}\"")
+        }
+    };
+    let mut cumulative = 0u64;
+    for (le, c) in merged {
+        cumulative += c;
+        out.push_str(&format!(
+            "{name}_bucket{{{}}} {cumulative}\n",
+            with_le(&le.to_string())
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{}}} {cumulative}\n",
+        with_le("+Inf")
+    ));
+    out.push_str(&sample(
+        &format!("{name}_sum"),
+        labels,
+        h.sum.load(Ordering::Relaxed),
+    ));
+    out.push_str(&sample(&format!("{name}_count"), labels, cumulative));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        let c = r.counter("test_total", &[], "A test counter.");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("test_depth", &[("model", "gates")], "A test gauge.");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        let text = r.render();
+        assert!(text.contains("# HELP test_total A test counter.\n"));
+        assert!(text.contains("# TYPE test_total counter\n"));
+        assert!(text.contains("test_total 5\n"));
+        assert!(text.contains("# TYPE test_depth gauge\n"));
+        assert!(text.contains("test_depth{model=\"gates\"} 7\n"));
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("shared_total", &[("shard", "0")], "Shared.");
+        let b = r.counter("shared_total", &[("shard", "0")], "Shared.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "both handles hit the same atomic");
+        // A different label set is a different series.
+        let other = r.counter("shared_total", &[("shard", "1")], "Shared.");
+        assert_eq!(other.get(), 0);
+        // HELP/TYPE appear once per family even with two series.
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE shared_total counter").count(), 1);
+        assert!(text.contains("shared_total{shard=\"0\"} 2\n"));
+        assert!(text.contains("shared_total{shard=\"1\"} 0\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("dual", &[], "first");
+        let _ = r.gauge("dual", &[], "second");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_octave_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", &[("stage", "replay")], "Latency.");
+        for v in [1u64, 2, 3, 20, 25, 100, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 2 + 3 + 20 + 25 + 100 + 5000);
+        let text = r.render();
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+        // 1,2,3 → le=15 (3 cum); 20,25 → le=31 (5); 100 → le=127 (6);
+        // 5000 → le=8191 (7).
+        assert!(
+            text.contains("lat_us_bucket{stage=\"replay\",le=\"15\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{stage=\"replay\",le=\"31\"} 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{stage=\"replay\",le=\"127\"} 6\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{stage=\"replay\",le=\"8191\"} 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{stage=\"replay\",le=\"+Inf\"} 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_sum{stage=\"replay\"} 5151\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_count{stage=\"replay\"} 7\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn octave_le_merges_correctly() {
+        assert_eq!(octave_le(0), 15);
+        assert_eq!(octave_le(15), 15);
+        assert_eq!(octave_le(17), 31);
+        assert_eq!(octave_le(31), 31);
+        assert_eq!(octave_le(1535), 2047);
+        assert_eq!(octave_le(2047), 2047);
+        assert_eq!(octave_le(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_only() {
+        let r = Registry::new();
+        let _ = r.histogram("empty_us", &[], "Empty.");
+        let text = r.render();
+        assert!(text.contains("empty_us_bucket{le=\"+Inf\"} 0\n"), "{text}");
+        assert!(text.contains("empty_us_sum 0\n"));
+        assert!(text.contains("empty_us_count 0\n"));
+    }
+}

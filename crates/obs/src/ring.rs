@@ -1,0 +1,190 @@
+//! A fixed-capacity lock-free ring of completed [`Trace`]s.
+//!
+//! Writers claim a slot with one atomic fetch-add on the cursor and
+//! publish through a per-slot seqlock (version odd = write in
+//! progress, even = stable); readers retry a slot whose version moved
+//! under them. Everything is plain atomics — no `unsafe`, no locks —
+//! so pushing a trace on the request path costs a handful of relaxed
+//! stores, and a torn read can only ever be *dropped*, never observed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::trace::Trace;
+
+struct Slot {
+    /// Seqlock version: 0 = never written, odd = writer in the slot,
+    /// even ≥ 2 = stable contents.
+    version: AtomicU64,
+    words: [AtomicU64; Trace::WORDS],
+}
+
+/// A bounded multi-producer ring buffer of traces. Capacity is fixed at
+/// construction; the newest `capacity` completed traces survive.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` traces (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    version: AtomicU64::new(0),
+                    words: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring's fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total traces ever pushed (including ones already overwritten and
+    /// the rare contended pushes that were dropped).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records a completed trace. If another writer is mid-publish in
+    /// the claimed slot (possible only when writers lap the ring), the
+    /// trace is dropped rather than torn.
+    pub fn push(&self, trace: &Trace) {
+        let idx = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        let slot = &self.slots[idx];
+        let v = slot.version.load(Ordering::Acquire);
+        if v % 2 == 1 {
+            return; // another writer owns the slot; drop
+        }
+        if slot
+            .version
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        for (cell, word) in slot.words.iter().zip(trace.to_words()) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        slot.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Snapshot of the ring's stable contents, oldest first. Slots a
+    /// writer is currently publishing are skipped.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Trace> {
+        let cap = self.slots.len();
+        let cur = self.cursor.load(Ordering::Relaxed) as usize;
+        let mut out = Vec::new();
+        for i in 0..cap {
+            let slot = &self.slots[(cur + i) % cap];
+            // Bounded retry: a slot being rewritten twice in a row is
+            // contended enough that skipping it is the right answer.
+            for _ in 0..3 {
+                let v1 = slot.version.load(Ordering::Acquire);
+                if v1 == 0 || v1 % 2 == 1 {
+                    break;
+                }
+                let mut words = [0u64; Trace::WORDS];
+                for (w, cell) in words.iter_mut().zip(slot.words.iter()) {
+                    *w = cell.load(Ordering::Relaxed);
+                }
+                if slot.version.load(Ordering::Acquire) == v1 {
+                    out.push(Trace::from_words(&words));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TraceRing(capacity {}, {} pushed)",
+            self.capacity(),
+            self.pushed()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(span: u64) -> Trace {
+        let mut t = Trace::new(span);
+        t.total_us = span * 10;
+        t
+    }
+
+    #[test]
+    fn keeps_the_newest_capacity_traces() {
+        let ring = TraceRing::new(4);
+        assert!(ring.snapshot().is_empty());
+        for span in 1..=10u64 {
+            ring.push(&trace(span));
+        }
+        assert_eq!(ring.pushed(), 10);
+        let spans: Vec<u64> = ring.snapshot().iter().map(|t| t.span_id).collect();
+        assert_eq!(spans, vec![7, 8, 9, 10], "oldest first, newest kept");
+    }
+
+    #[test]
+    fn partially_filled_ring_skips_unwritten_slots() {
+        let ring = TraceRing::new(8);
+        ring.push(&trace(1));
+        ring.push(&trace(2));
+        let spans: Vec<u64> = ring.snapshot().iter().map(|t| t.span_id).collect();
+        assert_eq!(spans, vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 5_000;
+        let ring = std::sync::Arc::new(TraceRing::new(16));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_WRITER {
+                        // Every field of writer w's traces carries w, so
+                        // a torn (mixed-writer) record is detectable.
+                        let mut t = Trace::new(w);
+                        t.rep = w;
+                        t.total_us = w;
+                        t.model = w as u8;
+                        for s in crate::Stage::ALL {
+                            t.record(s, w);
+                        }
+                        ring.push(&t);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().expect("writer thread");
+        }
+        for t in ring.snapshot() {
+            let w = t.span_id;
+            assert!(w < WRITERS);
+            assert_eq!(t.rep, w);
+            assert_eq!(t.total_us, w);
+            assert_eq!(u64::from(t.model), w);
+            for s in crate::Stage::ALL {
+                assert_eq!(t.stage_us(s), w, "stage {} torn", s.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-request trace spans: the pipeline [`Stage`] glossary, the
+//! [`Trace`] record carried through a request, and the seeded
+//! [`SpanIds`] generator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix.
+#[must_use]
+pub const fn splitmix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stage of the request pipeline, in pipeline order. Stage names are
+/// the `stage=` label values of the per-stage latency histograms and
+/// the keys of the slow-query JSON `stages` object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Parsing the request frame into a typed request.
+    Decode,
+    /// Canonicalizing the queried function and probing the class cache.
+    CacheProbe,
+    /// Scheduler admission: coalesce / recheck / shed decisions under
+    /// the queue lock.
+    Admission,
+    /// Waiting for a scheduler worker to start the batch holding this
+    /// request's class.
+    QueueWait,
+    /// The batched synthesis search itself (shared by every request
+    /// coalesced onto the same class).
+    BatchSearch,
+    /// Replaying the class representative's circuit for this witness.
+    Replay,
+    /// Encoding the response frame.
+    Encode,
+    /// Writing the response frame to the socket.
+    Write,
+}
+
+impl Stage {
+    /// Number of pipeline stages.
+    pub const COUNT: usize = 8;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Self::COUNT] = [
+        Stage::Decode,
+        Stage::CacheProbe,
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::BatchSearch,
+        Stage::Replay,
+        Stage::Encode,
+        Stage::Write,
+    ];
+
+    /// The stage's snake_case name (label value / JSON key stem).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::CacheProbe => "cache_probe",
+            Stage::Admission => "admission",
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchSearch => "batch_search",
+            Stage::Replay => "replay",
+            Stage::Encode => "encode",
+            Stage::Write => "write",
+        }
+    }
+
+    /// The stage's index in [`Stage::ALL`] (pipeline order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One request's trace: a span ID plus microsecond timings per pipeline
+/// stage. Plain mutable data — it lives on the handler's stack and is
+/// only shared (via [`crate::TraceRing`]) once the request completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// The request's span ID (seeded pseudo-random, unique per server
+    /// process for practical purposes).
+    pub span_id: u64,
+    /// The cost-model code of the query (0 when not a query).
+    pub model: u8,
+    /// The packed canonical representative the query resolved to.
+    pub rep: u64,
+    /// Whether the class cache answered the request.
+    pub cache_hit: bool,
+    /// End-to-end service time in microseconds.
+    pub total_us: u64,
+    stage_us: [u64; Stage::COUNT],
+}
+
+impl Trace {
+    /// Number of `u64` words in the ring encoding.
+    pub const WORDS: usize = 5 + Stage::COUNT;
+
+    /// A fresh trace with the given span ID.
+    #[must_use]
+    pub fn new(span_id: u64) -> Self {
+        Trace {
+            span_id,
+            ..Trace::default()
+        }
+    }
+
+    /// Adds `us` microseconds to `stage` (stages visited twice — e.g. a
+    /// retried write — accumulate).
+    pub fn record(&mut self, stage: Stage, us: u64) {
+        self.stage_us[stage.index()] += us;
+    }
+
+    /// Microseconds attributed to `stage` so far.
+    #[must_use]
+    pub fn stage_us(&self, stage: Stage) -> u64 {
+        self.stage_us[stage.index()]
+    }
+
+    /// Fixed-width encoding for the lock-free ring slots.
+    #[must_use]
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        let mut words = [0u64; Self::WORDS];
+        words[0] = self.span_id;
+        words[1] = u64::from(self.model);
+        words[2] = self.rep;
+        words[3] = u64::from(self.cache_hit);
+        words[4] = self.total_us;
+        words[5..].copy_from_slice(&self.stage_us);
+        words
+    }
+
+    /// Inverse of [`to_words`](Self::to_words).
+    #[must_use]
+    pub fn from_words(words: &[u64; Self::WORDS]) -> Self {
+        let mut stage_us = [0u64; Stage::COUNT];
+        stage_us.copy_from_slice(&words[5..]);
+        Trace {
+            span_id: words[0],
+            model: words[1] as u8,
+            rep: words[2],
+            cache_hit: words[3] != 0,
+            total_us: words[4],
+            stage_us,
+        }
+    }
+
+    /// Renders the trace as a single-line JSON object. The caller
+    /// supplies the human-readable cost-model name (this crate does not
+    /// know the model enum).
+    #[must_use]
+    pub fn to_json(&self, model_name: &str) -> String {
+        let stages = Stage::ALL
+            .iter()
+            .map(|s| format!("\"{}_us\": {}", s.name(), self.stage_us(*s)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"span_id\": \"{:016x}\", \"model\": \"{model_name}\", \"rep\": {}, \
+             \"cache_hit\": {}, \"total_us\": {}, \"stages\": {{{stages}}}}}",
+            self.span_id, self.rep, self.cache_hit, self.total_us
+        )
+    }
+}
+
+/// A lock-free generator of seeded span IDs: one atomic counter fed
+/// through the SplitMix64 finalizer, so IDs are deterministic for a
+/// fixed seed yet well-distributed.
+#[derive(Debug)]
+pub struct SpanIds {
+    state: AtomicU64,
+}
+
+impl SpanIds {
+    /// A generator whose ID stream is a pure function of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SpanIds {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    /// The next span ID (relaxed fetch-add + mix; never blocks).
+    pub fn next_id(&self) -> u64 {
+        let s = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        splitmix64(s.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_table_is_consistent() {
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "stage names are unique");
+    }
+
+    #[test]
+    fn trace_words_roundtrip() {
+        let mut t = Trace::new(0xFEED_FACE_CAFE_F00D);
+        t.model = 2;
+        t.rep = 123_456;
+        t.cache_hit = true;
+        t.total_us = 999;
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            t.record(*s, (i as u64 + 1) * 7);
+        }
+        assert_eq!(Trace::from_words(&t.to_words()), t);
+    }
+
+    #[test]
+    fn trace_json_has_every_stage() {
+        let mut t = Trace::new(1);
+        t.record(Stage::Replay, 42);
+        let json = t.to_json("gates");
+        assert!(json.contains("\"span_id\": \"0000000000000001\""));
+        assert!(json.contains("\"model\": \"gates\""));
+        assert!(json.contains("\"replay_us\": 42"));
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{}_us\":", s.name())), "{json}");
+        }
+    }
+
+    #[test]
+    fn span_ids_are_seeded_and_distinct() {
+        let a = SpanIds::new(7);
+        let b = SpanIds::new(7);
+        let first = a.next_id();
+        assert_eq!(first, b.next_id(), "same seed, same stream");
+        assert_ne!(first, a.next_id());
+        assert_ne!(SpanIds::new(8).next_id(), first, "different seed");
+    }
+}

@@ -297,6 +297,19 @@ impl ClassCache {
         self.len() == 0
     }
 
+    /// Resident entry count per shard, in shard order. Exposes the
+    /// sharding balance for occupancy gauges; like [`export`], shards
+    /// are read one at a time, not as a global atomic snapshot.
+    ///
+    /// [`export`]: Self::export
+    #[must_use]
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).map.len())
+            .collect()
+    }
+
     /// Exports every resident entry for snapshotting, least-recently
     /// used first **within each shard** — re-[`insert`](Self::insert)ing
     /// the export in order reproduces each shard's recency order, so a
@@ -465,6 +478,11 @@ mod tests {
             .filter(|s| !ClassCache::lock(s).map.is_empty())
             .count();
         assert!(populated > 1, "hash must spread over shards");
+        // The per-shard view agrees with the aggregate.
+        let lens = cache.shard_lens();
+        assert_eq!(lens.len(), 8);
+        assert_eq!(lens.iter().sum::<usize>(), 200);
+        assert!(lens.iter().filter(|&&l| l > 0).count() > 1);
     }
 
     #[test]

@@ -342,6 +342,35 @@ impl Client {
         })
     }
 
+    /// Fetches the server's metrics registry rendered in Prometheus
+    /// text exposition format: every [`ServeStats`] field as a
+    /// `revsynth_`-prefixed series, the per-stage latency histograms,
+    /// engine profiling counters, snapshot timings and occupancy gauges.
+    ///
+    /// # Errors
+    ///
+    /// As [`stats`](Self::stats).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.round_trip_demuxed(&Request::Metrics, |r| match r {
+            Response::Metrics(text) => Some(text),
+            _ => None,
+        })
+    }
+
+    /// Fetches the server's captured slow-query traces as a JSON array
+    /// (oldest first; empty unless the server was started with a
+    /// slow-query threshold).
+    ///
+    /// # Errors
+    ///
+    /// As [`stats`](Self::stats).
+    pub fn slow_queries(&mut self) -> Result<String, ClientError> {
+        self.round_trip_demuxed(&Request::SlowQueries, |r| match r {
+            Response::SlowQueries(json) => Some(json),
+            _ => None,
+        })
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors

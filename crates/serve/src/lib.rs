@@ -89,6 +89,6 @@ mod stats;
 pub use cache::{CacheCounters, ClassCache};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{FaultCounters, FaultPlan};
-pub use scheduler::{Scheduler, SchedulerCounters, SchedulerOptions, ServeError};
+pub use scheduler::{Scheduler, SchedulerCounters, SchedulerMetrics, SchedulerOptions, ServeError};
 pub use server::{RestoreSummary, Server, ServerConfig, ServerHandle};
-pub use stats::{HealthReport, LatencyHistogram, ServeStats};
+pub use stats::{FieldKind, HealthReport, LatencyHistogram, ServeStats};

@@ -18,6 +18,8 @@
 //! | `0x02` Stats | empty | snapshot the server counters |
 //! | `0x03` Shutdown | empty | gracefully stop the server |
 //! | `0x05` Health | empty | readiness probe (uptime, restored entries, live workers, snapshot age) |
+//! | `0x06` Metrics | empty | scrape the metrics registry (Prometheus text exposition) |
+//! | `0x07` SlowQueries | empty | fetch the captured slow-query traces as JSON |
 //!
 //! The cost-model byte is [`CostKind::code`] (0 = gates, 1 = quantum,
 //! 2 = depth). Query bodies come in three compatible lengths: 16 bytes
@@ -39,6 +41,15 @@
 //! | `0x83` ShuttingDown | empty | shutdown acknowledged |
 //! | `0x84` Overloaded | u32 LE retry-after ms | load shed: retry later with backoff |
 //! | `0x85` Health | 4 × u64 LE | [`HealthReport`]: uptime ms, restored entries, live workers, snapshot age ms |
+//! | `0x86` Metrics | UTF-8 text | the Prometheus text exposition |
+//! | `0x87` SlowQueries | UTF-8 text | JSON array of slow-query traces |
+//!
+//! **Forward compatibility:** the fixed-width `0x82`/`0x85` bodies may
+//! *grow* in future protocol revisions (new trailing counters). A
+//! decoder therefore accepts any body that is at least the compiled-in
+//! word count and a whole number of words, reading the words it knows
+//! and ignoring the tail; shorter or misaligned bodies are still
+//! errors. Old clients keep working against newer servers.
 //!
 //! Gates use the same 1-byte encoding as the table store:
 //! `(controls << 2) | target` with bit 7 clear. Decoding validates
@@ -56,8 +67,10 @@ use revsynth_perm::Perm;
 use crate::stats::{HealthReport, ServeStats};
 
 /// Hard cap on a frame's payload length. Far above any legitimate
-/// message (the largest is a stats response at ~100 bytes) but small
-/// enough that a hostile length prefix cannot cause a large allocation.
+/// message (the largest is a metrics exposition, a few tens of KiB;
+/// the histogram renderer merges buckets to octaves precisely so the
+/// exposition stays bounded below this cap) but small enough that a
+/// hostile length prefix cannot cause a large allocation.
 pub const MAX_FRAME_LEN: u32 = 1 << 16;
 
 /// Request opcodes.
@@ -65,6 +78,8 @@ const OP_QUERY: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
 const OP_HEALTH: u8 = 0x05;
+const OP_METRICS: u8 = 0x06;
+const OP_SLOW_QUERIES: u8 = 0x07;
 
 /// Response opcodes.
 const OP_CIRCUIT: u8 = 0x80;
@@ -73,6 +88,8 @@ const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTTING_DOWN: u8 = 0x83;
 const OP_OVERLOADED: u8 = 0x84;
 const OP_HEALTH_REPLY: u8 = 0x85;
+const OP_METRICS_REPLY: u8 = 0x86;
+const OP_SLOW_QUERIES_REPLY: u8 = 0x87;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +106,13 @@ pub enum Request {
     /// Probe readiness: uptime, restored-entry count, live workers and
     /// snapshot age, cheap enough for an external supervisor to poll.
     Health,
+    /// Scrape the metrics registry: every stats counter, the per-stage
+    /// latency histograms, and the engine profiling gauges, rendered in
+    /// Prometheus text exposition format.
+    Metrics,
+    /// Fetch the captured slow-query traces (requests that exceeded the
+    /// server's `--slow-query-us` threshold) as a JSON array.
+    SlowQueries,
 }
 
 /// A server→client message.
@@ -113,6 +137,10 @@ pub enum Response {
     },
     /// The readiness probe answering a health request.
     Health(HealthReport),
+    /// The Prometheus text exposition answering a metrics request.
+    Metrics(String),
+    /// The slow-query JSON array answering a slow-queries request.
+    SlowQueries(String),
 }
 
 /// Error raised while reading or decoding protocol traffic.
@@ -324,6 +352,8 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Stats => vec![OP_STATS],
         Request::Shutdown => vec![OP_SHUTDOWN],
         Request::Health => vec![OP_HEALTH],
+        Request::Metrics => vec![OP_METRICS],
+        Request::SlowQueries => vec![OP_SLOW_QUERIES],
     }
 }
 
@@ -364,10 +394,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         OP_STATS if body.is_empty() => Ok(Request::Stats),
         OP_SHUTDOWN if body.is_empty() => Ok(Request::Shutdown),
         OP_HEALTH if body.is_empty() => Ok(Request::Health),
-        OP_STATS | OP_SHUTDOWN | OP_HEALTH => Err(ProtocolError::BadBody(format!(
-            "opcode {op:#04x} takes no body, got {} bytes",
-            body.len()
-        ))),
+        OP_METRICS if body.is_empty() => Ok(Request::Metrics),
+        OP_SLOW_QUERIES if body.is_empty() => Ok(Request::SlowQueries),
+        OP_STATS | OP_SHUTDOWN | OP_HEALTH | OP_METRICS | OP_SLOW_QUERIES => {
+            Err(ProtocolError::BadBody(format!(
+                "opcode {op:#04x} takes no body, got {} bytes",
+                body.len()
+            )))
+        }
         other => Err(ProtocolError::BadOpcode(other)),
     }
 }
@@ -413,6 +447,18 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             for v in health.to_words() {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
+            payload
+        }
+        Response::Metrics(text) => {
+            let mut payload = Vec::with_capacity(1 + text.len());
+            payload.push(OP_METRICS_REPLY);
+            payload.extend_from_slice(text.as_bytes());
+            payload
+        }
+        Response::SlowQueries(json) => {
+            let mut payload = Vec::with_capacity(1 + json.len());
+            payload.push(OP_SLOW_QUERIES_REPLY);
+            payload.extend_from_slice(json.as_bytes());
             payload
         }
     }
@@ -463,15 +509,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             Ok(Response::Error(msg.to_owned()))
         }
         OP_STATS_REPLY => {
-            if body.len() != 8 * ServeStats::FIELDS {
+            // Accept bodies *longer* than the compiled-in word count (a
+            // newer server may append counters); reject short/unaligned.
+            if body.len() < 8 * ServeStats::FIELDS || body.len() % 8 != 0 {
                 return Err(ProtocolError::BadBody(format!(
-                    "stats body is {} bytes, expected {}",
+                    "stats body is {} bytes, expected a multiple of 8 and at least {}",
                     body.len(),
                     8 * ServeStats::FIELDS
                 )));
             }
             let mut words = [0u64; ServeStats::FIELDS];
-            for (i, chunk) in body.chunks_exact(8).enumerate() {
+            for (i, chunk) in body.chunks_exact(8).take(ServeStats::FIELDS).enumerate() {
                 words[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
             }
             Ok(Response::Stats(ServeStats::from_words(&words)))
@@ -492,18 +540,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             })
         }
         OP_HEALTH_REPLY => {
-            if body.len() != 8 * HealthReport::FIELDS {
+            // Same forward-compatible rule as the stats reply.
+            if body.len() < 8 * HealthReport::FIELDS || body.len() % 8 != 0 {
                 return Err(ProtocolError::BadBody(format!(
-                    "health body is {} bytes, expected {}",
+                    "health body is {} bytes, expected a multiple of 8 and at least {}",
                     body.len(),
                     8 * HealthReport::FIELDS
                 )));
             }
             let mut words = [0u64; HealthReport::FIELDS];
-            for (i, chunk) in body.chunks_exact(8).enumerate() {
+            for (i, chunk) in body.chunks_exact(8).take(HealthReport::FIELDS).enumerate() {
                 words[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
             }
             Ok(Response::Health(HealthReport::from_words(&words)))
+        }
+        OP_METRICS_REPLY => {
+            let text = std::str::from_utf8(body)
+                .map_err(|_| ProtocolError::BadBody("metrics exposition is not UTF-8".into()))?;
+            Ok(Response::Metrics(text.to_owned()))
+        }
+        OP_SLOW_QUERIES_REPLY => {
+            let json = std::str::from_utf8(body)
+                .map_err(|_| ProtocolError::BadBody("slow-query report is not UTF-8".into()))?;
+            Ok(Response::SlowQueries(json.to_owned()))
         }
         other => Err(ProtocolError::BadOpcode(other)),
     }
@@ -526,6 +585,8 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Health,
+            Request::Metrics,
+            Request::SlowQueries,
         ] {
             let payload = encode_request(&req);
             assert_eq!(decode_request(&payload).unwrap(), req);
@@ -625,6 +686,10 @@ mod tests {
                 snapshot_age_ms: HealthReport::NO_SNAPSHOT,
                 ..HealthReport::default()
             }),
+            Response::Metrics(String::new()),
+            Response::Metrics("# TYPE revsynth_requests counter\nrevsynth_requests 7\n".into()),
+            Response::SlowQueries("[]".into()),
+            Response::SlowQueries("[{\"span_id\":\"00000000075bcd15\"}]".into()),
         ] {
             let payload = encode_response(&resp);
             assert_eq!(decode_response(&payload).unwrap(), resp);
@@ -635,14 +700,56 @@ mod tests {
             bad.extend(std::iter::repeat_n(0u8, len));
             assert!(decode_response(&bad).is_err(), "body length {len}");
         }
-        // Malformed health bodies too.
-        for len in [0usize, 8, 31, 33, 40] {
+        // Malformed health bodies too: short or misaligned. (40 bytes —
+        // five words — is *not* malformed; see the tolerance test.)
+        for len in [0usize, 8, 31, 33, 39] {
             let mut bad = vec![OP_HEALTH_REPLY];
             bad.extend(std::iter::repeat_n(0u8, len));
             assert!(decode_response(&bad).is_err(), "body length {len}");
         }
         // A health request takes no body.
         assert!(decode_request(&[OP_HEALTH, 0]).is_err());
+        // Non-UTF-8 metrics / slow-query bodies are rejected.
+        assert!(decode_response(&[OP_METRICS_REPLY, 0xFF, 0xFE]).is_err());
+        assert!(decode_response(&[OP_SLOW_QUERIES_REPLY, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn longer_stats_and_health_replies_decode_their_known_prefix() {
+        // A newer server may append counters to the fixed-width frames;
+        // the decoder reads the words it knows and ignores the tail.
+        let stats = ServeStats {
+            requests: 42,
+            cache_hits: 41,
+            ..ServeStats::default()
+        };
+        let mut payload = encode_response(&Response::Stats(stats));
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        match decode_response(&payload).unwrap() {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.requests, 42);
+                assert_eq!(decoded.cache_hits, 41);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        let health = HealthReport {
+            uptime_ms: 9_000,
+            restored: 5,
+            live_workers: 3,
+            snapshot_age_ms: 100,
+        };
+        let mut payload = encode_response(&Response::Health(health));
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        match decode_response(&payload).unwrap() {
+            Response::Health(decoded) => assert_eq!(decoded, health),
+            other => panic!("expected health, got {other:?}"),
+        }
+
+        // One word short of the compiled-in count is still an error.
+        let trimmed = &encode_response(&Response::Stats(ServeStats::default()))[..1 + 8 * 20];
+        assert!(decode_response(trimmed).is_err());
     }
 
     #[test]

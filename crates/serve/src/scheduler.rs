@@ -61,6 +61,7 @@ use std::time::{Duration, Instant};
 
 use revsynth_circuit::{Circuit, CostKind};
 use revsynth_core::{SearchOptions, SynthesisSuite};
+use revsynth_obs::{Counter, Histogram, Stage, Trace};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
@@ -120,6 +121,14 @@ impl Error for ServeError {}
 struct Ticket {
     result: Mutex<Option<Result<Circuit, ServeError>>>,
     ready: Condvar,
+    /// Wall-clock µs the worker spent inside the batched engine call
+    /// that answered this ticket (the whole per-model batch duration —
+    /// the engine scans its level lists once for the batch, so the scan
+    /// is not attributable per entry). Zero for never-searched outcomes
+    /// (shed, expired, shutdown, plan-failed, worker panic). Written
+    /// before [`fulfill`](Self::fulfill), so a woken waiter reads it
+    /// race-free.
+    search_us: AtomicU64,
 }
 
 impl Ticket {
@@ -127,6 +136,7 @@ impl Ticket {
         Ticket {
             result: Mutex::new(None),
             ready: Condvar::new(),
+            search_us: AtomicU64::new(0),
         }
     }
 
@@ -191,6 +201,31 @@ pub struct SchedulerOptions {
     /// Deterministic fault injection at the search boundary (tests,
     /// chaos runs); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Registry handles the workers stream engine profiling into
+    /// (candidate/gate/probe counts, batch search durations). `None`
+    /// (the default) records nothing.
+    pub metrics: Option<SchedulerMetrics>,
+}
+
+/// Metrics-registry handles for the engine profiling the workers emit:
+/// the [`SearchStats`] counters of every completed synthesis, plus the
+/// wall-clock duration of each batched engine call. Handles are cheap
+/// clones of registry-owned atomics; the scheduler adds to them
+/// lock-free from inside the worker loop.
+///
+/// [`SearchStats`]: revsynth_core::SearchStats
+#[derive(Debug, Clone)]
+pub struct SchedulerMetrics {
+    /// Candidate circuits considered by the engine's frame scan.
+    pub considered: Counter,
+    /// Candidates rejected by the cost gate before canonicalization.
+    pub gated: Counter,
+    /// Candidates canonicalized (survived the gate).
+    pub canonicalized: Counter,
+    /// Meet-in-the-middle table probes issued.
+    pub probed: Counter,
+    /// Wall-clock duration of each batched `synthesize_many` call, µs.
+    pub batch_search_us: Histogram,
 }
 
 struct Inner {
@@ -224,6 +259,19 @@ struct Inner {
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Microseconds elapsed since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Outcome of the admission decision: either the result is already in
+/// hand (the post-miss cache re-check hit), or there is a ticket —
+/// fresh or coalesced onto — to wait on.
+enum Admission {
+    Cached(Circuit),
+    Ticket(Arc<Ticket>),
 }
 
 /// The scheduler: owns the worker pool, shares the cache with the
@@ -401,6 +449,57 @@ impl Scheduler {
         rep: Perm,
         deadline: Option<Instant>,
     ) -> Result<Circuit, ServeError> {
+        match self.admit(kind, rep, deadline)? {
+            Admission::Cached(circuit) => Ok(circuit),
+            Admission::Ticket(ticket) => ticket.wait(),
+        }
+    }
+
+    /// [`request_with_deadline`](Self::request_with_deadline) recording
+    /// span timings into `trace`: [`Stage::Admission`] covers the
+    /// admission decision (lock acquisition + coalesce/cache/shed
+    /// checks), [`Stage::BatchSearch`] the engine time of the batch that
+    /// answered the ticket, and [`Stage::QueueWait`] the remainder of
+    /// the wait (queued behind other work, linger, batch overhead).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`request_with_deadline`](Self::request_with_deadline)'s.
+    pub fn request_traced(
+        &self,
+        kind: CostKind,
+        rep: Perm,
+        deadline: Option<Instant>,
+        trace: &mut Trace,
+    ) -> Result<Circuit, ServeError> {
+        let admit_start = Instant::now();
+        let admitted = self.admit(kind, rep, deadline);
+        trace.record(Stage::Admission, elapsed_us(admit_start));
+        match admitted? {
+            Admission::Cached(circuit) => Ok(circuit),
+            Admission::Ticket(ticket) => {
+                let wait_start = Instant::now();
+                let result = ticket.wait();
+                let waited = elapsed_us(wait_start);
+                // A coalesced waiter that attached mid-search observes
+                // less wall-clock than the full batch duration; clamp so
+                // the two spans still sum to the observed wait.
+                let search = ticket.search_us.load(Ordering::Relaxed).min(waited);
+                trace.record(Stage::BatchSearch, search);
+                trace.record(Stage::QueueWait, waited - search);
+                result
+            }
+        }
+    }
+
+    /// The admission decision for one cache miss: coalesce, answer from
+    /// the cache, expire, shed, or enqueue a fresh ticket.
+    fn admit(
+        &self,
+        kind: CostKind,
+        rep: Perm,
+        deadline: Option<Instant>,
+    ) -> Result<Admission, ServeError> {
         let key = (kind.code(), rep.packed());
         let model = kind.code() as usize;
         let ticket = {
@@ -420,7 +519,7 @@ impl Scheduler {
                     // closes the window. Quiet: the caller already counted
                     // this query's miss.
                     if let Some(circuit) = self.inner.cache.get_quiet(kind, rep) {
-                        return Ok(circuit);
+                        return Ok(Admission::Cached(circuit));
                     }
                     if deadline.is_some_and(|d| Instant::now() >= d) {
                         self.inner.expired[model].fetch_add(1, Ordering::Relaxed);
@@ -448,7 +547,16 @@ impl Scheduler {
                 }
             }
         };
-        ticket.wait()
+        Ok(Admission::Ticket(ticket))
+    }
+
+    /// Pending-queue occupancy per cost model (indexed by
+    /// [`CostKind::code`]): searches admitted but not yet drained by a
+    /// worker. This is exactly what [`SchedulerOptions::max_queue`]
+    /// bounds, exposed for queue-depth gauges.
+    #[must_use]
+    pub fn queued(&self) -> [usize; MODELS] {
+        lock(&self.inner.queue).queued
     }
 
     /// Counter snapshot.
@@ -555,7 +663,15 @@ struct DrainGuard<'a> {
 
 impl DrainGuard<'_> {
     /// Answers one entry and removes it from the unresolved set.
-    fn resolve(&mut self, kind: CostKind, rep: Perm, outcome: Result<Circuit, ServeError>) {
+    /// `search_us` is the engine time behind the answer (zero when the
+    /// search never ran).
+    fn resolve(
+        &mut self,
+        kind: CostKind,
+        rep: Perm,
+        outcome: Result<Circuit, ServeError>,
+        search_us: u64,
+    ) {
         if let Some(i) = self
             .entries
             .iter()
@@ -563,7 +679,7 @@ impl DrainGuard<'_> {
         {
             self.entries.swap_remove(i);
         }
-        resolve(self.inner, kind, rep, outcome);
+        resolve(self.inner, kind, rep, outcome, search_us);
     }
 }
 
@@ -575,6 +691,7 @@ impl Drop for DrainGuard<'_> {
                 entry.kind,
                 entry.rep,
                 Err(ServeError::Synthesis(WORKER_PANIC.to_string())),
+                0,
             );
         }
     }
@@ -633,7 +750,7 @@ fn worker_loop(inner: &Inner) {
         for entry in guard.entries.clone() {
             if entry.deadline.is_some_and(|d| now >= d) {
                 inner.expired[entry.kind.code() as usize].fetch_add(1, Ordering::Relaxed);
-                guard.resolve(entry.kind, entry.rep, Err(ServeError::Expired));
+                guard.resolve(entry.kind, entry.rep, Err(ServeError::Expired), 0);
             }
         }
 
@@ -654,6 +771,7 @@ fn worker_loop(inner: &Inner) {
                         entry.kind,
                         entry.rep,
                         Err(ServeError::Synthesis(INJECTED_FAILURE.to_string())),
+                        0,
                     );
                     continue;
                 }
@@ -687,10 +805,21 @@ fn worker_loop(inner: &Inner) {
                 continue;
             }
             let opts = inner.search.cost_model(kind);
+            let search_start = Instant::now();
             let results = inner.suite.synthesize_many(&reps, &opts);
+            let search_us = elapsed_us(search_start);
+            if let Some(metrics) = inner.options.metrics.as_ref() {
+                metrics.batch_search_us.record(search_us);
+            }
             for (rep, result) in reps.iter().zip(results) {
                 let outcome = match result {
                     Ok(synthesis) => {
+                        if let Some(metrics) = inner.options.metrics.as_ref() {
+                            metrics.considered.add(synthesis.stats.considered);
+                            metrics.gated.add(synthesis.stats.gated);
+                            metrics.canonicalized.add(synthesis.stats.canonicalized);
+                            metrics.probed.add(synthesis.stats.probed);
+                        }
                         // Publish to the cache BEFORE resolving the ticket:
                         // see the module docs on the no-rerun ordering.
                         inner.cache.insert(kind, *rep, synthesis.circuit.clone());
@@ -698,20 +827,28 @@ fn worker_loop(inner: &Inner) {
                     }
                     Err(e) => Err(ServeError::Synthesis(e.to_string())),
                 };
-                guard.resolve(kind, *rep, outcome);
+                guard.resolve(kind, *rep, outcome, search_us);
             }
         }
     }
 }
 
-/// Removes the `(kind, rep)` in-flight ticket and wakes its waiters
-/// with `outcome`. (For successes the cache insert has already
-/// happened — see the module docs on the no-rerun ordering.)
-fn resolve(inner: &Inner, kind: CostKind, rep: Perm, outcome: Result<Circuit, ServeError>) {
+/// Removes the `(kind, rep)` in-flight ticket, stamps the engine time
+/// behind the answer, and wakes its waiters with `outcome`. (For
+/// successes the cache insert has already happened — see the module
+/// docs on the no-rerun ordering.)
+fn resolve(
+    inner: &Inner,
+    kind: CostKind,
+    rep: Perm,
+    outcome: Result<Circuit, ServeError>,
+    search_us: u64,
+) {
     let ticket = lock(&inner.queue)
         .inflight
         .remove(&(kind.code(), rep.packed()));
     if let Some(ticket) = ticket {
+        ticket.search_us.store(search_us, Ordering::Relaxed);
         ticket.fulfill(outcome);
     }
 }
@@ -963,6 +1100,86 @@ mod tests {
         assert_eq!(counters.coalesced, 0, "kinds never share a ticket");
         assert!(cache.get_quiet(CostKind::Gates, rep).is_some());
         assert!(cache.get_quiet(CostKind::Quantum, rep).is_some());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_record_spans_and_engine_metrics() {
+        use revsynth_obs::Registry;
+        let registry = Registry::default();
+        let metrics = SchedulerMetrics {
+            considered: registry.counter("considered", &[], "candidates considered"),
+            gated: registry.counter("gated", &[], "candidates gated"),
+            canonicalized: registry.counter("canonicalized", &[], "candidates canonicalized"),
+            probed: registry.counter("probed", &[], "table probes"),
+            batch_search_us: registry.histogram("batch_search_us", &[], "batch engine time"),
+        };
+        let suite = Arc::new(test_suite());
+        let cache = Arc::new(ClassCache::new(256));
+        let sched = Scheduler::with_options(
+            Arc::clone(&suite),
+            Arc::clone(&cache),
+            1,
+            SearchOptions::new().threads(1),
+            SchedulerOptions {
+                metrics: Some(metrics.clone()),
+                ..SchedulerOptions::default()
+            },
+        );
+        // A 4-gate class: with k = 2 tables this takes a real
+        // meet-in-the-middle search, so the engine counters must move.
+        let query = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)"
+            .parse::<revsynth_circuit::Circuit>()
+            .unwrap()
+            .perm(4);
+        let rep = suite.sym().canonical(query);
+        let mut trace = Trace::new(0xABCD);
+        let circuit = sched
+            .request_traced(CostKind::Gates, rep, None, &mut trace)
+            .unwrap();
+        assert_eq!(circuit.perm(4), rep);
+        assert_eq!(metrics.batch_search_us.count(), 1, "one batched call");
+        assert!(metrics.considered.get() > 0, "engine stats harvested");
+        assert!(metrics.probed.get() > 0);
+        assert!(metrics.considered.get() >= metrics.gated.get());
+        // The search span never exceeds admission + wait accounting:
+        // QueueWait and BatchSearch partition the observed ticket wait.
+        assert!(trace.total_us == 0, "scheduler never touches total_us");
+        // A repeat request is answered by the post-miss cache check:
+        // no new batch, and no search/queue spans recorded.
+        let mut again = Trace::new(0xABCE);
+        let cached = sched
+            .request_traced(CostKind::Gates, rep, None, &mut again)
+            .unwrap();
+        assert_eq!(cached, circuit);
+        assert_eq!(metrics.batch_search_us.count(), 1, "no second batch");
+        assert_eq!(again.stage_us(Stage::BatchSearch), 0);
+        assert_eq!(again.stage_us(Stage::QueueWait), 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_accessor_reports_admitted_work() {
+        // A 400 ms injected search keeps the lone worker busy; a second
+        // class queued behind it is visible through `queued()` until the
+        // worker drains it.
+        let plan = Arc::new(FaultPlan::new(0x0B5).with_search_delay(Duration::from_millis(400)));
+        let (sched, suite) = chaos_scheduler(Arc::clone(&plan), 0);
+        let reps = class_reps(&suite, 2);
+        let sched_ref = &sched;
+        std::thread::scope(|scope| {
+            let first = reps[0];
+            let a = scope.spawn(move || sched_ref.request(CostKind::Gates, first));
+            std::thread::sleep(Duration::from_millis(100));
+            let second = reps[1];
+            let b = scope.spawn(move || sched_ref.request(CostKind::Gates, second));
+            std::thread::sleep(Duration::from_millis(100));
+            let depth = sched_ref.queued();
+            assert_eq!(depth[CostKind::Gates.code() as usize], 1, "{depth:?}");
+            assert!(a.join().unwrap().is_ok());
+            assert!(b.join().unwrap().is_ok());
+        });
+        assert_eq!(sched.queued(), [0; MODELS], "drained queues report empty");
         sched.shutdown();
     }
 

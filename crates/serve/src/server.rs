@@ -49,18 +49,25 @@ use std::time::{Duration, Instant};
 use revsynth_canon::replay_for_witness;
 use revsynth_circuit::CostKind;
 use revsynth_core::{SearchOptions, SynthesisSuite};
+use revsynth_obs::{Gauge, Histogram, Registry, SpanIds, Stage, Trace, TraceRing};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
 use crate::fault::FaultPlan;
 use crate::protocol::{self, write_frame, FrameReader, Request, Response};
-use crate::scheduler::{Scheduler, SchedulerOptions, ServeError};
+use crate::scheduler::{Scheduler, SchedulerMetrics, SchedulerOptions, ServeError};
 use crate::snapshot::{self, RestoreOutcome, SnapshotRecord};
 use crate::stats::{HealthReport, LatencyHistogram, ServeStats};
 
 /// How often an idle connection handler re-checks the shutdown flag.
 /// Bounds both shutdown latency and the cost of parked connections.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Capacity of the rolling all-requests trace ring.
+const TRACE_RING_CAPACITY: usize = 1024;
+
+/// Capacity of the slow-query trace ring.
+const SLOW_RING_CAPACITY: usize = 256;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -106,6 +113,19 @@ pub struct ServerConfig {
     /// `None` (the default) snapshots only at graceful shutdown.
     /// Ignored without a [`snapshot`](Self::snapshot) path.
     pub snapshot_interval: Option<Duration>,
+    /// Requests whose total handling time reaches this many microseconds
+    /// are copied into the slow-query ring (retrievable with a
+    /// `SlowQueries` frame). `0` (the default) captures none. Has no
+    /// effect when [`instrumentation`](Self::instrumentation) is off.
+    pub slow_query_us: u64,
+    /// Master switch for per-request observability: trace spans, the
+    /// per-stage latency histograms, engine profiling counters and the
+    /// trace rings. On by default; turning it off removes every
+    /// per-request `Instant` read and ring write from the hot path (the
+    /// `bench_serve` `obs_overhead` phase measures the difference). The
+    /// metrics endpoint itself keeps working either way — the
+    /// [`ServeStats`] view is maintained regardless.
+    pub instrumentation: bool,
 }
 
 impl Default for ServerConfig {
@@ -125,8 +145,155 @@ impl Default for ServerConfig {
             faults: None,
             snapshot: None,
             snapshot_interval: None,
+            slow_query_us: 0,
+            instrumentation: true,
         }
     }
+}
+
+/// Observability state shared by every handler: the metrics registry
+/// and its handles, the trace rings and the span-id generator.
+struct Observability {
+    /// Per-request tracing on/off ([`ServerConfig::instrumentation`]).
+    enabled: bool,
+    /// Slow-query threshold, µs; `0` captures none.
+    slow_query_us: u64,
+    registry: Registry,
+    /// Per-stage span durations, indexed by [`Stage::index`]. Only
+    /// stages that actually ran (nonzero µs) are recorded, so a cache
+    /// hit does not drag the search stages' quantiles to zero.
+    stage_latency: [Histogram; Stage::COUNT],
+    /// Snapshot write durations (one sample per completed write).
+    snapshot_write_us: Histogram,
+    /// Duration of the restore-at-boot pass, µs (0 = cold boot).
+    snapshot_restore_us: Gauge,
+    /// Admitted-but-undrained searches per cost model, refreshed at
+    /// scrape time; indexed by [`CostKind::code`].
+    queue_depth: [Gauge; CostKind::ALL.len()],
+    /// Scheduler workers inside their supervised loop, refreshed at
+    /// scrape time.
+    live_workers: Gauge,
+    /// Resident cache entries per shard, refreshed at scrape time.
+    shard_entries: Vec<Gauge>,
+    /// Rolling ring of the most recent request traces.
+    traces: TraceRing,
+    /// Ring of requests that crossed the slow-query threshold.
+    slow: TraceRing,
+    span_ids: SpanIds,
+}
+
+impl Observability {
+    fn new(config: &ServerConfig, shards: usize, seed: u64) -> Self {
+        let registry = Registry::default();
+        let stage_latency = Stage::ALL.map(|stage| {
+            registry.histogram(
+                "revsynth_stage_latency_us",
+                &[("stage", stage.name())],
+                "Per-request pipeline span duration by stage, microseconds",
+            )
+        });
+        let queue_depth = CostKind::ALL.map(|kind| {
+            registry.gauge(
+                "revsynth_queue_depth",
+                &[("model", kind.as_str())],
+                "Admitted but not yet drained class searches per cost model",
+            )
+        });
+        let shard_entries = (0..shards)
+            .map(|i| {
+                let shard = i.to_string();
+                registry.gauge(
+                    "revsynth_cache_shard_entries",
+                    &[("shard", &shard)],
+                    "Resident class-cache entries per shard",
+                )
+            })
+            .collect();
+        Observability {
+            enabled: config.instrumentation,
+            slow_query_us: config.slow_query_us,
+            stage_latency,
+            snapshot_write_us: registry.histogram(
+                "revsynth_snapshot_write_us",
+                &[],
+                "Duration of each completed cache snapshot write, microseconds",
+            ),
+            snapshot_restore_us: registry.gauge(
+                "revsynth_snapshot_restore_us",
+                &[],
+                "Duration of the restore-at-boot pass, microseconds (0 on a cold boot)",
+            ),
+            queue_depth,
+            live_workers: registry.gauge(
+                "revsynth_live_workers",
+                &[],
+                "Scheduler workers currently inside their supervised loop",
+            ),
+            shard_entries,
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
+            slow: TraceRing::new(SLOW_RING_CAPACITY),
+            span_ids: SpanIds::new(seed),
+            registry,
+        }
+    }
+
+    /// Registry handles for the scheduler's engine profiling, when
+    /// instrumentation is on.
+    fn scheduler_metrics(&self) -> Option<SchedulerMetrics> {
+        self.enabled.then(|| SchedulerMetrics {
+            considered: self.registry.counter(
+                "revsynth_search_considered",
+                &[],
+                "Candidate circuits considered by the engine's frame scans",
+            ),
+            gated: self.registry.counter(
+                "revsynth_search_gated",
+                &[],
+                "Candidates rejected by the invariant gate before canonicalization",
+            ),
+            canonicalized: self.registry.counter(
+                "revsynth_search_canonicalized",
+                &[],
+                "Candidates canonicalized (survived the invariant gate)",
+            ),
+            probed: self.registry.counter(
+                "revsynth_search_probed",
+                &[],
+                "Meet-in-the-middle table probes issued",
+            ),
+            batch_search_us: self.registry.histogram(
+                "revsynth_batch_search_us",
+                &[],
+                "Wall-clock duration of each batched engine call, microseconds",
+            ),
+        })
+    }
+
+    /// Records a completed request trace: per-stage histograms, the
+    /// rolling ring, and — past the threshold — the slow-query ring.
+    fn finish(&self, trace: &Trace) {
+        for stage in Stage::ALL {
+            let us = trace.stage_us(stage);
+            if us > 0 {
+                self.stage_latency[stage.index()].record(us);
+            }
+        }
+        self.traces.push(trace);
+        if self.slow_query_us > 0 && trace.total_us >= self.slow_query_us {
+            self.slow.push(trace);
+        }
+    }
+}
+
+/// Microseconds elapsed since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Microseconds from `a` to `b` (zero if `b` is not later), saturating.
+/// Used to chain span boundaries without re-reading the clock.
+fn us_between(a: Instant, b: Instant) -> u64 {
+    u64::try_from(b.duration_since(a).as_micros()).unwrap_or(u64::MAX)
 }
 
 /// What restore-on-boot found at the snapshot path (for operator
@@ -172,6 +339,8 @@ struct Shared {
     /// reports the age of *this process's* persistence, not the
     /// previous incarnation's).
     last_snapshot: Mutex<Option<Instant>>,
+    /// Metrics registry, trace rings and span-id state.
+    obs: Observability,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -238,8 +407,10 @@ fn write_snapshot_now(shared: &Shared) {
         .faults
         .as_deref()
         .and_then(FaultPlan::next_snapshot_delay);
+    let write_start = Instant::now();
     match snapshot::write_snapshot_paced(path, shared.suite.wires(), &records, pause) {
         Ok(_) => {
+            shared.obs.snapshot_write_us.record(elapsed_us(write_start));
             shared.snapshot_writes.fetch_add(1, Ordering::Relaxed);
             *lock(&shared.last_snapshot) = Some(Instant::now());
         }
@@ -309,7 +480,9 @@ impl Server {
         // first query from the restored cache. Nothing here can fail
         // the boot — a missing snapshot is a cold start, an unreadable
         // one is quarantined and *then* a cold start.
+        let obs = Observability::new(config, cache.shard_lens().len(), u64::from(addr.port()));
         let mut restore_summary = RestoreSummary::default();
+        let restore_start = Instant::now();
         if let Some(path) = config.snapshot.as_deref() {
             match snapshot::restore(path, suite.wires()) {
                 RestoreOutcome::Missing => {}
@@ -333,6 +506,7 @@ impl Server {
                     restore_summary.quarantined = quarantine;
                 }
             }
+            obs.snapshot_restore_us.set(elapsed_us(restore_start));
         }
         let scheduler = Scheduler::with_options(
             Arc::clone(&suite),
@@ -344,6 +518,7 @@ impl Server {
                 max_queue: config.max_queue,
                 retry_after_ms: config.retry_after_ms,
                 faults: config.faults.clone(),
+                metrics: obs.scheduler_metrics(),
             },
         );
         Ok(Server {
@@ -368,6 +543,7 @@ impl Server {
                 snapshot_writes: AtomicU64::new(0),
                 snapshot_skipped: AtomicU64::new(restore_summary.skipped),
                 last_snapshot: Mutex::new(None),
+                obs,
             }),
             restore_summary,
         })
@@ -562,6 +738,9 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 return;
             }
         };
+        // Decode is timed only when instrumentation is on, and the span
+        // is attributed only if the frame turns out to be a query.
+        let decode_start = shared.obs.enabled.then(Instant::now);
         let request = match protocol::decode_request(&payload) {
             Ok(r) => r,
             Err(e) => {
@@ -577,20 +756,48 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             Request::Query(f, kind, deadline_ms) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let start = Instant::now();
+                // Spans are computed by *chaining* timestamps — one
+                // clock read per stage boundary, with each boundary
+                // shared by the stage it ends and the stage it starts —
+                // because on hosts without a cheap vDSO clock the reads
+                // themselves are the dominant tracing cost.
+                let mut trace = decode_start.map(|decoded_at| {
+                    let mut t = Trace::new(shared.obs.span_ids.next_id());
+                    t.record(Stage::Decode, us_between(decoded_at, start));
+                    t
+                });
                 // The deadline clock starts when the frame is decoded —
                 // the budget covers queueing and search, not network
                 // transit.
                 let deadline = deadline_ms.map(|ms| start + Duration::from_millis(u64::from(ms)));
-                let response = answer_query(shared, f, kind, deadline);
-                let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                shared.latency.record(elapsed);
+                let response = answer_query(shared, f, kind, start, deadline, trace.as_mut());
+                let answered = Instant::now();
+                shared.latency.record(us_between(start, answered));
                 if matches!(response, Response::Error(_)) {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(mut trace) = trace {
+                    // Traced requests encode and write inside the span
+                    // so the trace covers the full pipeline.
+                    let payload = protocol::encode_response(&response);
+                    let encoded = Instant::now();
+                    trace.record(Stage::Encode, us_between(answered, encoded));
+                    let write_ok = write_frame(&mut writer, &payload).is_ok();
+                    let written = Instant::now();
+                    trace.record(Stage::Write, us_between(encoded, written));
+                    trace.total_us = us_between(start, written);
+                    shared.obs.finish(&trace);
+                    if !write_ok {
+                        return;
+                    }
+                    continue;
                 }
                 response
             }
             Request::Stats => Response::Stats(shared.snapshot()),
             Request::Health => Response::Health(shared.health()),
+            Request::Metrics => Response::Metrics(render_metrics(shared)),
+            Request::SlowQueries => Response::SlowQueries(render_slow_queries(shared)),
             Request::Shutdown => {
                 let _ = write_frame(
                     &mut writer,
@@ -606,6 +813,40 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// Renders the full metrics scrape: every [`ServeStats`] field as a
+/// `revsynth_`-prefixed series (shared field-name table — the text
+/// frame and this exposition cannot drift), then the registry —
+/// per-stage latency histograms, engine profiling, snapshot timings,
+/// and the point-in-time gauges refreshed here.
+fn render_metrics(shared: &Shared) -> String {
+    let obs = &shared.obs;
+    for (kind, depth) in CostKind::ALL.iter().zip(shared.scheduler.queued()) {
+        obs.queue_depth[kind.code() as usize].set(depth as u64);
+    }
+    obs.live_workers.set(shared.scheduler.live_workers());
+    for (gauge, len) in obs.shard_entries.iter().zip(shared.cache.shard_lens()) {
+        gauge.set(len as u64);
+    }
+    let mut out = String::new();
+    shared.snapshot().to_prometheus(&mut out);
+    obs.registry.render_into(&mut out);
+    out
+}
+
+/// Renders the slow-query ring as a JSON array, oldest first.
+fn render_slow_queries(shared: &Shared) -> String {
+    let mut out = String::from("[");
+    for (i, trace) in shared.obs.slow.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let model = CostKind::from_code(trace.model).map_or("unknown", CostKind::as_str);
+        out.push_str(&trace.to_json(model));
+    }
+    out.push(']');
+    out
+}
+
 /// The query hot path: canonicalize, cache (keyed by cost model +
 /// class), replay — scheduler only on a miss. One canonicalization
 /// serves every model (all three cost kinds are class functions), and
@@ -616,7 +857,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 /// that ordering is the graceful-degradation contract — a saturated
 /// miss queue sheds new searches while cache hits keep being answered
 /// at full speed.
-fn answer_query(shared: &Shared, f: Perm, kind: CostKind, deadline: Option<Instant>) -> Response {
+fn answer_query(
+    shared: &Shared,
+    f: Perm,
+    kind: CostKind,
+    start: Instant,
+    deadline: Option<Instant>,
+    mut trace: Option<&mut Trace>,
+) -> Response {
     let n = shared.suite.wires();
     for x in (1u8 << n)..16 {
         if f.apply(x) != x {
@@ -626,20 +874,47 @@ fn answer_query(shared: &Shared, f: Perm, kind: CostKind, deadline: Option<Insta
         }
     }
     let w = shared.suite.sym().canonicalize(f);
-    let rep_circuit = match shared.cache.get(kind, w.rep) {
+    let cached = shared.cache.get(kind, w.rep);
+    // Timestamp chain: `start` ends Decode, `probed` ends CacheProbe
+    // (which therefore includes the domain check and canonicalization —
+    // everything between decode and the cache's answer).
+    let mut probed = None;
+    if let Some(t) = trace.as_deref_mut() {
+        let now = Instant::now();
+        t.model = kind.code();
+        t.rep = w.rep.packed();
+        t.cache_hit = cached.is_some();
+        t.record(Stage::CacheProbe, us_between(start, now));
+        probed = Some(now);
+    }
+    let rep_circuit = match cached {
         Some(circuit) => circuit,
-        None => match shared
-            .scheduler
-            .request_with_deadline(kind, w.rep, deadline)
-        {
-            Ok(circuit) => circuit,
-            Err(ServeError::Overloaded { retry_after_ms }) => {
-                return Response::Overloaded { retry_after_ms }
+        None => {
+            let result = match trace.as_deref_mut() {
+                Some(t) => shared.scheduler.request_traced(kind, w.rep, deadline, t),
+                None => shared
+                    .scheduler
+                    .request_with_deadline(kind, w.rep, deadline),
+            };
+            // The scheduler timed its own stages; restart the chain at
+            // the fulfilment boundary so Replay excludes the wait.
+            if probed.is_some() {
+                probed = Some(Instant::now());
             }
-            Err(e) => return Response::Error(e.to_string()),
-        },
+            match result {
+                Ok(circuit) => circuit,
+                Err(ServeError::Overloaded { retry_after_ms }) => {
+                    return Response::Overloaded { retry_after_ms }
+                }
+                Err(e) => return Response::Error(e.to_string()),
+            }
+        }
     };
-    Response::Circuit(replay_for_witness(&rep_circuit, &w))
+    let answer = replay_for_witness(&rep_circuit, &w);
+    if let (Some(t), Some(s)) = (trace, probed) {
+        t.record(Stage::Replay, us_between(s, Instant::now()));
+    }
+    Response::Circuit(answer)
 }
 
 /// Flips the shutdown flag and unblocks the acceptor with a

@@ -1,0 +1,206 @@
+//! End-to-end observability: a live server is driven through hits,
+//! misses and coalescing, then its metrics scrape must contain every
+//! `ServeStats` field (under the shared name table), all eight
+//! per-stage latency histogram families, engine profiling counters that
+//! moved, and a conservation law the counters must satisfy; the
+//! slow-query endpoint must return structured traces.
+
+use std::sync::Arc;
+
+use revsynth_circuit::{Circuit, CostKind, GateLib};
+use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
+use revsynth_obs::Stage;
+use revsynth_perm::Perm;
+use revsynth_serve::{Client, ServeStats, Server, ServerConfig, ServerHandle};
+
+fn suite() -> Arc<SynthesisSuite> {
+    Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, 2),
+        SuiteConfig {
+            quantum_budget: 6,
+            depth_budget: 2,
+        },
+    ))
+}
+
+fn start_server(config: &ServerConfig) -> ServerHandle {
+    Server::bind(suite(), config)
+        .expect("bind loopback")
+        .spawn()
+}
+
+/// A handful of distinct-class functions (deterministic order).
+fn cold_classes(n: usize) -> Vec<Perm> {
+    let suite = suite();
+    let sym = suite.sym();
+    let lib = GateLib::nct(n);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    'outer: for a in 0..gates.len() {
+        for b in 0..gates.len() {
+            let f = Circuit::from_gates([gates[a], gates[b]]).perm(n);
+            if seen.insert(sym.canonical(f)) {
+                out.push(f);
+                if out.len() == 6 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The value of a plain `name value` series in an exposition.
+fn series_value(metrics: &str, name: &str) -> Option<u64> {
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.parse().ok()
+    })
+}
+
+#[test]
+fn metrics_scrape_covers_stats_stages_engine_and_conservation() {
+    let handle = start_server(&ServerConfig {
+        slow_query_us: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Drive misses (cold classes) and hits (repeat queries).
+    let queries = cold_classes(4);
+    assert!(queries.len() >= 4);
+    for f in &queries {
+        client.query(*f).expect("cold query");
+    }
+    for f in &queries {
+        client.query(*f).expect("warm query");
+    }
+    // One query under a second cost model exercises a second queue.
+    client
+        .query_with_cost(queries[0], CostKind::Quantum)
+        .expect("quantum query");
+    // A 4-gate class: with k = 2 tables this takes a real
+    // meet-in-the-middle cost scan, so the engine counters must move
+    // (2-gate classes are direct table lookups).
+    let deep = "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)"
+        .parse::<Circuit>()
+        .expect("parse deep circuit")
+        .perm(4);
+    client.query(deep).expect("deep query");
+
+    let metrics = client.metrics().expect("metrics scrape");
+    let stats = client.stats().expect("stats frame");
+
+    // Every ServeStats field appears under the shared name table, and
+    // the scraped value matches the binary stats frame (quiescent
+    // between the two round trips, except the request counter itself
+    // and the latency quantiles it may shift).
+    let words = stats.to_words();
+    for (i, name) in ServeStats::FIELD_NAMES.iter().enumerate() {
+        let scraped = series_value(&metrics, &format!("revsynth_{name}"))
+            .unwrap_or_else(|| panic!("series revsynth_{name} missing from:\n{metrics}"));
+        assert!(
+            metrics.contains(&format!("# TYPE revsynth_{name} ")),
+            "missing TYPE for {name}"
+        );
+        if !matches!(*name, "requests" | "p50_latency_us" | "p99_latency_us") {
+            assert_eq!(scraped, words[i], "field {name} drifted");
+        }
+    }
+
+    // The conservation law the CI gate asserts from the scraped text.
+    let misses = series_value(&metrics, "revsynth_cache_misses").unwrap();
+    let searches = series_value(&metrics, "revsynth_searches").unwrap();
+    let coalesced = series_value(&metrics, "revsynth_coalesced").unwrap();
+    let shed = series_value(&metrics, "revsynth_shed").unwrap();
+    let expired = series_value(&metrics, "revsynth_expired").unwrap();
+    assert_eq!(
+        misses,
+        searches + coalesced + shed + expired,
+        "conservation law violated in:\n{metrics}"
+    );
+
+    // All eight stage families are present, and the stages a normal
+    // query always runs have samples.
+    for stage in Stage::ALL {
+        let series = format!(
+            "revsynth_stage_latency_us_count{{stage=\"{}\"}}",
+            stage.name()
+        );
+        let count = series_value(&metrics, &series)
+            .unwrap_or_else(|| panic!("missing {series} in:\n{metrics}"));
+        if matches!(stage, Stage::CacheProbe) {
+            assert!(count > 0, "every query probes the cache");
+        }
+    }
+
+    // Engine profiling flowed into the registry: real searches happened.
+    assert!(series_value(&metrics, "revsynth_search_considered").unwrap() > 0);
+    assert!(series_value(&metrics, "revsynth_search_probed").unwrap() > 0);
+    assert!(
+        series_value(&metrics, "revsynth_batch_search_us_count").unwrap() >= 1,
+        "at least one batched engine call"
+    );
+    assert!(series_value(&metrics, "revsynth_live_workers").unwrap() >= 1);
+    // Shard occupancy gauges sum to the resident class count.
+    let shard_total: u64 = metrics
+        .lines()
+        .filter(|l| l.starts_with("revsynth_cache_shard_entries{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(shard_total, stats.cached_classes);
+
+    // With a 1 µs threshold every request is "slow": the ring holds
+    // structured traces with span ids, stages and models.
+    let slow = client.slow_queries().expect("slow queries");
+    assert!(slow.starts_with('[') && slow.ends_with(']'), "{slow}");
+    assert!(slow.contains("\"span_id\""), "{slow}");
+    assert!(
+        slow.contains("\"cache_hit\": true"),
+        "warm queries captured"
+    );
+    assert!(slow.contains("\"queue_wait_us\""), "{slow}");
+    assert!(slow.contains("\"model\": \"quantum\""), "{slow}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn disabling_instrumentation_keeps_metrics_endpoint_but_empties_traces() {
+    let handle = start_server(&ServerConfig {
+        instrumentation: false,
+        slow_query_us: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let queries = cold_classes(4);
+    for f in &queries {
+        client.query(*f).expect("query");
+    }
+    let metrics = client.metrics().expect("metrics scrape");
+    // The ServeStats view is maintained regardless...
+    assert_eq!(
+        series_value(&metrics, "revsynth_requests"),
+        Some(queries.len() as u64)
+    );
+    // ...but no per-request spans or engine samples are recorded.
+    for stage in Stage::ALL {
+        let series = format!(
+            "revsynth_stage_latency_us_count{{stage=\"{}\"}}",
+            stage.name()
+        );
+        assert_eq!(series_value(&metrics, &series), Some(0), "{series}");
+    }
+    // Engine profiling series are not registered at all when
+    // instrumentation is off — the scrape omits them entirely.
+    assert_eq!(
+        series_value(&metrics, "revsynth_search_considered"),
+        None,
+        "engine metrics must be absent when instrumentation is off"
+    );
+    assert_eq!(client.slow_queries().expect("slow queries"), "[]");
+    client.shutdown_server().expect("shutdown");
+    handle.join().expect("join");
+}

@@ -23,6 +23,7 @@
 //! | [`linear`] | `revsynth-linear` | GF(2) affine functions, Table 5 |
 //! | [`specs`] | `revsynth-specs` | Table 6 benchmarks, Figure 2 adder |
 //! | [`analysis`] | `revsynth-analysis` | random sampling, estimates, timing, hard search |
+//! | [`obs`] | `revsynth-obs` | metrics registry + Prometheus export, trace spans, latency histograms |
 //! | [`serve`] | `revsynth-serve` | TCP service: class-keyed result cache, coalescing batch scheduler |
 //!
 //! ## Quickstart
@@ -71,6 +72,7 @@ pub use revsynth_canon as canon;
 pub use revsynth_circuit as circuit;
 pub use revsynth_core as core;
 pub use revsynth_linear as linear;
+pub use revsynth_obs as obs;
 pub use revsynth_perm as perm;
 pub use revsynth_serve as serve;
 pub use revsynth_specs as specs;

@@ -126,7 +126,7 @@ COMMANDS:
                production.
     query      [--port <P>] [--spec <P0,..,P15>] [--cost gates|quantum|depth]
                [--deadline-ms <MS>] [--json] [--stats] [--health]
-               [--metrics] [--slow] [--shutdown]
+               [--metrics] [--slow] [--traces] [--shutdown]
                Query a running server: --spec synthesizes a permutation
                under --cost (default gates), --stats (or no --spec)
                prints the ServeStats snapshot, --health prints the
@@ -136,6 +136,8 @@ COMMANDS:
                latency histograms, queue depths, shard occupancy and
                engine profiling), --slow prints the captured
                slow-query traces as JSON (see serve --slow-query-us),
+               --traces prints the rolling ring of recent request
+               traces as JSON (newest requests, slow or not),
                --shutdown stops the server.
                --deadline-ms asks the server to expire the request
                unstarted if it cannot begin the search in time.
@@ -185,6 +187,7 @@ const SWITCHES: &[&str] = &[
     "resume",
     "metrics",
     "slow",
+    "traces",
 ];
 
 /// Minimal flag parser: `--name value` pairs after the subcommand, plus
@@ -1199,6 +1202,7 @@ fn cmd_query(opts: &Opts) -> CliResult {
         "health",
         "metrics",
         "slow",
+        "traces",
         "shutdown",
     ])?;
     let addr = server_addr(opts)?;
@@ -1236,6 +1240,10 @@ fn cmd_query(opts: &Opts) -> CliResult {
         // Slow-query traces arrive as a JSON array either way; --json
         // just names the format explicitly.
         println!("{}", client.slow_queries()?);
+        return Ok(());
+    }
+    if opts.has("traces") {
+        println!("{}", client.traces()?);
         return Ok(());
     }
     if let Some(spec) = opts.get("spec") {
@@ -1897,6 +1905,7 @@ mod tests {
         assert!(dispatch(&to_args(&["query", "--port", &port, "--metrics"])).is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--slow"])).is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--slow", "--json"])).is_ok());
+        assert!(dispatch(&to_args(&["query", "--port", &port, "--traces"])).is_ok());
         assert!(dispatch(&to_args(&["query", "--port", &port, "--shutdown"])).is_ok());
         handle.join().expect("clean shutdown");
     }

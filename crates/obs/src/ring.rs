@@ -6,8 +6,20 @@
 //! under them. Everything is plain atomics — no `unsafe`, no locks —
 //! so pushing a trace on the request path costs a handful of relaxed
 //! stores, and a torn read can only ever be *dropped*, never observed.
+//!
+//! The relaxed word accesses are ordered by the standard
+//! seqlock-with-fences pattern: a writer issues a `Release` fence
+//! between the version→odd transition and its word stores, and a
+//! reader issues an `Acquire` fence between its word loads and the
+//! validating version re-read. The fences pair (fence-fence
+//! synchronization through the word cells), so if a reader's word load
+//! observed any store of a later write, the validation load is
+//! guaranteed to see that writer's odd version and discard the
+//! snapshot — without the fences the relaxed loads could be reordered
+//! past the validation on weakly-ordered hardware and a mixed-writer
+//! record could survive both version checks.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::trace::Trace;
 
@@ -71,6 +83,9 @@ impl TraceRing {
         {
             return;
         }
+        // Pairs with the reader's Acquire fence: any reader that sees
+        // one of the word stores below must also see version = v + 1.
+        fence(Ordering::Release);
         for (cell, word) in slot.words.iter().zip(trace.to_words()) {
             cell.store(word, Ordering::Relaxed);
         }
@@ -97,7 +112,12 @@ impl TraceRing {
                 for (w, cell) in words.iter_mut().zip(slot.words.iter()) {
                     *w = cell.load(Ordering::Relaxed);
                 }
-                if slot.version.load(Ordering::Acquire) == v1 {
+                // Keeps the word loads above from being reordered past
+                // the validation re-read (pairs with the writer's
+                // Release fence); the re-read itself then needs no
+                // ordering of its own.
+                fence(Ordering::Acquire);
+                if slot.version.load(Ordering::Relaxed) == v1 {
                     out.push(Trace::from_words(&words));
                     break;
                 }

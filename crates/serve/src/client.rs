@@ -371,6 +371,21 @@ impl Client {
         })
     }
 
+    /// Fetches the server's rolling ring of recent request traces
+    /// (slow or not) as a JSON array, oldest first. Bounded by the
+    /// frame cap: when the ring holds more than one frame can carry,
+    /// the newest traces are returned.
+    ///
+    /// # Errors
+    ///
+    /// As [`stats`](Self::stats).
+    pub fn traces(&mut self) -> Result<String, ClientError> {
+        self.round_trip_demuxed(&Request::Traces, |r| match r {
+            Response::Traces(json) => Some(json),
+            _ => None,
+        })
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors

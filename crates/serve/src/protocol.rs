@@ -20,6 +20,7 @@
 //! | `0x05` Health | empty | readiness probe (uptime, restored entries, live workers, snapshot age) |
 //! | `0x06` Metrics | empty | scrape the metrics registry (Prometheus text exposition) |
 //! | `0x07` SlowQueries | empty | fetch the captured slow-query traces as JSON |
+//! | `0x08` Traces | empty | fetch the rolling ring of recent request traces as JSON |
 //!
 //! The cost-model byte is [`CostKind::code`] (0 = gates, 1 = quantum,
 //! 2 = depth). Query bodies come in three compatible lengths: 16 bytes
@@ -43,6 +44,12 @@
 //! | `0x85` Health | 4 × u64 LE | [`HealthReport`]: uptime ms, restored entries, live workers, snapshot age ms |
 //! | `0x86` Metrics | UTF-8 text | the Prometheus text exposition |
 //! | `0x87` SlowQueries | UTF-8 text | JSON array of slow-query traces |
+//! | `0x88` Traces | UTF-8 text | JSON array of the most recent request traces |
+//!
+//! The trace-array replies (`0x87`/`0x88`) are **bounded**: the server
+//! renders newest-first until the frame budget is reached, so a full
+//! ring can never produce a payload above [`MAX_FRAME_LEN`] — the
+//! oldest traces are dropped from the array instead.
 //!
 //! **Forward compatibility:** the fixed-width `0x82`/`0x85` bodies may
 //! *grow* in future protocol revisions (new trailing counters). A
@@ -80,6 +87,7 @@ const OP_SHUTDOWN: u8 = 0x03;
 const OP_HEALTH: u8 = 0x05;
 const OP_METRICS: u8 = 0x06;
 const OP_SLOW_QUERIES: u8 = 0x07;
+const OP_TRACES: u8 = 0x08;
 
 /// Response opcodes.
 const OP_CIRCUIT: u8 = 0x80;
@@ -90,6 +98,7 @@ const OP_OVERLOADED: u8 = 0x84;
 const OP_HEALTH_REPLY: u8 = 0x85;
 const OP_METRICS_REPLY: u8 = 0x86;
 const OP_SLOW_QUERIES_REPLY: u8 = 0x87;
+const OP_TRACES_REPLY: u8 = 0x88;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +122,9 @@ pub enum Request {
     /// Fetch the captured slow-query traces (requests that exceeded the
     /// server's `--slow-query-us` threshold) as a JSON array.
     SlowQueries,
+    /// Fetch the rolling ring of the most recent request traces (slow
+    /// or not) as a JSON array.
+    Traces,
 }
 
 /// A server→client message.
@@ -141,6 +153,8 @@ pub enum Response {
     Metrics(String),
     /// The slow-query JSON array answering a slow-queries request.
     SlowQueries(String),
+    /// The recent-traces JSON array answering a traces request.
+    Traces(String),
 }
 
 /// Error raised while reading or decoding protocol traffic.
@@ -354,6 +368,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Health => vec![OP_HEALTH],
         Request::Metrics => vec![OP_METRICS],
         Request::SlowQueries => vec![OP_SLOW_QUERIES],
+        Request::Traces => vec![OP_TRACES],
     }
 }
 
@@ -396,7 +411,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         OP_HEALTH if body.is_empty() => Ok(Request::Health),
         OP_METRICS if body.is_empty() => Ok(Request::Metrics),
         OP_SLOW_QUERIES if body.is_empty() => Ok(Request::SlowQueries),
-        OP_STATS | OP_SHUTDOWN | OP_HEALTH | OP_METRICS | OP_SLOW_QUERIES => {
+        OP_TRACES if body.is_empty() => Ok(Request::Traces),
+        OP_STATS | OP_SHUTDOWN | OP_HEALTH | OP_METRICS | OP_SLOW_QUERIES | OP_TRACES => {
             Err(ProtocolError::BadBody(format!(
                 "opcode {op:#04x} takes no body, got {} bytes",
                 body.len()
@@ -458,6 +474,12 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         Response::SlowQueries(json) => {
             let mut payload = Vec::with_capacity(1 + json.len());
             payload.push(OP_SLOW_QUERIES_REPLY);
+            payload.extend_from_slice(json.as_bytes());
+            payload
+        }
+        Response::Traces(json) => {
+            let mut payload = Vec::with_capacity(1 + json.len());
+            payload.push(OP_TRACES_REPLY);
             payload.extend_from_slice(json.as_bytes());
             payload
         }
@@ -564,6 +586,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 .map_err(|_| ProtocolError::BadBody("slow-query report is not UTF-8".into()))?;
             Ok(Response::SlowQueries(json.to_owned()))
         }
+        OP_TRACES_REPLY => {
+            let json = std::str::from_utf8(body)
+                .map_err(|_| ProtocolError::BadBody("trace report is not UTF-8".into()))?;
+            Ok(Response::Traces(json.to_owned()))
+        }
         other => Err(ProtocolError::BadOpcode(other)),
     }
 }
@@ -587,6 +614,7 @@ mod tests {
             Request::Health,
             Request::Metrics,
             Request::SlowQueries,
+            Request::Traces,
         ] {
             let payload = encode_request(&req);
             assert_eq!(decode_request(&payload).unwrap(), req);
@@ -690,6 +718,8 @@ mod tests {
             Response::Metrics("# TYPE revsynth_requests counter\nrevsynth_requests 7\n".into()),
             Response::SlowQueries("[]".into()),
             Response::SlowQueries("[{\"span_id\":\"00000000075bcd15\"}]".into()),
+            Response::Traces("[]".into()),
+            Response::Traces("[{\"span_id\":\"00000000075bcd15\"}]".into()),
         ] {
             let payload = encode_response(&resp);
             assert_eq!(decode_response(&payload).unwrap(), resp);
@@ -709,9 +739,12 @@ mod tests {
         }
         // A health request takes no body.
         assert!(decode_request(&[OP_HEALTH, 0]).is_err());
-        // Non-UTF-8 metrics / slow-query bodies are rejected.
+        // Non-UTF-8 metrics / slow-query / trace bodies are rejected.
         assert!(decode_response(&[OP_METRICS_REPLY, 0xFF, 0xFE]).is_err());
         assert!(decode_response(&[OP_SLOW_QUERIES_REPLY, 0xFF, 0xFE]).is_err());
+        assert!(decode_response(&[OP_TRACES_REPLY, 0xFF, 0xFE]).is_err());
+        // A traces request takes no body.
+        assert!(decode_request(&[OP_TRACES, 0]).is_err());
     }
 
     #[test]

@@ -63,10 +63,13 @@ use crate::stats::{HealthReport, LatencyHistogram, ServeStats};
 /// Bounds both shutdown latency and the cost of parked connections.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
-/// Capacity of the rolling all-requests trace ring.
+/// Capacity of the rolling all-requests trace ring (served by the
+/// `Traces` frame; [`render_trace_json`] bounds the reply to the frame
+/// cap, so the ring may hold more traces than one reply can carry).
 const TRACE_RING_CAPACITY: usize = 1024;
 
-/// Capacity of the slow-query trace ring.
+/// Capacity of the slow-query trace ring (served by the `SlowQueries`
+/// frame, bounded the same way).
 const SLOW_RING_CAPACITY: usize = 256;
 
 /// Server configuration.
@@ -175,7 +178,8 @@ struct Observability {
     live_workers: Gauge,
     /// Resident cache entries per shard, refreshed at scrape time.
     shard_entries: Vec<Gauge>,
-    /// Rolling ring of the most recent request traces.
+    /// Rolling ring of the most recent request traces, slow or not
+    /// (retrievable with a `Traces` frame).
     traces: TraceRing,
     /// Ring of requests that crossed the slow-query threshold.
     slow: TraceRing,
@@ -797,7 +801,8 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             Request::Stats => Response::Stats(shared.snapshot()),
             Request::Health => Response::Health(shared.health()),
             Request::Metrics => Response::Metrics(render_metrics(shared)),
-            Request::SlowQueries => Response::SlowQueries(render_slow_queries(shared)),
+            Request::SlowQueries => Response::SlowQueries(render_trace_json(&shared.obs.slow)),
+            Request::Traces => Response::Traces(render_trace_json(&shared.obs.traces)),
             Request::Shutdown => {
                 let _ = write_frame(
                     &mut writer,
@@ -833,18 +838,30 @@ fn render_metrics(shared: &Shared) -> String {
     out
 }
 
-/// Renders the slow-query ring as a JSON array, oldest first.
-fn render_slow_queries(shared: &Shared) -> String {
-    let mut out = String::from("[");
-    for (i, trace) in shared.obs.slow.snapshot().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
+/// Renders a trace ring as a JSON array, oldest first, bounded so the
+/// encoded response frame (one opcode byte + the JSON) always fits
+/// [`protocol::MAX_FRAME_LEN`]. A full ring of worst-case traces
+/// overflows the frame cap (`write_frame` asserts on oversized
+/// payloads), so traces are admitted newest-first until the budget is
+/// spent and the oldest are dropped from the array.
+fn render_trace_json(ring: &TraceRing) -> String {
+    // Opcode byte plus the enclosing brackets come off the top.
+    let budget = protocol::MAX_FRAME_LEN as usize - 1 - 2;
+    let snapshot = ring.snapshot();
+    let mut kept: Vec<String> = Vec::with_capacity(snapshot.len());
+    let mut used = 0;
+    for trace in snapshot.iter().rev() {
         let model = CostKind::from_code(trace.model).map_or("unknown", CostKind::as_str);
-        out.push_str(&trace.to_json(model));
+        let json = trace.to_json(model);
+        let sep = usize::from(!kept.is_empty());
+        if used + sep + json.len() > budget {
+            break;
+        }
+        used += sep + json.len();
+        kept.push(json);
     }
-    out.push(']');
-    out
+    kept.reverse();
+    format!("[{}]", kept.join(","))
 }
 
 /// The query hot path: canonicalize, cache (keyed by cost model +
@@ -922,4 +939,82 @@ fn answer_query(
 fn initiate_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trace whose every numeric field renders at its widest (20
+    /// decimal digits / 16 hex digits) with an unknown model byte.
+    fn worst_case_trace() -> Trace {
+        let mut t = Trace::new(u64::MAX);
+        t.model = u8::MAX;
+        t.rep = u64::MAX;
+        t.total_us = u64::MAX;
+        for s in Stage::ALL {
+            t.record(s, u64::MAX);
+        }
+        t
+    }
+
+    #[test]
+    fn full_worst_case_ring_renders_within_the_frame_cap() {
+        // The regression: a full SLOW_RING_CAPACITY ring of wide traces
+        // is ~95 KiB of JSON, past MAX_FRAME_LEN, and write_frame
+        // asserts on oversized payloads — rendering must drop the
+        // oldest traces instead of panicking the handler thread.
+        let ring = TraceRing::new(SLOW_RING_CAPACITY);
+        for _ in 0..SLOW_RING_CAPACITY {
+            ring.push(&worst_case_trace());
+        }
+        let json = render_trace_json(&ring);
+        let payload = protocol::encode_response(&Response::SlowQueries(json.clone()));
+        assert!(
+            payload.len() <= protocol::MAX_FRAME_LEN as usize,
+            "payload is {} bytes",
+            payload.len()
+        );
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("bounded frame writes");
+        // The reply is still a well-formed, non-trivial array: a prefix
+        // of the ring was dropped, not mangled.
+        assert!(json.starts_with("[{") && json.ends_with("}]"), "{json}");
+        let traces = json.matches("\"span_id\"").count();
+        assert!(
+            (1..SLOW_RING_CAPACITY).contains(&traces),
+            "kept {traces} of {SLOW_RING_CAPACITY} worst-case traces"
+        );
+        assert!(json.contains("\"model\": \"unknown\""), "{json}");
+    }
+
+    #[test]
+    fn trace_rendering_keeps_the_newest_and_stays_oldest_first() {
+        let ring = TraceRing::new(SLOW_RING_CAPACITY);
+        for i in 0..SLOW_RING_CAPACITY as u64 {
+            let mut t = worst_case_trace();
+            t.span_id = i;
+            ring.push(&t);
+        }
+        let json = render_trace_json(&ring);
+        // The newest trace always survives the bounding...
+        let newest = format!("\"span_id\": \"{:016x}\"", SLOW_RING_CAPACITY as u64 - 1);
+        assert!(json.contains(&newest), "newest trace dropped");
+        // ...and the kept suffix renders oldest first.
+        let mut last = None;
+        for (pos, _) in json.match_indices("\"span_id\"") {
+            assert!(last.is_none_or(|p| p < pos));
+            last = Some(pos);
+        }
+    }
+
+    #[test]
+    fn small_rings_render_completely() {
+        let ring = TraceRing::new(SLOW_RING_CAPACITY);
+        assert_eq!(render_trace_json(&ring), "[]");
+        ring.push(&worst_case_trace());
+        ring.push(&worst_case_trace());
+        let json = render_trace_json(&ring);
+        assert_eq!(json.matches("\"span_id\"").count(), 2);
+    }
 }

@@ -163,6 +163,18 @@ fn metrics_scrape_covers_stats_stages_engine_and_conservation() {
     assert!(slow.contains("\"queue_wait_us\""), "{slow}");
     assert!(slow.contains("\"model\": \"quantum\""), "{slow}");
 
+    // The rolling ring captures every traced request, slow or not, and
+    // its endpoint returns the same JSON shape.
+    let traces = client.traces().expect("traces");
+    assert!(traces.starts_with('[') && traces.ends_with(']'), "{traces}");
+    let recorded = traces.matches("\"span_id\"").count() as u64;
+    let stats_after = client.stats().expect("stats frame");
+    assert!(
+        recorded >= stats_after.requests.min(8),
+        "rolling ring holds {recorded} traces after {} requests",
+        stats_after.requests
+    );
+
     client.shutdown_server().expect("shutdown");
     handle.join().expect("join");
 }
@@ -201,6 +213,7 @@ fn disabling_instrumentation_keeps_metrics_endpoint_but_empties_traces() {
         "engine metrics must be absent when instrumentation is off"
     );
     assert_eq!(client.slow_queries().expect("slow queries"), "[]");
+    assert_eq!(client.traces().expect("traces"), "[]");
     client.shutdown_server().expect("shutdown");
     handle.join().expect("join");
 }

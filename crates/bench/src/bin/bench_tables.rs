@@ -18,7 +18,18 @@
 //! Flags: `--n` (default 4), `--k` (default 7, the 1-CPU-feasible CI
 //! depth; `--quick` drops it to 5), `--threads`, `--shards`,
 //! `--max-mem <BYTES>`, `--store <FILE>` (keep the generated store
-//! instead of a scratch file), `--out <FILE>`.
+//! instead of a scratch file), `--out <FILE>`, `--skip-single-shot`
+//! (drop the duplicate one-index-build generation — the level-by-level
+//! counts are still asserted; use this for k ≥ 8 where a second full
+//! build would double a multi-hour run).
+//!
+//! Besides the v4 checkpoint store the run also writes the same tables
+//! in store format v5 (zero-copy mmap layout) and times a cold
+//! `SearchTables::load` of it; the report gains `save_v5_seconds`,
+//! `v5_store_bytes`, `v5_store_digest`, `load_ms` (integer milliseconds
+//! for the mmap load) and `format` (the store version `load_ms` was
+//! measured against). `store_digest` stays the v4 digest the CI job
+//! pins.
 //!
 //! Run with `cargo run --release -p revsynth-bench --bin bench_tables`.
 
@@ -47,6 +58,7 @@ const PAPER_N4_REDUCED: [u64; 10] = [
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let skip_single_shot = std::env::args().any(|a| a == "--skip-single-shot");
     let n: usize = arg_or("--n", 4);
     let k: u64 = arg_or("--k", if quick { 5 } else { 7 });
     let threads: usize = arg_or("--threads", 1);
@@ -88,17 +100,23 @@ fn main() {
     // every level (extend_to's contract), so the per-level seconds above
     // slightly overstate raw expansion cost; a single extension pays one
     // rebuild. Measure that too, and check the two builds agree.
-    eprintln!("[2/4] single-shot generation to k = {k} (one index build) ...");
-    let start = Instant::now();
-    let single = SearchTables::generate_opts(GateLib::nct(n), k as usize, &opts);
-    let single_shot_seconds = start.elapsed().as_secs_f64();
-    assert_eq!(
-        single.num_representatives(),
-        tables.num_representatives(),
-        "single-shot and level-by-level builds must agree"
-    );
-    drop(single);
-    eprintln!("      {single_shot_seconds:.3}s single-shot vs {total_seconds:.3}s level-by-level");
+    let single_shot_seconds = if skip_single_shot {
+        eprintln!("[2/4] single-shot generation skipped (--skip-single-shot)");
+        None
+    } else {
+        eprintln!("[2/4] single-shot generation to k = {k} (one index build) ...");
+        let start = Instant::now();
+        let single = SearchTables::generate_opts(GateLib::nct(n), k as usize, &opts);
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            single.num_representatives(),
+            tables.num_representatives(),
+            "single-shot and level-by-level builds must agree"
+        );
+        drop(single);
+        eprintln!("      {seconds:.3}s single-shot vs {total_seconds:.3}s level-by-level");
+        Some(seconds)
+    };
 
     eprintln!("[3/4] writing + digesting the checkpointable store ...");
     let scratch = store_path.is_empty();
@@ -125,8 +143,33 @@ fn main() {
     let load_seconds = start.elapsed().as_secs_f64();
     assert_eq!(reloaded.num_representatives(), tables.num_representatives());
     assert_eq!(*reloaded.model(), CostModel::unit());
+    let content = reloaded.content_digest();
+    drop(reloaded);
+
+    // The same tables in store format v5, then a cold zero-copy load of
+    // them — the number the serve tier cares about.
+    let v5_file = format!("{store_file}.v5");
+    let start = Instant::now();
+    tables.save_v5(&v5_file).expect("write v5 store");
+    let save_v5_seconds = start.elapsed().as_secs_f64();
+    let v5_digest = file_digest(&v5_file).expect("digest v5 store");
+    let v5_store_bytes = std::fs::metadata(&v5_file).expect("stat v5 store").len();
+    let start = Instant::now();
+    let mapped = SearchTables::load(&v5_file).expect("mmap v5 store");
+    let load_ms = start.elapsed().as_millis();
+    let v5_format = mapped.source_format().expect("loaded from a file");
+    eprintln!("      v5 load: {load_ms} ms (v4 scan: {load_seconds:.3}s)");
+    assert_eq!(v5_format, 5);
+    assert_eq!(mapped.num_representatives(), tables.num_representatives());
+    assert_eq!(
+        mapped.content_digest(),
+        content,
+        "v4 and v5 stores must describe identical tables"
+    );
+    drop(mapped);
     if scratch {
         std::fs::remove_file(&store_file).ok();
+        std::fs::remove_file(&v5_file).ok();
     }
 
     eprintln!("[4/4] writing {out_path} ...");
@@ -165,12 +208,18 @@ fn main() {
     ));
     json.push_str(&format!("  \"generate_seconds\": {total_seconds:.3},\n"));
     json.push_str(&format!(
-        "  \"single_shot_generate_seconds\": {single_shot_seconds:.3},\n"
+        "  \"single_shot_generate_seconds\": {},\n",
+        single_shot_seconds.map_or("null".to_owned(), |s| format!("{s:.3}"))
     ));
     json.push_str(&format!("  \"save_seconds\": {save_seconds:.3},\n"));
     json.push_str(&format!("  \"load_seconds\": {load_seconds:.3},\n"));
     json.push_str(&format!("  \"store_bytes\": {store_bytes},\n"));
     json.push_str(&format!("  \"store_digest\": \"{digest:#018x}\",\n"));
+    json.push_str(&format!("  \"save_v5_seconds\": {save_v5_seconds:.3},\n"));
+    json.push_str(&format!("  \"v5_store_bytes\": {v5_store_bytes},\n"));
+    json.push_str(&format!("  \"v5_store_digest\": \"{v5_digest:#018x}\",\n"));
+    json.push_str(&format!("  \"load_ms\": {load_ms},\n"));
+    json.push_str(&format!("  \"format\": {v5_format},\n"));
     json.push_str(&format!(
         "  \"paper_check\": \"per-level class counts asserted against the published \
          DAC 2010 sequence (1, 4, 33, 425, 6538, ...) for all {} computed levels\"\n",

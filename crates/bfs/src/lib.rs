@@ -53,4 +53,4 @@ pub use counts::LevelCount;
 pub use info::{decode_stored, encode_stored, StoredGate, IDENTITY_BYTE};
 pub use shard::GenOptions;
 pub use store::{file_digest, LevelInfo, StoreError, StoreErrorKind, StoreInfo};
-pub use tables::SearchTables;
+pub use tables::{Levels, LevelsIter, SearchTables};

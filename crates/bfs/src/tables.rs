@@ -5,6 +5,7 @@ use std::path::Path;
 
 use revsynth_canon::Symmetries;
 use revsynth_circuit::{CostModel, GateLib};
+use revsynth_mmap::ArcSlice;
 use revsynth_perm::Perm;
 use revsynth_table::{FnTable, InvariantIndex, TableStats};
 
@@ -28,6 +29,144 @@ pub(crate) const N4_REDUCED_COUNTS: [u64; 10] = [
     2_208_511_226,
 ];
 
+/// The per-size (or per-cost-bucket) lists of sorted canonical
+/// representatives — the paper's reduced lists `A_i`.
+///
+/// Generation and extension paths own the lists as `Vec<Vec<Perm>>`; a
+/// v5 store load borrows each level zero-copy from the file mapping
+/// instead. Reads are uniform across both representations ([`Levels::iter`],
+/// indexing); mutation goes through the crate-private `make_owned`, which
+/// copies a mapped representation into owned vectors exactly once.
+pub struct Levels(LevelsRepr);
+
+enum LevelsRepr {
+    Owned(Vec<Vec<Perm>>),
+    Mapped(Vec<ArcSlice<Perm>>),
+}
+
+impl Levels {
+    pub(crate) fn from_owned(levels: Vec<Vec<Perm>>) -> Self {
+        Levels(LevelsRepr::Owned(levels))
+    }
+
+    pub(crate) fn from_mapped(levels: Vec<ArcSlice<Perm>>) -> Self {
+        Levels(LevelsRepr::Mapped(levels))
+    }
+
+    /// Number of levels (cost buckets).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            LevelsRepr::Owned(v) => v.len(),
+            LevelsRepr::Mapped(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no levels at all (never true for valid tables —
+    /// level 0 holds the identity).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total representative count across all levels.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.iter().map(<[Perm]>::len).sum()
+    }
+
+    /// Iterates over the levels as sorted slices.
+    pub fn iter(&self) -> LevelsIter<'_> {
+        LevelsIter { levels: self, i: 0 }
+    }
+
+    /// Whether the levels still borrow from a store mapping.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.0, LevelsRepr::Mapped(_))
+    }
+
+    /// Promotes to owned storage (copying mapped levels once) and returns
+    /// the mutable level vectors for the extension paths.
+    pub(crate) fn make_owned(&mut self) -> &mut Vec<Vec<Perm>> {
+        if let LevelsRepr::Mapped(slices) = &self.0 {
+            let owned = slices.iter().map(|s| s.to_vec()).collect();
+            self.0 = LevelsRepr::Owned(owned);
+        }
+        match &mut self.0 {
+            LevelsRepr::Owned(v) => v,
+            LevelsRepr::Mapped(_) => unreachable!("promoted to owned above"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Levels {
+    type Output = [Perm];
+
+    fn index(&self, i: usize) -> &[Perm] {
+        match &self.0 {
+            LevelsRepr::Owned(v) => &v[i],
+            LevelsRepr::Mapped(v) => &v[i],
+        }
+    }
+}
+
+/// Iterator over [`Levels`], yielding each level as a sorted slice.
+pub struct LevelsIter<'a> {
+    levels: &'a Levels,
+    i: usize,
+}
+
+impl<'a> Iterator for LevelsIter<'a> {
+    type Item = &'a [Perm];
+
+    fn next(&mut self) -> Option<&'a [Perm]> {
+        if self.i < self.levels.len() {
+            self.i += 1;
+            Some(&self.levels[self.i - 1])
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.levels.len() - self.i;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for LevelsIter<'_> {}
+
+impl<'a> IntoIterator for &'a Levels {
+    type Item = &'a [Perm];
+    type IntoIter = LevelsIter<'a>;
+
+    fn into_iter(self) -> LevelsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Content equality, regardless of owned/mapped representation.
+impl PartialEq for Levels {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for Levels {}
+
+impl fmt::Debug for Levels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Levels({} levels, {} reps, {})",
+            self.len(),
+            self.total(),
+            if self.is_mapped() { "mapped" } else { "owned" }
+        )
+    }
+}
+
 /// The precomputed optimal-circuit data for all functions of size ≤ k
 /// (paper Algorithm 2's output: hash table `H` and lists `A_i`).
 ///
@@ -42,7 +181,7 @@ pub struct SearchTables {
     pub(crate) table: FnTable,
     /// `levels[i]` = sorted canonical representatives of cost bucket `i`
     /// (for the breadth-first paths, bucket `i` = size exactly `i`).
-    pub(crate) levels: Vec<Vec<Perm>>,
+    pub(crate) levels: Levels,
     /// Class-invariant gate index: combined invariant → bucket bitmask.
     pub(crate) invariants: InvariantIndex,
     /// The additive cost model the buckets were built under (unit for the
@@ -52,6 +191,10 @@ pub struct SearchTables {
     /// `levels[i]`; strictly ascending from 0, equal to `0..=k` for the
     /// breadth-first (gate-count) paths.
     pub(crate) bucket_costs: Vec<u64>,
+    /// The store format version these tables were loaded from (3, 4
+    /// or 5), or `None` when generated in this process. Used to surface
+    /// "a faster format exists — run `tables upgrade`" hints.
+    pub(crate) source_format: Option<u8>,
 }
 
 impl SearchTables {
@@ -68,6 +211,7 @@ impl SearchTables {
         table: FnTable,
         levels: Vec<Vec<Perm>>,
     ) -> Self {
+        let levels = Levels::from_owned(levels);
         let invariants = crate::weighted::bucket_invariants(&levels);
         let bucket_costs: Vec<u64> = (0..levels.len() as u64).collect();
         SearchTables {
@@ -79,6 +223,7 @@ impl SearchTables {
             invariants,
             model: CostModel::unit(),
             bucket_costs,
+            source_format: None,
         }
     }
 
@@ -98,6 +243,7 @@ impl SearchTables {
             bucket_costs.first() == Some(&0) && bucket_costs.windows(2).all(|w| w[0] < w[1]),
             "bucket costs must ascend strictly from 0"
         );
+        let levels = Levels::from_owned(levels);
         let invariants = crate::weighted::bucket_invariants(&levels);
         let k = levels.len().saturating_sub(1);
         SearchTables {
@@ -109,6 +255,7 @@ impl SearchTables {
             invariants,
             model,
             bucket_costs,
+            source_format: None,
         }
     }
     /// Runs the breadth-first search over the full NCT library on `n`
@@ -288,7 +435,7 @@ impl SearchTables {
                 &self.lib,
                 &self.sym,
                 &mut self.table,
-                &mut self.levels,
+                self.levels.make_owned(),
                 k,
                 opts,
                 ckpt,
@@ -300,7 +447,7 @@ impl SearchTables {
                 &self.model,
                 &self.sym,
                 &mut self.table,
-                &mut self.levels,
+                self.levels.make_owned(),
                 &mut self.bucket_costs,
                 budget,
                 ckpt,
@@ -402,16 +549,18 @@ impl SearchTables {
         level.chunks(level.len().div_ceil(shards).max(1))
     }
 
-    /// All levels, `levels()[i]` being the size-`i` representatives.
+    /// All levels, `levels()[i]` being the size-`i` representatives
+    /// (owned by generation paths, borrowed zero-copy from the file
+    /// mapping after a v5 load).
     #[must_use]
-    pub fn levels(&self) -> &[Vec<Perm>] {
+    pub fn levels(&self) -> &Levels {
         &self.levels
     }
 
     /// Total number of stored representatives (all sizes).
     #[must_use]
     pub fn num_representatives(&self) -> usize {
-        self.levels.iter().map(Vec::len).sum()
+        self.levels.total()
     }
 
     /// The optimal size of `f`, if it is ≤ k. Accepts any function (not
@@ -555,6 +704,24 @@ impl SearchTables {
         self.levels.iter().map(|l| l.len() as u64).collect()
     }
 
+    /// The store format version these tables were loaded from (3, 4
+    /// or 5), or `None` when they were generated in this process. Lets
+    /// callers suggest `tables upgrade` when a faster format exists.
+    #[must_use]
+    pub fn source_format(&self) -> Option<u8> {
+        self.source_format
+    }
+
+    /// A format-independent digest of the logical table contents (wires,
+    /// library, cost model, and every level's cost, keys and gate
+    /// records). Two stores of the same tables — v3, v4 or v5 — agree on
+    /// this digest even though their file bytes differ; CI pins it across
+    /// the v4→v5 upgrade.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        crate::store::content_digest(self)
+    }
+
     /// Serializes to `path` in the checkpointable v4 format
     /// (self-describing, per-level FNV-1a checksums; see the `store`
     /// module). The bytes are identical to what a
@@ -568,6 +735,58 @@ impl SearchTables {
         crate::store::save(self, path.as_ref())
     }
 
+    /// Serializes to `path` in the mmap-friendly v5 format: page-aligned
+    /// contiguous little-endian sections (level keys/values, the hash
+    /// table's slot arrays, the invariant index) with per-section FNV-1a
+    /// checksums, so a later [`load`](Self::load) borrows everything
+    /// zero-copy off the page cache in milliseconds. The bytes are a
+    /// deterministic function of the logical tables: saving equal tables
+    /// always produces identical files.
+    ///
+    /// Unlike v4, a v5 file is written in one shot (no mid-generation
+    /// checkpointing); checkpointed generation still streams v4 and
+    /// upgrades at the end (see [`upgrade`](Self::upgrade)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure (with the path attached).
+    pub fn save_v5<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
+        crate::store::save_v5(self, path.as_ref())
+    }
+
+    /// Upgrades the store at `path` to format v5 **in place**: fully
+    /// validates and loads the existing store (any version), writes the
+    /// v5 bytes to a sibling temporary file, and atomically renames it
+    /// over the original. A crash at any instant leaves either the old
+    /// or the new store intact, never a torn file; open mappings of the
+    /// old file keep working (the rename unlinks the name, not the
+    /// inode). Upgrading an already-v5 store rewrites it canonically
+    /// (byte-identical for an untampered file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the existing store fails validation or
+    /// on I/O failure.
+    pub fn upgrade<P: AsRef<Path>>(path: P) -> Result<(), StoreError> {
+        crate::store::upgrade(path.as_ref())
+    }
+
+    /// Loads like [`load`](Self::load) but verifies **everything** up
+    /// front: on v5 stores every section checksum plus full structural
+    /// checks (sorted valid levels, hash-table membership of every
+    /// representative, invariant-index admission), where the fast path
+    /// defers bulk checksums to first use. v3/v4 stores are already
+    /// fully verified by their loaders, so this is the universal
+    /// "trust this file" entry point used by `tables verify`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure, malformed or corrupted
+    /// files, or checksum mismatch.
+    pub fn load_validated<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        crate::store::load_validated(path.as_ref())
+    }
+
     /// Serializes to the legacy v3 format (single whole-file checksum,
     /// not extendable in place) for consumers that predate v4.
     ///
@@ -578,9 +797,16 @@ impl SearchTables {
         crate::store::save_v3(self, path.as_ref())
     }
 
-    /// Loads tables previously written by [`save`](Self::save) (either
-    /// format version), rebuilding the hash table (the paper's "load
-    /// previously computed optimal circuits into RAM" step).
+    /// Loads tables previously written by [`save`](Self::save) or
+    /// [`save_v5`](Self::save_v5) (any format version). v3/v4 stores are
+    /// deserialized and the hash table rebuilt (the paper's "load
+    /// previously computed optimal circuits into RAM" step, seconds at
+    /// k = 7); v5 stores are mapped and borrowed zero-copy (milliseconds
+    /// at any size — bulk section checksums are deferred to
+    /// [`load_validated`](Self::load_validated) / `tables verify`, while
+    /// header, layout and probe-termination witnesses are always checked
+    /// eagerly). Check [`source_format`](Self::source_format) to suggest
+    /// an upgrade when the slow path was taken.
     ///
     /// # Errors
     ///

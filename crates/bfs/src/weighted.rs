@@ -235,14 +235,13 @@ fn expand(
 /// Builds the bucket-indexed invariant index shared by every
 /// construction path (the distance recorded per representative is its
 /// **bucket index**; for unit buckets that equals the optimal size).
-pub(crate) fn bucket_invariants(levels: &[Vec<Perm>]) -> InvariantIndex {
-    let total: usize = levels.iter().map(Vec::len).sum();
+pub(crate) fn bucket_invariants(levels: &crate::tables::Levels) -> InvariantIndex {
     InvariantIndex::build(
         levels
             .iter()
             .enumerate()
             .flat_map(|(i, level)| level.iter().map(move |&rep| (rep, i))),
-        total,
+        levels.total(),
     )
 }
 

@@ -25,11 +25,13 @@ COMMANDS:
                Generate the breadth-first tables and optionally save them.
     tables     generate --out <FILE> [--n <N>] [--k <K>] [--model unit|quantum]
                         [--budget <B>] [--threads <T>] [--shards <S>]
-                        [--max-mem <BYTES>] [--resume]
+                        [--max-mem <BYTES>] [--resume] [--format v4|v5]
                extend   --store <FILE> (--k <K> | --budget <B>)
                         [--threads <T>] [--shards <S>] [--max-mem <BYTES>]
                info     --store <FILE> [--json]
                verify   --store <FILE> [--expect-digest <HEX>]
+               upgrade  --store <FILE>
+               bench-load --store <FILE>
                Checkpointed deep-table builds (store format v4): generation
                streams every completed level to disk (write → fsync →
                update trailer), so a crash or kill loses only the in-flight
@@ -41,7 +43,12 @@ COMMANDS:
                per-level working set; neither knob (nor --threads)
                changes the output bytes. `info` is cheap enough to poll
                while a generation is writing; `verify` fully validates
-               the store and prints its FNV-1a digest.
+               the store and prints its file and content digests.
+               `upgrade` (or generate --format v5) rewrites a store in
+               the v5 layout: page-aligned sections the loader mmaps and
+               borrows zero-copy, turning an 8-second k = 7 load into
+               milliseconds. `bench-load` times one load and prints
+               {format, load_ms, classes} as JSON.
     synth      --spec <P0,..,P15> [--k <K>] [--tables <FILE>] [--threads <T>]
                [--cost gates|quantum|depth] [--cost-budget <B>]
                [--no-filter] [--probe-depth <W>] [--verbose]
@@ -335,12 +342,22 @@ fn tables_from(opts: &Opts, default_k: usize) -> Result<SearchTables, Box<dyn Er
         let start = Instant::now();
         let tables = SearchTables::load(&path)?;
         eprintln!(
-            "  {} classes (n = {}, k = {}) in {:.2?}",
+            "  {} classes (n = {}, k = {}, store format {}) in {:.2?}",
             tables.num_representatives(),
             tables.wires(),
             tables.k(),
+            tables
+                .source_format()
+                .map_or_else(|| "?".into(), |v| format!("v{v}")),
             start.elapsed()
         );
+        if tables.source_format().is_some_and(|v| v < 5) {
+            eprintln!(
+                "  hint: `revsynth tables upgrade --store {}` converts the store \
+                 to format v5 (zero-copy mmap, millisecond loads)",
+                path.display()
+            );
+        }
         return Ok(tables);
     }
     let k = opts.get_parse("k", default_k)?;
@@ -448,7 +465,9 @@ fn print_store_summary(tables: &SearchTables, path: &str, elapsed: std::time::Du
 /// workflow (see the `tables` section of the usage text).
 fn cmd_tables(args: &[String]) -> CliResult {
     let Some(action) = args.first() else {
-        return Err("tables needs an action: generate|extend|info|verify".into());
+        return Err(
+            "tables needs an action: generate|extend|info|verify|upgrade|bench-load".into(),
+        );
     };
     let opts = Opts::parse(&args[1..])?;
     match action.as_str() {
@@ -456,19 +475,27 @@ fn cmd_tables(args: &[String]) -> CliResult {
         "extend" => tables_extend(&opts),
         "info" => tables_info(&opts),
         "verify" => tables_verify(&opts),
-        other => {
-            Err(format!("unknown tables action `{other}` (generate|extend|info|verify)").into())
-        }
+        "upgrade" => tables_upgrade(&opts),
+        "bench-load" => tables_bench_load(&opts),
+        other => Err(format!(
+            "unknown tables action `{other}` (generate|extend|info|verify|upgrade|bench-load)"
+        )
+        .into()),
     }
 }
 
 fn tables_generate(opts: &Opts) -> CliResult {
     opts.reject_unknown(&[
-        "out", "n", "k", "model", "budget", "threads", "shards", "max-mem", "resume",
+        "out", "n", "k", "model", "budget", "threads", "shards", "max-mem", "resume", "format",
     ])?;
     let out = opts
         .get("out")
         .ok_or("tables generate needs --out <FILE>")?;
+    let to_v5 = match opts.get("format").unwrap_or("v4") {
+        "v4" => false,
+        "v5" => true,
+        other => return Err(format!("unknown store format `{other}` (v4|v5)").into()),
+    };
     let n: usize = opts.get_parse("n", 4)?;
     let (model, budget) = tables_target(opts)?;
     let gen = gen_options(opts)?;
@@ -529,6 +556,12 @@ fn tables_generate(opts: &Opts) -> CliResult {
             &path,
         )?
     };
+    if to_v5 {
+        // Generation always checkpoints through v4 (extendable in
+        // place); --format v5 finishes with the atomic upgrade.
+        eprintln!("upgrading {} to store format v5 ...", path.display());
+        SearchTables::upgrade(&path)?;
+    }
     print_store_summary(&tables, out, start.elapsed());
     println!("digest   : {:#018x}", revsynth_bfs::file_digest(&path)?);
     Ok(())
@@ -557,8 +590,10 @@ fn tables_extend(opts: &Opts) -> CliResult {
     let store = opts
         .get("store")
         .ok_or("tables extend needs --store <FILE>")?;
+    let mut is_v5 = false;
     if let Ok(info) = SearchTables::peek(store) {
         warn_weighted_knobs(opts, info.model != revsynth_circuit::CostModel::unit());
+        is_v5 = info.version >= 5;
     }
     // The file knows its model; --k/--budget just names the target cost.
     let budget: u64 = match (opts.get("k"), opts.get("budget")) {
@@ -568,7 +603,30 @@ fn tables_extend(opts: &Opts) -> CliResult {
     };
     let gen = gen_options(opts)?;
     let start = Instant::now();
-    let tables = SearchTables::resume_checkpointed(store, budget, &gen)?;
+    let tables = if is_v5 {
+        // v5 has no append path: thaw the mapped arrays, extend in RAM,
+        // and atomically replace the file with a fresh canonical v5
+        // store. A kill mid-extension leaves the original untouched
+        // (the new levels are simply lost).
+        let mut tables = SearchTables::load(store)?;
+        tables.extend_to(budget, &gen);
+        let tmp = format!("{store}.extend-tmp");
+        let synced: CliResult = tables
+            .save_v5(&tmp)
+            .map_err(Box::<dyn Error>::from)
+            .and_then(|()| {
+                std::fs::File::open(&tmp)?.sync_data()?;
+                Ok(())
+            });
+        if let Err(e) = synced {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        std::fs::rename(&tmp, store)?;
+        tables
+    } else {
+        SearchTables::resume_checkpointed(store, budget, &gen)?
+    };
     print_store_summary(&tables, store, start.elapsed());
     println!("digest   : {:#018x}", revsynth_bfs::file_digest(store)?);
     Ok(())
@@ -616,6 +674,12 @@ fn tables_info(opts: &Opts) -> CliResult {
     if torn > 0 {
         println!("torn tail: {torn} bytes past the checkpoint (in-flight level; resume drops it)");
     }
+    if info.version < 5 {
+        println!(
+            "hint     : `revsynth tables upgrade --store {store}` converts to \
+             format v5 (zero-copy mmap, millisecond loads)"
+        );
+    }
     Ok(())
 }
 
@@ -625,16 +689,20 @@ fn tables_verify(opts: &Opts) -> CliResult {
         .get("store")
         .ok_or("tables verify needs --store <FILE>")?;
     let start = Instant::now();
-    let tables = SearchTables::load(store)?;
+    let tables = SearchTables::load_validated(store)?;
     let digest = revsynth_bfs::file_digest(store)?;
     println!(
-        "verified : {store} ({} levels, {} classes, model {:?}) in {:.2?}",
+        "verified : {store} (format {}, {} levels, {} classes, model {:?}) in {:.2?}",
+        tables
+            .source_format()
+            .map_or_else(|| "?".into(), |v| format!("v{v}")),
         tables.levels().len(),
         tables.num_representatives(),
         tables.model(),
         start.elapsed()
     );
     println!("digest   : {digest:#018x}");
+    println!("content  : {:#018x}", tables.content_digest());
     if let Some(expected) = opts.get("expect-digest") {
         let expected = expected.trim_start_matches("0x");
         let want = u64::from_str_radix(expected, 16)
@@ -647,6 +715,50 @@ fn tables_verify(opts: &Opts) -> CliResult {
         }
         println!("matches  : expected digest");
     }
+    Ok(())
+}
+
+/// `tables upgrade --store FILE` — convert any store to format v5 in
+/// place (fully validates first; atomic rename, so a crash leaves either
+/// the old or the new file intact).
+fn tables_upgrade(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["store"])?;
+    let store = opts
+        .get("store")
+        .ok_or("tables upgrade needs --store <FILE>")?;
+    let before = SearchTables::peek(store)?;
+    let start = Instant::now();
+    SearchTables::upgrade(store)?;
+    let tables = SearchTables::load(store)?;
+    println!(
+        "upgraded : {store} (v{} -> v5) in {:.2?}",
+        before.version,
+        start.elapsed()
+    );
+    println!("classes  : {}", tables.num_representatives());
+    println!("content  : {:#018x}", tables.content_digest());
+    println!("digest   : {:#018x}", revsynth_bfs::file_digest(store)?);
+    Ok(())
+}
+
+/// `tables bench-load --store FILE` — time a full load and report it as
+/// one JSON object (the CI gate greps `load_ms`).
+fn tables_bench_load(opts: &Opts) -> CliResult {
+    opts.reject_unknown(&["store"])?;
+    let store = opts
+        .get("store")
+        .ok_or("tables bench-load needs --store <FILE>")?;
+    let start = Instant::now();
+    let tables = SearchTables::load(store)?;
+    let elapsed = start.elapsed();
+    println!(
+        "{{\"store\": \"{store}\", \"format\": {}, \"load_ms\": {}, \
+         \"classes\": {}, \"levels\": {}}}",
+        tables.source_format().unwrap_or(0),
+        elapsed.as_millis(),
+        tables.num_representatives(),
+        tables.levels().len()
+    );
     Ok(())
 }
 

@@ -31,7 +31,14 @@ const IDENTITY_PACKED: u64 = 0xFEDC_BA98_7654_3210;
 /// assert_eq!(cnot_ab.inverse(), cnot_ab); // reversible gates are involutions
 /// # Ok::<(), revsynth_perm::InvalidPermError>(())
 /// ```
+///
+/// The layout is `#[repr(transparent)]` over the packed `u64` so that
+/// persisted little-endian key arrays can be viewed as `&[Perm]` without
+/// copying (see `revsynth-mmap`); every bit pattern is a constructible
+/// value via [`Perm::from_packed_unchecked`], validity as a permutation
+/// is a semantic property checked separately.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Perm(u64);
 
 impl Perm {

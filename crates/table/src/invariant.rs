@@ -22,7 +22,10 @@
 //! widens a mask — the gate stays sound (it can pass a doomed candidate,
 //! never reject a viable one).
 
+use revsynth_mmap::ArcSlice;
 use revsynth_perm::{hash64shift, Perm};
+
+use crate::storage::RawStore;
 
 /// Maps combined class-invariant keys to the distance sets at which they
 /// occur among the stored representatives. Built once per
@@ -32,10 +35,15 @@ use revsynth_perm::{hash64shift, Perm};
 /// [`FnTable`](crate::FnTable), but with `u32` distance-mask values and a
 /// zero-mask empty marker), sized well below the main hash table: the
 /// k = 5 tables hold ~109k classes but only ~47k distinct invariants.
+///
+/// Like [`FnTable`](crate::FnTable), the arrays are either owned (built
+/// by the generate path) or borrowed zero-copy from a v5 store mapping
+/// ([`InvariantIndex::from_mapped`]); the index is never mutated after
+/// construction, so mapped storage is never copied.
 #[derive(Clone)]
 pub struct InvariantIndex {
-    keys: Vec<u64>,
-    masks: Vec<u32>,
+    keys: RawStore<u64>,
+    masks: RawStore<u32>,
     slot_mask: u64,
     len: usize,
     /// Stage-1 prefilter: a bitmap over hashed [`Perm::wire_weight_key`]
@@ -46,7 +54,7 @@ pub struct InvariantIndex {
     /// candidates whose weight profile occurs at all. A clear bit proves
     /// absence; a set bit (including hash false positives) falls through
     /// to the exact combined lookup — staging never changes the answer.
-    weight_bits: Vec<u64>,
+    weight_bits: RawStore<u64>,
     weight_bit_mask: u64,
 }
 
@@ -82,21 +90,134 @@ impl InvariantIndex {
         let weight_bits_pow =
             (usize::BITS - expected.max(8).saturating_mul(8).leading_zeros()).clamp(14, 27);
         let mut index = InvariantIndex {
-            keys: vec![0; cap],
-            masks: vec![0; cap],
+            keys: RawStore::Owned(vec![0; cap]),
+            masks: RawStore::Owned(vec![0; cap]),
             slot_mask: (cap - 1) as u64,
             len: 0,
-            weight_bits: vec![0; 1 << (weight_bits_pow - 6)],
+            weight_bits: RawStore::Owned(vec![0; 1 << (weight_bits_pow - 6)]),
             weight_bit_mask: (1u64 << weight_bits_pow) - 1,
         };
         for (rep, distance) in entries {
             assert!(distance < 32, "distance {distance} out of mask range");
             let weight = rep.wire_weight_key();
             let bit = hash64shift(weight) & index.weight_bit_mask;
-            index.weight_bits[(bit >> 6) as usize] |= 1 << (bit & 63);
+            index.weight_bits.make_mut()[(bit >> 6) as usize] |= 1 << (bit & 63);
             index.insert(hash64shift(rep.cycle_type_key()) ^ weight, 1 << distance);
         }
         index
+    }
+
+    /// Builds the index over arrays borrowed zero-copy from a store
+    /// mapping (the v5 load path).
+    ///
+    /// `len` is the persisted distinct-invariant count and `empty_slot` a
+    /// persisted witness index of one empty slot (`mask == 0`); both are
+    /// validated here, along with the array shapes, so probe loops on the
+    /// borrowed arrays terminate even before the store's bulk section
+    /// checksums have been verified.
+    pub fn from_mapped(
+        keys: ArcSlice<u64>,
+        masks: ArcSlice<u32>,
+        weight_bits: ArcSlice<u64>,
+        weight_bit_mask: u64,
+        len: usize,
+        empty_slot: usize,
+    ) -> Result<Self, &'static str> {
+        let cap = keys.len();
+        if cap != masks.len() {
+            return Err("key and mask arrays differ in length");
+        }
+        if !cap.is_power_of_two() || cap < 2 {
+            return Err("slot count is not a supported power of two");
+        }
+        if len.checked_mul(2).is_none_or(|need| need > cap) {
+            return Err("entry count exceeds the half-full load limit");
+        }
+        if empty_slot >= cap || masks[empty_slot] != 0 {
+            return Err("empty-slot witness does not point at an empty slot");
+        }
+        if weight_bits.is_empty() || !weight_bits.len().is_power_of_two() {
+            return Err("prefilter bitmap length is not a power of two");
+        }
+        let expect_mask = (weight_bits.len() as u64)
+            .checked_mul(64)
+            .map(|bits| bits - 1);
+        if expect_mask != Some(weight_bit_mask) {
+            return Err("prefilter bit mask does not match the bitmap length");
+        }
+        Ok(InvariantIndex {
+            keys: RawStore::Mapped(keys),
+            masks: RawStore::Mapped(masks),
+            slot_mask: (cap - 1) as u64,
+            len,
+            weight_bits: RawStore::Mapped(weight_bits),
+            weight_bit_mask,
+        })
+    }
+
+    /// Rebuilds the index into its canonical compact owned layout: the
+    /// smallest power-of-two slot count at load ≤ 1/2, entries inserted
+    /// in sorted key order. Two logically equal indexes compact to
+    /// byte-identical arrays regardless of how either was built — this is
+    /// what makes v5 store bytes deterministic.
+    #[must_use]
+    pub fn compact(&self) -> InvariantIndex {
+        let mut entries: Vec<(u64, u32)> = self.entries().collect();
+        entries.sort_unstable();
+        let cap = (entries.len().max(4) * 2).next_power_of_two();
+        let slot_mask = (cap - 1) as u64;
+        let mut keys = vec![0u64; cap];
+        let mut masks = vec![0u32; cap];
+        for &(key, mask) in &entries {
+            let mut i = (hash64shift(key) & slot_mask) as usize;
+            while masks[i] != 0 {
+                i = (i + 1) & slot_mask as usize;
+            }
+            keys[i] = key;
+            masks[i] = mask;
+        }
+        InvariantIndex {
+            keys: RawStore::Owned(keys),
+            masks: RawStore::Owned(masks),
+            slot_mask,
+            len: entries.len(),
+            weight_bits: RawStore::Owned(self.weight_bits.to_vec()),
+            weight_bit_mask: self.weight_bit_mask,
+        }
+    }
+
+    /// The raw slot arrays (keys, distance masks), including empty slots
+    /// (`mask == 0`). Exposed for store persistence.
+    #[must_use]
+    pub fn slot_arrays(&self) -> (&[u64], &[u32]) {
+        (&self.keys, &self.masks)
+    }
+
+    /// The stage-1 prefilter bitmap and its bit mask. Exposed for store
+    /// persistence.
+    #[must_use]
+    pub fn weight_bitmap(&self) -> (&[u64], u64) {
+        (&self.weight_bits, self.weight_bit_mask)
+    }
+
+    /// Index of the first empty slot — the witness persisted alongside
+    /// the slot arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is empty (impossible at load ≤ 1/2).
+    #[must_use]
+    pub fn first_empty_slot(&self) -> usize {
+        self.masks
+            .iter()
+            .position(|&m| m == 0)
+            .expect("index at load <= 1/2 always has an empty slot")
+    }
+
+    /// Whether the arrays are still borrowed from a store mapping.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.keys.is_mapped() || self.masks.is_mapped() || self.weight_bits.is_mapped()
     }
 
     /// The hot gate test: whether any stored representative of size
@@ -123,37 +244,43 @@ impl InvariantIndex {
         if (self.len + 1) * 2 > self.keys.len() {
             self.grow();
         }
-        let mut i = (hash64shift(key) & self.slot_mask) as usize;
+        let slot_mask = self.slot_mask;
+        let mut i = (hash64shift(key) & slot_mask) as usize;
+        let keys = self.keys.make_mut();
+        let masks = self.masks.make_mut();
         loop {
-            if self.masks[i] == 0 {
-                self.keys[i] = key;
-                self.masks[i] = mask_bit;
+            if masks[i] == 0 {
+                keys[i] = key;
+                masks[i] = mask_bit;
                 self.len += 1;
                 return;
             }
-            if self.keys[i] == key {
-                self.masks[i] |= mask_bit;
+            if keys[i] == key {
+                masks[i] |= mask_bit;
                 return;
             }
-            i = (i + 1) & self.slot_mask as usize;
+            i = (i + 1) & slot_mask as usize;
         }
     }
 
     fn grow(&mut self) {
         let new_cap = self.keys.len() * 2;
-        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
-        let old_masks = std::mem::replace(&mut self.masks, vec![0; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, RawStore::Owned(vec![0; new_cap]));
+        let old_masks = std::mem::replace(&mut self.masks, RawStore::Owned(vec![0; new_cap]));
         self.slot_mask = (new_cap - 1) as u64;
-        for (key, mask) in old_keys.into_iter().zip(old_masks) {
+        let slot_mask = self.slot_mask;
+        let keys = self.keys.make_mut();
+        let masks = self.masks.make_mut();
+        for (&key, &mask) in old_keys.iter().zip(old_masks.iter()) {
             if mask == 0 {
                 continue;
             }
-            let mut i = (hash64shift(key) & self.slot_mask) as usize;
-            while self.masks[i] != 0 {
-                i = (i + 1) & self.slot_mask as usize;
+            let mut i = (hash64shift(key) & slot_mask) as usize;
+            while masks[i] != 0 {
+                i = (i + 1) & slot_mask as usize;
             }
-            self.keys[i] = key;
-            self.masks[i] = mask;
+            keys[i] = key;
+            masks[i] = mask;
         }
     }
 
@@ -246,7 +373,7 @@ impl InvariantIndex {
     pub fn entries(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.keys
             .iter()
-            .zip(&self.masks)
+            .zip(self.masks.iter())
             .filter(|&(_, &mask)| mask != 0)
             .map(|(&key, &mask)| (key, mask))
     }
@@ -261,7 +388,7 @@ impl PartialEq for InvariantIndex {
     fn eq(&self, other: &Self) -> bool {
         if self.len != other.len
             || self.weight_bit_mask != other.weight_bit_mask
-            || self.weight_bits != other.weight_bits
+            || self.weight_bits[..] != other.weight_bits[..]
         {
             return false;
         }
@@ -437,6 +564,40 @@ mod tests {
             assert_eq!(listed[&key], index.distance_mask(key), "perm {p}");
             assert!(listed[&key] >> d & 1 == 1, "distance {d}");
         }
+    }
+
+    #[test]
+    fn compact_is_deterministic_and_logically_equal() {
+        let entries: Vec<(Perm, usize)> = (0..150u64)
+            .map(|i| (perm_of(i), (i % 6) as usize))
+            .collect();
+        let forward = InvariantIndex::build(entries.iter().copied(), entries.len());
+        let reverse = InvariantIndex::build(entries.iter().rev().copied(), entries.len());
+        // Different insertion orders produce different slot layouts but
+        // identical compact layouts.
+        let a = forward.compact();
+        let b = reverse.compact();
+        assert_eq!(a.slot_arrays().0, b.slot_arrays().0);
+        assert_eq!(a.slot_arrays().1, b.slot_arrays().1);
+        assert_eq!(a.weight_bitmap().0, b.weight_bitmap().0);
+        assert_eq!(a.first_empty_slot(), b.first_empty_slot());
+        // The compacted index answers identically.
+        assert_eq!(a, forward);
+        assert!(a.slot_arrays().0.len() <= forward.slot_arrays().0.len());
+        for i in 0..400u64 {
+            let p = perm_of(i);
+            for d in 0..8 {
+                assert_eq!(a.admits(p, d), forward.admits(p, d), "perm {i} d {d}");
+            }
+            assert_eq!(
+                a.distance_mask(InvariantIndex::key_of(p)),
+                forward.distance_mask(InvariantIndex::key_of(p))
+            );
+        }
+        // Compacting a compact index is the identity on the arrays.
+        let c = a.compact();
+        assert_eq!(a.slot_arrays().0, c.slot_arrays().0);
+        assert_eq!(a.slot_arrays().1, c.slot_arrays().1);
     }
 
     #[test]

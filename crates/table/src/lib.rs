@@ -33,6 +33,7 @@
 mod invariant;
 mod ring;
 mod stats;
+mod storage;
 mod table;
 
 pub use invariant::InvariantIndex;

@@ -1,0 +1,62 @@
+//! Owned-or-mapped backing storage for the table slot arrays.
+//!
+//! The generation paths build tables in owned `Vec`s; the v5 store loader
+//! hands the same arrays over as [`ArcSlice`] views borrowed zero-copy
+//! from a file mapping. Reads go through `Deref` either way; any mutation
+//! first promotes the storage to owned with [`RawStore::make_mut`].
+
+use std::ops::Deref;
+
+use revsynth_mmap::{ArcSlice, Pod};
+
+/// A slot array that is either owned or borrowed from a store mapping.
+pub(crate) enum RawStore<T: Pod> {
+    Owned(Vec<T>),
+    Mapped(ArcSlice<T>),
+}
+
+impl<T: Pod> RawStore<T> {
+    /// Promotes to owned storage (copying mapped contents once) and
+    /// returns the mutable vector.
+    pub(crate) fn make_mut(&mut self) -> &mut Vec<T> {
+        if let RawStore::Mapped(slice) = self {
+            *self = RawStore::Owned(slice.to_vec());
+        }
+        match self {
+            RawStore::Owned(v) => v,
+            RawStore::Mapped(_) => unreachable!("promoted to owned above"),
+        }
+    }
+
+    /// Whether the storage still borrows from a mapping.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, RawStore::Mapped(_))
+    }
+}
+
+impl<T: Pod> Deref for RawStore<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            RawStore::Owned(v) => v,
+            RawStore::Mapped(s) => s,
+        }
+    }
+}
+
+impl<T: Pod> Clone for RawStore<T> {
+    fn clone(&self) -> Self {
+        match self {
+            RawStore::Owned(v) => RawStore::Owned(v.clone()),
+            RawStore::Mapped(s) => RawStore::Mapped(s.clone()),
+        }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for RawStore<T> {
+    fn from(v: Vec<T>) -> Self {
+        RawStore::Owned(v)
+    }
+}

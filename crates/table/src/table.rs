@@ -2,10 +2,12 @@
 
 use std::fmt;
 
+use revsynth_mmap::ArcSlice;
 use revsynth_perm::{hash64shift, Perm};
 
 use crate::ring::ProbeRing;
 use crate::stats::TableStats;
+use crate::storage::RawStore;
 
 /// Empty-slot marker. `u64::MAX` decodes to a constant map (every nibble
 /// 15), which is not a bijection, so it can never collide with a real key.
@@ -27,10 +29,15 @@ const MAX_LOAD_DEN: usize = 8;
 /// pre-size it with [`FnTable::for_entries`] or
 /// [`FnTable::with_capacity_bits`] to avoid rehashing hundreds of millions
 /// of keys.
+///
+/// The slot arrays are either owned (generation paths) or borrowed
+/// zero-copy from a v5 store mapping ([`FnTable::from_mapped`]); reads are
+/// identical either way, and any mutation of a mapped table first copies
+/// the arrays into owned storage.
 #[derive(Clone)]
 pub struct FnTable {
-    keys: Vec<u64>,
-    values: Vec<u8>,
+    keys: RawStore<u64>,
+    values: RawStore<u8>,
     mask: u64,
     len: usize,
     /// Insertions (including rehash reinsertions) that did not land in
@@ -57,13 +64,80 @@ impl FnTable {
         assert!((1..=40).contains(&bits), "unreasonable table size 2^{bits}");
         let cap = 1usize << bits;
         FnTable {
-            keys: vec![EMPTY; cap],
-            values: vec![0; cap],
+            keys: RawStore::Owned(vec![EMPTY; cap]),
+            values: RawStore::Owned(vec![0; cap]),
             mask: (cap - 1) as u64,
             len: 0,
             displaced_inserts: 0,
             insert_displacement_total: 0,
         }
+    }
+
+    /// Builds a table over slot arrays borrowed zero-copy from a store
+    /// mapping (the v5 load path).
+    ///
+    /// `len` is the persisted entry count and `empty_slot` a persisted
+    /// witness index of one empty slot; both are validated here (together
+    /// with capacity shape) so that probe loops on the borrowed arrays
+    /// are guaranteed to terminate even before the store's bulk section
+    /// checksums have been verified. The key/value *contents* are taken
+    /// as-is — semantic validation belongs to the store's checksums and
+    /// structural checks.
+    pub fn from_mapped(
+        keys: ArcSlice<u64>,
+        values: ArcSlice<u8>,
+        len: usize,
+        empty_slot: usize,
+    ) -> Result<Self, &'static str> {
+        let cap = keys.len();
+        if cap != values.len() {
+            return Err("key and value arrays differ in length");
+        }
+        if !cap.is_power_of_two() || !(8..=1 << 40).contains(&cap) {
+            return Err("slot count is not a supported power of two");
+        }
+        if len >= cap {
+            return Err("entry count does not leave an empty slot");
+        }
+        if empty_slot >= cap || keys[empty_slot] != EMPTY {
+            return Err("empty-slot witness does not point at an empty slot");
+        }
+        Ok(FnTable {
+            keys: RawStore::Mapped(keys),
+            values: RawStore::Mapped(values),
+            mask: (cap - 1) as u64,
+            len,
+            displaced_inserts: 0,
+            insert_displacement_total: 0,
+        })
+    }
+
+    /// The raw slot arrays (keys, values), including empty slots (key
+    /// `u64::MAX`). Exposed for store persistence.
+    #[must_use]
+    pub fn slot_arrays(&self) -> (&[u64], &[u8]) {
+        (&self.keys, &self.values)
+    }
+
+    /// Index of the first empty slot — the witness persisted alongside
+    /// the slot arrays so a mapped load can prove probe termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full (impossible below the growth
+    /// threshold).
+    #[must_use]
+    pub fn first_empty_slot(&self) -> usize {
+        self.keys
+            .iter()
+            .position(|&k| k == EMPTY)
+            .expect("table below maximum load always has an empty slot")
+    }
+
+    /// Whether the slot arrays are still borrowed from a store mapping.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.keys.is_mapped() || self.values.is_mapped()
     }
 
     /// Creates a table sized for `expected` entries at a load factor of at
@@ -235,23 +309,26 @@ impl FnTable {
     pub fn insert(&mut self, key: Perm, value: u8) -> Option<u8> {
         self.grow_if_needed();
         let key = key.packed();
-        let mut i = self.home_slot(key);
+        let mask = self.mask;
+        let mut i = (hash64shift(key) & mask) as usize;
+        let keys = self.keys.make_mut();
+        let values = self.values.make_mut();
         let mut d = 0u64;
         loop {
-            let slot = self.keys[i];
+            let slot = keys[i];
             if slot == key {
-                let old = self.values[i];
-                self.values[i] = value;
+                let old = values[i];
+                values[i] = value;
                 return Some(old);
             }
             if slot == EMPTY {
-                self.keys[i] = key;
-                self.values[i] = value;
+                keys[i] = key;
+                values[i] = value;
                 self.len += 1;
                 self.record_displacement(d);
                 return None;
             }
-            i = (i + 1) & self.mask as usize;
+            i = (i + 1) & mask as usize;
             d += 1;
         }
     }
@@ -262,21 +339,24 @@ impl FnTable {
     pub fn insert_if_absent(&mut self, key: Perm, value: u8) -> bool {
         self.grow_if_needed();
         let key = key.packed();
-        let mut i = self.home_slot(key);
+        let mask = self.mask;
+        let mut i = (hash64shift(key) & mask) as usize;
+        let keys = self.keys.make_mut();
+        let values = self.values.make_mut();
         let mut d = 0u64;
         loop {
-            let slot = self.keys[i];
+            let slot = keys[i];
             if slot == key {
                 return false;
             }
             if slot == EMPTY {
-                self.keys[i] = key;
-                self.values[i] = value;
+                keys[i] = key;
+                values[i] = value;
                 self.len += 1;
                 self.record_displacement(d);
                 return true;
             }
-            i = (i + 1) & self.mask as usize;
+            i = (i + 1) & mask as usize;
             d += 1;
         }
     }
@@ -296,12 +376,12 @@ impl FnTable {
 
     fn grow(&mut self) {
         let new_cap = self.capacity() * 2;
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
-        let old_values = std::mem::replace(&mut self.values, vec![0; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, RawStore::Owned(vec![EMPTY; new_cap]));
+        let old_values = std::mem::replace(&mut self.values, RawStore::Owned(vec![0; new_cap]));
         self.mask = (new_cap - 1) as u64;
         self.len = 0;
         let mut ring: ProbeRing<u8> = ProbeRing::new(Self::GROW_WAVEFRONT);
-        for (key, value) in old_keys.into_iter().zip(old_values) {
+        for (&key, &value) in old_keys.iter().zip(old_values.iter()) {
             if key == EMPTY {
                 continue;
             }
@@ -322,14 +402,17 @@ impl FnTable {
     /// live (now warm) array; keys are distinct during a rehash, so the
     /// first empty slot is always the correct destination.
     fn insert_relocated(&mut self, probe: Probe, value: u8) {
+        let mask = self.mask;
         let mut i = probe.slot;
         let mut d = 0u64;
-        while self.keys[i] != EMPTY {
-            i = (i + 1) & self.mask as usize;
+        let keys = self.keys.make_mut();
+        let values = self.values.make_mut();
+        while keys[i] != EMPTY {
+            i = (i + 1) & mask as usize;
             d += 1;
         }
-        self.keys[i] = probe.key;
-        self.values[i] = value;
+        keys[i] = probe.key;
+        values[i] = value;
         self.len += 1;
         self.record_displacement(d);
     }
@@ -338,7 +421,7 @@ impl FnTable {
     pub fn iter(&self) -> impl Iterator<Item = (Perm, u8)> + '_ {
         self.keys
             .iter()
-            .zip(&self.values)
+            .zip(self.values.iter())
             .filter(|(&k, _)| k != EMPTY)
             .map(|(&k, &v)| (Perm::from_packed_unchecked(k), v))
     }
@@ -687,5 +770,61 @@ mod tests {
     #[should_panic(expected = "unreasonable table size")]
     fn rejects_oversized_tables() {
         let _ = FnTable::with_capacity_bits(63);
+    }
+
+    #[test]
+    fn mapped_table_reads_and_thaws_like_owned() {
+        use revsynth_mmap::{ArcSlice, Region};
+        use std::io::Write;
+
+        let mut owned = FnTable::with_capacity_bits(8);
+        for i in 0..120u64 {
+            owned.insert(perm_of(i), (i % 97) as u8);
+        }
+        let (keys, values) = owned.slot_arrays();
+        let path = std::env::temp_dir().join(format!("revsynth-fntable-{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            for &k in keys {
+                f.write_all(&k.to_le_bytes()).unwrap();
+            }
+            f.write_all(values).unwrap();
+        }
+        let mut f = std::fs::File::open(&path).unwrap();
+        let region = std::sync::Arc::new(Region::map_file(&mut f).unwrap());
+        let mapped_keys = ArcSlice::<u64>::new(std::sync::Arc::clone(&region), 0, keys.len());
+        let mapped_values = ArcSlice::<u8>::new(region, keys.len() * 8, values.len());
+        #[cfg(target_endian = "little")]
+        {
+            let witness = owned.first_empty_slot();
+            let mut t = FnTable::from_mapped(
+                mapped_keys.unwrap(),
+                mapped_values.unwrap(),
+                owned.len(),
+                witness,
+            )
+            .unwrap();
+            assert!(t.is_mapped());
+            assert_eq!(t.len(), owned.len());
+            for i in 0..200u64 {
+                assert_eq!(t.get(perm_of(i)), owned.get(perm_of(i)), "key {i}");
+                assert_eq!(t.contains(perm_of(i)), owned.contains(perm_of(i)));
+            }
+            // Mutation thaws to owned storage and keeps behaving.
+            let fresh = perm_of(5_000_000);
+            t.insert(fresh, 42);
+            assert!(!t.is_mapped());
+            assert_eq!(t.get(fresh), Some(42));
+            assert_eq!(t.len(), owned.len() + usize::from(!owned.contains(fresh)));
+        }
+        // A bogus witness (occupied slot) must be rejected up front.
+        let occupied = keys.iter().position(|&k| k != u64::MAX).unwrap();
+        let mut f2 = std::fs::File::open(&path).unwrap();
+        let region2 = std::sync::Arc::new(Region::map_file(&mut f2).unwrap());
+        let mk = ArcSlice::<u64>::new(std::sync::Arc::clone(&region2), 0, keys.len()).unwrap();
+        let mv = ArcSlice::<u8>::new(region2, keys.len() * 8, values.len()).unwrap();
+        assert!(FnTable::from_mapped(mk.clone(), mv.clone(), owned.len(), occupied).is_err());
+        assert!(FnTable::from_mapped(mk, mv, keys.len(), 0).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

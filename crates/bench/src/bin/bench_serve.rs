@@ -25,7 +25,13 @@
 //! * **obs_overhead** — warm cache-hit throughput with full request
 //!   tracing and slow-query capture enabled versus instrumentation
 //!   disabled, interleaved best-of-5 rounds; the instrumented path must
-//!   stay within 5% of the uninstrumented one (asserted).
+//!   stay within 5% of the uninstrumented one (asserted);
+//! * **contention** — a [`CONTENTION_CLIENTS`]-client closed-loop fleet
+//!   replays the warm pool against fresh servers running 1 and 2
+//!   event-loop cores; each row records aggregate warm q/s, and on
+//!   hosts with ≥ 2 hardware threads the 2-core row must reach at
+//!   least `0.7 × cores` times the single-core row (asserted only
+//!   there — a 1-CPU host records both rows honestly, oversubscribed).
 //!
 //! Correctness is asserted throughout: every response circuit must
 //! compute the queried permutation, warm answers must match the cold
@@ -50,7 +56,7 @@ use revsynth_bench::{arg_or, env_k};
 use revsynth_circuit::{Circuit, GateLib};
 use revsynth_core::Synthesizer;
 use revsynth_perm::{Perm, WirePerm};
-use revsynth_serve::{loadgen, Client, FaultPlan, ServeStats, Server, ServerConfig};
+use revsynth_serve::{loadgen, Client, FaultPlan, ServeConfig, ServeStats, Server};
 
 struct Phase {
     queries: usize,
@@ -69,6 +75,61 @@ impl Phase {
             self.qps()
         )
     }
+}
+
+/// Fleet size for the contention phase: enough concurrent closed-loop
+/// clients to keep every event loop busy at either core count.
+const CONTENTION_CLIENTS: usize = 4;
+
+/// One contention row: a fresh `cores`-loop server over the shared
+/// suite, primed with the cold pool, then [`CONTENTION_CLIENTS`]
+/// concurrent clients each replaying the warm member set once.
+/// Returns the aggregate phase (all clients' queries over the
+/// wall-clock of the slowest).
+fn contention_phase(
+    suite: &Arc<revsynth_core::SynthesisSuite>,
+    cores: usize,
+    pool: &[Perm],
+    warm_queries: &[(Perm, usize)],
+) -> Phase {
+    let config = ServeConfig::new().cores(cores);
+    let server = Server::bind(Arc::clone(suite), config).expect("bind contention server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut primer = Client::connect(addr).expect("connect primer");
+    for &f in pool {
+        primer.query(f).expect("prime contention cache");
+    }
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CONTENTION_CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect contention client");
+                    for &(m, _) in warm_queries {
+                        let circuit = client.query(m).expect("contention warm query");
+                        assert_eq!(circuit.perm(4), m);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("contention client must not panic");
+        }
+    });
+    let phase = Phase {
+        queries: CONTENTION_CLIENTS * warm_queries.len(),
+        seconds: t.elapsed().as_secs_f64(),
+    };
+    let stats = primer.stats().expect("contention stats");
+    assert_eq!(
+        stats.searches,
+        pool.len() as u64,
+        "contention traffic is pure warm hits"
+    );
+    primer.shutdown_server().expect("contention shutdown");
+    handle.join().expect("contention server exits cleanly");
+    phase
 }
 
 /// Cold query pool: functions of size strictly greater than `k`, one
@@ -144,9 +205,9 @@ fn main() {
     let snapshot_path =
         std::env::temp_dir().join(format!("bench-serve-snapshot-{}.snap", std::process::id()));
     let _ = std::fs::remove_file(&snapshot_path);
-    let warm_config = ServerConfig {
+    let warm_config = ServeConfig {
         snapshot: Some(snapshot_path.clone()),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let server = Server::bind(Arc::clone(&suite), &warm_config).expect("bind loopback server");
     let addr = server.local_addr();
@@ -299,11 +360,11 @@ fn main() {
     // scenario must shed, keep serving cache hits, and reconcile.
     let plan =
         Arc::new(FaultPlan::new(seed ^ 0x0BAD).with_search_delay(Duration::from_millis(200)));
-    let chaos_config = ServerConfig {
+    let chaos_config = ServeConfig {
         max_queue: 1,
         retry_after_ms: 20,
         faults: Some(Arc::clone(&plan)),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let chaos_server = Server::bind(Arc::clone(&suite), &chaos_config).expect("bind chaos server");
     let chaos_addr = chaos_server.local_addr();
@@ -346,13 +407,13 @@ fn main() {
     // instrumentation off entirely. Warm cache-hit throughput — the
     // regime where fixed per-request cost is the largest relative
     // share — is measured in interleaved rounds, best-of-5 per config.
-    let obs_on = ServerConfig {
+    let obs_on = ServeConfig {
         slow_query_us: 1,
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
-    let obs_off = ServerConfig {
+    let obs_off = ServeConfig {
         instrumentation: false,
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let on_server = Server::bind(Arc::clone(&suite), &obs_on).expect("bind instrumented server");
     let off_server =
@@ -405,6 +466,37 @@ fn main() {
         .join()
         .expect("uninstrumented server exits cleanly");
 
+    // ---- contention: aggregate warm q/s vs event-loop cores ----------
+    // One row per core count (1, then 2 if this is not the largest
+    // sensible config): a fresh server with that many pinned event
+    // loops, primed with the cold pool, then a closed-loop fleet of 4
+    // clients hammering warm members concurrently. On multi-CPU
+    // hardware the 2-core row must reach ≥ 0.7×cores the single-core
+    // aggregate; on a 1-CPU runner both rows are recorded honestly and
+    // the scaling bar is not asserted (the loops are oversubscribed).
+    let hw_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let contention: Vec<(usize, Phase)> = [1usize, 2]
+        .into_iter()
+        .map(|cores| (cores, contention_phase(&suite, cores, &pool, &warm_queries)))
+        .collect();
+    for (cores, phase) in &contention {
+        eprintln!(
+            "contend: {} cores, {} clients x warm pool in {:.3}s ({:.1} q/s aggregate)",
+            cores,
+            CONTENTION_CLIENTS,
+            phase.seconds,
+            phase.qps()
+        );
+    }
+    if hw_cores >= 2 {
+        let single = contention[0].1.qps();
+        let multi = contention[1].1.qps();
+        assert!(
+            multi >= 0.7 * 2.0 * single,
+            "2-core aggregate must scale ≥ 0.7x cores: {multi:.1} vs {single:.1} single-core"
+        );
+    }
+
     let json = render_json(
         k,
         quick,
@@ -420,6 +512,7 @@ fn main() {
         restored,
         restart_speedup,
         (enabled_qps, disabled_qps, overhead_pct),
+        &contention,
         &final_stats,
     );
     std::fs::File::create(&out)
@@ -445,9 +538,23 @@ fn render_json(
     restored: u64,
     restart_speedup: f64,
     obs: (f64, f64, f64),
+    contention: &[(usize, Phase)],
     stats: &ServeStats,
 ) -> String {
     let (enabled_qps, disabled_qps, overhead_pct) = obs;
+    let contention_rows = contention
+        .iter()
+        .map(|(cores, phase)| {
+            format!(
+                "{{\"cores\": {cores}, \"clients\": {CONTENTION_CLIENTS}, \
+                 \"queries\": {}, \"seconds\": {:.6}, \"queries_per_sec\": {:.1}}}",
+                phase.queries,
+                phase.seconds,
+                phase.qps()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\n  \"bench\": \"serve\",\n  \"config\": {{\"n\": 4, \"k\": {k}, \
          \"seed\": {seed}, \"quick\": {quick}, \"workers\": 1, \
@@ -466,6 +573,7 @@ fn render_json(
          \"obs_overhead\": {{\"enabled_qps\": {enabled_qps:.1}, \
          \"disabled_qps\": {disabled_qps:.1}, \
          \"overhead_pct\": {overhead_pct:.2}}},\n  \
+         \"contention\": [{contention_rows}],\n  \
          \"final_stats\": {}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cold.json(),

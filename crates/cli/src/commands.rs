@@ -85,7 +85,8 @@ COMMANDS:
                Depth-optimal synthesis over parallel layers (paper §5).
     cost       --spec <P0,..,P15> [--model quantum|unit] [--budget <C>]
                Cost-optimal synthesis under weighted gates (paper §5).
-    serve      [--port <P>] [--workers <W>] [--cache-capacity <C>]
+    serve      [--port <P>] [--cores <N>|auto] [--portable-poll]
+               [--workers <W>] [--cache-capacity <C>]
                [--linger-ms <L>] [--k <K>] [--n <N>] [--tables <FILE>]
                [--threads <T>] [--quantum-budget <B>] [--depth-budget <D>]
                [--max-queue <Q>] [--max-conns <C>] [--retry-after-ms <MS>]
@@ -100,7 +101,10 @@ COMMANDS:
                default 65536) and served to every class member by
                witness replay; concurrent cache misses coalesce into
                batched searches on --workers scheduler threads (default
-               1). --linger-ms holds each batch open that long before
+               1). --cores runs that many core-pinned event loops, each
+               with its own SO_REUSEPORT listener and miss lane (`auto`
+               = one per hardware CPU; default 1); --portable-poll
+               forces the epoll-free readiness backend (testing knob). --linger-ms holds each batch open that long before
                searching (group commit: bigger batches and a guaranteed
                coalescing window, at that much added miss latency;
                default 0). Runs until a client sends a shutdown request
@@ -179,6 +183,7 @@ by `revsynth bfs --out` (the paper's precompute-once workflow).";
 
 /// Flags that take no value (presence alone means "on").
 const SWITCHES: &[&str] = &[
+    "portable-poll",
     "no-filter",
     "verbose",
     "json",
@@ -1175,6 +1180,8 @@ fn server_addr(opts: &Opts) -> Result<std::net::SocketAddr, Box<dyn Error>> {
 fn cmd_serve(opts: &Opts) -> CliResult {
     opts.reject_unknown(&[
         "port",
+        "cores",
+        "portable-poll",
         "workers",
         "cache-capacity",
         "linger-ms",
@@ -1216,8 +1223,20 @@ fn cmd_serve(opts: &Opts) -> CliResult {
         None
     };
     let snapshot_interval_secs: u64 = opts.get_parse("snapshot-interval-secs", 0)?;
-    let config = revsynth_serve::ServerConfig {
+    // --cores N pins that many event loops; `auto` asks the OS.
+    let cores = match opts.get("cores") {
+        None => 1,
+        Some("auto") => std::thread::available_parallelism()?.get(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => return Err("--cores must be at least 1 (or `auto`)".into()),
+            Ok(n) => n,
+            Err(_) => return Err(format!("--cores takes a number or `auto`, got `{v}`").into()),
+        },
+    };
+    let config = revsynth_serve::ServeConfig {
         port: opts.get_parse("port", DEFAULT_PORT)?,
+        cores,
+        portable_poll: opts.has("portable-poll"),
         workers: opts.get_parse("workers", 1)?,
         cache_capacity: opts.get_parse("cache-capacity", 1usize << 16)?,
         search: SearchOptions::new().threads(opts.get_parse("threads", 1)?),
@@ -1291,8 +1310,10 @@ fn cmd_serve(opts: &Opts) -> CliResult {
     }
     println!(
         "serving n = {wires} functions up to {max_size} gates \
-         ({} scheduler workers, {}-class cache; quantum/depth engines \
-         lazy at budgets {}/{})",
+         ({} event-loop core{}, {} scheduler workers, {}-class cache; \
+         quantum/depth engines lazy at budgets {}/{})",
+        config.cores,
+        if config.cores == 1 { "" } else { "s" },
         config.workers,
         config.cache_capacity,
         suite_config.quantum_budget,
@@ -1362,7 +1383,12 @@ fn cmd_query(opts: &Opts) -> CliResult {
         let f = parse_spec(spec)?;
         let kind = cost_kind(opts)?;
         let start = Instant::now();
-        let circuit = client.query_with_deadline(f, kind, deadline_ms)?;
+        let query_opts = revsynth_serve::QueryOptions {
+            cost_model: kind,
+            deadline_ms,
+            retry: None,
+        };
+        let circuit = client.query_opts(f, &query_opts)?;
         let elapsed = start.elapsed();
         let cost = kind.measure(&circuit);
         if opts.has("json") {
@@ -1921,6 +1947,16 @@ mod tests {
     }
 
     #[test]
+    fn serve_cores_flag_is_validated_before_binding() {
+        let to_args =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        let err = dispatch(&to_args(&["serve", "--cores", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--cores"), "{err}");
+        let err = dispatch(&to_args(&["serve", "--cores", "many"])).unwrap_err();
+        assert!(err.to_string().contains("auto"), "{err}");
+    }
+
+    #[test]
     fn serve_query_loadgen_end_to_end() {
         // Serve on an ephemeral port from a background thread, then
         // exercise query (spec, stats, json) and loadgen against it,
@@ -1932,7 +1968,7 @@ mod tests {
                 depth_budget: 2,
             },
         ));
-        let server = revsynth_serve::Server::bind(suite, &revsynth_serve::ServerConfig::default())
+        let server = revsynth_serve::Server::bind(suite, revsynth_serve::ServeConfig::default())
             .expect("bind");
         let port = server.local_addr().port().to_string();
         let handle = server.spawn();
@@ -1997,9 +2033,9 @@ mod tests {
                 depth_budget: 2,
             },
         ));
-        let config = revsynth_serve::ServerConfig {
+        let config = revsynth_serve::ServeConfig {
             slow_query_us: 1,
-            ..revsynth_serve::ServerConfig::default()
+            ..revsynth_serve::ServeConfig::default()
         };
         let server = revsynth_serve::Server::bind(suite, &config).expect("bind");
         let port = server.local_addr().port().to_string();
@@ -2034,14 +2070,14 @@ mod tests {
                 depth_budget: 2,
             },
         ));
-        let config = revsynth_serve::ServerConfig {
+        let config = revsynth_serve::ServeConfig {
             max_queue: 1,
             retry_after_ms: 20,
             faults: Some(std::sync::Arc::new(
                 revsynth_serve::FaultPlan::new(99)
                     .with_search_delay(std::time::Duration::from_millis(250)),
             )),
-            ..revsynth_serve::ServerConfig::default()
+            ..revsynth_serve::ServeConfig::default()
         };
         let server = revsynth_serve::Server::bind(suite, &config).expect("bind");
         let port = server.local_addr().port().to_string();

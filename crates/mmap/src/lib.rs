@@ -35,6 +35,8 @@
 //!   the store mitigates it by only ever replacing stores via
 //!   `rename(2)`, which leaves open mappings on the old inode intact.
 
+pub mod net;
+
 use std::fmt;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
@@ -310,9 +312,11 @@ impl<T: Pod + fmt::Debug> fmt::Debug for ArcSlice<T> {
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
-mod sys {
+pub(crate) mod sys {
     //! Raw `mmap(2)`/`munmap(2)` syscalls. The workspace has no `libc`
     //! dependency, so the two calls we need are issued directly.
+    //! (`syscall6` is shared with [`crate::net`], which issues the
+    //! socket/epoll/affinity calls std does not expose.)
 
     use std::fs::File;
     use std::os::unix::io::AsRawFd;
@@ -336,7 +340,7 @@ mod sys {
     /// The caller must pass a syscall number and arguments that are sound
     /// for this process; this module only ever requests read-only private
     /// mappings of file descriptors it owns, and unmaps exactly those.
-    unsafe fn syscall6(
+    pub(crate) unsafe fn syscall6(
         n: usize,
         a1: usize,
         a2: usize,

@@ -268,6 +268,32 @@ impl Registry {
         self.render_into(&mut out);
         out
     }
+
+    /// Renders several registries as **one** exposition, appending to
+    /// `out`: `# HELP`/`# TYPE` are emitted once per metric family
+    /// across *all* parts, so per-core registries whose series differ
+    /// only by a `core="N"` label merge into a single well-formed
+    /// scrape (duplicate family headers are invalid exposition).
+    /// Series order is parts-major, registration order within a part.
+    pub fn render_merged(parts: &[&Registry], out: &mut String) {
+        let mut seen: Vec<String> = Vec::new();
+        for part in parts {
+            let entries = lock(&part.entries);
+            for e in entries.iter() {
+                if !seen.iter().any(|s| s == &e.name) {
+                    seen.push(e.name.clone());
+                    out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                    out.push_str(&format!("# TYPE {} {}\n", e.name, e.metric.type_name()));
+                }
+                match &e.metric {
+                    Metric::Counter(a) | Metric::Gauge(a) => {
+                        out.push_str(&sample(&e.name, &e.labels, a.load(Ordering::Relaxed)));
+                    }
+                    Metric::Histogram(h) => render_histogram(out, &e.name, &e.labels, h),
+                }
+            }
+        }
+    }
 }
 
 /// Poison-tolerant lock (a panicked scraper must not wedge metrics).
@@ -435,6 +461,48 @@ mod tests {
         assert_eq!(octave_le(1535), 2047);
         assert_eq!(octave_le(2047), 2047);
         assert_eq!(octave_le(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn merged_render_dedups_family_headers_across_registries() {
+        let cores: Vec<Registry> = (0..3).map(|_| Registry::new()).collect();
+        for (i, r) in cores.iter().enumerate() {
+            let idx = i.to_string();
+            r.counter(
+                "core_requests_total",
+                &[("core", &idx)],
+                "Per-core requests.",
+            )
+            .add(10 + i as u64);
+            r.histogram("core_lat_us", &[("core", &idx)], "Per-core latency.")
+                .record(100);
+        }
+        // Core 2 also has a family the others lack.
+        let only = cores[2].gauge("core_backlog", &[("core", "2")], "Backlog.");
+        only.set(9);
+        let mut text = String::new();
+        Registry::render_merged(&cores.iter().collect::<Vec<_>>(), &mut text);
+        // One HELP/TYPE per family across all three parts.
+        assert_eq!(
+            text.matches("# TYPE core_requests_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE core_lat_us histogram").count(), 1);
+        assert_eq!(text.matches("# TYPE core_backlog gauge").count(), 1);
+        // Every per-core series survives with its own label.
+        for i in 0..3u64 {
+            assert!(
+                text.contains(&format!("core_requests_total{{core=\"{i}\"}} {}", 10 + i)),
+                "{text}"
+            );
+            assert!(text.contains(&format!("core_lat_us_count{{core=\"{i}\"}} 1")));
+        }
+        assert!(text.contains("core_backlog{core=\"2\"} 9\n"));
+        // Merging one part degenerates to render_into.
+        let mut alone = String::new();
+        Registry::render_merged(&[&cores[0]], &mut alone);
+        assert_eq!(alone, cores[0].render());
     }
 
     #[test]

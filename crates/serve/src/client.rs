@@ -7,7 +7,7 @@
 //!
 //! Overload handling: a server shedding load answers with an
 //! `Overloaded` frame, surfaced as [`ClientError::Overloaded`] with the
-//! server's retry hint; [`Client::query_with_retry`] turns the hint
+//! server's retry hint; a [`QueryOptions::retry`] policy turns the hint
 //! into capped exponential backoff with deterministic SplitMix64
 //! jitter ([`RetryPolicy`]). A read that exhausts its timeout budget is
 //! surfaced as [`ClientError::DeadlineExceeded`] — distinguishable from
@@ -38,8 +38,8 @@ pub enum ClientError {
     /// function, shutdown in progress, malformed request…).
     Server(String),
     /// The server shed the request (queue or connection limit); retry
-    /// after the hint, with backoff ([`Client::query_with_retry`] does
-    /// this automatically).
+    /// after the hint, with backoff (a [`QueryOptions::retry`] policy
+    /// does this automatically).
     Overloaded {
         /// The server's suggested wait before retrying, milliseconds.
         retry_after_ms: u32,
@@ -100,7 +100,8 @@ impl From<io::Error> for ClientError {
 }
 
 /// Capped exponential backoff with deterministic jitter, used by
-/// [`Client::query_with_retry`] when the server sheds load.
+/// [`Client::query_opts`] when [`QueryOptions::retry`] is set and the
+/// server sheds load.
 ///
 /// Attempt `k` (0-based) waits `max(server hint, jittered backoff)`
 /// where the backoff doubles from `base` up to `cap` and the jitter
@@ -146,6 +147,63 @@ impl RetryPolicy {
         // spreading clients across half the window.
         let jittered = Duration::from_nanos(nanos / 2 + rng.next_u64() % (nanos / 2 + 1));
         jittered.max(Duration::from_millis(u64::from(retry_after_ms)))
+    }
+}
+
+/// Options for one query: cost model, server-side deadline, retry
+/// policy — the single entry point [`Client::query_opts`] subsumes the
+/// old `query_with_*` method family.
+///
+/// ```
+/// # use revsynth_serve::{QueryOptions, RetryPolicy};
+/// # use revsynth_circuit::CostKind;
+/// let opts = QueryOptions::new()
+///     .cost_model(CostKind::Quantum)
+///     .deadline_ms(250)
+///     .retry(RetryPolicy::default());
+/// assert_eq!(opts.cost_model, CostKind::Quantum);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// The cost model to minimize ([`CostKind::Gates`] by default).
+    pub cost_model: CostKind,
+    /// Server-side deadline, milliseconds from the server decoding the
+    /// request: if the search cannot *start* within the budget, the
+    /// server expires the request instead of running it. `None` (the
+    /// default) = no deadline.
+    pub deadline_ms: Option<u32>,
+    /// Retry shed requests with capped, jittered exponential backoff
+    /// ([`RetryPolicy`]); `None` (the default) surfaces
+    /// [`ClientError::Overloaded`] to the caller on the first shed.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl QueryOptions {
+    /// The default options: gate count, no deadline, no retry.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the cost model ([`cost_model`](Self::cost_model)).
+    #[must_use]
+    pub fn cost_model(mut self, kind: CostKind) -> Self {
+        self.cost_model = kind;
+        self
+    }
+
+    /// Sets the server-side deadline ([`deadline_ms`](Self::deadline_ms)).
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Enables overload retry with `policy` ([`retry`](Self::retry)).
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 }
 
@@ -218,15 +276,51 @@ impl Client {
     }
 
     /// Synthesizes a gate-count-optimal circuit for `f` on the server
-    /// (shorthand for [`query_with_cost`](Self::query_with_cost) with
-    /// [`CostKind::Gates`]).
+    /// (shorthand for [`query_opts`](Self::query_opts) with default
+    /// [`QueryOptions`]).
     ///
     /// # Errors
     ///
     /// [`ClientError::Server`] when the server declines the query,
     /// [`ClientError::Protocol`] on transport failure.
     pub fn query(&mut self, f: Perm) -> Result<Circuit, ClientError> {
-        self.query_with_cost(f, CostKind::Gates)
+        self.query_opts(f, &QueryOptions::new())
+    }
+
+    /// Synthesizes a cost-minimal circuit for `f` per `opts`: the
+    /// selected cost model, an optional server-side deadline, and an
+    /// optional overload-retry policy.
+    ///
+    /// With a retry policy set, a shed request ([`ClientError::
+    /// Overloaded`]) sleeps per the policy (capped exponential backoff,
+    /// jittered, floored at the server's hint) and retries on the same
+    /// connection — a shed answer is a complete response, so the stream
+    /// stays synchronized. All other errors are returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query); additionally the server declines when
+    /// the function is beyond the selected engine's reach;
+    /// [`ClientError::Overloaded`] when the server sheds the request
+    /// (and every configured retry was also shed).
+    pub fn query_opts(&mut self, f: Perm, opts: &QueryOptions) -> Result<Circuit, ClientError> {
+        let attempts = opts.retry.as_ref().map_or(1, |p| p.attempts.max(1));
+        let mut rng = opts.retry.as_ref().map(|p| SplitMix64::new(p.seed));
+        for retry in 0..attempts {
+            let response = self.round_trip(&Request::Query(f, opts.cost_model, opts.deadline_ms));
+            match response? {
+                Response::Circuit(circuit) => return Ok(circuit),
+                Response::Error(msg) => return Err(ClientError::Server(msg)),
+                Response::Overloaded { retry_after_ms } => match (&opts.retry, &mut rng) {
+                    (Some(policy), Some(rng)) if retry + 1 < attempts => {
+                        std::thread::sleep(policy.delay(retry, retry_after_ms, rng));
+                    }
+                    _ => return Err(ClientError::Overloaded { retry_after_ms }),
+                },
+                _ => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+        unreachable!("the last attempt always returns")
     }
 
     /// Synthesizes a cost-minimal circuit for `f` under the given cost
@@ -234,66 +328,53 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// As [`query`](Self::query); additionally the server declines when
-    /// the function is beyond the selected engine's reach.
+    /// As [`query_opts`](Self::query_opts).
+    #[deprecated(note = "use `query_opts(f, &QueryOptions::new().cost_model(kind))`")]
     pub fn query_with_cost(&mut self, f: Perm, kind: CostKind) -> Result<Circuit, ClientError> {
-        self.query_with_deadline(f, kind, None)
+        self.query_opts(f, &QueryOptions::new().cost_model(kind))
     }
 
-    /// [`query_with_cost`](Self::query_with_cost) with an optional
-    /// server-side deadline (milliseconds from the server decoding the
-    /// request): if the search cannot *start* within the budget, the
-    /// server expires the request instead of running it, and the error
-    /// message says so.
+    /// [`query_opts`](Self::query_opts) with a cost model and an
+    /// optional server-side deadline.
     ///
     /// # Errors
     ///
-    /// As [`query_with_cost`](Self::query_with_cost); additionally
-    /// [`ClientError::Overloaded`] when the server sheds the request.
+    /// As [`query_opts`](Self::query_opts).
+    #[deprecated(
+        note = "use `query_opts(f, &QueryOptions::new().cost_model(kind).deadline_ms(ms))`"
+    )]
     pub fn query_with_deadline(
         &mut self,
         f: Perm,
         kind: CostKind,
         deadline_ms: Option<u32>,
     ) -> Result<Circuit, ClientError> {
-        match self.round_trip(&Request::Query(f, kind, deadline_ms))? {
-            Response::Circuit(circuit) => Ok(circuit),
-            Response::Error(msg) => Err(ClientError::Server(msg)),
-            Response::Overloaded { retry_after_ms } => {
-                Err(ClientError::Overloaded { retry_after_ms })
-            }
-            _ => Err(ClientError::UnexpectedResponse),
-        }
+        let opts = QueryOptions {
+            cost_model: kind,
+            deadline_ms,
+            retry: None,
+        };
+        self.query_opts(f, &opts)
     }
 
-    /// [`query_with_cost`](Self::query_with_cost) that rides out
-    /// overload: on [`ClientError::Overloaded`] it sleeps per `policy`
-    /// (capped exponential backoff, jittered, floored at the server's
-    /// hint) and retries on the same connection — a shed answer is a
-    /// complete response, so the stream stays synchronized. All other
-    /// errors are returned immediately.
+    /// [`query_opts`](Self::query_opts) with a cost model and an
+    /// overload-retry policy.
     ///
     /// # Errors
     ///
-    /// As [`query_with_cost`](Self::query_with_cost); still
+    /// As [`query_opts`](Self::query_opts); still
     /// [`ClientError::Overloaded`] if every attempt was shed.
+    #[deprecated(note = "use `query_opts(f, &QueryOptions::new().cost_model(kind).retry(policy))`")]
     pub fn query_with_retry(
         &mut self,
         f: Perm,
         kind: CostKind,
         policy: &RetryPolicy,
     ) -> Result<Circuit, ClientError> {
-        let mut rng = SplitMix64::new(policy.seed);
-        let attempts = policy.attempts.max(1);
-        for retry in 0..attempts {
-            match self.query_with_cost(f, kind) {
-                Err(ClientError::Overloaded { retry_after_ms }) if retry + 1 < attempts => {
-                    std::thread::sleep(policy.delay(retry, retry_after_ms, &mut rng));
-                }
-                other => return other,
-            }
-        }
-        unreachable!("the last attempt always returns")
+        self.query_opts(
+            f,
+            &QueryOptions::new().cost_model(kind).retry(policy.clone()),
+        )
     }
 
     /// One round trip with the error demultiplexing every non-query

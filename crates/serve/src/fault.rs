@@ -18,11 +18,11 @@
 //! survives torn frames and glacial writers without wedging its accept
 //! loop.
 //!
-//! Everything here is plumbed through [`ServerConfig::faults`] /
+//! Everything here is plumbed through [`ServeConfig::faults`] /
 //! [`SchedulerOptions::faults`]; a `None` plan costs one branch per
 //! drained search.
 //!
-//! [`ServerConfig::faults`]: crate::ServerConfig
+//! [`ServeConfig::faults`]: crate::ServeConfig
 //! [`SchedulerOptions::faults`]: crate::SchedulerOptions
 
 use std::io::{self, Read, Write};

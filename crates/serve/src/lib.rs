@@ -21,14 +21,20 @@
 //! * [`Server`] / [`Client`] — a std-only, length-prefixed binary
 //!   protocol over `std::net` TCP ([`protocol`]), with a [`ServeStats`]
 //!   snapshot endpoint (requests, coalesced, cache hits, searches,
-//!   p50/p99 latency) and graceful shutdown.
+//!   p50/p99 latency) and graceful shutdown. The server runs
+//!   [`ServeConfig::cores`] pinned event loops (`SO_REUSEPORT`
+//!   listeners + epoll where available, a portable scan loop
+//!   elsewhere) over non-blocking connection state machines; cache
+//!   misses park on scheduler tickets instead of blocking, and each
+//!   core feeds its own miss lane with cross-core stealing only on
+//!   imbalance.
 //! * [`loadgen`] — a deterministic closed-loop load generator used by
 //!   the CLI, CI smoke test and `bench_serve` harness.
 //! * **Overload control** — the miss queue is bounded per cost model
 //!   and saturation is shed with typed `Overloaded` frames (retry
 //!   hint included) while cache hits keep being served; requests may
 //!   carry deadlines that expire queued work *before* it is searched;
-//!   [`Client::query_with_retry`] backs off with jitter
+//!   a [`QueryOptions::retry`] policy backs off with jitter
 //!   ([`RetryPolicy`]). The [`fault`] module injects deterministic
 //!   latency, failures and torn connections so all of this is testable.
 //! * **Warm restarts** — the cache persists across process deaths via
@@ -45,13 +51,13 @@
 //! ```
 //! use std::sync::Arc;
 //! use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
-//! use revsynth_serve::{Client, Server, ServerConfig};
+//! use revsynth_serve::{Client, ServeConfig, Server};
 //!
 //! let suite = Arc::new(SynthesisSuite::new(
 //!     Synthesizer::from_scratch(4, 2),
 //!     SuiteConfig { quantum_budget: 6, depth_budget: 2 },
 //! ));
-//! let server = Server::bind(suite, &ServerConfig::default())?;
+//! let server = Server::bind(suite, ServeConfig::new())?;
 //! let addr = server.local_addr();
 //! let handle = server.spawn();
 //!
@@ -87,8 +93,13 @@ pub mod snapshot;
 mod stats;
 
 pub use cache::{CacheCounters, ClassCache};
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, QueryOptions, RetryPolicy};
 pub use fault::{FaultCounters, FaultPlan};
-pub use scheduler::{Scheduler, SchedulerCounters, SchedulerMetrics, SchedulerOptions, ServeError};
-pub use server::{RestoreSummary, Server, ServerConfig, ServerHandle};
+pub use scheduler::{
+    Scheduler, SchedulerCounters, SchedulerMetrics, SchedulerOptions, ServeError, Submission,
+    TicketHandle,
+};
+#[allow(deprecated)]
+pub use server::ServerConfig;
+pub use server::{RestoreSummary, ServeConfig, Server, ServerHandle};
 pub use stats::{FieldKind, HealthReport, LatencyHistogram, ServeStats};

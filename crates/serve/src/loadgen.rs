@@ -56,7 +56,7 @@ use revsynth_canon::Symmetries;
 use revsynth_circuit::{Circuit, CostKind, GateLib};
 use revsynth_perm::{Perm, WirePerm};
 
-use crate::client::{Client, ClientError, RetryPolicy};
+use crate::client::{Client, ClientError, QueryOptions, RetryPolicy};
 use crate::fault::INJECTED_FAILURE;
 use crate::scheduler::ServeError;
 use crate::stats::{HealthReport, ServeStats};
@@ -329,7 +329,7 @@ pub struct OverloadReport {
     /// Any other burst outcome (unexpected errors, bad circuits) — must
     /// be 0 for the run to verify.
     pub other_errors: u64,
-    /// Whether a post-burst [`Client::query_with_retry`] rode the
+    /// Whether a post-burst retry-enabled [`Client::query_opts`] rode the
     /// backoff out of saturation to a verified answer.
     pub recovered: bool,
     /// Wall-clock seconds for the whole run.
@@ -409,7 +409,7 @@ impl OverloadReport {
             ));
         }
         if !self.recovered {
-            return Err("query_with_retry never recovered after the burst".into());
+            return Err("retrying query_opts never recovered after the burst".into());
         }
         if expect_shed && self.overloaded == 0 {
             return Err("overload run shed nothing — saturation was never reached".into());
@@ -472,7 +472,7 @@ fn distinct_class_pool(n: usize, need: usize, max_len: usize, seed: u64) -> Vec<
 ///    issues `hit_requests` warm queries — cache hits must all be
 ///    served even though the miss queue is saturated;
 /// 3. snapshot and reconcile counters ([`OverloadReport::verify`]);
-/// 4. recovery: one [`Client::query_with_retry`] must back off through
+/// 4. recovery: one retrying [`Client::query_opts`] must back off through
 ///    the drain and succeed.
 ///
 /// # Errors
@@ -514,9 +514,13 @@ pub fn run_overload(
                         let mut client = Client::connect(addr)?;
                         barrier.wait();
                         let mut tally = Tally::default();
+                        let opts = QueryOptions {
+                            cost_model: CostKind::Gates,
+                            deadline_ms: config.deadline_ms,
+                            retry: None,
+                        };
                         for &f in slice {
-                            match client.query_with_deadline(f, CostKind::Gates, config.deadline_ms)
-                            {
+                            match client.query_opts(f, &opts) {
                                 Ok(circuit) if circuit.perm(wires) == f => tally.successes += 1,
                                 Ok(_) => tally.other += 1,
                                 Err(ClientError::Overloaded { .. }) => tally.overloaded += 1,
@@ -573,7 +577,7 @@ pub fn run_overload(
             seed: config.seed,
         };
         matches!(
-            client.query_with_retry(recovery, CostKind::Gates, &policy),
+            client.query_opts(recovery, &QueryOptions::new().retry(policy)),
             Ok(circuit) if circuit.perm(wires) == recovery
         )
     };

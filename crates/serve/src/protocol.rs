@@ -276,19 +276,54 @@ impl<R: Read> FrameReader<R> {
     /// other [`ProtocolError::Io`] on socket failure.
     pub fn poll_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
         loop {
-            if self.buf.len() >= 4 {
-                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
-                if len == 0 || len > MAX_FRAME_LEN {
-                    return Err(ProtocolError::BadLength(len));
-                }
-                let target = 4 + len as usize;
-                if self.buf.len() >= target {
-                    let payload = self.buf[4..target].to_vec();
-                    self.buf.drain(..target);
-                    return Ok(Some(payload));
-                }
+            if let Some(payload) = self.buffered_frame()? {
+                return Ok(Some(payload));
             }
-            let mut chunk = [0u8; 4096];
+            match self.fill()? {
+                Fill::Data { .. } => {}
+                Fill::Empty => return Ok(None),
+            }
+        }
+    }
+
+    /// Hands out the next complete frame already sitting in the buffer
+    /// **without touching the stream** — the zero-syscall half of
+    /// [`poll_frame`](Self::poll_frame), for event loops that want to
+    /// separate parsing from reading.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadLength`] on a hostile prefix (validated as
+    /// soon as its four bytes are buffered).
+    pub fn buffered_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        if self.buf.len() >= 4 {
+            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+            if len == 0 || len > MAX_FRAME_LEN {
+                return Err(ProtocolError::BadLength(len));
+            }
+            let target = 4 + len as usize;
+            if self.buf.len() >= target {
+                let payload = self.buf[4..target].to_vec();
+                self.buf.drain(..target);
+                return Ok(Some(payload));
+            }
+        }
+        Ok(None)
+    }
+
+    /// One read from the stream into the buffer — the syscall half of
+    /// [`poll_frame`](Self::poll_frame). A short read reports
+    /// `more_pending: false`: the socket buffer is drained for now, so
+    /// a level-triggered readiness loop can stop reading without paying
+    /// a would-block syscall (readiness fires again when bytes arrive).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] with kind `UnexpectedEof` when the peer
+    /// closed, any other [`ProtocolError::Io`] on socket failure.
+    pub fn fill(&mut self) -> Result<Fill, ProtocolError> {
+        let mut chunk = [0u8; 4096];
+        loop {
             match self.inner.read(&mut chunk) {
                 Ok(0) => {
                     return Err(ProtocolError::Io(io::Error::new(
@@ -300,7 +335,12 @@ impl<R: Read> FrameReader<R> {
                         },
                     )))
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(Fill::Data {
+                        more_pending: n == chunk.len(),
+                    });
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e)
                     if matches!(
@@ -308,12 +348,25 @@ impl<R: Read> FrameReader<R> {
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
                 {
-                    return Ok(None)
+                    return Ok(Fill::Empty)
                 }
                 Err(e) => return Err(ProtocolError::Io(e)),
             }
         }
     }
+}
+
+/// What one [`FrameReader::fill`] read produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// Bytes were buffered; `more_pending` is whether the read filled
+    /// the whole chunk (the socket may hold more right now).
+    Data {
+        /// `false` on a short read: the socket is drained for now.
+        more_pending: bool,
+    },
+    /// The read would block (or timed out) with nothing buffered.
+    Empty,
 }
 
 /// Writes one frame (length prefix + payload).
@@ -335,6 +388,95 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
     writer.write_all(&len.to_le_bytes())?;
     writer.write_all(payload)?;
     writer.flush()
+}
+
+/// Incremental frame writer for **non-blocking** sockets: the write-side
+/// twin of [`FrameReader`].
+///
+/// A plain [`write_frame`] on a non-blocking socket would lose its place
+/// when the kernel buffer fills mid-frame. This writer queues encoded
+/// frames (length prefix + payload) into an internal buffer and
+/// [`flush_into`](Self::flush_into) resumes from the exact byte where
+/// the previous attempt stopped — a readiness-based event loop calls it
+/// whenever the socket reports writable, and the stream never
+/// desynchronizes no matter where `WouldBlock` cuts the frame.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    /// Queued wire bytes (complete frames only).
+    pending: Vec<u8>,
+    /// Bytes of `pending` already written to the stream.
+    written: usize,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Queues one frame (length prefix + payload) for writing. Queueing
+    /// never touches the socket — call [`flush_into`](Self::flush_into)
+    /// to make progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — encoders never
+    /// produce such frames.
+    pub fn queue(&mut self, payload: &[u8]) {
+        let len = u32::try_from(payload.len()).expect("frame fits u32");
+        assert!(
+            (1..=MAX_FRAME_LEN).contains(&len),
+            "encoder produced an invalid frame length {len}"
+        );
+        self.pending.extend_from_slice(&len.to_le_bytes());
+        self.pending.extend_from_slice(payload);
+    }
+
+    /// Whether any queued bytes remain unwritten.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.written < self.pending.len()
+    }
+
+    /// Writes as much queued data as the stream accepts right now.
+    /// Returns `Ok(true)` when everything queued has been written and
+    /// flushed, `Ok(false)` when the stream would block mid-way (call
+    /// again on the next writable event; no bytes are lost or repeated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures (other than `WouldBlock`/`TimedOut`,
+    /// which are the resumable "try again" signal, and `Interrupted`,
+    /// which is retried in place). A zero-length write is reported as
+    /// [`io::ErrorKind::WriteZero`].
+    pub fn flush_into<W: Write>(&mut self, writer: &mut W) -> io::Result<bool> {
+        while self.has_pending() {
+            match writer.write(&self.pending[self.written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes mid-frame",
+                    ))
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.pending.clear();
+        self.written = 0;
+        writer.flush()?;
+        Ok(true)
+    }
 }
 
 /// Encodes a request into a frame payload.
@@ -690,6 +832,7 @@ mod tests {
             snapshot_writes: 3,
             snapshot_skipped: 2,
             worker_restarts: 1,
+            steals: 4,
         };
         for resp in [
             Response::Circuit(circuit),
@@ -976,5 +1119,97 @@ mod tests {
             decode_request(&payload).unwrap(),
             Request::Query(_, CostKind::Gates, None)
         ));
+    }
+
+    /// A writer that accepts at most `accept` bytes per call, refusing
+    /// with `WouldBlock` once its total budget is spent — a non-blocking
+    /// socket whose send buffer fills at an arbitrary byte.
+    struct Throttle {
+        wire: Vec<u8>,
+        accept: usize,
+        budget: usize,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.accept).min(self.budget);
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            self.budget -= n;
+            self.wire.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_resumes_from_every_cut_point() {
+        // Two pipelined frames, the kernel buffer filling at every
+        // possible byte offset: the writer must resume without losing,
+        // repeating, or reordering a single byte.
+        let a = encode_response(&Response::ShuttingDown);
+        let b = encode_request(&Request::Stats);
+        let mut expected = Vec::new();
+        write_frame(&mut expected, &a).unwrap();
+        write_frame(&mut expected, &b).unwrap();
+        for cut in 0..=expected.len() {
+            let mut writer = FrameWriter::new();
+            writer.queue(&a);
+            writer.queue(&b);
+            assert!(writer.has_pending());
+            let mut sink = Throttle {
+                wire: Vec::new(),
+                accept: usize::MAX,
+                budget: cut,
+            };
+            let done = writer.flush_into(&mut sink).unwrap();
+            assert_eq!(done, cut == expected.len(), "cut {cut}");
+            assert_eq!(writer.has_pending(), !done);
+            // The socket drains; the resumed flush completes the wire.
+            sink.budget = usize::MAX;
+            assert!(writer.flush_into(&mut sink).unwrap(), "cut {cut}");
+            assert!(!writer.has_pending());
+            assert_eq!(sink.wire, expected, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_writer_survives_single_byte_writes() {
+        // The degenerate glacial socket: one byte per writable event.
+        let payload = encode_request(&Request::Metrics);
+        let mut expected = Vec::new();
+        write_frame(&mut expected, &payload).unwrap();
+        let mut writer = FrameWriter::new();
+        writer.queue(&payload);
+        let mut sink = Throttle {
+            wire: Vec::new(),
+            accept: 1,
+            budget: usize::MAX,
+        };
+        // `accept: 1` never reports WouldBlock while budget remains, so
+        // a single flush loops byte-at-a-time to completion.
+        assert!(writer.flush_into(&mut sink).unwrap());
+        assert_eq!(sink.wire, expected);
+    }
+
+    #[test]
+    fn frame_writer_reports_dead_sinks() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = FrameWriter::new();
+        writer.queue(&encode_request(&Request::Health));
+        let err = writer.flush_into(&mut Dead).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 }

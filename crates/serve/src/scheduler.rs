@@ -159,6 +159,54 @@ impl Ticket {
     }
 }
 
+/// A non-blocking handle to an in-flight (or just-resolved) class
+/// search, returned by [`Scheduler::submit`]. An event loop polls
+/// [`try_result`](Self::try_result) on its readiness ticks instead of
+/// parking a thread per request.
+pub struct TicketHandle {
+    ticket: Arc<Ticket>,
+}
+
+impl TicketHandle {
+    /// The result, if the search has resolved; `None` while it is still
+    /// queued or mid-batch. Never blocks beyond the result-slot mutex.
+    #[must_use]
+    pub fn try_result(&self) -> Option<Result<Circuit, ServeError>> {
+        lock(&self.ticket.result).clone()
+    }
+
+    /// Wall-clock µs the worker spent inside the batched engine call
+    /// that answered this ticket (zero until resolved, and for
+    /// never-searched outcomes). Meaningful once
+    /// [`try_result`](Self::try_result) returns `Some`.
+    #[must_use]
+    pub fn search_us(&self) -> u64 {
+        self.ticket.search_us.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for TicketHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TicketHandle(resolved: {})",
+            lock(&self.ticket.result).is_some()
+        )
+    }
+}
+
+/// Outcome of a non-blocking [`Scheduler::submit`]: either the answer
+/// is already in hand (cache re-check hit, shed, expired, shutdown), or
+/// a ticket to poll.
+#[derive(Debug)]
+pub enum Submission {
+    /// Resolved at admission; no worker involvement needed (or
+    /// possible).
+    Ready(Result<Circuit, ServeError>),
+    /// Queued (or coalesced onto an in-flight search); poll the handle.
+    Pending(TicketHandle),
+}
+
 /// One queued class search awaiting a worker.
 #[derive(Clone, Copy)]
 struct Pending {
@@ -171,8 +219,13 @@ struct Pending {
 
 /// Queue state under the scheduler mutex.
 struct QueueState {
-    /// Class searches waiting for a worker, in arrival order.
-    pending: Vec<Pending>,
+    /// Class searches waiting for a worker, in arrival order, sharded
+    /// into per-core lanes: the thread-per-core server submits each
+    /// core's misses to its own lane, so the common case drains without
+    /// cross-core contention on entry order. Workers drain their home
+    /// lane (worker index modulo lane count) and steal from the longest
+    /// sibling lane only when their own is empty — the imbalance case.
+    lanes: Vec<Vec<Pending>>,
     /// Every `(model, rep)` with an unresolved ticket (queued *or*
     /// mid-search), keyed by model discriminant + packed representative.
     inflight: HashMap<(u8, u64), Arc<Ticket>>,
@@ -205,6 +258,11 @@ pub struct SchedulerOptions {
     /// (candidate/gate/probe counts, batch search durations). `None`
     /// (the default) records nothing.
     pub metrics: Option<SchedulerMetrics>,
+    /// Miss-queue lanes (one per serving core). `0` (the default) and
+    /// `1` both mean a single lane — the pre-sharding behavior,
+    /// bit-for-bit. [`Scheduler::submit`]'s `lane` argument is taken
+    /// modulo this count.
+    pub shards: usize,
 }
 
 /// Metrics-registry handles for the engine profiling the workers emit:
@@ -244,6 +302,9 @@ struct Inner {
     max_batch: AtomicU64,
     /// Misses that attached to an existing in-flight ticket.
     coalesced: AtomicU64,
+    /// Times a worker with an empty home lane stole work from a sibling
+    /// lane (cross-core steal on miss-queue imbalance).
+    steals: AtomicU64,
     /// Admissions refused because the model's queue was full.
     shed: [AtomicU64; MODELS],
     /// Queued searches expired (deadline passed) before being started.
@@ -294,6 +355,9 @@ pub struct SchedulerCounters {
     pub max_batch: u64,
     /// Requests coalesced onto an in-flight search.
     pub coalesced: u64,
+    /// Cross-core lane steals (a worker's home lane was empty while a
+    /// sibling lane held queued work).
+    pub steals: u64,
     /// Admissions refused (queue full), indexed by [`CostKind::code`].
     pub shed: [u64; MODELS],
     /// Deadline expiries before search start, indexed by
@@ -382,13 +446,14 @@ impl Scheduler {
         options: SchedulerOptions,
     ) -> Self {
         assert!(workers > 0, "need at least one scheduler worker");
+        let lanes = options.shards.max(1);
         let inner = Arc::new(Inner {
             suite,
             cache,
             search,
             options,
             queue: Mutex::new(QueueState {
-                pending: Vec::new(),
+                lanes: vec![Vec::new(); lanes],
                 inflight: HashMap::new(),
                 queued: [0; MODELS],
                 shutdown: false,
@@ -398,15 +463,16 @@ impl Scheduler {
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             shed: std::array::from_fn(|_| AtomicU64::new(0)),
             expired: std::array::from_fn(|_| AtomicU64::new(0)),
             worker_restarts: AtomicU64::new(0),
             live_workers: AtomicU64::new(0),
         });
         let workers = (0..workers)
-            .map(|_| {
+            .map(|home| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || supervised_worker(&inner))
+                std::thread::spawn(move || supervised_worker(&inner, home))
             })
             .collect();
         Scheduler {
@@ -449,10 +515,43 @@ impl Scheduler {
         rep: Perm,
         deadline: Option<Instant>,
     ) -> Result<Circuit, ServeError> {
-        match self.admit(kind, rep, deadline)? {
+        match self.admit(kind, rep, deadline, 0)? {
             Admission::Cached(circuit) => Ok(circuit),
             Admission::Ticket(ticket) => ticket.wait(),
         }
+    }
+
+    /// The non-blocking admission entry point for readiness-based event
+    /// loops: the full [`request_with_deadline`](Self::request_with_deadline)
+    /// admission decision (coalesce → cache re-check → expire → shed →
+    /// enqueue), but instead of parking the calling thread it returns
+    /// either the immediate outcome or a [`TicketHandle`] to poll. The
+    /// fresh-enqueue path places the entry in lane `lane % shards`
+    /// (see [`SchedulerOptions::shards`]) — a serving core passes its
+    /// own index so its misses queue without cross-core contention.
+    pub fn submit(
+        &self,
+        kind: CostKind,
+        rep: Perm,
+        deadline: Option<Instant>,
+        lane: usize,
+    ) -> Submission {
+        match self.admit(kind, rep, deadline, lane) {
+            Ok(Admission::Cached(circuit)) => Submission::Ready(Ok(circuit)),
+            Ok(Admission::Ticket(ticket)) => Submission::Pending(TicketHandle { ticket }),
+            Err(e) => Submission::Ready(Err(e)),
+        }
+    }
+
+    /// Whether no queued or in-flight work remains anywhere: every lane
+    /// is empty and every ticket has been resolved and removed. This is
+    /// the invariant graceful shutdown requires before the final
+    /// snapshot — no core may snapshot while a sibling still holds
+    /// inflight tickets.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        let q = lock(&self.inner.queue);
+        q.lanes.iter().all(Vec::is_empty) && q.inflight.is_empty()
     }
 
     /// [`request_with_deadline`](Self::request_with_deadline) recording
@@ -473,7 +572,7 @@ impl Scheduler {
         trace: &mut Trace,
     ) -> Result<Circuit, ServeError> {
         let admit_start = Instant::now();
-        let admitted = self.admit(kind, rep, deadline);
+        let admitted = self.admit(kind, rep, deadline, 0);
         trace.record(Stage::Admission, elapsed_us(admit_start));
         match admitted? {
             Admission::Cached(circuit) => Ok(circuit),
@@ -499,6 +598,7 @@ impl Scheduler {
         kind: CostKind,
         rep: Perm,
         deadline: Option<Instant>,
+        lane: usize,
     ) -> Result<Admission, ServeError> {
         let key = (kind.code(), rep.packed());
         let model = kind.code() as usize;
@@ -517,8 +617,12 @@ impl Scheduler {
                     // cache miss and this lock; the cache is written before
                     // the in-flight entry is removed, so checking it here
                     // closes the window. Quiet: the caller already counted
-                    // this query's miss.
+                    // this query's miss — and that miss was answered by a
+                    // search it didn't trigger, so it counts as coalesced
+                    // to keep the conservation law (misses = searches +
+                    // coalesced + shed + expired) exact.
                     if let Some(circuit) = self.inner.cache.get_quiet(kind, rep) {
+                        self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
                         return Ok(Admission::Cached(circuit));
                     }
                     if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -536,7 +640,8 @@ impl Scheduler {
                     }
                     let ticket = Arc::new(Ticket::new());
                     q.inflight.insert(key, Arc::clone(&ticket));
-                    q.pending.push(Pending {
+                    let lane = lane % q.lanes.len();
+                    q.lanes[lane].push(Pending {
                         kind,
                         rep,
                         deadline,
@@ -567,6 +672,7 @@ impl Scheduler {
             batches: self.inner.batches.load(Ordering::Relaxed),
             max_batch: self.inner.max_batch.load(Ordering::Relaxed),
             coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            steals: self.inner.steals.load(Ordering::Relaxed),
             shed: self
                 .inner
                 .shed
@@ -599,7 +705,8 @@ impl Scheduler {
             q.shutdown = true;
             q.queued = [0; MODELS];
             // Fail the not-yet-started searches so their waiters wake.
-            for entry in std::mem::take(&mut q.pending) {
+            let abandoned: Vec<Pending> = q.lanes.iter_mut().flat_map(std::mem::take).collect();
+            for entry in abandoned {
                 if let Some(ticket) = q.inflight.remove(&(entry.kind.code(), entry.rep.packed())) {
                     ticket.fulfill(Err(ServeError::ShuttingDown));
                 }
@@ -632,10 +739,11 @@ impl fmt::Debug for Scheduler {
 /// batch the panicking worker had drained has already been answered by
 /// its [`DrainGuard`] during unwinding — no waiter is stranded. Exits
 /// only when the loop returns cleanly (shutdown).
-fn supervised_worker(inner: &Inner) {
+fn supervised_worker(inner: &Inner, home: usize) {
     inner.live_workers.fetch_add(1, Ordering::Relaxed);
     loop {
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(inner)));
+        let run =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(inner, home)));
         match run {
             Ok(()) => break,
             Err(_) => {
@@ -697,12 +805,12 @@ impl Drop for DrainGuard<'_> {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, home: usize) {
     loop {
         {
             let mut q = lock(&inner.queue);
             loop {
-                if !q.pending.is_empty() {
+                if q.lanes.iter().any(|lane| !lane.is_empty()) {
                     break;
                 }
                 if q.shutdown {
@@ -723,14 +831,35 @@ fn worker_loop(inner: &Inner) {
         }
         let drained: Vec<Pending> = {
             let mut q = lock(&inner.queue);
-            // The whole pending queue moves out, so every model's
-            // occupancy drops to zero — drained searches no longer hold
-            // admission slots (they are committed work now).
-            q.queued = [0; MODELS];
-            std::mem::take(&mut q.pending)
+            let home = home % q.lanes.len();
+            let drained = if q.lanes[home].is_empty() {
+                // Cross-core steal, only on imbalance: this worker's
+                // home lane is dry while a sibling holds queued work.
+                // Take the newer half of the longest lane — the victim
+                // (if it has its own worker) keeps the older half it
+                // was already heading for.
+                match (0..q.lanes.len()).max_by_key(|&l| q.lanes[l].len()) {
+                    Some(victim) if !q.lanes[victim].is_empty() => {
+                        let len = q.lanes[victim].len();
+                        let stolen = q.lanes[victim].split_off(len - len.div_ceil(2));
+                        inner.steals.fetch_add(1, Ordering::Relaxed);
+                        stolen
+                    }
+                    _ => Vec::new(),
+                }
+            } else {
+                std::mem::take(&mut q.lanes[home])
+            };
+            // Drained searches no longer hold admission slots (they are
+            // committed work now), so their models' occupancy drops.
+            for entry in &drained {
+                let model = entry.kind.code() as usize;
+                q.queued[model] = q.queued[model].saturating_sub(1);
+            }
+            drained
         };
         if drained.is_empty() {
-            // Another worker drained the queue during our linger.
+            // Another worker drained the lanes during our linger.
             continue;
         }
 
@@ -1363,5 +1492,115 @@ mod tests {
         assert_eq!(sched.live_workers(), 1, "pool self-healed to strength");
         sched.shutdown();
         assert_eq!(sched.live_workers(), 0);
+    }
+
+    /// A sharded scheduler (multiple miss-queue lanes) with one worker,
+    /// so off-home lanes can only ever drain via stealing.
+    fn sharded_scheduler(shards: usize) -> (Scheduler, Arc<SynthesisSuite>) {
+        let suite = Arc::new(test_suite());
+        let sched = Scheduler::with_options(
+            Arc::clone(&suite),
+            Arc::new(ClassCache::new(256)),
+            1,
+            SearchOptions::new().threads(1),
+            SchedulerOptions {
+                shards,
+                ..SchedulerOptions::default()
+            },
+        );
+        (sched, suite)
+    }
+
+    #[test]
+    fn submit_resolves_without_blocking_and_reports_search_time() {
+        let (sched, suite) = sharded_scheduler(2);
+        let rep = class_reps(&suite, 1)[0];
+        let handle = match sched.submit(CostKind::Gates, rep, None, 0) {
+            Submission::Pending(handle) => handle,
+            other => panic!("fresh class must queue, got {other:?}"),
+        };
+        // Poll until the worker answers — the caller never parks.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let result = loop {
+            if let Some(result) = handle.try_result() {
+                break result;
+            }
+            assert!(Instant::now() < deadline, "ticket never resolved");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(result.unwrap().perm(4), rep);
+        // A second submit short-circuits on the cache re-check.
+        match sched.submit(CostKind::Gates, rep, None, 1) {
+            Submission::Ready(Ok(c)) => assert_eq!(c.perm(4), rep),
+            other => panic!("warm class must resolve at admission, got {other:?}"),
+        }
+        assert!(sched.drained(), "no queued or inflight work remains");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn off_home_lanes_drain_via_steal() {
+        let (sched, suite) = sharded_scheduler(4);
+        let reps = class_reps(&suite, 3);
+        // Every miss lands in lane 3; the lone worker's home lane (0)
+        // stays empty, so the only path to an answer is a steal.
+        let handles: Vec<TicketHandle> = reps
+            .iter()
+            .map(|&rep| match sched.submit(CostKind::Gates, rep, None, 3) {
+                Submission::Pending(handle) => handle,
+                other => panic!("fresh class must queue, got {other:?}"),
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for (handle, &rep) in handles.iter().zip(&reps) {
+            loop {
+                if let Some(result) = handle.try_result() {
+                    assert_eq!(result.unwrap().perm(4), rep);
+                    break;
+                }
+                assert!(Instant::now() < deadline, "stolen work never resolved");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let counters = sched.counters();
+        assert!(counters.steals >= 1, "{counters:?}");
+        assert_eq!(counters.searches, reps.len() as u64);
+        assert!(sched.drained());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn single_lane_schedulers_never_steal() {
+        let (sched, suite, _cache) = scheduler(2);
+        let reps = class_reps(&suite, 4);
+        let sched_ref = &sched;
+        std::thread::scope(|scope| {
+            for &rep in &reps {
+                scope.spawn(move || sched_ref.request(CostKind::Gates, rep).unwrap());
+            }
+        });
+        assert_eq!(sched.counters().steals, 0, "one lane has no siblings");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn drained_is_false_while_work_is_inflight() {
+        let plan = Arc::new(FaultPlan::new(0xD3A1).with_search_delay(Duration::from_millis(300)));
+        let (sched, suite) = chaos_scheduler(Arc::clone(&plan), 0);
+        assert!(sched.drained(), "fresh scheduler is drained");
+        let rep = class_reps(&suite, 1)[0];
+        let handle = match sched.submit(CostKind::Gates, rep, None, 0) {
+            Submission::Pending(handle) => handle,
+            other => panic!("fresh class must queue, got {other:?}"),
+        };
+        // Queued or mid-search: either way, not drained.
+        assert!(!sched.drained());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while handle.try_result().is_none() {
+            assert!(Instant::now() < deadline, "ticket never resolved");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(sched.drained(), "resolution drains the inflight map");
+        sched.shutdown();
     }
 }

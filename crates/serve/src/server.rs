@@ -1,5 +1,5 @@
-//! The TCP synthesis server: accept loop, per-connection handlers, the
-//! stats endpoint and graceful shutdown.
+//! The TCP synthesis server: thread-per-core event loops, non-blocking
+//! connection state machines, the stats endpoint and graceful shutdown.
 //!
 //! A query's hot path is: read frame → decode → canonicalize
 //! ([`Symmetries::canonicalize`], ~750 instructions) → [`ClassCache`]
@@ -9,13 +9,25 @@
 //! CPU. Only cache misses reach the [`Scheduler`], where concurrent
 //! misses for one class coalesce into a single batched search.
 //!
-//! Each accepted connection gets its own handler thread; handlers read
-//! with a short poll timeout so a quiescent connection notices server
-//! shutdown within [`POLL_INTERVAL`] rather than holding the join. A
-//! malformed frame produces one error response (when the violation is
-//! recoverable in-stream) or a dropped connection — the accept loop
-//! itself never sees client bytes and cannot be hung or crashed by
-//! them.
+//! # Horizontal structure
+//!
+//! The server runs [`ServeConfig::cores`] independent **event loops**,
+//! each pinned to its CPU and owning its own listener. On Linux the
+//! listeners share one port via `SO_REUSEPORT` (raw syscalls in
+//! `revsynth_mmap::net`, same std-only pattern as the mmap path) so the
+//! kernel load-balances accepts across cores; elsewhere the loops share
+//! a single std listener. Readiness comes from `epoll(7)` where
+//! available, with a portable scan-loop fallback over non-blocking
+//! sockets ([`ServeConfig::portable_poll`] forces it for tests).
+//!
+//! Connections are non-blocking state machines, not threads: a
+//! [`FrameReader`] reassembles trickled request frames across readiness
+//! ticks, a [`FrameWriter`] resumes partially written responses, and a
+//! cache miss parks the connection on a scheduler ticket
+//! ([`Scheduler::submit`]) instead of blocking the loop — the core
+//! keeps serving its other connections while the batch search runs.
+//! Each core submits misses to its own scheduler lane; an idle worker
+//! steals from the longest sibling lane only on imbalance.
 //!
 //! **Warm restarts**: with a snapshot path configured, [`Server::bind`]
 //! restores the class cache from the checksummed on-disk snapshot
@@ -29,10 +41,13 @@
 //! rename), so a SIGKILL at any instant costs at most the work since
 //! the previous snapshot — never the snapshot itself.
 //!
-//! Shutdown: any client may send a shutdown frame. The flag flips, the
-//! acceptor is unblocked with a self-connection, handlers drain, the
-//! scheduler completes in-flight batches and fails queued ones, the
-//! final snapshot is written, and [`Server::run`] returns the final
+//! Shutdown: any client may send a shutdown frame. The flag flips and
+//! every core loop winds down: no new accepts, no new frames read,
+//! in-flight tickets are served to completion and their responses
+//! flushed. Only after **every** core's loop has exited — no core holds
+//! a queued or in-flight ticket — does the scheduler drain and the
+//! final snapshot get written, so the file on disk reflects every
+//! search any core completed. [`Server::run`] then returns the final
 //! [`ServeStats`].
 //!
 //! [`Symmetries::canonicalize`]: revsynth_canon::Symmetries::canonicalize
@@ -46,22 +61,56 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use revsynth_canon::replay_for_witness;
+use revsynth_canon::{replay_for_witness, Canonicalized};
 use revsynth_circuit::CostKind;
 use revsynth_core::{SearchOptions, SynthesisSuite};
-use revsynth_obs::{Gauge, Histogram, Registry, SpanIds, Stage, Trace, TraceRing};
+use revsynth_mmap::net;
+use revsynth_obs::{Counter, Gauge, Histogram, Registry, SpanIds, Stage, Trace, TraceRing};
 use revsynth_perm::Perm;
 
 use crate::cache::ClassCache;
 use crate::fault::FaultPlan;
-use crate::protocol::{self, write_frame, FrameReader, Request, Response};
-use crate::scheduler::{Scheduler, SchedulerMetrics, SchedulerOptions, ServeError};
+use crate::protocol::{self, write_frame, FrameReader, FrameWriter, Request, Response};
+use crate::scheduler::{
+    Scheduler, SchedulerMetrics, SchedulerOptions, ServeError, Submission, TicketHandle,
+};
 use crate::snapshot::{self, RestoreOutcome, SnapshotRecord};
 use crate::stats::{HealthReport, LatencyHistogram, ServeStats};
 
-/// How often an idle connection handler re-checks the shutdown flag.
-/// Bounds both shutdown latency and the cost of parked connections.
+/// How long an idle event loop sleeps in `epoll_wait` before re-checking
+/// the shutdown flag. Bounds shutdown latency; incoming traffic wakes
+/// the loop immediately regardless.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Wait bound during shutdown wind-down: the loop must keep re-checking
+/// the write-stall grace clock even with no readiness events.
+const BUSY_WAIT_MS: i32 = 1;
+
+/// Tick while any connection holds an in-flight ticket: tickets are
+/// resolved by polling (they have no file descriptor epoll could watch),
+/// and a millisecond-granularity `epoll_wait` timeout would add up to a
+/// full millisecond of latency to every cache miss. Instead the loop
+/// polls readiness without blocking and sleeps this long when idle —
+/// short enough to keep miss latency close to the search time, long
+/// enough that the poll steals only a few percent of the CPU a search
+/// worker needs on a saturated host.
+const TICKET_POLL_TICK: Duration = Duration::from_micros(100);
+
+/// The scan-fallback tick: without epoll the loop cannot be woken by
+/// readiness, so it polls every socket at this cadence.
+const SCAN_TICK: Duration = Duration::from_millis(1);
+
+/// Scan-fallback tick with no connections at all (accept latency only).
+const SCAN_IDLE_TICK: Duration = Duration::from_millis(10);
+
+/// How long shutdown waits for a write-stalled peer (queued response
+/// bytes, no in-flight ticket) to drain before force-closing it. A
+/// connection waiting on a ticket is never force-closed — searches
+/// terminate, and its answer belongs in the final snapshot.
+const SHUTDOWN_WRITE_GRACE: Duration = Duration::from_secs(5);
+
+/// The readiness token registered for a core's listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
 
 /// Capacity of the rolling all-requests trace ring (served by the
 /// `Traces` frame; [`render_trace_json`] bounds the reply to the frame
@@ -72,15 +121,36 @@ const TRACE_RING_CAPACITY: usize = 1024;
 /// frame, bounded the same way).
 const SLOW_RING_CAPACITY: usize = 256;
 
-/// Server configuration.
+/// The unified server configuration: one builder covering core count,
+/// listeners, cache, queues, deadlines, faults, snapshots and
+/// observability.
+///
+/// Construct with [`ServeConfig::new`] (or `default()`) and chain
+/// setters; every field is also public for struct-literal updates.
+/// [`Server::bind`] accepts `&ServeConfig`, `ServeConfig`, or (for one
+/// release) the deprecated [`ServerConfig`].
+///
+/// ```
+/// # use revsynth_serve::ServeConfig;
+/// let config = ServeConfig::new().cores(2).cache_capacity(1 << 16).max_queue(64);
+/// assert_eq!(config.cores, 2);
+/// ```
 #[derive(Debug, Clone)]
-pub struct ServerConfig {
+pub struct ServeConfig {
     /// Loopback port to bind (0 picks a free port; see
     /// [`Server::local_addr`]).
     pub port: u16,
+    /// Core-pinned event loops, each with its own listener and its own
+    /// scheduler miss lane. `1` (the default) serves everything from a
+    /// single loop; values are clamped up to 1. See
+    /// [`available_parallelism`](std::thread::available_parallelism)
+    /// for a hardware-matched choice.
+    pub cores: usize,
     /// Scheduler worker threads (each runs batched searches).
     pub workers: usize,
-    /// Class-cache capacity in entries.
+    /// Class-cache capacity in entries. The shard count scales with
+    /// [`cores`](Self::cores) so per-core loops don't serialize on
+    /// cache locks.
     pub cache_capacity: usize,
     /// Search options for the batched synthesizer calls (thread count,
     /// invariant gate, probe depth).
@@ -97,10 +167,9 @@ pub struct ServerConfig {
     /// hits are unaffected — the warm path keeps serving at any queue
     /// depth.
     pub max_queue: usize,
-    /// Maximum concurrently served connections; accepts beyond this are
-    /// answered with one serialized `Overloaded` frame and closed, so
-    /// the handler list cannot grow without bound. `0` (the default) =
-    /// unbounded.
+    /// Maximum concurrently served connections across all cores;
+    /// accepts beyond this are answered with one serialized
+    /// `Overloaded` frame and closed. `0` (the default) = unbounded.
     pub max_conns: usize,
     /// The retry hint carried by `Overloaded` responses, milliseconds.
     pub retry_after_ms: u32,
@@ -129,15 +198,20 @@ pub struct ServerConfig {
     /// metrics endpoint itself keeps working either way — the
     /// [`ServeStats`] view is maintained regardless.
     pub instrumentation: bool,
+    /// Forces the portable scan-poll readiness backend even where epoll
+    /// is available. The fallback is automatic on platforms without
+    /// epoll; this knob exists so tests exercise that path everywhere.
+    pub portable_poll: bool,
 }
 
-impl Default for ServerConfig {
-    /// One worker, a 64k-class cache, serial searches, no linger,
-    /// unbounded queue and connections, a 100 ms retry hint, no fault
-    /// injection, an ephemeral port.
+impl Default for ServeConfig {
+    /// One core, one worker, a 64k-class cache, serial searches, no
+    /// linger, unbounded queue and connections, a 100 ms retry hint, no
+    /// fault injection, an ephemeral port.
     fn default() -> Self {
-        ServerConfig {
+        ServeConfig {
             port: 0,
+            cores: 1,
             workers: 1,
             cache_capacity: 1 << 16,
             search: SearchOptions::new().threads(1),
@@ -150,14 +224,227 @@ impl Default for ServerConfig {
             snapshot_interval: None,
             slow_query_us: 0,
             instrumentation: true,
+            portable_poll: false,
         }
     }
 }
 
-/// Observability state shared by every handler: the metrics registry
+impl ServeConfig {
+    /// The default configuration (see [`Default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// Sets the loopback port ([`port`](Self::port)).
+    #[must_use]
+    pub fn port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Sets the event-loop count ([`cores`](Self::cores)).
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the scheduler worker count ([`workers`](Self::workers)).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the class-cache capacity
+    /// ([`cache_capacity`](Self::cache_capacity)).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the search options ([`search`](Self::search)).
+    #[must_use]
+    pub fn search(mut self, search: SearchOptions) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Sets the group-commit window ([`batch_linger`](Self::batch_linger)).
+    #[must_use]
+    pub fn batch_linger(mut self, linger: Duration) -> Self {
+        self.batch_linger = linger;
+        self
+    }
+
+    /// Sets the per-model miss-queue bound ([`max_queue`](Self::max_queue)).
+    #[must_use]
+    pub fn max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// Sets the connection cap ([`max_conns`](Self::max_conns)).
+    #[must_use]
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns;
+        self
+    }
+
+    /// Sets the overload retry hint ([`retry_after_ms`](Self::retry_after_ms)).
+    #[must_use]
+    pub fn retry_after_ms(mut self, ms: u32) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Sets the fault-injection plan ([`faults`](Self::faults)).
+    #[must_use]
+    pub fn faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the snapshot path ([`snapshot`](Self::snapshot)).
+    #[must_use]
+    pub fn snapshot(mut self, path: Option<PathBuf>) -> Self {
+        self.snapshot = path;
+        self
+    }
+
+    /// Sets the periodic snapshot interval
+    /// ([`snapshot_interval`](Self::snapshot_interval)).
+    #[must_use]
+    pub fn snapshot_interval(mut self, every: Option<Duration>) -> Self {
+        self.snapshot_interval = every;
+        self
+    }
+
+    /// Sets the slow-query capture threshold
+    /// ([`slow_query_us`](Self::slow_query_us)).
+    #[must_use]
+    pub fn slow_query_us(mut self, us: u64) -> Self {
+        self.slow_query_us = us;
+        self
+    }
+
+    /// Toggles per-request observability
+    /// ([`instrumentation`](Self::instrumentation)).
+    #[must_use]
+    pub fn instrumentation(mut self, on: bool) -> Self {
+        self.instrumentation = on;
+        self
+    }
+
+    /// Forces the scan-poll readiness backend
+    /// ([`portable_poll`](Self::portable_poll)).
+    #[must_use]
+    pub fn portable_poll(mut self, on: bool) -> Self {
+        self.portable_poll = on;
+        self
+    }
+}
+
+impl From<&ServeConfig> for ServeConfig {
+    fn from(config: &ServeConfig) -> ServeConfig {
+        config.clone()
+    }
+}
+
+/// The pre-PR-10 server configuration, superseded by [`ServeConfig`]
+/// (every field carries over by name; `ServeConfig` adds `cores` and
+/// the readiness-backend knob). [`Server::bind`] still accepts it
+/// directly for one release.
+#[deprecated(note = "use `ServeConfig`; every field carries over by name")]
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// See [`ServeConfig::port`].
+    pub port: u16,
+    /// See [`ServeConfig::workers`].
+    pub workers: usize,
+    /// See [`ServeConfig::cache_capacity`].
+    pub cache_capacity: usize,
+    /// See [`ServeConfig::search`].
+    pub search: SearchOptions,
+    /// See [`ServeConfig::batch_linger`].
+    pub batch_linger: Duration,
+    /// See [`ServeConfig::max_queue`].
+    pub max_queue: usize,
+    /// See [`ServeConfig::max_conns`].
+    pub max_conns: usize,
+    /// See [`ServeConfig::retry_after_ms`].
+    pub retry_after_ms: u32,
+    /// See [`ServeConfig::faults`].
+    pub faults: Option<Arc<FaultPlan>>,
+    /// See [`ServeConfig::snapshot`].
+    pub snapshot: Option<PathBuf>,
+    /// See [`ServeConfig::snapshot_interval`].
+    pub snapshot_interval: Option<Duration>,
+    /// See [`ServeConfig::slow_query_us`].
+    pub slow_query_us: u64,
+    /// See [`ServeConfig::instrumentation`].
+    pub instrumentation: bool,
+}
+
+#[allow(deprecated)]
+impl Default for ServerConfig {
+    /// Matches [`ServeConfig::default`] field for field.
+    fn default() -> Self {
+        let d = ServeConfig::default();
+        ServerConfig {
+            port: d.port,
+            workers: d.workers,
+            cache_capacity: d.cache_capacity,
+            search: d.search,
+            batch_linger: d.batch_linger,
+            max_queue: d.max_queue,
+            max_conns: d.max_conns,
+            retry_after_ms: d.retry_after_ms,
+            faults: d.faults,
+            snapshot: d.snapshot,
+            snapshot_interval: d.snapshot_interval,
+            slow_query_us: d.slow_query_us,
+            instrumentation: d.instrumentation,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<&ServerConfig> for ServeConfig {
+    fn from(old: &ServerConfig) -> ServeConfig {
+        ServeConfig {
+            port: old.port,
+            cores: 1,
+            workers: old.workers,
+            cache_capacity: old.cache_capacity,
+            search: old.search,
+            batch_linger: old.batch_linger,
+            max_queue: old.max_queue,
+            max_conns: old.max_conns,
+            retry_after_ms: old.retry_after_ms,
+            faults: old.faults.clone(),
+            snapshot: old.snapshot.clone(),
+            snapshot_interval: old.snapshot_interval,
+            slow_query_us: old.slow_query_us,
+            instrumentation: old.instrumentation,
+            portable_poll: false,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ServerConfig> for ServeConfig {
+    fn from(old: ServerConfig) -> ServeConfig {
+        ServeConfig::from(&old)
+    }
+}
+
+/// Observability state shared by every core: the metrics registry
 /// and its handles, the trace rings and the span-id generator.
 struct Observability {
-    /// Per-request tracing on/off ([`ServerConfig::instrumentation`]).
+    /// Per-request tracing on/off ([`ServeConfig::instrumentation`]).
     enabled: bool,
     /// Slow-query threshold, µs; `0` captures none.
     slow_query_us: u64,
@@ -187,7 +474,7 @@ struct Observability {
 }
 
 impl Observability {
-    fn new(config: &ServerConfig, shards: usize, seed: u64) -> Self {
+    fn new(config: &ServeConfig, shards: usize, seed: u64) -> Self {
         let registry = Registry::default();
         let stage_latency = Stage::ALL.map(|stage| {
             registry.histogram(
@@ -289,6 +576,40 @@ impl Observability {
     }
 }
 
+/// Per-core metric handles, each in its **own** registry so the hot
+/// path touches core-local atomics only; [`render_metrics`] merges the
+/// per-core registries with the shared one at scrape time
+/// ([`Registry::render_merged`]), deduplicating family headers.
+struct CoreObs {
+    registry: Registry,
+    /// Query requests handled by this core's event loop.
+    requests: Counter,
+    /// Connections this core's listener accepted.
+    accepted: Counter,
+}
+
+impl CoreObs {
+    fn new(core: usize) -> Self {
+        let registry = Registry::new();
+        let label = core.to_string();
+        let requests = registry.counter(
+            "revsynth_core_requests",
+            &[("core", &label)],
+            "Query requests handled per event-loop core",
+        );
+        let accepted = registry.counter(
+            "revsynth_core_accepted",
+            &[("core", &label)],
+            "Connections accepted per event-loop core",
+        );
+        CoreObs {
+            registry,
+            requests,
+            accepted,
+        }
+    }
+}
+
 /// Microseconds elapsed since `start`, saturating.
 fn elapsed_us(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
@@ -317,7 +638,7 @@ pub struct RestoreSummary {
     pub quarantine_reason: Option<String>,
 }
 
-/// Shared state every connection handler sees.
+/// Shared state every core's event loop sees.
 struct Shared {
     suite: Arc<SynthesisSuite>,
     cache: Arc<ClassCache>,
@@ -325,6 +646,10 @@ struct Shared {
     requests: AtomicU64,
     errors: AtomicU64,
     shed_conns: AtomicU64,
+    /// Connections currently open across all cores (the `max_conns`
+    /// accounting).
+    open_conns: AtomicU64,
+    max_conns: usize,
     retry_after_ms: u32,
     latency: LatencyHistogram,
     shutdown: AtomicBool,
@@ -345,6 +670,8 @@ struct Shared {
     last_snapshot: Mutex<Option<Instant>>,
     /// Metrics registry, trace rings and span-id state.
     obs: Observability,
+    /// Per-core counters, one registry per event loop.
+    core_obs: Vec<CoreObs>,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -377,6 +704,7 @@ impl Shared {
             snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
             snapshot_skipped: self.snapshot_skipped.load(Ordering::Relaxed),
             worker_restarts: sched.worker_restarts,
+            steals: sched.steals,
         }
     }
 
@@ -426,10 +754,12 @@ fn write_snapshot_now(shared: &Shared) {
 
 /// A bound (not yet running) synthesis server.
 pub struct Server {
-    listener: TcpListener,
+    /// One listener per core: distinct `SO_REUSEPORT` sockets where
+    /// available, clones of a single std listener otherwise.
+    listeners: Vec<TcpListener>,
     shared: Arc<Shared>,
-    max_conns: usize,
     snapshot_interval: Option<Duration>,
+    portable_poll: bool,
     restore_summary: RestoreSummary,
 }
 
@@ -452,7 +782,7 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Propagates the accept loop's I/O error, if it died on one; a
+    /// Propagates a core loop's I/O error, if one died on it; a
     /// panicked server thread is reported as a typed I/O error (and
     /// counted), never re-panicked into the caller.
     pub fn join(self) -> io::Result<ServeStats> {
@@ -466,8 +796,54 @@ impl ServerHandle {
     }
 }
 
+/// Binds one listener per core. Multi-core servers try `SO_REUSEPORT`
+/// first (kernel-balanced accepts, no shared accept lock); if any
+/// listener in the set cannot be created that way — non-Linux, or the
+/// kernel refused — every core falls back to a clone of one std
+/// listener and shares its accept queue.
+fn bind_listeners(port: u16, cores: usize) -> io::Result<(Vec<TcpListener>, SocketAddr)> {
+    let mut listeners: Vec<TcpListener> = Vec::with_capacity(cores);
+    if cores > 1 {
+        if let Some(first) = net::reuseport_listener(port) {
+            if let Ok(addr) = first.local_addr() {
+                let mut rest = Vec::with_capacity(cores - 1);
+                for _ in 1..cores {
+                    match net::reuseport_listener(addr.port()) {
+                        Some(l) => rest.push(l),
+                        None => {
+                            rest.clear();
+                            break;
+                        }
+                    }
+                }
+                if rest.len() == cores - 1 {
+                    listeners.push(first);
+                    listeners.append(&mut rest);
+                }
+            }
+        }
+    }
+    let addr = if listeners.is_empty() {
+        let first = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = first.local_addr()?;
+        for _ in 1..cores {
+            listeners.push(first.try_clone()?);
+        }
+        listeners.insert(0, first);
+        addr
+    } else {
+        listeners[0].local_addr()?
+    };
+    for listener in &listeners {
+        listener.set_nonblocking(true)?;
+    }
+    Ok((listeners, addr))
+}
+
 impl Server {
-    /// Binds the loopback listener and starts the scheduler workers.
+    /// Binds one listener per configured core and starts the scheduler
+    /// workers. Accepts a [`ServeConfig`] by value or reference (or,
+    /// for one release, the deprecated [`ServerConfig`]).
     ///
     /// Queries carry a per-request cost model; the suite's quantum and
     /// depth engines are generated lazily on the first query that needs
@@ -476,15 +852,19 @@ impl Server {
     /// # Errors
     ///
     /// Propagates bind failures (e.g. the port is taken).
-    pub fn bind(suite: Arc<SynthesisSuite>, config: &ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
-        let addr = listener.local_addr()?;
-        let cache = Arc::new(ClassCache::new(config.cache_capacity));
+    pub fn bind(suite: Arc<SynthesisSuite>, config: impl Into<ServeConfig>) -> io::Result<Server> {
+        let config: ServeConfig = config.into();
+        let cores = config.cores.max(1);
+        let (listeners, addr) = bind_listeners(config.port, cores)?;
+        // Cache shards scale with cores so per-core loops don't
+        // serialize on shard mutexes (8 shards per core, the pre-PR-10
+        // default at one core).
+        let cache = Arc::new(ClassCache::with_shards(config.cache_capacity, cores * 8));
         // Restore before the first accept: a warm restart serves its
         // first query from the restored cache. Nothing here can fail
         // the boot — a missing snapshot is a cold start, an unreadable
         // one is quarantined and *then* a cold start.
-        let obs = Observability::new(config, cache.shard_lens().len(), u64::from(addr.port()));
+        let obs = Observability::new(&config, cache.shard_lens().len(), u64::from(addr.port()));
         let mut restore_summary = RestoreSummary::default();
         let restore_start = Instant::now();
         if let Some(path) = config.snapshot.as_deref() {
@@ -523,12 +903,16 @@ impl Server {
                 retry_after_ms: config.retry_after_ms,
                 faults: config.faults.clone(),
                 metrics: obs.scheduler_metrics(),
+                // One miss lane per core: each event loop enqueues to
+                // its own lane; workers steal across lanes only on
+                // imbalance.
+                shards: cores,
             },
         );
         Ok(Server {
-            listener,
-            max_conns: config.max_conns,
+            listeners,
             snapshot_interval: config.snapshot_interval,
+            portable_poll: config.portable_poll,
             shared: Arc::new(Shared {
                 suite,
                 cache,
@@ -536,6 +920,8 @@ impl Server {
                 requests: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 shed_conns: AtomicU64::new(0),
+                open_conns: AtomicU64::new(0),
+                max_conns: config.max_conns,
                 retry_after_ms: config.retry_after_ms,
                 latency: LatencyHistogram::new(),
                 shutdown: AtomicBool::new(false),
@@ -548,6 +934,7 @@ impl Server {
                 snapshot_skipped: AtomicU64::new(restore_summary.skipped),
                 last_snapshot: Mutex::new(None),
                 obs,
+                core_obs: (0..cores).map(CoreObs::new).collect(),
             }),
             restore_summary,
         })
@@ -566,20 +953,20 @@ impl Server {
         &self.restore_summary
     }
 
-    /// Runs the accept loop on the calling thread until a shutdown
-    /// request arrives, then drains handlers and workers and returns
-    /// the final stats snapshot.
+    /// Runs the per-core event loops until a shutdown request arrives,
+    /// then drains every core, the scheduler, and the snapshotter, and
+    /// returns the final stats snapshot.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures (per-connection errors are
-    /// contained in their handlers).
+    /// Propagates a core loop's fatal I/O failure (per-connection
+    /// errors are contained in their state machines).
     pub fn run(self) -> io::Result<ServeStats> {
         let Server {
-            listener,
+            listeners,
             shared,
-            max_conns,
             snapshot_interval,
+            portable_poll,
             restore_summary: _,
         } = self;
         // The background snapshotter: wakes every poll tick (so
@@ -603,58 +990,36 @@ impl Server {
             }
             _ => None,
         };
-        // Only the accept loop touches this list; handlers are joined
-        // after the loop exits.
-        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        let mut accept_error: Option<io::Error> = None;
-        for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                // Transient accept errors (e.g. a peer that reset before
-                // the handshake finished) must not kill the server.
-                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => {
-                    accept_error = Some(e);
-                    break;
-                }
-            };
-            // Reap finished handlers so long-running servers don't
-            // accumulate join handles — and JOIN them, so a handler
-            // panic is observed (counted as an error) instead of being
-            // silently discarded with the handle.
-            let mut running = Vec::with_capacity(handlers.len());
-            for handle in handlers {
-                if handle.is_finished() {
-                    join_handler(&shared, handle);
-                } else {
-                    running.push(handle);
-                }
-            }
-            handlers = running;
-            // The connection cap is enforced after reaping, so finished
-            // handlers always free their slots first.
-            if max_conns > 0 && handlers.len() >= max_conns {
-                shed_connection(&shared, stream);
-                continue;
-            }
+        let cores = listeners.len();
+        let mut loops = Vec::with_capacity(cores);
+        for (core, listener) in listeners.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
-            handlers.push(std::thread::spawn(move || {
-                handle_connection(&shared, stream)
+            loops.push(std::thread::spawn(move || {
+                core_loop(&shared, listener, core, cores, portable_poll)
             }));
         }
-        // Drain order is the crash-safety contract: stop accepting,
-        // drain handlers, fail queued tickets, THEN write the final
-        // snapshot — so the snapshot sees every search the drain
-        // completed and the file on disk is the warmest state this
-        // process ever had.
-        shared.shutdown.store(true, Ordering::SeqCst);
-        for handle in handlers {
-            join_handler(&shared, handle);
+        let mut accept_error: Option<io::Error> = None;
+        for handle in loops {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => accept_error = Some(e),
+                Err(_) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
+        // Drain order is the crash-safety contract: every core's loop
+        // has exited — no core still holds an in-flight ticket or an
+        // unread frame — before the scheduler drains and fails what
+        // remains queued, and only THEN is the final snapshot cut. The
+        // snapshot therefore sees every search any core completed, and
+        // the file on disk is the warmest state this process ever had.
+        shared.shutdown.store(true, Ordering::SeqCst);
         shared.scheduler.shutdown();
+        debug_assert!(
+            shared.scheduler.drained(),
+            "scheduler still holds tickets after every core drained"
+        );
         if let Some(handle) = snapshotter {
             let _ = handle.join();
         }
@@ -679,20 +1044,307 @@ impl Server {
     }
 }
 
-/// Joins a handler thread, counting a panic as a server error (a
-/// handler must never panic on client bytes; if one does, the counter
-/// makes it visible instead of vanishing with the handle).
-fn join_handler(shared: &Shared, handle: JoinHandle<()>) {
-    if handle.join().is_err() {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
+/// The raw descriptor for epoll registration (unix only; the epoll
+/// backend cannot be constructed elsewhere, so the stub is never
+/// meaningfully called).
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    -1
+}
+
+/// A cache miss parked on a scheduler ticket: everything needed to
+/// finish the query when the batch search resolves.
+struct PendingQuery {
+    handle: TicketHandle,
+    witness: Canonicalized,
+    /// When the query frame finished decoding (latency epoch).
+    start: Instant,
+    /// When the miss was submitted (queue-wait epoch).
+    submitted: Instant,
+    trace: Option<Trace>,
+}
+
+/// One non-blocking connection state machine.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter,
+    /// The query parked on a scheduler ticket, if any. While set, no
+    /// further frames are read — responses stay in request order and
+    /// a flooding client cannot queue unbounded misses.
+    inflight: Option<PendingQuery>,
+    /// Close once the writer drains (protocol error or shutdown frame).
+    closing: bool,
+    /// Whether the epoll registration currently includes write
+    /// interest (kept in sync with `writer.has_pending()`).
+    want_write: bool,
+}
+
+impl Conn {
+    /// Flushes queued response bytes until drained or the socket stops
+    /// accepting. `Ok(true)` = fully drained.
+    fn pump_write(&mut self) -> io::Result<bool> {
+        let mut sink = &self.stream;
+        self.writer.flush_into(&mut sink)
+    }
+}
+
+/// What a query decode produced: an answer to deliver now, or a ticket
+/// to park the connection on.
+enum QueryOutcome {
+    Ready(Response, Option<Trace>),
+    Pending(PendingQuery),
+}
+
+/// One core's event loop: accept on this core's listener, pump every
+/// connection's reader/writer on readiness, poll parked tickets, and
+/// wind down gracefully on shutdown. Fatal listener errors flip the
+/// global shutdown flag (so sibling cores exit too) and propagate.
+fn core_loop(
+    shared: &Shared,
+    listener: TcpListener,
+    core: usize,
+    cores: usize,
+    portable_poll: bool,
+) -> io::Result<()> {
+    if cores > 1 {
+        // Best-effort: an unpinned loop is correct, just migratable.
+        let _ = net::pin_to_cpu(core);
+    }
+    let poller = if portable_poll {
+        None
+    } else {
+        net::Poller::new()
+    };
+    if let Some(p) = &poller {
+        // A failed listener registration would mean never seeing
+        // accepts; fall back to scanning in that case by dropping the
+        // poller (registration failures are kernel-resource errors).
+        if !p.add(raw_fd(&listener), LISTENER_TOKEN, false) {
+            return core_loop_inner(shared, &listener, core, None);
+        }
+    }
+    core_loop_inner(shared, &listener, core, poller.as_ref())
+}
+
+fn core_loop_inner(
+    shared: &Shared,
+    listener: &TcpListener,
+    core: usize,
+    poller: Option<&net::Poller>,
+) -> io::Result<()> {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut events: Vec<net::Event> = Vec::new();
+    let mut shutdown_seen: Option<Instant> = None;
+    loop {
+        let shutdown = shared.shutdown.load(Ordering::SeqCst);
+        if shutdown {
+            // Wind down: drop connections with nothing left to deliver;
+            // give write-stalled peers a bounded grace, but wait
+            // indefinitely on in-flight tickets — searches terminate,
+            // and their answers belong in the final snapshot.
+            let since = *shutdown_seen.get_or_insert_with(Instant::now);
+            let grace_expired = since.elapsed() >= SHUTDOWN_WRITE_GRACE;
+            for slot in &mut conns {
+                let done = slot.as_ref().is_some_and(|c| {
+                    c.inflight.is_none() && (!c.writer.has_pending() || grace_expired)
+                });
+                if done {
+                    close_conn(shared, poller, slot);
+                }
+            }
+            if conns.iter().all(Option::is_none) {
+                return Ok(());
+            }
+        }
+        // Write-stalled connections are watched by epoll (write
+        // interest is reconciled below), so only ticket-holders force
+        // the loop to tick: sub-millisecond via poll-then-nap, because
+        // `epoll_wait`'s millisecond timeout floor would tax every
+        // cache miss with up to 1 ms of resolution latency.
+        let ticket_wait = conns.iter().flatten().any(|c| c.inflight.is_some());
+        match poller {
+            Some(p) => {
+                let timeout = if ticket_wait {
+                    0
+                } else if shutdown {
+                    BUSY_WAIT_MS
+                } else {
+                    POLL_INTERVAL.as_millis() as i32
+                };
+                if !p.wait(&mut events, timeout) {
+                    // A broken epoll fd is unrecoverable for this loop.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    return Err(io::Error::other("epoll wait failed"));
+                }
+                if ticket_wait && events.is_empty() {
+                    std::thread::sleep(TICKET_POLL_TICK);
+                }
+            }
+            None => {
+                // Scan fallback: synthesize readiness for everything
+                // each tick; non-blocking I/O makes spurious readiness
+                // harmless (it costs one WouldBlock).
+                let tick = if ticket_wait || conns.iter().any(Option::is_some) {
+                    SCAN_TICK
+                } else {
+                    SCAN_IDLE_TICK
+                };
+                std::thread::sleep(tick);
+                events.clear();
+                events.push(net::Event {
+                    token: LISTENER_TOKEN,
+                    readable: true,
+                    writable: false,
+                });
+                for (i, slot) in conns.iter().enumerate() {
+                    if slot.is_some() {
+                        events.push(net::Event {
+                            token: i as u64,
+                            readable: true,
+                            writable: true,
+                        });
+                    }
+                }
+            }
+        }
+        for event in &events {
+            if event.token == LISTENER_TOKEN {
+                if !shutdown {
+                    accept_ready(shared, listener, core, poller, &mut conns)?;
+                }
+                continue;
+            }
+            let idx = event.token as usize;
+            let Some(Some(conn)) = conns.get_mut(idx) else {
+                continue; // closed earlier this round
+            };
+            if event.readable {
+                pump_read(shared, core, conn);
+            }
+        }
+        // Poll parked tickets: a resolved batch search finishes its
+        // query here, on the core that owns the connection.
+        for slot in conns.iter_mut() {
+            let Some(conn) = slot else { continue };
+            let resolved = conn.inflight.as_ref().and_then(|p| p.handle.try_result());
+            if let Some(result) = resolved {
+                let pending = conn.inflight.take().expect("checked above");
+                finish_query(shared, conn, pending, result);
+                // A frame pipelined behind the parked query may already
+                // sit in the reader's buffer — no readiness event will
+                // ever re-announce it, so parse it now.
+                pump_read(shared, core, conn);
+            }
+        }
+        // Flush writers, reconcile epoll write interest, reap closed
+        // connections.
+        for (i, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else { continue };
+            let mut dead = false;
+            if conn.writer.has_pending() {
+                dead = conn.pump_write().is_err();
+            }
+            let want = conn.writer.has_pending();
+            if !dead && want != conn.want_write {
+                if let Some(p) = poller {
+                    let _ = p.modify(raw_fd(&conn.stream), i as u64, want);
+                }
+                conn.want_write = want;
+            }
+            if dead || (conn.closing && conn.inflight.is_none() && !conn.writer.has_pending()) {
+                close_conn(shared, poller, slot);
+            }
+        }
+    }
+}
+
+/// Accepts until the listener would block. Fatal accept errors flip the
+/// global shutdown flag so sibling cores exit too.
+fn accept_ready(
+    shared: &Shared,
+    listener: &TcpListener,
+    core: usize,
+    poller: Option<&net::Poller>,
+    conns: &mut Vec<Option<Conn>>,
+) -> io::Result<()> {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            // Transient accept errors (e.g. a peer that reset before
+            // the handshake finished) must not kill the server.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionAborted | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(e) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+        shared.core_obs[core].accepted.inc();
+        // The connection cap is global across cores: slots freed by any
+        // core are immediately visible to every acceptor.
+        if shared.max_conns > 0
+            && shared.open_conns.load(Ordering::Relaxed) >= shared.max_conns as u64
+        {
+            shed_connection(shared, stream);
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let reader = match stream.set_nonblocking(true).and(stream.try_clone()) {
+            Ok(clone) => FrameReader::new(clone),
+            Err(_) => continue,
+        };
+        shared.open_conns.fetch_add(1, Ordering::Relaxed);
+        let idx = conns.iter().position(Option::is_none).unwrap_or_else(|| {
+            conns.push(None);
+            conns.len() - 1
+        });
+        if let Some(p) = poller {
+            if !p.add(raw_fd(&stream), idx as u64, false) {
+                // Unregisterable: close rather than serve a socket the
+                // loop would never hear from again.
+                shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        conns[idx] = Some(Conn {
+            stream,
+            reader,
+            writer: FrameWriter::new(),
+            inflight: None,
+            closing: false,
+            want_write: false,
+        });
+    }
+}
+
+/// Deregisters and drops one connection, releasing its cap slot.
+fn close_conn(shared: &Shared, poller: Option<&net::Poller>, slot: &mut Option<Conn>) {
+    if let Some(conn) = slot.take() {
+        if let Some(p) = poller {
+            let _ = p.remove(raw_fd(&conn.stream));
+        }
+        shared.open_conns.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 /// Sheds one accepted connection at the cap: writes a single serialized
 /// `Overloaded` frame (bounded by a write timeout so a glacial peer
-/// cannot stall the accept loop) and closes the socket.
+/// cannot stall the acceptor) and closes the socket.
 fn shed_connection(shared: &Shared, stream: TcpStream) {
     shared.shed_conns.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let mut writer = io::BufWriter::new(stream);
@@ -704,125 +1356,279 @@ fn shed_connection(shared: &Shared, stream: TcpStream) {
     );
 }
 
-/// Serves one connection until the peer hangs up, a fatal protocol
-/// violation occurs, or the server shuts down. Never panics on client
-/// bytes.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // Short read timeouts turn a parked read into a periodic
-    // shutdown-flag check (the FrameReader buffers partial frames across
-    // timeouts, so polling never desynchronizes the stream); NODELAY
-    // because frames are tiny and latency-sensitive.
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut reader = FrameReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = io::BufWriter::new(stream);
-
+/// Drains every complete frame currently buffered on `conn`. Reading
+/// stops while a query is parked on a ticket (responses stay in
+/// request order) and resumes when it resolves. Reading also stops on
+/// a *short* read — the socket buffer is drained for now, and paying
+/// the classic drain-until-would-block syscall per wakeup is wasted
+/// work under level-triggered readiness (and under the scan fallback,
+/// which synthesizes readiness every tick regardless).
+fn pump_read(shared: &Shared, core: usize, conn: &mut Conn) {
+    let mut socket_drained = false;
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if conn.closing || conn.inflight.is_some() || shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let payload = match reader.poll_frame() {
-            Ok(Some(p)) => p,
-            // Poll tick on an idle (or trickling) connection.
-            Ok(None) => continue,
-            Err(e) => {
-                // Truncated/oversized framing: answer when the peer may
-                // still be reading, then drop the connection — an
-                // arbitrary byte stream cannot be resynchronized. A
-                // clean close between frames is just a hang-up.
-                if !(e.is_clean_eof() && reader.at_frame_boundary()) {
-                    let _ = write_frame(
-                        &mut writer,
-                        &protocol::encode_response(&Response::Error(e.to_string())),
-                    );
-                }
-                return;
-            }
-        };
-        // Decode is timed only when instrumentation is on, and the span
-        // is attributed only if the frame turns out to be a query.
-        let decode_start = shared.obs.enabled.then(Instant::now);
-        let request = match protocol::decode_request(&payload) {
-            Ok(r) => r,
-            Err(e) => {
-                // The frame boundary is intact: report and keep serving.
-                let _ = write_frame(
-                    &mut writer,
-                    &protocol::encode_response(&Response::Error(e.to_string())),
-                );
+        match conn.reader.buffered_frame() {
+            Ok(Some(payload)) => {
+                handle_frame(shared, core, conn, &payload);
                 continue;
             }
-        };
-        let response = match request {
-            Request::Query(f, kind, deadline_ms) => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                let start = Instant::now();
-                // Spans are computed by *chaining* timestamps — one
-                // clock read per stage boundary, with each boundary
-                // shared by the stage it ends and the stage it starts —
-                // because on hosts without a cheap vDSO clock the reads
-                // themselves are the dominant tracing cost.
-                let mut trace = decode_start.map(|decoded_at| {
-                    let mut t = Trace::new(shared.obs.span_ids.next_id());
-                    t.record(Stage::Decode, us_between(decoded_at, start));
-                    t
-                });
-                // The deadline clock starts when the frame is decoded —
-                // the budget covers queueing and search, not network
-                // transit.
-                let deadline = deadline_ms.map(|ms| start + Duration::from_millis(u64::from(ms)));
-                let response = answer_query(shared, f, kind, start, deadline, trace.as_mut());
-                let answered = Instant::now();
-                shared.latency.record(us_between(start, answered));
-                if matches!(response, Response::Error(_)) {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
-                }
-                if let Some(mut trace) = trace {
-                    // Traced requests encode and write inside the span
-                    // so the trace covers the full pipeline.
-                    let payload = protocol::encode_response(&response);
-                    let encoded = Instant::now();
-                    trace.record(Stage::Encode, us_between(answered, encoded));
-                    let write_ok = write_frame(&mut writer, &payload).is_ok();
-                    let written = Instant::now();
-                    trace.record(Stage::Write, us_between(encoded, written));
-                    trace.total_us = us_between(start, written);
-                    shared.obs.finish(&trace);
-                    if !write_ok {
-                        return;
-                    }
-                    continue;
-                }
-                response
-            }
-            Request::Stats => Response::Stats(shared.snapshot()),
-            Request::Health => Response::Health(shared.health()),
-            Request::Metrics => Response::Metrics(render_metrics(shared)),
-            Request::SlowQueries => Response::SlowQueries(render_trace_json(&shared.obs.slow)),
-            Request::Traces => Response::Traces(render_trace_json(&shared.obs.traces)),
-            Request::Shutdown => {
-                let _ = write_frame(
-                    &mut writer,
-                    &protocol::encode_response(&Response::ShuttingDown),
-                );
-                initiate_shutdown(shared);
+            Ok(None) => {}
+            Err(e) => {
+                // A hostile length prefix: the stream cannot be
+                // resynchronized — answer and drop the connection.
+                conn.writer
+                    .queue(&protocol::encode_response(&Response::Error(e.to_string())));
+                conn.closing = true;
                 return;
             }
-        };
-        if write_frame(&mut writer, &protocol::encode_response(&response)).is_err() {
+        }
+        if socket_drained {
             return;
+        }
+        match conn.reader.fill() {
+            Ok(protocol::Fill::Data { more_pending }) => socket_drained = !more_pending,
+            // WouldBlock mid-frame is just a trickling peer — the
+            // reader holds the partial frame for the next tick.
+            Ok(protocol::Fill::Empty) => return,
+            Err(e) => {
+                // Truncated framing or a socket error: answer when the
+                // peer may still be reading, then drop the connection.
+                // A clean close between frames is just a hang-up.
+                if !(e.is_clean_eof() && conn.reader.at_frame_boundary()) {
+                    conn.writer
+                        .queue(&protocol::encode_response(&Response::Error(e.to_string())));
+                }
+                conn.closing = true;
+                return;
+            }
         }
     }
 }
 
+/// Decodes and serves one request frame.
+fn handle_frame(shared: &Shared, core: usize, conn: &mut Conn, payload: &[u8]) {
+    // Decode is timed only when instrumentation is on, and the span is
+    // attributed only if the frame turns out to be a query.
+    let decode_start = shared.obs.enabled.then(Instant::now);
+    let request = match protocol::decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            // The frame boundary is intact: report and keep serving.
+            conn.writer
+                .queue(&protocol::encode_response(&Response::Error(e.to_string())));
+            return;
+        }
+    };
+    let response = match request {
+        Request::Query(f, kind, deadline_ms) => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            shared.core_obs[core].requests.inc();
+            let start = Instant::now();
+            // Spans are computed by *chaining* timestamps — one clock
+            // read per stage boundary, with each boundary shared by the
+            // stage it ends and the stage it starts — because on hosts
+            // without a cheap vDSO clock the reads themselves are the
+            // dominant tracing cost.
+            let trace = decode_start.map(|decoded_at| {
+                let mut t = Trace::new(shared.obs.span_ids.next_id());
+                t.record(Stage::Decode, us_between(decoded_at, start));
+                t
+            });
+            // The deadline clock starts when the frame is decoded — the
+            // budget covers queueing and search, not network transit.
+            let deadline = deadline_ms.map(|ms| start + Duration::from_millis(u64::from(ms)));
+            match begin_query(shared, f, kind, start, deadline, trace, core) {
+                QueryOutcome::Ready(response, trace) => {
+                    deliver(shared, conn, response, start, trace);
+                }
+                QueryOutcome::Pending(pending) => {
+                    conn.inflight = Some(pending);
+                }
+            }
+            return;
+        }
+        Request::Stats => Response::Stats(shared.snapshot()),
+        Request::Health => Response::Health(shared.health()),
+        Request::Metrics => Response::Metrics(render_metrics(shared)),
+        Request::SlowQueries => Response::SlowQueries(render_trace_json(&shared.obs.slow)),
+        Request::Traces => Response::Traces(render_trace_json(&shared.obs.traces)),
+        Request::Shutdown => {
+            conn.writer
+                .queue(&protocol::encode_response(&Response::ShuttingDown));
+            conn.closing = true;
+            initiate_shutdown(shared);
+            return;
+        }
+    };
+    conn.writer.queue(&protocol::encode_response(&response));
+}
+
+/// Books a finished query response: service latency, the error counter,
+/// the Encode/Write trace spans (Write covers the synchronous flush
+/// attempt; remaining bytes drain on later readiness ticks), and the
+/// frame bytes into the connection's writer.
+fn deliver(
+    shared: &Shared,
+    conn: &mut Conn,
+    response: Response,
+    start: Instant,
+    trace: Option<Trace>,
+) {
+    let answered = Instant::now();
+    shared.latency.record(us_between(start, answered));
+    if matches!(response, Response::Error(_)) {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let payload = protocol::encode_response(&response);
+    conn.writer.queue(&payload);
+    match trace {
+        Some(mut trace) => {
+            let encoded = Instant::now();
+            trace.record(Stage::Encode, us_between(answered, encoded));
+            let flush = conn.pump_write();
+            let written = Instant::now();
+            trace.record(Stage::Write, us_between(encoded, written));
+            trace.total_us = us_between(start, written);
+            shared.obs.finish(&trace);
+            if flush.is_err() {
+                conn.closing = true;
+            }
+        }
+        None => {
+            if conn.pump_write().is_err() {
+                conn.closing = true;
+            }
+        }
+    }
+}
+
+/// The query hot path: canonicalize, cache (keyed by cost model +
+/// class), replay — scheduler only on a miss, and even then without
+/// blocking: a genuine miss parks the connection on a ticket.
+///
+/// One canonicalization serves every model (all three cost kinds are
+/// class functions), and witness replay is cost-preserving under all of
+/// them, so the warm path is model-independent work plus a model-tagged
+/// cache key.
+///
+/// The cache lookup runs *before* admission control ever gets a say:
+/// that ordering is the graceful-degradation contract — a saturated
+/// miss queue sheds new searches while cache hits keep being answered
+/// at full speed.
+fn begin_query(
+    shared: &Shared,
+    f: Perm,
+    kind: CostKind,
+    start: Instant,
+    deadline: Option<Instant>,
+    mut trace: Option<Trace>,
+    lane: usize,
+) -> QueryOutcome {
+    let n = shared.suite.wires();
+    for x in (1u8 << n)..16 {
+        if f.apply(x) != x {
+            let response = Response::Error(format!(
+                "function moves point {x}, outside the {n}-wire domain"
+            ));
+            return QueryOutcome::Ready(response, trace);
+        }
+    }
+    let w = shared.suite.sym().canonicalize(f);
+    let cached = shared.cache.get(kind, w.rep);
+    // Timestamp chain: `start` ends Decode, `probed` ends CacheProbe
+    // (which therefore includes the domain check and canonicalization —
+    // everything between decode and the cache's answer).
+    let mut probed = None;
+    if let Some(t) = trace.as_mut() {
+        let now = Instant::now();
+        t.model = kind.code();
+        t.rep = w.rep.packed();
+        t.cache_hit = cached.is_some();
+        t.record(Stage::CacheProbe, us_between(start, now));
+        probed = Some(now);
+    }
+    if let Some(circuit) = cached {
+        let answer = replay_for_witness(&circuit, &w);
+        if let (Some(t), Some(s)) = (trace.as_mut(), probed) {
+            t.record(Stage::Replay, us_between(s, Instant::now()));
+        }
+        return QueryOutcome::Ready(Response::Circuit(answer), trace);
+    }
+    let submission = shared.scheduler.submit(kind, w.rep, deadline, lane);
+    let admitted = Instant::now();
+    if let (Some(t), Some(s)) = (trace.as_mut(), probed) {
+        t.record(Stage::Admission, us_between(s, admitted));
+    }
+    match submission {
+        // The admission re-check hit (another core's search landed
+        // between our probe and the queue lock): answer immediately.
+        Submission::Ready(Ok(circuit)) => {
+            let answer = replay_for_witness(&circuit, &w);
+            if let Some(t) = trace.as_mut() {
+                t.record(Stage::Replay, us_between(admitted, Instant::now()));
+            }
+            QueryOutcome::Ready(Response::Circuit(answer), trace)
+        }
+        Submission::Ready(Err(ServeError::Overloaded { retry_after_ms })) => {
+            QueryOutcome::Ready(Response::Overloaded { retry_after_ms }, trace)
+        }
+        Submission::Ready(Err(e)) => QueryOutcome::Ready(Response::Error(e.to_string()), trace),
+        Submission::Pending(handle) => QueryOutcome::Pending(PendingQuery {
+            handle,
+            witness: w,
+            start,
+            submitted: admitted,
+            trace,
+        }),
+    }
+}
+
+/// Finishes a query whose ticket resolved: splits the wait into
+/// QueueWait/BatchSearch spans (the search time is the scheduler's own
+/// measurement, clamped to the observed wait), replays the class
+/// circuit for this witness, and delivers the response.
+fn finish_query(
+    shared: &Shared,
+    conn: &mut Conn,
+    pending: PendingQuery,
+    result: Result<revsynth_circuit::Circuit, ServeError>,
+) {
+    let PendingQuery {
+        handle,
+        witness,
+        start,
+        submitted,
+        mut trace,
+    } = pending;
+    let resolved = Instant::now();
+    if let Some(t) = trace.as_mut() {
+        let waited = us_between(submitted, resolved);
+        let search = handle.search_us().min(waited);
+        t.record(Stage::QueueWait, waited - search);
+        t.record(Stage::BatchSearch, search);
+    }
+    let response = match result {
+        Ok(circuit) => {
+            let answer = replay_for_witness(&circuit, &witness);
+            if let Some(t) = trace.as_mut() {
+                t.record(Stage::Replay, us_between(resolved, Instant::now()));
+            }
+            Response::Circuit(answer)
+        }
+        Err(ServeError::Overloaded { retry_after_ms }) => Response::Overloaded { retry_after_ms },
+        Err(e) => Response::Error(e.to_string()),
+    };
+    deliver(shared, conn, response, start, trace);
+}
+
 /// Renders the full metrics scrape: every [`ServeStats`] field as a
 /// `revsynth_`-prefixed series (shared field-name table — the text
-/// frame and this exposition cannot drift), then the registry —
+/// frame and this exposition cannot drift), then the shared registry —
 /// per-stage latency histograms, engine profiling, snapshot timings,
-/// and the point-in-time gauges refreshed here.
+/// the point-in-time gauges refreshed here — and finally the per-core
+/// registries, merged so family headers appear exactly once.
 fn render_metrics(shared: &Shared) -> String {
     let obs = &shared.obs;
     for (kind, depth) in CostKind::ALL.iter().zip(shared.scheduler.queued()) {
@@ -834,7 +1640,10 @@ fn render_metrics(shared: &Shared) -> String {
     }
     let mut out = String::new();
     shared.snapshot().to_prometheus(&mut out);
-    obs.registry.render_into(&mut out);
+    let mut parts: Vec<&Registry> = Vec::with_capacity(1 + shared.core_obs.len());
+    parts.push(&obs.registry);
+    parts.extend(shared.core_obs.iter().map(|c| &c.registry));
+    Registry::render_merged(&parts, &mut out);
     out
 }
 
@@ -864,78 +1673,9 @@ fn render_trace_json(ring: &TraceRing) -> String {
     format!("[{}]", kept.join(","))
 }
 
-/// The query hot path: canonicalize, cache (keyed by cost model +
-/// class), replay — scheduler only on a miss. One canonicalization
-/// serves every model (all three cost kinds are class functions), and
-/// witness replay is cost-preserving under all of them, so the warm
-/// path is model-independent work plus a model-tagged cache key.
-///
-/// The cache lookup runs *before* admission control ever gets a say:
-/// that ordering is the graceful-degradation contract — a saturated
-/// miss queue sheds new searches while cache hits keep being answered
-/// at full speed.
-fn answer_query(
-    shared: &Shared,
-    f: Perm,
-    kind: CostKind,
-    start: Instant,
-    deadline: Option<Instant>,
-    mut trace: Option<&mut Trace>,
-) -> Response {
-    let n = shared.suite.wires();
-    for x in (1u8 << n)..16 {
-        if f.apply(x) != x {
-            return Response::Error(format!(
-                "function moves point {x}, outside the {n}-wire domain"
-            ));
-        }
-    }
-    let w = shared.suite.sym().canonicalize(f);
-    let cached = shared.cache.get(kind, w.rep);
-    // Timestamp chain: `start` ends Decode, `probed` ends CacheProbe
-    // (which therefore includes the domain check and canonicalization —
-    // everything between decode and the cache's answer).
-    let mut probed = None;
-    if let Some(t) = trace.as_deref_mut() {
-        let now = Instant::now();
-        t.model = kind.code();
-        t.rep = w.rep.packed();
-        t.cache_hit = cached.is_some();
-        t.record(Stage::CacheProbe, us_between(start, now));
-        probed = Some(now);
-    }
-    let rep_circuit = match cached {
-        Some(circuit) => circuit,
-        None => {
-            let result = match trace.as_deref_mut() {
-                Some(t) => shared.scheduler.request_traced(kind, w.rep, deadline, t),
-                None => shared
-                    .scheduler
-                    .request_with_deadline(kind, w.rep, deadline),
-            };
-            // The scheduler timed its own stages; restart the chain at
-            // the fulfilment boundary so Replay excludes the wait.
-            if probed.is_some() {
-                probed = Some(Instant::now());
-            }
-            match result {
-                Ok(circuit) => circuit,
-                Err(ServeError::Overloaded { retry_after_ms }) => {
-                    return Response::Overloaded { retry_after_ms }
-                }
-                Err(e) => return Response::Error(e.to_string()),
-            }
-        }
-    };
-    let answer = replay_for_witness(&rep_circuit, &w);
-    if let (Some(t), Some(s)) = (trace, probed) {
-        t.record(Stage::Replay, us_between(s, Instant::now()));
-    }
-    Response::Circuit(answer)
-}
-
-/// Flips the shutdown flag and unblocks the acceptor with a
-/// self-connection (the accept loop re-checks the flag per accept).
+/// Flips the shutdown flag and nudges the acceptor with a
+/// self-connection — every core loop also re-checks the flag on its
+/// own wait timeout, so the nudge only sharpens latency.
 fn initiate_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
@@ -1016,5 +1756,44 @@ mod tests {
         ring.push(&worst_case_trace());
         let json = render_trace_json(&ring);
         assert_eq!(json.matches("\"span_id\"").count(), 2);
+    }
+
+    #[test]
+    fn serve_config_builder_and_shims_agree() {
+        let built = ServeConfig::new()
+            .port(7878)
+            .cores(4)
+            .workers(2)
+            .cache_capacity(512)
+            .batch_linger(Duration::from_millis(3))
+            .max_queue(9)
+            .max_conns(17)
+            .retry_after_ms(250)
+            .slow_query_us(1_000)
+            .instrumentation(false)
+            .portable_poll(true);
+        assert_eq!(built.port, 7878);
+        assert_eq!(built.cores, 4);
+        assert_eq!(built.workers, 2);
+        assert_eq!(built.cache_capacity, 512);
+        assert_eq!(built.batch_linger, Duration::from_millis(3));
+        assert_eq!(built.max_queue, 9);
+        assert_eq!(built.max_conns, 17);
+        assert_eq!(built.retry_after_ms, 250);
+        assert_eq!(built.slow_query_us, 1_000);
+        assert!(!built.instrumentation);
+        assert!(built.portable_poll);
+        // The deprecated shim maps field-for-field onto the new config
+        // with single-core defaults for the fields it lacks.
+        #[allow(deprecated)]
+        let from_old = ServeConfig::from(ServerConfig {
+            port: 7878,
+            max_queue: 9,
+            ..ServerConfig::default()
+        });
+        assert_eq!(from_old.port, 7878);
+        assert_eq!(from_old.max_queue, 9);
+        assert_eq!(from_old.cores, 1);
+        assert!(!from_old.portable_poll);
     }
 }

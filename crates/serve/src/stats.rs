@@ -95,11 +95,15 @@ pub struct ServeStats {
     /// Scheduler workers respawned after a panic (one poisoned search
     /// no longer silently shrinks the worker pool).
     pub worker_restarts: u64,
+    /// Cross-core miss-queue steals: an idle worker drained the newer
+    /// half of a sibling core's lane instead of sleeping. Zero on a
+    /// single-core (single-lane) server.
+    pub steals: u64,
 }
 
 impl ServeStats {
     /// Number of `u64` words in the wire encoding.
-    pub const FIELDS: usize = 21;
+    pub const FIELDS: usize = 22;
 
     /// Field names, in wire order. **The single source of truth** shared
     /// by [`to_words`](Self::to_words) (by construction — a test pins
@@ -128,6 +132,7 @@ impl ServeStats {
         "snapshot_writes",
         "snapshot_skipped",
         "worker_restarts",
+        "steals",
     ];
 
     /// Metric kind per field, aligned with [`FIELD_NAMES`](Self::FIELD_NAMES).
@@ -153,6 +158,7 @@ impl ServeStats {
         FieldKind::Counter, // snapshot_writes
         FieldKind::Counter, // snapshot_skipped
         FieldKind::Counter, // worker_restarts
+        FieldKind::Counter, // steals
     ];
 
     /// The wire encoding order (field order above).
@@ -180,6 +186,7 @@ impl ServeStats {
             self.snapshot_writes,
             self.snapshot_skipped,
             self.worker_restarts,
+            self.steals,
         ]
     }
 
@@ -208,6 +215,7 @@ impl ServeStats {
             snapshot_writes: words[18],
             snapshot_skipped: words[19],
             worker_restarts: words[20],
+            steals: words[21],
         }
     }
 
@@ -240,7 +248,8 @@ impl ServeStats {
     /// Appends the snapshot in Prometheus text exposition format, one
     /// `revsynth_<field>` series per wire field, driven by the same
     /// [`FIELD_NAMES`](Self::FIELD_NAMES)/[`FIELD_KINDS`](Self::FIELD_KINDS)
-    /// tables as the JSON rendering and the 21-word stats frame.
+    /// tables as the JSON rendering and the [`FIELDS`](Self::FIELDS)-word
+    /// stats frame.
     pub fn to_prometheus(&self, out: &mut String) {
         let words = self.to_words();
         for ((name, kind), value) in Self::FIELD_NAMES.iter().zip(Self::FIELD_KINDS).zip(words) {
@@ -339,7 +348,7 @@ impl HealthReport {
 mod tests {
     use super::*;
 
-    /// A stats value whose 21 fields are pairwise distinct, so any
+    /// A stats value whose fields are pairwise distinct, so any
     /// field-order mixup between renderings is detectable.
     fn distinct_stats() -> ServeStats {
         let mut words = [0u64; ServeStats::FIELDS];

@@ -1,0 +1,241 @@
+//! Multi-core serving suite: the thread-per-core event loops must hold
+//! every contract the single-threaded accept loop held — resumable
+//! frame I/O against trickling and torn peers (on both readiness
+//! backends), the shutdown drain order (no final snapshot while any
+//! core still holds an in-flight ticket), the per-core metrics merge,
+//! and the stats conservation law under concurrent multi-core load.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use revsynth_circuit::{Circuit, GateLib};
+use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
+use revsynth_perm::Perm;
+use revsynth_serve::fault::{DropAfter, TrickleStream};
+use revsynth_serve::loadgen::{self, LoadgenConfig};
+use revsynth_serve::snapshot::{self, RestoreOutcome};
+use revsynth_serve::{Client, FaultPlan, ServeConfig, Server, ServerHandle};
+
+/// Deep enough (`k = 3`) that the loadgen pool's up-to-5-gate circuits
+/// all synthesize within reach, so zero errors is a meaningful gate.
+fn suite() -> Arc<SynthesisSuite> {
+    Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, 3),
+        SuiteConfig {
+            quantum_budget: 7,
+            depth_budget: 2,
+        },
+    ))
+}
+
+fn start_server(config: &ServeConfig) -> ServerHandle {
+    Server::bind(suite(), config)
+        .expect("bind loopback")
+        .spawn()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("revsynth-multicore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 17-byte query frame (len prefix + opcode + values) for `f`.
+fn query_frame(f: Perm) -> Vec<u8> {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&17u32.to_le_bytes());
+    frame.push(0x01);
+    frame.extend_from_slice(&f.values());
+    frame
+}
+
+const OP_CIRCUIT: u8 = 0x80;
+
+fn read_response(stream: &mut impl std::io::Read) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).ok()?;
+    let len = u32::from_le_bytes(len) as usize;
+    assert!(len > 0 && len <= 1 << 16, "server frames are well-formed");
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+/// The satellite-4 contract on both readiness backends and both core
+/// counts: a glacial writer (2 bytes per 60 ms, far slower than any
+/// poll tick) must still reassemble into a served frame, and a peer
+/// torn at **every** mid-frame cut point must never wedge an event
+/// loop — the very next connection is served normally.
+#[test]
+fn trickled_and_torn_frames_on_every_readiness_backend() {
+    let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
+    let frame = query_frame(f);
+    for (tag, config) in [
+        ("epoll-1", ServeConfig::new()),
+        ("scan-1", ServeConfig::new().portable_poll(true)),
+        ("epoll-2", ServeConfig::new().cores(2)),
+        ("scan-2", ServeConfig::new().cores(2).portable_poll(true)),
+    ] {
+        let handle = start_server(&config);
+        let addr = handle.addr();
+
+        // Glacial writer: the FrameReader must hold the partial frame
+        // across readiness ticks and answer once it completes.
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut trickle = TrickleStream::new(stream, 2, Duration::from_millis(60));
+        trickle.write_all(&frame).unwrap();
+        let payload = read_response(&mut trickle).unwrap_or_else(|| {
+            panic!("[{tag}] trickled query answered");
+        });
+        assert_eq!(payload[0], OP_CIRCUIT, "[{tag}]");
+        drop(trickle);
+
+        // Every possible mid-frame cut point: the loop must reap the
+        // torn connection and keep serving.
+        for budget in 1..frame.len() {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut dropper = DropAfter::new(stream, budget);
+            let err = dropper.write_all(&frame).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe, "[{tag}]");
+            assert!(dropper.dropped(), "[{tag}]");
+        }
+
+        let mut client = Client::connect_with_timeout(addr, Duration::from_secs(10)).unwrap();
+        let circuit = client.query(f).unwrap_or_else(|e| {
+            panic!("[{tag}] server wedged after torn peers: {e}");
+        });
+        assert_eq!(circuit.perm(4), f, "[{tag}]");
+        client.shutdown_server().unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(
+            stats.errors, 0,
+            "[{tag}] client abuse is not a server error"
+        );
+    }
+}
+
+/// The satellite-3 drain-order contract: a shutdown racing an
+/// in-flight slow search on a *sibling core's* connection must not cut
+/// the final snapshot until that ticket resolves. The in-flight client
+/// still gets its circuit, and the snapshot on disk contains the class
+/// that was mid-search when shutdown was requested — a server that
+/// snapshots per-core (while a sibling still holds tickets) fails the
+/// restore assertion below.
+#[test]
+fn shutdown_drains_every_cores_tickets_before_the_final_snapshot() {
+    let dir = tempdir("drain");
+    let path = dir.join("classes.snap");
+    // Every search takes 400 ms: plenty of window to land a shutdown
+    // frame on one core while the other core's query is in flight.
+    let plan = Arc::new(FaultPlan::new(0xD8A1).with_search_delay(Duration::from_millis(400)));
+    let config = ServeConfig::new()
+        .cores(2)
+        .faults(Some(plan))
+        .snapshot(Some(path.clone()));
+    let handle = start_server(&config);
+    let addr = handle.addr();
+
+    let lib = GateLib::nct(4);
+    let gates: Vec<_> = lib.iter().map(|(_, g, _)| g).collect();
+    let f = Circuit::from_gates([gates[0], gates[1]]).perm(4);
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect_with_timeout(addr, Duration::from_secs(30)).unwrap();
+        client.query(f)
+    });
+    // Let the slow search start, then shut down from another
+    // connection (with SO_REUSEPORT accepts the kernel spreads the two
+    // connections across cores; either way the ticket is in flight
+    // when the flag flips).
+    std::thread::sleep(Duration::from_millis(150));
+    let mut killer = Client::connect(addr).unwrap();
+    killer.shutdown_server().unwrap();
+
+    let answer = inflight
+        .join()
+        .unwrap()
+        .expect("in-flight query served across shutdown");
+    assert_eq!(answer.perm(4), f, "the draining core answered exactly");
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.searches, 1);
+    assert_eq!(stats.errors, 0);
+
+    // The final snapshot must hold the class searched during shutdown.
+    let rep = suite().sym().canonical(f);
+    match snapshot::restore(&path, 4) {
+        RestoreOutcome::Restored { records, skipped } => {
+            assert_eq!(skipped, 0);
+            assert!(
+                records.iter().any(|r| r.rep == rep),
+                "final snapshot is missing the class that was in flight at shutdown"
+            );
+        }
+        other => panic!("expected a restorable snapshot, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent load over two cores: the conservation law holds on the
+/// merged stats, the per-core registries merge into one scrape with
+/// every core's series present and family headers deduplicated, and
+/// per-core request counters sum to the aggregate.
+#[test]
+fn multicore_load_conserves_stats_and_merges_per_core_metrics() {
+    let handle = start_server(&ServeConfig::new().cores(2));
+    let addr = handle.addr();
+    let report = loadgen::run(addr, 4, &LoadgenConfig::quick(42)).expect("loadgen runs");
+    assert_eq!(report.errors, 0, "all queries verified: {report:?}");
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache_misses,
+        stats.searches + stats.coalesced + stats.shed + stats.expired,
+        "load conservation across cores"
+    );
+
+    let metrics = client.metrics().unwrap();
+    for core in 0..2 {
+        assert!(
+            metrics.contains(&format!("revsynth_core_requests{{core=\"{core}\"}}")),
+            "core {core} series missing from the merged scrape:\n{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!("revsynth_core_accepted{{core=\"{core}\"}}")),
+            "core {core} accept series missing:\n{metrics}"
+        );
+    }
+    assert_eq!(
+        metrics
+            .matches("# TYPE revsynth_core_requests counter")
+            .count(),
+        1,
+        "family header must appear exactly once in the merged scrape"
+    );
+    let per_core: u64 = metrics
+        .lines()
+        .filter(|l| l.starts_with("revsynth_core_requests{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(
+        per_core, stats.requests,
+        "per-core request counters must sum to the aggregate"
+    );
+
+    client.shutdown_server().unwrap();
+    let final_stats = handle.join().unwrap();
+    assert_eq!(final_stats.errors, 0);
+    // Steals move work between lanes without creating or destroying
+    // it, so the law stays exact whether or not any happened.
+    assert_eq!(
+        final_stats.cache_misses,
+        final_stats.searches + final_stats.coalesced + final_stats.shed + final_stats.expired,
+        "conservation still exact at shutdown"
+    );
+}

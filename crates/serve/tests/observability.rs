@@ -11,7 +11,7 @@ use revsynth_circuit::{Circuit, CostKind, GateLib};
 use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_obs::Stage;
 use revsynth_perm::Perm;
-use revsynth_serve::{Client, ServeStats, Server, ServerConfig, ServerHandle};
+use revsynth_serve::{Client, QueryOptions, ServeConfig, ServeStats, Server, ServerHandle};
 
 fn suite() -> Arc<SynthesisSuite> {
     Arc::new(SynthesisSuite::new(
@@ -23,7 +23,7 @@ fn suite() -> Arc<SynthesisSuite> {
     ))
 }
 
-fn start_server(config: &ServerConfig) -> ServerHandle {
+fn start_server(config: &ServeConfig) -> ServerHandle {
     Server::bind(suite(), config)
         .expect("bind loopback")
         .spawn()
@@ -61,9 +61,9 @@ fn series_value(metrics: &str, name: &str) -> Option<u64> {
 
 #[test]
 fn metrics_scrape_covers_stats_stages_engine_and_conservation() {
-    let handle = start_server(&ServerConfig {
+    let handle = start_server(&ServeConfig {
         slow_query_us: 1,
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     });
     let mut client = Client::connect(handle.addr()).expect("connect");
 
@@ -78,7 +78,10 @@ fn metrics_scrape_covers_stats_stages_engine_and_conservation() {
     }
     // One query under a second cost model exercises a second queue.
     client
-        .query_with_cost(queries[0], CostKind::Quantum)
+        .query_opts(
+            queries[0],
+            &QueryOptions::new().cost_model(CostKind::Quantum),
+        )
         .expect("quantum query");
     // A 4-gate class: with k = 2 tables this takes a real
     // meet-in-the-middle cost scan, so the engine counters must move
@@ -181,10 +184,10 @@ fn metrics_scrape_covers_stats_stages_engine_and_conservation() {
 
 #[test]
 fn disabling_instrumentation_keeps_metrics_endpoint_but_empties_traces() {
-    let handle = start_server(&ServerConfig {
+    let handle = start_server(&ServeConfig {
         instrumentation: false,
         slow_query_us: 1,
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     });
     let mut client = Client::connect(handle.addr()).expect("connect");
     let queries = cold_classes(4);

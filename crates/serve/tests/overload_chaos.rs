@@ -11,12 +11,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use revsynth_circuit::{Circuit, CostKind, GateLib};
+use revsynth_circuit::{Circuit, GateLib};
 use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_perm::Perm;
 use revsynth_serve::fault::{DropAfter, TrickleStream};
 use revsynth_serve::{
-    Client, ClientError, FaultPlan, RetryPolicy, Server, ServerConfig, ServerHandle,
+    Client, ClientError, FaultPlan, QueryOptions, RetryPolicy, ServeConfig, Server, ServerHandle,
 };
 
 fn suite() -> Arc<SynthesisSuite> {
@@ -29,7 +29,7 @@ fn suite() -> Arc<SynthesisSuite> {
     ))
 }
 
-fn start_server(config: &ServerConfig) -> ServerHandle {
+fn start_server(config: &ServeConfig) -> ServerHandle {
     Server::bind(suite(), config)
         .expect("bind loopback")
         .spawn()
@@ -87,11 +87,11 @@ fn saturation_sheds_misses_but_serves_hits_and_reconciles_with_the_plan() {
     // Single worker, queue bound 1, every search slowed 300 ms: a burst
     // of distinct cold classes must overrun admission.
     let plan = Arc::new(FaultPlan::new(0xCAFE).with_search_delay(Duration::from_millis(300)));
-    let config = ServerConfig {
+    let config = ServeConfig {
         max_queue: 1,
         retry_after_ms: 25,
         faults: Some(Arc::clone(&plan)),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let handle = start_server(&config);
     let addr = handle.addr();
@@ -171,7 +171,7 @@ fn saturation_sheds_misses_but_serves_hits_and_reconciles_with_the_plan() {
         seed: 7,
     };
     let recovered = retry_client
-        .query_with_retry(classes[9], CostKind::Gates, &policy)
+        .query_opts(classes[9], &QueryOptions::new().retry(policy))
         .expect("retry must recover after the burst");
     assert_eq!(recovered.perm(4), classes[9]);
 
@@ -186,10 +186,10 @@ fn saturation_sheds_misses_but_serves_hits_and_reconciles_with_the_plan() {
 
 #[test]
 fn connection_cap_sheds_accepts_with_an_overloaded_frame() {
-    let config = ServerConfig {
+    let config = ServeConfig {
         max_conns: 1,
         retry_after_ms: 77,
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let handle = start_server(&config);
     let addr = handle.addr();
@@ -244,7 +244,7 @@ fn connection_cap_sheds_accepts_with_an_overloaded_frame() {
 
 #[test]
 fn torn_and_trickled_connections_never_wedge_the_server() {
-    let handle = start_server(&ServerConfig::default());
+    let handle = start_server(&ServeConfig::default());
     let addr = handle.addr();
     let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
     let mut frame = Vec::new();
@@ -289,9 +289,9 @@ fn client_read_timeout_surfaces_as_deadline_exceeded() {
     // Searches take 600 ms; a client with a 150 ms budget must get the
     // typed DeadlineExceeded (with evidence), not a bare I/O error.
     let plan = Arc::new(FaultPlan::new(3).with_search_delay(Duration::from_millis(600)));
-    let config = ServerConfig {
+    let config = ServeConfig {
         faults: Some(plan),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let handle = start_server(&config);
     let addr = handle.addr();
@@ -328,7 +328,7 @@ fn legacy_and_deadline_wire_forms_are_served_alike() {
     // Satellite compatibility check against a live server: the 16-byte
     // legacy body, the 17-byte cost-model body and the 21-byte deadline
     // body must all produce the same circuit for the same function.
-    let handle = start_server(&ServerConfig::default());
+    let handle = start_server(&ServeConfig::default());
     let addr = handle.addr();
     let f = Perm::from_values(&[1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14]).unwrap();
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 use revsynth_analysis::{Rng, SplitMix64};
 use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_perm::Perm;
-use revsynth_serve::{Client, Server, ServerConfig, ServerHandle};
+use revsynth_serve::{Client, ServeConfig, Server, ServerHandle};
 
 fn start_server() -> ServerHandle {
     let suite = Arc::new(SynthesisSuite::new(
@@ -22,7 +22,7 @@ fn start_server() -> ServerHandle {
             depth_budget: 2,
         },
     ));
-    Server::bind(suite, &ServerConfig::default())
+    Server::bind(suite, ServeConfig::default())
         .expect("bind loopback")
         .spawn()
 }

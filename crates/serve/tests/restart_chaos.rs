@@ -17,7 +17,7 @@ use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_serve::loadgen::{self, LoadgenConfig};
 use revsynth_serve::snapshot::{self, RestoreOutcome, SnapshotRecord};
 use revsynth_serve::{
-    ClassCache, Client, FaultPlan, HealthReport, Server, ServerConfig, ServerHandle,
+    ClassCache, Client, FaultPlan, HealthReport, ServeConfig, Server, ServerHandle,
 };
 
 /// Deep enough (`k = 3`, quantum budget 7) that the loadgen pool's
@@ -40,16 +40,16 @@ fn tempdir(tag: &str) -> PathBuf {
     dir
 }
 
-fn start_server(config: &ServerConfig) -> ServerHandle {
+fn start_server(config: &ServeConfig) -> ServerHandle {
     Server::bind(suite(), config)
         .expect("bind loopback")
         .spawn()
 }
 
-fn snapshot_config(path: &std::path::Path) -> ServerConfig {
-    ServerConfig {
+fn snapshot_config(path: &std::path::Path) -> ServeConfig {
+    ServeConfig {
         snapshot: Some(path.to_path_buf()),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     }
 }
 
@@ -305,9 +305,9 @@ fn stale_tmp_from_a_killed_writer_does_not_confuse_the_boot() {
 fn panicking_workers_are_respawned_and_clients_see_clean_errors() {
     // Every 2nd search panics the worker; odd searches succeed.
     let plan = Arc::new(FaultPlan::new(0xBAD).with_panic_every(2));
-    let config = ServerConfig {
+    let config = ServeConfig {
         faults: Some(plan),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let handle = start_server(&config);
     let suite = suite();
@@ -384,11 +384,11 @@ fn health_probe_reports_restore_liveness_and_snapshot_age() {
     first.join().unwrap();
 
     // Warm boot with a fast periodic snapshotter.
-    let config = ServerConfig {
+    let config = ServeConfig {
         workers: 2,
         snapshot: Some(path.clone()),
         snapshot_interval: Some(Duration::from_millis(300)),
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     let second = start_server(&config);
     let mut client = Client::connect(second.addr()).unwrap();

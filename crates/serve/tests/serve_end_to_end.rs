@@ -8,7 +8,7 @@ use std::time::Duration;
 use revsynth_circuit::{Circuit, CostKind, CostModel};
 use revsynth_core::{SuiteConfig, SynthesisSuite, Synthesizer};
 use revsynth_perm::Perm;
-use revsynth_serve::{Client, ClientError, Server, ServerConfig, ServerHandle};
+use revsynth_serve::{Client, ClientError, QueryOptions, ServeConfig, Server, ServerHandle};
 
 fn start_server(k: usize, workers: usize) -> ServerHandle {
     let suite = Arc::new(SynthesisSuite::new(
@@ -18,9 +18,9 @@ fn start_server(k: usize, workers: usize) -> ServerHandle {
             depth_budget: 2,
         },
     ));
-    let config = ServerConfig {
+    let config = ServeConfig {
         workers,
-        ..ServerConfig::default()
+        ..ServeConfig::default()
     };
     Server::bind(suite, &config).expect("bind loopback").spawn()
 }
@@ -133,11 +133,15 @@ fn cost_models_get_distinct_cache_entries_and_correct_circuits() {
     assert_eq!(gates.perm(4), f);
     assert_eq!(gates.len(), 2, "gate-count optimal");
 
-    let quantum = client.query_with_cost(f, CostKind::Quantum).unwrap();
+    let quantum = client
+        .query_opts(f, &QueryOptions::new().cost_model(CostKind::Quantum))
+        .unwrap();
     assert_eq!(quantum.perm(4), f);
     assert_eq!(quantum.cost(&CostModel::quantum()), 6, "quantum optimal");
 
-    let depth = client.query_with_cost(f, CostKind::Depth).unwrap();
+    let depth = client
+        .query_opts(f, &QueryOptions::new().cost_model(CostKind::Depth))
+        .unwrap();
     assert_eq!(depth.perm(4), f);
     assert_eq!(depth.depth(), 1, "the two gates share a time step");
 
@@ -152,7 +156,9 @@ fn cost_models_get_distinct_cache_entries_and_correct_circuits() {
     // A different member of the same class under quantum is a warm hit
     // at identical cost: replay preserves every model's measure.
     let member = f.inverse();
-    let replayed = client.query_with_cost(member, CostKind::Quantum).unwrap();
+    let replayed = client
+        .query_opts(member, &QueryOptions::new().cost_model(CostKind::Quantum))
+        .unwrap();
     assert_eq!(replayed.perm(4), member);
     assert_eq!(replayed.cost(&CostModel::quantum()), 6);
     let warm = client.stats().unwrap();
@@ -162,7 +168,10 @@ fn cost_models_get_distinct_cache_entries_and_correct_circuits() {
     // Beyond-budget depth queries fail cleanly per model without
     // disturbing the others (SWAP(a,b) needs depth 3 > budget 2).
     let swap: Circuit = "CNOT(a,b) CNOT(b,a) CNOT(a,b)".parse().unwrap();
-    match client.query_with_cost(swap.perm(4), CostKind::Depth) {
+    match client.query_opts(
+        swap.perm(4),
+        &QueryOptions::new().cost_model(CostKind::Depth),
+    ) {
         Err(ClientError::Server(_)) => {}
         other => panic!("expected a server error, got {other:?}"),
     }
@@ -255,5 +264,43 @@ fn loadgen_quick_run_is_clean() {
     assert!(report.throughput() > 0.0);
 
     Client::connect(addr).unwrap().shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+/// The one-release compatibility contract: the deprecated
+/// `ServerConfig` + `query_with_*` shims must keep serving, bit-for-bit
+/// equivalent to their `ServeConfig`/`QueryOptions` replacements.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_serve() {
+    let suite = Arc::new(SynthesisSuite::new(
+        Synthesizer::from_scratch(4, 2),
+        SuiteConfig {
+            quantum_budget: 7,
+            depth_budget: 2,
+        },
+    ));
+    let old = revsynth_serve::ServerConfig::default();
+    let handle = Server::bind(suite, &old)
+        .expect("bind via deprecated config")
+        .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let base: Circuit = "TOF(a,b,d) CNOT(a,b)".parse().unwrap();
+    let f = base.perm(4);
+    let via_cost = client.query_with_cost(f, CostKind::Gates).unwrap();
+    let via_deadline = client
+        .query_with_deadline(f, CostKind::Gates, Some(30_000))
+        .unwrap();
+    let via_retry = client
+        .query_with_retry(f, CostKind::Gates, &revsynth_serve::RetryPolicy::default())
+        .unwrap();
+    let via_opts = client.query_opts(f, &QueryOptions::new()).unwrap();
+    for circuit in [&via_cost, &via_deadline, &via_retry] {
+        assert_eq!(circuit.gates(), via_opts.gates());
+        assert_eq!(circuit.perm(4), f);
+    }
+
+    client.shutdown_server().unwrap();
     handle.join().unwrap();
 }
